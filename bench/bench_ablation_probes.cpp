@@ -1,0 +1,96 @@
+// Ablation — probes per protocol: LFP sends three probes per protocol; with
+// two, duplicate-IPID stacks are invisible and counter classes lose
+// confidence; with one, IPID features vanish entirely. Quantifies why the
+// paper settled on 3 x 3 + 1 packets.
+#include "bench_common.hpp"
+#include "core/pipeline.hpp"
+
+namespace {
+
+/// Copy of a probe result truncated to the first `rounds` responses per
+/// protocol (the later probes are treated as never sent).
+lfp::probe::TargetProbeResult truncate_rounds(const lfp::probe::TargetProbeResult& full,
+                                              std::size_t rounds) {
+    lfp::probe::TargetProbeResult out = full;
+    for (auto& row : out.probes) {
+        for (std::size_t round = rounds; round < lfp::probe::kRoundsPerProtocol; ++round) {
+            row[round].response.reset();
+        }
+    }
+    return out;
+}
+
+}  // namespace
+
+int main() {
+    using namespace lfp;
+    auto world = bench::make_world();
+
+    util::TablePrinter table("Ablation — probes per protocol");
+    table.header({"probes/protocol", "unique sigs", "non-unique", "coverage", "accuracy"});
+
+    for (std::size_t rounds : {3u, 2u, 1u}) {
+        core::FeatureExtractorConfig extractor;
+        extractor.min_responses = std::min<std::size_t>(2, rounds);
+
+        // Re-extract features from the stored raw exchanges, truncated.
+        core::SignatureDatabase database(
+            {.min_occurrences = world->config().signature_min_occurrences});
+        struct Rebuilt {
+            core::Signature signature;
+            bool lfp_responsive;
+            std::optional<stack::Vendor> snmp_vendor;
+            net::IPv4Address target;
+        };
+        std::vector<Rebuilt> rebuilt;
+        for (const auto& measurement : world->measurements()) {
+            for (const auto& record : measurement.records) {
+                const auto truncated = truncate_rounds(record.probes, rounds);
+                const auto features = core::extract_features(truncated, extractor);
+                Rebuilt r;
+                r.signature = core::Signature::from_features(features);
+                r.lfp_responsive = !features.empty();
+                r.snmp_vendor = record.snmp_vendor;
+                r.target = record.probes.target;
+                if (r.snmp_vendor && r.lfp_responsive) {
+                    database.add_labeled(r.signature, *r.snmp_vendor);
+                }
+                rebuilt.push_back(std::move(r));
+            }
+        }
+        database.finalize();
+        const auto counts = database.full_signature_counts();
+
+        const core::LfpClassifier classifier(database);
+        std::size_t responsive = 0;
+        std::size_t identified = 0;
+        std::size_t correct = 0;
+        for (const auto& r : rebuilt) {
+            if (!r.lfp_responsive) continue;
+            ++responsive;
+            const auto verdict = classifier.classify(r.signature);
+            if (!verdict.identified()) continue;
+            ++identified;
+            const std::size_t index = world->topology().find_by_interface(r.target);
+            if (index != sim::Topology::npos &&
+                world->topology().router(index).vendor() == *verdict.vendor) {
+                ++correct;
+            }
+        }
+        table.row({std::to_string(rounds), util::format_count(counts.unique),
+                   util::format_count(counts.non_unique),
+                   util::format_percent(responsive == 0 ? 0.0
+                                                         : static_cast<double>(identified) /
+                                                               static_cast<double>(responsive)),
+                   util::format_percent(identified == 0 ? 0.0
+                                                         : static_cast<double>(correct) /
+                                                               static_cast<double>(identified))});
+    }
+    table.print(std::cout);
+
+    std::cout << "\nReading: two probes preserve most discrimination (steps still visible);\n"
+                 "one probe cannot classify IPID behaviour at all — the 9-probe budget is\n"
+                 "the minimum that observes duplicates and verifies monotonicity twice\n"
+                 "(the paper's misclassification bound in §3.6 relies on that).\n";
+    return 0;
+}

@@ -1,0 +1,54 @@
+// §6.3 case study — Informed routing: find vendor-homogeneous transit ASes
+// (≥85% single vendor among identified routers), count destinations whose
+// paths transit them, and test for alternative vendor-avoiding paths
+// (the paper's AS9808/Huawei and AS3786/Juniper examples).
+#include "analysis/as_analysis.hpp"
+#include "analysis/informed_routing.hpp"
+#include "bench_common.hpp"
+
+int main() {
+    using namespace lfp;
+    auto world = bench::make_world();
+
+    const auto& itdk_measurement = world->itdk_measurement();
+    const auto snmp_map = analysis::VendorMap::from_measurement(
+        itdk_measurement, analysis::VendorMap::Method::snmpv3);
+    const auto lfp_map =
+        analysis::VendorMap::from_measurement(itdk_measurement, analysis::VendorMap::Method::lfp);
+    const auto coverage = analysis::per_as_coverage(
+        analysis::map_routers(world->itdk(), world->topology(), snmp_map, lfp_map));
+
+    // Paper: ASes with >=1k router IPs, >=85% one vendor; our scaled world
+    // uses >=40 identified routers.
+    auto homogeneous = analysis::find_homogeneous_ases(coverage, 40, 0.85);
+    // Keep transit-capable ASes only (stubs cannot appear mid-path).
+    std::erase_if(homogeneous, [&world](const analysis::HomogeneousAs& as) {
+        return world->topology().graph().node(as.asn).customers.empty();
+    });
+    std::cout << "\nVendor-homogeneous transit ASes found: " << homogeneous.size() << "\n";
+    if (homogeneous.size() > 6) homogeneous.resize(6);
+
+    analysis::InformedRoutingAnalysis engine(world->topology(),
+                                             {.sources_per_destination = 64, .seed = 1771});
+    const auto studies = engine.evaluate_all(homogeneous);
+
+    util::TablePrinter table("§6.3 — Informed routing around homogeneous transit ASes");
+    table.header({"Transit AS", "Vendor", "share", "paths through", "affected dests",
+                  "alt. path exists", "no alternative"});
+    for (std::size_t i = 0; i < studies.size(); ++i) {
+        table.row({"AS" + std::to_string(studies[i].transit_asn),
+                   std::string(stack::to_string(studies[i].vendor)),
+                   util::format_percent(homogeneous[i].share),
+                   util::format_count(studies[i].paths_through),
+                   util::format_count(studies[i].destinations),
+                   util::format_count(studies[i].with_alternative),
+                   util::format_count(studies[i].without_alternative)});
+    }
+    table.print(std::cout);
+
+    std::cout << "\nPaper shape (AS9808: 167 destinations with alternatives, 68 without;\n"
+                 "AS3786: 53 destinations without visible alternatives): most affected\n"
+                 "destinations can route around an untrusted vendor's transit network,\n"
+                 "but a tail of customers has no visible alternative.\n";
+    return 0;
+}

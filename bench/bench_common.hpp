@@ -1,0 +1,58 @@
+// Shared scaffolding for the bench binaries: world construction with env
+// overrides, timing, and small formatting helpers.
+//
+// Every binary in bench/ regenerates one table or figure of the paper. The
+// absolute numbers are scaled (the world is ~1:16 of the paper's by
+// default; set LFP_SCALE/LFP_ASES/LFP_TRACES to grow it); the *shape* is
+// what is being reproduced — see EXPERIMENTS.md.
+#pragma once
+
+#include <chrono>
+#include <iostream>
+#include <memory>
+
+#include "analysis/experiment_world.hpp"
+#include "util/table.hpp"
+
+namespace lfp::bench {
+
+inline std::unique_ptr<analysis::ExperimentWorld> make_world() {
+    const auto config = analysis::WorldConfig::from_env();
+    std::cout << "[world] seed=" << config.seed << " ases=" << config.num_ases
+              << " scale=" << config.scale << " traces/snapshot=" << config.traces_per_snapshot
+              << "\n[world] building simulated Internet and running the six measurement "
+                 "campaigns...\n";
+    const auto start = std::chrono::steady_clock::now();
+    auto world = analysis::ExperimentWorld::create(config);
+    const auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+        std::chrono::steady_clock::now() - start);
+    std::cout << "[world] ready in " << elapsed.count() << " ms: "
+              << world->topology().router_count() << " routers, "
+              << world->topology().interface_count() << " interfaces, "
+              << world->packets_sent() << " probe packets\n";
+    return world;
+}
+
+inline double percent(std::size_t part, std::size_t whole) {
+    return whole == 0 ? 0.0 : 100.0 * static_cast<double>(part) / static_cast<double>(whole);
+}
+
+/// Censys-style banner-labeled sample (§7.3): up to `max_count` routers of
+/// the vendor, management service forced open (the banner was observed
+/// historically; scan-time reachability still varies per instance).
+inline std::vector<std::size_t> banner_sample(analysis::ExperimentWorld& world,
+                                              stack::Vendor vendor, std::size_t max_count,
+                                              std::uint64_t seed) {
+    std::vector<std::size_t> candidates;
+    auto& topology = world.topology();
+    for (std::size_t i = 0; i < topology.router_count(); ++i) {
+        if (topology.router(i).vendor() == vendor) candidates.push_back(i);
+    }
+    util::Rng rng(seed ^ static_cast<std::uint64_t>(vendor));
+    util::shuffle(candidates, rng);
+    if (candidates.size() > max_count) candidates.resize(max_count);
+    for (std::size_t index : candidates) topology.router(index).set_mgmt_port_open(true);
+    return candidates;
+}
+
+}  // namespace lfp::bench

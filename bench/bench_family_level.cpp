@@ -1,0 +1,80 @@
+// §7.4 — Family-level fingerprinting: sample routers of one vendor with
+// SNMPv2c-style sysDescr ground truth (the simulation's profile family),
+// and test whether LFP signatures separate OS families within the vendor
+// (the paper finds unique signatures for 3 XR, 3 NX and 7 IOS builds).
+#include "analysis/family_analysis.hpp"
+#include "bench_common.hpp"
+#include "core/pipeline.hpp"
+#include "probe/sim_transport.hpp"
+#include "util/rng.hpp"
+
+int main() {
+    using namespace lfp;
+    auto world = bench::make_world();
+    probe::SimTransport transport(world->internet());
+    core::LfpPipeline pipeline(transport);
+
+    // The paper's sample: 400 Cisco routers exposing sysDescr.
+    std::vector<std::size_t> sample;
+    {
+        auto& topology = world->topology();
+        std::vector<std::size_t> candidates;
+        for (std::size_t i = 0; i < topology.router_count(); ++i) {
+            const auto& router = topology.router(i);
+            if (router.vendor() == stack::Vendor::cisco &&
+                (router.responds_icmp() || router.responds_tcp() || router.responds_udp())) {
+                candidates.push_back(i);
+            }
+        }
+        util::Rng rng(0xFA171);
+        util::shuffle(candidates, rng);
+        if (candidates.size() > 400) candidates.resize(400);
+        sample = std::move(candidates);
+    }
+
+    analysis::FamilyClassifier classifier(5);
+    std::vector<std::pair<core::Signature, std::string>> probes_with_truth;
+    for (std::size_t index : sample) {
+        const auto& router = world->topology().router(index);
+        const net::IPv4Address target = router.interfaces()[0];
+        auto measurement = pipeline.measure("family", {&target, 1});
+        const auto& record = measurement.records[0];
+        if (record.features.empty()) continue;
+        classifier.train(record.signature, router.profile().family);
+        probes_with_truth.emplace_back(record.signature, router.profile().family);
+    }
+    classifier.finalize();
+
+    const auto counts = classifier.counts();
+    std::cout << "\nCisco sample: " << sample.size() << " routers, "
+              << probes_with_truth.size() << " responsive\n"
+              << "Distinct signatures admitted: " << counts.unique + counts.ambiguous
+              << " (family-unique: " << counts.unique << ", ambiguous: " << counts.ambiguous
+              << ")\n";
+
+    util::TablePrinter table("§7.4 — Signatures uniquely identifying a Cisco OS family");
+    table.header({"OS family", "unique signatures"});
+    for (const auto& [family, count] : classifier.unique_signatures_per_family()) {
+        table.row({family, std::to_string(count)});
+    }
+    table.print(std::cout);
+
+    // Self-consistency: classify the sample with the family classifier.
+    std::size_t classified = 0;
+    std::size_t correct = 0;
+    for (const auto& [signature, truth] : probes_with_truth) {
+        auto verdict = classifier.classify(signature);
+        if (!verdict) continue;
+        ++classified;
+        if (*verdict == truth) ++correct;
+    }
+    std::cout << "\nFamily classification on the sample: " << classified << " classified, "
+              << util::format_percent(classified == 0 ? 0.0
+                                                       : static_cast<double>(correct) /
+                                                             static_cast<double>(classified))
+              << " correct\n"
+              << "Paper shape: the sample's signatures fall into the vendor's most common\n"
+                 "signatures; several map 1:1 to a single IOS lineage — signatures carry\n"
+                 "model/family information beyond the vendor.\n";
+    return 0;
+}

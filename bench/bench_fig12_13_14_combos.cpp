@@ -1,0 +1,47 @@
+// Figures 12, 13, 14 — Top router-vendor combinations on paths: overall,
+// intra-US, and inter-US. Cisco/Juniper combinations dominate, especially
+// inside the US.
+#include <algorithm>
+#include "analysis/path_analysis.hpp"
+#include "bench_common.hpp"
+
+namespace {
+
+void print_top(const char* title, const lfp::analysis::PathStats& stats) {
+    using namespace lfp;
+    std::vector<util::BarRow> bars;
+    double covered = 0.0;
+    for (const auto& [combo, count] : stats.combinations.top(9)) {
+        const double share = bench::percent(count, stats.combinations.total());
+        bars.push_back({combo, share});
+        covered += share;
+    }
+    std::reverse(bars.begin(), bars.end());  // paper plots smallest on top
+    util::print_bars(std::cout, title, bars);
+    std::cout << "  top-9 combinations cover " << util::format_double(covered, 1)
+              << "% of classified paths\n";
+}
+
+}  // namespace
+
+int main() {
+    using namespace lfp;
+    auto world = bench::make_world();
+
+    const auto vendors = analysis::VendorMap::from_measurement(
+        world->ripe5_measurement(), analysis::VendorMap::Method::combined);
+    analysis::PathAnalyzer analyzer(world->topology(), vendors);
+    const auto& traces = world->ripe5().traces;
+
+    print_top("Figure 12 — Top vendor combinations (all paths)",
+              analyzer.analyze(traces, analysis::PathScope::all, {}));
+    print_top("Figure 13 — Top vendor combinations (intra-US paths)",
+              analyzer.analyze(traces, analysis::PathScope::intra_us, {}));
+    print_top("Figure 14 — Top vendor combinations (inter-US paths)",
+              analyzer.analyze(traces, analysis::PathScope::inter_us, {}));
+
+    std::cout << "\nPaper shape: {Cisco, Juniper}, {Cisco}, {Juniper} are the top three\n"
+                 "overall (~60% combined); intra-US is Cisco/Juniper-heavier still (two\n"
+                 "thirds); Huawei/MikroTik combinations appear mainly off-US paths.\n";
+    return 0;
+}

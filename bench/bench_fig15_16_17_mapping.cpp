@@ -1,0 +1,116 @@
+// Figures 15, 16, 17 — IP-to-vendor and router-to-vendor mapping, split into
+// SNMPv3-only / both / LFP-only contributions: RIPE-5 IPs (Fig. 15), ITDK
+// IPs (Fig. 16), ITDK routers via alias sets (Fig. 17).
+#include <algorithm>
+#include <map>
+
+#include "analysis/as_analysis.hpp"
+#include "bench_common.hpp"
+
+namespace {
+
+struct Split {
+    std::size_t snmp_only = 0;
+    std::size_t both = 0;
+    std::size_t lfp_only = 0;
+    [[nodiscard]] std::size_t total() const { return snmp_only + both + lfp_only; }
+};
+
+void print_split(const char* title, const std::map<lfp::stack::Vendor, Split>& rows) {
+    using namespace lfp;
+    util::TablePrinter table(title);
+    table.header({"Vendor", "SNMPv3 only", "both", "LFP only", "total", "LFP gain"});
+    std::vector<std::pair<stack::Vendor, Split>> ordered(rows.begin(), rows.end());
+    std::sort(ordered.begin(), ordered.end(),
+              [](const auto& a, const auto& b) { return a.second.total() > b.second.total(); });
+    std::size_t shown = 0;
+    for (const auto& [vendor, split] : ordered) {
+        if (shown++ == 6) break;
+        const std::size_t snmp_total = split.snmp_only + split.both;
+        const double gain = snmp_total == 0 ? 0.0
+                                            : 100.0 * static_cast<double>(split.lfp_only) /
+                                                  static_cast<double>(snmp_total);
+        table.row({std::string(stack::to_string(vendor)), util::format_count(split.snmp_only),
+                   util::format_count(split.both), util::format_count(split.lfp_only),
+                   util::format_count(split.total()), "+" + util::format_double(gain, 1) + "%"});
+    }
+    table.print(std::cout);
+}
+
+}  // namespace
+
+int main() {
+    using namespace lfp;
+    auto world = bench::make_world();
+
+    // Figures 15/16: IP-level split per vendor.
+    for (const auto* name : {"RIPE-5", "ITDK"}) {
+        const auto& measurement = world->measurement(name);
+        std::map<stack::Vendor, Split> rows;
+        std::size_t snmp_ips = 0;
+        std::size_t all_ips = 0;
+        for (const auto& record : measurement.records) {
+            const bool lfp = record.lfp.identified();
+            const auto vendor =
+                record.snmp_vendor ? record.snmp_vendor : record.lfp.vendor;
+            if (!vendor) continue;
+            ++all_ips;
+            if (record.snmp_vendor) ++snmp_ips;
+            if (record.snmp_vendor && lfp) {
+                ++rows[*vendor].both;
+            } else if (record.snmp_vendor) {
+                ++rows[*vendor].snmp_only;
+            } else {
+                ++rows[*vendor].lfp_only;
+            }
+        }
+        print_split((std::string("Figure ") + (std::string(name) == "RIPE-5" ? "15" : "16") +
+                     " — IPs to vendors, SNMPv3 vs LFP (" + name + ")")
+                        .c_str(),
+                    rows);
+        std::cout << "  identified IPs total: " << all_ips << " vs SNMPv3-only " << snmp_ips
+                  << " → x" << util::format_double(snmp_ips == 0 ? 0.0
+                                                                 : static_cast<double>(all_ips) /
+                                                                       static_cast<double>(
+                                                                           snmp_ips),
+                                                   2)
+                  << " coverage\n";
+    }
+
+    // Figure 17: router-level split over ITDK alias sets.
+    const auto& itdk_measurement = world->itdk_measurement();
+    const auto snmp_map = analysis::VendorMap::from_measurement(
+        itdk_measurement, analysis::VendorMap::Method::snmpv3);
+    const auto lfp_map =
+        analysis::VendorMap::from_measurement(itdk_measurement, analysis::VendorMap::Method::lfp);
+    const auto verdicts =
+        analysis::map_routers(world->itdk(), world->topology(), snmp_map, lfp_map);
+
+    std::map<stack::Vendor, Split> router_rows;
+    std::size_t conflicts = 0;
+    std::size_t identified = 0;
+    for (const auto& verdict : verdicts) {
+        const auto vendor = verdict.combined();
+        if (!vendor) continue;
+        ++identified;
+        if (verdict.conflicting_interfaces) ++conflicts;
+        if (verdict.snmp_vendor && verdict.lfp_vendor) {
+            ++router_rows[*vendor].both;
+        } else if (verdict.snmp_vendor) {
+            ++router_rows[*vendor].snmp_only;
+        } else {
+            ++router_rows[*vendor].lfp_only;
+        }
+    }
+    print_split("Figure 17 — Routers (alias sets) to vendors, SNMPv3 vs LFP (ITDK)",
+                router_rows);
+    std::cout << "  alias sets with conflicting interface verdicts: "
+              << util::format_percent(identified == 0 ? 0.0
+                                                       : static_cast<double>(conflicts) /
+                                                             static_cast<double>(identified))
+              << " (paper: ~0.65%)\n"
+              << "\nPaper shape: LFP roughly doubles fingerprintable IPs and routers; the\n"
+                 "largest relative gains go to Juniper (+650% RIPE) and Alcatel/Nokia,\n"
+                 "whose SNMPv3 exposure is low; Cisco's share drops from ~65% to ~50%.\n";
+    return 0;
+}

@@ -1,0 +1,35 @@
+// Figure 18 — Packets sent and received per IP by Nmap-style OS detection
+// on the banner sample, versus LFP's constant 10.
+#include "baselines/nmap_like.hpp"
+#include "bench_common.hpp"
+#include "probe/sim_transport.hpp"
+
+int main() {
+    using namespace lfp;
+    auto world = bench::make_world();
+    probe::SimTransport transport(world->internet());
+    baselines::NmapLikeScanner scanner;
+
+    util::Ecdf sent;
+    util::Ecdf received;
+    const stack::Vendor vendors[] = {stack::Vendor::cisco,    stack::Vendor::juniper,
+                                     stack::Vendor::huawei,   stack::Vendor::ericsson,
+                                     stack::Vendor::mikrotik, stack::Vendor::nokia};
+    for (stack::Vendor vendor : vendors) {
+        for (std::size_t index : bench::banner_sample(*world, vendor, 120, 0xF16)) {
+            auto result =
+                scanner.scan(transport, world->topology().router(index).interfaces()[0]);
+            sent.add(static_cast<double>(result.packets_sent));
+            received.add(static_cast<double>(result.packets_received));
+        }
+    }
+
+    util::print_ecdf_set(std::cout, "Figure 18 — Nmap packets per IP",
+                         {{"Sent", &sent}, {"Received", &received}}, 16, "packets");
+    std::cout << "\n  mean sent " << util::format_double(sent.mean(), 0) << ", mean received "
+              << util::format_double(received.mean(), 0) << ", >1000 sent for "
+              << util::format_percent(1.0 - sent.at(1000.0)) << " of IPs\n"
+              << "  (paper: mean 1,538 sent / 1,065 received; >1000 packets for >80% of\n"
+                 "   IPs; LFP sends a constant 10 per target — two orders less)\n";
+    return 0;
+}

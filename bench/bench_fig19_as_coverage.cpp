@@ -1,0 +1,43 @@
+// Figure 19 (Appendix A) — LFP coverage per AS: ECDF of the percentage of an
+// AS's routers whose vendor is identified, for minimum-AS-size thresholds.
+#include "analysis/as_analysis.hpp"
+#include "bench_common.hpp"
+
+int main() {
+    using namespace lfp;
+    auto world = bench::make_world();
+
+    const auto& itdk_measurement = world->itdk_measurement();
+    const auto snmp_map = analysis::VendorMap::from_measurement(
+        itdk_measurement, analysis::VendorMap::Method::snmpv3);
+    const auto lfp_map =
+        analysis::VendorMap::from_measurement(itdk_measurement, analysis::VendorMap::Method::lfp);
+    const auto verdicts =
+        analysis::map_routers(world->itdk(), world->topology(), snmp_map, lfp_map);
+    const auto coverage = analysis::per_as_coverage(verdicts);
+
+    // The paper uses thresholds 1/10/100/1000; at our scale the same series
+    // is 1/5/25/100 (≈ divided by world scale).
+    const auto all_ases = analysis::coverage_ecdf(coverage, 1);
+    const auto min5 = analysis::coverage_ecdf(coverage, 5);
+    const auto min25 = analysis::coverage_ecdf(coverage, 25);
+    const auto min100 = analysis::coverage_ecdf(coverage, 100);
+
+    util::print_ecdf_set(std::cout, "Figure 19 — Identified routers per AS (%)",
+                         {{"All", &all_ases},
+                          {"10+*", &min5},
+                          {"100+*", &min25},
+                          {"1000+*", &min100}},
+                         20, "% identified");
+    std::cout << "  (* scaled thresholds: 5/25/100 routers at this world size)\n";
+
+    auto full_cov = [](const util::Ecdf& e) { return 1.0 - e.at(99.999); };
+    auto half_cov = [](const util::Ecdf& e) { return 1.0 - e.at(49.999); };
+    std::cout << "\n  All ASes: fully identified " << util::format_percent(full_cov(all_ases))
+              << " (paper: ~60%, dominated by single-router ASes)\n"
+              << "  Mid-size ASes: >=half identified " << util::format_percent(half_cov(min5))
+              << " (paper: >=75%)\n"
+              << "  Largest ASes: >=half identified " << util::format_percent(half_cov(min100))
+              << " (paper: coverage decreases for 1000+-router networks)\n";
+    return 0;
+}

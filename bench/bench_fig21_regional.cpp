@@ -1,0 +1,54 @@
+// Figure 21 (Appendix A) — Router vendor popularity per continent, counted
+// over ITDK alias sets with the combined SNMPv3+LFP mapping.
+#include "analysis/as_analysis.hpp"
+#include "bench_common.hpp"
+
+int main() {
+    using namespace lfp;
+    auto world = bench::make_world();
+
+    const auto& itdk_measurement = world->itdk_measurement();
+    const auto snmp_map = analysis::VendorMap::from_measurement(
+        itdk_measurement, analysis::VendorMap::Method::snmpv3);
+    const auto lfp_map =
+        analysis::VendorMap::from_measurement(itdk_measurement, analysis::VendorMap::Method::lfp);
+    const auto verdicts =
+        analysis::map_routers(world->itdk(), world->topology(), snmp_map, lfp_map);
+    const auto regional = analysis::regional_distribution(verdicts, world->topology());
+
+    util::TablePrinter table("Figure 21 — Router vendor popularity per continent");
+    table.header({"Continent", "Routers", "Cisco", "Huawei", "Juniper", "Alcatel/Nokia",
+                  "MikroTik", "Other"});
+    for (const auto& [continent, vendors] : regional) {
+        std::size_t total = 0;
+        for (const auto& [vendor, count] : vendors) total += count;
+        auto share = [&](stack::Vendor v) {
+            auto it = vendors.find(v);
+            const std::size_t count = it == vendors.end() ? 0 : it->second;
+            return util::format_percent(total == 0 ? 0.0
+                                                   : static_cast<double>(count) /
+                                                         static_cast<double>(total));
+        };
+        std::size_t major = 0;
+        for (stack::Vendor v : {stack::Vendor::cisco, stack::Vendor::huawei,
+                                stack::Vendor::juniper, stack::Vendor::nokia,
+                                stack::Vendor::mikrotik}) {
+            auto it = vendors.find(v);
+            if (it != vendors.end()) major += it->second;
+        }
+        table.row({std::string(sim::continent_code(continent)), util::format_count(total),
+                   share(stack::Vendor::cisco), share(stack::Vendor::huawei),
+                   share(stack::Vendor::juniper), share(stack::Vendor::nokia),
+                   share(stack::Vendor::mikrotik),
+                   util::format_percent(total == 0 ? 0.0
+                                                   : static_cast<double>(total - major) /
+                                                         static_cast<double>(total))});
+    }
+    table.print(std::cout);
+
+    std::cout << "\nPaper shape: Cisco 70-82% in NA/Oceania, ~63% in Europe, ~64% in\n"
+                 "Africa; Huawei ~41% in Asia and ~36% in South America; Juniper strongest\n"
+                 "in North America (~17%). A handful of manufacturers cover >95%\n"
+                 "everywhere.\n";
+    return 0;
+}

@@ -1,0 +1,55 @@
+// Figure 22 (Appendix A) — The largest networks by identified routers:
+// SNMPv3-only vs SNMPv3+LFP router counts per AS (LFP's per-network gain).
+#include <algorithm>
+#include "analysis/as_analysis.hpp"
+#include "bench_common.hpp"
+
+int main() {
+    using namespace lfp;
+    auto world = bench::make_world();
+
+    const auto& itdk_measurement = world->itdk_measurement();
+    const auto snmp_map = analysis::VendorMap::from_measurement(
+        itdk_measurement, analysis::VendorMap::Method::snmpv3);
+    const auto lfp_map =
+        analysis::VendorMap::from_measurement(itdk_measurement, analysis::VendorMap::Method::lfp);
+    const auto verdicts =
+        analysis::map_routers(world->itdk(), world->topology(), snmp_map, lfp_map);
+
+    struct AsRow {
+        std::uint32_t asn = 0;
+        std::size_t snmp = 0;
+        std::size_t combined = 0;
+    };
+    std::map<std::uint32_t, AsRow> by_as;
+    for (const auto& verdict : verdicts) {
+        AsRow& row = by_as[verdict.asn];
+        row.asn = verdict.asn;
+        if (verdict.snmp_vendor) ++row.snmp;
+        if (verdict.combined()) ++row.combined;
+    }
+    std::vector<AsRow> rows;
+    for (auto& [asn, row] : by_as) rows.push_back(row);
+    std::sort(rows.begin(), rows.end(),
+              [](const AsRow& a, const AsRow& b) { return a.combined > b.combined; });
+    if (rows.size() > 13) rows.resize(13);
+
+    util::TablePrinter table("Figure 22 — Top-13 ASes: SNMPv3 vs SNMPv3+LFP router counts");
+    table.header({"AS (region)", "SNMPv3", "SNMPv3+LFP", "LFP gain"});
+    for (const auto& row : rows) {
+        const auto* geo = world->topology().geo().lookup(row.asn);
+        const std::string label = "AS" + std::to_string(row.asn) + " (" +
+                                  std::string(geo ? sim::continent_code(geo->continent) : "?") +
+                                  ")";
+        const double gain = row.snmp == 0 ? 0.0
+                                          : 100.0 * static_cast<double>(row.combined - row.snmp) /
+                                                static_cast<double>(row.snmp);
+        table.row({label, util::format_count(row.snmp), util::format_count(row.combined),
+                   "+" + util::format_double(gain, 0) + "%"});
+    }
+    table.print(std::cout);
+
+    std::cout << "\nPaper shape: the top networks span all regions; LFP's additional\n"
+                 "contribution varies from almost nothing to >100% per network.\n";
+    return 0;
+}

@@ -1,0 +1,51 @@
+// Figure 3 — Distribution (percent per bin) of signed IPID differences for
+// consecutive responses of fully-responsive RIPE-5 IPs, ±10,000 range.
+#include <algorithm>
+#include "bench_common.hpp"
+
+int main() {
+    using namespace lfp;
+    auto world = bench::make_world();
+
+    util::Histogram histogram(-10000.0, 10000.0, 20);  // 1000-wide bins
+    std::size_t within_threshold = 0;
+    std::size_t total_diffs = 0;
+
+    for (const auto& record : world->ripe5_measurement().records) {
+        if (!record.features.complete()) continue;
+        std::vector<std::pair<std::uint32_t, std::uint16_t>> responses;
+        for (const auto& row : record.probes.probes) {
+            for (const auto& exchange : row) {
+                if (!exchange.responded()) continue;
+                auto parsed = net::parse_packet(*exchange.response);
+                if (!parsed) continue;
+                responses.emplace_back(exchange.send_index, parsed.value().ip.identification);
+            }
+        }
+        std::sort(responses.begin(), responses.end());
+        for (std::size_t i = 1; i < responses.size(); ++i) {
+            const int diff = static_cast<int>(responses[i].second) -
+                             static_cast<int>(responses[i - 1].second);
+            histogram.add(diff);
+            ++total_diffs;
+            if (diff >= 0 && diff <= 1300) ++within_threshold;
+        }
+    }
+
+    std::cout << "\n== Figure 3 — IPID differences for consecutive responses (RIPE-5) ==\n";
+    std::vector<util::BarRow> bars;
+    for (std::size_t bin = 0; bin < histogram.bin_count(); ++bin) {
+        bars.push_back({util::format_double(histogram.bin_low(bin), 0) + ".." +
+                            util::format_double(histogram.bin_high(bin), 0),
+                        histogram.percent(bin)});
+    }
+    util::print_bars(std::cout, "percent of consecutive-response IPID differences", bars);
+
+    std::cout << "\nDifferences in [0, 1300]: "
+              << util::format_percent(static_cast<double>(within_threshold) /
+                                      static_cast<double>(total_diffs))
+              << " of " << total_diffs
+              << " (paper: ~20% near zero; ~90% captured by the 1300 threshold when\n"
+                 "counting sequential counters; the rest spread over the full range)\n";
+    return 0;
+}

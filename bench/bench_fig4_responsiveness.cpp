@@ -1,0 +1,32 @@
+// Figure 4 — Number of responsive protocols per IP (ECDF), RIPE-5 vs ITDK.
+#include "bench_common.hpp"
+
+int main() {
+    using namespace lfp;
+    auto world = bench::make_world();
+
+    auto protocols_ecdf = [](const core::Measurement& measurement) {
+        util::Ecdf ecdf;
+        for (const auto& record : measurement.records) {
+            ecdf.add(static_cast<double>(record.probes.responsive_protocol_count()));
+        }
+        return ecdf;
+    };
+
+    const auto ripe = protocols_ecdf(world->ripe5_measurement());
+    const auto itdk = protocols_ecdf(world->itdk_measurement());
+
+    util::print_ecdf_set(std::cout, "Figure 4 — Responsive protocols per IP",
+                         {{"ITDK", &itdk}, {"RIPE", &ripe}}, 4, "protocols");
+
+    auto report = [](const char* name, const util::Ecdf& ecdf) {
+        std::cout << "  " << name << ": >=1 protocol " << util::format_percent(1.0 - ecdf.at(0.0))
+                  << ", all 3 protocols " << util::format_percent(1.0 - ecdf.at(2.0)) << "\n";
+    };
+    std::cout << "\n";
+    report("RIPE-5", ripe);
+    report("ITDK  ", itdk);
+    std::cout << "Paper: RIPE 72.3% >=1 and ~35% all three; ITDK 90.7% >=1 and ~50% all\n"
+                 "three (alias-resolved IPs are responsive by construction).\n";
+    return 0;
+}

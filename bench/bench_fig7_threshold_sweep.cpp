@@ -1,0 +1,42 @@
+// Figure 7 — Sensitivity of the signature count to the minimum-occurrence
+// threshold: unique and non-unique full-signature counts for thresholds
+// 1..100. The curve collapses sharply and flattens past ~10-20.
+#include "bench_common.hpp"
+#include "core/pipeline.hpp"
+
+int main() {
+    using namespace lfp;
+    auto world = bench::make_world();
+
+    // Rebuild an unthresholded database so the sweep can re-admit at will.
+    core::SignatureDatabase db({.min_occurrences = 1});
+    for (const auto& measurement : world->measurements()) {
+        for (const auto& record : measurement.records) {
+            if (!record.snmp_vendor || record.features.empty()) continue;
+            db.add_labeled(record.signature, *record.snmp_vendor);
+        }
+    }
+    db.finalize();
+
+    util::TablePrinter table("Figure 7 — Signature count vs occurrence threshold");
+    table.header({"threshold", "unique sigs", "non-unique sigs"});
+    std::vector<util::BarRow> bars;
+    for (std::size_t threshold : {1u,  2u,  3u,  5u,  8u,  10u, 15u, 20u,
+                                  30u, 40u, 50u, 60u, 80u, 100u}) {
+        const auto counts = db.counts_at_threshold(threshold);
+        table.row({std::to_string(threshold), util::format_count(counts.unique),
+                   util::format_count(counts.non_unique)});
+        bars.push_back({"t=" + std::to_string(threshold),
+                        static_cast<double>(counts.unique + counts.non_unique)});
+    }
+    table.print(std::cout);
+    util::print_bars(std::cout, "total admitted signatures", bars, "sigs");
+
+    const auto at10 = db.counts_at_threshold(10);
+    const auto at20 = db.counts_at_threshold(20);
+    std::cout << "\nDelta between thresholds 10 and 20: "
+              << (at10.unique + at10.non_unique) - (at20.unique + at20.non_unique)
+              << " signatures (paper: choosing 10 vs 20 changes almost nothing —\n"
+                 "the knee is below 10; the paper picks 20).\n";
+    return 0;
+}

@@ -1,0 +1,23 @@
+// Figure 8 — Path length (hop count) distribution in the RIPE-5 traceroute
+// dataset: ≥3 hops for ~95% of paths, ≤15 hops for ~95%.
+#include "analysis/path_analysis.hpp"
+#include "bench_common.hpp"
+
+int main() {
+    using namespace lfp;
+    auto world = bench::make_world();
+
+    util::Ecdf hops;
+    for (const auto& trace : world->ripe5().traces) {
+        hops.add(static_cast<double>(trace.hops.size()));
+    }
+
+    util::print_ecdf(std::cout, "Figure 8 — Path length distribution (RIPE-5)", hops, 20,
+                     "hops");
+    std::cout << "\n  traces: " << util::format_count(hops.size())
+              << "  median: " << util::format_double(hops.quantile(0.5), 0)
+              << "  >=3 hops: " << util::format_percent(1.0 - hops.at(2.0))
+              << "  <=15 hops: " << util::format_percent(hops.at(15.0)) << "\n"
+              << "Paper: ~95% of paths have >=3 hops and ~95% have <=15 hops.\n";
+    return 0;
+}

@@ -1,0 +1,50 @@
+// §7.3.2 — Hershel comparison: single-packet SYN-ACK fingerprinting on the
+// banner sample. Coverage ≈ open-port rate; vendor accuracy <1% for the top
+// router vendors; Linux-derived platforms (MikroTik) resolve to "Linux".
+#include <map>
+
+#include "baselines/hershel.hpp"
+#include "bench_common.hpp"
+#include "probe/sim_transport.hpp"
+
+int main() {
+    using namespace lfp;
+    auto world = bench::make_world();
+    probe::SimTransport transport(world->internet());
+    baselines::HershelClassifier hershel;
+
+    const stack::Vendor vendors[] = {stack::Vendor::cisco,    stack::Vendor::juniper,
+                                     stack::Vendor::huawei,   stack::Vendor::ericsson,
+                                     stack::Vendor::mikrotik, stack::Vendor::nokia};
+
+    util::TablePrinter table("§7.3.2 — Hershel on the banner sample");
+    table.header({"Vendor", "N", "coverage", "vendor accuracy", "top OS verdict"});
+    for (stack::Vendor vendor : vendors) {
+        const auto sample = bench::banner_sample(*world, vendor, 400, 0x4E5);
+        std::size_t covered = 0;
+        std::size_t correct = 0;
+        util::Counter verdicts;
+        for (std::size_t index : sample) {
+            auto verdict = hershel.fingerprint(
+                transport, world->topology().router(index).interfaces()[0]);
+            if (!verdict) continue;
+            ++covered;
+            verdicts.add(verdict->os_label);
+            if (verdict->vendor == vendor) ++correct;
+        }
+        const auto top = verdicts.top(1);
+        table.row({std::string(stack::to_string(vendor)), std::to_string(sample.size()),
+                   util::format_percent(bench::percent(covered, sample.size()) / 100.0),
+                   util::format_percent(covered == 0 ? 0.0
+                                                     : static_cast<double>(correct) /
+                                                           static_cast<double>(covered)),
+                   top.empty() ? "-" : top[0].first});
+    }
+    table.print(std::cout);
+
+    std::cout << "\nPackets sent: " << hershel.packets_sent()
+              << " (single SYN per target — cheaper than LFP but router-blind)\n"
+              << "Paper shape: ~50% coverage on the banner sample, <1% vendor accuracy\n"
+                 "for the top-3 vendors, MikroTik identified as generic Linux.\n";
+    return 0;
+}

@@ -1,0 +1,34 @@
+// §4.2 / §8 — Longitudinal signature stability: signatures of IPs observed
+// across the five RIPE-like snapshots stay stable over the simulated ten
+// months ("the signatures we discover remain stable", §3.7).
+#include "analysis/longitudinal.hpp"
+#include "bench_common.hpp"
+
+int main() {
+    using namespace lfp;
+    auto world = bench::make_world();
+
+    // The RIPE measurements only (the first five).
+    const auto ripe = std::span(world->measurements().data(), 5);
+    const auto report = analysis::signature_stability(ripe);
+
+    util::TablePrinter table("Signature stability across consecutive RIPE snapshots");
+    table.header({"pair", "common IPs", "identical sig", "changed", "vendor changed"});
+    for (const auto& pair : report.pairs) {
+        table.row({pair.first + " vs " + pair.second, util::format_count(pair.common_ips),
+                   util::format_percent(pair.stability()),
+                   util::format_count(pair.changed_signature),
+                   util::format_count(pair.vendor_changed)});
+    }
+    table.print(std::cout);
+
+    std::cout << "\nIPs responsive in all five snapshots: "
+              << util::format_count(report.ips_in_all_snapshots) << "; signature constant for "
+              << util::format_percent(report.overall_stability())
+              << " of them across the full ten months.\n"
+              << "Paper shape: signatures are stable across the ten-month collection\n"
+                 "(the paper re-uses signatures across snapshots and finds only 2\n"
+                 "cross-dataset vendor conflicts); residual changes here are packet-loss\n"
+                 "artifacts on the IPID features.\n";
+    return 0;
+}

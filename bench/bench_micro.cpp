@@ -1,0 +1,168 @@
+// Microbenchmarks (google-benchmark): codec costs, feature extraction,
+// signature matching, simulated-router response latency, and the full
+// 10-packet LFP exchange — the per-inference costs behind the scalability
+// claims (§7.3: 10 packets per target vs Nmap's ~1,538).
+#include <benchmark/benchmark.h>
+
+#include "core/pipeline.hpp"
+#include "probe/campaign.hpp"
+#include "probe/sim_transport.hpp"
+#include "sim/internet.hpp"
+#include "snmp/snmpv3.hpp"
+#include "stack/profile_catalog.hpp"
+
+namespace {
+
+using namespace lfp;
+
+const net::IPv4Address kSrc = net::IPv4Address::from_octets(192, 0, 2, 1);
+const net::IPv4Address kDst = net::IPv4Address::from_octets(5, 1, 2, 3);
+
+void BM_Ipv4HeaderSerialize(benchmark::State& state) {
+    net::Ipv4Header header;
+    header.source = kSrc;
+    header.destination = kDst;
+    header.identification = 0x1234;
+    for (auto _ : state) {
+        net::Bytes out;
+        out.reserve(net::Ipv4Header::kSize);
+        net::ByteWriter writer(out);
+        header.serialize(writer);
+        benchmark::DoNotOptimize(out);
+    }
+}
+BENCHMARK(BM_Ipv4HeaderSerialize);
+
+void BM_IcmpEchoBuildParse(benchmark::State& state) {
+    net::IpSendOptions ip;
+    ip.source = kSrc;
+    ip.destination = kDst;
+    const net::Bytes payload(56, 0xA5);
+    for (auto _ : state) {
+        const net::Bytes packet = net::make_icmp_echo_request(ip, 7, 1, payload);
+        auto parsed = net::parse_packet(packet);
+        benchmark::DoNotOptimize(parsed);
+    }
+}
+BENCHMARK(BM_IcmpEchoBuildParse);
+
+void BM_TcpSegmentBuildParse(benchmark::State& state) {
+    net::IpSendOptions ip;
+    ip.source = kSrc;
+    ip.destination = kDst;
+    net::TcpSegment segment;
+    segment.source_port = 43211;
+    segment.destination_port = 33533;
+    segment.flags.syn = true;
+    segment.acknowledgment = 0xBEEF0001;
+    segment.options.push_back({net::TcpOptionKind::mss, {0x05, 0xB4}});
+    for (auto _ : state) {
+        const net::Bytes packet = net::make_tcp_packet(ip, segment);
+        auto parsed = net::parse_packet(packet);
+        benchmark::DoNotOptimize(parsed);
+    }
+}
+BENCHMARK(BM_TcpSegmentBuildParse);
+
+void BM_SnmpDiscoveryRoundTrip(benchmark::State& state) {
+    snmp::DiscoveryResponse response;
+    response.message_id = 42;
+    response.engine_id = snmp::make_mac_engine_id(snmp::enterprise::kCisco,
+                                                  {1, 2, 3, 4, 5, 6});
+    response.engine_boots = 3;
+    response.engine_time = 1000;
+    for (auto _ : state) {
+        const net::Bytes wire = response.serialize();
+        auto parsed = snmp::DiscoveryResponse::parse(wire);
+        benchmark::DoNotOptimize(parsed);
+    }
+}
+BENCHMARK(BM_SnmpDiscoveryRoundTrip);
+
+void BM_RouterHandleProbe(benchmark::State& state) {
+    util::Rng rng(1);
+    const auto* profile = stack::standard_catalog().find("IOS 15");
+    stack::StackProfile responsive = *profile;
+    responsive.response = {1.0, 1.0, 1.0, 1.0, 0.0, 1.0};
+    stack::SimulatedRouter router(1, responsive, rng);
+    router.add_interface(kDst);
+    net::IpSendOptions ip;
+    ip.source = kSrc;
+    ip.destination = kDst;
+    const net::Bytes probe = net::make_icmp_echo_request(ip, 7, 1, net::Bytes(56, 0xA5));
+    for (auto _ : state) {
+        auto response = router.handle_packet(probe);
+        benchmark::DoNotOptimize(response);
+    }
+}
+BENCHMARK(BM_RouterHandleProbe);
+
+struct WorldState {
+    sim::Topology topology;
+    sim::Internet internet;
+    probe::SimTransport transport;
+    std::vector<net::IPv4Address> targets;
+
+    WorldState()
+        : topology(sim::Topology::build({.seed = 7,
+                                         .num_ases = 300,
+                                         .tier1_count = 6,
+                                         .transit_fraction = 0.2,
+                                         .scale = 0.4})),
+          internet(topology, {.seed = 7, .loss_rate = 0.0}),
+          transport(internet) {
+        for (std::size_t i = 0; i < topology.router_count(); ++i) {
+            targets.push_back(topology.router(i).interfaces()[0]);
+        }
+    }
+
+    static WorldState& instance() {
+        static WorldState state;
+        return state;
+    }
+};
+
+void BM_LfpFullTargetExchange(benchmark::State& state) {
+    auto& world = WorldState::instance();
+    probe::Campaign campaign(world.transport);
+    std::size_t i = 0;
+    for (auto _ : state) {
+        auto result = campaign.probe_target(world.targets[i++ % world.targets.size()]);
+        benchmark::DoNotOptimize(result);
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 10);
+}
+BENCHMARK(BM_LfpFullTargetExchange);
+
+void BM_FeatureExtraction(benchmark::State& state) {
+    auto& world = WorldState::instance();
+    probe::Campaign campaign(world.transport);
+    const auto result = campaign.probe_target(world.targets[0]);
+    for (auto _ : state) {
+        auto features = core::extract_features(result);
+        benchmark::DoNotOptimize(features);
+    }
+}
+BENCHMARK(BM_FeatureExtraction);
+
+void BM_SignatureClassify(benchmark::State& state) {
+    auto& world = WorldState::instance();
+    probe::Campaign campaign(world.transport);
+    core::LfpPipeline pipeline(world.transport);
+    auto measurement = pipeline.measure(
+        "micro", std::span(world.targets.data(), std::min<std::size_t>(world.targets.size(),
+                                                                        3000)));
+    auto db = core::LfpPipeline::build_database({&measurement, 1}, {.min_occurrences = 5});
+    const core::LfpClassifier classifier(db);
+    std::size_t i = 0;
+    for (auto _ : state) {
+        const auto& record = measurement.records[i++ % measurement.records.size()];
+        auto verdict = classifier.classify(record.signature);
+        benchmark::DoNotOptimize(verdict);
+    }
+}
+BENCHMARK(BM_SignatureClassify);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,67 @@
+// Table 3 — Measurement overview: responsive IPs, SNMPv3 responders,
+// SNMPv3 ∩ LFP, LFP-only responders, and unique/non-unique signature counts
+// per dataset plus the union.
+#include <unordered_map>
+
+#include "bench_common.hpp"
+#include "core/pipeline.hpp"
+
+int main() {
+    using namespace lfp;
+    auto world = bench::make_world();
+
+    util::TablePrinter table("Table 3 — Measurement overview (scaled world)");
+    table.header({"Measurement", "IPs", "SNMPv3", "SNMPv3 ∩ LFP", "LFP \\ SNMPv3",
+                  "Unique sigs", "Non-unique sigs"});
+
+    // Per-dataset signature databases (the paper's per-row counts), then the
+    // union row from the world's shared database.
+    for (const auto& measurement : world->measurements()) {
+        const auto db = core::LfpPipeline::build_database(
+            {&measurement, 1}, {.min_occurrences = world->config().signature_min_occurrences});
+        const auto counts = db.full_signature_counts();
+        table.row({measurement.name, util::format_count(measurement.responsive_count()),
+                   util::format_count(measurement.snmp_count()),
+                   util::format_count(measurement.snmp_and_lfp_count()),
+                   util::format_count(measurement.lfp_only_count()),
+                   util::format_count(counts.unique), util::format_count(counts.non_unique)});
+    }
+
+    // Union row: distinct IPs across the six measurements (an IP counts as
+    // responsive/labeled if any measurement saw it so).
+    struct UnionState {
+        bool responsive = false;
+        bool snmp = false;
+        bool lfp = false;
+    };
+    std::unordered_map<net::IPv4Address, UnionState> by_ip;
+    for (const auto& measurement : world->measurements()) {
+        for (const auto& record : measurement.records) {
+            UnionState& state = by_ip[record.probes.target];
+            state.responsive = state.responsive || record.responsive();
+            state.snmp = state.snmp || record.snmp_vendor.has_value();
+            state.lfp = state.lfp || record.features.complete();
+        }
+    }
+    std::size_t union_responsive = 0;
+    std::size_t union_snmp = 0;
+    std::size_t union_both = 0;
+    std::size_t union_lfp_only = 0;
+    for (const auto& [ip, state] : by_ip) {
+        if (state.responsive) ++union_responsive;
+        if (state.snmp) ++union_snmp;
+        if (state.snmp && state.lfp) ++union_both;
+        if (!state.snmp && state.lfp) ++union_lfp_only;
+    }
+    const auto union_counts = world->database().full_signature_counts();
+    table.row({"Union", util::format_count(union_responsive), util::format_count(union_snmp),
+               util::format_count(union_both), util::format_count(union_lfp_only),
+               util::format_count(union_counts.unique),
+               util::format_count(union_counts.non_unique)});
+    table.print(std::cout);
+
+    std::cout << "\nPaper shape: ≈90 unique and ≈23 non-unique union signatures at full\n"
+                 "scale; each RIPE snapshot contributes 46-62 unique signatures; SNMPv3\n"
+                 "covers ≈28% of responsive IPs and LFP-only adds 58k-77k IPs per snapshot.\n";
+    return 0;
+}

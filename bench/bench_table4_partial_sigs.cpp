@@ -1,0 +1,50 @@
+// Table 4 — Partial signatures per responsive-protocol combination:
+// total / unique / non-unique counts for each subset of {ICMP, TCP, UDP}.
+#include "bench_common.hpp"
+
+int main() {
+    using namespace lfp;
+    auto world = bench::make_world();
+
+    struct Combo {
+        const char* label;
+        std::uint8_t mask;  // bit0 ICMP, bit1 TCP, bit2 UDP
+    };
+    // Order mirrors the paper's Table 4.
+    const Combo combos[] = {
+        {"TCP & UDP", 0b110}, {"ICMP & UDP", 0b101}, {"ICMP & TCP", 0b011},
+        {"UDP", 0b100},       {"ICMP", 0b001},       {"TCP", 0b010},
+    };
+
+    util::TablePrinter table("Table 4 — Partial signatures by protocol combination");
+    table.header({"Protocols", "Total", "Unique", "Non-unique"});
+    for (const auto& combo : combos) {
+        const auto counts = world->database().partial_signature_counts(combo.mask);
+        table.row({combo.label, util::format_count(counts.unique + counts.non_unique),
+                   util::format_count(counts.unique), util::format_count(counts.non_unique)});
+    }
+    table.print(std::cout);
+
+    // Coverage gain from partial signatures (paper: ≈ +15%).
+    std::size_t full_only = 0;
+    std::size_t with_partial = 0;
+    for (const auto& record : world->ripe5_measurement().records) {
+        if (record.lfp.kind == core::MatchKind::unique_full) {
+            ++full_only;
+            ++with_partial;
+        } else if (record.lfp.kind == core::MatchKind::unique_partial) {
+            ++with_partial;
+        }
+    }
+    std::cout << "\nRIPE-5 IPs classified by full unique signatures:   " << full_only
+              << "\nRIPE-5 IPs classified incl. partial unique sigs:   " << with_partial
+              << "  (+"
+              << util::format_percent(full_only == 0 ? 0.0
+                                                     : static_cast<double>(with_partial -
+                                                                           full_only) /
+                                                           static_cast<double>(full_only))
+              << ", paper: ≈ +15%)\n"
+              << "\nPaper shape: two-protocol combinations stay mostly unique; single-\n"
+                 "protocol signatures are roughly half unique, half non-unique.\n";
+    return 0;
+}

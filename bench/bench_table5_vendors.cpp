@@ -1,0 +1,77 @@
+// Table 5 — Ground-truth (SNMPv3-labeled) vendor distribution: labeled IP
+// counts per vendor, with unique / non-unique signature counts and the IPs
+// they cover.
+#include <algorithm>
+#include <map>
+
+#include "bench_common.hpp"
+
+int main() {
+    using namespace lfp;
+    auto world = bench::make_world();
+
+    struct VendorRow {
+        std::size_t labeled_ips = 0;
+        std::size_t unique_sigs = 0;
+        std::size_t unique_ips = 0;
+        std::size_t non_unique_sigs = 0;
+        std::size_t non_unique_ips = 0;
+    };
+    std::map<stack::Vendor, VendorRow> rows;
+
+    // Labeled IPs per vendor (fully-responsive labeled set, as in the paper).
+    std::size_t total_labeled = 0;
+    std::size_t total_unique_ips = 0;
+    for (const auto& measurement : world->measurements()) {
+        for (const auto& record : measurement.records) {
+            if (!record.snmp_vendor || !record.features.complete()) continue;
+            ++rows[*record.snmp_vendor].labeled_ips;
+            ++total_labeled;
+            const auto* stats = world->database().lookup(record.signature);
+            if (stats == nullptr) continue;
+            if (stats->unique()) {
+                ++rows[*record.snmp_vendor].unique_ips;
+                ++total_unique_ips;
+            } else {
+                ++rows[*record.snmp_vendor].non_unique_ips;
+            }
+        }
+    }
+    // Signature counts per dominant vendor.
+    for (const auto& [signature, stats] : world->database().signatures()) {
+        if (!signature.is_full()) continue;
+        if (stats.unique()) {
+            ++rows[stats.dominant_vendor()].unique_sigs;
+        } else {
+            for (const auto& [vendor, count] : stats.vendor_counts) {
+                ++rows[vendor].non_unique_sigs;
+            }
+        }
+    }
+
+    util::TablePrinter table("Table 5 — Signatures per vendor in the ground-truth dataset");
+    table.header({"Vendor", "Labeled", "Unique sigs (#IPs)", "Non-unique sigs (#IPs)"});
+    // Rows ordered by labeled count.
+    std::vector<std::pair<stack::Vendor, VendorRow>> ordered(rows.begin(), rows.end());
+    std::sort(ordered.begin(), ordered.end(), [](const auto& a, const auto& b) {
+        return a.second.labeled_ips > b.second.labeled_ips;
+    });
+    for (const auto& [vendor, row] : ordered) {
+        if (row.labeled_ips == 0) continue;
+        table.row({std::string(stack::to_string(vendor)), util::format_count(row.labeled_ips),
+                   std::to_string(row.unique_sigs) + " (" + util::format_count(row.unique_ips) +
+                       ")",
+                   std::to_string(row.non_unique_sigs) + " (" +
+                       util::format_count(row.non_unique_ips) + ")"});
+    }
+    table.print(std::cout);
+
+    std::cout << "\nLabeled IPs mapping to unique signatures: "
+              << util::format_percent(static_cast<double>(total_unique_ips) /
+                                      static_cast<double>(total_labeled))
+              << " (paper: >82%)\n"
+              << "Paper shape: Cisco ≈ half the labeled IPs (98% on unique sigs); Juniper\n"
+                 "and Alcatel/Nokia 100% unique; MikroTik and H3C mostly non-unique\n"
+                 "(UNIX-derived stacks shared across vendors).\n";
+    return 0;
+}

@@ -1,0 +1,83 @@
+// Table 7 — LFP vs Nmap on a Censys-style banner-labeled sample: per-vendor
+// coverage (fraction of sampled IPs the tool can work with) and accuracy
+// (correct vendor verdicts among responsive IPs), plus mean packet costs.
+#include "baselines/nmap_like.hpp"
+#include "bench_common.hpp"
+#include "core/pipeline.hpp"
+#include "probe/sim_transport.hpp"
+
+int main() {
+    using namespace lfp;
+    auto world = bench::make_world();
+    probe::SimTransport transport(world->internet());
+
+    const stack::Vendor vendors[] = {stack::Vendor::cisco,    stack::Vendor::juniper,
+                                     stack::Vendor::huawei,   stack::Vendor::ericsson,
+                                     stack::Vendor::mikrotik, stack::Vendor::nokia};
+
+    util::TablePrinter table("Table 7 — Coverage and accuracy: LFP vs Nmap (banner sample)");
+    table.header({"Vendor", "N", "LFP cov", "Nmap cov", "LFP acc", "Nmap acc"});
+
+    std::uint64_t lfp_packets = 0;
+    std::uint64_t nmap_packets = 0;
+    std::size_t lfp_targets = 0;
+    std::size_t nmap_targets = 0;
+
+    for (stack::Vendor vendor : vendors) {
+        const auto sample = bench::banner_sample(*world, vendor, 500, 0xBA11AD);
+        core::LfpPipeline pipeline(transport);
+        const core::LfpClassifier classifier(world->database());
+        baselines::NmapLikeScanner scanner;
+
+        std::size_t lfp_responsive = 0;
+        std::size_t lfp_correct = 0;
+        std::size_t nmap_responsive = 0;
+        std::size_t nmap_correct = 0;
+
+        for (std::size_t router_index : sample) {
+            const net::IPv4Address target =
+                world->topology().router(router_index).interfaces()[0];
+
+            auto measurement = pipeline.measure("t7", {&target, 1});
+            auto& record = measurement.records[0];
+            if (record.lfp_responsive()) {
+                ++lfp_responsive;
+                record.lfp = classifier.classify(record.signature);
+                if (record.lfp.vendor == vendor) ++lfp_correct;
+            }
+
+            auto nmap = scanner.scan(transport, target);
+            nmap_packets += nmap.packets_sent;
+            ++nmap_targets;
+            // Nmap "coverage": OS detection could run (an open port answered).
+            if (nmap.os_match.has_value() || nmap.vendor.has_value()) ++nmap_responsive;
+            if (nmap.vendor == vendor) ++nmap_correct;
+        }
+        lfp_packets += pipeline.packets_sent();
+        lfp_targets += sample.size();
+
+        table.row({std::string(stack::to_string(vendor)), std::to_string(sample.size()),
+                   util::format_percent(bench::percent(lfp_responsive, sample.size()) / 100.0, 0),
+                   util::format_percent(bench::percent(nmap_responsive, sample.size()) / 100.0, 0),
+                   util::format_percent(lfp_responsive == 0
+                                            ? 0.0
+                                            : static_cast<double>(lfp_correct) /
+                                                  static_cast<double>(lfp_responsive),
+                                        0),
+                   util::format_percent(nmap_responsive == 0
+                                            ? 0.0
+                                            : static_cast<double>(nmap_correct) /
+                                                  static_cast<double>(nmap_responsive),
+                                        0)});
+    }
+    table.print(std::cout);
+
+    std::cout << "\nMean packets per inference: LFP "
+              << (lfp_targets == 0 ? 0 : lfp_packets / lfp_targets) << " vs Nmap "
+              << (nmap_targets == 0 ? 0 : nmap_packets / nmap_targets)
+              << " (paper: 10 vs ~1,538 — two orders of magnitude)\n"
+              << "Paper shape: LFP coverage beats Nmap by 2-8x per vendor; accuracy is at\n"
+                 "least as good, with Ericsson/Alcatel absent from Nmap's database and\n"
+                 "MikroTik resolved only as generic Linux.\n";
+    return 0;
+}

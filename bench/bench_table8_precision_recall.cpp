@@ -1,0 +1,28 @@
+// Table 8 — Precision and recall per vendor under an 80/20 random split of
+// the labeled data, majority-mode classification (Appendix B).
+#include "analysis/precision_recall.hpp"
+#include "bench_common.hpp"
+
+int main() {
+    using namespace lfp;
+    auto world = bench::make_world();
+
+    const auto rows = analysis::precision_recall(
+        world->measurements(),
+        {.train_fraction = 0.8, .seed = 4242, .db = {.min_occurrences = 20}});
+
+    util::TablePrinter table("Table 8 — Precision and recall (80/20 split, majority mode)");
+    table.header({"Vendor", "Recall", "Precision", "Total (test)"});
+    for (const auto& row : rows) {
+        if (row.test_samples < 10) continue;  // drop statistically-empty rows
+        table.row({std::string(stack::to_string(row.vendor)), util::format_double(row.recall(), 2),
+                   util::format_double(row.precision(), 2),
+                   util::format_count(row.test_samples)});
+    }
+    table.print(std::cout);
+
+    std::cout << "\nPaper shape: precision and recall ≈1 for Cisco/MikroTik/Juniper/Huawei;\n"
+                 "low recall and precision for UNIX-based platforms whose stacks collide\n"
+                 "(H3C, Brocade, net-snmp).\n";
+    return 0;
+}

@@ -1,0 +1,127 @@
+#include "analysis/ablation.hpp"
+
+namespace lfp::analysis {
+
+std::string AblationMask::label() const {
+    std::vector<std::string> dropped;
+    if (drop_ipid_classes) dropped.emplace_back("ipid");
+    if (drop_shared_flags) dropped.emplace_back("shared");
+    if (drop_ittl) dropped.emplace_back("ittl");
+    if (drop_sizes) dropped.emplace_back("sizes");
+    if (drop_icmp_echo) dropped.emplace_back("echo");
+    if (drop_rst_seq) dropped.emplace_back("rst");
+    if (dropped.empty()) return "full feature set";
+    std::string out = "without ";
+    for (std::size_t i = 0; i < dropped.size(); ++i) {
+        if (i != 0) out += "+";
+        out += dropped[i];
+    }
+    return out;
+}
+
+core::FeatureVector apply_ablation(core::FeatureVector features, const AblationMask& mask) {
+    if (mask.drop_ipid_classes) {
+        features.ipid_icmp = core::IpidClass::unknown;
+        features.ipid_tcp = core::IpidClass::unknown;
+        features.ipid_udp = core::IpidClass::unknown;
+    }
+    if (mask.drop_shared_flags) {
+        features.shared_all = core::TriState::unknown;
+        features.shared_tcp_icmp = core::TriState::unknown;
+        features.shared_udp_icmp = core::TriState::unknown;
+        features.shared_tcp_udp = core::TriState::unknown;
+    }
+    if (mask.drop_ittl) {
+        features.ittl_icmp = 0;
+        features.ittl_tcp = 0;
+        features.ittl_udp = 0;
+    }
+    if (mask.drop_sizes) {
+        features.size_icmp = 0;
+        features.size_tcp = 0;
+        features.size_udp = 0;
+    }
+    if (mask.drop_icmp_echo) features.icmp_ipid_echo = core::TriState::unknown;
+    if (mask.drop_rst_seq) features.tcp_rst_seq_nonzero = core::TriState::unknown;
+    return features;
+}
+
+std::vector<AblationResult> run_ablations(std::span<const core::Measurement> measurements,
+                                          const sim::Topology& topology,
+                                          std::span<const AblationMask> masks,
+                                          core::SignatureDbConfig db_config) {
+    std::vector<AblationResult> results;
+    results.reserve(masks.size());
+    for (const AblationMask& mask : masks) {
+        AblationResult result;
+        result.label = mask.label();
+
+        // Rebuild the database from ablated labeled samples.
+        core::SignatureDatabase database(db_config);
+        for (const auto& measurement : measurements) {
+            for (const auto& record : measurement.records) {
+                if (!record.snmp_vendor || record.features.empty()) continue;
+                const auto ablated = apply_ablation(record.features, mask);
+                database.add_labeled(core::Signature::from_features(ablated),
+                                     *record.snmp_vendor);
+            }
+        }
+        database.finalize();
+        const auto counts = database.full_signature_counts();
+        result.unique_signatures = counts.unique;
+        result.non_unique_signatures = counts.non_unique;
+
+        // Classify every responsive record against the ablated database and
+        // score against the simulation's ground truth.
+        const core::LfpClassifier classifier(database);
+        std::size_t responsive = 0;
+        std::size_t identified = 0;
+        std::size_t correct = 0;
+        for (const auto& measurement : measurements) {
+            for (const auto& record : measurement.records) {
+                if (!record.lfp_responsive()) continue;
+                ++responsive;
+                const auto ablated = apply_ablation(record.features, mask);
+                const auto verdict =
+                    classifier.classify(core::Signature::from_features(ablated));
+                if (!verdict.identified()) continue;
+                ++identified;
+                const std::size_t index =
+                    topology.find_by_interface(record.probes.target);
+                if (index != sim::Topology::npos &&
+                    topology.router(index).vendor() == *verdict.vendor) {
+                    ++correct;
+                }
+            }
+        }
+        result.coverage = responsive == 0 ? 0.0
+                                          : static_cast<double>(identified) /
+                                                static_cast<double>(responsive);
+        result.accuracy = identified == 0 ? 0.0
+                                          : static_cast<double>(correct) /
+                                                static_cast<double>(identified);
+        results.push_back(std::move(result));
+    }
+    return results;
+}
+
+std::vector<AblationMask> standard_ablation_masks() {
+    std::vector<AblationMask> masks;
+    masks.push_back({});  // full feature set
+    masks.push_back({.drop_ipid_classes = true});
+    masks.push_back({.drop_shared_flags = true});
+    masks.push_back({.drop_ittl = true});
+    masks.push_back({.drop_sizes = true});
+    masks.push_back({.drop_icmp_echo = true});
+    masks.push_back({.drop_rst_seq = true});
+    // iTTL-only: drop everything else (the TTL-tuple related-work baseline).
+    masks.push_back({.drop_ipid_classes = true,
+                     .drop_shared_flags = true,
+                     .drop_ittl = false,
+                     .drop_sizes = true,
+                     .drop_icmp_echo = true,
+                     .drop_rst_seq = true});
+    return masks;
+}
+
+}  // namespace lfp::analysis

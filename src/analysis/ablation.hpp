@@ -1,0 +1,54 @@
+// Feature-ablation framework: quantifies how much each feature group of
+// Table 1 contributes to signature uniqueness and classification accuracy —
+// the design-choice analysis DESIGN.md calls out (the paper motivates each
+// group qualitatively; this measures them).
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/pipeline.hpp"
+#include "sim/topology.hpp"
+
+namespace lfp::analysis {
+
+/// Feature groups that can be knocked out of a feature vector.
+struct AblationMask {
+    bool drop_ipid_classes = false;   ///< per-protocol counter classes
+    bool drop_shared_flags = false;   ///< the four cross-protocol flags
+    bool drop_ittl = false;           ///< initial TTLs
+    bool drop_sizes = false;          ///< response sizes
+    bool drop_icmp_echo = false;      ///< ICMP IPID echo flag
+    bool drop_rst_seq = false;        ///< TCP RST sequence compliance
+
+    [[nodiscard]] std::string label() const;
+};
+
+/// Returns a copy of `features` with the masked groups neutralised (set to
+/// their unknown/absent values), so signatures collapse accordingly.
+[[nodiscard]] core::FeatureVector apply_ablation(core::FeatureVector features,
+                                                 const AblationMask& mask);
+
+struct AblationResult {
+    std::string label;
+    std::size_t unique_signatures = 0;
+    std::size_t non_unique_signatures = 0;
+    /// Fraction of LFP-responsive IPs identified via unique signatures.
+    double coverage = 0.0;
+    /// Of the identified ones, fraction matching the simulation's ground
+    /// truth vendor.
+    double accuracy = 0.0;
+};
+
+/// Re-runs signature building + classification on the measurements with
+/// each feature mask, scoring against the topology's ground truth.
+[[nodiscard]] std::vector<AblationResult> run_ablations(
+    std::span<const core::Measurement> measurements, const sim::Topology& topology,
+    std::span<const AblationMask> masks, core::SignatureDbConfig db_config = {});
+
+/// The standard sweep: full feature set plus one knockout per group, plus an
+/// iTTL-only configuration (the Vanaubel-style baseline within LFP).
+[[nodiscard]] std::vector<AblationMask> standard_ablation_masks();
+
+}  // namespace lfp::analysis

@@ -1,0 +1,76 @@
+#include "analysis/alias_resolution.hpp"
+
+#include <numeric>
+
+#include "net/packet_builder.hpp"
+
+namespace lfp::analysis {
+
+std::vector<core::IpidObservation> AliasResolver::interleaved_samples(
+    std::span<const net::IPv4Address> addresses) {
+    std::vector<core::IpidObservation> samples;
+    for (std::size_t round = 0; round < config_.probes_per_address; ++round) {
+        for (net::IPv4Address address : addresses) {
+            net::IpSendOptions ip;
+            ip.source = transport_->vantage_address();
+            ip.destination = address;
+            ip.identification = static_cast<std::uint16_t>(0x8000 + send_index_);
+
+            net::Bytes payload(8, 0x11);
+            ++packets_sent_;
+            auto raw = transport_->transact(net::make_icmp_echo_request(
+                ip, static_cast<std::uint16_t>(address.value() & 0xFFFF),
+                static_cast<std::uint16_t>(round), payload));
+            const std::uint32_t index = send_index_++;
+            if (!raw) continue;
+            auto parsed = net::parse_packet(*raw);
+            if (!parsed) continue;
+            // Stacks that echo the request IPID carry no counter signal;
+            // MIDAR likewise discards echoed values.
+            if (parsed.value().ip.identification == ip.identification) continue;
+            samples.push_back({index, parsed.value().ip.identification});
+        }
+    }
+    return samples;
+}
+
+bool AliasResolver::aliases(net::IPv4Address a, net::IPv4Address b) {
+    const std::array<net::IPv4Address, 2> pair{a, b};
+    auto samples = interleaved_samples(pair);
+    // Require responses from both addresses across the interleave.
+    if (samples.size() < config_.probes_per_address * 2 - 1) return false;
+    return core::is_shared_counter(std::move(samples), config_.ipid);
+}
+
+std::vector<std::vector<net::IPv4Address>> AliasResolver::resolve(
+    std::span<const net::IPv4Address> candidates) {
+    // Union-find over pairwise monotonic bound tests.
+    std::vector<std::size_t> parent(candidates.size());
+    std::iota(parent.begin(), parent.end(), 0);
+    auto find = [&parent](std::size_t x) {
+        while (parent[x] != x) {
+            parent[x] = parent[parent[x]];
+            x = parent[x];
+        }
+        return x;
+    };
+    for (std::size_t i = 0; i < candidates.size(); ++i) {
+        for (std::size_t j = i + 1; j < candidates.size(); ++j) {
+            if (find(i) == find(j)) continue;  // already merged transitively
+            if (aliases(candidates[i], candidates[j])) parent[find(j)] = find(i);
+        }
+    }
+    std::vector<std::vector<net::IPv4Address>> sets;
+    std::vector<std::size_t> root_to_set(candidates.size(), static_cast<std::size_t>(-1));
+    for (std::size_t i = 0; i < candidates.size(); ++i) {
+        const std::size_t root = find(i);
+        if (root_to_set[root] == static_cast<std::size_t>(-1)) {
+            root_to_set[root] = sets.size();
+            sets.emplace_back();
+        }
+        sets[root_to_set[root]].push_back(candidates[i]);
+    }
+    return sets;
+}
+
+}  // namespace lfp::analysis

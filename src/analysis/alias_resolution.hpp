@@ -1,0 +1,48 @@
+// MIDAR-style IP alias resolution: interleaved probes to candidate addresses
+// whose IPID values advance like a single shared counter indicate interfaces
+// of the same router (Keys et al.; the mechanism behind the ITDK alias
+// sets this study consumes).
+#pragma once
+
+#include <vector>
+
+#include "core/ipid_classifier.hpp"
+#include "probe/transport.hpp"
+
+namespace lfp::analysis {
+
+class AliasResolver {
+  public:
+    struct Config {
+        std::size_t probes_per_address = 3;
+        core::IpidClassifierConfig ipid;
+    };
+
+    explicit AliasResolver(probe::ProbeTransport& transport)
+        : AliasResolver(transport, Config{}) {}
+    AliasResolver(probe::ProbeTransport& transport, Config config)
+        : transport_(&transport), config_(config) {}
+
+    /// Monotonic Bound Test for one candidate pair: probes a,b,a,b,... and
+    /// accepts when the merged IPID sequence advances like one counter.
+    [[nodiscard]] bool aliases(net::IPv4Address a, net::IPv4Address b);
+
+    /// Groups candidate addresses into alias sets (transitive closure of
+    /// pairwise tests within the candidate list). Singletons are included.
+    [[nodiscard]] std::vector<std::vector<net::IPv4Address>> resolve(
+        std::span<const net::IPv4Address> candidates);
+
+    [[nodiscard]] std::uint64_t packets_sent() const noexcept { return packets_sent_; }
+
+  private:
+    /// ICMP echo IPID samples in probe order; empty when unresponsive.
+    [[nodiscard]] std::vector<core::IpidObservation> interleaved_samples(
+        std::span<const net::IPv4Address> addresses);
+
+    probe::ProbeTransport* transport_;
+    Config config_;
+    std::uint64_t packets_sent_ = 0;
+    std::uint32_t send_index_ = 0;
+};
+
+}  // namespace lfp::analysis

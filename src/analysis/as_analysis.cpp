@@ -1,0 +1,112 @@
+#include "analysis/as_analysis.hpp"
+
+#include <algorithm>
+#include <set>
+#include <unordered_map>
+
+namespace lfp::analysis {
+
+std::vector<RouterVerdict> map_routers(const sim::ItdkDataset& itdk,
+                                       const sim::Topology& topology,
+                                       const VendorMap& snmp_map, const VendorMap& lfp_map) {
+    std::vector<RouterVerdict> verdicts;
+    verdicts.reserve(itdk.alias_sets.size());
+    for (const sim::AliasSet& alias_set : itdk.alias_sets) {
+        RouterVerdict verdict;
+        verdict.router_index = alias_set.router_index;
+        verdict.asn = topology.asn_of(alias_set.router_index);
+
+        std::set<stack::Vendor> snmp_votes;
+        std::set<stack::Vendor> lfp_votes;
+        for (net::IPv4Address address : alias_set.addresses) {
+            if (auto v = snmp_map.lookup(address)) snmp_votes.insert(*v);
+            if (auto v = lfp_map.lookup(address)) lfp_votes.insert(*v);
+        }
+        if (!snmp_votes.empty()) verdict.snmp_vendor = *snmp_votes.begin();
+        if (!lfp_votes.empty()) verdict.lfp_vendor = *lfp_votes.begin();
+        verdict.conflicting_interfaces = snmp_votes.size() > 1 || lfp_votes.size() > 1;
+        verdicts.push_back(verdict);
+    }
+    return verdicts;
+}
+
+std::vector<AsCoverage> per_as_coverage(const std::vector<RouterVerdict>& verdicts) {
+    std::unordered_map<std::uint32_t, AsCoverage> by_as;
+    for (const RouterVerdict& verdict : verdicts) {
+        AsCoverage& entry = by_as[verdict.asn];
+        entry.asn = verdict.asn;
+        ++entry.routers_total;
+        if (auto vendor = verdict.combined()) {
+            ++entry.routers_identified;
+            ++entry.vendor_counts[*vendor];
+        }
+    }
+    std::vector<AsCoverage> out;
+    out.reserve(by_as.size());
+    for (auto& [asn, entry] : by_as) out.push_back(std::move(entry));
+    std::sort(out.begin(), out.end(),
+              [](const AsCoverage& a, const AsCoverage& b) { return a.asn < b.asn; });
+    return out;
+}
+
+std::optional<stack::Vendor> AsCoverage::dominant(double min_share) const {
+    if (routers_identified == 0) return std::nullopt;
+    for (const auto& [vendor, count] : vendor_counts) {
+        if (static_cast<double>(count) >=
+            min_share * static_cast<double>(routers_identified)) {
+            return vendor;
+        }
+    }
+    return std::nullopt;
+}
+
+util::Ecdf coverage_ecdf(const std::vector<AsCoverage>& coverage, std::size_t min_routers) {
+    util::Ecdf ecdf;
+    for (const AsCoverage& entry : coverage) {
+        if (entry.routers_total >= min_routers) ecdf.add(entry.identified_percent());
+    }
+    return ecdf;
+}
+
+util::Ecdf homogeneity_ecdf(const std::vector<AsCoverage>& coverage, std::size_t min_routers) {
+    util::Ecdf ecdf;
+    for (const AsCoverage& entry : coverage) {
+        if (entry.routers_total >= min_routers && entry.routers_identified > 0) {
+            ecdf.add(static_cast<double>(entry.vendor_count()));
+        }
+    }
+    return ecdf;
+}
+
+std::map<sim::Continent, std::map<stack::Vendor, std::size_t>> regional_distribution(
+    const std::vector<RouterVerdict>& verdicts, const sim::Topology& topology) {
+    std::map<sim::Continent, std::map<stack::Vendor, std::size_t>> out;
+    for (const RouterVerdict& verdict : verdicts) {
+        auto vendor = verdict.combined();
+        if (!vendor) continue;
+        const sim::GeoInfo* geo = topology.geo().lookup(verdict.asn);
+        if (geo == nullptr) continue;
+        ++out[geo->continent][*vendor];
+    }
+    return out;
+}
+
+std::vector<HomogeneousAs> find_homogeneous_ases(const std::vector<AsCoverage>& coverage,
+                                                 std::size_t min_routers, double min_share) {
+    std::vector<HomogeneousAs> out;
+    for (const AsCoverage& entry : coverage) {
+        if (entry.routers_identified < min_routers) continue;
+        auto vendor = entry.dominant(min_share);
+        if (!vendor) continue;
+        HomogeneousAs hom;
+        hom.asn = entry.asn;
+        hom.vendor = *vendor;
+        hom.routers = entry.routers_identified;
+        hom.share = static_cast<double>(entry.vendor_counts.at(*vendor)) /
+                    static_cast<double>(entry.routers_identified);
+        out.push_back(hom);
+    }
+    return out;
+}
+
+}  // namespace lfp::analysis

@@ -1,0 +1,81 @@
+// Network-centric analyses (paper §7.2, §7.5, Appendix A): router-level
+// vendor mapping over alias sets, per-AS coverage and homogeneity, regional
+// vendor distribution, and the vendor-homogeneous-AS finder used by the
+// §6.3 routing case study.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "analysis/path_analysis.hpp"
+#include "sim/datasets.hpp"
+#include "util/stats.hpp"
+
+namespace lfp::analysis {
+
+/// A fingerprinted router (alias set) with per-method vendor verdicts.
+struct RouterVerdict {
+    std::size_t router_index = 0;
+    std::uint32_t asn = 0;
+    std::optional<stack::Vendor> snmp_vendor;
+    std::optional<stack::Vendor> lfp_vendor;
+    bool conflicting_interfaces = false;  ///< interfaces disagreeing on vendor
+
+    [[nodiscard]] std::optional<stack::Vendor> combined() const {
+        return snmp_vendor ? snmp_vendor : lfp_vendor;
+    }
+};
+
+/// Maps each ITDK alias set to vendors by both methods. An alias set's
+/// verdict is the (unique) vendor of its identified interfaces.
+[[nodiscard]] std::vector<RouterVerdict> map_routers(const sim::ItdkDataset& itdk,
+                                                     const sim::Topology& topology,
+                                                     const VendorMap& snmp_map,
+                                                     const VendorMap& lfp_map);
+
+struct AsCoverage {
+    std::uint32_t asn = 0;
+    std::size_t routers_total = 0;
+    std::size_t routers_identified = 0;
+    std::map<stack::Vendor, std::size_t> vendor_counts;
+
+    [[nodiscard]] double identified_percent() const {
+        return routers_total == 0 ? 0.0
+                                  : 100.0 * static_cast<double>(routers_identified) /
+                                        static_cast<double>(routers_total);
+    }
+    [[nodiscard]] std::size_t vendor_count() const { return vendor_counts.size(); }
+    [[nodiscard]] std::optional<stack::Vendor> dominant(double min_share) const;
+};
+
+/// Aggregates router verdicts per AS.
+[[nodiscard]] std::vector<AsCoverage> per_as_coverage(
+    const std::vector<RouterVerdict>& verdicts);
+
+/// Figure 19 series: ECDF of identified-router percentage for ASes with at
+/// least `min_routers` routers.
+[[nodiscard]] util::Ecdf coverage_ecdf(const std::vector<AsCoverage>& coverage,
+                                       std::size_t min_routers);
+
+/// Figure 20 series: ECDF of vendors-per-AS for ASes with at least
+/// `min_routers` routers.
+[[nodiscard]] util::Ecdf homogeneity_ecdf(const std::vector<AsCoverage>& coverage,
+                                          std::size_t min_routers);
+
+/// Figure 21: per-continent vendor counts (router granularity).
+[[nodiscard]] std::map<sim::Continent, std::map<stack::Vendor, std::size_t>>
+regional_distribution(const std::vector<RouterVerdict>& verdicts, const sim::Topology& topology);
+
+/// §6.3: ASes with ≥ `min_routers` identified routers where one vendor holds
+/// ≥ `min_share` of identified routers.
+struct HomogeneousAs {
+    std::uint32_t asn = 0;
+    stack::Vendor vendor = stack::Vendor::unknown;
+    std::size_t routers = 0;
+    double share = 0.0;
+};
+[[nodiscard]] std::vector<HomogeneousAs> find_homogeneous_ases(
+    const std::vector<AsCoverage>& coverage, std::size_t min_routers, double min_share);
+
+}  // namespace lfp::analysis

@@ -1,0 +1,83 @@
+#include "analysis/experiment_world.hpp"
+
+#include <cstdlib>
+#include <stdexcept>
+
+namespace lfp::analysis {
+
+namespace {
+
+double env_double(const char* name, double fallback) {
+    const char* value = std::getenv(name);
+    if (value == nullptr) return fallback;
+    return std::strtod(value, nullptr);
+}
+
+std::uint64_t env_u64(const char* name, std::uint64_t fallback) {
+    const char* value = std::getenv(name);
+    if (value == nullptr) return fallback;
+    return std::strtoull(value, nullptr, 10);
+}
+
+}  // namespace
+
+WorldConfig WorldConfig::from_env() {
+    WorldConfig config;
+    config.seed = env_u64("LFP_SEED", config.seed);
+    config.scale = env_double("LFP_SCALE", config.scale);
+    config.num_ases = static_cast<std::size_t>(env_u64("LFP_ASES", config.num_ases));
+    config.traces_per_snapshot =
+        static_cast<std::size_t>(env_u64("LFP_TRACES", config.traces_per_snapshot));
+    return config;
+}
+
+std::unique_ptr<ExperimentWorld> ExperimentWorld::create(WorldConfig config) {
+    return std::unique_ptr<ExperimentWorld>(new ExperimentWorld(config));
+}
+
+ExperimentWorld::ExperimentWorld(WorldConfig config)
+    : config_(config),
+      topology_(sim::Topology::build({.seed = config.seed,
+                                      .num_ases = config.num_ases,
+                                      .tier1_count = 12,
+                                      .transit_fraction = 0.18,
+                                      .scale = config.scale})),
+      internet_(topology_, {.seed = config.seed ^ 0xF00D, .loss_rate = 0.004}),
+      transport_(internet_) {
+    // Datasets.
+    sim::DatasetConfig dataset_config;
+    dataset_config.seed = config.seed ^ 0xDA7A;
+    dataset_config.traces_per_snapshot = config.traces_per_snapshot;
+    sim::DatasetBuilder builder(topology_, dataset_config);
+    ripe_ = builder.ripe_snapshots();
+    itdk_ = builder.itdk();
+
+    // Measurements (Figure 1 steps 1-2 per dataset).
+    core::LfpPipeline pipeline(transport_);
+    measurements_.reserve(ripe_.size() + 1);
+    for (const sim::TracerouteDataset& snapshot : ripe_) {
+        const auto targets = snapshot.router_ips();
+        measurements_.push_back(pipeline.measure(snapshot.name, targets));
+    }
+    {
+        const auto targets = itdk_.router_ips();
+        measurements_.push_back(pipeline.measure(itdk_.name, targets));
+    }
+    packets_sent_ = pipeline.packets_sent();
+
+    // Union signature database (step 3) and classification (steps 4-5).
+    database_ = core::LfpPipeline::build_database(
+        measurements_, {.min_occurrences = config.signature_min_occurrences});
+    for (core::Measurement& measurement : measurements_) {
+        core::LfpPipeline::classify_measurement(measurement, database_);
+    }
+}
+
+const core::Measurement& ExperimentWorld::measurement(const std::string& name) const {
+    for (const core::Measurement& m : measurements_) {
+        if (m.name == name) return m;
+    }
+    throw std::out_of_range("no measurement named " + name);
+}
+
+}  // namespace lfp::analysis

@@ -1,0 +1,81 @@
+// The shared experiment harness: builds the simulated world, synthesises the
+// six datasets (RIPE-1..5 + ITDK), runs the LFP campaign against each,
+// builds the union signature database, and classifies everything — the
+// common prefix of every table/figure reproduction.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "core/pipeline.hpp"
+#include "probe/sim_transport.hpp"
+#include "sim/datasets.hpp"
+#include "sim/internet.hpp"
+#include "sim/topology.hpp"
+
+namespace lfp::analysis {
+
+struct WorldConfig {
+    std::uint64_t seed = 20231024;
+    std::size_t num_ases = 2500;
+    double scale = 0.5;  ///< router-count multiplier (1.0 ≈ 1:8 of the paper)
+    std::size_t traces_per_snapshot = 30000;
+    std::size_t signature_min_occurrences = 20;
+
+    /// Honors LFP_SEED / LFP_SCALE / LFP_ASES / LFP_TRACES env overrides.
+    static WorldConfig from_env();
+};
+
+class ExperimentWorld {
+  public:
+    /// Builds everything. Expensive (seconds); benches build once and reuse.
+    static std::unique_ptr<ExperimentWorld> create(WorldConfig config = WorldConfig::from_env());
+
+    ExperimentWorld(const ExperimentWorld&) = delete;
+    ExperimentWorld& operator=(const ExperimentWorld&) = delete;
+
+    [[nodiscard]] const WorldConfig& config() const noexcept { return config_; }
+    [[nodiscard]] sim::Topology& topology() noexcept { return topology_; }
+    [[nodiscard]] const sim::Topology& topology() const noexcept { return topology_; }
+    [[nodiscard]] sim::Internet& internet() noexcept { return internet_; }
+    [[nodiscard]] probe::SimTransport& transport() noexcept { return transport_; }
+
+    [[nodiscard]] const std::vector<sim::TracerouteDataset>& ripe() const noexcept {
+        return ripe_;
+    }
+    [[nodiscard]] const sim::TracerouteDataset& ripe5() const { return ripe_.back(); }
+    [[nodiscard]] const sim::ItdkDataset& itdk() const noexcept { return itdk_; }
+
+    /// Measurements in dataset order: RIPE-1..RIPE-5 then ITDK.
+    [[nodiscard]] const std::vector<core::Measurement>& measurements() const noexcept {
+        return measurements_;
+    }
+    [[nodiscard]] const core::Measurement& measurement(const std::string& name) const;
+    [[nodiscard]] const core::Measurement& ripe5_measurement() const {
+        return measurements_[4];
+    }
+    [[nodiscard]] const core::Measurement& itdk_measurement() const {
+        return measurements_[5];
+    }
+
+    /// Union signature database over all six measurements.
+    [[nodiscard]] const core::SignatureDatabase& database() const noexcept { return database_; }
+
+    /// Total probe packets the measurement campaigns sent.
+    [[nodiscard]] std::uint64_t packets_sent() const noexcept { return packets_sent_; }
+
+  private:
+    explicit ExperimentWorld(WorldConfig config);
+
+    WorldConfig config_;
+    sim::Topology topology_;
+    sim::Internet internet_;
+    probe::SimTransport transport_;
+    std::vector<sim::TracerouteDataset> ripe_;
+    sim::ItdkDataset itdk_;
+    std::vector<core::Measurement> measurements_;
+    core::SignatureDatabase database_;
+    std::uint64_t packets_sent_ = 0;
+};
+
+}  // namespace lfp::analysis

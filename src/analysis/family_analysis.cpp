@@ -1,0 +1,49 @@
+#include "analysis/family_analysis.hpp"
+
+#include <cassert>
+
+namespace lfp::analysis {
+
+void FamilyClassifier::train(const core::Signature& signature, const std::string& family) {
+    assert(!finalized_);
+    if (signature.is_empty() || family.empty()) return;
+    ++raw_[signature][family];
+}
+
+void FamilyClassifier::finalize() {
+    admitted_.clear();
+    for (const auto& [signature, families] : raw_) {
+        std::size_t total = 0;
+        for (const auto& [family, count] : families) total += count;
+        if (total >= min_occurrences_) admitted_.emplace(signature, families);
+    }
+    finalized_ = true;
+}
+
+std::optional<std::string> FamilyClassifier::classify(const core::Signature& signature) const {
+    auto it = admitted_.find(signature);
+    if (it == admitted_.end() || it->second.size() != 1) return std::nullopt;
+    return it->second.begin()->first;
+}
+
+FamilyClassifier::Counts FamilyClassifier::counts() const {
+    Counts counts;
+    for (const auto& [signature, families] : admitted_) {
+        if (families.size() == 1) {
+            ++counts.unique;
+        } else {
+            ++counts.ambiguous;
+        }
+    }
+    return counts;
+}
+
+std::map<std::string, std::size_t> FamilyClassifier::unique_signatures_per_family() const {
+    std::map<std::string, std::size_t> out;
+    for (const auto& [signature, families] : admitted_) {
+        if (families.size() == 1) ++out[families.begin()->first];
+    }
+    return out;
+}
+
+}  // namespace lfp::analysis

@@ -1,0 +1,47 @@
+// Family-level fingerprinting (paper §7.4): beyond the vendor, many
+// signatures map to a single OS family / product line (IOS vs IOS-XR vs
+// NX-OS). The paper validates this on a 400-router sample with SNMPv2c
+// sysDescr ground truth; here the simulation's profile families play the
+// sysDescr role.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+
+#include "core/signature.hpp"
+
+namespace lfp::analysis {
+
+class FamilyClassifier {
+  public:
+    explicit FamilyClassifier(std::size_t min_occurrences = 5)
+        : min_occurrences_(min_occurrences) {}
+
+    /// Accumulates one labeled sample (signature + OS family name).
+    void train(const core::Signature& signature, const std::string& family);
+
+    /// Applies the occurrence threshold and freezes the classifier.
+    void finalize();
+
+    /// The family uniquely implied by this signature, or nullopt when the
+    /// signature is unknown or maps to several families.
+    [[nodiscard]] std::optional<std::string> classify(const core::Signature& signature) const;
+
+    struct Counts {
+        std::size_t unique = 0;     ///< signatures mapping to one family
+        std::size_t ambiguous = 0;  ///< signatures shared across families
+    };
+    [[nodiscard]] Counts counts() const;
+
+    /// family → number of signatures uniquely identifying it.
+    [[nodiscard]] std::map<std::string, std::size_t> unique_signatures_per_family() const;
+
+  private:
+    std::size_t min_occurrences_;
+    bool finalized_ = false;
+    std::map<core::Signature, std::map<std::string, std::size_t>> raw_;
+    std::map<core::Signature, std::map<std::string, std::size_t>> admitted_;
+};
+
+}  // namespace lfp::analysis

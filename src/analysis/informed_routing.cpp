@@ -1,0 +1,71 @@
+#include "analysis/informed_routing.hpp"
+
+#include <algorithm>
+
+#include "util/rng.hpp"
+
+namespace lfp::analysis {
+
+TransitCaseStudy InformedRoutingAnalysis::evaluate(const HomogeneousAs& transit_as) const {
+    TransitCaseStudy study;
+    study.transit_asn = transit_as.asn;
+    study.vendor = transit_as.vendor;
+
+    util::Rng rng(config_.seed ^ transit_as.asn);
+    const auto& nodes = topology_->graph().nodes();
+
+    // Destination candidates: customers reachable through the transit AS.
+    // We test every AS as a destination but sample sources, keeping the
+    // routing-table computations bounded.
+    for (const sim::AsNode& dst : nodes) {
+        if (dst.asn == transit_as.asn) continue;
+        const auto table = topology_->graph().routes_to(dst.asn);
+
+        bool transits = false;
+        std::size_t paths_here = 0;
+        for (std::size_t s = 0; s < config_.sources_per_destination; ++s) {
+            const sim::AsNode& src = nodes[rng.below(nodes.size())];
+            if (src.asn == dst.asn || src.asn == transit_as.asn) continue;
+            auto path = table.path_from(src.asn);
+            if (!path) continue;
+            // Transit role: strictly intermediate on the path.
+            auto it = std::find(path->begin(), path->end(), transit_as.asn);
+            if (it != path->end() && it != path->begin() && it + 1 != path->end()) {
+                transits = true;
+                ++paths_here;
+            }
+        }
+        if (!transits) continue;
+
+        study.paths_through += paths_here;
+        ++study.destinations;
+
+        // Alternative: can the destination be reached at all when the
+        // transit AS is removed from the topology?
+        const auto avoiding = topology_->graph().routes_to_avoiding(dst.asn, {transit_as.asn});
+        bool any_alternative = false;
+        for (std::size_t s = 0; s < config_.sources_per_destination && !any_alternative; ++s) {
+            const sim::AsNode& src = nodes[rng.below(nodes.size())];
+            if (src.asn == dst.asn || src.asn == transit_as.asn) continue;
+            if (avoiding.reachable_from(src.asn)) any_alternative = true;
+        }
+        if (any_alternative) {
+            ++study.with_alternative;
+        } else {
+            ++study.without_alternative;
+        }
+    }
+    return study;
+}
+
+std::vector<TransitCaseStudy> InformedRoutingAnalysis::evaluate_all(
+    const std::vector<HomogeneousAs>& candidates) const {
+    std::vector<TransitCaseStudy> out;
+    out.reserve(candidates.size());
+    for (const HomogeneousAs& candidate : candidates) {
+        out.push_back(evaluate(candidate));
+    }
+    return out;
+}
+
+}  // namespace lfp::analysis

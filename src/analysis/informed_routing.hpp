@@ -1,0 +1,47 @@
+// Informed-routing case study (paper §6.3): find vendor-homogeneous transit
+// ASes, enumerate destinations whose best path transits them, and test
+// whether alternative valley-free paths avoiding those ASes exist.
+#pragma once
+
+#include <vector>
+
+#include "analysis/as_analysis.hpp"
+#include "sim/topology.hpp"
+
+namespace lfp::analysis {
+
+struct TransitCaseStudy {
+    std::uint32_t transit_asn = 0;
+    stack::Vendor vendor = stack::Vendor::unknown;
+    std::size_t paths_through = 0;          ///< (src,dst) pairs transiting the AS
+    std::size_t destinations = 0;           ///< distinct destination ASes affected
+    std::size_t with_alternative = 0;       ///< destinations with a vendor-avoiding path
+    std::size_t without_alternative = 0;    ///< destinations only reachable through it
+};
+
+class InformedRoutingAnalysis {
+  public:
+    struct Config {
+        /// Sources sampled per destination when counting transit paths.
+        std::size_t sources_per_destination = 64;
+        std::uint64_t seed = 1771;
+    };
+
+    explicit InformedRoutingAnalysis(const sim::Topology& topology)
+        : InformedRoutingAnalysis(topology, Config{}) {}
+    InformedRoutingAnalysis(const sim::Topology& topology, Config config)
+        : topology_(&topology), config_(config) {}
+
+    /// Evaluates one homogeneous transit AS against sampled src/dst pairs.
+    [[nodiscard]] TransitCaseStudy evaluate(const HomogeneousAs& transit_as) const;
+
+    /// Evaluates every given homogeneous AS.
+    [[nodiscard]] std::vector<TransitCaseStudy> evaluate_all(
+        const std::vector<HomogeneousAs>& candidates) const;
+
+  private:
+    const sim::Topology* topology_;
+    Config config_;
+};
+
+}  // namespace lfp::analysis

@@ -1,0 +1,74 @@
+#include "analysis/longitudinal.hpp"
+
+#include <unordered_map>
+
+namespace lfp::analysis {
+
+namespace {
+
+struct IpRecord {
+    const core::TargetRecord* record;
+};
+
+std::unordered_map<net::IPv4Address, const core::TargetRecord*> index_responsive(
+    const core::Measurement& measurement) {
+    std::unordered_map<net::IPv4Address, const core::TargetRecord*> out;
+    out.reserve(measurement.records.size());
+    for (const auto& record : measurement.records) {
+        if (record.lfp_responsive()) out.emplace(record.probes.target, &record);
+    }
+    return out;
+}
+
+}  // namespace
+
+LongitudinalReport signature_stability(std::span<const core::Measurement> snapshots) {
+    LongitudinalReport report;
+    if (snapshots.empty()) return report;
+
+    std::vector<std::unordered_map<net::IPv4Address, const core::TargetRecord*>> indices;
+    indices.reserve(snapshots.size());
+    for (const auto& snapshot : snapshots) indices.push_back(index_responsive(snapshot));
+
+    for (std::size_t i = 1; i < snapshots.size(); ++i) {
+        SnapshotPairStability pair;
+        pair.first = snapshots[i - 1].name;
+        pair.second = snapshots[i].name;
+        for (const auto& [ip, record] : indices[i]) {
+            auto previous = indices[i - 1].find(ip);
+            if (previous == indices[i - 1].end()) continue;
+            ++pair.common_ips;
+            if (previous->second->signature == record->signature) {
+                ++pair.identical_signature;
+            } else {
+                ++pair.changed_signature;
+            }
+            if (previous->second->lfp.identified() && record->lfp.identified() &&
+                previous->second->lfp.vendor != record->lfp.vendor) {
+                ++pair.vendor_changed;
+            }
+        }
+        report.pairs.push_back(pair);
+    }
+
+    // IPs present in every snapshot, with signature constant throughout.
+    for (const auto& [ip, record] : indices[0]) {
+        bool everywhere = true;
+        bool stable = true;
+        for (std::size_t i = 1; i < indices.size() && everywhere; ++i) {
+            auto it = indices[i].find(ip);
+            if (it == indices[i].end()) {
+                everywhere = false;
+            } else if (!(it->second->signature == record->signature)) {
+                stable = false;
+            }
+        }
+        if (everywhere) {
+            ++report.ips_in_all_snapshots;
+            if (stable) ++report.stable_in_all;
+        }
+    }
+    return report;
+}
+
+}  // namespace lfp::analysis

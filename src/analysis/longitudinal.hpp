@@ -1,0 +1,47 @@
+// Longitudinal signature stability (paper §4.2 / §8 future work): the five
+// RIPE-like snapshots span ten simulated months; signatures of IPs observed
+// across snapshots should be stable, and apparent vendor changes are almost
+// always churn (an address re-assigned), not re-fingerprinting noise.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "core/pipeline.hpp"
+
+namespace lfp::analysis {
+
+struct SnapshotPairStability {
+    std::string first;
+    std::string second;
+    std::size_t common_ips = 0;        ///< responsive in both snapshots
+    std::size_t identical_signature = 0;
+    std::size_t changed_signature = 0;
+    std::size_t vendor_changed = 0;  ///< LFP vendor differs (both identified)
+
+    [[nodiscard]] double stability() const {
+        return common_ips == 0 ? 0.0
+                               : static_cast<double>(identical_signature) /
+                                     static_cast<double>(common_ips);
+    }
+};
+
+struct LongitudinalReport {
+    std::vector<SnapshotPairStability> pairs;  ///< consecutive snapshots
+    std::size_t ips_in_all_snapshots = 0;
+    std::size_t stable_in_all = 0;  ///< same signature in every appearance
+
+    [[nodiscard]] double overall_stability() const {
+        return ips_in_all_snapshots == 0
+                   ? 0.0
+                   : static_cast<double>(stable_in_all) /
+                         static_cast<double>(ips_in_all_snapshots);
+    }
+};
+
+/// Compares signatures of common IPs across consecutive measurements
+/// (classified measurements give vendor-change counts too).
+[[nodiscard]] LongitudinalReport signature_stability(
+    std::span<const core::Measurement> snapshots);
+
+}  // namespace lfp::analysis

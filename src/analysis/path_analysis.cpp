@@ -1,0 +1,108 @@
+#include "analysis/path_analysis.hpp"
+
+#include <algorithm>
+#include <set>
+
+namespace lfp::analysis {
+
+void VendorMap::assign(net::IPv4Address address, stack::Vendor vendor) {
+    map_[address] = vendor;
+}
+
+std::optional<stack::Vendor> VendorMap::lookup(net::IPv4Address address) const {
+    auto it = map_.find(address);
+    if (it == map_.end()) return std::nullopt;
+    return it->second;
+}
+
+VendorMap VendorMap::from_measurement(const core::Measurement& measurement, Method method) {
+    VendorMap map;
+    for (const core::TargetRecord& record : measurement.records) {
+        std::optional<stack::Vendor> vendor;
+        switch (method) {
+            case Method::snmpv3:
+                vendor = record.snmp_vendor;
+                break;
+            case Method::lfp:
+                if (record.lfp.kind == core::MatchKind::unique_full ||
+                    record.lfp.kind == core::MatchKind::unique_partial) {
+                    vendor = record.lfp.vendor;
+                }
+                break;
+            case Method::combined:
+                vendor = record.snmp_vendor;
+                if (!vendor && (record.lfp.kind == core::MatchKind::unique_full ||
+                                record.lfp.kind == core::MatchKind::unique_partial)) {
+                    vendor = record.lfp.vendor;
+                }
+                break;
+            case Method::lfp_majority:
+                vendor = record.lfp.vendor;
+                break;
+        }
+        if (vendor) map.assign(record.probes.target, *vendor);
+    }
+    return map;
+}
+
+bool PathAnalyzer::in_scope(const sim::Traceroute& trace, PathScope scope) const {
+    if (scope == PathScope::all) return true;
+    const bool src_us = topology_->geo().is_in_country(trace.source_asn, "US");
+    const bool dst_us = topology_->geo().is_in_country(trace.destination_asn, "US");
+    if (scope == PathScope::intra_us) return src_us && dst_us;
+    return src_us != dst_us;  // inter-US: exactly one endpoint in the US
+}
+
+PathStats PathAnalyzer::analyze(const std::vector<sim::Traceroute>& traces, PathScope scope,
+                                PathAnalysisConfig config) const {
+    PathStats stats;
+    stats.k_identified.assign(16, 0);
+    for (const sim::Traceroute& trace : traces) {
+        stats.hop_counts.add(static_cast<double>(trace.hops.size()));
+        if (!in_scope(trace, scope)) continue;
+        if (trace.hops.size() < config.min_hops) continue;
+
+        // Only routable addresses participate (paper §6 excludes private
+        // and reserved hops).
+        std::size_t routable = 0;
+        std::size_t identified = 0;
+        std::set<stack::Vendor> vendors;
+        for (net::IPv4Address hop : trace.hops) {
+            if (!hop.is_routable()) continue;
+            ++routable;
+            auto vendor = vendors_->lookup(hop);
+            if (vendor) {
+                ++identified;
+                vendors.insert(*vendor);
+            }
+        }
+        if (routable == 0) continue;
+        ++stats.paths_considered;
+        stats.identified_fraction.add(100.0 * static_cast<double>(identified) /
+                                      static_cast<double>(routable));
+        for (std::size_t k = 0; k < stats.k_identified.size(); ++k) {
+            if (identified >= k) ++stats.k_identified[k];
+        }
+        if (identified >= config.min_identified) {
+            stats.vendors_per_path.add(static_cast<double>(vendors.size()));
+            stats.combinations.add(
+                combination_key({vendors.begin(), vendors.end()}));
+        }
+    }
+    return stats;
+}
+
+std::string combination_key(std::vector<stack::Vendor> vendors) {
+    std::vector<std::string> names;
+    names.reserve(vendors.size());
+    for (stack::Vendor vendor : vendors) names.emplace_back(stack::to_string(vendor));
+    std::sort(names.begin(), names.end());
+    std::string out;
+    for (std::size_t i = 0; i < names.size(); ++i) {
+        if (i != 0) out += ", ";
+        out += names[i];
+    }
+    return out;
+}
+
+}  // namespace lfp::analysis

@@ -1,0 +1,80 @@
+// Path-centric analyses (paper §6): identified-hop fractions, vendor
+// diversity per path, vendor combinations, and the intra-/inter-US scopes.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/pipeline.hpp"
+#include "sim/datasets.hpp"
+#include "util/stats.hpp"
+
+namespace lfp::analysis {
+
+/// IP → vendor mapping produced by a fingerprinting method.
+class VendorMap {
+  public:
+    void assign(net::IPv4Address address, stack::Vendor vendor);
+
+    [[nodiscard]] std::optional<stack::Vendor> lookup(net::IPv4Address address) const;
+    [[nodiscard]] std::size_t size() const noexcept { return map_.size(); }
+
+    /// Builds the map from a classified measurement.
+    /// `method` selects which verdicts count:
+    enum class Method {
+        lfp,          ///< LFP unique (full+partial) matches
+        snmpv3,       ///< SNMPv3 labels only
+        combined,     ///< SNMPv3 labels, LFP filling the gaps
+        lfp_majority  ///< LFP including non-unique majority verdicts
+    };
+    static VendorMap from_measurement(const core::Measurement& measurement, Method method);
+
+  private:
+    std::unordered_map<net::IPv4Address, stack::Vendor> map_;
+};
+
+enum class PathScope : std::uint8_t {
+    all,
+    intra_us,  ///< source and destination both in US registries
+    inter_us,  ///< exactly one endpoint in a US registry
+};
+
+struct PathAnalysisConfig {
+    std::size_t min_hops = 3;
+    std::size_t min_identified = 1;  ///< identified hops for diversity stats
+};
+
+struct PathStats {
+    std::size_t paths_considered = 0;  ///< scope + min_hops filter survivors
+    util::Ecdf hop_counts;             ///< per path (before scope filter)
+    util::Ecdf identified_fraction;    ///< % of routable hops identified
+    util::Ecdf vendors_per_path;       ///< distinct vendors (paths with >= min_identified)
+    util::Counter combinations;        ///< sorted vendor-set strings
+    std::size_t paths_with_k_identified(std::size_t k) const {
+        return k_identified.size() > k ? k_identified[k] : 0;
+    }
+    std::vector<std::size_t> k_identified;  ///< [k] = paths with >= k hops identified
+};
+
+class PathAnalyzer {
+  public:
+    PathAnalyzer(const sim::Topology& topology, const VendorMap& vendors)
+        : topology_(&topology), vendors_(&vendors) {}
+
+    [[nodiscard]] PathStats analyze(const std::vector<sim::Traceroute>& traces,
+                                    PathScope scope, PathAnalysisConfig config = {}) const;
+
+    /// Scope predicate for a single trace (registry country of endpoints).
+    [[nodiscard]] bool in_scope(const sim::Traceroute& trace, PathScope scope) const;
+
+  private:
+    const sim::Topology* topology_;
+    const VendorMap* vendors_;
+};
+
+/// Canonical combination key: sorted vendor names joined by ", ".
+[[nodiscard]] std::string combination_key(std::vector<stack::Vendor> vendors);
+
+}  // namespace lfp::analysis

@@ -1,0 +1,62 @@
+#include "analysis/precision_recall.hpp"
+
+#include <algorithm>
+
+namespace lfp::analysis {
+
+std::vector<VendorPr> precision_recall(std::span<const core::Measurement> measurements,
+                                       PrConfig config) {
+    // Collect labeled samples (signature + ground-truth vendor).
+    struct Sample {
+        const core::Signature* signature;
+        stack::Vendor vendor;
+    };
+    std::vector<Sample> samples;
+    for (const core::Measurement& measurement : measurements) {
+        for (const core::TargetRecord& record : measurement.records) {
+            if (!record.snmp_vendor || record.features.empty()) continue;
+            samples.push_back({&record.signature, *record.snmp_vendor});
+        }
+    }
+
+    util::Rng rng(config.seed);
+    util::shuffle(samples, rng);
+    const std::size_t train_count =
+        static_cast<std::size_t>(config.train_fraction * static_cast<double>(samples.size()));
+
+    core::SignatureDatabase database(config.db);
+    for (std::size_t i = 0; i < train_count; ++i) {
+        database.add_labeled(*samples[i].signature, samples[i].vendor);
+    }
+    database.finalize();
+
+    core::LfpClassifier classifier(database, {.use_partial = true, .majority_mode = true});
+
+    std::map<stack::Vendor, VendorPr> rows;
+    for (std::size_t i = train_count; i < samples.size(); ++i) {
+        const stack::Vendor truth = samples[i].vendor;
+        rows[truth].vendor = truth;
+        ++rows[truth].test_samples;
+        const core::Classification verdict = classifier.classify(*samples[i].signature);
+        if (!verdict.vendor) {
+            ++rows[truth].false_negatives;
+            continue;
+        }
+        if (*verdict.vendor == truth) {
+            ++rows[truth].true_positives;
+        } else {
+            ++rows[truth].false_negatives;
+            rows[*verdict.vendor].vendor = *verdict.vendor;
+            ++rows[*verdict.vendor].false_positives;
+        }
+    }
+
+    std::vector<VendorPr> out;
+    out.reserve(rows.size());
+    for (auto& [vendor, row] : rows) out.push_back(row);
+    std::sort(out.begin(), out.end(),
+              [](const VendorPr& a, const VendorPr& b) { return a.test_samples > b.test_samples; });
+    return out;
+}
+
+}  // namespace lfp::analysis

@@ -1,0 +1,45 @@
+// Precision/recall harness (paper Appendix B, Table 8): 80/20 random split
+// of the SNMPv3-labeled records; signatures trained on the 80% slice,
+// majority-mode classification evaluated on the 20% slice.
+#pragma once
+
+#include <map>
+#include <span>
+#include <vector>
+
+#include "core/pipeline.hpp"
+#include "util/rng.hpp"
+
+namespace lfp::analysis {
+
+struct VendorPr {
+    stack::Vendor vendor = stack::Vendor::unknown;
+    std::size_t test_samples = 0;
+    std::size_t true_positives = 0;
+    std::size_t false_positives = 0;
+    std::size_t false_negatives = 0;
+
+    [[nodiscard]] double precision() const {
+        const auto denom = true_positives + false_positives;
+        return denom == 0 ? 0.0
+                          : static_cast<double>(true_positives) / static_cast<double>(denom);
+    }
+    [[nodiscard]] double recall() const {
+        const auto denom = true_positives + false_negatives;
+        return denom == 0 ? 0.0
+                          : static_cast<double>(true_positives) / static_cast<double>(denom);
+    }
+};
+
+struct PrConfig {
+    double train_fraction = 0.8;
+    std::uint64_t seed = 4242;
+    core::SignatureDbConfig db;
+};
+
+/// Runs the split-train-evaluate protocol over all labeled records of the
+/// given measurements. Returns per-vendor rows sorted by test count.
+[[nodiscard]] std::vector<VendorPr> precision_recall(
+    std::span<const core::Measurement> measurements, PrConfig config = {});
+
+}  // namespace lfp::analysis

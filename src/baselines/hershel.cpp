@@ -1,0 +1,106 @@
+#include "baselines/hershel.hpp"
+
+#include "core/feature.hpp"
+
+namespace lfp::baselines {
+
+namespace {
+
+SynAckObservation make_obs(std::uint16_t window, std::uint8_t ttl,
+                           std::optional<std::uint16_t> mss, bool sack, bool ts) {
+    SynAckObservation obs;
+    obs.window = window;
+    obs.initial_ttl = ttl;
+    obs.mss = mss;
+    obs.sack_permitted = sack;
+    obs.timestamps = ts;
+    return obs;
+}
+
+}  // namespace
+
+HershelClassifier::HershelClassifier() {
+    // A condensed rendition of Hershel's 400-odd signature database: the
+    // mass is server operating systems; network equipment is a thin tail.
+    entries_ = {
+        {"Linux 2.6", std::nullopt, make_obs(5840, 64, 1460, true, true)},
+        {"Linux 3.x", std::nullopt, make_obs(14600, 64, 1460, true, true)},
+        {"Linux 4.x", std::nullopt, make_obs(29200, 64, 1460, true, true)},
+        {"Linux 5.x", std::nullopt, make_obs(64240, 64, 1460, true, true)},
+        {"Windows Server 2008", std::nullopt, make_obs(8192, 128, 1460, true, false)},
+        {"Windows Server 2016", std::nullopt, make_obs(65535, 128, 1460, true, true)},
+        {"FreeBSD 11", std::nullopt, make_obs(65535, 64, 1460, true, true)},
+        {"Solaris 10", std::nullopt, make_obs(49640, 255, 1460, false, true)},
+        {"Embedded/VxWorks", std::nullopt, make_obs(8192, 64, 536, false, false)},
+        // Token network-gear entries (the real database has very few).
+        {"Cisco IOS 12", stack::Vendor::cisco, make_obs(4128, 255, 536, false, false)},
+        {"Catalyst OS", stack::Vendor::cisco, make_obs(4128, 64, 536, false, false)},
+    };
+}
+
+HershelVerdict HershelClassifier::classify(const SynAckObservation& observation) const {
+    // Hershel proper runs a probabilistic model over delayed retransmission
+    // timing; with a single observation the dominant term is feature
+    // agreement, which we score directly.
+    const Entry* best = nullptr;
+    double best_score = -1.0;
+    for (const Entry& entry : entries_) {
+        double score = 0.0;
+        if (entry.features.window == observation.window) score += 4.0;
+        if (entry.features.initial_ttl == observation.initial_ttl) score += 2.0;
+        if (entry.features.mss == observation.mss) score += 1.5;
+        if (entry.features.sack_permitted == observation.sack_permitted) score += 1.0;
+        if (entry.features.timestamps == observation.timestamps) score += 1.0;
+        if (score > best_score) {
+            best_score = score;
+            best = &entry;
+        }
+    }
+    HershelVerdict verdict;
+    verdict.observation = observation;
+    if (best != nullptr) {
+        verdict.os_label = best->os_label;
+        verdict.vendor = best->vendor;
+        verdict.score = best_score / 9.5;
+    }
+    return verdict;
+}
+
+std::optional<HershelVerdict> HershelClassifier::fingerprint(probe::ProbeTransport& transport,
+                                                             net::IPv4Address target,
+                                                             std::uint16_t port) {
+    net::TcpSegment syn;
+    syn.source_port = next_port_++;
+    if (next_port_ < 52100) next_port_ = 52100;
+    syn.destination_port = port;
+    syn.sequence = 0x5EED;
+    syn.flags.syn = true;
+    syn.window = 65535;
+    syn.options.push_back({net::TcpOptionKind::mss, {0x05, 0xB4}});  // 1460
+
+    net::IpSendOptions ip;
+    ip.source = transport.vantage_address();
+    ip.destination = target;
+    ip.ttl = 64;
+    ip.identification = 0x4E55;
+
+    ++packets_sent_;
+    auto raw = transport.transact(net::make_tcp_packet(ip, syn));
+    if (!raw) return std::nullopt;
+    auto parsed = net::parse_packet(*raw);
+    if (!parsed) return std::nullopt;
+    const auto* tcp = parsed.value().tcp();
+    if (tcp == nullptr || !tcp->flags.syn || !tcp->flags.ack) return std::nullopt;
+
+    SynAckObservation obs;
+    obs.window = tcp->window;
+    obs.initial_ttl = core::infer_initial_ttl(parsed.value().ip.ttl);
+    obs.mss = tcp->mss();
+    for (const auto& option : tcp->options) {
+        if (option.kind == net::TcpOptionKind::sack_permitted) obs.sack_permitted = true;
+        if (option.kind == net::TcpOptionKind::timestamps) obs.timestamps = true;
+    }
+    return classify(obs);
+}
+
+}  // namespace lfp::baselines

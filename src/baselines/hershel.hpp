@@ -1,0 +1,61 @@
+// Hershel baseline (§7.3.2): single-packet OS fingerprinting from SYN-ACK
+// features. Requires an open TCP port; its database is server-OS oriented,
+// so router stacks match poorly — the paper measures <1% vendor accuracy on
+// the top three router vendors and frequent "Linux" verdicts for
+// Linux-derived platforms like MikroTik.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "probe/transport.hpp"
+#include "stack/vendor.hpp"
+
+namespace lfp::baselines {
+
+/// SYN-ACK observables Hershel scores.
+struct SynAckObservation {
+    std::uint16_t window = 0;
+    std::uint8_t initial_ttl = 0;  ///< inferred {32,64,128,255}
+    std::optional<std::uint16_t> mss;
+    bool sack_permitted = false;
+    bool timestamps = false;
+};
+
+struct HershelVerdict {
+    std::string os_label;
+    std::optional<stack::Vendor> vendor;  ///< vendor implied by the label, if any
+    double score = 0.0;
+    SynAckObservation observation;
+};
+
+class HershelClassifier {
+  public:
+    /// Default database: server-OS heavy, a token amount of network gear —
+    /// mirroring the real tool's signature distribution.
+    HershelClassifier();
+
+    /// Sends one SYN to `port` and classifies the SYN-ACK. nullopt when the
+    /// port is closed/filtered (no SYN-ACK — Hershel's coverage limit).
+    [[nodiscard]] std::optional<HershelVerdict> fingerprint(probe::ProbeTransport& transport,
+                                                            net::IPv4Address target,
+                                                            std::uint16_t port = 22);
+
+    /// Classifies an already-captured observation (unit-testable core).
+    [[nodiscard]] HershelVerdict classify(const SynAckObservation& observation) const;
+
+    [[nodiscard]] std::uint64_t packets_sent() const noexcept { return packets_sent_; }
+
+  private:
+    struct Entry {
+        std::string os_label;
+        std::optional<stack::Vendor> vendor;
+        SynAckObservation features;
+    };
+    std::vector<Entry> entries_;
+    std::uint64_t packets_sent_ = 0;
+    std::uint16_t next_port_ = 52100;
+};
+
+}  // namespace lfp::baselines

@@ -1,0 +1,42 @@
+#include "baselines/ittl_fingerprint.hpp"
+
+namespace lfp::baselines {
+
+std::optional<IttlTuple> ittl_tuple(const core::FeatureVector& features) {
+    if (!features.complete()) return std::nullopt;
+    return IttlTuple{features.ittl_udp, features.ittl_icmp, features.ittl_tcp};
+}
+
+void IttlClassifier::train(std::span<const core::Measurement> measurements) {
+    for (const core::Measurement& measurement : measurements) {
+        for (const core::TargetRecord& record : measurement.records) {
+            if (!record.snmp_vendor) continue;
+            auto tuple = ittl_tuple(record.features);
+            if (!tuple) continue;
+            ++tuples_[*tuple].vendors[*record.snmp_vendor];
+        }
+    }
+}
+
+std::optional<stack::Vendor> IttlClassifier::classify(
+    const core::FeatureVector& features) const {
+    auto tuple = ittl_tuple(features);
+    if (!tuple) return std::nullopt;
+    auto it = tuples_.find(*tuple);
+    if (it == tuples_.end() || it->second.vendors.size() != 1) return std::nullopt;
+    return it->second.vendors.begin()->first;
+}
+
+std::size_t IttlClassifier::unique_tuples() const {
+    std::size_t count = 0;
+    for (const auto& [tuple, stats] : tuples_) {
+        if (stats.vendors.size() == 1) ++count;
+    }
+    return count;
+}
+
+std::size_t IttlClassifier::ambiguous_tuples() const {
+    return tuples_.size() - unique_tuples();
+}
+
+}  // namespace lfp::baselines

@@ -1,0 +1,44 @@
+// TTL-tuple fingerprinting baseline (Vanaubel et al., related work §2):
+// classifies routers by the inferred-initial-TTL triple alone. Coarse — the
+// paper notes Huawei shares Cisco's tuple — but cheap; LFP subsumes it as
+// three of its fifteen features.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <span>
+#include <tuple>
+
+#include "core/feature.hpp"
+#include "core/pipeline.hpp"
+#include "stack/vendor.hpp"
+
+namespace lfp::baselines {
+
+/// (UDP, ICMP, TCP) initial TTLs, mirroring the paper's table layout.
+using IttlTuple = std::tuple<std::uint8_t, std::uint8_t, std::uint8_t>;
+
+[[nodiscard]] std::optional<IttlTuple> ittl_tuple(const core::FeatureVector& features);
+
+class IttlClassifier {
+  public:
+    /// Learns tuple → vendor from labeled records; tuples claimed by more
+    /// than one vendor become ambiguous and classify as nullopt.
+    void train(std::span<const core::Measurement> measurements);
+
+    [[nodiscard]] std::optional<stack::Vendor> classify(
+        const core::FeatureVector& features) const;
+
+    /// Number of unambiguous tuples learned.
+    [[nodiscard]] std::size_t unique_tuples() const;
+    /// Number of tuples shared by multiple vendors.
+    [[nodiscard]] std::size_t ambiguous_tuples() const;
+
+  private:
+    struct TupleStats {
+        std::map<stack::Vendor, std::size_t> vendors;
+    };
+    std::map<IttlTuple, TupleStats> tuples_;
+};
+
+}  // namespace lfp::baselines

@@ -1,0 +1,61 @@
+// Nmap-style OS detection baseline (§7.3.1): a port scan followed by an OS
+// probe battery matched against a fingerprint database whose router entries
+// are sparse (the real tool ships ~160 Cisco and ~20 Juniper signatures
+// among 6000+). Orders of magnitude more packets per inference than LFP —
+// the cost LFP's Figure 18 comparison quantifies.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "baselines/hershel.hpp"  // SynAckObservation
+#include "probe/transport.hpp"
+#include "stack/vendor.hpp"
+
+namespace lfp::baselines {
+
+struct NmapResult {
+    bool responsive = false;               ///< any port answered
+    std::optional<std::string> os_match;   ///< best database match
+    std::optional<stack::Vendor> vendor;   ///< vendor implied by the match
+    std::uint64_t packets_sent = 0;
+    std::uint64_t packets_received = 0;
+};
+
+class NmapLikeScanner {
+  public:
+    struct Config {
+        /// Ports actually probed per target; counts are scaled to
+        /// `reported_ports` to reflect the tool's top-1000 default.
+        std::size_t scanned_ports = 100;
+        std::size_t reported_ports = 1000;
+        std::size_t os_probe_rounds = 3;  ///< retries when matching fails
+    };
+
+    explicit NmapLikeScanner() : NmapLikeScanner(Config{}) {}
+    explicit NmapLikeScanner(Config config);
+
+    [[nodiscard]] NmapResult scan(probe::ProbeTransport& transport, net::IPv4Address target);
+
+    [[nodiscard]] std::uint64_t total_packets_sent() const noexcept { return total_sent_; }
+
+  private:
+    struct DbEntry {
+        std::string os_label;
+        std::optional<stack::Vendor> vendor;
+        SynAckObservation syn_ack;
+        /// RST iTTL on the closed-port probe (secondary discriminator).
+        std::uint8_t closed_ittl = 0;
+    };
+
+    [[nodiscard]] std::optional<DbEntry> match(const SynAckObservation& open_obs,
+                                               std::uint8_t closed_ittl) const;
+
+    Config config_;
+    std::vector<DbEntry> database_;
+    std::uint16_t next_port_ = 61000;
+    std::uint64_t total_sent_ = 0;
+};
+
+}  // namespace lfp::baselines

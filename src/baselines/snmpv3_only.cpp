@@ -1,0 +1,42 @@
+#include "baselines/snmpv3_only.hpp"
+
+#include "net/packet_builder.hpp"
+
+namespace lfp::baselines {
+
+Snmpv3Result Snmpv3OnlyFingerprinter::fingerprint(probe::ProbeTransport& transport,
+                                                  net::IPv4Address target) {
+    Snmpv3Result result;
+
+    snmp::DiscoveryRequest request;
+    request.message_id = next_message_id_++;
+
+    net::UdpDatagram datagram;
+    datagram.source_port = 42162;
+    datagram.destination_port = snmp::kSnmpPort;
+    datagram.payload = request.serialize();
+
+    net::IpSendOptions ip;
+    ip.source = transport.vantage_address();
+    ip.destination = target;
+    ip.identification = static_cast<std::uint16_t>(next_message_id_ & 0xFFFF);
+
+    ++packets_sent_;
+    auto raw = transport.transact(net::make_udp_packet(ip, datagram));
+    if (!raw) return result;
+    auto parsed = net::parse_packet(*raw);
+    if (!parsed) return result;
+    const auto* udp = parsed.value().udp();
+    if (udp == nullptr) return result;
+    auto response = snmp::DiscoveryResponse::parse(udp->payload);
+    if (!response) return result;
+
+    result.responded = true;
+    result.engine_id = response.value().engine_id;
+    const stack::Vendor vendor =
+        stack::vendor_from_enterprise(result.engine_id.enterprise);
+    if (vendor != stack::Vendor::unknown) result.vendor = vendor;
+    return result;
+}
+
+}  // namespace lfp::baselines

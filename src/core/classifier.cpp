@@ -1,0 +1,42 @@
+#include "core/classifier.hpp"
+
+namespace lfp::core {
+
+std::string_view to_string(MatchKind kind) noexcept {
+    switch (kind) {
+        case MatchKind::unique_full: return "unique";
+        case MatchKind::unique_partial: return "partial-unique";
+        case MatchKind::non_unique: return "non-unique";
+        case MatchKind::none: return "none";
+    }
+    return "?";
+}
+
+Classification LfpClassifier::classify(const FeatureVector& features) const {
+    return classify(Signature::from_features(features));
+}
+
+Classification LfpClassifier::classify(const Signature& signature) const {
+    Classification result;
+    if (signature.is_empty()) return result;
+    if (signature.is_partial() && !options_.use_partial) return result;
+
+    const SignatureStats* stats = database_->lookup(signature);
+    if (stats == nullptr) return result;
+
+    if (stats->unique()) {
+        result.vendor = stats->dominant_vendor();
+        result.kind = signature.is_full() ? MatchKind::unique_full : MatchKind::unique_partial;
+        result.confidence = 1.0;
+        return result;
+    }
+
+    result.kind = MatchKind::non_unique;
+    if (options_.majority_mode) {
+        result.vendor = stats->dominant_vendor();
+        result.confidence = stats->dominant_share();
+    }
+    return result;
+}
+
+}  // namespace lfp::core

@@ -1,0 +1,57 @@
+// The LFP classifier (paper §3.5, §7.1): matches a target's signature
+// against the database. Full unique signatures are tried first, then partial
+// unique signatures; non-unique matches are reported but — following the
+// paper's conservative headline methodology — carry no vendor unless
+// majority mode is requested (Appendix B).
+#pragma once
+
+#include <optional>
+
+#include "core/signature_db.hpp"
+
+namespace lfp::core {
+
+enum class MatchKind : std::uint8_t {
+    unique_full,     ///< full signature, single vendor
+    unique_partial,  ///< partial signature, single vendor
+    non_unique,      ///< matched, but multiple vendors share the signature
+    none,            ///< no admitted signature matches
+};
+
+[[nodiscard]] std::string_view to_string(MatchKind kind) noexcept;
+
+struct Classification {
+    std::optional<stack::Vendor> vendor;
+    MatchKind kind = MatchKind::none;
+    /// Label share of the winning vendor within the matched signature
+    /// (1.0 for unique matches).
+    double confidence = 0.0;
+
+    [[nodiscard]] bool identified() const noexcept { return vendor.has_value(); }
+};
+
+class LfpClassifier {
+  public:
+    struct Options {
+        /// Accept partial unique signatures (paper: +≈15% coverage).
+        bool use_partial = true;
+        /// Assign non-unique signatures to their dominant vendor
+        /// (Appendix B precision/recall mode). Off for headline results.
+        bool majority_mode = false;
+    };
+
+    explicit LfpClassifier(const SignatureDatabase& database) : database_(&database) {}
+    LfpClassifier(const SignatureDatabase& database, Options options)
+        : database_(&database), options_(options) {}
+
+    [[nodiscard]] Classification classify(const FeatureVector& features) const;
+    [[nodiscard]] Classification classify(const Signature& signature) const;
+
+    [[nodiscard]] const Options& options() const noexcept { return options_; }
+
+  private:
+    const SignatureDatabase* database_;
+    Options options_;
+};
+
+}  // namespace lfp::core

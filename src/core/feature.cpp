@@ -1,0 +1,148 @@
+#include "core/feature.hpp"
+
+#include <vector>
+
+namespace lfp::core {
+
+namespace {
+
+using probe::kProtocolCount;
+using probe::kRoundsPerProtocol;
+using probe::ProtoIndex;
+
+struct ProtocolView {
+    bool present = false;
+    std::vector<std::uint16_t> ipids;            // response IPIDs in round order
+    std::vector<IpidObservation> observations;   // with global send order
+    std::uint8_t first_ttl = 0;
+    std::uint16_t first_size = 0;
+};
+
+ProtocolView view_protocol(const probe::TargetProbeResult& result, ProtoIndex protocol,
+                           const FeatureExtractorConfig& config) {
+    ProtocolView view;
+    const auto& row = result.probes[static_cast<std::size_t>(protocol)];
+    for (const auto& exchange : row) {
+        if (!exchange.responded()) continue;
+        auto parsed = net::parse_packet(*exchange.response);
+        if (!parsed) continue;
+        const net::Ipv4Header& ip = parsed.value().ip;
+        view.ipids.push_back(ip.identification);
+        view.observations.push_back({exchange.send_index, ip.identification});
+        if (view.first_size == 0) {
+            view.first_ttl = ip.ttl;
+            view.first_size = ip.total_length;
+        }
+    }
+    view.present = view.ipids.size() >= config.min_responses;
+    return view;
+}
+
+TriState detect_icmp_echo(const probe::TargetProbeResult& result) {
+    const auto& row = result.probes[static_cast<std::size_t>(ProtoIndex::icmp)];
+    std::size_t responses = 0;
+    bool all_echoed = true;
+    for (const auto& exchange : row) {
+        if (!exchange.responded()) continue;
+        auto parsed = net::parse_packet(*exchange.response);
+        if (!parsed) continue;
+        ++responses;
+        if (parsed.value().ip.identification != exchange.request_ipid) all_echoed = false;
+    }
+    if (responses == 0) return TriState::unknown;
+    return all_echoed ? TriState::yes : TriState::no;
+}
+
+/// Shared-counter flag over a set of protocol views: defined only when all
+/// participating protocols are present and incremental.
+TriState shared_flag(std::initializer_list<const ProtocolView*> views,
+                     std::initializer_list<IpidClass> classes,
+                     const FeatureExtractorConfig& config) {
+    for (const auto* view : views) {
+        if (!view->present) return TriState::unknown;
+    }
+    for (IpidClass c : classes) {
+        if (c != IpidClass::incremental) return TriState::no;
+    }
+    std::vector<IpidObservation> merged;
+    for (const auto* view : views) {
+        merged.insert(merged.end(), view->observations.begin(), view->observations.end());
+    }
+    return is_shared_counter(std::move(merged), config.ipid) ? TriState::yes : TriState::no;
+}
+
+TriState rst_seq_feature(const probe::TargetProbeResult& result) {
+    // The SYN probe is round 2 of the TCP row (paper §3.3).
+    const auto& exchange =
+        result.probes[static_cast<std::size_t>(ProtoIndex::tcp)][kRoundsPerProtocol - 1];
+    if (!exchange.responded()) return TriState::unknown;
+    auto parsed = net::parse_packet(*exchange.response);
+    if (!parsed) return TriState::unknown;
+    const auto* tcp = parsed.value().tcp();
+    if (tcp == nullptr || !tcp->flags.rst) return TriState::unknown;
+    return tcp->sequence != 0 ? TriState::yes : TriState::no;
+}
+
+}  // namespace
+
+std::string_view to_string(TriState t) noexcept {
+    switch (t) {
+        case TriState::no: return "False";
+        case TriState::yes: return "True";
+        case TriState::unknown: return "-";
+    }
+    return "?";
+}
+
+std::uint8_t infer_initial_ttl(std::uint8_t observed) noexcept {
+    if (observed == 0) return 0;
+    if (observed <= 32) return 32;
+    if (observed <= 64) return 64;
+    if (observed <= 128) return 128;
+    return 255;
+}
+
+FeatureVector extract_features(const probe::TargetProbeResult& result,
+                               const FeatureExtractorConfig& config) {
+    FeatureVector features;
+
+    const ProtocolView icmp = view_protocol(result, ProtoIndex::icmp, config);
+    const ProtocolView tcp = view_protocol(result, ProtoIndex::tcp, config);
+    const ProtocolView udp = view_protocol(result, ProtoIndex::udp, config);
+
+    if (icmp.present) features.protocol_mask |= 0b001;
+    if (tcp.present) features.protocol_mask |= 0b010;
+    if (udp.present) features.protocol_mask |= 0b100;
+
+    if (icmp.present) {
+        features.icmp_ipid_echo = detect_icmp_echo(result);
+        features.ipid_icmp = classify_ipid_sequence(icmp.ipids, config.ipid);
+        features.ittl_icmp = infer_initial_ttl(icmp.first_ttl);
+        features.size_icmp = icmp.first_size;
+    }
+    if (tcp.present) {
+        features.ipid_tcp = classify_ipid_sequence(tcp.ipids, config.ipid);
+        features.ittl_tcp = infer_initial_ttl(tcp.first_ttl);
+        features.size_tcp = tcp.first_size;
+        features.tcp_rst_seq_nonzero = rst_seq_feature(result);
+    }
+    if (udp.present) {
+        features.ipid_udp = classify_ipid_sequence(udp.ipids, config.ipid);
+        features.ittl_udp = infer_initial_ttl(udp.first_ttl);
+        features.size_udp = udp.first_size;
+    }
+
+    features.shared_all =
+        shared_flag({&icmp, &tcp, &udp},
+                    {features.ipid_icmp, features.ipid_tcp, features.ipid_udp}, config);
+    features.shared_tcp_icmp =
+        shared_flag({&icmp, &tcp}, {features.ipid_icmp, features.ipid_tcp}, config);
+    features.shared_udp_icmp =
+        shared_flag({&icmp, &udp}, {features.ipid_icmp, features.ipid_udp}, config);
+    features.shared_tcp_udp =
+        shared_flag({&tcp, &udp}, {features.ipid_tcp, features.ipid_udp}, config);
+
+    return features;
+}
+
+}  // namespace lfp::core

@@ -1,0 +1,70 @@
+// Feature extraction (paper Table 1): turns one target's probe exchanges
+// into the 15-feature vector LFP fingerprints with.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "core/ipid_classifier.hpp"
+#include "probe/campaign.hpp"
+
+namespace lfp::core {
+
+enum class TriState : std::uint8_t { no, yes, unknown };
+
+[[nodiscard]] std::string_view to_string(TriState t) noexcept;
+
+/// The 15 features of Table 1 plus the per-protocol presence mask.
+struct FeatureVector {
+    /// Bit i set ⇔ protocol i produced enough responses to extract features
+    /// (bit 0 ICMP, bit 1 TCP, bit 2 UDP).
+    std::uint8_t protocol_mask = 0;
+
+    TriState icmp_ipid_echo = TriState::unknown;
+    IpidClass ipid_icmp = IpidClass::unknown;
+    IpidClass ipid_tcp = IpidClass::unknown;
+    IpidClass ipid_udp = IpidClass::unknown;
+
+    TriState shared_all = TriState::unknown;       ///< TCP+UDP+ICMP one counter
+    TriState shared_tcp_icmp = TriState::unknown;
+    TriState shared_udp_icmp = TriState::unknown;
+    TriState shared_tcp_udp = TriState::unknown;
+
+    /// Inferred initial TTLs (0 = protocol absent).
+    std::uint8_t ittl_icmp = 0;
+    std::uint8_t ittl_tcp = 0;
+    std::uint8_t ittl_udp = 0;
+
+    /// Response sizes in bytes (0 = protocol absent).
+    std::uint16_t size_icmp = 0;
+    std::uint16_t size_tcp = 0;
+    std::uint16_t size_udp = 0;
+
+    TriState tcp_rst_seq_nonzero = TriState::unknown;
+
+    [[nodiscard]] bool has(probe::ProtoIndex protocol) const noexcept {
+        return (protocol_mask & (1u << static_cast<unsigned>(protocol))) != 0;
+    }
+    [[nodiscard]] bool complete() const noexcept { return protocol_mask == 0b111; }
+    [[nodiscard]] bool empty() const noexcept { return protocol_mask == 0; }
+
+    friend bool operator==(const FeatureVector&, const FeatureVector&) = default;
+};
+
+/// Rounds an observed TTL up to the nearest initial value {32, 64, 128, 255}
+/// (paper §3.4.2).
+[[nodiscard]] std::uint8_t infer_initial_ttl(std::uint8_t observed) noexcept;
+
+struct FeatureExtractorConfig {
+    IpidClassifierConfig ipid;
+    /// Minimum responses per protocol for its features to count as present.
+    std::size_t min_responses = 2;
+};
+
+/// Extracts the Table 1 feature vector from a completed probe exchange.
+[[nodiscard]] FeatureVector extract_features(const probe::TargetProbeResult& result,
+                                             const FeatureExtractorConfig& config = {});
+
+}  // namespace lfp::core

@@ -1,0 +1,77 @@
+#include "core/ipid_classifier.hpp"
+
+#include <algorithm>
+
+namespace lfp::core {
+
+std::string_view to_string(IpidClass c) noexcept {
+    switch (c) {
+        case IpidClass::incremental: return "incremental";
+        case IpidClass::random: return "random";
+        case IpidClass::static_value: return "static";
+        case IpidClass::zero: return "zero";
+        case IpidClass::duplicate: return "duplicate";
+        case IpidClass::unknown: return "unknown";
+    }
+    return "?";
+}
+
+char short_code(IpidClass c) noexcept {
+    switch (c) {
+        case IpidClass::incremental: return 'i';
+        case IpidClass::random: return 'r';
+        case IpidClass::static_value: return 's';
+        case IpidClass::zero: return 'z';
+        case IpidClass::duplicate: return 'd';
+        case IpidClass::unknown: return '-';
+    }
+    return '?';
+}
+
+std::optional<std::uint16_t> max_ipid_step(std::span<const std::uint16_t> ids) {
+    if (ids.size() < 2) return std::nullopt;
+    std::uint16_t max_step = 0;
+    for (std::size_t i = 1; i < ids.size(); ++i) {
+        max_step = std::max(max_step, ipid_step(ids[i - 1], ids[i]));
+    }
+    return max_step;
+}
+
+IpidClass classify_ipid_sequence(std::span<const std::uint16_t> ids,
+                                 const IpidClassifierConfig& config) {
+    if (ids.size() < 2) return IpidClass::unknown;
+
+    const bool all_equal = std::all_of(ids.begin(), ids.end(),
+                                       [&ids](std::uint16_t v) { return v == ids.front(); });
+    if (all_equal) {
+        return ids.front() == 0 ? IpidClass::zero : IpidClass::static_value;
+    }
+
+    // "Duplicate": exactly two responses share a value (paper §3.4.1).
+    for (std::size_t i = 0; i < ids.size(); ++i) {
+        for (std::size_t j = i + 1; j < ids.size(); ++j) {
+            if (ids[i] == ids[j]) return IpidClass::duplicate;
+        }
+    }
+
+    const auto step = max_ipid_step(ids);
+    return (step && *step <= config.threshold) ? IpidClass::incremental : IpidClass::random;
+}
+
+bool is_shared_counter(std::vector<IpidObservation> observations,
+                       const IpidClassifierConfig& config) {
+    if (observations.size() < 2) return false;
+    std::sort(observations.begin(), observations.end(),
+              [](const IpidObservation& a, const IpidObservation& b) {
+                  return a.send_index < b.send_index;
+              });
+    for (std::size_t i = 1; i < observations.size(); ++i) {
+        const std::uint16_t step = ipid_step(observations[i - 1].ipid, observations[i].ipid);
+        // A shared counter strictly advances (two protocols never see the
+        // same value) and advances slowly.
+        if (step == 0 || step > config.threshold) return false;
+    }
+    return true;
+}
+
+}  // namespace lfp::core

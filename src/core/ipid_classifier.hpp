@@ -1,0 +1,60 @@
+// IPID sequence classification (paper §3.4.1, §3.6): classifies the three
+// response IPIDs per protocol into incremental / random / static / zero /
+// duplicate using the empirical max-step threshold of 1300, with 16-bit
+// wraparound treated as incremental. Also detects counters shared across
+// protocols by testing the merged cross-protocol sequence in send order.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string_view>
+#include <vector>
+
+namespace lfp::core {
+
+enum class IpidClass : std::uint8_t {
+    incremental,
+    random,
+    static_value,
+    zero,
+    duplicate,
+    unknown,  ///< no (or too few) responses
+};
+
+[[nodiscard]] std::string_view to_string(IpidClass c) noexcept;
+/// Single-character code used in canonical signature strings
+/// ('i','r','s','z','d','-').
+[[nodiscard]] char short_code(IpidClass c) noexcept;
+
+struct IpidClassifierConfig {
+    /// Max step between consecutive IPIDs still considered sequential
+    /// (paper §3.6, Figure 2 knee).
+    std::uint16_t threshold = 1300;
+};
+
+/// Wraparound-aware forward step from `a` to `b` in a 16-bit counter.
+[[nodiscard]] constexpr std::uint16_t ipid_step(std::uint16_t a, std::uint16_t b) noexcept {
+    return static_cast<std::uint16_t>(b - a);
+}
+
+/// Maximum consecutive step of a sequence (used for Figure 2); nullopt when
+/// fewer than two samples.
+[[nodiscard]] std::optional<std::uint16_t> max_ipid_step(std::span<const std::uint16_t> ids);
+
+/// Classifies one protocol's response IPID sequence.
+[[nodiscard]] IpidClass classify_ipid_sequence(std::span<const std::uint16_t> ids,
+                                               const IpidClassifierConfig& config = {});
+
+/// An (order, value) observation for shared-counter detection.
+struct IpidObservation {
+    std::uint32_t send_index = 0;
+    std::uint16_t ipid = 0;
+};
+
+/// True if the merged observations (sorted by send order) advance like one
+/// sequential counter: every step positive-and-small under wraparound.
+[[nodiscard]] bool is_shared_counter(std::vector<IpidObservation> observations,
+                                     const IpidClassifierConfig& config = {});
+
+}  // namespace lfp::core

@@ -1,0 +1,12 @@
+#include "core/labeler.hpp"
+
+namespace lfp::core {
+
+std::optional<stack::Vendor> snmp_vendor_label(const probe::TargetProbeResult& result) {
+    if (!result.snmp) return std::nullopt;
+    const stack::Vendor vendor = stack::vendor_from_enterprise(result.snmp->engine_id.enterprise);
+    if (vendor == stack::Vendor::unknown) return std::nullopt;
+    return vendor;
+}
+
+}  // namespace lfp::core

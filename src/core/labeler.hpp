@@ -1,0 +1,18 @@
+// SNMPv3 ground-truth labeling (paper §3.1): the discovery response's engine
+// ID starts with the vendor's IANA enterprise number — a high-confidence
+// vendor label obtained from a single packet.
+#pragma once
+
+#include <optional>
+
+#include "probe/campaign.hpp"
+#include "stack/vendor.hpp"
+
+namespace lfp::core {
+
+/// Vendor label from an SNMPv3 discovery response, if the target answered
+/// and the enterprise number is recognised.
+[[nodiscard]] std::optional<stack::Vendor> snmp_vendor_label(
+    const probe::TargetProbeResult& result);
+
+}  // namespace lfp::core

@@ -1,0 +1,79 @@
+#include "core/pipeline.hpp"
+
+namespace lfp::core {
+
+std::size_t Measurement::responsive_count() const {
+    std::size_t count = 0;
+    for (const auto& record : records) {
+        if (record.responsive()) ++count;
+    }
+    return count;
+}
+
+std::size_t Measurement::snmp_count() const {
+    std::size_t count = 0;
+    for (const auto& record : records) {
+        if (record.snmp_vendor) ++count;
+    }
+    return count;
+}
+
+std::size_t Measurement::snmp_and_lfp_count() const {
+    // The paper's "SNMPv3 ∩ LFP" column counts IPs answering SNMPv3 *and all
+    // nine* LFP probes — the population signatures are extracted from.
+    std::size_t count = 0;
+    for (const auto& record : records) {
+        if (record.snmp_vendor && record.features.complete()) ++count;
+    }
+    return count;
+}
+
+std::size_t Measurement::lfp_only_count() const {
+    std::size_t count = 0;
+    for (const auto& record : records) {
+        if (!record.snmp_vendor && record.lfp_responsive()) ++count;
+    }
+    return count;
+}
+
+LfpPipeline::LfpPipeline(probe::ProbeTransport& transport, PipelineConfig config)
+    : campaign_(transport, config.campaign), config_(config) {}
+
+Measurement LfpPipeline::measure(std::string name, std::span<const net::IPv4Address> targets) {
+    Measurement measurement;
+    measurement.name = std::move(name);
+    measurement.records.reserve(targets.size());
+    for (net::IPv4Address target : targets) {
+        TargetRecord record;
+        record.probes = campaign_.probe_target(target);
+        record.features = extract_features(record.probes, config_.extractor);
+        record.signature = Signature::from_features(record.features);
+        record.snmp_vendor = snmp_vendor_label(record.probes);
+        measurement.records.push_back(std::move(record));
+    }
+    return measurement;
+}
+
+SignatureDatabase LfpPipeline::build_database(std::span<const Measurement> measurements,
+                                              SignatureDbConfig config) {
+    SignatureDatabase database(config);
+    for (const Measurement& measurement : measurements) {
+        for (const TargetRecord& record : measurement.records) {
+            if (!record.snmp_vendor || record.features.empty()) continue;
+            database.add_labeled(record.signature, *record.snmp_vendor);
+        }
+    }
+    database.finalize();
+    return database;
+}
+
+void LfpPipeline::classify_measurement(Measurement& measurement,
+                                       const SignatureDatabase& database,
+                                       LfpClassifier::Options options) {
+    const LfpClassifier classifier(database, options);
+    for (TargetRecord& record : measurement.records) {
+        record.lfp = classifier.classify(record.signature);
+    }
+}
+
+}  // namespace lfp::core

@@ -1,0 +1,74 @@
+// End-to-end LFP pipeline (paper Figure 1): probe targets, extract features,
+// label via SNMPv3, build the signature database, classify.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/classifier.hpp"
+#include "core/feature.hpp"
+#include "core/labeler.hpp"
+#include "core/signature_db.hpp"
+#include "probe/campaign.hpp"
+
+namespace lfp::core {
+
+/// Everything the pipeline knows about one probed target.
+struct TargetRecord {
+    probe::TargetProbeResult probes;
+    FeatureVector features;
+    Signature signature;
+    std::optional<stack::Vendor> snmp_vendor;
+    Classification lfp;  ///< filled by classify_measurement()
+
+    /// LFP-responsive: at least one protocol yielded extractable features.
+    [[nodiscard]] bool lfp_responsive() const noexcept { return !features.empty(); }
+    [[nodiscard]] bool responsive() const noexcept {
+        return lfp_responsive() || snmp_vendor.has_value() || probes.any_response();
+    }
+};
+
+/// One dataset's worth of probed targets plus Table 3 style aggregates.
+struct Measurement {
+    std::string name;
+    std::vector<TargetRecord> records;
+
+    [[nodiscard]] std::size_t responsive_count() const;
+    [[nodiscard]] std::size_t snmp_count() const;
+    [[nodiscard]] std::size_t snmp_and_lfp_count() const;
+    [[nodiscard]] std::size_t lfp_only_count() const;
+};
+
+struct PipelineConfig {
+    probe::Campaign::Config campaign;
+    FeatureExtractorConfig extractor;
+};
+
+class LfpPipeline {
+  public:
+    explicit LfpPipeline(probe::ProbeTransport& transport)
+        : LfpPipeline(transport, PipelineConfig{}) {}
+    LfpPipeline(probe::ProbeTransport& transport, PipelineConfig config);
+
+    /// Probes every target and assembles records (steps 1-2 of Figure 1).
+    [[nodiscard]] Measurement measure(std::string name,
+                                      std::span<const net::IPv4Address> targets);
+
+    [[nodiscard]] std::uint64_t packets_sent() const noexcept { return campaign_.packets_sent(); }
+
+    /// Builds the signature database from the labeled subset of the given
+    /// measurements (step 3). Returns a finalized database.
+    [[nodiscard]] static SignatureDatabase build_database(
+        std::span<const Measurement> measurements, SignatureDbConfig config = {});
+
+    /// Classifies every record in place (steps 4-5).
+    static void classify_measurement(Measurement& measurement, const SignatureDatabase& database,
+                                     LfpClassifier::Options options = {});
+
+  private:
+    probe::Campaign campaign_;
+    PipelineConfig config_;
+};
+
+}  // namespace lfp::core

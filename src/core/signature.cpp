@@ -1,0 +1,74 @@
+#include "core/signature.hpp"
+
+#include <sstream>
+
+namespace lfp::core {
+
+namespace {
+
+void append_tristate(std::ostringstream& out, TriState t) { out << to_string(t) << ' '; }
+
+void append_ipid(std::ostringstream& out, IpidClass c) { out << short_code(c) << ' '; }
+
+void append_number(std::ostringstream& out, unsigned value, bool present) {
+    if (present) {
+        out << value << ' ';
+    } else {
+        out << "- ";
+    }
+}
+
+}  // namespace
+
+Signature Signature::from_features(const FeatureVector& features) {
+    Signature signature;
+    signature.mask_ = features.protocol_mask;
+
+    // Table 1 field order; Table 6 renders rows in exactly this layout.
+    std::ostringstream out;
+    append_tristate(out, features.icmp_ipid_echo);
+    append_ipid(out, features.ipid_icmp);
+    append_ipid(out, features.ipid_tcp);
+    append_ipid(out, features.ipid_udp);
+    append_tristate(out, features.shared_all);
+    append_tristate(out, features.shared_tcp_icmp);
+    append_tristate(out, features.shared_udp_icmp);
+    append_tristate(out, features.shared_tcp_udp);
+    const bool has_icmp = features.has(probe::ProtoIndex::icmp);
+    const bool has_tcp = features.has(probe::ProtoIndex::tcp);
+    const bool has_udp = features.has(probe::ProtoIndex::udp);
+    append_number(out, features.ittl_udp, has_udp);
+    append_number(out, features.ittl_icmp, has_icmp);
+    append_number(out, features.ittl_tcp, has_tcp);
+    append_number(out, features.size_icmp, has_icmp);
+    append_number(out, features.size_tcp, has_tcp);
+    append_number(out, features.size_udp, has_udp);
+    if (features.tcp_rst_seq_nonzero == TriState::unknown) {
+        out << '-';
+    } else {
+        out << (features.tcp_rst_seq_nonzero == TriState::yes ? '1' : '0');
+    }
+    signature.key_ = std::move(out).str();
+    return signature;
+}
+
+Signature Signature::from_parts(std::string key, std::uint8_t protocol_mask) {
+    Signature signature;
+    signature.key_ = std::move(key);
+    signature.mask_ = protocol_mask & 0b111;
+    return signature;
+}
+
+std::string Signature::protocols() const {
+    std::string out;
+    auto append = [&out](const char* name) {
+        if (!out.empty()) out += " & ";
+        out += name;
+    };
+    if ((mask_ & 0b001) != 0) append("ICMP");
+    if ((mask_ & 0b010) != 0) append("TCP");
+    if ((mask_ & 0b100) != 0) append("UDP");
+    return out.empty() ? "none" : out;
+}
+
+}  // namespace lfp::core

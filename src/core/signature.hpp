@@ -1,0 +1,53 @@
+// Signature canonicalisation (paper §3.5): a feature vector rendered as a
+// canonical string, in Table 1 field order — the same layout Table 6 prints.
+// Signatures carry the responsive-protocol mask so partial signatures
+// (subsets of protocols) form their own keyspaces.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "core/feature.hpp"
+
+namespace lfp::core {
+
+class Signature {
+  public:
+    Signature() = default;
+
+    static Signature from_features(const FeatureVector& features);
+
+    /// Reconstructs a signature from its canonical key and protocol mask —
+    /// the persistence path (io::signature_store). No validation beyond
+    /// non-emptiness; keys produced by from_features round-trip exactly.
+    static Signature from_parts(std::string key, std::uint8_t protocol_mask);
+
+    /// Canonical form, e.g.
+    /// "False r r r False False False False 255 64 64 84 40 56 0".
+    /// Missing fields (absent protocols) render as '-'.
+    [[nodiscard]] const std::string& key() const noexcept { return key_; }
+
+    [[nodiscard]] std::uint8_t protocol_mask() const noexcept { return mask_; }
+    [[nodiscard]] bool is_full() const noexcept { return mask_ == 0b111; }
+    [[nodiscard]] bool is_partial() const noexcept { return mask_ != 0b111 && mask_ != 0; }
+    [[nodiscard]] bool is_empty() const noexcept { return mask_ == 0; }
+
+    /// Human-readable protocol combination, e.g. "ICMP & UDP".
+    [[nodiscard]] std::string protocols() const;
+
+    friend bool operator==(const Signature&, const Signature&) = default;
+    friend auto operator<=>(const Signature&, const Signature&) = default;
+
+  private:
+    std::string key_;
+    std::uint8_t mask_ = 0;
+};
+
+}  // namespace lfp::core
+
+template <>
+struct std::hash<lfp::core::Signature> {
+    std::size_t operator()(const lfp::core::Signature& s) const noexcept {
+        return std::hash<std::string>{}(s.key());
+    }
+};

@@ -1,0 +1,90 @@
+#include "core/signature_db.hpp"
+
+#include <cassert>
+
+namespace lfp::core {
+
+stack::Vendor SignatureStats::dominant_vendor() const {
+    stack::Vendor best = stack::Vendor::unknown;
+    std::size_t best_count = 0;
+    for (const auto& [vendor, count] : vendor_counts) {
+        if (count > best_count) {
+            best = vendor;
+            best_count = count;
+        }
+    }
+    return best;
+}
+
+double SignatureStats::dominant_share() const {
+    if (total == 0) return 0.0;
+    std::size_t best_count = 0;
+    for (const auto& [vendor, count] : vendor_counts) {
+        best_count = std::max(best_count, count);
+    }
+    return static_cast<double>(best_count) / static_cast<double>(total);
+}
+
+void SignatureDatabase::add_labeled(const Signature& signature, stack::Vendor vendor,
+                                    std::size_t count) {
+    assert(!finalized_);
+    if (signature.is_empty() || vendor == stack::Vendor::unknown || count == 0) return;
+    SignatureStats& stats = raw_[signature];
+    stats.vendor_counts[vendor] += count;
+    stats.total += count;
+}
+
+void SignatureDatabase::finalize() {
+    admitted_.clear();
+    for (const auto& [signature, stats] : raw_) {
+        if (stats.total >= config_.min_occurrences) admitted_.emplace(signature, stats);
+    }
+    finalized_ = true;
+}
+
+const SignatureStats* SignatureDatabase::lookup(const Signature& signature) const {
+    auto it = admitted_.find(signature);
+    return it == admitted_.end() ? nullptr : &it->second;
+}
+
+SignatureDatabase::Counts SignatureDatabase::full_signature_counts() const {
+    Counts counts;
+    for (const auto& [signature, stats] : admitted_) {
+        if (!signature.is_full()) continue;
+        if (stats.unique()) {
+            ++counts.unique;
+        } else {
+            ++counts.non_unique;
+        }
+    }
+    return counts;
+}
+
+SignatureDatabase::Counts SignatureDatabase::partial_signature_counts(std::uint8_t mask) const {
+    Counts counts;
+    for (const auto& [signature, stats] : admitted_) {
+        if (signature.protocol_mask() != mask) continue;
+        if (stats.unique()) {
+            ++counts.unique;
+        } else {
+            ++counts.non_unique;
+        }
+    }
+    return counts;
+}
+
+SignatureDatabase::Counts SignatureDatabase::counts_at_threshold(
+    std::size_t min_occurrences) const {
+    Counts counts;
+    for (const auto& [signature, stats] : raw_) {
+        if (stats.total < min_occurrences || !signature.is_full()) continue;
+        if (stats.unique()) {
+            ++counts.unique;
+        } else {
+            ++counts.non_unique;
+        }
+    }
+    return counts;
+}
+
+}  // namespace lfp::core

@@ -1,0 +1,76 @@
+// The signature database (paper §3.5, §4.2–4.3): aggregates labeled feature
+// vectors into signatures, applies the minimum-occurrence threshold, and
+// partitions signatures into unique / non-unique, full / partial.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/signature.hpp"
+#include "stack/vendor.hpp"
+
+namespace lfp::core {
+
+struct SignatureStats {
+    std::map<stack::Vendor, std::size_t> vendor_counts;
+    std::size_t total = 0;
+
+    [[nodiscard]] bool unique() const noexcept { return vendor_counts.size() == 1; }
+    [[nodiscard]] stack::Vendor dominant_vendor() const;
+    /// Fraction of samples carrying the dominant vendor's label.
+    [[nodiscard]] double dominant_share() const;
+};
+
+struct SignatureDbConfig {
+    /// Minimum labeled samples for a signature to be admitted (paper: 20).
+    std::size_t min_occurrences = 20;
+};
+
+class SignatureDatabase {
+  public:
+    explicit SignatureDatabase(SignatureDbConfig config = {}) : config_(config) {}
+
+    /// Accumulates `count` labeled samples. Call across *all* datasets
+    /// before finalize(); cross-dataset vendor conflicts then surface
+    /// naturally as non-unique signatures.
+    void add_labeled(const Signature& signature, stack::Vendor vendor, std::size_t count = 1);
+
+    /// Applies the occurrence threshold and freezes the database.
+    void finalize();
+    [[nodiscard]] bool finalized() const noexcept { return finalized_; }
+
+    /// Lookup: nullptr when the signature is unknown or below threshold.
+    [[nodiscard]] const SignatureStats* lookup(const Signature& signature) const;
+
+    struct Counts {
+        std::size_t unique = 0;
+        std::size_t non_unique = 0;
+    };
+    /// Signature counts over full signatures (all three protocols).
+    [[nodiscard]] Counts full_signature_counts() const;
+    /// Signature counts for one partial protocol mask.
+    [[nodiscard]] Counts partial_signature_counts(std::uint8_t mask) const;
+
+    /// All admitted signatures with stats.
+    [[nodiscard]] const std::unordered_map<Signature, SignatureStats>& signatures() const {
+        return admitted_;
+    }
+
+    /// Re-runs threshold admission at a different cutoff (Figure 7
+    /// sensitivity sweep) without mutating this database.
+    [[nodiscard]] Counts counts_at_threshold(std::size_t min_occurrences) const;
+
+    [[nodiscard]] const SignatureDbConfig& config() const noexcept { return config_; }
+
+  private:
+    SignatureDbConfig config_;
+    bool finalized_ = false;
+    std::unordered_map<Signature, SignatureStats> raw_;
+    std::unordered_map<Signature, SignatureStats> admitted_;
+};
+
+}  // namespace lfp::core

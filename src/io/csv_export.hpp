@@ -1,0 +1,31 @@
+// CSV/JSONL exporters for measurement results and traceroute datasets, so
+// downstream tooling (pandas, the authors' own analysis notebooks) can
+// consume this library's output directly.
+#pragma once
+
+#include <iosfwd>
+
+#include "analysis/as_analysis.hpp"
+#include "core/pipeline.hpp"
+#include "sim/datasets.hpp"
+
+namespace lfp::io {
+
+/// One row per probed target:
+/// ip,responsive_protocols,snmp_vendor,lfp_vendor,match_kind,signature
+void export_measurement_csv(std::ostream& out, const core::Measurement& measurement);
+
+/// One row per traceroute: src_asn,dst_asn,src,dst,hop1;hop2;...
+void export_traceroutes_csv(std::ostream& out, const sim::TracerouteDataset& dataset);
+
+/// One row per alias set: router_id,addr1;addr2;...
+void export_alias_sets_csv(std::ostream& out, const sim::ItdkDataset& dataset);
+
+/// One row per AS: asn,routers,identified,vendors,dominant,dominant_share
+void export_as_coverage_csv(std::ostream& out,
+                            const std::vector<analysis::AsCoverage>& coverage);
+
+/// Escapes a CSV field (quotes when needed).
+std::string csv_escape(std::string_view field);
+
+}  // namespace lfp::io

@@ -1,0 +1,126 @@
+#include "io/signature_store.hpp"
+
+#include <algorithm>
+#include <charconv>
+#include <fstream>
+#include <ostream>
+#include <sstream>
+#include <vector>
+
+#include "util/strings.hpp"
+
+namespace lfp::io {
+
+namespace {
+
+std::string_view trim(std::string_view text) {
+    while (!text.empty() && (text.front() == ' ' || text.front() == '\t')) {
+        text.remove_prefix(1);
+    }
+    while (!text.empty() && (text.back() == ' ' || text.back() == '\t' || text.back() == '\r')) {
+        text.remove_suffix(1);
+    }
+    return text;
+}
+
+}  // namespace
+
+void save_signatures(std::ostream& out, const core::SignatureDatabase& database) {
+    out << "# LFP signature database\n"
+        << "# mask | canonical signature (Table 1 field order) | vendor=count,...\n";
+    // Deterministic order: by key then mask.
+    std::vector<const core::Signature*> keys;
+    keys.reserve(database.signatures().size());
+    for (const auto& [signature, stats] : database.signatures()) keys.push_back(&signature);
+    std::sort(keys.begin(), keys.end(), [](const core::Signature* a, const core::Signature* b) {
+        if (a->key() != b->key()) return a->key() < b->key();
+        return a->protocol_mask() < b->protocol_mask();
+    });
+    for (const core::Signature* signature : keys) {
+        const core::SignatureStats* stats = database.lookup(*signature);
+        out << static_cast<unsigned>(signature->protocol_mask()) << " | " << signature->key()
+            << " | ";
+        bool first = true;
+        for (const auto& [vendor, count] : stats->vendor_counts) {
+            if (!first) out << ',';
+            first = false;
+            out << stack::to_string(vendor) << '=' << count;
+        }
+        out << '\n';
+    }
+}
+
+bool save_signatures_file(const std::string& path, const core::SignatureDatabase& database) {
+    std::ofstream out(path);
+    if (!out) return false;
+    save_signatures(out, database);
+    return static_cast<bool>(out);
+}
+
+util::Result<core::Signature> parse_signature_line(std::string_view mask_field,
+                                                   std::string_view key_field) {
+    const std::string_view mask_text = trim(mask_field);
+    unsigned mask = 0;
+    auto [ptr, ec] =
+        std::from_chars(mask_text.data(), mask_text.data() + mask_text.size(), mask);
+    if (ec != std::errc{} || ptr != mask_text.data() + mask_text.size() || mask > 0b111) {
+        return util::make_error("bad protocol mask");
+    }
+    const std::string_view key = trim(key_field);
+    if (key.empty()) return util::make_error("empty signature key");
+    return core::Signature::from_parts(std::string(key), static_cast<std::uint8_t>(mask));
+}
+
+util::Result<core::SignatureDatabase> load_signatures(std::istream& in,
+                                                      core::SignatureDbConfig config) {
+    core::SignatureDatabase database(config);
+    std::string line;
+    std::size_t line_number = 0;
+    while (std::getline(in, line)) {
+        ++line_number;
+        const std::string_view view = trim(line);
+        if (view.empty() || view.front() == '#') continue;
+
+        const auto fields = util::split(view, '|');
+        if (fields.size() != 3) {
+            return util::make_error("line " + std::to_string(line_number) +
+                                    ": expected 3 '|' fields");
+        }
+        auto signature = parse_signature_line(fields[0], fields[1]);
+        if (!signature) {
+            return util::make_error("line " + std::to_string(line_number) + ": " +
+                                    signature.error().message);
+        }
+        for (const std::string& pair : util::split(trim(fields[2]), ',')) {
+            const auto eq = pair.find('=');
+            if (eq == std::string::npos) {
+                return util::make_error("line " + std::to_string(line_number) +
+                                        ": expected vendor=count");
+            }
+            const auto vendor = stack::vendor_from_string(trim(std::string_view(pair).substr(0, eq)));
+            if (!vendor) {
+                return util::make_error("line " + std::to_string(line_number) +
+                                        ": unknown vendor '" + pair.substr(0, eq) + "'");
+            }
+            const std::string_view count_text = trim(std::string_view(pair).substr(eq + 1));
+            std::size_t count = 0;
+            auto [ptr, ec] = std::from_chars(count_text.data(),
+                                             count_text.data() + count_text.size(), count);
+            if (ec != std::errc{} || ptr != count_text.data() + count_text.size() || count == 0) {
+                return util::make_error("line " + std::to_string(line_number) + ": bad count");
+            }
+            database.add_labeled(signature.value(), *vendor, count);
+        }
+    }
+    database.finalize();
+    return database;
+}
+
+util::Result<core::SignatureDatabase> load_signatures_file(const std::string& path,
+                                                           core::SignatureDbConfig config) {
+    std::ifstream in(path);
+    if (!in) return util::make_error("cannot open " + path);
+    return load_signatures(in, config);
+}
+
+}  // namespace lfp::io

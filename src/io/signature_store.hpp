@@ -1,0 +1,39 @@
+// Persistence for signature databases — the equivalent of the paper's
+// published artifact (the derived signature list): a line-oriented text
+// format that round-trips the canonical signature strings together with
+// their per-vendor sample counts.
+//
+// Format (one signature per line, '#' comments):
+//   <mask-hex> | <canonical signature> | vendor=count[,vendor=count...]
+// Example:
+//   7 | False r r r False False False False 255 64 64 84 40 56 0 | Juniper=1234
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "core/signature_db.hpp"
+#include "util/result.hpp"
+
+namespace lfp::io {
+
+/// Serializes every admitted signature (deterministic order).
+void save_signatures(std::ostream& out, const core::SignatureDatabase& database);
+
+/// Convenience: write to a file path. Returns false on I/O failure.
+bool save_signatures_file(const std::string& path, const core::SignatureDatabase& database);
+
+/// Parses a previously saved database. The result is finalized with the
+/// given config (threshold re-applied on load).
+[[nodiscard]] util::Result<core::SignatureDatabase> load_signatures(
+    std::istream& in, core::SignatureDbConfig config = {});
+
+[[nodiscard]] util::Result<core::SignatureDatabase> load_signatures_file(
+    const std::string& path, core::SignatureDbConfig config = {});
+
+/// Re-parses one canonical signature line into a Signature (the inverse of
+/// Signature::key() + protocol mask).
+[[nodiscard]] util::Result<core::Signature> parse_signature_line(std::string_view mask_field,
+                                                                 std::string_view key_field);
+
+}  // namespace lfp::io

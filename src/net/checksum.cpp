@@ -1,0 +1,46 @@
+#include "net/checksum.hpp"
+
+namespace lfp::net {
+
+namespace {
+
+std::uint32_t sum_words(std::span<const std::uint8_t> data, std::uint32_t acc) noexcept {
+    std::size_t i = 0;
+    for (; i + 1 < data.size(); i += 2) {
+        acc += static_cast<std::uint32_t>(data[i] << 8) | data[i + 1];
+    }
+    if (i < data.size()) {
+        acc += static_cast<std::uint32_t>(data[i] << 8);
+    }
+    return acc;
+}
+
+std::uint16_t fold(std::uint32_t acc) noexcept {
+    while (acc >> 16) acc = (acc & 0xFFFF) + (acc >> 16);
+    return static_cast<std::uint16_t>(~acc & 0xFFFF);
+}
+
+}  // namespace
+
+std::uint16_t internet_checksum(std::span<const std::uint8_t> data) noexcept {
+    return fold(sum_words(data, 0));
+}
+
+std::uint16_t transport_checksum(IPv4Address source, IPv4Address destination,
+                                 std::uint8_t protocol,
+                                 std::span<const std::uint8_t> segment) noexcept {
+    std::uint32_t acc = 0;
+    acc += source.value() >> 16;
+    acc += source.value() & 0xFFFF;
+    acc += destination.value() >> 16;
+    acc += destination.value() & 0xFFFF;
+    acc += protocol;
+    acc += static_cast<std::uint32_t>(segment.size());
+    return fold(sum_words(segment, acc));
+}
+
+bool checksum_ok(std::span<const std::uint8_t> data) noexcept {
+    return internet_checksum(data) == 0;
+}
+
+}  // namespace lfp::net

@@ -1,0 +1,25 @@
+// RFC 1071 Internet checksum, and the TCP/UDP pseudo-header variant.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "net/ip_address.hpp"
+
+namespace lfp::net {
+
+/// Ones'-complement sum of 16-bit words (odd trailing byte zero-padded),
+/// folded and complemented — the value placed in IP/ICMP/TCP/UDP headers.
+[[nodiscard]] std::uint16_t internet_checksum(std::span<const std::uint8_t> data) noexcept;
+
+/// TCP/UDP checksum including the IPv4 pseudo header
+/// (src, dst, zero, protocol, transport length).
+[[nodiscard]] std::uint16_t transport_checksum(IPv4Address source, IPv4Address destination,
+                                               std::uint8_t protocol,
+                                               std::span<const std::uint8_t> segment) noexcept;
+
+/// True if `data` (with its embedded checksum field) verifies: the checksum
+/// over the whole blob is zero.
+[[nodiscard]] bool checksum_ok(std::span<const std::uint8_t> data) noexcept;
+
+}  // namespace lfp::net

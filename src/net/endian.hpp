@@ -1,0 +1,120 @@
+// Network-byte-order readers and writers over byte buffers.
+//
+// All wire formats in this library are big-endian; these helpers are the only
+// place byte order is handled, so codecs above them stay arithmetic-free.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <vector>
+
+namespace lfp::net {
+
+using Bytes = std::vector<std::uint8_t>;
+
+/// Appends big-endian fields to a growable buffer.
+class ByteWriter {
+  public:
+    explicit ByteWriter(Bytes& out) : out_(out) {}
+
+    void u8(std::uint8_t v) { out_.push_back(v); }
+
+    void u16(std::uint16_t v) {
+        out_.push_back(static_cast<std::uint8_t>(v >> 8));
+        out_.push_back(static_cast<std::uint8_t>(v & 0xFF));
+    }
+
+    void u32(std::uint32_t v) {
+        out_.push_back(static_cast<std::uint8_t>(v >> 24));
+        out_.push_back(static_cast<std::uint8_t>((v >> 16) & 0xFF));
+        out_.push_back(static_cast<std::uint8_t>((v >> 8) & 0xFF));
+        out_.push_back(static_cast<std::uint8_t>(v & 0xFF));
+    }
+
+    void bytes(std::span<const std::uint8_t> data) {
+        out_.insert(out_.end(), data.begin(), data.end());
+    }
+
+    /// Overwrite a previously written 16-bit field (e.g., a checksum slot).
+    void patch_u16(std::size_t offset, std::uint16_t v) {
+        out_[offset] = static_cast<std::uint8_t>(v >> 8);
+        out_[offset + 1] = static_cast<std::uint8_t>(v & 0xFF);
+    }
+
+    [[nodiscard]] std::size_t size() const noexcept { return out_.size(); }
+
+  private:
+    Bytes& out_;
+};
+
+/// Reads big-endian fields from a fixed buffer with bounds checking.
+class ByteReader {
+  public:
+    explicit ByteReader(std::span<const std::uint8_t> data) : data_(data) {}
+
+    [[nodiscard]] bool ok() const noexcept { return ok_; }
+    [[nodiscard]] std::size_t remaining() const noexcept {
+        return ok_ ? data_.size() - pos_ : 0;
+    }
+    [[nodiscard]] std::size_t position() const noexcept { return pos_; }
+
+    std::uint8_t u8() {
+        if (!require(1)) return 0;
+        return data_[pos_++];
+    }
+
+    std::uint16_t u16() {
+        if (!require(2)) return 0;
+        const std::uint16_t v =
+            static_cast<std::uint16_t>(data_[pos_] << 8) | data_[pos_ + 1];
+        pos_ += 2;
+        return v;
+    }
+
+    std::uint32_t u32() {
+        if (!require(4)) return 0;
+        const std::uint32_t v = (static_cast<std::uint32_t>(data_[pos_]) << 24) |
+                                (static_cast<std::uint32_t>(data_[pos_ + 1]) << 16) |
+                                (static_cast<std::uint32_t>(data_[pos_ + 2]) << 8) |
+                                static_cast<std::uint32_t>(data_[pos_ + 3]);
+        pos_ += 4;
+        return v;
+    }
+
+    /// Copies `n` bytes out; returns an empty vector (and taints the reader)
+    /// if fewer remain.
+    Bytes bytes(std::size_t n) {
+        if (!require(n)) return {};
+        Bytes out(data_.begin() + static_cast<std::ptrdiff_t>(pos_),
+                  data_.begin() + static_cast<std::ptrdiff_t>(pos_ + n));
+        pos_ += n;
+        return out;
+    }
+
+    std::span<const std::uint8_t> view(std::size_t n) {
+        if (!require(n)) return {};
+        auto out = data_.subspan(pos_, n);
+        pos_ += n;
+        return out;
+    }
+
+    void skip(std::size_t n) {
+        if (require(n)) pos_ += n;
+    }
+
+  private:
+    bool require(std::size_t n) {
+        if (!ok_ || data_.size() - pos_ < n) {
+            ok_ = false;
+            return false;
+        }
+        return true;
+    }
+
+    std::span<const std::uint8_t> data_;
+    std::size_t pos_ = 0;
+    bool ok_ = true;
+};
+
+}  // namespace lfp::net

@@ -1,0 +1,63 @@
+#include "net/icmp.hpp"
+
+#include "net/checksum.hpp"
+
+namespace lfp::net {
+
+Bytes serialize_icmp(const IcmpMessage& message) {
+    Bytes out;
+    ByteWriter w(out);
+    if (const auto* echo = std::get_if<IcmpEcho>(&message)) {
+        w.u8(static_cast<std::uint8_t>(echo->is_reply ? IcmpType::echo_reply
+                                                      : IcmpType::echo_request));
+        w.u8(0);
+        const std::size_t checksum_offset = w.size();
+        w.u16(0);
+        w.u16(echo->identifier);
+        w.u16(echo->sequence);
+        w.bytes(echo->payload);
+        w.patch_u16(checksum_offset, internet_checksum(out));
+        return out;
+    }
+    const auto& error = std::get<IcmpError>(message);
+    w.u8(static_cast<std::uint8_t>(error.type));
+    w.u8(error.code);
+    const std::size_t checksum_offset = w.size();
+    w.u16(0);
+    w.u32(0);  // unused
+    w.bytes(error.quoted);
+    w.patch_u16(checksum_offset, internet_checksum(out));
+    return out;
+}
+
+util::Result<IcmpMessage> parse_icmp(std::span<const std::uint8_t> data) {
+    if (data.size() < 8) return util::make_error("ICMP message truncated");
+    if (!checksum_ok(data)) return util::make_error("ICMP checksum mismatch");
+    ByteReader in(data);
+    const std::uint8_t type = in.u8();
+    const std::uint8_t code = in.u8();
+    in.u16();  // checksum
+    switch (static_cast<IcmpType>(type)) {
+        case IcmpType::echo_reply:
+        case IcmpType::echo_request: {
+            IcmpEcho echo;
+            echo.is_reply = type == static_cast<std::uint8_t>(IcmpType::echo_reply);
+            echo.identifier = in.u16();
+            echo.sequence = in.u16();
+            echo.payload = in.bytes(in.remaining());
+            return IcmpMessage{std::move(echo)};
+        }
+        case IcmpType::destination_unreachable:
+        case IcmpType::time_exceeded: {
+            IcmpError error;
+            error.type = static_cast<IcmpType>(type);
+            error.code = code;
+            in.u32();  // unused field
+            error.quoted = in.bytes(in.remaining());
+            return IcmpMessage{std::move(error)};
+        }
+        default: return util::make_error("unsupported ICMP type");
+    }
+}
+
+}  // namespace lfp::net

@@ -1,0 +1,54 @@
+// ICMP message codec (RFC 792): echo request/reply, destination unreachable,
+// and time exceeded — the only message types the LFP probe exchange uses.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <variant>
+
+#include "net/endian.hpp"
+#include "util/result.hpp"
+
+namespace lfp::net {
+
+enum class IcmpType : std::uint8_t {
+    echo_reply = 0,
+    destination_unreachable = 3,
+    echo_request = 8,
+    time_exceeded = 11,
+};
+
+constexpr std::uint8_t kIcmpCodePortUnreachable = 3;
+constexpr std::uint8_t kIcmpCodeTtlExceeded = 0;
+
+/// Echo request or reply. The identifier/sequence let probers match replies
+/// to requests; the payload is echoed verbatim by compliant stacks.
+struct IcmpEcho {
+    bool is_reply = false;
+    std::uint16_t identifier = 0;
+    std::uint16_t sequence = 0;
+    Bytes payload;
+
+    friend bool operator==(const IcmpEcho&, const IcmpEcho&) = default;
+};
+
+/// Destination unreachable / time exceeded carry a quote of the offending
+/// datagram: its IP header plus at least 8 bytes (RFC 792), possibly more
+/// (RFC 1812 allows quoting as much as fits) — a key LFP discriminator.
+struct IcmpError {
+    IcmpType type = IcmpType::destination_unreachable;
+    std::uint8_t code = kIcmpCodePortUnreachable;
+    Bytes quoted;
+
+    friend bool operator==(const IcmpError&, const IcmpError&) = default;
+};
+
+using IcmpMessage = std::variant<IcmpEcho, IcmpError>;
+
+/// Serializes the ICMP message (type, code, checksum, body).
+[[nodiscard]] Bytes serialize_icmp(const IcmpMessage& message);
+
+/// Parses an ICMP payload (the bytes after the IPv4 header).
+[[nodiscard]] util::Result<IcmpMessage> parse_icmp(std::span<const std::uint8_t> data);
+
+}  // namespace lfp::net

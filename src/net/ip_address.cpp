@@ -1,0 +1,48 @@
+#include "net/ip_address.hpp"
+
+#include <array>
+#include <charconv>
+
+namespace lfp::net {
+
+util::Result<IPv4Address> IPv4Address::parse(std::string_view text) {
+    std::array<std::uint32_t, 4> octets{};
+    std::size_t pos = 0;
+    for (int i = 0; i < 4; ++i) {
+        if (pos >= text.size()) return util::make_error("truncated IPv4 address");
+        const char* begin = text.data() + pos;
+        const char* end = text.data() + text.size();
+        std::uint32_t value = 0;
+        auto [ptr, ec] = std::from_chars(begin, end, value);
+        if (ec != std::errc{} || value > 255 || ptr == begin) {
+            return util::make_error("bad IPv4 octet");
+        }
+        // Reject leading zeros like "01" which some parsers read as octal.
+        if (ptr - begin > 1 && *begin == '0') return util::make_error("leading zero in octet");
+        octets[static_cast<std::size_t>(i)] = value;
+        pos = static_cast<std::size_t>(ptr - text.data());
+        if (i < 3) {
+            if (pos >= text.size() || text[pos] != '.') {
+                return util::make_error("expected '.' in IPv4 address");
+            }
+            ++pos;
+        }
+    }
+    if (pos != text.size()) return util::make_error("trailing characters in IPv4 address");
+    return IPv4Address::from_octets(static_cast<std::uint8_t>(octets[0]),
+                                    static_cast<std::uint8_t>(octets[1]),
+                                    static_cast<std::uint8_t>(octets[2]),
+                                    static_cast<std::uint8_t>(octets[3]));
+}
+
+std::string IPv4Address::to_string() const {
+    std::string out;
+    out.reserve(15);
+    for (int i = 0; i < 4; ++i) {
+        if (i != 0) out.push_back('.');
+        out += std::to_string(octet(i));
+    }
+    return out;
+}
+
+}  // namespace lfp::net

@@ -1,0 +1,69 @@
+// IPv4 address value type.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "util/result.hpp"
+
+namespace lfp::net {
+
+/// An IPv4 address, stored in host byte order. Cheap value type.
+class IPv4Address {
+  public:
+    constexpr IPv4Address() noexcept = default;
+    constexpr explicit IPv4Address(std::uint32_t value) noexcept : value_(value) {}
+
+    static constexpr IPv4Address from_octets(std::uint8_t a, std::uint8_t b, std::uint8_t c,
+                                             std::uint8_t d) noexcept {
+        return IPv4Address((std::uint32_t{a} << 24) | (std::uint32_t{b} << 16) |
+                           (std::uint32_t{c} << 8) | std::uint32_t{d});
+    }
+
+    /// Parses dotted-quad notation ("192.0.2.1").
+    static util::Result<IPv4Address> parse(std::string_view text);
+
+    [[nodiscard]] constexpr std::uint32_t value() const noexcept { return value_; }
+    [[nodiscard]] constexpr std::uint8_t octet(int i) const noexcept {
+        return static_cast<std::uint8_t>(value_ >> (8 * (3 - i)));
+    }
+
+    [[nodiscard]] std::string to_string() const;
+
+    /// RFC 1918 private space.
+    [[nodiscard]] constexpr bool is_private() const noexcept {
+        return in(0x0A000000, 8) || in(0xAC100000, 12) || in(0xC0A80000, 16);
+    }
+    /// Loopback, link-local, multicast, reserved, or unspecified.
+    [[nodiscard]] constexpr bool is_special() const noexcept {
+        return in(0x00000000, 8) || in(0x7F000000, 8) || in(0xA9FE0000, 16) ||
+               in(0x64400000, 10) || value_ >= 0xE0000000;
+    }
+    /// Publicly routable unicast: neither private nor special.
+    [[nodiscard]] constexpr bool is_routable() const noexcept {
+        return !is_private() && !is_special();
+    }
+
+    constexpr auto operator<=>(const IPv4Address&) const noexcept = default;
+
+  private:
+    [[nodiscard]] constexpr bool in(std::uint32_t network, int prefix_len) const noexcept {
+        const std::uint32_t mask =
+            prefix_len == 0 ? 0 : ~std::uint32_t{0} << (32 - prefix_len);
+        return (value_ & mask) == network;
+    }
+
+    std::uint32_t value_ = 0;
+};
+
+}  // namespace lfp::net
+
+template <>
+struct std::hash<lfp::net::IPv4Address> {
+    std::size_t operator()(const lfp::net::IPv4Address& a) const noexcept {
+        // Fibonacci hashing spreads sequential addresses (common in our sim).
+        return static_cast<std::size_t>(a.value()) * 0x9E3779B97F4A7C15ULL;
+    }
+};

@@ -1,0 +1,97 @@
+#include "net/ipv4.hpp"
+
+#include "net/checksum.hpp"
+
+namespace lfp::net {
+
+const char* to_string(Protocol p) noexcept {
+    switch (p) {
+        case Protocol::icmp: return "ICMP";
+        case Protocol::tcp: return "TCP";
+        case Protocol::udp: return "UDP";
+    }
+    return "?";
+}
+
+void Ipv4Header::serialize(ByteWriter& out) const {
+    Bytes scratch;
+    scratch.reserve(kSize);
+    ByteWriter w(scratch);
+    w.u8(0x45);  // version 4, IHL 5
+    w.u8(tos);
+    w.u16(total_length);
+    w.u16(identification);
+    w.u16(flags_fragment);
+    w.u8(ttl);
+    w.u8(static_cast<std::uint8_t>(protocol));
+    const std::size_t checksum_offset = w.size();
+    w.u16(0);
+    w.u32(source.value());
+    w.u32(destination.value());
+    w.patch_u16(checksum_offset, internet_checksum(scratch));
+    out.bytes(scratch);
+}
+
+util::Result<Ipv4Header> Ipv4Header::parse(std::span<const std::uint8_t> data) {
+    if (data.size() < kSize) return util::make_error("IPv4 header truncated");
+    ByteReader in(data.first(kSize));
+    const std::uint8_t version_ihl = in.u8();
+    if ((version_ihl >> 4) != 4) return util::make_error("not IPv4");
+    const std::uint8_t ihl = version_ihl & 0x0F;
+    if (ihl != 5) return util::make_error("IPv4 options unsupported");
+    Ipv4Header header;
+    header.tos = in.u8();
+    header.total_length = in.u16();
+    header.identification = in.u16();
+    header.flags_fragment = in.u16();
+    header.ttl = in.u8();
+    const std::uint8_t proto = in.u8();
+    switch (proto) {
+        case 1: header.protocol = Protocol::icmp; break;
+        case 6: header.protocol = Protocol::tcp; break;
+        case 17: header.protocol = Protocol::udp; break;
+        default: return util::make_error("unsupported IP protocol");
+    }
+    in.u16();  // checksum, verified over the whole header below
+    header.source = IPv4Address(in.u32());
+    header.destination = IPv4Address(in.u32());
+    if (!checksum_ok(data.first(kSize))) return util::make_error("IPv4 checksum mismatch");
+    if (header.total_length < kSize) return util::make_error("IPv4 total length too small");
+    return header;
+}
+
+Bytes build_ipv4_packet(Ipv4Header header, std::span<const std::uint8_t> payload) {
+    header.total_length = static_cast<std::uint16_t>(Ipv4Header::kSize + payload.size());
+    Bytes packet;
+    packet.reserve(header.total_length);
+    ByteWriter out(packet);
+    header.serialize(out);
+    out.bytes(payload);
+    return packet;
+}
+
+bool rewrite_ttl(std::span<std::uint8_t> packet, std::uint8_t new_ttl) {
+    if (packet.size() < Ipv4Header::kSize) return false;
+    packet[8] = new_ttl;
+    packet[10] = 0;
+    packet[11] = 0;
+    const std::uint16_t checksum = internet_checksum(packet.first(Ipv4Header::kSize));
+    packet[10] = static_cast<std::uint8_t>(checksum >> 8);
+    packet[11] = static_cast<std::uint8_t>(checksum & 0xFF);
+    return true;
+}
+
+util::Result<IPv4Address> peek_destination(std::span<const std::uint8_t> packet) {
+    if (packet.size() < Ipv4Header::kSize) return util::make_error("packet too short");
+    return IPv4Address((static_cast<std::uint32_t>(packet[16]) << 24) |
+                       (static_cast<std::uint32_t>(packet[17]) << 16) |
+                       (static_cast<std::uint32_t>(packet[18]) << 8) |
+                       static_cast<std::uint32_t>(packet[19]));
+}
+
+util::Result<std::uint8_t> peek_ttl(std::span<const std::uint8_t> packet) {
+    if (packet.size() < Ipv4Header::kSize) return util::make_error("packet too short");
+    return packet[8];
+}
+
+}  // namespace lfp::net

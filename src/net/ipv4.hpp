@@ -1,0 +1,60 @@
+// IPv4 header codec (RFC 791).
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "net/endian.hpp"
+#include "net/ip_address.hpp"
+#include "util/result.hpp"
+
+namespace lfp::net {
+
+enum class Protocol : std::uint8_t {
+    icmp = 1,
+    tcp = 6,
+    udp = 17,
+};
+
+[[nodiscard]] const char* to_string(Protocol p) noexcept;
+
+/// Parsed/serializable IPv4 header. Options are not supported (no router in
+/// our scope emits them); `ihl` is therefore always 5.
+struct Ipv4Header {
+    static constexpr std::size_t kSize = 20;
+    static constexpr std::uint16_t kFlagDontFragment = 0x4000;
+
+    std::uint8_t tos = 0;
+    std::uint16_t total_length = kSize;  ///< header + payload, bytes
+    std::uint16_t identification = 0;    ///< the IPID field LFP fingerprints
+    std::uint16_t flags_fragment = 0;    ///< flags (3 bits) + fragment offset
+    std::uint8_t ttl = 64;
+    Protocol protocol = Protocol::icmp;
+    IPv4Address source;
+    IPv4Address destination;
+
+    /// Serializes the 20-byte header with a correct checksum.
+    void serialize(ByteWriter& out) const;
+
+    /// Parses and validates (version, IHL, length, checksum).
+    static util::Result<Ipv4Header> parse(std::span<const std::uint8_t> data);
+
+    friend bool operator==(const Ipv4Header&, const Ipv4Header&) = default;
+};
+
+/// Builds a complete IPv4 packet around an already-serialized payload.
+[[nodiscard]] Bytes build_ipv4_packet(Ipv4Header header, std::span<const std::uint8_t> payload);
+
+/// Rewrites the TTL of a serialized IPv4 packet in place and fixes the
+/// header checksum. Used by the simulated network to model per-hop decay.
+/// Returns false if the buffer is too short to hold an IPv4 header.
+bool rewrite_ttl(std::span<std::uint8_t> packet, std::uint8_t new_ttl);
+
+/// Reads the destination address of a serialized IPv4 packet without a full
+/// parse (fast path for the simulated switch).
+[[nodiscard]] util::Result<IPv4Address> peek_destination(std::span<const std::uint8_t> packet);
+
+/// Reads the TTL byte without a full parse.
+[[nodiscard]] util::Result<std::uint8_t> peek_ttl(std::span<const std::uint8_t> packet);
+
+}  // namespace lfp::net

@@ -1,0 +1,88 @@
+#include "net/packet_builder.hpp"
+
+#include <algorithm>
+
+namespace lfp::net {
+
+util::Result<ParsedPacket> parse_packet(std::span<const std::uint8_t> data) {
+    auto header = Ipv4Header::parse(data);
+    if (!header) return header.error();
+    const Ipv4Header& ip = header.value();
+    if (ip.total_length > data.size()) return util::make_error("IPv4 packet shorter than length");
+    const auto payload = data.subspan(Ipv4Header::kSize, ip.total_length - Ipv4Header::kSize);
+    switch (ip.protocol) {
+        case Protocol::icmp: {
+            auto message = parse_icmp(payload);
+            if (!message) return message.error();
+            return ParsedPacket{ip, std::move(message).value()};
+        }
+        case Protocol::tcp: {
+            auto segment = parse_tcp(payload, ip.source, ip.destination);
+            if (!segment) return segment.error();
+            return ParsedPacket{ip, std::move(segment).value()};
+        }
+        case Protocol::udp: {
+            auto datagram = parse_udp(payload, ip.source, ip.destination);
+            if (!datagram) return datagram.error();
+            return ParsedPacket{ip, std::move(datagram).value()};
+        }
+    }
+    return util::make_error("unreachable protocol");
+}
+
+namespace {
+
+Ipv4Header make_ip_header(const IpSendOptions& opts, Protocol protocol) {
+    Ipv4Header ip;
+    ip.source = opts.source;
+    ip.destination = opts.destination;
+    ip.identification = opts.identification;
+    ip.ttl = opts.ttl;
+    ip.protocol = protocol;
+    ip.flags_fragment = opts.dont_fragment ? Ipv4Header::kFlagDontFragment : 0;
+    return ip;
+}
+
+}  // namespace
+
+Bytes make_icmp_echo_request(const IpSendOptions& ip, std::uint16_t identifier,
+                             std::uint16_t sequence, std::span<const std::uint8_t> payload) {
+    IcmpEcho echo;
+    echo.is_reply = false;
+    echo.identifier = identifier;
+    echo.sequence = sequence;
+    echo.payload.assign(payload.begin(), payload.end());
+    return build_ipv4_packet(make_ip_header(ip, Protocol::icmp),
+                             serialize_icmp(IcmpMessage{std::move(echo)}));
+}
+
+Bytes make_icmp_echo_reply(const IpSendOptions& ip, const IcmpEcho& request) {
+    IcmpEcho reply = request;
+    reply.is_reply = true;
+    return build_ipv4_packet(make_ip_header(ip, Protocol::icmp),
+                             serialize_icmp(IcmpMessage{std::move(reply)}));
+}
+
+Bytes make_icmp_error(const IpSendOptions& ip, IcmpType type, std::uint8_t code,
+                      std::span<const std::uint8_t> offending_packet, std::size_t quote_limit) {
+    IcmpError error;
+    error.type = type;
+    error.code = code;
+    const std::size_t quoted = std::min(offending_packet.size(), quote_limit);
+    error.quoted.assign(offending_packet.begin(),
+                        offending_packet.begin() + static_cast<std::ptrdiff_t>(quoted));
+    return build_ipv4_packet(make_ip_header(ip, Protocol::icmp),
+                             serialize_icmp(IcmpMessage{std::move(error)}));
+}
+
+Bytes make_tcp_packet(const IpSendOptions& ip, const TcpSegment& segment) {
+    return build_ipv4_packet(make_ip_header(ip, Protocol::tcp),
+                             serialize_tcp(segment, ip.source, ip.destination));
+}
+
+Bytes make_udp_packet(const IpSendOptions& ip, const UdpDatagram& datagram) {
+    return build_ipv4_packet(make_ip_header(ip, Protocol::udp),
+                             serialize_udp(datagram, ip.source, ip.destination));
+}
+
+}  // namespace lfp::net

@@ -1,0 +1,58 @@
+// Whole-packet construction and parsing: the layer both the prober and the
+// simulated routers speak. Every probe and response in this library is a
+// fully serialized IPv4 packet built/parsed here.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <variant>
+
+#include "net/icmp.hpp"
+#include "net/ipv4.hpp"
+#include "net/tcp.hpp"
+#include "net/udp.hpp"
+#include "util/result.hpp"
+
+namespace lfp::net {
+
+/// A fully parsed IPv4 packet: header plus protocol body.
+struct ParsedPacket {
+    Ipv4Header ip;
+    std::variant<IcmpMessage, TcpSegment, UdpDatagram> body;
+
+    [[nodiscard]] const IcmpMessage* icmp() const { return std::get_if<IcmpMessage>(&body); }
+    [[nodiscard]] const TcpSegment* tcp() const { return std::get_if<TcpSegment>(&body); }
+    [[nodiscard]] const UdpDatagram* udp() const { return std::get_if<UdpDatagram>(&body); }
+};
+
+/// Parses a complete IPv4 packet, validating every checksum on the way.
+[[nodiscard]] util::Result<ParsedPacket> parse_packet(std::span<const std::uint8_t> data);
+
+/// Common fields for the IP layer of an outgoing packet.
+struct IpSendOptions {
+    IPv4Address source;
+    IPv4Address destination;
+    std::uint16_t identification = 0;
+    std::uint8_t ttl = 64;
+    bool dont_fragment = true;
+};
+
+[[nodiscard]] Bytes make_icmp_echo_request(const IpSendOptions& ip, std::uint16_t identifier,
+                                           std::uint16_t sequence,
+                                           std::span<const std::uint8_t> payload);
+
+[[nodiscard]] Bytes make_icmp_echo_reply(const IpSendOptions& ip, const IcmpEcho& request);
+
+/// Builds an ICMP error (port unreachable / time exceeded) quoting the
+/// offending packet. `quote_limit` bounds how many bytes of the offending
+/// packet are embedded: RFC 792 minimum is IP header + 8; RFC 1812 routers
+/// may quote more — vendors differ, which LFP exploits as a feature.
+[[nodiscard]] Bytes make_icmp_error(const IpSendOptions& ip, IcmpType type, std::uint8_t code,
+                                    std::span<const std::uint8_t> offending_packet,
+                                    std::size_t quote_limit);
+
+[[nodiscard]] Bytes make_tcp_packet(const IpSendOptions& ip, const TcpSegment& segment);
+
+[[nodiscard]] Bytes make_udp_packet(const IpSendOptions& ip, const UdpDatagram& datagram);
+
+}  // namespace lfp::net

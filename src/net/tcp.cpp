@@ -1,0 +1,111 @@
+#include "net/tcp.hpp"
+
+#include "net/checksum.hpp"
+
+namespace lfp::net {
+
+std::optional<std::uint16_t> TcpSegment::mss() const {
+    for (const auto& opt : options) {
+        if (opt.kind == TcpOptionKind::mss && opt.data.size() == 2) {
+            return static_cast<std::uint16_t>((opt.data[0] << 8) | opt.data[1]);
+        }
+    }
+    return std::nullopt;
+}
+
+namespace {
+
+Bytes serialize_options(const std::vector<TcpOption>& options) {
+    Bytes out;
+    for (const auto& opt : options) {
+        out.push_back(static_cast<std::uint8_t>(opt.kind));
+        if (opt.kind == TcpOptionKind::nop || opt.kind == TcpOptionKind::end_of_options) {
+            continue;  // single-byte options
+        }
+        out.push_back(static_cast<std::uint8_t>(2 + opt.data.size()));
+        out.insert(out.end(), opt.data.begin(), opt.data.end());
+    }
+    while (out.size() % 4 != 0) out.push_back(0);  // pad to 32-bit boundary
+    return out;
+}
+
+util::Result<std::vector<TcpOption>> parse_options(std::span<const std::uint8_t> data) {
+    std::vector<TcpOption> options;
+    std::size_t pos = 0;
+    while (pos < data.size()) {
+        const auto kind = static_cast<TcpOptionKind>(data[pos]);
+        if (kind == TcpOptionKind::end_of_options) break;
+        if (kind == TcpOptionKind::nop) {
+            options.push_back({kind, {}});
+            ++pos;
+            continue;
+        }
+        if (pos + 1 >= data.size()) return util::make_error("TCP option truncated");
+        const std::uint8_t length = data[pos + 1];
+        if (length < 2 || pos + length > data.size()) {
+            return util::make_error("bad TCP option length");
+        }
+        TcpOption opt;
+        opt.kind = kind;
+        opt.data.assign(data.begin() + static_cast<std::ptrdiff_t>(pos + 2),
+                        data.begin() + static_cast<std::ptrdiff_t>(pos + length));
+        options.push_back(std::move(opt));
+        pos += length;
+    }
+    return options;
+}
+
+}  // namespace
+
+Bytes serialize_tcp(const TcpSegment& segment, IPv4Address source, IPv4Address destination) {
+    const Bytes options = serialize_options(segment.options);
+    const std::uint8_t data_offset_words = static_cast<std::uint8_t>(5 + options.size() / 4);
+
+    Bytes out;
+    out.reserve(20 + options.size() + segment.payload.size());
+    ByteWriter w(out);
+    w.u16(segment.source_port);
+    w.u16(segment.destination_port);
+    w.u32(segment.sequence);
+    w.u32(segment.acknowledgment);
+    w.u8(static_cast<std::uint8_t>(data_offset_words << 4));
+    w.u8(segment.flags.to_byte());
+    w.u16(segment.window);
+    const std::size_t checksum_offset = w.size();
+    w.u16(0);
+    w.u16(segment.urgent_pointer);
+    w.bytes(options);
+    w.bytes(segment.payload);
+    w.patch_u16(checksum_offset,
+                transport_checksum(source, destination, 6, out));
+    return out;
+}
+
+util::Result<TcpSegment> parse_tcp(std::span<const std::uint8_t> data, IPv4Address source,
+                                   IPv4Address destination) {
+    if (data.size() < 20) return util::make_error("TCP header truncated");
+    if (transport_checksum(source, destination, 6, data) != 0) {
+        return util::make_error("TCP checksum mismatch");
+    }
+    ByteReader in(data);
+    TcpSegment segment;
+    segment.source_port = in.u16();
+    segment.destination_port = in.u16();
+    segment.sequence = in.u32();
+    segment.acknowledgment = in.u32();
+    const std::uint8_t data_offset_words = static_cast<std::uint8_t>(in.u8() >> 4);
+    if (data_offset_words < 5) return util::make_error("bad TCP data offset");
+    const std::size_t header_len = static_cast<std::size_t>(data_offset_words) * 4;
+    if (header_len > data.size()) return util::make_error("TCP data offset beyond segment");
+    segment.flags = TcpFlags::from_byte(in.u8());
+    segment.window = in.u16();
+    in.u16();  // checksum
+    segment.urgent_pointer = in.u16();
+    auto options = parse_options(data.subspan(20, header_len - 20));
+    if (!options) return options.error();
+    segment.options = std::move(options).value();
+    segment.payload.assign(data.begin() + static_cast<std::ptrdiff_t>(header_len), data.end());
+    return segment;
+}
+
+}  // namespace lfp::net

@@ -1,0 +1,76 @@
+// TCP segment codec (RFC 793) with the option kinds fingerprinters care
+// about (MSS, window scale, SACK-permitted, timestamps, NOP/EOL).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "net/endian.hpp"
+#include "net/ip_address.hpp"
+#include "util/result.hpp"
+
+namespace lfp::net {
+
+struct TcpFlags {
+    bool fin = false;
+    bool syn = false;
+    bool rst = false;
+    bool psh = false;
+    bool ack = false;
+    bool urg = false;
+
+    [[nodiscard]] std::uint8_t to_byte() const noexcept {
+        return static_cast<std::uint8_t>((fin ? 0x01 : 0) | (syn ? 0x02 : 0) | (rst ? 0x04 : 0) |
+                                         (psh ? 0x08 : 0) | (ack ? 0x10 : 0) | (urg ? 0x20 : 0));
+    }
+    static TcpFlags from_byte(std::uint8_t b) noexcept {
+        return TcpFlags{(b & 0x01) != 0, (b & 0x02) != 0, (b & 0x04) != 0,
+                        (b & 0x08) != 0, (b & 0x10) != 0, (b & 0x20) != 0};
+    }
+    friend bool operator==(const TcpFlags&, const TcpFlags&) = default;
+};
+
+enum class TcpOptionKind : std::uint8_t {
+    end_of_options = 0,
+    nop = 1,
+    mss = 2,
+    window_scale = 3,
+    sack_permitted = 4,
+    timestamps = 8,
+};
+
+struct TcpOption {
+    TcpOptionKind kind = TcpOptionKind::nop;
+    Bytes data;  ///< option payload, excluding kind/length bytes
+
+    friend bool operator==(const TcpOption&, const TcpOption&) = default;
+};
+
+struct TcpSegment {
+    std::uint16_t source_port = 0;
+    std::uint16_t destination_port = 0;
+    std::uint32_t sequence = 0;
+    std::uint32_t acknowledgment = 0;
+    TcpFlags flags;
+    std::uint16_t window = 0;
+    std::uint16_t urgent_pointer = 0;
+    std::vector<TcpOption> options;
+    Bytes payload;
+
+    [[nodiscard]] std::optional<std::uint16_t> mss() const;
+
+    friend bool operator==(const TcpSegment&, const TcpSegment&) = default;
+};
+
+/// Serializes a segment with a correct pseudo-header checksum.
+[[nodiscard]] Bytes serialize_tcp(const TcpSegment& segment, IPv4Address source,
+                                  IPv4Address destination);
+
+/// Parses the bytes after the IPv4 header; verifies the checksum against the
+/// given addresses.
+[[nodiscard]] util::Result<TcpSegment> parse_tcp(std::span<const std::uint8_t> data,
+                                                 IPv4Address source, IPv4Address destination);
+
+}  // namespace lfp::net

@@ -1,0 +1,40 @@
+#include "net/udp.hpp"
+
+#include "net/checksum.hpp"
+
+namespace lfp::net {
+
+Bytes serialize_udp(const UdpDatagram& datagram, IPv4Address source, IPv4Address destination) {
+    Bytes out;
+    out.reserve(8 + datagram.payload.size());
+    ByteWriter w(out);
+    w.u16(datagram.source_port);
+    w.u16(datagram.destination_port);
+    w.u16(static_cast<std::uint16_t>(8 + datagram.payload.size()));
+    const std::size_t checksum_offset = w.size();
+    w.u16(0);
+    w.bytes(datagram.payload);
+    std::uint16_t checksum = transport_checksum(source, destination, 17, out);
+    if (checksum == 0) checksum = 0xFFFF;  // RFC 768: zero means "no checksum"
+    w.patch_u16(checksum_offset, checksum);
+    return out;
+}
+
+util::Result<UdpDatagram> parse_udp(std::span<const std::uint8_t> data, IPv4Address source,
+                                    IPv4Address destination) {
+    if (data.size() < 8) return util::make_error("UDP header truncated");
+    ByteReader in(data);
+    UdpDatagram datagram;
+    datagram.source_port = in.u16();
+    datagram.destination_port = in.u16();
+    const std::uint16_t length = in.u16();
+    const std::uint16_t checksum = in.u16();
+    if (length < 8 || length > data.size()) return util::make_error("bad UDP length");
+    if (checksum != 0 && transport_checksum(source, destination, 17, data.first(length)) != 0) {
+        return util::make_error("UDP checksum mismatch");
+    }
+    datagram.payload = in.bytes(static_cast<std::size_t>(length - 8));
+    return datagram;
+}
+
+}  // namespace lfp::net

@@ -1,0 +1,27 @@
+// UDP datagram codec (RFC 768).
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "net/endian.hpp"
+#include "net/ip_address.hpp"
+#include "util/result.hpp"
+
+namespace lfp::net {
+
+struct UdpDatagram {
+    std::uint16_t source_port = 0;
+    std::uint16_t destination_port = 0;
+    Bytes payload;
+
+    friend bool operator==(const UdpDatagram&, const UdpDatagram&) = default;
+};
+
+[[nodiscard]] Bytes serialize_udp(const UdpDatagram& datagram, IPv4Address source,
+                                  IPv4Address destination);
+
+[[nodiscard]] util::Result<UdpDatagram> parse_udp(std::span<const std::uint8_t> data,
+                                                  IPv4Address source, IPv4Address destination);
+
+}  // namespace lfp::net

@@ -1,0 +1,136 @@
+#include "probe/campaign.hpp"
+
+#include "stack/simulated_router.hpp"  // kProbePort
+
+namespace lfp::probe {
+
+std::size_t TargetProbeResult::responses_for(ProtoIndex protocol) const {
+    const auto& row = probes[static_cast<std::size_t>(protocol)];
+    std::size_t count = 0;
+    for (const auto& exchange : row) {
+        if (exchange.responded()) ++count;
+    }
+    return count;
+}
+
+std::size_t TargetProbeResult::responsive_protocol_count() const {
+    std::size_t count = 0;
+    for (std::size_t p = 0; p < kProtocolCount; ++p) {
+        if (responses_for(static_cast<ProtoIndex>(p)) > 0) ++count;
+    }
+    return count;
+}
+
+bool TargetProbeResult::any_response() const {
+    return responsive_protocol_count() > 0 || snmp.has_value();
+}
+
+net::Bytes Campaign::build_probe(net::IPv4Address target, ProtoIndex protocol, std::size_t round,
+                                 std::uint16_t ipid) {
+    net::IpSendOptions ip;
+    ip.source = transport_->vantage_address();
+    ip.destination = target;
+    ip.identification = ipid;
+    ip.ttl = config_.probe_ttl;
+
+    switch (protocol) {
+        case ProtoIndex::icmp: {
+            // Payload echoes are a size fingerprint; keep a fixed pattern.
+            net::Bytes payload(config_.icmp_payload_bytes, 0xA5);
+            const auto identifier =
+                static_cast<std::uint16_t>(target.value() ^ (target.value() >> 16));
+            return net::make_icmp_echo_request(ip, identifier,
+                                               static_cast<std::uint16_t>(round), payload);
+        }
+        case ProtoIndex::tcp: {
+            net::TcpSegment segment;
+            segment.source_port =
+                static_cast<std::uint16_t>(config_.source_port + round);
+            segment.destination_port = stack::kProbePort;
+            segment.window = 1024;
+            if (round < 2) {
+                // Two ACK probes (RFC 793 guarantees a RST from closed ports).
+                segment.flags.ack = true;
+                segment.sequence = 0x1000 + static_cast<std::uint32_t>(round);
+                segment.acknowledgment = 0xBEEF0001;
+            } else {
+                // One SYN with a non-zero ack *field* (flag clear): the RST's
+                // sequence number choice is the Table 1 compliance feature.
+                segment.flags.syn = true;
+                segment.sequence = 0x2000;
+                segment.acknowledgment = 0xBEEF0001;
+            }
+            return net::make_tcp_packet(ip, segment);
+        }
+        case ProtoIndex::udp: {
+            net::UdpDatagram datagram;
+            datagram.source_port =
+                static_cast<std::uint16_t>(config_.source_port + round);
+            datagram.destination_port = stack::kProbePort;
+            datagram.payload.assign(config_.udp_payload_bytes, 0x00);
+            return net::make_udp_packet(ip, datagram);
+        }
+    }
+    return {};
+}
+
+TargetProbeResult Campaign::probe_target(net::IPv4Address target) {
+    TargetProbeResult result;
+    result.target = target;
+
+    // Interleave protocols round by round: icmp,tcp,udp, icmp,tcp,udp, ...
+    // The global send order is what makes shared IPID counters observable.
+    std::uint32_t send_index = 0;
+    for (std::size_t round = 0; round < kRoundsPerProtocol; ++round) {
+        for (std::size_t p = 0; p < kProtocolCount; ++p) {
+            const auto protocol = static_cast<ProtoIndex>(p);
+            ProbeExchange& exchange = result.probes[p][round];
+            exchange.request_ipid = next_ipid_++;
+            exchange.send_index = send_index++;
+            exchange.request = build_probe(target, protocol, round, exchange.request_ipid);
+            ++packets_sent_;
+            exchange.response = transport_->transact(exchange.request);
+            if (exchange.response) ++responses_;
+        }
+    }
+
+    if (config_.send_snmp) {
+        snmp::DiscoveryRequest discovery;
+        discovery.message_id = static_cast<std::int32_t>(snmp_message_id_++ & 0x7FFFFFFF);
+
+        net::UdpDatagram datagram;
+        datagram.source_port = static_cast<std::uint16_t>(config_.source_port + 7);
+        datagram.destination_port = snmp::kSnmpPort;
+        datagram.payload = discovery.serialize();
+
+        net::IpSendOptions ip;
+        ip.source = transport_->vantage_address();
+        ip.destination = target;
+        ip.identification = next_ipid_++;
+        ip.ttl = config_.probe_ttl;
+        ++packets_sent_;
+        auto raw = transport_->transact(net::make_udp_packet(ip, datagram));
+        if (raw) {
+            ++responses_;
+            auto packet = net::parse_packet(*raw);
+            if (packet) {
+                if (const auto* udp = packet.value().udp()) {
+                    auto response = snmp::DiscoveryResponse::parse(udp->payload);
+                    if (response) result.snmp = std::move(response).value();
+                }
+            }
+        }
+    }
+    return result;
+}
+
+std::vector<TargetProbeResult> Campaign::run(std::span<const net::IPv4Address> targets) {
+    std::vector<TargetProbeResult> results;
+    results.reserve(targets.size());
+    for (net::IPv4Address target : targets) {
+        results.push_back(probe_target(target));
+    }
+    return results;
+}
+
+}  // namespace lfp::probe

@@ -1,0 +1,86 @@
+// The LFP probe campaign (paper §3.3): per target, nine single-packet
+// probes — three ICMP echoes, two TCP ACKs plus one TCP SYN (non-zero ack
+// field) to a closed port, three UDP datagrams to a closed port — and one
+// SNMPv3 discovery request. Probes are interleaved across protocols in a
+// fixed global send order so cross-protocol IPID counter sharing is
+// observable.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "probe/transport.hpp"
+#include "snmp/snmpv3.hpp"
+
+namespace lfp::probe {
+
+/// Index order for per-protocol arrays throughout the core library.
+enum class ProtoIndex : std::uint8_t { icmp = 0, tcp = 1, udp = 2 };
+constexpr std::size_t kProtocolCount = 3;
+constexpr std::size_t kRoundsPerProtocol = 3;
+
+/// One request/response exchange.
+struct ProbeExchange {
+    std::uint16_t request_ipid = 0;
+    std::uint32_t send_index = 0;  ///< global order within the target's probes
+    net::Bytes request;
+    std::optional<net::Bytes> response;
+
+    [[nodiscard]] bool responded() const noexcept { return response.has_value(); }
+};
+
+/// Everything LFP learned about one target IP.
+struct TargetProbeResult {
+    net::IPv4Address target;
+    /// probes[protocol][round]
+    std::array<std::array<ProbeExchange, kRoundsPerProtocol>, kProtocolCount> probes;
+    std::optional<snmp::DiscoveryResponse> snmp;
+
+    [[nodiscard]] std::size_t responses_for(ProtoIndex protocol) const;
+    [[nodiscard]] bool protocol_responsive(ProtoIndex protocol) const {
+        return responses_for(protocol) == kRoundsPerProtocol;
+    }
+    [[nodiscard]] std::size_t responsive_protocol_count() const;
+    [[nodiscard]] bool fully_responsive() const { return responsive_protocol_count() == 3; }
+    [[nodiscard]] bool any_response() const;
+};
+
+class Campaign {
+  public:
+    struct Config {
+        std::uint16_t icmp_payload_bytes = 56;  ///< 84-byte echo requests
+        std::uint16_t udp_payload_bytes = 12;   ///< all-zero payload (§3.3)
+        std::uint16_t source_port = 43211;
+        std::uint8_t probe_ttl = 64;
+        bool send_snmp = true;
+    };
+
+    explicit Campaign(ProbeTransport& transport) : Campaign(transport, Config{}) {}
+    Campaign(ProbeTransport& transport, Config config)
+        : transport_(&transport), config_(config) {}
+
+    /// Runs the full 9+1 probe exchange against one target.
+    TargetProbeResult probe_target(net::IPv4Address target);
+
+    /// Probes every target in order.
+    std::vector<TargetProbeResult> run(std::span<const net::IPv4Address> targets);
+
+    [[nodiscard]] std::uint64_t packets_sent() const noexcept { return packets_sent_; }
+    [[nodiscard]] std::uint64_t responses_received() const noexcept { return responses_; }
+
+  private:
+    net::Bytes build_probe(net::IPv4Address target, ProtoIndex protocol, std::size_t round,
+                           std::uint16_t ipid);
+
+    ProbeTransport* transport_;
+    Config config_;
+    std::uint16_t next_ipid_ = 0x3100;
+    std::uint32_t snmp_message_id_ = 0x51000;
+    std::uint64_t packets_sent_ = 0;
+    std::uint64_t responses_ = 0;
+};
+
+}  // namespace lfp::probe

@@ -1,0 +1,182 @@
+#include "probe/raw_socket_transport.hpp"
+
+#include <array>
+#include <cerrno>
+#include <cstring>
+
+#ifdef __linux__
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+#endif
+
+namespace lfp::probe {
+
+RawSocketTransport::RawSocketTransport(Options options)
+    : options_(options), vantage_(net::IPv4Address::from_octets(127, 0, 0, 1)) {
+    if (options_.dry_run) {
+        status_ = "dry-run (no sockets opened)";
+        return;
+    }
+    ready_ = open_sockets();
+}
+
+RawSocketTransport::~RawSocketTransport() { close_sockets(); }
+
+#ifdef __linux__
+
+bool RawSocketTransport::open_sockets() {
+    auto open_raw = [this](int protocol, int& fd) {
+        fd = ::socket(AF_INET, SOCK_RAW, protocol);
+        if (fd < 0) {
+            status_ = std::string("socket() failed: ") + std::strerror(errno);
+            return false;
+        }
+        return true;
+    };
+    if (!open_raw(IPPROTO_RAW, send_fd_) || !open_raw(IPPROTO_ICMP, recv_icmp_fd_) ||
+        !open_raw(IPPROTO_TCP, recv_tcp_fd_) || !open_raw(IPPROTO_UDP, recv_udp_fd_)) {
+        close_sockets();
+        return false;
+    }
+    const int one = 1;
+    if (::setsockopt(send_fd_, IPPROTO_IP, IP_HDRINCL, &one, sizeof(one)) != 0) {
+        status_ = std::string("IP_HDRINCL failed: ") + std::strerror(errno);
+        close_sockets();
+        return false;
+    }
+    status_ = "ready";
+    return true;
+}
+
+void RawSocketTransport::close_sockets() noexcept {
+    for (int* fd : {&send_fd_, &recv_icmp_fd_, &recv_tcp_fd_, &recv_udp_fd_}) {
+        if (*fd >= 0) {
+            ::close(*fd);
+            *fd = -1;
+        }
+    }
+    ready_ = false;
+}
+
+std::optional<net::Bytes> RawSocketTransport::transact(std::span<const std::uint8_t> packet) {
+    if (!ready_) return std::nullopt;
+    auto request = net::parse_packet(packet);
+    if (!request) return std::nullopt;
+
+    sockaddr_in destination{};
+    destination.sin_family = AF_INET;
+    destination.sin_addr.s_addr = htonl(request.value().ip.destination.value());
+    const auto sent =
+        ::sendto(send_fd_, packet.data(), packet.size(), 0,
+                 reinterpret_cast<const sockaddr*>(&destination), sizeof(destination));
+    if (sent < 0 || static_cast<std::size_t>(sent) != packet.size()) return std::nullopt;
+    return wait_for_match(request.value());
+}
+
+std::optional<net::Bytes> RawSocketTransport::wait_for_match(const net::ParsedPacket& request) {
+    const auto deadline =
+        std::chrono::steady_clock::now() + options_.timeout;
+    std::array<pollfd, 3> fds{{{recv_icmp_fd_, POLLIN, 0},
+                               {recv_tcp_fd_, POLLIN, 0},
+                               {recv_udp_fd_, POLLIN, 0}}};
+    std::array<std::uint8_t, 65536> buffer{};
+    for (;;) {
+        const auto now = std::chrono::steady_clock::now();
+        if (now >= deadline) return std::nullopt;
+        const auto remaining =
+            std::chrono::duration_cast<std::chrono::milliseconds>(deadline - now);
+        const int rc = ::poll(fds.data(), fds.size(), static_cast<int>(remaining.count()));
+        if (rc <= 0) return std::nullopt;
+        for (const pollfd& entry : fds) {
+            if ((entry.revents & POLLIN) == 0) continue;
+            const auto received = ::recv(entry.fd, buffer.data(), buffer.size(), 0);
+            if (received <= 0) continue;
+            auto candidate = net::parse_packet(
+                std::span<const std::uint8_t>(buffer.data(), static_cast<std::size_t>(received)));
+            if (!candidate) continue;
+            if (response_matches(request, candidate.value())) {
+                return net::Bytes(buffer.begin(), buffer.begin() + received);
+            }
+        }
+    }
+}
+
+#else  // !__linux__
+
+bool RawSocketTransport::open_sockets() {
+    status_ = "raw sockets unsupported on this platform";
+    return false;
+}
+
+void RawSocketTransport::close_sockets() noexcept {}
+
+std::optional<net::Bytes> RawSocketTransport::transact(std::span<const std::uint8_t>) {
+    return std::nullopt;
+}
+
+std::optional<net::Bytes> RawSocketTransport::wait_for_match(const net::ParsedPacket&) {
+    return std::nullopt;
+}
+
+#endif  // __linux__
+
+bool RawSocketTransport::response_matches(const net::ParsedPacket& request,
+                                          const net::ParsedPacket& candidate) {
+    // Any response must come from the probed address (ICMP errors from
+    // intermediate routers are rejected; LFP probes the target directly).
+    if (candidate.ip.source != request.ip.destination) return false;
+    switch (request.ip.protocol) {
+        case net::Protocol::icmp: {
+            const auto* sent = request.icmp();
+            const auto* got = candidate.icmp();
+            if (sent == nullptr || got == nullptr) return false;
+            const auto* sent_echo = std::get_if<net::IcmpEcho>(sent);
+            const auto* got_echo = std::get_if<net::IcmpEcho>(got);
+            return sent_echo != nullptr && got_echo != nullptr && got_echo->is_reply &&
+                   got_echo->identifier == sent_echo->identifier &&
+                   got_echo->sequence == sent_echo->sequence;
+        }
+        case net::Protocol::tcp: {
+            const auto* sent = request.tcp();
+            const auto* got = candidate.tcp();
+            return sent != nullptr && got != nullptr &&
+                   got->source_port == sent->destination_port &&
+                   got->destination_port == sent->source_port;
+        }
+        case net::Protocol::udp: {
+            // Either a UDP reply (SNMP) or an ICMP error quoting our probe.
+            const auto* sent = request.udp();
+            if (sent == nullptr) return false;
+            if (const auto* got = candidate.udp()) {
+                return got->source_port == sent->destination_port &&
+                       got->destination_port == sent->source_port;
+            }
+            if (const auto* got = candidate.icmp()) {
+                const auto* error = std::get_if<net::IcmpError>(got);
+                if (error == nullptr || error->quoted.size() < net::Ipv4Header::kSize + 4) {
+                    return false;
+                }
+                // The quote begins with our original IPv4 header; match the
+                // embedded destination and UDP ports.
+                auto quoted_header = net::Ipv4Header::parse(error->quoted);
+                if (!quoted_header ||
+                    quoted_header.value().destination != request.ip.destination) {
+                    return false;
+                }
+                const std::size_t off = net::Ipv4Header::kSize;
+                const std::uint16_t src_port = static_cast<std::uint16_t>(
+                    (error->quoted[off] << 8) | error->quoted[off + 1]);
+                const std::uint16_t dst_port = static_cast<std::uint16_t>(
+                    (error->quoted[off + 2] << 8) | error->quoted[off + 3]);
+                return src_port == sent->source_port && dst_port == sent->destination_port;
+            }
+            return false;
+        }
+    }
+    return false;
+}
+
+}  // namespace lfp::probe

@@ -1,0 +1,55 @@
+// Raw-socket transport for probing live targets (Linux, requires
+// CAP_NET_RAW). The same campaign and classification pipeline that runs in
+// simulation runs over this transport unchanged.
+//
+// Responses are matched to requests by protocol-specific keys: ICMP echo
+// identifier, the quoted datagram inside ICMP errors, TCP/UDP port pairs.
+#pragma once
+
+#include <chrono>
+#include <string>
+
+#include "probe/transport.hpp"
+
+namespace lfp::probe {
+
+class RawSocketTransport final : public ProbeTransport {
+  public:
+    struct Options {
+        std::chrono::milliseconds timeout{1000};
+        /// When true, no sockets are opened and every transact() times out;
+        /// lets callers exercise the code path without privileges.
+        bool dry_run = false;
+    };
+
+    RawSocketTransport() : RawSocketTransport(Options{}) {}
+    explicit RawSocketTransport(Options options);
+    ~RawSocketTransport() override;
+
+    /// True if all sockets opened (CAP_NET_RAW present and platform
+    /// supported); false puts the transport in dry-run behaviour.
+    [[nodiscard]] bool ready() const noexcept { return ready_; }
+    [[nodiscard]] const std::string& status() const noexcept { return status_; }
+
+    std::optional<net::Bytes> transact(std::span<const std::uint8_t> packet) override;
+
+    [[nodiscard]] net::IPv4Address vantage_address() const override { return vantage_; }
+
+  private:
+    bool open_sockets();
+    void close_sockets() noexcept;
+    std::optional<net::Bytes> wait_for_match(const net::ParsedPacket& request);
+    static bool response_matches(const net::ParsedPacket& request,
+                                 const net::ParsedPacket& candidate);
+
+    Options options_;
+    bool ready_ = false;
+    std::string status_;
+    net::IPv4Address vantage_;
+    int send_fd_ = -1;
+    int recv_icmp_fd_ = -1;
+    int recv_tcp_fd_ = -1;
+    int recv_udp_fd_ = -1;
+};
+
+}  // namespace lfp::probe

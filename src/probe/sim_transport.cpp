@@ -1,0 +1,4 @@
+#include "probe/sim_transport.hpp"
+
+// Header-only implementation; translation unit anchors the target.
+namespace lfp::probe {}

@@ -1,0 +1,26 @@
+// Transport over the simulated Internet.
+#pragma once
+
+#include "probe/transport.hpp"
+#include "sim/internet.hpp"
+
+namespace lfp::probe {
+
+class SimTransport final : public ProbeTransport {
+  public:
+    explicit SimTransport(sim::Internet& internet,
+                          net::IPv4Address vantage = net::IPv4Address::from_octets(192, 0, 2, 7))
+        : internet_(&internet), vantage_(vantage) {}
+
+    std::optional<net::Bytes> transact(std::span<const std::uint8_t> packet) override {
+        return internet_->transact(packet);
+    }
+
+    [[nodiscard]] net::IPv4Address vantage_address() const override { return vantage_; }
+
+  private:
+    sim::Internet* internet_;
+    net::IPv4Address vantage_;
+};
+
+}  // namespace lfp::probe

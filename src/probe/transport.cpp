@@ -1,0 +1,4 @@
+#include "probe/transport.hpp"
+
+// Interface-only translation unit: keeps the vtable anchored in one place.
+namespace lfp::probe {}

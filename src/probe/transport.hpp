@@ -1,0 +1,31 @@
+// Probe transport abstraction: the campaign logic is transport-agnostic so
+// the identical pipeline runs against the simulated Internet (SimTransport)
+// or live targets via raw sockets (RawSocketTransport).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+
+#include "net/ip_address.hpp"
+#include "net/packet_builder.hpp"
+
+namespace lfp::probe {
+
+class ProbeTransport {
+  public:
+    virtual ~ProbeTransport() = default;
+
+    ProbeTransport() = default;
+    ProbeTransport(const ProbeTransport&) = delete;
+    ProbeTransport& operator=(const ProbeTransport&) = delete;
+
+    /// Sends one raw IPv4 packet and waits for the matching response.
+    /// Returns the raw response packet, or nullopt on timeout/filtering.
+    virtual std::optional<net::Bytes> transact(std::span<const std::uint8_t> packet) = 0;
+
+    /// The source address probes should carry.
+    [[nodiscard]] virtual net::IPv4Address vantage_address() const = 0;
+};
+
+}  // namespace lfp::probe

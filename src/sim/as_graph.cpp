@@ -1,0 +1,171 @@
+#include "sim/as_graph.hpp"
+
+#include <algorithm>
+#include <queue>
+#include <stdexcept>
+
+namespace lfp::sim {
+
+std::uint32_t AsGraph::add_as(AsTier tier) {
+    AsNode node;
+    node.asn = next_asn_++;
+    node.tier = tier;
+    index_[node.asn] = nodes_.size();
+    nodes_.push_back(std::move(node));
+    return nodes_.back().asn;
+}
+
+void AsGraph::add_provider_customer(std::uint32_t provider, std::uint32_t customer) {
+    nodes_[index_of(provider)].customers.push_back(customer);
+    nodes_[index_of(customer)].providers.push_back(provider);
+}
+
+void AsGraph::add_peering(std::uint32_t a, std::uint32_t b) {
+    nodes_[index_of(a)].peers.push_back(b);
+    nodes_[index_of(b)].peers.push_back(a);
+}
+
+const AsNode& AsGraph::node(std::uint32_t asn) const { return nodes_[index_of(asn)]; }
+
+bool AsGraph::contains(std::uint32_t asn) const { return index_.contains(asn); }
+
+std::size_t AsGraph::index_of(std::uint32_t asn) const {
+    auto it = index_.find(asn);
+    if (it == index_.end()) throw std::out_of_range("unknown ASN");
+    return it->second;
+}
+
+AsGraph::RoutingTable AsGraph::routes_to(std::uint32_t destination) const {
+    return routes_to_avoiding(destination, {});
+}
+
+AsGraph::RoutingTable AsGraph::routes_to_avoiding(std::uint32_t destination,
+                                                  std::vector<std::uint32_t> excluded) const {
+    RoutingTable table;
+    table.graph_ = this;
+    table.destination_ = destination;
+    table.excluded_ = std::move(excluded);
+    table.compute();
+    return table;
+}
+
+bool AsGraph::RoutingTable::is_excluded(std::uint32_t asn) const {
+    return std::find(excluded_.begin(), excluded_.end(), asn) != excluded_.end();
+}
+
+void AsGraph::RoutingTable::compute() {
+    const auto& nodes = graph_->nodes_;
+    routes_.assign(nodes.size(), {});
+    if (!graph_->contains(destination_) || is_excluded(destination_)) return;
+
+    const std::size_t dst_index = graph_->index_of(destination_);
+    // Gao-Rexford route propagation toward a single destination.
+    //
+    // Phase A — customer routes: propagate from the destination along
+    // customer→provider edges (a provider reaches the destination through
+    // its customer). BFS yields shortest customer routes.
+    routes_[dst_index] = {0, 0, destination_};
+    std::queue<std::size_t> queue;
+    queue.push(dst_index);
+    while (!queue.empty()) {
+        const std::size_t current = queue.front();
+        queue.pop();
+        const Route& route = routes_[current];
+        for (std::uint32_t provider_asn : nodes[current].providers) {
+            if (is_excluded(provider_asn)) continue;
+            const std::size_t p = graph_->index_of(provider_asn);
+            if (routes_[p].hops != -1) continue;  // BFS: first visit is shortest
+            routes_[p] = {route.hops + 1, 0, nodes[current].asn};
+            queue.push(p);
+        }
+    }
+
+    // Phase B — peer routes: a single peer edge on top of a customer route.
+    // Customer routes are exported to peers; peer routes are not re-exported
+    // except to customers (handled in phase C).
+    std::vector<Route> peer_routes(nodes.size());
+    for (std::size_t i = 0; i < nodes.size(); ++i) {
+        if (routes_[i].hops == -1 || routes_[i].kind != 0) continue;
+        for (std::uint32_t peer_asn : nodes[i].peers) {
+            if (is_excluded(peer_asn)) continue;
+            const std::size_t p = graph_->index_of(peer_asn);
+            if (routes_[p].hops != -1) continue;  // customer route wins
+            const int hops = routes_[i].hops + 1;
+            if (peer_routes[p].hops == -1 || hops < peer_routes[p].hops ||
+                (hops == peer_routes[p].hops && nodes[i].asn < peer_routes[p].next_hop)) {
+                peer_routes[p] = {hops, 1, nodes[i].asn};
+            }
+        }
+    }
+    for (std::size_t i = 0; i < nodes.size(); ++i) {
+        if (routes_[i].hops == -1 && peer_routes[i].hops != -1) routes_[i] = peer_routes[i];
+    }
+
+    // Phase C — provider routes: every routed AS exports its best route to
+    // its customers. Dijkstra ordering (unit weights, heterogeneous source
+    // depths) yields shortest provider routes.
+    using Entry = std::pair<int, std::size_t>;  // (hops at customer, customer index)
+    std::priority_queue<Entry, std::vector<Entry>, std::greater<>> frontier;
+    for (std::size_t i = 0; i < nodes.size(); ++i) {
+        if (routes_[i].hops == -1) continue;
+        for (std::uint32_t customer_asn : nodes[i].customers) {
+            if (is_excluded(customer_asn)) continue;
+            const std::size_t c = graph_->index_of(customer_asn);
+            if (routes_[c].hops != -1) continue;
+            frontier.push({routes_[i].hops + 1, c});
+        }
+    }
+    // Track tentative provider routes so we can fill next_hop on settle.
+    while (!frontier.empty()) {
+        const auto [hops, c] = frontier.top();
+        frontier.pop();
+        if (routes_[c].hops != -1) continue;  // already settled
+        // Find the best provider that offers this hop count (deterministic
+        // tie-break on ASN).
+        std::uint32_t best_provider = 0;
+        for (std::uint32_t provider_asn : nodes[c].providers) {
+            if (is_excluded(provider_asn)) continue;
+            const std::size_t p = graph_->index_of(provider_asn);
+            if (routes_[p].hops == hops - 1) {
+                if (best_provider == 0 || provider_asn < best_provider) {
+                    best_provider = provider_asn;
+                }
+            }
+        }
+        if (best_provider == 0) continue;  // stale queue entry
+        routes_[c] = {hops, 2, best_provider};
+        for (std::uint32_t customer_asn : nodes[c].customers) {
+            if (is_excluded(customer_asn)) continue;
+            const std::size_t g = graph_->index_of(customer_asn);
+            if (routes_[g].hops == -1) frontier.push({hops + 1, g});
+        }
+    }
+}
+
+std::optional<AsPath> AsGraph::RoutingTable::path_from(std::uint32_t source) const {
+    if (!graph_->contains(source) || is_excluded(source)) return std::nullopt;
+    std::size_t current = graph_->index_of(source);
+    if (routes_[current].hops == -1) return std::nullopt;
+    AsPath path;
+    path.push_back(source);
+    while (graph_->nodes_[current].asn != destination_) {
+        const std::uint32_t next = routes_[current].next_hop;
+        path.push_back(next);
+        current = graph_->index_of(next);
+        if (path.size() > graph_->nodes_.size()) return std::nullopt;  // defensive
+    }
+    return path;
+}
+
+bool AsGraph::RoutingTable::reachable_from(std::uint32_t source) const {
+    if (!graph_->contains(source) || is_excluded(source)) return false;
+    return routes_[graph_->index_of(source)].hops != -1;
+}
+
+std::optional<AsPath> AsGraph::RoutingTable::path_avoiding(
+    std::uint32_t source, const std::vector<std::uint32_t>& excluded) const {
+    RoutingTable alternative = graph_->routes_to_avoiding(destination_, excluded);
+    return alternative.path_from(source);
+}
+
+}  // namespace lfp::sim

@@ -1,0 +1,99 @@
+// AS-level graph with Gao-Rexford business relationships and valley-free
+// path computation — the substrate for traceroute synthesis and for the
+// §6.3 informed-routing case study (standing in for the CAIDA AS
+// relationship dataset).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+namespace lfp::sim {
+
+enum class AsTier : std::uint8_t {
+    tier1,    ///< transit-free, fully meshed peers
+    transit,  ///< regional/national transit providers
+    stub,     ///< edge networks
+};
+
+struct AsNode {
+    std::uint32_t asn = 0;
+    AsTier tier = AsTier::stub;
+    std::vector<std::uint32_t> providers;
+    std::vector<std::uint32_t> customers;
+    std::vector<std::uint32_t> peers;
+};
+
+/// A valley-free AS path from a source to a destination (inclusive).
+using AsPath = std::vector<std::uint32_t>;
+
+class AsGraph {
+  public:
+    std::uint32_t add_as(AsTier tier);
+
+    /// Records a provider→customer relationship.
+    void add_provider_customer(std::uint32_t provider, std::uint32_t customer);
+    void add_peering(std::uint32_t a, std::uint32_t b);
+
+    [[nodiscard]] const AsNode& node(std::uint32_t asn) const;
+    [[nodiscard]] bool contains(std::uint32_t asn) const;
+    [[nodiscard]] std::size_t size() const noexcept { return nodes_.size(); }
+    [[nodiscard]] const std::vector<AsNode>& nodes() const noexcept { return nodes_; }
+
+    /// Per-destination routing state: every AS's best valley-free path to
+    /// `destination`, following Gao-Rexford preferences
+    /// (customer > peer > provider route, then shortest).
+    class RoutingTable {
+      public:
+        /// The best path from `source` to the table's destination, or
+        /// nullopt if unreachable.
+        [[nodiscard]] std::optional<AsPath> path_from(std::uint32_t source) const;
+
+        /// True if any valley-free route exists from `source`.
+        [[nodiscard]] bool reachable_from(std::uint32_t source) const;
+
+        /// Best path from `source` that avoids every AS in `excluded`
+        /// (destination excepted). Used by the informed-routing policy to
+        /// find alternatives around untrusted transit networks. Computed by
+        /// re-running route propagation with the excluded ASes removed.
+        [[nodiscard]] std::optional<AsPath> path_avoiding(
+            std::uint32_t source, const std::vector<std::uint32_t>& excluded) const;
+
+        [[nodiscard]] std::uint32_t destination() const noexcept { return destination_; }
+
+      private:
+        friend class AsGraph;
+        const AsGraph* graph_ = nullptr;
+        std::uint32_t destination_ = 0;
+        std::vector<std::uint32_t> excluded_;  // applied during computation
+
+        // Per-AS best-route records, indexed like nodes_.
+        struct Route {
+            int hops = -1;                       ///< -1 = unreachable
+            std::uint8_t kind = 3;               ///< 0 customer, 1 peer, 2 provider, 3 none
+            std::uint32_t next_hop = 0;
+        };
+        std::vector<Route> routes_;
+
+        void compute();
+        [[nodiscard]] bool is_excluded(std::uint32_t asn) const;
+    };
+
+    /// Builds the routing table toward `destination`.
+    [[nodiscard]] RoutingTable routes_to(std::uint32_t destination) const;
+
+    /// Routing table toward `destination` with some ASes removed from the
+    /// topology (they neither originate nor transit).
+    [[nodiscard]] RoutingTable routes_to_avoiding(
+        std::uint32_t destination, std::vector<std::uint32_t> excluded) const;
+
+  private:
+    [[nodiscard]] std::size_t index_of(std::uint32_t asn) const;
+
+    std::vector<AsNode> nodes_;
+    std::unordered_map<std::uint32_t, std::size_t> index_;
+    std::uint32_t next_asn_ = 100;
+};
+
+}  // namespace lfp::sim

@@ -1,0 +1,149 @@
+#include "sim/datasets.hpp"
+
+#include <algorithm>
+#include <array>
+
+namespace lfp::sim {
+
+namespace {
+
+std::vector<net::IPv4Address> unique_routable(const std::vector<Traceroute>& traces) {
+    std::unordered_set<net::IPv4Address> seen;
+    for (const auto& trace : traces) {
+        for (net::IPv4Address hop : trace.hops) {
+            if (hop.is_routable()) seen.insert(hop);
+        }
+    }
+    std::vector<net::IPv4Address> out(seen.begin(), seen.end());
+    std::sort(out.begin(), out.end());
+    return out;
+}
+
+std::size_t count_ases(const Topology& topology, const std::vector<net::IPv4Address>& ips) {
+    std::unordered_set<std::uint32_t> ases;
+    for (net::IPv4Address ip : ips) {
+        const std::size_t index = topology.find_by_interface(ip);
+        if (index != Topology::npos) ases.insert(topology.asn_of(index));
+    }
+    return ases.size();
+}
+
+}  // namespace
+
+std::vector<net::IPv4Address> TracerouteDataset::router_ips() const {
+    return unique_routable(traces);
+}
+
+std::size_t TracerouteDataset::as_count(const Topology& topology) const {
+    return count_ases(topology, router_ips());
+}
+
+std::vector<net::IPv4Address> ItdkDataset::router_ips() const {
+    std::vector<net::IPv4Address> out;
+    for (const auto& set : alias_sets) {
+        out.insert(out.end(), set.addresses.begin(), set.addresses.end());
+    }
+    std::sort(out.begin(), out.end());
+    out.erase(std::unique(out.begin(), out.end()), out.end());
+    return out;
+}
+
+std::size_t ItdkDataset::as_count(const Topology& topology) const {
+    return count_ases(topology, router_ips());
+}
+
+DatasetBuilder::DatasetBuilder(const Topology& topology, DatasetConfig config)
+    : topology_(&topology), config_(config) {}
+
+std::vector<TracerouteDataset> DatasetBuilder::ripe_snapshots() {
+    util::Rng rng(config_.seed);
+    TracerouteSynthesizer synthesizer(*topology_, config_.seed ^ 0xA11A5);
+
+    // Vantage points and destinations: RIPE probes live mostly in stub and
+    // transit networks; destinations are drawn from a bounded pool so the
+    // per-destination routing tables get reused.
+    std::vector<std::uint32_t> all_asns;
+    all_asns.reserve(topology_->graph().size());
+    for (const AsNode& node : topology_->graph().nodes()) all_asns.push_back(node.asn);
+
+    // Probe hosts live in a minority of networks.
+    std::vector<std::uint32_t> source_pool;
+    for (std::uint32_t asn : all_asns) {
+        if (rng.chance(config_.source_as_fraction)) source_pool.push_back(asn);
+    }
+    if (source_pool.empty()) source_pool = all_asns;
+
+    std::vector<std::uint32_t> destination_pool;
+    for (std::size_t i = 0; i < config_.destination_pool; ++i) {
+        destination_pool.push_back(all_asns[rng.below(all_asns.size())]);
+    }
+
+    struct Pair {
+        std::uint32_t src;
+        std::uint32_t dst;
+        std::uint64_t flow;  ///< stable per pair → stable trace across snapshots
+    };
+    std::uint64_t next_flow = 1;
+    std::vector<Pair> pairs(config_.traces_per_snapshot);
+    auto fresh_pair = [&](Pair& p) {
+        p.src = source_pool[rng.below(source_pool.size())];
+        p.dst = destination_pool[rng.below(destination_pool.size())];
+        p.flow = next_flow++;
+    };
+    for (auto& p : pairs) fresh_pair(p);
+
+    static constexpr std::array<const char*, 5> kDates{
+        "2022-01-24", "2022-02-24", "2022-06-09", "2022-07-04", "2022-11-07"};
+
+    std::vector<TracerouteDataset> snapshots;
+    for (std::size_t s = 0; s < config_.snapshot_count; ++s) {
+        if (s != 0) {
+            // Churn a slice of the measurement pairs between snapshots.
+            for (auto& p : pairs) {
+                if (rng.chance(config_.pair_churn)) fresh_pair(p);
+            }
+        }
+        TracerouteDataset snapshot;
+        snapshot.name = "RIPE-" + std::to_string(s + 1);
+        snapshot.date = s < kDates.size() ? kDates[s] : "2022-12-01";
+        snapshot.traces.reserve(pairs.size());
+        for (const Pair& p : pairs) {
+            auto trace = synthesizer.trace(p.src, p.dst, p.flow);
+            if (trace) snapshot.traces.push_back(std::move(*trace));
+        }
+        snapshots.push_back(std::move(snapshot));
+    }
+    return snapshots;
+}
+
+ItdkDataset DatasetBuilder::itdk() const {
+    util::Rng rng(config_.seed ^ 0x17D4);
+    ItdkDataset dataset;
+    dataset.name = "ITDK";
+    dataset.date = "2022-02";
+
+    // Sample the AS set with a bias toward larger networks (alias resolution
+    // campaigns see well-connected cores far more often than small stubs).
+    for (const AsNode& node : topology_->graph().nodes()) {
+        const auto& routers = topology_->routers_in_as(node.asn);
+        if (routers.empty()) continue;
+        const double size_bias =
+            std::min(1.0, 0.3 + static_cast<double>(routers.size()) / 50.0);
+        if (!rng.chance(std::min(1.0, config_.itdk_as_fraction * 1.6 * size_bias))) continue;
+        for (std::size_t router_index : routers) {
+            const auto& router = topology_->router(router_index);
+            // MIDAR/iffinder prerequisite: the router answers something.
+            if (!router.responds_icmp() && !router.responds_tcp() && !router.responds_udp()) {
+                continue;
+            }
+            if (router.interfaces().size() < 2) continue;  // singletons excluded
+            AliasSet set;
+            set.router_index = router_index;
+            set.addresses = router.interfaces();
+            dataset.alias_sets.push_back(std::move(set));
+        }
+    }
+    return dataset;
+}
+
+}  // namespace lfp::sim

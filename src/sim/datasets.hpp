@@ -1,0 +1,76 @@
+// Dataset synthesis: RIPE-Atlas-like traceroute snapshots (with interface
+// churn across snapshots) and an ITDK-like router-level dataset with alias
+// sets — the two complementary target lists of the paper (Table 2).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "sim/topology.hpp"
+#include "sim/traceroute.hpp"
+
+namespace lfp::sim {
+
+struct TracerouteDataset {
+    std::string name;
+    std::string date;
+    std::vector<Traceroute> traces;
+
+    /// Unique routable intermediate hop addresses (the dataset's router IPs).
+    [[nodiscard]] std::vector<net::IPv4Address> router_ips() const;
+
+    /// Number of distinct ASes the router IPs map to.
+    [[nodiscard]] std::size_t as_count(const Topology& topology) const;
+};
+
+struct AliasSet {
+    std::size_t router_index = 0;  ///< ground-truth backing router
+    std::vector<net::IPv4Address> addresses;
+};
+
+struct ItdkDataset {
+    std::string name;
+    std::string date;
+    std::vector<AliasSet> alias_sets;  ///< non-singleton alias sets
+
+    [[nodiscard]] std::vector<net::IPv4Address> router_ips() const;
+    [[nodiscard]] std::size_t as_count(const Topology& topology) const;
+};
+
+struct DatasetConfig {
+    std::uint64_t seed = 99;
+    std::size_t traces_per_snapshot = 40000;
+    std::size_t snapshot_count = 5;
+    /// Fraction of source/destination pairs replaced between snapshots
+    /// (drives the ~88% pairwise router-IP overlap the paper reports).
+    double pair_churn = 0.25;
+    /// Destination-AS pool size (bounds routing-table computations).
+    std::size_t destination_pool = 400;
+    /// Fraction of ASes hosting measurement probes (RIPE vantage points
+    /// live in a minority of networks; ASes outside the probe and
+    /// destination pools are observed only when they provide transit).
+    double source_as_fraction = 0.35;
+    /// Fraction of ASes included in the ITDK-like collection run.
+    double itdk_as_fraction = 0.55;
+};
+
+class DatasetBuilder {
+  public:
+    DatasetBuilder(const Topology& topology, DatasetConfig config = {});
+
+    /// The five RIPE-like snapshots, in chronological order.
+    [[nodiscard]] std::vector<TracerouteDataset> ripe_snapshots();
+
+    /// The ITDK-like router-level dataset: routers in the sampled AS set
+    /// that answer at least one probe protocol, with their alias sets
+    /// (singletons excluded, as in MIDAR-based ITDK releases).
+    [[nodiscard]] ItdkDataset itdk() const;
+
+  private:
+    const Topology* topology_;
+    DatasetConfig config_;
+};
+
+}  // namespace lfp::sim

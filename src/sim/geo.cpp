@@ -1,0 +1,82 @@
+#include "sim/geo.hpp"
+
+#include <array>
+
+namespace lfp::sim {
+
+std::string_view to_string(Continent continent) noexcept {
+    switch (continent) {
+        case Continent::north_america: return "North America";
+        case Continent::south_america: return "South America";
+        case Continent::europe: return "Europe";
+        case Continent::asia: return "Asia";
+        case Continent::africa: return "Africa";
+        case Continent::oceania: return "Oceania";
+    }
+    return "?";
+}
+
+std::string_view continent_code(Continent continent) noexcept {
+    switch (continent) {
+        case Continent::north_america: return "NA";
+        case Continent::south_america: return "SA";
+        case Continent::europe: return "EU";
+        case Continent::asia: return "AS";
+        case Continent::africa: return "AF";
+        case Continent::oceania: return "OC";
+    }
+    return "?";
+}
+
+void GeoRegistry::assign(std::uint32_t asn, GeoInfo info) { by_asn_[asn] = std::move(info); }
+
+const GeoInfo* GeoRegistry::lookup(std::uint32_t asn) const {
+    auto it = by_asn_.find(asn);
+    return it == by_asn_.end() ? nullptr : &it->second;
+}
+
+bool GeoRegistry::is_in_country(std::uint32_t asn, std::string_view country) const {
+    const GeoInfo* info = lookup(asn);
+    return info != nullptr && info->country == country;
+}
+
+GeoInfo GeoRegistry::draw_country(util::Rng& rng) {
+    struct CountryWeight {
+        const char* country;
+        Continent continent;
+        double weight;
+    };
+    // Rough registry distribution of ASes hosting core routers.
+    static constexpr std::array<CountryWeight, 24> kCountries{{
+        {"US", Continent::north_america, 21.0},
+        {"CA", Continent::north_america, 2.5},
+        {"MX", Continent::north_america, 1.0},
+        {"BR", Continent::south_america, 4.0},
+        {"AR", Continent::south_america, 1.2},
+        {"CL", Continent::south_america, 0.8},
+        {"DE", Continent::europe, 5.5},
+        {"GB", Continent::europe, 4.5},
+        {"FR", Continent::europe, 3.0},
+        {"NL", Continent::europe, 2.5},
+        {"IT", Continent::europe, 2.0},
+        {"PL", Continent::europe, 2.0},
+        {"ES", Continent::europe, 1.6},
+        {"SE", Continent::europe, 1.4},
+        {"CH", Continent::europe, 1.2},
+        {"RU", Continent::europe, 5.0},
+        {"UA", Continent::europe, 1.8},
+        {"CN", Continent::asia, 6.0},
+        {"IN", Continent::asia, 4.0},
+        {"JP", Continent::asia, 3.0},
+        {"ID", Continent::asia, 2.5},
+        {"KR", Continent::asia, 1.5},
+        {"ZA", Continent::africa, 1.5},
+        {"AU", Continent::oceania, 1.8},
+    }};
+    std::array<double, kCountries.size()> weights{};
+    for (std::size_t i = 0; i < kCountries.size(); ++i) weights[i] = kCountries[i].weight;
+    const std::size_t pick = rng.weighted(weights);
+    return GeoInfo{kCountries[pick].country, kCountries[pick].continent};
+}
+
+}  // namespace lfp::sim

@@ -1,0 +1,53 @@
+// Registry-based geolocation: AS → country/continent.
+//
+// The paper geolocates endpoints by address-registry country (not active
+// geolocation), because routing policy follows the provider's home registry;
+// we model exactly that mapping.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace lfp::sim {
+
+enum class Continent : std::uint8_t {
+    north_america,
+    south_america,
+    europe,
+    asia,
+    africa,
+    oceania,
+};
+
+constexpr std::size_t kContinentCount = 6;
+
+[[nodiscard]] std::string_view to_string(Continent continent) noexcept;
+[[nodiscard]] std::string_view continent_code(Continent continent) noexcept;  // "NA", "EU", ...
+
+struct GeoInfo {
+    std::string country;  ///< ISO 3166-1 alpha-2, e.g. "US"
+    Continent continent = Continent::north_america;
+};
+
+/// Maps AS numbers to registry countries. Populated by the topology builder.
+class GeoRegistry {
+  public:
+    void assign(std::uint32_t asn, GeoInfo info);
+
+    [[nodiscard]] const GeoInfo* lookup(std::uint32_t asn) const;
+    [[nodiscard]] bool is_in_country(std::uint32_t asn, std::string_view country) const;
+
+    /// Draws a country according to the study's registry distribution
+    /// (US-heavy, then EU/Asia). Used by the topology builder.
+    static GeoInfo draw_country(util::Rng& rng);
+
+  private:
+    std::unordered_map<std::uint32_t, GeoInfo> by_asn_;
+};
+
+}  // namespace lfp::sim

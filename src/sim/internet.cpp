@@ -1,0 +1,42 @@
+#include "sim/internet.hpp"
+
+namespace lfp::sim {
+
+std::optional<net::Bytes> Internet::transact(std::span<const std::uint8_t> probe) {
+    ++sent_;
+    auto destination = net::peek_destination(probe);
+    if (!destination) return std::nullopt;
+
+    const std::size_t index = topology_->find_by_interface(destination.value());
+    if (index == Topology::npos) return std::nullopt;  // unassigned / stale address
+
+    if (config_.loss_rate > 0 && rng_.chance(config_.loss_rate)) {
+        ++lost_;
+        return std::nullopt;  // probe lost in transit
+    }
+
+    const int distance = topology_->distance_of(index);
+    auto ttl = net::peek_ttl(probe);
+    if (!ttl || ttl.value() <= distance) return std::nullopt;  // expired en route
+
+    // Deliver with decayed TTL (routers do not inspect it, but realism is
+    // cheap here and keeps the packets honest end to end).
+    net::Bytes on_wire(probe.begin(), probe.end());
+    net::rewrite_ttl(on_wire, static_cast<std::uint8_t>(ttl.value() - distance));
+
+    auto response = topology_->router(index).handle_packet(on_wire);
+    if (!response) return std::nullopt;
+
+    if (config_.loss_rate > 0 && rng_.chance(config_.loss_rate)) {
+        ++lost_;
+        return std::nullopt;  // response lost in transit
+    }
+
+    auto response_ttl = net::peek_ttl(*response);
+    if (!response_ttl || response_ttl.value() <= distance) return std::nullopt;
+    net::rewrite_ttl(*response, static_cast<std::uint8_t>(response_ttl.value() - distance));
+    ++returned_;
+    return response;
+}
+
+}  // namespace lfp::sim

@@ -1,0 +1,44 @@
+// The simulated wire: routes raw probe packets from the measurement vantage
+// to the owning router and carries responses back, applying hop-count TTL
+// decay and light random loss.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+
+#include "sim/topology.hpp"
+
+namespace lfp::sim {
+
+struct InternetConfig {
+    std::uint64_t seed = 7;
+    /// Per-direction packet loss probability.
+    double loss_rate = 0.004;
+};
+
+class Internet {
+  public:
+    explicit Internet(Topology& topology, InternetConfig config = {})
+        : topology_(&topology), config_(config), rng_(config.seed) {}
+
+    /// Sends one packet and returns the response packet (if any): the
+    /// request-response round trip of a single probe.
+    std::optional<net::Bytes> transact(std::span<const std::uint8_t> probe);
+
+    [[nodiscard]] std::uint64_t packets_sent() const noexcept { return sent_; }
+    [[nodiscard]] std::uint64_t responses_returned() const noexcept { return returned_; }
+    [[nodiscard]] std::uint64_t packets_lost() const noexcept { return lost_; }
+
+    [[nodiscard]] Topology& topology() noexcept { return *topology_; }
+
+  private:
+    Topology* topology_;
+    InternetConfig config_;
+    util::Rng rng_;
+    std::uint64_t sent_ = 0;
+    std::uint64_t returned_ = 0;
+    std::uint64_t lost_ = 0;
+};
+
+}  // namespace lfp::sim

@@ -1,0 +1,344 @@
+#include "sim/topology.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+
+#include "util/rng.hpp"
+
+namespace lfp::sim {
+
+namespace {
+
+using stack::Vendor;
+
+/// Regional primary-vendor market shares (Appendix A, Figure 21 shapes).
+struct MarketShare {
+    Vendor vendor;
+    double weight;
+};
+
+std::span<const MarketShare> market_for(Continent continent) {
+    static const std::array<MarketShare, 16> kNa{{
+        {Vendor::cisco, 62}, {Vendor::juniper, 17}, {Vendor::huawei, 1.5},
+        {Vendor::mikrotik, 4}, {Vendor::nokia, 3}, {Vendor::brocade, 2.5},
+        {Vendor::net_snmp, 3}, {Vendor::arista, 2}, {Vendor::h3c, 0.4},
+        {Vendor::ericsson, 1}, {Vendor::extreme, 1.5}, {Vendor::fortinet, 1},
+        {Vendor::adva, 0.5}, {Vendor::dlink, 0.4}, {Vendor::zte, 0.2},
+        {Vendor::ruijie, 0.2},
+    }};
+    static const std::array<MarketShare, 16> kEu{{
+        {Vendor::cisco, 50}, {Vendor::juniper, 12}, {Vendor::huawei, 8},
+        {Vendor::mikrotik, 15}, {Vendor::nokia, 4}, {Vendor::brocade, 1},
+        {Vendor::net_snmp, 3.5}, {Vendor::arista, 1}, {Vendor::h3c, 1},
+        {Vendor::ericsson, 1.5}, {Vendor::extreme, 0.8}, {Vendor::fortinet, 0.7},
+        {Vendor::adva, 0.7}, {Vendor::dlink, 0.4}, {Vendor::zte, 0.4},
+        {Vendor::ruijie, 0.3},
+    }};
+    static const std::array<MarketShare, 16> kAsia{{
+        {Vendor::cisco, 25}, {Vendor::juniper, 8}, {Vendor::huawei, 38},
+        {Vendor::mikrotik, 6}, {Vendor::nokia, 1.5}, {Vendor::brocade, 0.5},
+        {Vendor::net_snmp, 2}, {Vendor::arista, 0.5}, {Vendor::h3c, 7},
+        {Vendor::ericsson, 1}, {Vendor::extreme, 0.5}, {Vendor::fortinet, 0.5},
+        {Vendor::adva, 0.2}, {Vendor::dlink, 1.3}, {Vendor::zte, 5},
+        {Vendor::ruijie, 3.5},
+    }};
+    static const std::array<MarketShare, 16> kSa{{
+        {Vendor::cisco, 27}, {Vendor::juniper, 8}, {Vendor::huawei, 34},
+        {Vendor::mikrotik, 18}, {Vendor::nokia, 1.5}, {Vendor::brocade, 0.5},
+        {Vendor::net_snmp, 4}, {Vendor::arista, 0.3}, {Vendor::h3c, 1},
+        {Vendor::ericsson, 0.7}, {Vendor::extreme, 0.3}, {Vendor::fortinet, 0.4},
+        {Vendor::adva, 0.2}, {Vendor::dlink, 1}, {Vendor::zte, 2.6},
+        {Vendor::ruijie, 0.5},
+    }};
+    static const std::array<MarketShare, 16> kAf{{
+        {Vendor::cisco, 55}, {Vendor::juniper, 5}, {Vendor::huawei, 24},
+        {Vendor::mikrotik, 9}, {Vendor::nokia, 1}, {Vendor::brocade, 0.3},
+        {Vendor::net_snmp, 1.5}, {Vendor::arista, 0.2}, {Vendor::h3c, 0.8},
+        {Vendor::ericsson, 0.6}, {Vendor::extreme, 0.2}, {Vendor::fortinet, 0.4},
+        {Vendor::adva, 0.1}, {Vendor::dlink, 0.4}, {Vendor::zte, 1.2},
+        {Vendor::ruijie, 0.3},
+    }};
+    static const std::array<MarketShare, 16> kOc{{
+        {Vendor::cisco, 74}, {Vendor::juniper, 12}, {Vendor::huawei, 2.5},
+        {Vendor::mikrotik, 5}, {Vendor::nokia, 2}, {Vendor::brocade, 0.6},
+        {Vendor::net_snmp, 1.5}, {Vendor::arista, 0.6}, {Vendor::h3c, 0.2},
+        {Vendor::ericsson, 0.4}, {Vendor::extreme, 0.3}, {Vendor::fortinet, 0.3},
+        {Vendor::adva, 0.1}, {Vendor::dlink, 0.2}, {Vendor::zte, 0.2},
+        {Vendor::ruijie, 0.1},
+    }};
+    switch (continent) {
+        case Continent::north_america: return kNa;
+        case Continent::europe: return kEu;
+        case Continent::asia: return kAsia;
+        case Continent::south_america: return kSa;
+        case Continent::africa: return kAf;
+        case Continent::oceania: return kOc;
+    }
+    return kNa;
+}
+
+/// Tier bias over the regional market: transit cores buy carrier-grade gear
+/// (Cisco/Juniper/Huawei/Nokia/Ericsson); MikroTik, generic Linux and
+/// CPE-grade vendors live at the edge.
+double tier_weight_factor(Vendor vendor, AsTier tier) {
+    if (tier == AsTier::stub) return 1.0;
+    switch (vendor) {
+        case Vendor::mikrotik: return 0.12;
+        case Vendor::net_snmp: return 0.08;
+        case Vendor::dlink: return 0.05;
+        case Vendor::fortinet: return 0.3;
+        case Vendor::arista: return 0.6;
+        case Vendor::h3c: return 0.6;
+        case Vendor::ruijie: return 0.5;
+        case Vendor::adva: return 0.5;
+        case Vendor::nokia: return tier == AsTier::tier1 ? 2.5 : 1.8;
+        case Vendor::ericsson: return 2.0;
+        case Vendor::juniper: return 1.15;
+        default: return 1.0;
+    }
+}
+
+Vendor draw_vendor(Continent continent, AsTier tier, util::Rng& rng) {
+    const auto market = market_for(continent);
+    std::vector<double> weights(market.size());
+    for (std::size_t i = 0; i < market.size(); ++i) {
+        weights[i] = market[i].weight * tier_weight_factor(market[i].vendor, tier);
+    }
+    return market[rng.weighted(weights)].vendor;
+}
+
+const stack::StackProfile& draw_profile(Vendor vendor, util::Rng& rng) {
+    const auto profiles = stack::standard_catalog().profiles_for(vendor);
+    std::vector<double> weights(profiles.size());
+    for (std::size_t i = 0; i < profiles.size(); ++i) weights[i] = profiles[i].weight;
+    return profiles[rng.weighted(weights)].profile;
+}
+
+/// Sequentially allocates routable unicast addresses.
+class AddressAllocator {
+  public:
+    net::IPv4Address next() {
+        for (;;) {
+            net::IPv4Address candidate(cursor_);
+            ++cursor_;
+            // Leave gaps at /24 boundaries so blocks look realistic.
+            if ((cursor_ & 0xFF) == 0xFF) cursor_ += 2;
+            if (candidate.is_routable()) return candidate;
+        }
+    }
+
+  private:
+    std::uint32_t cursor_ = net::IPv4Address::from_octets(5, 1, 0, 1).value();
+};
+
+}  // namespace
+
+Topology Topology::build(const TopologyConfig& config) {
+    Topology topo;
+    topo.config_ = config;
+    util::Rng rng(config.seed);
+    AddressAllocator allocator;
+
+    // ---- AS skeleton -------------------------------------------------------
+    const std::size_t tier1_count = std::min(config.tier1_count, config.num_ases);
+    const std::size_t transit_count = static_cast<std::size_t>(
+        static_cast<double>(config.num_ases) * config.transit_fraction);
+    std::vector<std::uint32_t> tier1s;
+    std::vector<std::uint32_t> transits;
+    std::vector<std::uint32_t> stubs;
+
+    for (std::size_t i = 0; i < config.num_ases; ++i) {
+        AsTier tier = AsTier::stub;
+        if (i < tier1_count) {
+            tier = AsTier::tier1;
+        } else if (i < tier1_count + transit_count) {
+            tier = AsTier::transit;
+        }
+        const std::uint32_t asn = topo.graph_.add_as(tier);
+        topo.geo_.assign(asn, GeoRegistry::draw_country(rng));
+        switch (tier) {
+            case AsTier::tier1: tier1s.push_back(asn); break;
+            case AsTier::transit: transits.push_back(asn); break;
+            case AsTier::stub: stubs.push_back(asn); break;
+        }
+    }
+
+    // Tier-1 full peer mesh.
+    for (std::size_t i = 0; i < tier1s.size(); ++i) {
+        for (std::size_t j = i + 1; j < tier1s.size(); ++j) {
+            topo.graph_.add_peering(tier1s[i], tier1s[j]);
+        }
+    }
+    // Transit ASes: 1-2 providers among tier1s (or earlier transits), plus
+    // same-continent peering.
+    for (std::size_t i = 0; i < transits.size(); ++i) {
+        const std::uint32_t asn = transits[i];
+        const std::size_t provider_count = 1 + rng.below(2);
+        for (std::size_t k = 0; k < provider_count; ++k) {
+            std::uint32_t provider;
+            if (i > 4 && rng.chance(0.35)) {
+                provider = transits[rng.below(i)];  // transit buying from transit
+            } else {
+                provider = tier1s[rng.below(tier1s.size())];
+            }
+            if (provider != asn) topo.graph_.add_provider_customer(provider, asn);
+        }
+        const std::size_t peer_count = rng.below(3);
+        for (std::size_t k = 0; k < peer_count && i > 0; ++k) {
+            const std::uint32_t peer = transits[rng.below(i)];
+            const GeoInfo* a = topo.geo_.lookup(asn);
+            const GeoInfo* b = topo.geo_.lookup(peer);
+            if (peer != asn && a != nullptr && b != nullptr && a->continent == b->continent) {
+                topo.graph_.add_peering(asn, peer);
+            }
+        }
+    }
+    // Stubs: 1-3 providers, preferring same-continent transit providers.
+    for (std::uint32_t asn : stubs) {
+        const GeoInfo* geo = topo.geo_.lookup(asn);
+        const std::size_t provider_count = 1 + rng.below(3);
+        std::size_t attached = 0;
+        for (std::size_t attempt = 0; attempt < 24 && attached < provider_count; ++attempt) {
+            const std::uint32_t candidate = transits[rng.below(transits.size())];
+            const GeoInfo* cgeo = topo.geo_.lookup(candidate);
+            const bool same_continent =
+                geo != nullptr && cgeo != nullptr && geo->continent == cgeo->continent;
+            if (!same_continent && !rng.chance(0.15)) continue;
+            topo.graph_.add_provider_customer(candidate, asn);
+            ++attached;
+        }
+        if (attached == 0) {
+            topo.graph_.add_provider_customer(tier1s[rng.below(tier1s.size())], asn);
+        }
+    }
+
+    // ---- Routers -----------------------------------------------------------
+    std::uint64_t next_router_id = 1;
+    for (const AsNode& as_node : topo.graph_.nodes()) {
+        const GeoInfo* geo = topo.geo_.lookup(as_node.asn);
+        const Continent continent =
+            geo != nullptr ? geo->continent : Continent::north_america;
+        util::Rng as_rng = rng.fork(as_node.asn);
+
+        // Router count: heavy-tailed by tier.
+        const double u = as_rng.uniform();
+        std::size_t router_count = 0;
+        switch (as_node.tier) {
+            case AsTier::tier1:
+                router_count = static_cast<std::size_t>((150 + 650 * u * u) * config.scale);
+                break;
+            case AsTier::transit:
+                router_count = static_cast<std::size_t>((20 + 180 * u * u * u) * config.scale);
+                break;
+            case AsTier::stub:
+                router_count =
+                    static_cast<std::size_t>((1 + 24 * u * u * u * u) * config.scale);
+                break;
+        }
+        router_count = std::max<std::size_t>(router_count, 1);
+
+        // Vendor mix: a primary vendor plus size-dependent secondaries.
+        const Vendor primary = draw_vendor(continent, as_node.tier, as_rng);
+        std::vector<Vendor> secondaries;
+        double primary_share = 1.0;
+        const bool single_vendor = router_count < 5 || as_rng.chance(0.45);
+        if (!single_vendor) {
+            const std::size_t extra =
+                1 + as_rng.below(router_count > 100 ? 3 : (router_count > 20 ? 2 : 1));
+            for (std::size_t i = 0; i < extra; ++i) {
+                const Vendor v = draw_vendor(continent, as_node.tier, as_rng);
+                if (v != primary) secondaries.push_back(v);
+            }
+            primary_share = secondaries.empty() ? 1.0 : 0.62 + 0.3 * as_rng.uniform();
+        }
+
+        // Networks standardise on few OS families: pick per-vendor preferred
+        // profiles once per AS.
+        std::unordered_map<int, const stack::StackProfile*> preferred;
+        auto profile_for = [&](Vendor v) -> const stack::StackProfile& {
+            auto [it, inserted] = preferred.try_emplace(static_cast<int>(v), nullptr);
+            if (inserted || as_rng.chance(0.18)) {
+                it->second = &draw_profile(v, as_rng);
+            }
+            return *it->second;
+        };
+
+        // Security posture: most networks leave defaults; some filter hard.
+        // Backbone cores are far more locked down than edge networks (the
+        // paper's Appendix A finds coverage dropping in 1000+-router
+        // networks, and only ~35% of paths carry an SNMPv3-identifiable
+        // hop) — so the tier multiplies the posture down.
+        double posture = 1.0;
+        const double posture_draw = as_rng.uniform();
+        if (posture_draw > 0.9) {
+            posture = 0.18;
+        } else if (posture_draw > 0.7) {
+            posture = 0.62;
+        }
+        double snmp_posture = posture;
+        switch (as_node.tier) {
+            case AsTier::tier1:
+                posture *= 0.55;
+                snmp_posture *= 0.08;
+                break;
+            case AsTier::transit:
+                posture *= 0.88;
+                snmp_posture *= 0.35;
+                break;
+            case AsTier::stub: break;
+        }
+
+        auto& as_list = topo.as_routers_[as_node.asn];
+        for (std::size_t r = 0; r < router_count; ++r) {
+            const Vendor vendor = (secondaries.empty() || as_rng.chance(primary_share))
+                                      ? primary
+                                      : secondaries[as_rng.below(secondaries.size())];
+            const stack::StackProfile& profile = profile_for(vendor);
+            auto router = std::make_unique<stack::SimulatedRouter>(next_router_id++, profile,
+                                                                   as_rng, posture,
+                                                                   snmp_posture);
+            // Interface count: core boxes have more visible interfaces.
+            const std::size_t interface_count =
+                as_node.tier == AsTier::stub
+                    ? 1 + as_rng.below(3)
+                    : 2 + as_rng.below(5);
+            for (std::size_t i = 0; i < interface_count; ++i) {
+                router->add_interface(allocator.next());
+            }
+            RouterSlot slot;
+            slot.router = std::move(router);
+            slot.asn = as_node.asn;
+            slot.distance = 5 + static_cast<int>(as_rng.below(20));
+            const std::size_t index = topo.routers_.size();
+            for (net::IPv4Address addr : slot.router->interfaces()) {
+                topo.interface_index_[addr] = index;
+            }
+            topo.interface_total_ += slot.router->interfaces().size();
+            as_list.push_back(index);
+            topo.routers_.push_back(std::move(slot));
+        }
+
+        // Interface churn: addresses in this AS's space that appeared in
+        // older traceroutes but are no longer bound to hardware. Sized so
+        // RIPE-like snapshots end up ≈70% responsive (paper Table 3).
+        const std::size_t phantom_count = 1 + router_count / 2;
+        for (std::size_t i = 0; i < phantom_count; ++i) {
+            topo.phantoms_.push_back(allocator.next());
+        }
+    }
+    return topo;
+}
+
+std::size_t Topology::find_by_interface(net::IPv4Address address) const {
+    auto it = interface_index_.find(address);
+    return it == interface_index_.end() ? npos : it->second;
+}
+
+const std::vector<std::size_t>& Topology::routers_in_as(std::uint32_t asn) const {
+    static const std::vector<std::size_t> kEmpty;
+    auto it = as_routers_.find(asn);
+    return it == as_routers_.end() ? kEmpty : it->second;
+}
+
+}  // namespace lfp::sim

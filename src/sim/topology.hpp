@@ -1,0 +1,85 @@
+// Topology builder: instantiates the simulated Internet — an AS graph with
+// registry geolocation, per-AS vendor mixes drawn from regional market
+// shares, routers with interface IPs, and per-AS security postures.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/as_graph.hpp"
+#include "sim/geo.hpp"
+#include "stack/profile_catalog.hpp"
+#include "stack/simulated_router.hpp"
+
+namespace lfp::sim {
+
+struct TopologyConfig {
+    std::uint64_t seed = 20231024;
+    std::size_t num_ases = 3000;
+    std::size_t tier1_count = 12;
+    double transit_fraction = 0.18;
+    /// Multiplies per-AS router counts; 1.0 ≈ 1:8 of the paper's world.
+    double scale = 1.0;
+};
+
+/// Ownership record binding a router to its AS.
+struct RouterSlot {
+    std::unique_ptr<stack::SimulatedRouter> router;
+    std::uint32_t asn = 0;
+    /// Hop distance from the measurement vantage point; responses lose this
+    /// many TTL units before reaching the prober.
+    int distance = 10;
+};
+
+class Topology {
+  public:
+    static Topology build(const TopologyConfig& config);
+
+    [[nodiscard]] const TopologyConfig& config() const noexcept { return config_; }
+    [[nodiscard]] const AsGraph& graph() const noexcept { return graph_; }
+    [[nodiscard]] const GeoRegistry& geo() const noexcept { return geo_; }
+
+    [[nodiscard]] std::size_t router_count() const noexcept { return routers_.size(); }
+    [[nodiscard]] const RouterSlot& slot(std::size_t index) const { return routers_[index]; }
+    [[nodiscard]] stack::SimulatedRouter& router(std::size_t index) {
+        return *routers_[index].router;
+    }
+    [[nodiscard]] const stack::SimulatedRouter& router(std::size_t index) const {
+        return *routers_[index].router;
+    }
+
+    /// Index of the router owning `address`, or npos.
+    [[nodiscard]] std::size_t find_by_interface(net::IPv4Address address) const;
+    static constexpr std::size_t npos = static_cast<std::size_t>(-1);
+
+    [[nodiscard]] const std::vector<std::size_t>& routers_in_as(std::uint32_t asn) const;
+    [[nodiscard]] std::uint32_t asn_of(std::size_t router_index) const {
+        return routers_[router_index].asn;
+    }
+    [[nodiscard]] int distance_of(std::size_t router_index) const {
+        return routers_[router_index].distance;
+    }
+
+    /// Addresses reserved in an AS's block but no longer bound to any router
+    /// (interface churn); traceroute snapshots may still list them.
+    [[nodiscard]] const std::vector<net::IPv4Address>& phantom_addresses() const noexcept {
+        return phantoms_;
+    }
+
+    [[nodiscard]] std::size_t interface_count() const noexcept { return interface_total_; }
+
+  private:
+    TopologyConfig config_;
+    AsGraph graph_;
+    GeoRegistry geo_;
+    std::vector<RouterSlot> routers_;
+    std::unordered_map<net::IPv4Address, std::size_t> interface_index_;
+    std::unordered_map<std::uint32_t, std::vector<std::size_t>> as_routers_;
+    std::vector<net::IPv4Address> phantoms_;
+    std::size_t interface_total_ = 0;
+};
+
+}  // namespace lfp::sim

@@ -1,0 +1,93 @@
+#include "sim/traceroute.hpp"
+
+namespace lfp::sim {
+
+const AsGraph::RoutingTable& TracerouteSynthesizer::routing_table(
+    std::uint32_t destination_asn) {
+    auto it = routing_cache_.find(destination_asn);
+    if (it == routing_cache_.end()) {
+        it = routing_cache_
+                 .emplace(destination_asn, topology_->graph().routes_to(destination_asn))
+                 .first;
+    }
+    return it->second;
+}
+
+net::IPv4Address TracerouteSynthesizer::host_address(std::uint32_t asn, util::Rng& rng) const {
+    // Synthetic end-host addresses live outside the router interface space;
+    // analyses resolve endpoints by ASN, not by these bytes.
+    const std::uint32_t draw = static_cast<std::uint32_t>(rng.next());
+    return net::IPv4Address::from_octets(223, static_cast<std::uint8_t>(asn % 200),
+                                         static_cast<std::uint8_t>((draw >> 8) & 0xFF),
+                                         static_cast<std::uint8_t>(draw & 0xFF));
+}
+
+void TracerouteSynthesizer::append_as_hops(Traceroute& out, std::uint32_t asn, std::size_t count,
+                                           util::Rng& rng) const {
+    const auto& routers = topology_->routers_in_as(asn);
+    if (routers.empty()) return;
+    for (std::size_t i = 0; i < count; ++i) {
+        // Noise: occasionally a hop shows a stale or private address.
+        if (!topology_->phantom_addresses().empty() && rng.chance(stale_fraction_)) {
+            const auto& phantoms = topology_->phantom_addresses();
+            out.hops.push_back(phantoms[rng.below(phantoms.size())]);
+            continue;
+        }
+        if (rng.chance(private_fraction_)) {
+            out.hops.push_back(net::IPv4Address::from_octets(
+                10, static_cast<std::uint8_t>(rng.below(256)),
+                static_cast<std::uint8_t>(rng.below(256)), 1));
+            continue;
+        }
+        const std::size_t router_index = routers[rng.below(routers.size())];
+        const auto& interfaces = topology_->router(router_index).interfaces();
+        // Traceroute replies come from the transit-facing (ingress)
+        // interfaces; loopbacks and lateral links stay invisible. This keeps
+        // the RIPE-like and ITDK-like address sets complementary (paper:
+        // ≤26% overlap).
+        const std::size_t visible = std::min<std::size_t>(interfaces.size(), 2);
+        out.hops.push_back(interfaces[rng.below(visible)]);
+    }
+}
+
+std::optional<Traceroute> TracerouteSynthesizer::trace(std::uint32_t source_asn,
+                                                       std::uint32_t destination_asn) {
+    return trace(source_asn, destination_asn, next_flow_++);
+}
+
+std::optional<Traceroute> TracerouteSynthesizer::trace(std::uint32_t source_asn,
+                                                       std::uint32_t destination_asn,
+                                                       std::uint64_t flow_id) {
+    const auto& table = routing_table(destination_asn);
+    auto as_path = table.path_from(source_asn);
+    if (!as_path) return std::nullopt;
+
+    // Per-flow deterministic stream: same (src, dst, flow) → same trace.
+    util::Rng rng(seed_ ^ (static_cast<std::uint64_t>(source_asn) << 40) ^
+                  (static_cast<std::uint64_t>(destination_asn) << 16) ^
+                  (flow_id * 0x9E3779B97F4A7C15ULL));
+
+    Traceroute out;
+    out.source_asn = source_asn;
+    out.destination_asn = destination_asn;
+    out.source = host_address(source_asn, rng);
+    out.destination = host_address(destination_asn, rng);
+
+    for (std::size_t i = 0; i < as_path->size(); ++i) {
+        const std::uint32_t asn = (*as_path)[i];
+        const AsTier tier = topology_->graph().node(asn).tier;
+        std::size_t hops_here = 1;
+        if (tier == AsTier::tier1) {
+            hops_here = 1 + rng.below(3);  // backbone chains are longer
+        } else if (tier == AsTier::transit) {
+            hops_here = 1 + rng.below(2);
+        }
+        // Source AS: the first-hop gateway is usually not visible as a
+        // routable core interface; skip it half the time.
+        if (i == 0 && rng.chance(0.5)) continue;
+        append_as_hops(out, asn, hops_here, rng);
+    }
+    return out;
+}
+
+}  // namespace lfp::sim

@@ -1,0 +1,66 @@
+// Traceroute synthesis: RIPE-Atlas-like forwarding paths through the
+// simulated topology. Paths follow valley-free AS routes; within each AS a
+// small chain of that AS's routers is traversed.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/internet.hpp"
+#include "sim/topology.hpp"
+#include "util/rng.hpp"
+
+namespace lfp::sim {
+
+struct Traceroute {
+    std::uint32_t source_asn = 0;
+    std::uint32_t destination_asn = 0;
+    net::IPv4Address source;
+    net::IPv4Address destination;
+    /// Intermediate router interface IPs, in path order. The targeted host
+    /// itself is never included (paper §3.2 drops the last responsive hop
+    /// when it equals the target).
+    std::vector<net::IPv4Address> hops;
+};
+
+class TracerouteSynthesizer {
+  public:
+    TracerouteSynthesizer(const Topology& topology, std::uint64_t seed)
+        : topology_(&topology), rng_(seed), seed_(seed) {}
+
+    /// One traceroute from a host in `source_asn` to a host in
+    /// `destination_asn`, or nullopt if no valley-free route exists.
+    /// Each call draws a fresh flow (new intra-AS router choices).
+    std::optional<Traceroute> trace(std::uint32_t source_asn, std::uint32_t destination_asn);
+
+    /// Deterministic variant: the same (source, destination, flow_id)
+    /// triple always yields the identical trace — modelling the stable
+    /// per-flow forwarding RIPE anchors observe across snapshots.
+    std::optional<Traceroute> trace(std::uint32_t source_asn, std::uint32_t destination_asn,
+                                    std::uint64_t flow_id);
+
+    /// Fraction of hops that are stale (phantom) interface addresses and
+    /// private addresses — traceroute noise the analyses must filter.
+    void set_noise(double stale_fraction, double private_fraction) {
+        stale_fraction_ = stale_fraction;
+        private_fraction_ = private_fraction;
+    }
+
+  private:
+    const AsGraph::RoutingTable& routing_table(std::uint32_t destination_asn);
+    net::IPv4Address host_address(std::uint32_t asn, util::Rng& rng) const;
+    void append_as_hops(Traceroute& out, std::uint32_t asn, std::size_t count,
+                        util::Rng& rng) const;
+
+    const Topology* topology_;
+    util::Rng rng_;
+    std::uint64_t seed_;
+    std::uint64_t next_flow_ = 0;
+    std::unordered_map<std::uint32_t, AsGraph::RoutingTable> routing_cache_;
+    double stale_fraction_ = 0.05;
+    double private_fraction_ = 0.02;
+};
+
+}  // namespace lfp::sim

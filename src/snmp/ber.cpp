@@ -1,0 +1,255 @@
+#include "snmp/ber.hpp"
+
+namespace lfp::snmp {
+
+BerValue BerValue::integer(std::int64_t value) {
+    BerValue v;
+    v.tag_ = static_cast<std::uint8_t>(BerTag::integer);
+    // Two's-complement big-endian, minimal length.
+    Bytes bytes;
+    bool more = true;
+    while (more) {
+        bytes.insert(bytes.begin(), static_cast<std::uint8_t>(value & 0xFF));
+        const std::uint8_t top = bytes.front();
+        value >>= 8;
+        more = !((value == 0 && (top & 0x80) == 0) || (value == -1 && (top & 0x80) != 0));
+    }
+    v.primitive_ = std::move(bytes);
+    return v;
+}
+
+BerValue BerValue::octet_string(Bytes bytes) {
+    BerValue v;
+    v.tag_ = static_cast<std::uint8_t>(BerTag::octet_string);
+    v.primitive_ = std::move(bytes);
+    return v;
+}
+
+BerValue BerValue::octet_string(std::string_view text) {
+    Bytes bytes(text.begin(), text.end());
+    return octet_string(std::move(bytes));
+}
+
+BerValue BerValue::null() {
+    BerValue v;
+    v.tag_ = static_cast<std::uint8_t>(BerTag::null);
+    return v;
+}
+
+BerValue BerValue::oid(std::vector<std::uint32_t> arcs) {
+    BerValue v;
+    v.tag_ = static_cast<std::uint8_t>(BerTag::object_identifier);
+    Bytes bytes;
+    if (arcs.size() >= 2) {
+        bytes.push_back(static_cast<std::uint8_t>(arcs[0] * 40 + arcs[1]));
+        for (std::size_t i = 2; i < arcs.size(); ++i) {
+            std::uint32_t arc = arcs[i];
+            Bytes encoded;
+            encoded.push_back(static_cast<std::uint8_t>(arc & 0x7F));
+            arc >>= 7;
+            while (arc != 0) {
+                encoded.insert(encoded.begin(), static_cast<std::uint8_t>(0x80 | (arc & 0x7F)));
+                arc >>= 7;
+            }
+            bytes.insert(bytes.end(), encoded.begin(), encoded.end());
+        }
+    }
+    v.primitive_ = std::move(bytes);
+    return v;
+}
+
+BerValue BerValue::sequence(std::vector<BerValue> children) {
+    BerValue v;
+    v.tag_ = static_cast<std::uint8_t>(BerTag::sequence);
+    v.children_ = std::move(children);
+    return v;
+}
+
+BerValue BerValue::context(std::uint8_t number, std::vector<BerValue> children) {
+    BerValue v;
+    v.tag_ = static_cast<std::uint8_t>(0xA0 | (number & 0x1F));
+    v.children_ = std::move(children);
+    return v;
+}
+
+util::Result<std::int64_t> BerValue::as_integer() const {
+    if (tag_ != static_cast<std::uint8_t>(BerTag::integer) || primitive_.empty() ||
+        primitive_.size() > 8) {
+        return util::make_error("not a BER integer");
+    }
+    std::int64_t value = (primitive_[0] & 0x80) != 0 ? -1 : 0;
+    for (std::uint8_t byte : primitive_) value = (value << 8) | byte;
+    return value;
+}
+
+util::Result<Bytes> BerValue::as_octet_string() const {
+    if (tag_ != static_cast<std::uint8_t>(BerTag::octet_string)) {
+        return util::make_error("not a BER octet string");
+    }
+    return primitive_;
+}
+
+util::Result<std::vector<std::uint32_t>> BerValue::as_oid() const {
+    if (tag_ != static_cast<std::uint8_t>(BerTag::object_identifier) || primitive_.empty()) {
+        return util::make_error("not a BER OID");
+    }
+    std::vector<std::uint32_t> arcs;
+    arcs.push_back(primitive_[0] / 40);
+    arcs.push_back(primitive_[0] % 40);
+    std::uint32_t current = 0;
+    for (std::size_t i = 1; i < primitive_.size(); ++i) {
+        current = (current << 7) | (primitive_[i] & 0x7F);
+        if ((primitive_[i] & 0x80) == 0) {
+            arcs.push_back(current);
+            current = 0;
+        }
+    }
+    return arcs;
+}
+
+util::Result<const BerValue*> BerValue::child(std::size_t index) const {
+    if (!is_constructed()) return util::make_error("BER value is not constructed");
+    if (index >= children_.size()) return util::make_error("BER child index out of range");
+    return &children_[index];
+}
+
+namespace {
+
+void encode_length(Bytes& out, std::size_t length) {
+    if (length < 0x80) {
+        out.push_back(static_cast<std::uint8_t>(length));
+        return;
+    }
+    Bytes digits;
+    while (length != 0) {
+        digits.insert(digits.begin(), static_cast<std::uint8_t>(length & 0xFF));
+        length >>= 8;
+    }
+    out.push_back(static_cast<std::uint8_t>(0x80 | digits.size()));
+    out.insert(out.end(), digits.begin(), digits.end());
+}
+
+void encode_into(const BerValue& value, Bytes& out) {
+    out.push_back(value.tag());
+    if (value.is_constructed()) {
+        Bytes content;
+        for (const auto& c : value.children()) encode_into(c, content);
+        encode_length(out, content.size());
+        out.insert(out.end(), content.begin(), content.end());
+    } else {
+        encode_length(out, value.primitive().size());
+        out.insert(out.end(), value.primitive().begin(), value.primitive().end());
+    }
+}
+
+struct Decoder {
+    std::span<const std::uint8_t> data;
+    std::size_t pos = 0;
+
+    [[nodiscard]] bool eof() const { return pos >= data.size(); }
+
+    util::Result<BerValue> decode_one(int depth) {
+        if (depth > 32) return util::make_error("BER nesting too deep");
+        if (pos >= data.size()) return util::make_error("BER truncated at tag");
+        const std::uint8_t tag = data[pos++];
+        if ((tag & 0x1F) == 0x1F) return util::make_error("multi-byte BER tags unsupported");
+        auto length = decode_length();
+        if (!length) return length.error();
+        const std::size_t len = length.value();
+        if (data.size() - pos < len) return util::make_error("BER truncated at content");
+        const auto content = data.subspan(pos, len);
+        pos += len;
+
+        BerValue out;
+        if ((tag & 0x20) != 0) {
+            std::vector<BerValue> children;
+            Decoder inner{content};
+            while (!inner.eof()) {
+                auto child = inner.decode_one(depth + 1);
+                if (!child) return child.error();
+                children.push_back(std::move(child).value());
+            }
+            if ((tag & 0xC0) == 0x80) {
+                out = BerValue::context(static_cast<std::uint8_t>(tag & 0x1F),
+                                        std::move(children));
+            } else if (tag == static_cast<std::uint8_t>(BerTag::sequence)) {
+                out = BerValue::sequence(std::move(children));
+            } else {
+                return util::make_error("unsupported constructed BER tag");
+            }
+        } else {
+            switch (static_cast<BerTag>(tag)) {
+                case BerTag::integer: {
+                    if (content.empty() || content.size() > 8) {
+                        return util::make_error("bad BER integer length");
+                    }
+                    // Rebuild via the factory to keep canonical form.
+                    std::int64_t value = (content[0] & 0x80) != 0 ? -1 : 0;
+                    for (std::uint8_t b : content) value = (value << 8) | b;
+                    out = BerValue::integer(value);
+                    break;
+                }
+                case BerTag::octet_string:
+                    out = BerValue::octet_string(Bytes(content.begin(), content.end()));
+                    break;
+                case BerTag::null:
+                    if (!content.empty()) return util::make_error("non-empty BER null");
+                    out = BerValue::null();
+                    break;
+                case BerTag::object_identifier: {
+                    if (content.empty()) return util::make_error("empty BER OID");
+                    // Decode arcs and re-encode through the factory so the
+                    // stored form is canonical.
+                    std::vector<std::uint32_t> arcs;
+                    arcs.push_back(content[0] / 40);
+                    arcs.push_back(content[0] % 40);
+                    std::uint32_t current = 0;
+                    bool in_progress = false;
+                    for (std::size_t i = 1; i < content.size(); ++i) {
+                        current = (current << 7) | (content[i] & 0x7F);
+                        in_progress = (content[i] & 0x80) != 0;
+                        if (!in_progress) {
+                            arcs.push_back(current);
+                            current = 0;
+                        }
+                    }
+                    if (in_progress) return util::make_error("BER OID arc truncated");
+                    out = BerValue::oid(std::move(arcs));
+                    break;
+                }
+                default: return util::make_error("unsupported BER tag");
+            }
+        }
+        return out;
+    }
+
+    util::Result<std::size_t> decode_length() {
+        if (pos >= data.size()) return util::make_error("BER truncated at length");
+        const std::uint8_t first = data[pos++];
+        if ((first & 0x80) == 0) return static_cast<std::size_t>(first);
+        const std::size_t digits = first & 0x7F;
+        if (digits == 0 || digits > 4) return util::make_error("unsupported BER length form");
+        if (data.size() - pos < digits) return util::make_error("BER truncated in length");
+        std::size_t length = 0;
+        for (std::size_t i = 0; i < digits; ++i) length = (length << 8) | data[pos++];
+        return length;
+    }
+};
+
+}  // namespace
+
+Bytes ber_encode(const BerValue& value) {
+    Bytes out;
+    encode_into(value, out);
+    return out;
+}
+
+util::Result<BerValue> ber_decode(std::span<const std::uint8_t> data) {
+    Decoder decoder{data};
+    auto value = decoder.decode_one(0);
+    if (!value) return value;
+    if (!decoder.eof()) return util::make_error("trailing bytes after BER value");
+    return value;
+}
+
+}  // namespace lfp::snmp

@@ -1,0 +1,74 @@
+// Minimal ASN.1 BER encoder/decoder — the subset SNMPv3 needs:
+// INTEGER, OCTET STRING, NULL, OBJECT IDENTIFIER, SEQUENCE, and
+// context-specific constructed tags (PDU choices).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "net/endian.hpp"
+#include "util/result.hpp"
+
+namespace lfp::snmp {
+
+using net::Bytes;
+
+enum class BerTag : std::uint8_t {
+    integer = 0x02,
+    octet_string = 0x04,
+    null = 0x05,
+    object_identifier = 0x06,
+    sequence = 0x30,
+    // Context-specific constructed tags 0xA0.. are built via BerValue::context.
+};
+
+/// A decoded BER node: primitive nodes carry bytes, constructed nodes carry
+/// children. The tree owns all its storage.
+class BerValue {
+  public:
+    BerValue() = default;
+
+    static BerValue integer(std::int64_t value);
+    static BerValue octet_string(Bytes bytes);
+    static BerValue octet_string(std::string_view text);
+    static BerValue null();
+    static BerValue oid(std::vector<std::uint32_t> arcs);
+    static BerValue sequence(std::vector<BerValue> children);
+    /// Context-specific constructed tag [n], e.g. PDU choices.
+    static BerValue context(std::uint8_t number, std::vector<BerValue> children);
+
+    [[nodiscard]] std::uint8_t tag() const noexcept { return tag_; }
+    [[nodiscard]] bool is_constructed() const noexcept { return (tag_ & 0x20) != 0; }
+    [[nodiscard]] bool is_context() const noexcept { return (tag_ & 0xC0) == 0x80; }
+    [[nodiscard]] std::uint8_t context_number() const noexcept {
+        return static_cast<std::uint8_t>(tag_ & 0x1F);
+    }
+
+    [[nodiscard]] const std::vector<BerValue>& children() const noexcept { return children_; }
+    [[nodiscard]] const Bytes& primitive() const noexcept { return primitive_; }
+
+    /// Accessors with type validation.
+    [[nodiscard]] util::Result<std::int64_t> as_integer() const;
+    [[nodiscard]] util::Result<Bytes> as_octet_string() const;
+    [[nodiscard]] util::Result<std::vector<std::uint32_t>> as_oid() const;
+
+    /// Child access for constructed values; errors on bad index/kind.
+    [[nodiscard]] util::Result<const BerValue*> child(std::size_t index) const;
+
+    friend bool operator==(const BerValue&, const BerValue&) = default;
+
+  private:
+    std::uint8_t tag_ = static_cast<std::uint8_t>(BerTag::null);
+    Bytes primitive_;
+    std::vector<BerValue> children_;
+};
+
+/// Definite-length DER-style encoding (sufficient for SNMP interop).
+[[nodiscard]] Bytes ber_encode(const BerValue& value);
+
+/// Decodes exactly one value; trailing bytes are an error.
+[[nodiscard]] util::Result<BerValue> ber_decode(std::span<const std::uint8_t> data);
+
+}  // namespace lfp::snmp

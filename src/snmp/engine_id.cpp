@@ -1,0 +1,80 @@
+#include "snmp/engine_id.hpp"
+
+namespace lfp::snmp {
+
+Bytes EngineId::serialize() const {
+    Bytes out;
+    std::uint32_t head = enterprise & 0x7FFFFFFF;
+    if (new_format) head |= 0x80000000;
+    out.push_back(static_cast<std::uint8_t>(head >> 24));
+    out.push_back(static_cast<std::uint8_t>((head >> 16) & 0xFF));
+    out.push_back(static_cast<std::uint8_t>((head >> 8) & 0xFF));
+    out.push_back(static_cast<std::uint8_t>(head & 0xFF));
+    if (new_format) {
+        out.push_back(static_cast<std::uint8_t>(format));
+        out.insert(out.end(), remainder.begin(), remainder.end());
+    } else {
+        // Old format: fixed 12 bytes; remainder padded/truncated to 8.
+        Bytes tail = remainder;
+        tail.resize(8, 0);
+        out.insert(out.end(), tail.begin(), tail.end());
+    }
+    return out;
+}
+
+util::Result<EngineId> EngineId::parse(const Bytes& wire) {
+    if (wire.size() < 5 || wire.size() > 32) return util::make_error("engine ID length invalid");
+    EngineId id;
+    const std::uint32_t head = (static_cast<std::uint32_t>(wire[0]) << 24) |
+                               (static_cast<std::uint32_t>(wire[1]) << 16) |
+                               (static_cast<std::uint32_t>(wire[2]) << 8) |
+                               static_cast<std::uint32_t>(wire[3]);
+    id.new_format = (head & 0x80000000) != 0;
+    id.enterprise = head & 0x7FFFFFFF;
+    if (id.new_format) {
+        id.format = static_cast<EngineIdFormat>(wire[4]);
+        id.remainder.assign(wire.begin() + 5, wire.end());
+    } else {
+        if (wire.size() != 12) return util::make_error("old-format engine ID must be 12 bytes");
+        id.format = EngineIdFormat::octets;
+        id.remainder.assign(wire.begin() + 4, wire.end());
+    }
+    return id;
+}
+
+EngineId make_mac_engine_id(std::uint32_t enterprise_number,
+                            const std::array<std::uint8_t, 6>& mac) {
+    EngineId id;
+    id.enterprise = enterprise_number;
+    id.format = EngineIdFormat::mac;
+    id.remainder.assign(mac.begin(), mac.end());
+    return id;
+}
+
+EngineId make_ipv4_engine_id(std::uint32_t enterprise_number, net::IPv4Address address) {
+    EngineId id;
+    id.enterprise = enterprise_number;
+    id.format = EngineIdFormat::ipv4;
+    id.remainder = {address.octet(0), address.octet(1), address.octet(2), address.octet(3)};
+    return id;
+}
+
+EngineId make_text_engine_id(std::uint32_t enterprise_number, std::string_view text) {
+    EngineId id;
+    id.enterprise = enterprise_number;
+    id.format = EngineIdFormat::text;
+    id.remainder.assign(text.begin(), text.end());
+    if (id.remainder.size() > 27) id.remainder.resize(27);  // 32-byte wire cap
+    return id;
+}
+
+EngineId make_octets_engine_id(std::uint32_t enterprise_number, Bytes octets) {
+    EngineId id;
+    id.enterprise = enterprise_number;
+    id.format = EngineIdFormat::octets;
+    id.remainder = std::move(octets);
+    if (id.remainder.size() > 27) id.remainder.resize(27);
+    return id;
+}
+
+}  // namespace lfp::snmp

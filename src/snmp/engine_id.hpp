@@ -1,0 +1,73 @@
+// SNMPv3 engine ID (RFC 3411 SnmpEngineID) construction and parsing.
+//
+// The engine ID begins with the vendor's IANA private enterprise number; it
+// is the strong vendor label the SNMPv3 fingerprinting technique (and our
+// ground-truth labeler) relies on.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "net/endian.hpp"
+#include "net/ip_address.hpp"
+#include "util/result.hpp"
+
+namespace lfp::snmp {
+
+using net::Bytes;
+
+/// IANA private enterprise numbers for the vendors this study tracks.
+namespace enterprise {
+constexpr std::uint32_t kCisco = 9;
+constexpr std::uint32_t kEricsson = 193;
+constexpr std::uint32_t kBrocade = 1991;  // Foundry
+constexpr std::uint32_t kJuniper = 2636;
+constexpr std::uint32_t kHuawei = 2011;
+constexpr std::uint32_t kZte = 3902;
+constexpr std::uint32_t kRuijie = 4881;
+constexpr std::uint32_t kNokia = 6527;  // TiMetra / Alcatel-Lucent SR
+constexpr std::uint32_t kNetSnmp = 8072;
+constexpr std::uint32_t kMikroTik = 14988;
+constexpr std::uint32_t kH3c = 25506;
+constexpr std::uint32_t kExtreme = 1916;
+constexpr std::uint32_t kAdva = 2544;
+constexpr std::uint32_t kArista = 30065;
+constexpr std::uint32_t kFortinet = 12356;
+constexpr std::uint32_t kDlink = 171;
+}  // namespace enterprise
+
+/// RFC 3411 format octet for the "new" (bit-15-set) engine ID layout.
+enum class EngineIdFormat : std::uint8_t {
+    ipv4 = 1,
+    ipv6 = 2,
+    mac = 3,
+    text = 4,
+    octets = 5,
+    enterprise_specific = 128,
+};
+
+struct EngineId {
+    std::uint32_t enterprise = 0;
+    bool new_format = true;
+    EngineIdFormat format = EngineIdFormat::mac;
+    Bytes remainder;  ///< format-specific identifier (the persistent part)
+
+    /// Serializes to the wire layout (5..32 bytes).
+    [[nodiscard]] Bytes serialize() const;
+
+    /// Parses a wire engine ID; tolerates old-format (12-byte) IDs.
+    static util::Result<EngineId> parse(const Bytes& wire);
+
+    friend bool operator==(const EngineId&, const EngineId&) = default;
+};
+
+/// Builders for the shapes we see in the wild.
+EngineId make_mac_engine_id(std::uint32_t enterprise_number,
+                            const std::array<std::uint8_t, 6>& mac);
+EngineId make_ipv4_engine_id(std::uint32_t enterprise_number, net::IPv4Address address);
+EngineId make_text_engine_id(std::uint32_t enterprise_number, std::string_view text);
+EngineId make_octets_engine_id(std::uint32_t enterprise_number, Bytes octets);
+
+}  // namespace lfp::snmp

@@ -1,0 +1,175 @@
+#include "snmp/snmpv3.hpp"
+
+namespace lfp::snmp {
+
+namespace {
+
+constexpr std::uint8_t kMsgFlagsReportable = 0x04;
+constexpr std::int64_t kSecurityModelUsm = 3;
+constexpr std::uint8_t kPduGetRequest = 0;
+constexpr std::uint8_t kPduReport = 8;
+
+/// msgSecurityParameters is an OCTET STRING wrapping a BER-encoded
+/// UsmSecurityParameters sequence.
+BerValue usm_parameters(const Bytes& engine_id, std::int64_t boots, std::int64_t time) {
+    BerValue usm = BerValue::sequence({
+        BerValue::octet_string(engine_id),
+        BerValue::integer(boots),
+        BerValue::integer(time),
+        BerValue::octet_string(Bytes{}),  // msgUserName (empty for discovery)
+        BerValue::octet_string(Bytes{}),  // msgAuthenticationParameters
+        BerValue::octet_string(Bytes{}),  // msgPrivacyParameters
+    });
+    return BerValue::octet_string(ber_encode(usm));
+}
+
+BerValue global_data(std::int64_t message_id, std::int64_t max_size) {
+    return BerValue::sequence({
+        BerValue::integer(message_id),
+        BerValue::integer(max_size),
+        BerValue::octet_string(Bytes{kMsgFlagsReportable}),
+        BerValue::integer(kSecurityModelUsm),
+    });
+}
+
+struct ParsedMessage {
+    std::int64_t message_id = 0;
+    Bytes engine_id;
+    std::int64_t boots = 0;
+    std::int64_t time = 0;
+    std::uint8_t pdu_type = 0;
+};
+
+util::Result<ParsedMessage> parse_message(std::span<const std::uint8_t> data) {
+    auto decoded = ber_decode(data);
+    if (!decoded) return decoded.error();
+    const BerValue& message = decoded.value();
+    if (message.tag() != static_cast<std::uint8_t>(BerTag::sequence) ||
+        message.children().size() != 4) {
+        return util::make_error("SNMPv3 message must be a 4-element sequence");
+    }
+    auto version = message.children()[0].as_integer();
+    if (!version) return version.error();
+    if (version.value() != 3) return util::make_error("not SNMP version 3");
+
+    const BerValue& header = message.children()[1];
+    if (!header.is_constructed() || header.children().size() != 4) {
+        return util::make_error("bad msgGlobalData");
+    }
+    auto message_id = header.children()[0].as_integer();
+    if (!message_id) return message_id.error();
+
+    auto security_blob = message.children()[2].as_octet_string();
+    if (!security_blob) return security_blob.error();
+    auto usm_decoded = ber_decode(security_blob.value());
+    if (!usm_decoded) return usm_decoded.error();
+    const BerValue& usm = usm_decoded.value();
+    if (!usm.is_constructed() || usm.children().size() != 6) {
+        return util::make_error("bad UsmSecurityParameters");
+    }
+    auto engine = usm.children()[0].as_octet_string();
+    auto boots = usm.children()[1].as_integer();
+    auto time = usm.children()[2].as_integer();
+    if (!engine) return engine.error();
+    if (!boots) return boots.error();
+    if (!time) return time.error();
+
+    const BerValue& scoped = message.children()[3];
+    if (!scoped.is_constructed() || scoped.children().size() != 3) {
+        return util::make_error("bad ScopedPDU");
+    }
+    const BerValue& pdu = scoped.children()[2];
+    if (!pdu.is_context()) return util::make_error("PDU must be a context tag");
+
+    ParsedMessage out;
+    out.message_id = message_id.value();
+    out.engine_id = std::move(engine).value();
+    out.boots = boots.value();
+    out.time = time.value();
+    out.pdu_type = pdu.context_number();
+    return out;
+}
+
+}  // namespace
+
+std::vector<std::uint32_t> usm_stats_unknown_engine_ids_oid() {
+    return {1, 3, 6, 1, 6, 3, 15, 1, 1, 4, 0};
+}
+
+Bytes DiscoveryRequest::serialize() const {
+    BerValue pdu = BerValue::context(kPduGetRequest, {
+        BerValue::integer(message_id),  // request-id
+        BerValue::integer(0),           // error-status
+        BerValue::integer(0),           // error-index
+        BerValue::sequence({}),         // empty variable-bindings
+    });
+    BerValue scoped_pdu = BerValue::sequence({
+        BerValue::octet_string(Bytes{}),  // contextEngineID (empty: discovery)
+        BerValue::octet_string(Bytes{}),  // contextName
+        std::move(pdu),
+    });
+    BerValue message = BerValue::sequence({
+        BerValue::integer(3),
+        global_data(message_id, max_size),
+        usm_parameters(Bytes{}, 0, 0),
+        std::move(scoped_pdu),
+    });
+    return ber_encode(message);
+}
+
+util::Result<DiscoveryRequest> DiscoveryRequest::parse(std::span<const std::uint8_t> data) {
+    auto message = parse_message(data);
+    if (!message) return message.error();
+    if (message.value().pdu_type != kPduGetRequest) {
+        return util::make_error("not a GetRequest PDU");
+    }
+    if (!message.value().engine_id.empty()) {
+        return util::make_error("discovery request must carry an empty engine ID");
+    }
+    DiscoveryRequest request;
+    request.message_id = static_cast<std::int32_t>(message.value().message_id);
+    return request;
+}
+
+Bytes DiscoveryResponse::serialize() const {
+    const Bytes engine_wire = engine_id.serialize();
+    BerValue pdu = BerValue::context(kPduReport, {
+        BerValue::integer(message_id),
+        BerValue::integer(0),
+        BerValue::integer(0),
+        BerValue::sequence({
+            BerValue::sequence({
+                BerValue::oid(usm_stats_unknown_engine_ids_oid()),
+                BerValue::integer(1),  // counter value (implementation-chosen)
+            }),
+        }),
+    });
+    BerValue scoped_pdu = BerValue::sequence({
+        BerValue::octet_string(engine_wire),
+        BerValue::octet_string(Bytes{}),
+        std::move(pdu),
+    });
+    BerValue message = BerValue::sequence({
+        BerValue::integer(3),
+        global_data(message_id, 65507),
+        usm_parameters(engine_wire, engine_boots, engine_time),
+        std::move(scoped_pdu),
+    });
+    return ber_encode(message);
+}
+
+util::Result<DiscoveryResponse> DiscoveryResponse::parse(std::span<const std::uint8_t> data) {
+    auto message = parse_message(data);
+    if (!message) return message.error();
+    if (message.value().pdu_type != kPduReport) return util::make_error("not a Report PDU");
+    auto engine = EngineId::parse(message.value().engine_id);
+    if (!engine) return engine.error();
+    DiscoveryResponse response;
+    response.message_id = static_cast<std::int32_t>(message.value().message_id);
+    response.engine_id = std::move(engine).value();
+    response.engine_boots = static_cast<std::int32_t>(message.value().boots);
+    response.engine_time = static_cast<std::int32_t>(message.value().time);
+    return response;
+}
+
+}  // namespace lfp::snmp

@@ -1,0 +1,44 @@
+// SNMPv3 discovery exchange (RFC 3412 message format, RFC 3414 USM).
+//
+// The fingerprinting technique sends a single unauthenticated GET with an
+// empty engine ID; the authoritative engine answers with a REPORT PDU
+// (usmStatsUnknownEngineIDs) whose security parameters carry the engine ID,
+// boots, and time — enough to identify the vendor remotely.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "snmp/ber.hpp"
+#include "snmp/engine_id.hpp"
+#include "util/result.hpp"
+
+namespace lfp::snmp {
+
+constexpr std::uint16_t kSnmpPort = 161;
+
+/// The usmStatsUnknownEngineIDs counter OID (1.3.6.1.6.3.15.1.1.4.0).
+std::vector<std::uint32_t> usm_stats_unknown_engine_ids_oid();
+
+struct DiscoveryRequest {
+    std::int32_t message_id = 0;
+    std::int32_t max_size = 65507;
+
+    /// UDP payload for the discovery GET.
+    [[nodiscard]] Bytes serialize() const;
+
+    static util::Result<DiscoveryRequest> parse(std::span<const std::uint8_t> data);
+};
+
+struct DiscoveryResponse {
+    std::int32_t message_id = 0;
+    EngineId engine_id;
+    std::int32_t engine_boots = 0;
+    std::int32_t engine_time = 0;
+
+    [[nodiscard]] Bytes serialize() const;
+
+    static util::Result<DiscoveryResponse> parse(std::span<const std::uint8_t> data);
+};
+
+}  // namespace lfp::snmp

@@ -1,0 +1,435 @@
+#include "stack/profile_catalog.hpp"
+
+#include <algorithm>
+
+namespace lfp::stack {
+
+namespace {
+
+using snmp::EngineIdFormat;
+
+// Convenience constructors ---------------------------------------------------
+
+IpidBehaviour ipid_all(IpidMode mode) {
+    IpidBehaviour b;
+    b.icmp = b.tcp = b.udp = mode;
+    b.icmp_group = b.tcp_group = b.udp_group = 0;
+    return b;
+}
+
+IpidBehaviour ipid_per_proto(IpidMode icmp, IpidMode tcp, IpidMode udp) {
+    IpidBehaviour b;
+    b.icmp = icmp;
+    b.tcp = tcp;
+    b.udp = udp;
+    b.icmp_group = 0;
+    b.tcp_group = 1;
+    b.udp_group = 2;
+    return b;
+}
+
+/// One shared counter for all three protocols (classic single global IPID).
+IpidBehaviour ipid_shared_all() {
+    IpidBehaviour b = ipid_all(IpidMode::incremental);
+    return b;
+}
+
+/// TCP and UDP share a counter; ICMP has its own.
+IpidBehaviour ipid_shared_tcp_udp(IpidMode icmp_mode) {
+    IpidBehaviour b;
+    b.icmp = icmp_mode;
+    b.tcp = b.udp = IpidMode::incremental;
+    b.icmp_group = 1;
+    b.tcp_group = 0;
+    b.udp_group = 0;
+    return b;
+}
+
+constexpr std::size_t kQuoteRfc792 = 28;   // IP header + 8 bytes
+constexpr std::size_t kQuoteFull = 65535;  // quote as much as fits (Linux)
+
+}  // namespace
+
+ProfileCatalog ProfileCatalog::standard() {
+    ProfileCatalog catalog;
+    auto& out = catalog.profiles_;
+
+    auto add = [&out](Vendor vendor, std::string family, double weight, IpidBehaviour ipid,
+                      std::uint8_t ittl_icmp, std::uint8_t ittl_tcp, std::uint8_t ittl_udp,
+                      std::size_t quote, bool rst_from_ack, ResponsePolicy response,
+                      EngineIdFormat fmt, std::string banner, double mean_gap,
+                      SynAckBehaviour syn_ack = {}) {
+        StackProfile p;
+        p.family = std::move(family);
+        p.vendor = vendor;
+        p.ipid = ipid;
+        p.ittl_icmp = ittl_icmp;
+        p.ittl_tcp = ittl_tcp;
+        p.ittl_udp = ittl_udp;
+        p.icmp_quote_limit = quote;
+        p.rst_seq_from_ack = rst_from_ack;
+        p.response = response;
+        p.engine_format = fmt;
+        p.banner = std::move(banner);
+        p.mean_traffic_gap = mean_gap;
+        p.syn_ack = syn_ack;
+        out.push_back({std::move(p), weight});
+    };
+
+    // ---------------------------------------------------------------- Cisco
+    // Flagship IOS matches the Table 6 Cisco row:
+    //   echo=False, ipid r r r, no shared counters,
+    //   iTTL (udp,icmp,tcp) = 255,255,64, sizes 84/40/56, RST seq zero.
+    add(Vendor::cisco, "IOS 15", 0.34, ipid_per_proto(IpidMode::random, IpidMode::random,
+                                                      IpidMode::random),
+        /*icmp*/ 255, /*tcp*/ 64, /*udp*/ 255, kQuoteRfc792, false,
+        {.icmp = 0.93, .tcp = 0.72, .udp = 0.70, .snmpv3 = 0.46, .open_mgmt_port = 0.035},
+        EngineIdFormat::mac, "SSH-2.0-Cisco-1.25", 60.0, {4096, 536, false, false});
+    add(Vendor::cisco, "IOS-XE", 0.22, ipid_per_proto(IpidMode::random, IpidMode::random,
+                                                      IpidMode::random),
+        255, 255, 255, kQuoteRfc792, false,
+        {.icmp = 0.93, .tcp = 0.72, .udp = 0.70, .snmpv3 = 0.44, .open_mgmt_port = 0.03},
+        EngineIdFormat::mac, "SSH-2.0-Cisco-1.25", 70.0, {4096, 1460, false, false});
+    add(Vendor::cisco, "IOS-XR 7", 0.16, ipid_shared_all(),
+        255, 255, 255, kQuoteRfc792, true,
+        {.icmp = 0.95, .tcp = 0.78, .udp = 0.76, .snmpv3 = 0.40, .open_mgmt_port = 0.02},
+        EngineIdFormat::mac, "SSH-2.0-Cisco-2.0", 180.0, {16384, 1460, false, false});
+    add(Vendor::cisco, "NX-OS", 0.08, ipid_per_proto(IpidMode::incremental, IpidMode::zero,
+                                                     IpidMode::incremental),
+        255, 64, 64, kQuoteFull, false,
+        {.icmp = 0.9, .tcp = 0.6, .udp = 0.6, .snmpv3 = 0.38, .open_mgmt_port = 0.02},
+        EngineIdFormat::mac, "SSH-2.0-OpenSSH_7.4 Cisco Nexus", 90.0,
+        {29200, 1460, true, true});
+    add(Vendor::cisco, "IOS 12", 0.09, ipid_shared_all(),
+        255, 255, 255, kQuoteRfc792, false,
+        {.icmp = 0.88, .tcp = 0.65, .udp = 0.62, .snmpv3 = 0.5, .open_mgmt_port = 0.05},
+        EngineIdFormat::mac, "SSH-1.99-Cisco-1.25", 30.0, {4128, 536, false, false});
+    add(Vendor::cisco, "ASR 9k", 0.05, ipid_shared_tcp_udp(IpidMode::random),
+        255, 255, 255, kQuoteRfc792, true,
+        {.icmp = 0.95, .tcp = 0.8, .udp = 0.78, .snmpv3 = 0.35, .open_mgmt_port = 0.015},
+        EngineIdFormat::mac, "SSH-2.0-Cisco-2.0", 400.0, {16384, 1460, false, false});
+    add(Vendor::cisco, "Catalyst IOS", 0.04, ipid_per_proto(IpidMode::static_value,
+                                                            IpidMode::random, IpidMode::random),
+        255, 64, 255, kQuoteRfc792, false,
+        {.icmp = 0.85, .tcp = 0.55, .udp = 0.5, .snmpv3 = 0.52, .open_mgmt_port = 0.06},
+        EngineIdFormat::mac, "SSH-2.0-Cisco-1.25", 15.0, {4128, 536, false, false});
+    add(Vendor::cisco, "ME 3600", 0.02, ipid_per_proto(IpidMode::zero, IpidMode::random,
+                                                       IpidMode::random),
+        255, 255, 64, kQuoteRfc792, false,
+        {.icmp = 0.85, .tcp = 0.6, .udp = 0.55, .snmpv3 = 0.42, .open_mgmt_port = 0.03},
+        EngineIdFormat::mac, "SSH-2.0-Cisco-1.25", 25.0, {4128, 536, false, false});
+
+    // -------------------------------------------------------------- Juniper
+    // Flagship JunOS matches the Table 6 Juniper row:
+    //   echo=False, r r r, no shared, iTTL (udp,icmp,tcp)=255,64,64,
+    //   sizes 84/40/56, RST seq zero.
+    add(Vendor::juniper, "JunOS MX", 0.45, ipid_per_proto(IpidMode::random, IpidMode::random,
+                                                          IpidMode::random),
+        /*icmp*/ 64, /*tcp*/ 64, /*udp*/ 255, kQuoteRfc792, false,
+        {.icmp = 0.95, .tcp = 0.8, .udp = 0.78, .snmpv3 = 0.20, .open_mgmt_port = 0.02},
+        EngineIdFormat::mac, "SSH-2.0-OpenSSH_7.5 JUNOS", 120.0, {16384, 1460, false, true});
+    add(Vendor::juniper, "JunOS EX", 0.17, ipid_shared_tcp_udp(IpidMode::random),
+        64, 64, 255, kQuoteRfc792, false,
+        {.icmp = 0.92, .tcp = 0.74, .udp = 0.7, .snmpv3 = 0.24, .open_mgmt_port = 0.03},
+        EngineIdFormat::mac, "SSH-2.0-OpenSSH_7.5 JUNOS", 40.0, {16384, 1460, false, true});
+    add(Vendor::juniper, "JunOS SRX", 0.14, ipid_per_proto(IpidMode::random, IpidMode::random,
+                                                           IpidMode::incremental),
+        64, 64, 64, kQuoteFull, false,
+        {.icmp = 0.88, .tcp = 0.7, .udp = 0.66, .snmpv3 = 0.18, .open_mgmt_port = 0.02},
+        EngineIdFormat::mac, "SSH-2.0-OpenSSH_7.5 JUNOS", 55.0, {16384, 1460, true, true});
+    add(Vendor::juniper, "JunOS PTX", 0.13, ipid_per_proto(IpidMode::random, IpidMode::random,
+                                                           IpidMode::random),
+        255, 64, 255, kQuoteRfc792, true,
+        {.icmp = 0.95, .tcp = 0.82, .udp = 0.8, .snmpv3 = 0.16, .open_mgmt_port = 0.012},
+        EngineIdFormat::mac, "SSH-2.0-OpenSSH_7.5 JUNOS", 300.0, {16384, 1460, false, true});
+    add(Vendor::juniper, "JunOS QFX", 0.11, ipid_per_proto(IpidMode::incremental,
+                                                           IpidMode::random, IpidMode::random),
+        64, 64, 255, kQuoteRfc792, false,
+        {.icmp = 0.9, .tcp = 0.72, .udp = 0.7, .snmpv3 = 0.22, .open_mgmt_port = 0.025},
+        EngineIdFormat::mac, "SSH-2.0-OpenSSH_7.5 JUNOS", 35.0, {16384, 1460, false, true});
+
+    // --------------------------------------------------------------- Huawei
+    // VRP shares the Cisco iTTL tuple (the paper notes Huawei == Cisco iTTL),
+    // but differs in IPID behaviour: one shared incremental counter.
+    add(Vendor::huawei, "VRP 8", 0.5, ipid_shared_all(),
+        255, 64, 255, kQuoteRfc792, false,
+        {.icmp = 0.92, .tcp = 0.7, .udp = 0.68, .snmpv3 = 0.32, .open_mgmt_port = 0.03},
+        EngineIdFormat::octets, "SSH-2.0-HUAWEI-1.5", 80.0, {8192, 1460, false, false});
+    add(Vendor::huawei, "VRP 5", 0.28, ipid_shared_tcp_udp(IpidMode::incremental),
+        255, 255, 255, kQuoteRfc792, false,
+        {.icmp = 0.9, .tcp = 0.66, .udp = 0.64, .snmpv3 = 0.34, .open_mgmt_port = 0.04},
+        EngineIdFormat::octets, "SSH-2.0-HUAWEI-1.5", 45.0, {8192, 536, false, false});
+    add(Vendor::huawei, "CloudEngine", 0.12, ipid_per_proto(IpidMode::incremental,
+                                                            IpidMode::zero, IpidMode::incremental),
+        255, 64, 255, kQuoteFull, false,
+        {.icmp = 0.9, .tcp = 0.64, .udp = 0.62, .snmpv3 = 0.28, .open_mgmt_port = 0.02},
+        EngineIdFormat::octets, "SSH-2.0-HUAWEI-2.0", 70.0, {29200, 1460, true, true});
+    add(Vendor::huawei, "NE Router", 0.1, ipid_per_proto(IpidMode::duplicate_pair,
+                                                         IpidMode::incremental,
+                                                         IpidMode::incremental),
+        255, 255, 255, kQuoteRfc792, false,
+        {.icmp = 0.93, .tcp = 0.72, .udp = 0.7, .snmpv3 = 0.3, .open_mgmt_port = 0.02},
+        EngineIdFormat::octets, "SSH-2.0-HUAWEI-1.5", 150.0, {8192, 1460, false, false});
+
+    // ------------------------------------------------------------- MikroTik
+    // RouterOS is Linux-derived: ICMP echoes the request IPID, ICMP errors
+    // quote the full datagram, iTTL 64 across the board.
+    add(Vendor::mikrotik, "RouterOS 6", 0.52, [] {
+            IpidBehaviour b = ipid_shared_tcp_udp(IpidMode::incremental);
+            b.icmp_echoes_request_ipid = true;
+            return b;
+        }(),
+        64, 64, 64, kQuoteFull, false,
+        {.icmp = 0.9, .tcp = 0.62, .udp = 0.6, .snmpv3 = 0.5, .open_mgmt_port = 0.1},
+        EngineIdFormat::text, "SSH-2.0-ROSSSH", 20.0, {14600, 1460, true, true});
+    add(Vendor::mikrotik, "RouterOS 7", 0.3, [] {
+            IpidBehaviour b = ipid_per_proto(IpidMode::incremental, IpidMode::zero,
+                                             IpidMode::incremental);
+            b.icmp_echoes_request_ipid = true;
+            return b;
+        }(),
+        64, 64, 64, kQuoteFull, false,
+        {.icmp = 0.9, .tcp = 0.6, .udp = 0.58, .snmpv3 = 0.48, .open_mgmt_port = 0.1},
+        EngineIdFormat::text, "SSH-2.0-ROSSSH", 18.0, {64240, 1460, true, true});
+    add(Vendor::mikrotik, "RouterOS 6 CHR", 0.08, [] {
+            IpidBehaviour b = ipid_all(IpidMode::incremental);
+            b.icmp_echoes_request_ipid = true;
+            return b;
+        }(),
+        64, 64, 64, kQuoteFull, false,
+        {.icmp = 0.92, .tcp = 0.66, .udp = 0.64, .snmpv3 = 0.52, .open_mgmt_port = 0.12},
+        EngineIdFormat::text, "SSH-2.0-ROSSSH", 25.0, {14600, 1460, true, true});
+    add(Vendor::mikrotik, "RouterOS 5", 0.06, [] {
+            IpidBehaviour b = ipid_shared_tcp_udp(IpidMode::incremental);
+            b.icmp_echoes_request_ipid = true;
+            return b;
+        }(),
+        64, 64, 255, kQuoteFull, false,
+        {.icmp = 0.85, .tcp = 0.55, .udp = 0.52, .snmpv3 = 0.45, .open_mgmt_port = 0.12},
+        EngineIdFormat::text, "SSH-2.0-ROSSSH", 12.0, {14600, 536, true, false});
+    add(Vendor::mikrotik, "SwOS", 0.04, ipid_per_proto(IpidMode::static_value, IpidMode::zero,
+                                                       IpidMode::static_value),
+        64, 64, 64, kQuoteRfc792, false,
+        {.icmp = 0.8, .tcp = 0.4, .udp = 0.4, .snmpv3 = 0.4, .open_mgmt_port = 0.05},
+        EngineIdFormat::text, "SSH-2.0-ROSSSH", 5.0, {5840, 536, false, false});
+
+    // ------------------------------------------------------------------ H3C
+    // Comware shares lineage with Huawei VRP (H3C was Huawei-3Com); Comware 5
+    // is stack-identical to VRP 5 → a deliberately non-unique signature.
+    add(Vendor::h3c, "Comware 5", 0.55, ipid_shared_tcp_udp(IpidMode::incremental),
+        255, 255, 255, kQuoteRfc792, false,
+        {.icmp = 0.88, .tcp = 0.6, .udp = 0.58, .snmpv3 = 0.3, .open_mgmt_port = 0.05},
+        EngineIdFormat::octets, "SSH-2.0-Comware-5.20", 45.0, {8192, 536, false, false});
+    add(Vendor::h3c, "Comware 7", 0.35, [] {
+            IpidBehaviour b = ipid_per_proto(IpidMode::incremental, IpidMode::zero,
+                                             IpidMode::incremental);
+            b.icmp_echoes_request_ipid = true;
+            return b;
+        }(),
+        64, 64, 64, kQuoteFull, false,
+        {.icmp = 0.88, .tcp = 0.58, .udp = 0.56, .snmpv3 = 0.26, .open_mgmt_port = 0.04},
+        EngineIdFormat::octets, "SSH-2.0-Comware-7.1", 30.0, {64240, 1460, true, true});
+    add(Vendor::h3c, "SecPath", 0.1, ipid_per_proto(IpidMode::incremental, IpidMode::incremental,
+                                                    IpidMode::static_value),
+        255, 64, 64, kQuoteRfc792, false,
+        {.icmp = 0.85, .tcp = 0.55, .udp = 0.5, .snmpv3 = 0.22, .open_mgmt_port = 0.03},
+        EngineIdFormat::octets, "SSH-2.0-Comware-7.1", 25.0, {8192, 1460, false, false});
+
+    // -------------------------------------------------------- Alcatel/Nokia
+    add(Vendor::nokia, "SR-OS 7750", 0.7, ipid_per_proto(IpidMode::random, IpidMode::zero,
+                                                         IpidMode::incremental),
+        255, 255, 255, kQuoteRfc792, true,
+        {.icmp = 0.95, .tcp = 0.8, .udp = 0.78, .snmpv3 = 0.09, .open_mgmt_port = 0.01},
+        EngineIdFormat::octets, "SSH-2.0-OpenSSH_6.6 TiMOS", 250.0, {10240, 1460, false, false});
+    add(Vendor::nokia, "SR-OS 7250", 0.3, ipid_per_proto(IpidMode::random, IpidMode::static_value,
+                                                         IpidMode::incremental),
+        255, 255, 64, kQuoteRfc792, true,
+        {.icmp = 0.92, .tcp = 0.74, .udp = 0.72, .snmpv3 = 0.1, .open_mgmt_port = 0.015},
+        EngineIdFormat::octets, "SSH-2.0-OpenSSH_6.6 TiMOS", 140.0, {10240, 1460, false, false});
+
+    // --------------------------------------------------------------Ericsson
+    add(Vendor::ericsson, "SmartEdge", 1.0, ipid_per_proto(IpidMode::static_value,
+                                                           IpidMode::incremental,
+                                                           IpidMode::random),
+        255, 64, 255, kQuoteRfc792, true,
+        {.icmp = 0.9, .tcp = 0.75, .udp = 0.72, .snmpv3 = 0.08, .open_mgmt_port = 0.01},
+        EngineIdFormat::mac, "SSH-2.0-SSH_server Ericsson", 90.0, {8192, 1460, false, false});
+
+    // --------------------------------------------------------------- Brocade
+    // NetIron is a classic Foundry stack; CER runs a Linux control plane.
+    add(Vendor::brocade, "NetIron", 0.6, ipid_shared_all(),
+        64, 64, 64, kQuoteRfc792, false,
+        {.icmp = 0.88, .tcp = 0.62, .udp = 0.6, .snmpv3 = 0.36, .open_mgmt_port = 0.05},
+        EngineIdFormat::mac, "SSH-2.0-RomSShell_4.62", 35.0, {16384, 1460, false, false});
+    add(Vendor::brocade, "CER Linux", 0.4, [] {
+            IpidBehaviour b = ipid_per_proto(IpidMode::incremental, IpidMode::zero,
+                                             IpidMode::incremental);
+            b.icmp_echoes_request_ipid = true;
+            return b;
+        }(),
+        64, 64, 64, kQuoteFull, false,
+        {.icmp = 0.85, .tcp = 0.58, .udp = 0.55, .snmpv3 = 0.33, .open_mgmt_port = 0.06},
+        EngineIdFormat::mac, "SSH-2.0-OpenSSH_5.8", 22.0, {14600, 1460, true, true});
+
+    // ---------------------------------------------------------------- Ruijie
+    add(Vendor::ruijie, "RGOS", 1.0, ipid_shared_tcp_udp(IpidMode::duplicate_pair),
+        255, 64, 255, kQuoteRfc792, false,
+        {.icmp = 0.86, .tcp = 0.6, .udp = 0.56, .snmpv3 = 0.3, .open_mgmt_port = 0.04},
+        EngineIdFormat::octets, "SSH-2.0-RGOS_SSH", 30.0, {8192, 536, false, false});
+
+    // --------------------------------------------------------------net-snmp
+    // Generic Linux boxes acting as routers; stack-identical to other
+    // Linux-derived platforms → heavily non-unique.
+    add(Vendor::net_snmp, "Linux router", 0.7, [] {
+            IpidBehaviour b = ipid_per_proto(IpidMode::incremental, IpidMode::zero,
+                                             IpidMode::incremental);
+            b.icmp_echoes_request_ipid = true;
+            return b;
+        }(),
+        64, 64, 64, kQuoteFull, false,
+        {.icmp = 0.9, .tcp = 0.65, .udp = 0.6, .snmpv3 = 0.5, .open_mgmt_port = 0.15},
+        EngineIdFormat::octets, "SSH-2.0-OpenSSH_8.2p1", 15.0, {64240, 1460, true, true});
+    add(Vendor::net_snmp, "Linux legacy", 0.3, [] {
+            IpidBehaviour b = ipid_shared_tcp_udp(IpidMode::incremental);
+            b.icmp_echoes_request_ipid = true;
+            return b;
+        }(),
+        64, 64, 64, kQuoteFull, false,
+        {.icmp = 0.88, .tcp = 0.6, .udp = 0.58, .snmpv3 = 0.52, .open_mgmt_port = 0.18},
+        EngineIdFormat::octets, "SSH-2.0-OpenSSH_5.3", 10.0, {5840, 1460, true, true});
+
+    // ------------------------------------------------------------------- ZTE
+    // ZXR10 shares NE-router-like behaviour (stack lineage) → non-unique
+    // with Huawei's NE family.
+    add(Vendor::zte, "ZXR10", 1.0, ipid_per_proto(IpidMode::duplicate_pair,
+                                                  IpidMode::incremental, IpidMode::incremental),
+        255, 255, 255, kQuoteRfc792, false,
+        {.icmp = 0.88, .tcp = 0.64, .udp = 0.6, .snmpv3 = 0.22, .open_mgmt_port = 0.03},
+        EngineIdFormat::octets, "SSH-2.0-ZTE_SSH", 60.0, {8192, 1460, false, false});
+
+    // --------------------------------------------------------------- Extreme
+    add(Vendor::extreme, "EXOS", 1.0, ipid_per_proto(IpidMode::incremental, IpidMode::random,
+                                                     IpidMode::zero),
+        64, 255, 64, kQuoteRfc792, false,
+        {.icmp = 0.85, .tcp = 0.6, .udp = 0.55, .snmpv3 = 0.25, .open_mgmt_port = 0.05},
+        EngineIdFormat::mac, "SSH-2.0-OpenSSH_7.5 ExtremeXOS", 20.0, {16384, 1460, true, false});
+
+    // ---------------------------------------------------------------- Arista
+    add(Vendor::arista, "EOS", 1.0, [] {
+            IpidBehaviour b = ipid_per_proto(IpidMode::incremental, IpidMode::zero,
+                                             IpidMode::incremental);
+            b.icmp_echoes_request_ipid = true;
+            return b;
+        }(),
+        64, 64, 255, kQuoteFull, false,
+        {.icmp = 0.9, .tcp = 0.7, .udp = 0.65, .snmpv3 = 0.2, .open_mgmt_port = 0.04},
+        EngineIdFormat::mac, "SSH-2.0-OpenSSH_7.8 Arista", 45.0, {29200, 1460, true, true});
+
+    // -------------------------------------------------------------- Fortinet
+    add(Vendor::fortinet, "FortiOS", 1.0, ipid_per_proto(IpidMode::random, IpidMode::random,
+                                                         IpidMode::static_value),
+        255, 64, 64, kQuoteRfc792, false,
+        {.icmp = 0.8, .tcp = 0.5, .udp = 0.45, .snmpv3 = 0.15, .open_mgmt_port = 0.02},
+        EngineIdFormat::mac, "SSH-2.0-FortiSSH", 25.0, {5840, 1460, false, false});
+
+    // ---------------------------------------------------------------- D-Link
+    // Cheap Linux-based CPE-grade gear; collides with the Linux family.
+    add(Vendor::dlink, "DGS Linux", 1.0, [] {
+            IpidBehaviour b = ipid_per_proto(IpidMode::incremental, IpidMode::zero,
+                                             IpidMode::incremental);
+            b.icmp_echoes_request_ipid = true;
+            return b;
+        }(),
+        64, 64, 64, kQuoteFull, false,
+        {.icmp = 0.82, .tcp = 0.5, .udp = 0.48, .snmpv3 = 0.3, .open_mgmt_port = 0.1},
+        EngineIdFormat::mac, "SSH-2.0-OpenSSH_6.0", 8.0, {14600, 1460, true, true});
+
+    // ------------------------------------------------------------------ ADVA
+    add(Vendor::adva, "FSP 150", 1.0, ipid_per_proto(IpidMode::static_value, IpidMode::random,
+                                                     IpidMode::incremental),
+        64, 255, 255, kQuoteRfc792, false,
+        {.icmp = 0.8, .tcp = 0.5, .udp = 0.45, .snmpv3 = 0.18, .open_mgmt_port = 0.02},
+        EngineIdFormat::mac, "SSH-2.0-ADVA", 12.0, {8192, 536, false, false});
+
+    // Firmware-generation variants: older trains of a family quote more of
+    // the offending datagram in ICMP errors (RFC 1812 permits it), changing
+    // the UDP response size — multiplying per-vendor signatures the way the
+    // paper observes (25 distinct Cisco signatures, 15 Juniper, ...).
+    {
+        std::vector<WeightedProfile> variants;
+        for (auto& wp : out) {
+            if (wp.profile.icmp_quote_limit != kQuoteRfc792) continue;
+            WeightedProfile legacy = wp;
+            legacy.profile.family += " legacy";
+            legacy.profile.icmp_quote_limit = 32;  // 60-byte port unreachable
+            legacy.weight = wp.weight * 0.30;
+            wp.weight *= 0.85;
+            variants.push_back(std::move(legacy));
+
+            const Vendor v = wp.profile.vendor;
+            if (v == Vendor::cisco || v == Vendor::juniper || v == Vendor::huawei) {
+                WeightedProfile early = wp;
+                early.profile.family += " early";
+                early.profile.icmp_quote_limit = 36;  // 64-byte port unreachable
+                early.weight = wp.weight * 0.14;
+                variants.push_back(std::move(early));
+            }
+        }
+        for (auto& variant : variants) out.push_back(std::move(variant));
+    }
+
+    // Global SNMPv3 exposure correction: per-profile values describe the
+    // relative vendor tendencies; this factor calibrates the absolute rate
+    // so ≈28% of responsive IPs answer SNMPv3 (paper Table 3).
+    for (auto& wp : out) wp.profile.response.snmpv3 *= 1.6;
+
+    // Scan-time management reachability varies by vendor deployment culture
+    // (backbone gear sits behind ACLs; CPE-grade gear stays exposed). These
+    // values bound Nmap's coverage in the §7.3 comparison.
+    for (auto& wp : out) {
+        switch (wp.profile.vendor) {
+            case Vendor::cisco: wp.profile.response.mgmt_scan_reachable = 0.22; break;
+            case Vendor::juniper: wp.profile.response.mgmt_scan_reachable = 0.38; break;
+            case Vendor::huawei: wp.profile.response.mgmt_scan_reachable = 0.40; break;
+            case Vendor::ericsson: wp.profile.response.mgmt_scan_reachable = 0.06; break;
+            case Vendor::mikrotik: wp.profile.response.mgmt_scan_reachable = 0.18; break;
+            case Vendor::nokia: wp.profile.response.mgmt_scan_reachable = 0.28; break;
+            default: wp.profile.response.mgmt_scan_reachable = 0.25; break;
+        }
+    }
+
+    // Sort by vendor so per-vendor ranges are contiguous.
+    std::stable_sort(out.begin(), out.end(), [](const WeightedProfile& a,
+                                                const WeightedProfile& b) {
+        return static_cast<int>(a.profile.vendor) < static_cast<int>(b.profile.vendor);
+    });
+    catalog.ranges_.assign(kVendorCount + 1, {});
+    for (std::size_t i = 0; i < out.size(); ++i) {
+        auto v = static_cast<std::size_t>(out[i].profile.vendor);
+        if (catalog.ranges_[v].end == 0) catalog.ranges_[v].begin = i;
+        catalog.ranges_[v].end = i + 1;
+    }
+    return catalog;
+}
+
+std::span<const WeightedProfile> ProfileCatalog::profiles_for(Vendor vendor) const {
+    const auto v = static_cast<std::size_t>(vendor);
+    if (v >= ranges_.size()) return {};
+    const Range r = ranges_[v];
+    if (r.end <= r.begin) return {};
+    return std::span<const WeightedProfile>(profiles_).subspan(r.begin, r.end - r.begin);
+}
+
+const StackProfile* ProfileCatalog::find(std::string_view family) const {
+    for (const auto& wp : profiles_) {
+        if (wp.profile.family == family) return &wp.profile;
+    }
+    return nullptr;
+}
+
+const ProfileCatalog& standard_catalog() {
+    static const ProfileCatalog catalog = ProfileCatalog::standard();
+    return catalog;
+}
+
+}  // namespace lfp::stack

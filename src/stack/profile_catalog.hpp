@@ -1,0 +1,52 @@
+// The catalog of stack profiles the simulation draws routers from.
+//
+// Each vendor ships several OS families / product lines with distinct stack
+// behaviour (the paper finds 25 distinct Cisco signatures, 15 Juniper, ...).
+// Profiles also deliberately *collide* across vendors that share stack
+// lineage (H3C/Huawei Comware ancestry, Linux-derived MikroTik / net-snmp /
+// D-Link), producing the non-unique signatures the paper reports.
+#pragma once
+
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "stack/stack_profile.hpp"
+
+namespace lfp::stack {
+
+/// A profile plus its prevalence among this vendor's deployed routers.
+struct WeightedProfile {
+    StackProfile profile;
+    double weight = 1.0;
+};
+
+class ProfileCatalog {
+  public:
+    /// All profiles of one vendor with deployment weights (empty span if the
+    /// vendor has no modelled profile).
+    [[nodiscard]] std::span<const WeightedProfile> profiles_for(Vendor vendor) const;
+
+    /// Lookup by family name (e.g. "IOS 15"); nullptr if absent.
+    [[nodiscard]] const StackProfile* find(std::string_view family) const;
+
+    [[nodiscard]] std::span<const WeightedProfile> all() const { return profiles_; }
+    [[nodiscard]] std::size_t size() const { return profiles_.size(); }
+
+    /// Builds the standard study catalog.
+    static ProfileCatalog standard();
+
+  private:
+    std::vector<WeightedProfile> profiles_;
+    // Index ranges into profiles_ per vendor (profiles_ sorted by vendor).
+    struct Range {
+        std::size_t begin = 0;
+        std::size_t end = 0;
+    };
+    std::vector<Range> ranges_;  // indexed by Vendor value
+};
+
+/// Shared immutable instance of the standard catalog.
+const ProfileCatalog& standard_catalog();
+
+}  // namespace lfp::stack

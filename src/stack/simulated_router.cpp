@@ -1,0 +1,251 @@
+#include "stack/simulated_router.hpp"
+
+#include <algorithm>
+
+#include "snmp/snmpv3.hpp"
+
+namespace lfp::stack {
+
+std::uint16_t IpidCounter::next(util::Rng& rng) noexcept {
+    switch (mode_) {
+        case IpidMode::zero: return 0;
+        case IpidMode::static_value: return static_value_;
+        case IpidMode::random: return static_cast<std::uint16_t>(rng.next() & 0xFFFF);
+        case IpidMode::incremental: {
+            // Background traffic consumed IDs since our last response.
+            value_ = static_cast<std::uint16_t>(value_ + 1 + rng.traffic_gap(mean_gap_));
+            return value_;
+        }
+        case IpidMode::duplicate_pair: {
+            if (serve_duplicate_) {
+                serve_duplicate_ = false;
+                return duplicate_value_;
+            }
+            value_ = static_cast<std::uint16_t>(value_ + 1 + rng.traffic_gap(mean_gap_));
+            duplicate_value_ = value_;
+            serve_duplicate_ = true;
+            return value_;
+        }
+    }
+    return 0;
+}
+
+SimulatedRouter::SimulatedRouter(std::uint64_t router_id, const StackProfile& profile,
+                                 util::Rng& seed_rng, double posture, double snmp_posture)
+    : id_(router_id), profile_(&profile), rng_(seed_rng.fork(router_id * 2 + 1)) {
+    const IpidBehaviour& b = profile.ipid;
+    // Build one counter per referenced group; groups map protocols that share
+    // a counter to the same state machine. A group's mode is the mode of the
+    // first protocol referencing it.
+    std::array<IpidMode, 3> group_mode{IpidMode::incremental, IpidMode::incremental,
+                                       IpidMode::incremental};
+    std::array<bool, 3> seen{};
+    auto visit = [&](std::uint8_t group, IpidMode mode) {
+        if (!seen[group]) {
+            group_mode[group] = mode;
+            seen[group] = true;
+        }
+    };
+    visit(b.icmp_group, b.icmp);
+    visit(b.tcp_group, b.tcp);
+    visit(b.udp_group, b.udp);
+    for (std::size_t g = 0; g < 3; ++g) {
+        const auto initial = static_cast<std::uint16_t>(rng_.next() & 0xFFFF);
+        counters_[g] = IpidCounter(group_mode[g], initial, profile.mean_traffic_gap);
+    }
+
+    const ResponsePolicy& r = profile.response;
+    responds_icmp_ = rng_.chance(std::min(1.0, r.icmp * posture));
+    // TCP and UDP closed-port reachability is governed by the same ACL in
+    // practice; the paper reports near-identical TCP and UDP response rates
+    // (Figures 5/6). Draw one flag and flip each protocol rarely.
+    const double closed_ports = std::min(1.0, 0.5 * (r.tcp + r.udp) * posture);
+    const bool closed_respond = rng_.chance(closed_ports);
+    // No flips at the deterministic extremes (0 or 1) so fully-open and
+    // fully-dark configurations stay exact.
+    const double flip = (closed_ports > 0.0 && closed_ports < 1.0) ? 0.04 : 0.0;
+    responds_tcp_ = closed_respond ? !rng_.chance(flip) : rng_.chance(flip);
+    responds_udp_ = closed_respond ? !rng_.chance(flip) : rng_.chance(flip);
+    snmp_enabled_ = rng_.chance(std::min(1.0, r.snmpv3 * snmp_posture));
+    mgmt_port_open_ = rng_.chance(r.open_mgmt_port);
+    mgmt_reachable_ = rng_.chance(r.mgmt_scan_reachable);
+
+    // Engine identity: stable per router.
+    const std::uint32_t enterprise = enterprise_number(profile.vendor);
+    switch (profile.engine_format) {
+        case snmp::EngineIdFormat::mac: {
+            std::array<std::uint8_t, 6> mac{};
+            for (auto& byte : mac) byte = static_cast<std::uint8_t>(rng_.next() & 0xFF);
+            engine_id_ = snmp::make_mac_engine_id(enterprise, mac);
+            break;
+        }
+        case snmp::EngineIdFormat::text:
+            engine_id_ = snmp::make_text_engine_id(
+                enterprise, std::string(to_string(profile.vendor)) + "-" +
+                                std::to_string(router_id));
+            break;
+        case snmp::EngineIdFormat::ipv4:
+        case snmp::EngineIdFormat::ipv6:
+        case snmp::EngineIdFormat::octets:
+        case snmp::EngineIdFormat::enterprise_specific:
+        default: {
+            net::Bytes octets(8);
+            for (auto& byte : octets) byte = static_cast<std::uint8_t>(rng_.next() & 0xFF);
+            engine_id_ = snmp::make_octets_engine_id(enterprise, std::move(octets));
+            break;
+        }
+    }
+    engine_boots_ = static_cast<std::int32_t>(1 + rng_.below(60));
+    engine_time_ = static_cast<std::int32_t>(rng_.below(60u * 60 * 24 * 500));
+}
+
+std::optional<net::Bytes> SimulatedRouter::handle_packet(std::span<const std::uint8_t> packet) {
+    auto parsed = net::parse_packet(packet);
+    if (!parsed) return std::nullopt;  // malformed packets are dropped silently
+    const net::ParsedPacket& probe = parsed.value();
+    if (std::find(interfaces_.begin(), interfaces_.end(), probe.ip.destination) ==
+        interfaces_.end()) {
+        return std::nullopt;  // not addressed to us
+    }
+    switch (probe.ip.protocol) {
+        case net::Protocol::icmp: return handle_icmp(probe);
+        case net::Protocol::tcp: return handle_tcp(probe, packet);
+        case net::Protocol::udp: {
+            const auto* udp = probe.udp();
+            if (udp != nullptr && udp->destination_port == snmp::kSnmpPort) {
+                return handle_snmp(probe);
+            }
+            return handle_udp(probe, packet);
+        }
+    }
+    return std::nullopt;
+}
+
+std::optional<net::Bytes> SimulatedRouter::handle_icmp(const net::ParsedPacket& probe) {
+    if (!responds_icmp_) return std::nullopt;
+    const auto* message = probe.icmp();
+    if (message == nullptr) return std::nullopt;
+    const auto* echo = std::get_if<net::IcmpEcho>(message);
+    if (echo == nullptr || echo->is_reply) return std::nullopt;
+
+    net::IpSendOptions ip;
+    ip.source = probe.ip.destination;
+    ip.destination = probe.ip.source;
+    ip.ttl = ittl_icmp();
+    ip.identification = profile_->ipid.icmp_echoes_request_ipid
+                            ? probe.ip.identification
+                            : next_ipid(profile_->ipid.icmp_group);
+    return net::make_icmp_echo_reply(ip, *echo);
+}
+
+std::optional<net::Bytes> SimulatedRouter::handle_tcp(const net::ParsedPacket& probe,
+                                                      std::span<const std::uint8_t> raw) {
+    (void)raw;
+    const auto* segment = probe.tcp();
+    if (segment == nullptr) return std::nullopt;
+
+    // Open management port: complete the handshake's first step. This path
+    // serves the Nmap/Hershel baselines; LFP itself probes a closed port.
+    if (segment->destination_port == kMgmtPort && mgmt_port_open_ && mgmt_reachable_ &&
+        segment->flags.syn && !segment->flags.ack) {
+        net::TcpSegment syn_ack;
+        syn_ack.source_port = kMgmtPort;
+        syn_ack.destination_port = segment->source_port;
+        syn_ack.sequence = static_cast<std::uint32_t>(rng_.next());
+        syn_ack.acknowledgment = segment->sequence + 1;
+        syn_ack.flags.syn = true;
+        syn_ack.flags.ack = true;
+        syn_ack.window = profile_->syn_ack.window;
+        syn_ack.options.push_back(
+            {net::TcpOptionKind::mss,
+             {static_cast<std::uint8_t>(profile_->syn_ack.mss >> 8),
+              static_cast<std::uint8_t>(profile_->syn_ack.mss & 0xFF)}});
+        if (profile_->syn_ack.sack_permitted) {
+            syn_ack.options.push_back({net::TcpOptionKind::sack_permitted, {}});
+        }
+        if (profile_->syn_ack.timestamps) {
+            net::Bytes ts(8, 0);
+            ts[3] = static_cast<std::uint8_t>(engine_time_ & 0xFF);
+            syn_ack.options.push_back({net::TcpOptionKind::timestamps, std::move(ts)});
+        }
+        net::IpSendOptions ip;
+        ip.source = probe.ip.destination;
+        ip.destination = probe.ip.source;
+        ip.ttl = ittl_tcp();
+        ip.identification = next_ipid(profile_->ipid.tcp_group);
+        return net::make_tcp_packet(ip, syn_ack);
+    }
+
+    if (!responds_tcp_) return std::nullopt;
+    if (segment->flags.rst) return std::nullopt;  // never answer a reset
+    if (segment->flags.ack && !profile_->rst_to_ack_probe) return std::nullopt;
+
+    // Closed port → RST (RFC 793). The sequence-number choice for our SYN
+    // probe (ack *field* set, ACK *flag* clear) is the LFP feature.
+    net::TcpSegment rst;
+    rst.source_port = segment->destination_port;
+    rst.destination_port = segment->source_port;
+    rst.window = 0;
+    rst.flags.rst = true;
+    if (segment->flags.ack) {
+        // ACK probe: reset sequence comes from the incoming ack number.
+        rst.sequence = segment->acknowledgment;
+    } else {
+        rst.flags.ack = true;
+        rst.acknowledgment = segment->sequence + (segment->flags.syn ? 1 : 0);
+        rst.sequence = profile_->rst_seq_from_ack ? segment->acknowledgment : 0;
+    }
+    net::IpSendOptions ip;
+    ip.source = probe.ip.destination;
+    ip.destination = probe.ip.source;
+    ip.ttl = ittl_tcp();
+    ip.identification = next_ipid(profile_->ipid.tcp_group);
+    // Linux-style stacks send RSTs with IPID 0 regardless of counters.
+    if (profile_->ipid.tcp == IpidMode::zero) ip.identification = 0;
+    return net::make_tcp_packet(ip, rst);
+}
+
+std::optional<net::Bytes> SimulatedRouter::handle_udp(const net::ParsedPacket& probe,
+                                                      std::span<const std::uint8_t> raw) {
+    if (!responds_udp_) return std::nullopt;
+    net::IpSendOptions ip;
+    ip.source = probe.ip.destination;
+    ip.destination = probe.ip.source;
+    ip.ttl = ittl_udp();
+    ip.identification = next_ipid(profile_->ipid.udp_group);
+    return net::make_icmp_error(ip, net::IcmpType::destination_unreachable,
+                                net::kIcmpCodePortUnreachable, raw, quote_limit());
+}
+
+std::optional<net::Bytes> SimulatedRouter::handle_snmp(const net::ParsedPacket& probe) {
+    if (!snmp_enabled_) {
+        // SNMP agent absent: fall back to closed-port behaviour. The probe
+        // raw bytes are not available here, so rebuild the quote source from
+        // the parsed form — only reached when the prober targets port 161 on
+        // a non-SNMP router, which the standard campaign does not rely on.
+        return std::nullopt;
+    }
+    const auto* udp = probe.udp();
+    auto request = snmp::DiscoveryRequest::parse(udp->payload);
+    if (!request) return std::nullopt;
+
+    snmp::DiscoveryResponse response;
+    response.message_id = request.value().message_id;
+    response.engine_id = engine_id_;
+    response.engine_boots = engine_boots_;
+    response.engine_time = engine_time_;
+
+    net::UdpDatagram reply;
+    reply.source_port = snmp::kSnmpPort;
+    reply.destination_port = udp->source_port;
+    reply.payload = response.serialize();
+
+    net::IpSendOptions ip;
+    ip.source = probe.ip.destination;
+    ip.destination = probe.ip.source;
+    ip.ttl = ittl_udp();
+    ip.identification = next_ipid(profile_->ipid.udp_group);
+    return net::make_udp_packet(ip, reply);
+}
+
+}  // namespace lfp::stack

@@ -1,0 +1,139 @@
+// A simulated router instance: one or more interface IPs backed by a stack
+// profile. It consumes raw IPv4 probe packets and produces raw response
+// packets, byte-identical to what a live router of that profile would emit —
+// the substitution for the paper's live probing targets.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "net/packet_builder.hpp"
+#include "snmp/engine_id.hpp"
+#include "stack/stack_profile.hpp"
+#include "util/rng.hpp"
+
+namespace lfp::stack {
+
+/// The closed port LFP probes (paper §3.3).
+constexpr std::uint16_t kProbePort = 33533;
+constexpr std::uint16_t kMgmtPort = 22;
+
+/// One IPID counter state machine (per counter group of a router).
+class IpidCounter {
+  public:
+    IpidCounter() = default;
+    IpidCounter(IpidMode mode, std::uint16_t initial, double mean_gap) noexcept
+        : mode_(mode), value_(initial), static_value_(initial == 0 ? 0x1234 : initial),
+          mean_gap_(mean_gap) {}
+
+    /// Value for the next emitted packet; advances internal state.
+    std::uint16_t next(util::Rng& rng) noexcept;
+
+    [[nodiscard]] IpidMode mode() const noexcept { return mode_; }
+
+  private:
+    IpidMode mode_ = IpidMode::incremental;
+    std::uint16_t value_ = 0;
+    std::uint16_t static_value_ = 0x1234;
+    double mean_gap_ = 0;
+    bool serve_duplicate_ = false;
+    std::uint16_t duplicate_value_ = 0;
+};
+
+/// Operator configuration overrides (the §8 evasion discussion): a router
+/// can deviate from its stack's defaults, confusing the classifier.
+struct RouterOverrides {
+    std::optional<std::uint8_t> ittl_icmp;
+    std::optional<std::uint8_t> ittl_tcp;
+    std::optional<std::uint8_t> ittl_udp;
+    std::optional<std::size_t> icmp_quote_limit;
+};
+
+class SimulatedRouter {
+  public:
+    /// `seed_rng` is forked for this router's private stream, so router
+    /// construction order does not perturb other routers' behaviour.
+    /// `posture` scales the data-plane response probabilities and
+    /// `snmp_posture` the SNMPv3 exposure (AS security-posture factors;
+    /// 1.0 = profile defaults). Backbone operators filter SNMP far more
+    /// aggressively than ICMP.
+    SimulatedRouter(std::uint64_t router_id, const StackProfile& profile, util::Rng& seed_rng,
+                    double posture = 1.0, double snmp_posture = 1.0);
+
+    void add_interface(net::IPv4Address address) { interfaces_.push_back(address); }
+
+    [[nodiscard]] std::uint64_t id() const noexcept { return id_; }
+    [[nodiscard]] const StackProfile& profile() const noexcept { return *profile_; }
+    [[nodiscard]] Vendor vendor() const noexcept { return profile_->vendor; }
+    [[nodiscard]] const std::vector<net::IPv4Address>& interfaces() const noexcept {
+        return interfaces_;
+    }
+
+    /// Instance-level reachability traits, drawn once at construction: a
+    /// router answers all probes of a protocol or none (paper Figures 5/6).
+    [[nodiscard]] bool responds_icmp() const noexcept { return responds_icmp_; }
+    [[nodiscard]] bool responds_tcp() const noexcept { return responds_tcp_; }
+    [[nodiscard]] bool responds_udp() const noexcept { return responds_udp_; }
+    [[nodiscard]] bool snmp_enabled() const noexcept { return snmp_enabled_; }
+    [[nodiscard]] bool mgmt_port_open() const noexcept { return mgmt_port_open_; }
+    [[nodiscard]] bool mgmt_reachable() const noexcept {
+        return mgmt_port_open_ && mgmt_reachable_;
+    }
+    [[nodiscard]] const snmp::EngineId& engine_id() const noexcept { return engine_id_; }
+
+    void set_overrides(const RouterOverrides& overrides) { overrides_ = overrides; }
+
+    /// Forces the management service open (used by the §7.3 banner-sample
+    /// study: Censys knew the banner historically even if the instance draw
+    /// left the port closed). Scan-time reachability still applies.
+    void set_mgmt_port_open(bool open) noexcept { mgmt_port_open_ = open; }
+    [[nodiscard]] const RouterOverrides& overrides() const noexcept { return overrides_; }
+
+    /// Processes one raw IPv4 packet addressed to one of our interfaces.
+    /// Returns the raw response packet, or nullopt for silence.
+    std::optional<net::Bytes> handle_packet(std::span<const std::uint8_t> packet);
+
+  private:
+    std::optional<net::Bytes> handle_icmp(const net::ParsedPacket& probe);
+    std::optional<net::Bytes> handle_tcp(const net::ParsedPacket& probe,
+                                         std::span<const std::uint8_t> raw);
+    std::optional<net::Bytes> handle_udp(const net::ParsedPacket& probe,
+                                         std::span<const std::uint8_t> raw);
+    std::optional<net::Bytes> handle_snmp(const net::ParsedPacket& probe);
+
+    [[nodiscard]] std::uint8_t ittl_icmp() const noexcept {
+        return overrides_.ittl_icmp.value_or(profile_->ittl_icmp);
+    }
+    [[nodiscard]] std::uint8_t ittl_tcp() const noexcept {
+        return overrides_.ittl_tcp.value_or(profile_->ittl_tcp);
+    }
+    [[nodiscard]] std::uint8_t ittl_udp() const noexcept {
+        return overrides_.ittl_udp.value_or(profile_->ittl_udp);
+    }
+    [[nodiscard]] std::size_t quote_limit() const noexcept {
+        return overrides_.icmp_quote_limit.value_or(profile_->icmp_quote_limit);
+    }
+
+    std::uint16_t next_ipid(std::uint8_t group) { return counters_[group].next(rng_); }
+
+    std::uint64_t id_;
+    const StackProfile* profile_;
+    std::vector<net::IPv4Address> interfaces_;
+    util::Rng rng_;
+    std::array<IpidCounter, 3> counters_;
+    snmp::EngineId engine_id_;
+    std::int32_t engine_boots_ = 1;
+    std::int32_t engine_time_ = 0;
+    bool responds_icmp_ = false;
+    bool responds_tcp_ = false;
+    bool responds_udp_ = false;
+    bool snmp_enabled_ = false;
+    bool mgmt_port_open_ = false;
+    bool mgmt_reachable_ = false;
+    RouterOverrides overrides_;
+};
+
+}  // namespace lfp::stack

@@ -1,0 +1,16 @@
+#include "stack/stack_profile.hpp"
+
+namespace lfp::stack {
+
+std::string_view to_string(IpidMode mode) noexcept {
+    switch (mode) {
+        case IpidMode::incremental: return "incremental";
+        case IpidMode::random: return "random";
+        case IpidMode::zero: return "zero";
+        case IpidMode::static_value: return "static";
+        case IpidMode::duplicate_pair: return "duplicate";
+    }
+    return "?";
+}
+
+}  // namespace lfp::stack

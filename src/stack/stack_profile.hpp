@@ -1,0 +1,97 @@
+// Stack behaviour profiles: the per-OS-family parameters that determine how a
+// simulated router answers probes. Each profile corresponds to one TCP/IP
+// stack implementation (an OS family of a vendor); the observable differences
+// between profiles are exactly the features LFP fingerprints (Table 1).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "snmp/engine_id.hpp"
+#include "stack/vendor.hpp"
+
+namespace lfp::stack {
+
+/// How a stack generates the IPID field of its responses.
+enum class IpidMode : std::uint8_t {
+    incremental,     ///< shared or per-protocol monotonic counter
+    random,          ///< PRNG per packet
+    zero,            ///< always zero (common with DF set)
+    static_value,    ///< constant non-zero value
+    duplicate_pair,  ///< counter advances every *second* packet
+};
+
+[[nodiscard]] std::string_view to_string(IpidMode mode) noexcept;
+
+/// Counter group ids: protocols with the same group share one counter
+/// (the source of LFP's four shared-counter features).
+struct IpidBehaviour {
+    IpidMode icmp = IpidMode::incremental;
+    IpidMode tcp = IpidMode::incremental;
+    IpidMode udp = IpidMode::incremental;
+    std::uint8_t icmp_group = 0;
+    std::uint8_t tcp_group = 0;
+    std::uint8_t udp_group = 0;
+    bool icmp_echoes_request_ipid = false;  ///< reply IPID := request IPID
+};
+
+/// SYN-ACK parameters used when a management port is open (consumed by the
+/// Hershel and Nmap baselines, not by LFP itself).
+struct SynAckBehaviour {
+    std::uint16_t window = 4128;
+    std::uint16_t mss = 536;
+    bool sack_permitted = false;
+    bool timestamps = false;
+};
+
+/// Probability knobs: how often an *instance* of this profile is reachable /
+/// enabled for each protocol. Instances draw once at construction, matching
+/// the paper's observation that an IP answers all three probes of a protocol
+/// or none (Figures 5/6).
+struct ResponsePolicy {
+    double icmp = 0.9;
+    double tcp = 0.6;
+    double udp = 0.6;
+    double snmpv3 = 0.3;
+    double open_mgmt_port = 0.02;  ///< TCP/22 open at all (banner leaked once)
+    /// Given an open management port, probability it is still reachable from
+    /// an arbitrary scanning vantage (ACLs tighten over time) — the quantity
+    /// bounding Nmap's coverage in the §7.3 comparison.
+    double mgmt_scan_reachable = 0.25;
+};
+
+struct StackProfile {
+    std::string family;  ///< e.g. "IOS-XR 7"
+    Vendor vendor = Vendor::unknown;
+
+    IpidBehaviour ipid;
+
+    /// Initial TTLs per response protocol (the iTTL features).
+    std::uint8_t ittl_icmp = 255;
+    std::uint8_t ittl_tcp = 255;
+    std::uint8_t ittl_udp = 255;
+
+    /// Bytes of the offending datagram quoted in ICMP errors. RFC 792
+    /// minimum is IP header + 8; Linux-derived stacks quote everything.
+    std::size_t icmp_quote_limit = 28;
+
+    /// RST sequence number for our SYN probe carrying a non-zero ack field:
+    /// true → seq taken from the ack field (non-zero), false → zero.
+    bool rst_seq_from_ack = false;
+
+    /// Whether ACK probes to closed ports elicit a RST at all.
+    bool rst_to_ack_probe = true;
+
+    ResponsePolicy response;
+    SynAckBehaviour syn_ack;
+    snmp::EngineIdFormat engine_format = snmp::EngineIdFormat::mac;
+    std::string banner;  ///< management-service banner, e.g. "SSH-2.0-Cisco-1.25"
+
+    /// Typical background IPID consumption between two of our probes; the
+    /// mean of the per-instance traffic gap draw. Busy cores burn hundreds
+    /// of IDs between probes.
+    double mean_traffic_gap = 40.0;
+};
+
+}  // namespace lfp::stack

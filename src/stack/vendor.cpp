@@ -1,0 +1,76 @@
+#include "stack/vendor.hpp"
+
+#include <array>
+
+#include "snmp/engine_id.hpp"
+#include "util/strings.hpp"
+
+namespace lfp::stack {
+
+namespace {
+
+struct VendorRecord {
+    Vendor vendor;
+    std::string_view name;
+    std::uint32_t enterprise;
+};
+
+constexpr std::array<VendorRecord, kVendorCount> kRecords{{
+    {Vendor::cisco, "Cisco", snmp::enterprise::kCisco},
+    {Vendor::juniper, "Juniper", snmp::enterprise::kJuniper},
+    {Vendor::huawei, "Huawei", snmp::enterprise::kHuawei},
+    {Vendor::mikrotik, "MikroTik", snmp::enterprise::kMikroTik},
+    {Vendor::h3c, "H3C", snmp::enterprise::kH3c},
+    {Vendor::nokia, "Alcatel/Nokia", snmp::enterprise::kNokia},
+    {Vendor::ericsson, "Ericsson", snmp::enterprise::kEricsson},
+    {Vendor::brocade, "Brocade", snmp::enterprise::kBrocade},
+    {Vendor::ruijie, "Ruijie", snmp::enterprise::kRuijie},
+    {Vendor::net_snmp, "net-snmp", snmp::enterprise::kNetSnmp},
+    {Vendor::zte, "ZTE", snmp::enterprise::kZte},
+    {Vendor::extreme, "Extreme", snmp::enterprise::kExtreme},
+    {Vendor::arista, "Arista", snmp::enterprise::kArista},
+    {Vendor::fortinet, "Fortinet", snmp::enterprise::kFortinet},
+    {Vendor::dlink, "D-Link", snmp::enterprise::kDlink},
+    {Vendor::adva, "ADVA", snmp::enterprise::kAdva},
+}};
+
+constexpr std::array<Vendor, kVendorCount> kAllVendors = [] {
+    std::array<Vendor, kVendorCount> out{};
+    for (std::size_t i = 0; i < kRecords.size(); ++i) out[i] = kRecords[i].vendor;
+    return out;
+}();
+
+}  // namespace
+
+std::string_view to_string(Vendor vendor) noexcept {
+    for (const auto& r : kRecords) {
+        if (r.vendor == vendor) return r.name;
+    }
+    return "Unknown";
+}
+
+std::optional<Vendor> vendor_from_string(std::string_view name) noexcept {
+    const std::string lowered = util::to_lower(name);
+    for (const auto& r : kRecords) {
+        if (util::to_lower(r.name) == lowered) return r.vendor;
+    }
+    return std::nullopt;
+}
+
+std::uint32_t enterprise_number(Vendor vendor) noexcept {
+    for (const auto& r : kRecords) {
+        if (r.vendor == vendor) return r.enterprise;
+    }
+    return 0;
+}
+
+Vendor vendor_from_enterprise(std::uint32_t enterprise) noexcept {
+    for (const auto& r : kRecords) {
+        if (r.enterprise == enterprise) return r.vendor;
+    }
+    return Vendor::unknown;
+}
+
+std::span<const Vendor> all_vendors() noexcept { return kAllVendors; }
+
+}  // namespace lfp::stack

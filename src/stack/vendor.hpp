@@ -1,0 +1,51 @@
+// Router vendor identities and their IANA enterprise numbers.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+
+namespace lfp::stack {
+
+/// The vendors tracked by the study (Table 5 plus the "other" bucket that
+/// appears in the precision/recall appendix).
+enum class Vendor : std::uint8_t {
+    cisco,
+    juniper,
+    huawei,
+    mikrotik,
+    h3c,
+    nokia,  // Alcatel-Lucent / Nokia SR
+    ericsson,
+    brocade,
+    ruijie,
+    net_snmp,  // generic net-snmp agents on Linux-based platforms
+    zte,
+    extreme,
+    arista,
+    fortinet,
+    dlink,
+    adva,
+    unknown,
+};
+
+constexpr std::size_t kVendorCount = 16;  // excluding `unknown`
+
+[[nodiscard]] std::string_view to_string(Vendor vendor) noexcept;
+
+/// Parses the exact names produced by to_string (case-insensitive).
+[[nodiscard]] std::optional<Vendor> vendor_from_string(std::string_view name) noexcept;
+
+/// IANA private enterprise number used in this vendor's SNMP engine IDs.
+[[nodiscard]] std::uint32_t enterprise_number(Vendor vendor) noexcept;
+
+/// Reverse mapping used by the SNMPv3 labeler. Unrecognised numbers map to
+/// `unknown`.
+[[nodiscard]] Vendor vendor_from_enterprise(std::uint32_t enterprise) noexcept;
+
+/// All concrete vendors (excludes `unknown`).
+[[nodiscard]] std::span<const Vendor> all_vendors() noexcept;
+
+}  // namespace lfp::stack

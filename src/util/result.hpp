@@ -1,0 +1,60 @@
+// Minimal result<T, E> for fallible operations on untrusted input (packet
+// parsing, BER decoding) where exceptions would be the wrong tool: malformed
+// packets are expected in normal operation, not exceptional.
+//
+// C++23 has std::expected; this is the small subset we need under C++20.
+#pragma once
+
+#include <cassert>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace lfp::util {
+
+/// Error payload: a stable code plus human-readable context.
+struct Error {
+    std::string message;
+
+    friend bool operator==(const Error&, const Error&) = default;
+};
+
+inline Error make_error(std::string message) { return Error{std::move(message)}; }
+
+/// A value-or-error sum type. `has_value()` must be checked before `value()`.
+template <typename T>
+class Result {
+  public:
+    Result(T value) : data_(std::move(value)) {}          // NOLINT(google-explicit-constructor)
+    Result(Error error) : data_(std::move(error)) {}      // NOLINT(google-explicit-constructor)
+
+    [[nodiscard]] bool has_value() const noexcept { return std::holds_alternative<T>(data_); }
+    explicit operator bool() const noexcept { return has_value(); }
+
+    [[nodiscard]] const T& value() const& {
+        assert(has_value());
+        return std::get<T>(data_);
+    }
+    [[nodiscard]] T& value() & {
+        assert(has_value());
+        return std::get<T>(data_);
+    }
+    [[nodiscard]] T&& value() && {
+        assert(has_value());
+        return std::get<T>(std::move(data_));
+    }
+
+    [[nodiscard]] const Error& error() const& {
+        assert(!has_value());
+        return std::get<Error>(data_);
+    }
+
+    [[nodiscard]] T value_or(T fallback) const& {
+        return has_value() ? std::get<T>(data_) : std::move(fallback);
+    }
+
+  private:
+    std::variant<T, Error> data_;
+};
+
+}  // namespace lfp::util

@@ -1,0 +1,121 @@
+// Deterministic random number utilities.
+//
+// Every stochastic component of the simulation draws from an Rng seeded from
+// the experiment seed, so a world built twice from the same seed is
+// bit-identical. We use our own xoshiro256** implementation rather than
+// std::mt19937 so the stream is stable across standard library versions.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <initializer_list>
+#include <span>
+#include <vector>
+
+namespace lfp::util {
+
+/// xoshiro256** 1.0 by Blackman & Vigna (public domain reference algorithm).
+class Rng {
+  public:
+    explicit Rng(std::uint64_t seed) noexcept { reseed(seed); }
+
+    void reseed(std::uint64_t seed) noexcept {
+        // splitmix64 to expand the seed into four non-zero words.
+        std::uint64_t x = seed + 0x9E3779B97F4A7C15ULL;
+        for (auto& word : state_) {
+            x += 0x9E3779B97F4A7C15ULL;
+            std::uint64_t z = x;
+            z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+            z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+            word = z ^ (z >> 31);
+        }
+    }
+
+    std::uint64_t next() noexcept {
+        const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+        const std::uint64_t t = state_[1] << 17;
+        state_[2] ^= state_[0];
+        state_[3] ^= state_[1];
+        state_[1] ^= state_[2];
+        state_[0] ^= state_[3];
+        state_[2] ^= t;
+        state_[3] = rotl(state_[3], 45);
+        return result;
+    }
+
+    /// Uniform in [0, bound). bound == 0 returns 0.
+    std::uint64_t below(std::uint64_t bound) noexcept {
+        if (bound == 0) return 0;
+        // Lemire's multiply-shift rejection-free variant is overkill here;
+        // modulo bias is negligible for our bounds (<< 2^32).
+        return next() % bound;
+    }
+
+    /// Uniform integer in [lo, hi] inclusive.
+    std::int64_t range(std::int64_t lo, std::int64_t hi) noexcept {
+        if (hi <= lo) return lo;
+        return lo + static_cast<std::int64_t>(below(static_cast<std::uint64_t>(hi - lo + 1)));
+    }
+
+    /// Uniform double in [0, 1).
+    double uniform() noexcept { return static_cast<double>(next() >> 11) * 0x1.0p-53; }
+
+    /// Bernoulli trial.
+    bool chance(double p) noexcept { return uniform() < p; }
+
+    /// Geometric-ish small jitter: number of "background packets" between two
+    /// of our probes. Mean ~= mean_gap.
+    std::uint16_t traffic_gap(double mean_gap) noexcept {
+        if (mean_gap <= 0) return 0;
+        // Exponential via inverse CDF, clamped to 16-bit.
+        double draw = -mean_gap * log_of_uniform();
+        if (draw > 65535.0) draw = 65535.0;
+        return static_cast<std::uint16_t>(draw);
+    }
+
+    /// Pick an index from a discrete weight vector. Weights need not sum to 1.
+    std::size_t weighted(std::span<const double> weights) noexcept {
+        double total = 0;
+        for (double w : weights) total += w;
+        if (total <= 0) return 0;
+        double draw = uniform() * total;
+        for (std::size_t i = 0; i < weights.size(); ++i) {
+            draw -= weights[i];
+            if (draw < 0) return i;
+        }
+        return weights.size() - 1;
+    }
+
+    /// Derive a child generator; children with distinct tags have independent
+    /// streams regardless of draw order on the parent.
+    Rng fork(std::uint64_t tag) noexcept {
+        return Rng(state_[0] ^ (tag * 0x9E3779B97F4A7C15ULL) ^ rotl(state_[3], 13));
+    }
+
+  private:
+    static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+        return (x << k) | (x >> (64 - k));
+    }
+
+    double log_of_uniform() noexcept {
+        // ln(u) for u in (0,1]; avoid log(0).
+        double u = uniform();
+        if (u < 1e-300) u = 1e-300;
+        // Cheap natural log via std; precision is irrelevant for jitter.
+        return __builtin_log(u);
+    }
+
+    std::array<std::uint64_t, 4> state_{};
+};
+
+/// Fisher-Yates shuffle with our deterministic generator.
+template <typename T>
+void shuffle(std::vector<T>& items, Rng& rng) {
+    for (std::size_t i = items.size(); i > 1; --i) {
+        std::size_t j = rng.below(i);
+        using std::swap;
+        swap(items[i - 1], items[j]);
+    }
+}
+
+}  // namespace lfp::util

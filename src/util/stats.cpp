@@ -1,0 +1,154 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace lfp::util {
+
+Ecdf::Ecdf(std::vector<double> samples) : samples_(std::move(samples)), sorted_(false) {}
+
+void Ecdf::add(double sample) {
+    samples_.push_back(sample);
+    sorted_ = false;
+}
+
+void Ecdf::ensure_sorted() const {
+    if (!sorted_) {
+        std::sort(samples_.begin(), samples_.end());
+        sorted_ = true;
+    }
+}
+
+double Ecdf::at(double x) const {
+    if (samples_.empty()) return 0.0;
+    ensure_sorted();
+    auto it = std::upper_bound(samples_.begin(), samples_.end(), x);
+    return static_cast<double>(it - samples_.begin()) / static_cast<double>(samples_.size());
+}
+
+double Ecdf::quantile(double q) const {
+    if (samples_.empty()) throw std::out_of_range("quantile of empty ECDF");
+    if (q <= 0.0) return min();
+    if (q > 1.0) q = 1.0;
+    ensure_sorted();
+    const auto n = samples_.size();
+    auto idx = static_cast<std::size_t>(std::ceil(q * static_cast<double>(n))) - 1;
+    if (idx >= n) idx = n - 1;
+    return samples_[idx];
+}
+
+double Ecdf::min() const {
+    if (samples_.empty()) throw std::out_of_range("min of empty ECDF");
+    ensure_sorted();
+    return samples_.front();
+}
+
+double Ecdf::max() const {
+    if (samples_.empty()) throw std::out_of_range("max of empty ECDF");
+    ensure_sorted();
+    return samples_.back();
+}
+
+double Ecdf::mean() const {
+    if (samples_.empty()) throw std::out_of_range("mean of empty ECDF");
+    return std::accumulate(samples_.begin(), samples_.end(), 0.0) /
+           static_cast<double>(samples_.size());
+}
+
+Ecdf::Series Ecdf::series(std::size_t points) const {
+    Series out;
+    if (samples_.empty() || points == 0) return out;
+    ensure_sorted();
+    const double lo = samples_.front();
+    const double hi = samples_.back();
+    out.x.reserve(points);
+    out.y.reserve(points);
+    if (points == 1 || hi <= lo) {
+        out.x.push_back(hi);
+        out.y.push_back(1.0);
+        return out;
+    }
+    const double step = (hi - lo) / static_cast<double>(points - 1);
+    for (std::size_t i = 0; i < points; ++i) {
+        const double x = lo + step * static_cast<double>(i);
+        out.x.push_back(x);
+        out.y.push_back(at(x));
+    }
+    return out;
+}
+
+const std::vector<double>& Ecdf::sorted_samples() const {
+    ensure_sorted();
+    return samples_;
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), width_((hi - lo) / static_cast<double>(bins)), counts_(bins, 0) {
+    if (bins == 0 || hi <= lo) throw std::invalid_argument("bad histogram bounds");
+}
+
+void Histogram::add(double sample) {
+    ++total_;
+    if (sample < lo_) {
+        ++underflow_;
+        return;
+    }
+    if (sample >= hi_) {
+        ++overflow_;
+        return;
+    }
+    auto bin = static_cast<std::size_t>((sample - lo_) / width_);
+    if (bin >= counts_.size()) bin = counts_.size() - 1;
+    ++counts_[bin];
+}
+
+double Histogram::bin_low(std::size_t bin) const { return lo_ + width_ * static_cast<double>(bin); }
+
+double Histogram::bin_high(std::size_t bin) const { return bin_low(bin) + width_; }
+
+double Histogram::percent(std::size_t bin) const {
+    if (total_ == 0) return 0.0;
+    return 100.0 * static_cast<double>(counts_.at(bin)) / static_cast<double>(total_);
+}
+
+void Counter::add(const std::string& key, std::size_t n) {
+    counts_[key] += n;
+    total_ += n;
+}
+
+std::size_t Counter::get(const std::string& key) const {
+    auto it = counts_.find(key);
+    return it == counts_.end() ? 0 : it->second;
+}
+
+double Counter::fraction(const std::string& key) const {
+    if (total_ == 0) return 0.0;
+    return static_cast<double>(get(key)) / static_cast<double>(total_);
+}
+
+std::vector<std::pair<std::string, std::size_t>> Counter::top(std::size_t n) const {
+    std::vector<std::pair<std::string, std::size_t>> items(counts_.begin(), counts_.end());
+    std::sort(items.begin(), items.end(), [](const auto& a, const auto& b) {
+        if (a.second != b.second) return a.second > b.second;
+        return a.first < b.first;
+    });
+    if (items.size() > n) items.resize(n);
+    return items;
+}
+
+double mean(const std::vector<double>& xs) {
+    if (xs.empty()) return 0.0;
+    return std::accumulate(xs.begin(), xs.end(), 0.0) / static_cast<double>(xs.size());
+}
+
+double median(std::vector<double> xs) {
+    if (xs.empty()) return 0.0;
+    std::sort(xs.begin(), xs.end());
+    const auto n = xs.size();
+    return n % 2 == 1 ? xs[n / 2] : 0.5 * (xs[n / 2 - 1] + xs[n / 2]);
+}
+
+}  // namespace lfp::util

@@ -1,0 +1,97 @@
+// Descriptive statistics used by the experiment harness: ECDFs, histograms,
+// and summary stats. These back every figure reproduction.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace lfp::util {
+
+/// Empirical CDF over double samples.
+class Ecdf {
+  public:
+    Ecdf() = default;
+    explicit Ecdf(std::vector<double> samples);
+
+    void add(double sample);
+
+    /// Fraction of samples <= x. Empty ECDF returns 0.
+    [[nodiscard]] double at(double x) const;
+
+    /// Smallest sample s such that at(s) >= q, for q in (0, 1].
+    [[nodiscard]] double quantile(double q) const;
+
+    [[nodiscard]] std::size_t size() const noexcept { return samples_.size(); }
+    [[nodiscard]] bool empty() const noexcept { return samples_.empty(); }
+    [[nodiscard]] double min() const;
+    [[nodiscard]] double max() const;
+    [[nodiscard]] double mean() const;
+
+    /// Evaluation points and cumulative fractions at `points` evenly spaced
+    /// x values across [min, max] — the series a plot would draw.
+    struct Series {
+        std::vector<double> x;
+        std::vector<double> y;
+    };
+    [[nodiscard]] Series series(std::size_t points = 50) const;
+
+    [[nodiscard]] const std::vector<double>& sorted_samples() const;
+
+  private:
+    void ensure_sorted() const;
+
+    mutable std::vector<double> samples_;
+    mutable bool sorted_ = true;
+};
+
+/// Fixed-width bin histogram.
+class Histogram {
+  public:
+    Histogram(double lo, double hi, std::size_t bins);
+
+    void add(double sample);
+
+    [[nodiscard]] std::size_t total() const noexcept { return total_; }
+    [[nodiscard]] std::size_t bin_count() const noexcept { return counts_.size(); }
+    [[nodiscard]] std::size_t count(std::size_t bin) const { return counts_.at(bin); }
+    [[nodiscard]] double bin_low(std::size_t bin) const;
+    [[nodiscard]] double bin_high(std::size_t bin) const;
+    /// Percentage of all samples falling in `bin`.
+    [[nodiscard]] double percent(std::size_t bin) const;
+
+  private:
+    double lo_;
+    double hi_;
+    double width_;
+    std::vector<std::size_t> counts_;
+    std::size_t total_ = 0;
+    std::size_t underflow_ = 0;
+    std::size_t overflow_ = 0;
+};
+
+/// Counter keyed by string (vendor names, combination sets, ...).
+class Counter {
+  public:
+    void add(const std::string& key, std::size_t n = 1);
+
+    [[nodiscard]] std::size_t get(const std::string& key) const;
+    [[nodiscard]] std::size_t total() const noexcept { return total_; }
+    [[nodiscard]] double fraction(const std::string& key) const;
+
+    /// Keys sorted by descending count (ties broken lexicographically).
+    [[nodiscard]] std::vector<std::pair<std::string, std::size_t>> top(std::size_t n) const;
+    [[nodiscard]] const std::map<std::string, std::size_t>& items() const noexcept {
+        return counts_;
+    }
+
+  private:
+    std::map<std::string, std::size_t> counts_;
+    std::size_t total_ = 0;
+};
+
+double mean(const std::vector<double>& xs);
+double median(std::vector<double> xs);
+
+}  // namespace lfp::util

@@ -1,0 +1,54 @@
+#include "util/strings.hpp"
+
+#include <cctype>
+
+namespace lfp::util {
+
+std::vector<std::string> split(std::string_view text, char delim) {
+    std::vector<std::string> out;
+    std::size_t start = 0;
+    while (start <= text.size()) {
+        std::size_t end = text.find(delim, start);
+        if (end == std::string_view::npos) {
+            out.emplace_back(text.substr(start));
+            break;
+        }
+        out.emplace_back(text.substr(start, end - start));
+        start = end + 1;
+    }
+    return out;
+}
+
+std::string join(std::span<const std::string> parts, std::string_view sep) {
+    std::string out;
+    for (std::size_t i = 0; i < parts.size(); ++i) {
+        if (i != 0) out += sep;
+        out += parts[i];
+    }
+    return out;
+}
+
+std::string to_lower(std::string_view text) {
+    std::string out(text);
+    for (char& c : out) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+    return out;
+}
+
+std::string hex(std::span<const std::uint8_t> bytes, char sep) {
+    static constexpr char kDigits[] = "0123456789abcdef";
+    std::string out;
+    if (bytes.empty()) return out;
+    out.reserve(bytes.size() * 3);
+    for (std::size_t i = 0; i < bytes.size(); ++i) {
+        if (i != 0) out.push_back(sep);
+        out.push_back(kDigits[bytes[i] >> 4]);
+        out.push_back(kDigits[bytes[i] & 0xF]);
+    }
+    return out;
+}
+
+bool starts_with(std::string_view text, std::string_view prefix) {
+    return text.size() >= prefix.size() && text.substr(0, prefix.size()) == prefix;
+}
+
+}  // namespace lfp::util

@@ -1,0 +1,24 @@
+// Small string helpers shared across modules.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace lfp::util {
+
+std::vector<std::string> split(std::string_view text, char delim);
+
+std::string join(std::span<const std::string> parts, std::string_view sep);
+
+/// Lowercase ASCII copy.
+std::string to_lower(std::string_view text);
+
+/// Hex dump of bytes, e.g. "80:00:00:09:03:...".
+std::string hex(std::span<const std::uint8_t> bytes, char sep = ':');
+
+bool starts_with(std::string_view text, std::string_view prefix);
+
+}  // namespace lfp::util

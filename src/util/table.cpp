@@ -1,0 +1,159 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+namespace lfp::util {
+
+TablePrinter& TablePrinter::header(std::vector<std::string> columns) {
+    header_ = std::move(columns);
+    return *this;
+}
+
+TablePrinter& TablePrinter::row(std::vector<std::string> cells) {
+    rows_.push_back(std::move(cells));
+    return *this;
+}
+
+void TablePrinter::print(std::ostream& os) const {
+    std::vector<std::size_t> widths;
+    auto absorb = [&widths](const std::vector<std::string>& cells) {
+        if (cells.size() > widths.size()) widths.resize(cells.size(), 0);
+        for (std::size_t i = 0; i < cells.size(); ++i) {
+            widths[i] = std::max(widths[i], cells[i].size());
+        }
+    };
+    absorb(header_);
+    for (const auto& r : rows_) absorb(r);
+
+    auto print_row = [&](const std::vector<std::string>& cells) {
+        os << "| ";
+        for (std::size_t i = 0; i < widths.size(); ++i) {
+            const std::string& cell = i < cells.size() ? cells[i] : std::string{};
+            os << std::left << std::setw(static_cast<int>(widths[i])) << cell;
+            os << (i + 1 < widths.size() ? " | " : " |");
+        }
+        os << '\n';
+    };
+    auto rule = [&] {
+        os << '+';
+        for (std::size_t w : widths) os << std::string(w + 2, '-') << '+';
+        os << '\n';
+    };
+
+    os << "\n== " << title_ << " ==\n";
+    rule();
+    if (!header_.empty()) {
+        print_row(header_);
+        rule();
+    }
+    for (const auto& r : rows_) print_row(r);
+    rule();
+}
+
+namespace {
+
+std::vector<double> shared_grid(const std::vector<NamedEcdf>& series, std::size_t points) {
+    double lo = 0, hi = 0;
+    bool first = true;
+    for (const auto& s : series) {
+        if (s.ecdf == nullptr || s.ecdf->empty()) continue;
+        if (first) {
+            lo = s.ecdf->min();
+            hi = s.ecdf->max();
+            first = false;
+        } else {
+            lo = std::min(lo, s.ecdf->min());
+            hi = std::max(hi, s.ecdf->max());
+        }
+    }
+    std::vector<double> grid;
+    if (first || points == 0) return grid;
+    if (points == 1 || hi <= lo) {
+        grid.push_back(hi);
+        return grid;
+    }
+    const double step = (hi - lo) / static_cast<double>(points - 1);
+    grid.reserve(points);
+    for (std::size_t i = 0; i < points; ++i) grid.push_back(lo + step * static_cast<double>(i));
+    return grid;
+}
+
+}  // namespace
+
+void print_ecdf(std::ostream& os, const std::string& title, const Ecdf& ecdf, std::size_t points,
+                const std::string& x_label) {
+    print_ecdf_set(os, title, {{"ECDF", &ecdf}}, points, x_label);
+}
+
+void print_ecdf_set(std::ostream& os, const std::string& title,
+                    const std::vector<NamedEcdf>& series, std::size_t points,
+                    const std::string& x_label) {
+    os << "\n== " << title << " ==\n";
+    const auto grid = shared_grid(series, points);
+    if (grid.empty()) {
+        os << "(no samples)\n";
+        return;
+    }
+    constexpr int kBarWidth = 40;
+    os << std::left << std::setw(12) << x_label;
+    for (const auto& s : series) os << std::setw(10) << s.name;
+    os << '\n';
+    for (double x : grid) {
+        os << std::left << std::setw(12) << format_double(x, 1);
+        for (const auto& s : series) {
+            const double y = (s.ecdf != nullptr) ? s.ecdf->at(x) : 0.0;
+            os << std::setw(10) << format_double(y, 3);
+        }
+        // Bar for the first series to give a visual shape cue.
+        const double y0 = (series.front().ecdf != nullptr) ? series.front().ecdf->at(x) : 0.0;
+        os << ' ' << std::string(static_cast<std::size_t>(y0 * kBarWidth), '#') << '\n';
+    }
+}
+
+void print_bars(std::ostream& os, const std::string& title, const std::vector<BarRow>& rows,
+                const std::string& unit) {
+    os << "\n== " << title << " ==\n";
+    std::size_t label_width = 0;
+    double max_value = 0;
+    for (const auto& r : rows) {
+        label_width = std::max(label_width, r.label.size());
+        max_value = std::max(max_value, r.value);
+    }
+    constexpr int kBarWidth = 50;
+    for (const auto& r : rows) {
+        const double scaled = max_value > 0 ? r.value / max_value : 0.0;
+        os << std::left << std::setw(static_cast<int>(label_width) + 2) << r.label << std::right
+           << std::setw(9) << format_double(r.value, 2) << ' ' << unit << "  "
+           << std::string(static_cast<std::size_t>(scaled * kBarWidth), '#') << '\n';
+    }
+}
+
+std::string format_double(double v, int precision) {
+    std::ostringstream ss;
+    ss << std::fixed << std::setprecision(precision) << v;
+    return ss.str();
+}
+
+std::string format_percent(double fraction, int precision) {
+    return format_double(fraction * 100.0, precision) + "%";
+}
+
+std::string format_count(std::size_t n) {
+    // Group thousands with commas for readability in printed tables.
+    std::string digits = std::to_string(n);
+    std::string out;
+    out.reserve(digits.size() + digits.size() / 3);
+    std::size_t lead = digits.size() % 3;
+    if (lead == 0) lead = 3;
+    for (std::size_t i = 0; i < digits.size(); ++i) {
+        if (i != 0 && (i + 3 - lead) % 3 == 0) out.push_back(',');
+        out.push_back(digits[i]);
+    }
+    return out;
+}
+
+}  // namespace lfp::util

@@ -1,0 +1,56 @@
+// ASCII table / CSV / ECDF rendering for the bench harness. Every bench
+// binary prints the same rows or series the paper's table/figure reports.
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "util/stats.hpp"
+
+namespace lfp::util {
+
+/// Column-aligned ASCII table with a title, printed to an ostream.
+class TablePrinter {
+  public:
+    explicit TablePrinter(std::string title) : title_(std::move(title)) {}
+
+    TablePrinter& header(std::vector<std::string> columns);
+    TablePrinter& row(std::vector<std::string> cells);
+
+    void print(std::ostream& os) const;
+
+  private:
+    std::string title_;
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+/// Render an ECDF as a fixed-width ASCII plot plus a numeric series table —
+/// the textual stand-in for the paper's line figures.
+void print_ecdf(std::ostream& os, const std::string& title, const Ecdf& ecdf,
+                std::size_t points = 20, const std::string& x_label = "x");
+
+/// Render several named ECDFs on a shared x-grid (one column per series).
+struct NamedEcdf {
+    std::string name;
+    const Ecdf* ecdf;
+};
+void print_ecdf_set(std::ostream& os, const std::string& title,
+                    const std::vector<NamedEcdf>& series, std::size_t points = 20,
+                    const std::string& x_label = "x");
+
+/// Horizontal percentage bars (the stand-in for the paper's bar figures).
+struct BarRow {
+    std::string label;
+    double value;
+};
+void print_bars(std::ostream& os, const std::string& title, const std::vector<BarRow>& rows,
+                const std::string& unit = "%");
+
+std::string format_double(double v, int precision = 2);
+std::string format_percent(double fraction, int precision = 1);
+std::string format_count(std::size_t n);
+
+}  // namespace lfp::util

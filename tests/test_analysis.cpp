@@ -1,0 +1,460 @@
+// Tests for the analysis layer: vendor maps, path analyses and scopes,
+// AS-level aggregation, alias resolution, precision/recall, and the
+// informed-routing policy engine.
+#include <gtest/gtest.h>
+
+#include "analysis/alias_resolution.hpp"
+#include "analysis/as_analysis.hpp"
+#include "analysis/informed_routing.hpp"
+#include "analysis/path_analysis.hpp"
+#include "analysis/precision_recall.hpp"
+#include "probe/sim_transport.hpp"
+
+namespace lfp::analysis {
+namespace {
+
+using stack::Vendor;
+
+net::IPv4Address ip(std::uint8_t a, std::uint8_t b, std::uint8_t c, std::uint8_t d) {
+    return net::IPv4Address::from_octets(a, b, c, d);
+}
+
+TEST(VendorMapTest, AssignAndLookup) {
+    VendorMap map;
+    map.assign(ip(5, 0, 0, 1), Vendor::cisco);
+    EXPECT_EQ(map.lookup(ip(5, 0, 0, 1)), Vendor::cisco);
+    EXPECT_FALSE(map.lookup(ip(5, 0, 0, 2)).has_value());
+    EXPECT_EQ(map.size(), 1u);
+}
+
+TEST(VendorMapTest, MethodsSelectVerdicts) {
+    core::Measurement measurement;
+    // Record A: SNMP-labeled only.
+    core::TargetRecord a;
+    a.probes.target = ip(5, 1, 1, 1);
+    a.snmp_vendor = Vendor::juniper;
+    // Record B: LFP unique verdict only.
+    core::TargetRecord b;
+    b.probes.target = ip(5, 1, 1, 2);
+    b.lfp.vendor = Vendor::cisco;
+    b.lfp.kind = core::MatchKind::unique_full;
+    // Record C: non-unique majority verdict only.
+    core::TargetRecord c;
+    c.probes.target = ip(5, 1, 1, 3);
+    c.lfp.vendor = Vendor::mikrotik;
+    c.lfp.kind = core::MatchKind::non_unique;
+    measurement.records = {a, b, c};
+
+    const auto snmp_map = VendorMap::from_measurement(measurement, VendorMap::Method::snmpv3);
+    EXPECT_EQ(snmp_map.size(), 1u);
+    EXPECT_EQ(snmp_map.lookup(ip(5, 1, 1, 1)), Vendor::juniper);
+
+    const auto lfp_map = VendorMap::from_measurement(measurement, VendorMap::Method::lfp);
+    EXPECT_EQ(lfp_map.size(), 1u);
+    EXPECT_EQ(lfp_map.lookup(ip(5, 1, 1, 2)), Vendor::cisco);
+
+    const auto combined = VendorMap::from_measurement(measurement, VendorMap::Method::combined);
+    EXPECT_EQ(combined.size(), 2u);
+
+    const auto majority =
+        VendorMap::from_measurement(measurement, VendorMap::Method::lfp_majority);
+    EXPECT_EQ(majority.size(), 2u);
+    EXPECT_EQ(majority.lookup(ip(5, 1, 1, 3)), Vendor::mikrotik);
+}
+
+TEST(CombinationKey, SortedAndJoined) {
+    EXPECT_EQ(combination_key({Vendor::juniper, Vendor::cisco}), "Cisco, Juniper");
+    EXPECT_EQ(combination_key({Vendor::cisco}), "Cisco");
+    EXPECT_EQ(combination_key({}), "");
+}
+
+// -------------------------------------------------------------- PathAnalyzer
+
+class PathFixture : public ::testing::Test {
+  protected:
+    static const sim::Topology& topo() {
+        static const sim::Topology instance = sim::Topology::build(
+            {.seed = 61, .num_ases = 150, .tier1_count = 6, .transit_fraction = 0.2,
+             .scale = 0.4});
+        return instance;
+    }
+
+    /// A synthetic trace with the given hop vendors registered in the map.
+    sim::Traceroute make_trace(VendorMap& map, const std::vector<Vendor>& vendors,
+                               std::uint32_t src_asn, std::uint32_t dst_asn) {
+        sim::Traceroute trace;
+        trace.source_asn = src_asn;
+        trace.destination_asn = dst_asn;
+        for (Vendor vendor : vendors) {
+            const auto hop = ip(11, 0, static_cast<std::uint8_t>(next_ / 250),
+                                static_cast<std::uint8_t>(next_ % 250 + 1));
+            ++next_;
+            if (vendor != Vendor::unknown) map.assign(hop, vendor);
+            trace.hops.push_back(hop);
+        }
+        return trace;
+    }
+
+    std::uint32_t us_asn() const {
+        for (const auto& node : topo().graph().nodes()) {
+            if (topo().geo().is_in_country(node.asn, "US")) return node.asn;
+        }
+        throw std::runtime_error("no US AS");
+    }
+    std::uint32_t non_us_asn() const {
+        for (const auto& node : topo().graph().nodes()) {
+            if (!topo().geo().is_in_country(node.asn, "US")) return node.asn;
+        }
+        throw std::runtime_error("no non-US AS");
+    }
+
+    int next_ = 0;
+};
+
+TEST_F(PathFixture, DiversityAndIdentificationStats) {
+    VendorMap map;
+    std::vector<sim::Traceroute> traces;
+    const auto us = us_asn();
+    // 3 hops, all identified, single vendor.
+    traces.push_back(make_trace(map, {Vendor::cisco, Vendor::cisco, Vendor::cisco}, us, us));
+    // 4 hops, 2 identified, two vendors.
+    traces.push_back(
+        make_trace(map, {Vendor::cisco, Vendor::unknown, Vendor::juniper, Vendor::unknown}, us,
+                   us));
+    // Too short for min_hops=3.
+    traces.push_back(make_trace(map, {Vendor::huawei, Vendor::huawei}, us, us));
+
+    PathAnalyzer analyzer(topo(), map);
+    const PathStats stats = analyzer.analyze(traces, PathScope::all, {.min_hops = 3});
+    EXPECT_EQ(stats.paths_considered, 2u);
+    EXPECT_EQ(stats.hop_counts.size(), 3u);  // hop counts recorded pre-filter
+    EXPECT_EQ(stats.vendors_per_path.size(), 2u);
+    EXPECT_DOUBLE_EQ(stats.identified_fraction.max(), 100.0);
+    EXPECT_DOUBLE_EQ(stats.identified_fraction.min(), 50.0);
+    EXPECT_EQ(stats.combinations.get("Cisco"), 1u);
+    EXPECT_EQ(stats.combinations.get("Cisco, Juniper"), 1u);
+    // k-identified counters: both paths have >=2 identified hops.
+    EXPECT_EQ(stats.paths_with_k_identified(2), 2u);
+    EXPECT_EQ(stats.paths_with_k_identified(3), 1u);
+}
+
+TEST_F(PathFixture, PrivateHopsAreExcluded) {
+    VendorMap map;
+    sim::Traceroute trace;
+    const auto us = us_asn();
+    trace.source_asn = us;
+    trace.destination_asn = us;
+    trace.hops = {ip(10, 0, 0, 1), ip(11, 0, 0, 1), ip(11, 0, 0, 2), ip(11, 0, 0, 3)};
+    map.assign(ip(11, 0, 0, 1), Vendor::cisco);
+    map.assign(ip(11, 0, 0, 2), Vendor::cisco);
+    map.assign(ip(11, 0, 0, 3), Vendor::cisco);
+
+    PathAnalyzer analyzer(topo(), map);
+    const PathStats stats = analyzer.analyze({trace}, PathScope::all, {.min_hops = 3});
+    ASSERT_EQ(stats.paths_considered, 1u);
+    // 3 routable hops, all identified: 100% despite the private hop.
+    EXPECT_DOUBLE_EQ(stats.identified_fraction.max(), 100.0);
+}
+
+TEST_F(PathFixture, ScopesPartitionTraces) {
+    VendorMap map;
+    const auto us = us_asn();
+    const auto abroad = non_us_asn();
+    std::vector<sim::Traceroute> traces;
+    traces.push_back(make_trace(map, {Vendor::cisco, Vendor::cisco, Vendor::cisco}, us, us));
+    traces.push_back(make_trace(map, {Vendor::cisco, Vendor::cisco, Vendor::cisco}, us, abroad));
+    traces.push_back(
+        make_trace(map, {Vendor::cisco, Vendor::cisco, Vendor::cisco}, abroad, abroad));
+
+    PathAnalyzer analyzer(topo(), map);
+    EXPECT_EQ(analyzer.analyze(traces, PathScope::all, {}).paths_considered, 3u);
+    EXPECT_EQ(analyzer.analyze(traces, PathScope::intra_us, {}).paths_considered, 1u);
+    EXPECT_EQ(analyzer.analyze(traces, PathScope::inter_us, {}).paths_considered, 1u);
+}
+
+// ------------------------------------------------------------- AS analyses
+
+TEST(AsAnalysis, RouterVerdictsAndCoverage) {
+    // Synthetic ITDK over a small topology.
+    sim::Topology topology = sim::Topology::build(
+        {.seed = 71, .num_ases = 60, .tier1_count = 4, .transit_fraction = 0.2, .scale = 0.5});
+    sim::ItdkDataset itdk;
+    VendorMap snmp_map;
+    VendorMap lfp_map;
+    std::size_t included = 0;
+    for (std::size_t i = 0; i < topology.router_count() && included < 40; ++i) {
+        const auto& router = topology.router(i);
+        if (router.interfaces().size() < 2) continue;
+        sim::AliasSet set;
+        set.router_index = i;
+        set.addresses = router.interfaces();
+        itdk.alias_sets.push_back(set);
+        ++included;
+        // Half get SNMP verdicts, half LFP verdicts.
+        if (included % 2 == 0) {
+            snmp_map.assign(router.interfaces()[0], router.vendor());
+        } else {
+            lfp_map.assign(router.interfaces()[1], router.vendor());
+        }
+    }
+    const auto verdicts = map_routers(itdk, topology, snmp_map, lfp_map);
+    ASSERT_EQ(verdicts.size(), included);
+    std::size_t with_snmp = 0;
+    std::size_t with_lfp = 0;
+    for (const auto& verdict : verdicts) {
+        EXPECT_FALSE(verdict.conflicting_interfaces);
+        EXPECT_TRUE(verdict.combined().has_value());
+        EXPECT_EQ(*verdict.combined(), topology.router(verdict.router_index).vendor());
+        if (verdict.snmp_vendor) ++with_snmp;
+        if (verdict.lfp_vendor) ++with_lfp;
+    }
+    EXPECT_EQ(with_snmp + with_lfp, included);
+
+    const auto coverage = per_as_coverage(verdicts);
+    std::size_t routers_total = 0;
+    for (const auto& entry : coverage) {
+        routers_total += entry.routers_total;
+        EXPECT_EQ(entry.routers_identified, entry.routers_total);  // all identified here
+        EXPECT_DOUBLE_EQ(entry.identified_percent(), 100.0);
+    }
+    EXPECT_EQ(routers_total, included);
+
+    const auto ecdf = coverage_ecdf(coverage, 1);
+    EXPECT_DOUBLE_EQ(ecdf.min(), 100.0);
+}
+
+TEST(AsAnalysis, ConflictingInterfacesDetected) {
+    sim::Topology topology = sim::Topology::build(
+        {.seed = 72, .num_ases = 30, .tier1_count = 4, .transit_fraction = 0.2, .scale = 0.5});
+    // Find a router with >= 2 interfaces and give its interfaces clashing
+    // verdicts.
+    for (std::size_t i = 0; i < topology.router_count(); ++i) {
+        const auto& router = topology.router(i);
+        if (router.interfaces().size() < 2) continue;
+        sim::ItdkDataset itdk;
+        itdk.alias_sets.push_back({i, router.interfaces()});
+        VendorMap lfp_map;
+        lfp_map.assign(router.interfaces()[0], Vendor::cisco);
+        lfp_map.assign(router.interfaces()[1], Vendor::juniper);
+        const auto verdicts = map_routers(itdk, topology, VendorMap{}, lfp_map);
+        ASSERT_EQ(verdicts.size(), 1u);
+        EXPECT_TRUE(verdicts[0].conflicting_interfaces);
+        return;
+    }
+    FAIL() << "no multi-interface router";
+}
+
+TEST(AsAnalysis, HomogeneityAndDominance) {
+    std::vector<RouterVerdict> verdicts;
+    auto add = [&verdicts](std::uint32_t asn, Vendor vendor) {
+        RouterVerdict v;
+        v.asn = asn;
+        v.lfp_vendor = vendor;
+        verdicts.push_back(v);
+    };
+    // AS 100: 9 Cisco + 1 Juniper (90% homogeneous).
+    for (int i = 0; i < 9; ++i) add(100, Vendor::cisco);
+    add(100, Vendor::juniper);
+    // AS 200: 3 vendors evenly.
+    add(200, Vendor::cisco);
+    add(200, Vendor::juniper);
+    add(200, Vendor::huawei);
+
+    const auto coverage = per_as_coverage(verdicts);
+    const auto homogeneous = find_homogeneous_ases(coverage, 5, 0.85);
+    ASSERT_EQ(homogeneous.size(), 1u);
+    EXPECT_EQ(homogeneous[0].asn, 100u);
+    EXPECT_EQ(homogeneous[0].vendor, Vendor::cisco);
+    EXPECT_NEAR(homogeneous[0].share, 0.9, 1e-9);
+
+    const auto ecdf = homogeneity_ecdf(coverage, 1);
+    EXPECT_EQ(ecdf.size(), 2u);
+    EXPECT_DOUBLE_EQ(ecdf.max(), 3.0);
+}
+
+// ---------------------------------------------------------- alias resolution
+
+TEST(AliasResolution, FindsSameRouterInterfaces) {
+    // A topology where some profile has a shared incremental ICMP counter.
+    sim::Topology topology = sim::Topology::build(
+        {.seed = 73, .num_ases = 120, .tier1_count = 4, .transit_fraction = 0.25, .scale = 0.6});
+    sim::Internet internet(topology, {.seed = 2, .loss_rate = 0.0});
+    probe::SimTransport transport(internet);
+    AliasResolver resolver(transport);
+
+    // Find a responsive router whose ICMP IPIDs come from a shared
+    // incremental counter and are not echoed.
+    for (std::size_t i = 0; i < topology.router_count(); ++i) {
+        const auto& router = topology.router(i);
+        const auto& b = router.profile().ipid;
+        if (!router.responds_icmp() || router.interfaces().size() < 2) continue;
+        if (b.icmp != stack::IpidMode::incremental || b.icmp_echoes_request_ipid) continue;
+        EXPECT_TRUE(resolver.aliases(router.interfaces()[0], router.interfaces()[1]))
+            << "router " << i << " profile " << router.profile().family;
+
+        // And interfaces of two distinct routers must not alias.
+        for (std::size_t j = 0; j < topology.router_count(); ++j) {
+            if (j == i) continue;
+            const auto& other = topology.router(j);
+            if (!other.responds_icmp()) continue;
+            EXPECT_FALSE(resolver.aliases(router.interfaces()[0], other.interfaces()[0]));
+            break;
+        }
+        return;
+    }
+    FAIL() << "no suitable router";
+}
+
+TEST(AliasResolution, EchoStacksDoNotFalselyAlias) {
+    // Routers that echo the probe IPID would otherwise all look like one
+    // giant alias set (the probe counter is monotonic).
+    sim::Topology topology = sim::Topology::build(
+        {.seed = 74, .num_ases = 150, .tier1_count = 4, .transit_fraction = 0.25, .scale = 0.6});
+    sim::Internet internet(topology, {.seed = 3, .loss_rate = 0.0});
+    probe::SimTransport transport(internet);
+    AliasResolver resolver(transport);
+
+    std::vector<std::size_t> echo_routers;
+    for (std::size_t i = 0; i < topology.router_count() && echo_routers.size() < 2; ++i) {
+        const auto& router = topology.router(i);
+        if (router.responds_icmp() && router.profile().ipid.icmp_echoes_request_ipid) {
+            echo_routers.push_back(i);
+        }
+    }
+    ASSERT_EQ(echo_routers.size(), 2u) << "need two echo-stack routers";
+    EXPECT_FALSE(resolver.aliases(topology.router(echo_routers[0]).interfaces()[0],
+                                  topology.router(echo_routers[1]).interfaces()[0]));
+}
+
+TEST(AliasResolution, ResolveGroupsTransitively) {
+    sim::Topology topology = sim::Topology::build(
+        {.seed = 75, .num_ases = 120, .tier1_count = 4, .transit_fraction = 0.25, .scale = 0.6});
+    sim::Internet internet(topology, {.seed = 4, .loss_rate = 0.0});
+    probe::SimTransport transport(internet);
+    AliasResolver resolver(transport);
+
+    for (std::size_t i = 0; i < topology.router_count(); ++i) {
+        const auto& router = topology.router(i);
+        const auto& b = router.profile().ipid;
+        if (!router.responds_icmp() || router.interfaces().size() < 3) continue;
+        if (b.icmp != stack::IpidMode::incremental || b.icmp_echoes_request_ipid) continue;
+        const std::vector<net::IPv4Address> candidates{
+            router.interfaces()[0], router.interfaces()[1], router.interfaces()[2]};
+        const auto sets = resolver.resolve(candidates);
+        ASSERT_EQ(sets.size(), 1u);
+        EXPECT_EQ(sets[0].size(), 3u);
+        return;
+    }
+    GTEST_SKIP() << "no 3-interface shared-counter router at this seed";
+}
+
+// ---------------------------------------------------------- precision/recall
+
+TEST(PrecisionRecall, PerfectForCleanlySeparatedVendors) {
+    // Synthetic measurement: two vendors with disjoint signatures.
+    core::Measurement measurement;
+    auto add_records = [&measurement](Vendor vendor, std::uint8_t ittl, std::size_t count) {
+        for (std::size_t i = 0; i < count; ++i) {
+            core::TargetRecord record;
+            record.snmp_vendor = vendor;
+            core::FeatureVector features;
+            features.protocol_mask = 0b111;
+            features.ipid_icmp = core::IpidClass::random;
+            features.ipid_tcp = core::IpidClass::random;
+            features.ipid_udp = core::IpidClass::random;
+            features.ittl_icmp = ittl;
+            features.ittl_tcp = 64;
+            features.ittl_udp = 255;
+            features.size_icmp = 84;
+            features.size_tcp = 40;
+            features.size_udp = 56;
+            features.icmp_ipid_echo = core::TriState::no;
+            features.shared_all = core::TriState::no;
+            features.shared_tcp_icmp = core::TriState::no;
+            features.shared_udp_icmp = core::TriState::no;
+            features.shared_tcp_udp = core::TriState::no;
+            features.tcp_rst_seq_nonzero = core::TriState::no;
+            record.features = features;
+            record.signature = core::Signature::from_features(features);
+            measurement.records.push_back(std::move(record));
+        }
+    };
+    add_records(Vendor::cisco, 255, 400);
+    add_records(Vendor::juniper, 64, 400);
+
+    const auto rows = precision_recall({&measurement, 1}, {.train_fraction = 0.8,
+                                                           .seed = 1,
+                                                           .db = {.min_occurrences = 10}});
+    ASSERT_EQ(rows.size(), 2u);
+    for (const auto& row : rows) {
+        EXPECT_GT(row.test_samples, 40u);
+        EXPECT_DOUBLE_EQ(row.precision(), 1.0) << stack::to_string(row.vendor);
+        EXPECT_DOUBLE_EQ(row.recall(), 1.0) << stack::to_string(row.vendor);
+    }
+}
+
+TEST(PrecisionRecall, SharedSignatureFavoursDominantVendor) {
+    core::Measurement measurement;
+    core::FeatureVector features;
+    features.protocol_mask = 0b111;
+    features.ittl_icmp = 64;
+    features.ittl_tcp = 64;
+    features.ittl_udp = 64;
+    const core::Signature shared = core::Signature::from_features(features);
+    auto add = [&](Vendor vendor, std::size_t count) {
+        for (std::size_t i = 0; i < count; ++i) {
+            core::TargetRecord record;
+            record.snmp_vendor = vendor;
+            record.features = features;
+            record.signature = shared;
+            measurement.records.push_back(record);
+        }
+    };
+    add(Vendor::mikrotik, 900);
+    add(Vendor::h3c, 100);
+
+    const auto rows = precision_recall({&measurement, 1}, {.train_fraction = 0.8,
+                                                           .seed = 2,
+                                                           .db = {.min_occurrences = 10}});
+    ASSERT_EQ(rows.size(), 2u);
+    const auto& mikrotik = rows[0].vendor == Vendor::mikrotik ? rows[0] : rows[1];
+    const auto& h3c = rows[0].vendor == Vendor::h3c ? rows[0] : rows[1];
+    // Majority-mode classification assigns everything to MikroTik.
+    EXPECT_GT(mikrotik.recall(), 0.99);
+    EXPECT_LT(mikrotik.precision(), 0.95);  // polluted by H3C samples
+    EXPECT_DOUBLE_EQ(h3c.recall(), 0.0);
+}
+
+// --------------------------------------------------------- informed routing
+
+TEST(InformedRouting, DetectsAvoidableAndUnavoidableTransits) {
+    sim::Topology topology = sim::Topology::build(
+        {.seed = 76, .num_ases = 200, .tier1_count = 6, .transit_fraction = 0.25, .scale = 0.3});
+
+    // Pick a transit AS with customers to play the homogeneous-vendor role.
+    std::uint32_t transit_asn = 0;
+    for (const auto& node : topology.graph().nodes()) {
+        if (node.tier == sim::AsTier::transit && node.customers.size() >= 3) {
+            transit_asn = node.asn;
+            break;
+        }
+    }
+    ASSERT_NE(transit_asn, 0u);
+
+    HomogeneousAs transit;
+    transit.asn = transit_asn;
+    transit.vendor = Vendor::huawei;
+    transit.routers = 100;
+    transit.share = 0.9;
+
+    InformedRoutingAnalysis analysis(topology, {.sources_per_destination = 48, .seed = 5});
+    const auto study = analysis.evaluate(transit);
+    EXPECT_EQ(study.transit_asn, transit_asn);
+    EXPECT_EQ(study.vendor, Vendor::huawei);
+    EXPECT_GT(study.destinations, 0u);
+    EXPECT_EQ(study.destinations, study.with_alternative + study.without_alternative);
+    EXPECT_GT(study.paths_through, 0u);
+}
+
+}  // namespace
+}  // namespace lfp::analysis

@@ -1,0 +1,218 @@
+// Tests for the extension analyses: family-level fingerprinting (§7.4),
+// longitudinal stability (§8), and the feature-ablation framework.
+#include <gtest/gtest.h>
+
+#include "analysis/ablation.hpp"
+#include "analysis/family_analysis.hpp"
+#include "analysis/longitudinal.hpp"
+
+namespace lfp::analysis {
+namespace {
+
+core::Signature sig(const std::string& key, std::uint8_t mask = 0b111) {
+    return core::Signature::from_parts(key, mask);
+}
+
+// ---------------------------------------------------------------- families
+
+TEST(FamilyClassifier, UniqueAndAmbiguousSeparation) {
+    FamilyClassifier classifier(3);
+    for (int i = 0; i < 10; ++i) classifier.train(sig("A"), "IOS-XR");
+    for (int i = 0; i < 10; ++i) classifier.train(sig("B"), "NX-OS");
+    for (int i = 0; i < 6; ++i) classifier.train(sig("C"), "IOS 15");
+    for (int i = 0; i < 6; ++i) classifier.train(sig("C"), "IOS 12");
+    classifier.train(sig("D"), "rare");  // below threshold
+    classifier.finalize();
+
+    EXPECT_EQ(classifier.classify(sig("A")), "IOS-XR");
+    EXPECT_EQ(classifier.classify(sig("B")), "NX-OS");
+    EXPECT_FALSE(classifier.classify(sig("C")).has_value());  // ambiguous
+    EXPECT_FALSE(classifier.classify(sig("D")).has_value());  // below threshold
+    EXPECT_FALSE(classifier.classify(sig("E")).has_value());  // unknown
+
+    const auto counts = classifier.counts();
+    EXPECT_EQ(counts.unique, 2u);
+    EXPECT_EQ(counts.ambiguous, 1u);
+
+    const auto per_family = classifier.unique_signatures_per_family();
+    EXPECT_EQ(per_family.at("IOS-XR"), 1u);
+    EXPECT_EQ(per_family.at("NX-OS"), 1u);
+    EXPECT_FALSE(per_family.contains("IOS 15"));
+}
+
+TEST(FamilyClassifier, IgnoresEmptyInput) {
+    FamilyClassifier classifier(1);
+    classifier.train(core::Signature{}, "IOS");
+    classifier.train(sig("A"), "");
+    classifier.finalize();
+    EXPECT_EQ(classifier.counts().unique, 0u);
+}
+
+// -------------------------------------------------------------- longitudinal
+
+core::Measurement snapshot(const std::string& name,
+                           const std::vector<std::pair<std::uint32_t, std::string>>& entries) {
+    core::Measurement measurement;
+    measurement.name = name;
+    for (const auto& [ip_value, key] : entries) {
+        core::TargetRecord record;
+        record.probes.target = net::IPv4Address(ip_value);
+        record.features.protocol_mask = 0b111;  // marks the record responsive
+        record.signature = core::Signature::from_parts(key, 0b111);
+        measurement.records.push_back(std::move(record));
+    }
+    return measurement;
+}
+
+TEST(Longitudinal, StabilityAccounting) {
+    // IP 1: stable everywhere. IP 2: changes in snapshot 3. IP 3: appears
+    // only in the first two snapshots.
+    std::vector<core::Measurement> snapshots;
+    snapshots.push_back(snapshot("S1", {{1, "sigA"}, {2, "sigB"}, {3, "sigC"}}));
+    snapshots.push_back(snapshot("S2", {{1, "sigA"}, {2, "sigB"}, {3, "sigC"}}));
+    snapshots.push_back(snapshot("S3", {{1, "sigA"}, {2, "sigB2"}}));
+
+    const auto report = signature_stability(snapshots);
+    ASSERT_EQ(report.pairs.size(), 2u);
+    EXPECT_EQ(report.pairs[0].common_ips, 3u);
+    EXPECT_EQ(report.pairs[0].identical_signature, 3u);
+    EXPECT_EQ(report.pairs[1].common_ips, 2u);
+    EXPECT_EQ(report.pairs[1].identical_signature, 1u);
+    EXPECT_EQ(report.pairs[1].changed_signature, 1u);
+    EXPECT_DOUBLE_EQ(report.pairs[0].stability(), 1.0);
+
+    EXPECT_EQ(report.ips_in_all_snapshots, 2u);
+    EXPECT_EQ(report.stable_in_all, 1u);
+    EXPECT_DOUBLE_EQ(report.overall_stability(), 0.5);
+}
+
+TEST(Longitudinal, VendorChangeDetection) {
+    auto s1 = snapshot("S1", {{1, "sigA"}});
+    auto s2 = snapshot("S2", {{1, "sigB"}});
+    s1.records[0].lfp.vendor = stack::Vendor::cisco;
+    s1.records[0].lfp.kind = core::MatchKind::unique_full;
+    s2.records[0].lfp.vendor = stack::Vendor::juniper;
+    s2.records[0].lfp.kind = core::MatchKind::unique_full;
+    std::vector<core::Measurement> snapshots{std::move(s1), std::move(s2)};
+
+    const auto report = signature_stability(snapshots);
+    ASSERT_EQ(report.pairs.size(), 1u);
+    EXPECT_EQ(report.pairs[0].vendor_changed, 1u);
+}
+
+TEST(Longitudinal, EmptyInput) {
+    const auto report = signature_stability({});
+    EXPECT_TRUE(report.pairs.empty());
+    EXPECT_DOUBLE_EQ(report.overall_stability(), 0.0);
+}
+
+// ------------------------------------------------------------------ ablation
+
+core::FeatureVector rich_features() {
+    core::FeatureVector features;
+    features.protocol_mask = 0b111;
+    features.icmp_ipid_echo = core::TriState::no;
+    features.ipid_icmp = core::IpidClass::random;
+    features.ipid_tcp = core::IpidClass::incremental;
+    features.ipid_udp = core::IpidClass::incremental;
+    features.shared_all = core::TriState::no;
+    features.shared_tcp_icmp = core::TriState::no;
+    features.shared_udp_icmp = core::TriState::no;
+    features.shared_tcp_udp = core::TriState::yes;
+    features.ittl_icmp = 255;
+    features.ittl_tcp = 64;
+    features.ittl_udp = 255;
+    features.size_icmp = 84;
+    features.size_tcp = 40;
+    features.size_udp = 56;
+    features.tcp_rst_seq_nonzero = core::TriState::no;
+    return features;
+}
+
+TEST(Ablation, MasksNeutraliseGroups) {
+    const auto base = rich_features();
+
+    auto no_ipid = apply_ablation(base, {.drop_ipid_classes = true});
+    EXPECT_EQ(no_ipid.ipid_icmp, core::IpidClass::unknown);
+    EXPECT_EQ(no_ipid.ipid_udp, core::IpidClass::unknown);
+    EXPECT_EQ(no_ipid.ittl_icmp, 255);  // untouched
+
+    auto no_ittl = apply_ablation(base, {.drop_ittl = true});
+    EXPECT_EQ(no_ittl.ittl_icmp, 0);
+    EXPECT_EQ(no_ittl.ipid_icmp, core::IpidClass::random);
+
+    auto no_shared = apply_ablation(base, {.drop_shared_flags = true});
+    EXPECT_EQ(no_shared.shared_tcp_udp, core::TriState::unknown);
+
+    auto no_sizes = apply_ablation(base, {.drop_sizes = true});
+    EXPECT_EQ(no_sizes.size_udp, 0);
+
+    auto no_rst = apply_ablation(base, {.drop_rst_seq = true});
+    EXPECT_EQ(no_rst.tcp_rst_seq_nonzero, core::TriState::unknown);
+
+    // Ablation changes the canonical signature.
+    EXPECT_NE(core::Signature::from_features(base),
+              core::Signature::from_features(no_ittl));
+}
+
+TEST(Ablation, LabelsAreDescriptive) {
+    EXPECT_EQ(AblationMask{}.label(), "full feature set");
+    EXPECT_EQ((AblationMask{.drop_ittl = true}.label()), "without ittl");
+    EXPECT_EQ((AblationMask{.drop_ipid_classes = true, .drop_ittl = true}.label()),
+              "without ipid+ittl");
+}
+
+TEST(Ablation, StandardMasksCoverAllGroups) {
+    const auto masks = standard_ablation_masks();
+    ASSERT_GE(masks.size(), 8u);
+    EXPECT_EQ(masks.front().label(), "full feature set");
+    // Last mask is the iTTL-only configuration.
+    const auto& ittl_only = masks.back();
+    EXPECT_TRUE(ittl_only.drop_ipid_classes);
+    EXPECT_FALSE(ittl_only.drop_ittl);
+}
+
+TEST(Ablation, FewerFeaturesNeverIncreaseSignatureCount) {
+    // Synthetic labeled corpus with two vendors split by iTTL and sizes.
+    core::Measurement measurement;
+    auto add = [&measurement](stack::Vendor vendor, std::uint8_t ittl, std::uint16_t udp_size) {
+        for (int i = 0; i < 30; ++i) {
+            core::TargetRecord record;
+            record.probes.target = net::IPv4Address(
+                0x05000000u + static_cast<std::uint32_t>(measurement.records.size()));
+            record.snmp_vendor = vendor;
+            auto features = rich_features();
+            features.ittl_icmp = ittl;
+            features.size_udp = udp_size;
+            record.features = features;
+            record.signature = core::Signature::from_features(features);
+            measurement.records.push_back(std::move(record));
+        }
+    };
+    add(stack::Vendor::cisco, 255, 56);
+    add(stack::Vendor::juniper, 64, 56);
+    add(stack::Vendor::huawei, 255, 68);
+
+    sim::Topology topology = sim::Topology::build(
+        {.seed = 5, .num_ases = 20, .tier1_count = 4, .transit_fraction = 0.2, .scale = 0.2});
+
+    const std::vector<AblationMask> masks{
+        {}, {.drop_ittl = true}, {.drop_ittl = true, .drop_sizes = true}};
+    const auto results = run_ablations({&measurement, 1}, topology, masks,
+                                       {.min_occurrences = 5});
+    ASSERT_EQ(results.size(), 3u);
+    // Full set separates all three vendors.
+    EXPECT_EQ(results[0].unique_signatures, 3u);
+    // Without iTTL, Cisco and Juniper collapse (only sizes differ Huawei).
+    EXPECT_EQ(results[1].unique_signatures, 1u);
+    EXPECT_EQ(results[1].non_unique_signatures, 1u);
+    // Without iTTL and sizes, everything collapses into one shared signature.
+    EXPECT_EQ(results[2].unique_signatures, 0u);
+    EXPECT_EQ(results[2].non_unique_signatures, 1u);
+    // Coverage monotonically decreases across these nested ablations.
+    EXPECT_GE(results[0].coverage, results[1].coverage);
+    EXPECT_GE(results[1].coverage, results[2].coverage);
+}
+
+}  // namespace
+}  // namespace lfp::analysis

@@ -1,0 +1,171 @@
+// Robustness/property tests: every parser in the library must survive
+// arbitrary bytes (no crashes, no false accepts of mutated valid input
+// slipping through checksums), and serialize→parse must be the identity on
+// randomly generated valid messages.
+#include <gtest/gtest.h>
+
+#include "core/feature.hpp"
+#include "net/packet_builder.hpp"
+#include "probe/campaign.hpp"
+#include "snmp/snmpv3.hpp"
+#include "util/rng.hpp"
+
+namespace lfp {
+namespace {
+
+net::Bytes random_bytes(util::Rng& rng, std::size_t max_length) {
+    net::Bytes out(rng.below(max_length));
+    for (auto& byte : out) byte = static_cast<std::uint8_t>(rng.next());
+    return out;
+}
+
+TEST(Fuzz, PacketParserSurvivesGarbage) {
+    util::Rng rng(0xF022);
+    for (int i = 0; i < 5000; ++i) {
+        const auto junk = random_bytes(rng, 128);
+        // Must not crash; random bytes virtually never satisfy the header
+        // checksum, so acceptance would indicate a validation hole.
+        auto parsed = net::parse_packet(junk);
+        EXPECT_FALSE(parsed.has_value());
+    }
+}
+
+TEST(Fuzz, SingleByteMutationsAreRejected) {
+    // A valid packet with any single byte flipped must fail some checksum
+    // (IPv4 header, ICMP, or pseudo-header) or structural check.
+    net::IpSendOptions ip;
+    ip.source = net::IPv4Address::from_octets(192, 0, 2, 1);
+    ip.destination = net::IPv4Address::from_octets(198, 51, 100, 2);
+    const net::Bytes packet = net::make_icmp_echo_request(ip, 7, 1, net::Bytes(24, 0x55));
+    ASSERT_TRUE(net::parse_packet(packet).has_value());
+
+    for (std::size_t i = 0; i < packet.size(); ++i) {
+        net::Bytes mutated = packet;
+        mutated[i] ^= 0x01;
+        auto parsed = net::parse_packet(mutated);
+        EXPECT_FALSE(parsed.has_value()) << "flip at offset " << i << " accepted";
+    }
+}
+
+TEST(Fuzz, TruncationsAreRejected) {
+    net::IpSendOptions ip;
+    ip.source = net::IPv4Address::from_octets(192, 0, 2, 1);
+    ip.destination = net::IPv4Address::from_octets(198, 51, 100, 2);
+    net::TcpSegment segment;
+    segment.source_port = 1000;
+    segment.destination_port = 2000;
+    segment.flags.syn = true;
+    segment.options.push_back({net::TcpOptionKind::mss, {0x05, 0xB4}});
+    const net::Bytes packet = net::make_tcp_packet(ip, segment);
+    ASSERT_TRUE(net::parse_packet(packet).has_value());
+
+    for (std::size_t length = 0; length < packet.size(); ++length) {
+        auto parsed = net::parse_packet(std::span(packet.data(), length));
+        EXPECT_FALSE(parsed.has_value()) << "truncation to " << length << " accepted";
+    }
+}
+
+TEST(Fuzz, RandomValidPacketsRoundTrip) {
+    util::Rng rng(0xF0F0);
+    for (int i = 0; i < 2000; ++i) {
+        net::IpSendOptions ip;
+        ip.source = net::IPv4Address(static_cast<std::uint32_t>(rng.next()));
+        ip.destination = net::IPv4Address(static_cast<std::uint32_t>(rng.next()));
+        ip.identification = static_cast<std::uint16_t>(rng.next());
+        ip.ttl = static_cast<std::uint8_t>(1 + rng.below(254));
+
+        net::Bytes packet;
+        switch (rng.below(3)) {
+            case 0: {
+                packet = net::make_icmp_echo_request(
+                    ip, static_cast<std::uint16_t>(rng.next()),
+                    static_cast<std::uint16_t>(rng.next()),
+                    random_bytes(rng, 64));
+                break;
+            }
+            case 1: {
+                net::TcpSegment segment;
+                segment.source_port = static_cast<std::uint16_t>(rng.next());
+                segment.destination_port = static_cast<std::uint16_t>(rng.next());
+                segment.sequence = static_cast<std::uint32_t>(rng.next());
+                segment.acknowledgment = static_cast<std::uint32_t>(rng.next());
+                segment.flags = net::TcpFlags::from_byte(
+                    static_cast<std::uint8_t>(rng.next() & 0x3F));
+                segment.window = static_cast<std::uint16_t>(rng.next());
+                if (rng.chance(0.5)) {
+                    segment.options.push_back({net::TcpOptionKind::mss, {0x05, 0xB4}});
+                }
+                packet = net::make_tcp_packet(ip, segment);
+                break;
+            }
+            default: {
+                net::UdpDatagram datagram;
+                datagram.source_port = static_cast<std::uint16_t>(rng.next());
+                datagram.destination_port = static_cast<std::uint16_t>(rng.next());
+                datagram.payload = random_bytes(rng, 48);
+                packet = net::make_udp_packet(ip, datagram);
+                break;
+            }
+        }
+        auto parsed = net::parse_packet(packet);
+        ASSERT_TRUE(parsed.has_value()) << "iteration " << i;
+        EXPECT_EQ(parsed.value().ip.source, ip.source);
+        EXPECT_EQ(parsed.value().ip.destination, ip.destination);
+        EXPECT_EQ(parsed.value().ip.identification, ip.identification);
+    }
+}
+
+TEST(Fuzz, BerDecoderSurvivesGarbage) {
+    util::Rng rng(0xBE12);
+    for (int i = 0; i < 5000; ++i) {
+        const auto junk = random_bytes(rng, 96);
+        auto decoded = snmp::ber_decode(junk);
+        // Never crashes. (Short random inputs occasionally form valid BER;
+        // that is fine — we only require memory safety and termination.)
+        (void)decoded;
+    }
+}
+
+TEST(Fuzz, SnmpParsersSurviveMutations) {
+    snmp::DiscoveryResponse response;
+    response.message_id = 17;
+    response.engine_id = snmp::make_mac_engine_id(snmp::enterprise::kCisco, {1, 2, 3, 4, 5, 6});
+    const net::Bytes wire = response.serialize();
+    ASSERT_TRUE(snmp::DiscoveryResponse::parse(wire).has_value());
+
+    util::Rng rng(0x5412);
+    for (int i = 0; i < 3000; ++i) {
+        net::Bytes mutated = wire;
+        const std::size_t flips = 1 + rng.below(4);
+        for (std::size_t f = 0; f < flips; ++f) {
+            mutated[rng.below(mutated.size())] ^= static_cast<std::uint8_t>(1 + rng.below(255));
+        }
+        // Must not crash; may or may not parse depending on which fields
+        // were hit (BER has no checksum).
+        (void)snmp::DiscoveryResponse::parse(mutated);
+    }
+}
+
+TEST(Fuzz, FeatureExtractionSurvivesCorruptResponses) {
+    // Hand-build a probe result whose stored responses are garbage; the
+    // extractor must skip them without crashing.
+    util::Rng rng(0xFEA7);
+    for (int i = 0; i < 500; ++i) {
+        probe::TargetProbeResult result;
+        result.target = net::IPv4Address::from_octets(5, 1, 1, 1);
+        std::uint32_t send_index = 0;
+        for (auto& row : result.probes) {
+            for (auto& exchange : row) {
+                exchange.send_index = send_index++;
+                exchange.request_ipid = static_cast<std::uint16_t>(rng.next());
+                if (rng.chance(0.7)) exchange.response = random_bytes(rng, 96);
+            }
+        }
+        const auto features = core::extract_features(result);
+        // Garbage responses never yield features.
+        EXPECT_TRUE(features.empty());
+    }
+}
+
+}  // namespace
+}  // namespace lfp

@@ -1,0 +1,189 @@
+// Tests for the probing layer: campaign structure (9+1 probes, interleaved
+// send order), sim transport behaviour, and raw-socket dry-run.
+#include <gtest/gtest.h>
+
+#include "probe/campaign.hpp"
+#include "probe/raw_socket_transport.hpp"
+#include "probe/sim_transport.hpp"
+#include "sim/internet.hpp"
+#include "stack/profile_catalog.hpp"
+
+namespace lfp::probe {
+namespace {
+
+/// Transport that records every packet and never answers.
+class RecordingTransport final : public ProbeTransport {
+  public:
+    std::optional<net::Bytes> transact(std::span<const std::uint8_t> packet) override {
+        packets.emplace_back(packet.begin(), packet.end());
+        return std::nullopt;
+    }
+    [[nodiscard]] net::IPv4Address vantage_address() const override {
+        return net::IPv4Address::from_octets(192, 0, 2, 7);
+    }
+    std::vector<net::Bytes> packets;
+};
+
+TEST(Campaign, SendsNineProbesPlusSnmp) {
+    RecordingTransport transport;
+    Campaign campaign(transport);
+    const auto target = net::IPv4Address::from_octets(5, 0, 0, 1);
+    auto result = campaign.probe_target(target);
+    EXPECT_EQ(transport.packets.size(), 10u);
+    EXPECT_EQ(campaign.packets_sent(), 10u);
+    EXPECT_EQ(campaign.responses_received(), 0u);
+    EXPECT_FALSE(result.any_response());
+    EXPECT_EQ(result.target, target);
+}
+
+TEST(Campaign, ProbesInterleaveProtocolsInSendOrder) {
+    RecordingTransport transport;
+    Campaign campaign(transport);
+    campaign.probe_target(net::IPv4Address::from_octets(5, 0, 0, 2));
+    // Expected wire order: icmp,tcp,udp × 3 rounds, then SNMP (UDP).
+    const std::array<net::Protocol, 10> expected{
+        net::Protocol::icmp, net::Protocol::tcp, net::Protocol::udp,
+        net::Protocol::icmp, net::Protocol::tcp, net::Protocol::udp,
+        net::Protocol::icmp, net::Protocol::tcp, net::Protocol::udp,
+        net::Protocol::udp};
+    ASSERT_EQ(transport.packets.size(), expected.size());
+    for (std::size_t i = 0; i < expected.size(); ++i) {
+        auto parsed = net::parse_packet(transport.packets[i]);
+        ASSERT_TRUE(parsed.has_value()) << "packet " << i;
+        EXPECT_EQ(parsed.value().ip.protocol, expected[i]) << "packet " << i;
+    }
+}
+
+TEST(Campaign, ProbePacketShapesMatchPaper) {
+    RecordingTransport transport;
+    Campaign campaign(transport);
+    campaign.probe_target(net::IPv4Address::from_octets(5, 0, 0, 3));
+
+    // ICMP echo: 84 bytes total.
+    auto icmp = net::parse_packet(transport.packets[0]);
+    EXPECT_EQ(icmp.value().ip.total_length, 84);
+
+    // TCP rounds: ACK, ACK, SYN with non-zero ack field.
+    auto tcp0 = net::parse_packet(transport.packets[1]);
+    auto tcp1 = net::parse_packet(transport.packets[4]);
+    auto tcp2 = net::parse_packet(transport.packets[7]);
+    EXPECT_TRUE(tcp0.value().tcp()->flags.ack);
+    EXPECT_TRUE(tcp1.value().tcp()->flags.ack);
+    EXPECT_TRUE(tcp2.value().tcp()->flags.syn);
+    EXPECT_FALSE(tcp2.value().tcp()->flags.ack);
+    EXPECT_NE(tcp2.value().tcp()->acknowledgment, 0u);
+    EXPECT_EQ(tcp0.value().tcp()->destination_port, 33533);
+
+    // UDP probes: 12-byte zero payload to the closed port.
+    auto udp = net::parse_packet(transport.packets[2]);
+    ASSERT_NE(udp.value().udp(), nullptr);
+    EXPECT_EQ(udp.value().udp()->payload.size(), 12u);
+    EXPECT_EQ(udp.value().udp()->destination_port, 33533);
+    for (std::uint8_t byte : udp.value().udp()->payload) EXPECT_EQ(byte, 0);
+
+    // Final packet: SNMPv3 discovery to port 161.
+    auto snmp_packet = net::parse_packet(transport.packets[9]);
+    ASSERT_NE(snmp_packet.value().udp(), nullptr);
+    EXPECT_EQ(snmp_packet.value().udp()->destination_port, 161);
+}
+
+TEST(Campaign, SnmpCanBeDisabled) {
+    RecordingTransport transport;
+    Campaign campaign(transport, {.icmp_payload_bytes = 56,
+                                  .udp_payload_bytes = 12,
+                                  .source_port = 43211,
+                                  .probe_ttl = 64,
+                                  .send_snmp = false});
+    campaign.probe_target(net::IPv4Address::from_octets(5, 0, 0, 4));
+    EXPECT_EQ(transport.packets.size(), 9u);
+}
+
+TEST(Campaign, GlobalSendIndicesAreSequential) {
+    RecordingTransport transport;
+    Campaign campaign(transport);
+    auto result = campaign.probe_target(net::IPv4Address::from_octets(5, 0, 0, 5));
+    std::vector<std::uint32_t> indices;
+    for (const auto& row : result.probes) {
+        for (const auto& exchange : row) indices.push_back(exchange.send_index);
+    }
+    std::sort(indices.begin(), indices.end());
+    for (std::size_t i = 0; i < indices.size(); ++i) EXPECT_EQ(indices[i], i);
+}
+
+TEST(Campaign, RequestIpidsAreDistinct) {
+    RecordingTransport transport;
+    Campaign campaign(transport);
+    auto result = campaign.probe_target(net::IPv4Address::from_octets(5, 0, 0, 6));
+    std::set<std::uint16_t> ipids;
+    for (const auto& row : result.probes) {
+        for (const auto& exchange : row) ipids.insert(exchange.request_ipid);
+    }
+    EXPECT_EQ(ipids.size(), 9u);
+}
+
+TEST(Campaign, EndToEndAgainstSimulatedRouter) {
+    sim::Topology topology = sim::Topology::build(
+        {.seed = 51, .num_ases = 40, .tier1_count = 4, .transit_fraction = 0.2, .scale = 0.4});
+    sim::Internet internet(topology, {.seed = 1, .loss_rate = 0.0});
+    SimTransport transport(internet);
+    Campaign campaign(transport);
+
+    // Probe a fully responsive router and validate the result structure.
+    for (std::size_t i = 0; i < topology.router_count(); ++i) {
+        const auto& router = topology.router(i);
+        if (!(router.responds_icmp() && router.responds_tcp() && router.responds_udp())) {
+            continue;
+        }
+        auto result = campaign.probe_target(router.interfaces()[0]);
+        EXPECT_TRUE(result.fully_responsive());
+        EXPECT_EQ(result.responses_for(ProtoIndex::icmp), 3u);
+        EXPECT_EQ(result.responses_for(ProtoIndex::tcp), 3u);
+        EXPECT_EQ(result.responses_for(ProtoIndex::udp), 3u);
+        if (router.snmp_enabled()) {
+            ASSERT_TRUE(result.snmp.has_value());
+            EXPECT_EQ(result.snmp->engine_id.enterprise,
+                      stack::enterprise_number(router.vendor()));
+        }
+        return;
+    }
+    FAIL() << "no fully responsive router in topology";
+}
+
+TEST(Campaign, RunProbesAllTargets) {
+    RecordingTransport transport;
+    Campaign campaign(transport);
+    const std::vector<net::IPv4Address> targets{net::IPv4Address::from_octets(5, 0, 0, 7),
+                                                net::IPv4Address::from_octets(5, 0, 0, 8),
+                                                net::IPv4Address::from_octets(5, 0, 0, 9)};
+    auto results = campaign.run(targets);
+    ASSERT_EQ(results.size(), 3u);
+    EXPECT_EQ(transport.packets.size(), 30u);
+    for (std::size_t i = 0; i < targets.size(); ++i) EXPECT_EQ(results[i].target, targets[i]);
+}
+
+TEST(RawSocketTransport, DryRunNeverAnswers) {
+    RawSocketTransport transport({.timeout = std::chrono::milliseconds(1), .dry_run = true});
+    EXPECT_FALSE(transport.ready());
+    EXPECT_EQ(transport.status(), "dry-run (no sockets opened)");
+    net::IpSendOptions ip;
+    ip.source = transport.vantage_address();
+    ip.destination = net::IPv4Address::from_octets(127, 0, 0, 1);
+    EXPECT_FALSE(
+        transport.transact(net::make_icmp_echo_request(ip, 1, 0, net::Bytes(8, 0))).has_value());
+}
+
+TEST(TargetProbeResult, ResponsivenessAccounting) {
+    TargetProbeResult result;
+    EXPECT_EQ(result.responsive_protocol_count(), 0u);
+    EXPECT_FALSE(result.any_response());
+    result.probes[0][0].response = net::Bytes{1};
+    EXPECT_EQ(result.responsive_protocol_count(), 1u);
+    EXPECT_FALSE(result.protocol_responsive(ProtoIndex::icmp));  // needs all 3
+    result.probes[0][1].response = net::Bytes{1};
+    result.probes[0][2].response = net::Bytes{1};
+    EXPECT_TRUE(result.protocol_responsive(ProtoIndex::icmp));
+    EXPECT_TRUE(result.any_response());
+}
+
+}  // namespace
+}  // namespace lfp::probe

@@ -1,0 +1,419 @@
+// Tests for the simulated Internet: valley-free AS routing, topology
+// construction, the packet switch, traceroute synthesis, and datasets.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <unordered_set>
+
+#include "sim/as_graph.hpp"
+#include "sim/datasets.hpp"
+#include "sim/internet.hpp"
+#include "sim/topology.hpp"
+#include "sim/traceroute.hpp"
+
+namespace lfp::sim {
+namespace {
+
+// ------------------------------------------------------------------ AsGraph
+
+/// Checks the valley-free property: a path is up* peer? down* in terms of
+/// relationship edges.
+bool is_valley_free(const AsGraph& graph, const AsPath& path) {
+    enum Phase { up, peered, down };
+    Phase phase = up;
+    for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+        const AsNode& from = graph.node(path[i]);
+        const bool is_up = std::find(from.providers.begin(), from.providers.end(),
+                                     path[i + 1]) != from.providers.end();
+        const bool is_peer =
+            std::find(from.peers.begin(), from.peers.end(), path[i + 1]) != from.peers.end();
+        const bool is_down = std::find(from.customers.begin(), from.customers.end(),
+                                       path[i + 1]) != from.customers.end();
+        if (!is_up && !is_peer && !is_down) return false;  // not even an edge
+        if (is_up && phase != up) return false;
+        if (is_peer) {
+            if (phase != up) return false;
+            phase = peered;
+        }
+        if (is_down) phase = down;
+    }
+    return true;
+}
+
+AsGraph diamond_graph(std::uint32_t& top, std::uint32_t& left, std::uint32_t& right,
+                      std::uint32_t& bottom) {
+    AsGraph graph;
+    top = graph.add_as(AsTier::tier1);
+    left = graph.add_as(AsTier::transit);
+    right = graph.add_as(AsTier::transit);
+    bottom = graph.add_as(AsTier::stub);
+    graph.add_provider_customer(top, left);
+    graph.add_provider_customer(top, right);
+    graph.add_provider_customer(left, bottom);
+    graph.add_provider_customer(right, bottom);
+    return graph;
+}
+
+TEST(AsGraph, CustomerRoutePreferredOverProvider) {
+    std::uint32_t top, left, right, bottom;
+    AsGraph graph = diamond_graph(top, left, right, bottom);
+    const auto table = graph.routes_to(bottom);
+    auto path = table.path_from(top);
+    ASSERT_TRUE(path.has_value());
+    // Top reaches bottom through a customer chain, 3 ASes total.
+    EXPECT_EQ(path->size(), 3u);
+    EXPECT_EQ(path->front(), top);
+    EXPECT_EQ(path->back(), bottom);
+    EXPECT_TRUE(is_valley_free(graph, *path));
+}
+
+TEST(AsGraph, PeerRouteUsedWhenNoCustomerRoute) {
+    AsGraph graph;
+    const auto a = graph.add_as(AsTier::transit);
+    const auto b = graph.add_as(AsTier::transit);
+    const auto stub = graph.add_as(AsTier::stub);
+    graph.add_peering(a, b);
+    graph.add_provider_customer(b, stub);
+    const auto table = graph.routes_to(stub);
+    auto path = table.path_from(a);
+    ASSERT_TRUE(path.has_value());
+    EXPECT_EQ(*path, (AsPath{a, b, stub}));
+    EXPECT_TRUE(is_valley_free(graph, *path));
+}
+
+TEST(AsGraph, NoValleyThroughCustomer) {
+    // d -- customer of a; x -- customer of a. x cannot transit through d's
+    // sibling via a "down-up" valley unless a provides it: path x->a->d is
+    // valid (up then down); but siblings of x cannot route through x.
+    AsGraph graph;
+    const auto a = graph.add_as(AsTier::transit);
+    const auto x = graph.add_as(AsTier::stub);
+    const auto d = graph.add_as(AsTier::stub);
+    graph.add_provider_customer(a, x);
+    graph.add_provider_customer(a, d);
+    const auto table = graph.routes_to(d);
+    auto path = table.path_from(x);
+    ASSERT_TRUE(path.has_value());
+    EXPECT_EQ(*path, (AsPath{x, a, d}));
+    EXPECT_TRUE(is_valley_free(graph, *path));
+}
+
+TEST(AsGraph, PeerRoutesDoNotTransit) {
+    // a peers with b; b peers with c. a must NOT reach c via two peer hops.
+    AsGraph graph;
+    const auto a = graph.add_as(AsTier::transit);
+    const auto b = graph.add_as(AsTier::transit);
+    const auto c = graph.add_as(AsTier::transit);
+    graph.add_peering(a, b);
+    graph.add_peering(b, c);
+    const auto table = graph.routes_to(c);
+    EXPECT_FALSE(table.path_from(a).has_value());
+    EXPECT_TRUE(table.path_from(b).has_value());
+}
+
+TEST(AsGraph, ExclusionFindsAlternativeOrNothing) {
+    std::uint32_t top, left, right, bottom;
+    AsGraph graph = diamond_graph(top, left, right, bottom);
+    const auto table = graph.routes_to(bottom);
+    auto default_path = table.path_from(top);
+    ASSERT_TRUE(default_path.has_value());
+    const std::uint32_t used_transit = (*default_path)[1];
+    const std::uint32_t other_transit = used_transit == left ? right : left;
+
+    // Avoiding the used transit must route via the other one.
+    auto alternative = table.path_avoiding(top, {used_transit});
+    ASSERT_TRUE(alternative.has_value());
+    EXPECT_EQ((*alternative)[1], other_transit);
+
+    // Avoiding both transits leaves no route.
+    auto none = table.path_avoiding(top, {left, right});
+    EXPECT_FALSE(none.has_value());
+}
+
+TEST(AsGraph, UnknownAsnThrows) {
+    AsGraph graph;
+    EXPECT_THROW((void)graph.node(12345), std::out_of_range);
+}
+
+// ---------------------------------------------------------------- Topology
+
+class TopologyFixture : public ::testing::Test {
+  protected:
+    static const Topology& topo() {
+        static const Topology instance = Topology::build(
+            {.seed = 11, .num_ases = 300, .tier1_count = 8, .transit_fraction = 0.2,
+             .scale = 0.3});
+        return instance;
+    }
+};
+
+TEST_F(TopologyFixture, BuildsRequestedAsCount) {
+    EXPECT_EQ(topo().graph().size(), 300u);
+    EXPECT_GT(topo().router_count(), 300u);  // at least one per AS
+}
+
+TEST_F(TopologyFixture, InterfaceIndexIsConsistent) {
+    for (std::size_t i = 0; i < std::min<std::size_t>(topo().router_count(), 200); ++i) {
+        for (net::IPv4Address address : topo().router(i).interfaces()) {
+            EXPECT_EQ(topo().find_by_interface(address), i);
+            EXPECT_TRUE(address.is_routable());
+        }
+    }
+    EXPECT_EQ(topo().find_by_interface(net::IPv4Address::from_octets(203, 0, 113, 1)),
+              Topology::npos);
+}
+
+TEST_F(TopologyFixture, EveryAsHasGeoAndRouters) {
+    std::size_t total = 0;
+    for (const AsNode& node : topo().graph().nodes()) {
+        EXPECT_NE(topo().geo().lookup(node.asn), nullptr);
+        total += topo().routers_in_as(node.asn).size();
+    }
+    EXPECT_EQ(total, topo().router_count());
+}
+
+TEST_F(TopologyFixture, PhantomAddressesAreUnassigned) {
+    for (std::size_t i = 0; i < std::min<std::size_t>(topo().phantom_addresses().size(), 100);
+         ++i) {
+        EXPECT_EQ(topo().find_by_interface(topo().phantom_addresses()[i]), Topology::npos);
+    }
+    EXPECT_FALSE(topo().phantom_addresses().empty());
+}
+
+TEST_F(TopologyFixture, DeterministicAcrossBuilds) {
+    const Topology second = Topology::build(
+        {.seed = 11, .num_ases = 300, .tier1_count = 8, .transit_fraction = 0.2, .scale = 0.3});
+    ASSERT_EQ(second.router_count(), topo().router_count());
+    for (std::size_t i = 0; i < second.router_count(); i += 37) {
+        EXPECT_EQ(second.router(i).interfaces(), topo().router(i).interfaces());
+        EXPECT_EQ(second.router(i).vendor(), topo().router(i).vendor());
+    }
+}
+
+TEST_F(TopologyFixture, ScaleGrowsRouterCounts) {
+    const Topology bigger = Topology::build(
+        {.seed = 11, .num_ases = 300, .tier1_count = 8, .transit_fraction = 0.2, .scale = 0.9});
+    EXPECT_GT(bigger.router_count(), topo().router_count() * 2);
+}
+
+TEST_F(TopologyFixture, VendorMixFollowsRegionalMarkets) {
+    // Count routers by vendor; Cisco should dominate globally, and every
+    // vendor should exist somewhere at this size.
+    std::map<stack::Vendor, std::size_t> counts;
+    for (std::size_t i = 0; i < topo().router_count(); ++i) {
+        ++counts[topo().router(i).vendor()];
+    }
+    EXPECT_GT(counts[stack::Vendor::cisco], topo().router_count() / 5);
+    EXPECT_GT(counts.size(), 8u);
+}
+
+// ---------------------------------------------------------------- Internet
+
+TEST_F(TopologyFixture, TransactDeliversAndDecrementsTtl) {
+    Topology topology = Topology::build(
+        {.seed = 21, .num_ases = 50, .tier1_count = 4, .transit_fraction = 0.2, .scale = 0.3});
+    Internet internet(topology, {.seed = 1, .loss_rate = 0.0});
+
+    // Find a router that responds to ICMP.
+    for (std::size_t i = 0; i < topology.router_count(); ++i) {
+        auto& router = topology.router(i);
+        if (!router.responds_icmp()) continue;
+        net::IpSendOptions ip;
+        ip.source = net::IPv4Address::from_octets(192, 0, 2, 7);
+        ip.destination = router.interfaces()[0];
+        ip.ttl = 64;
+        auto response =
+            internet.transact(net::make_icmp_echo_request(ip, 1, 0, net::Bytes(56, 0xA5)));
+        ASSERT_TRUE(response.has_value());
+        auto parsed = net::parse_packet(*response);
+        ASSERT_TRUE(parsed.has_value());
+        const int distance = topology.distance_of(i);
+        EXPECT_EQ(parsed.value().ip.ttl,
+                  router.profile().ittl_icmp - static_cast<std::uint8_t>(distance));
+        return;  // one router suffices
+    }
+    FAIL() << "no ICMP-responsive router found";
+}
+
+TEST(Internet, UnknownDestinationIsSilent) {
+    Topology topology = Topology::build(
+        {.seed = 22, .num_ases = 20, .tier1_count = 4, .transit_fraction = 0.2, .scale = 0.3});
+    Internet internet(topology, {.seed = 1, .loss_rate = 0.0});
+    net::IpSendOptions ip;
+    ip.source = net::IPv4Address::from_octets(192, 0, 2, 7);
+    ip.destination = net::IPv4Address::from_octets(203, 0, 113, 200);
+    EXPECT_FALSE(
+        internet.transact(net::make_icmp_echo_request(ip, 1, 0, net::Bytes(8, 0))).has_value());
+    EXPECT_EQ(internet.responses_returned(), 0u);
+    EXPECT_EQ(internet.packets_sent(), 1u);
+}
+
+TEST(Internet, ExpiredTtlDropped) {
+    Topology topology = Topology::build(
+        {.seed = 23, .num_ases = 20, .tier1_count = 4, .transit_fraction = 0.2, .scale = 0.3});
+    Internet internet(topology, {.seed = 1, .loss_rate = 0.0});
+    net::IpSendOptions ip;
+    ip.source = net::IPv4Address::from_octets(192, 0, 2, 7);
+    ip.destination = topology.router(0).interfaces()[0];
+    ip.ttl = 2;  // below any vantage distance
+    EXPECT_FALSE(
+        internet.transact(net::make_icmp_echo_request(ip, 1, 0, net::Bytes(8, 0))).has_value());
+}
+
+// -------------------------------------------------------------- Traceroute
+
+TEST(Traceroute, FollowsValleyFreePathThroughTopology) {
+    Topology topology = Topology::build(
+        {.seed = 31, .num_ases = 200, .tier1_count = 6, .transit_fraction = 0.2, .scale = 0.4});
+    TracerouteSynthesizer synthesizer(topology, 5);
+    synthesizer.set_noise(0.0, 0.0);
+
+    std::size_t produced = 0;
+    const auto& nodes = topology.graph().nodes();
+    for (std::size_t i = 0; i < 50; ++i) {
+        const std::uint32_t src = nodes[i % nodes.size()].asn;
+        const std::uint32_t dst = nodes[(i * 7 + 3) % nodes.size()].asn;
+        if (src == dst) continue;
+        auto trace = synthesizer.trace(src, dst);
+        if (!trace) continue;
+        ++produced;
+        EXPECT_EQ(trace->source_asn, src);
+        EXPECT_EQ(trace->destination_asn, dst);
+        // Every hop maps to a router in an AS on the path (noise disabled).
+        for (net::IPv4Address hop : trace->hops) {
+            const std::size_t index = topology.find_by_interface(hop);
+            ASSERT_NE(index, Topology::npos);
+        }
+    }
+    EXPECT_GT(produced, 20u);
+}
+
+TEST(Traceroute, NoiseInjectsUnmappableHops) {
+    Topology topology = Topology::build(
+        {.seed = 32, .num_ases = 100, .tier1_count = 6, .transit_fraction = 0.2, .scale = 0.4});
+    TracerouteSynthesizer synthesizer(topology, 6);
+    synthesizer.set_noise(0.5, 0.2);
+    std::size_t unmapped = 0;
+    std::size_t total = 0;
+    const auto& nodes = topology.graph().nodes();
+    for (std::size_t i = 0; i < 40; ++i) {
+        auto trace = synthesizer.trace(nodes[i % nodes.size()].asn,
+                                       nodes[(i + 13) % nodes.size()].asn);
+        if (!trace) continue;
+        for (net::IPv4Address hop : trace->hops) {
+            ++total;
+            if (!hop.is_routable() || topology.find_by_interface(hop) == Topology::npos) {
+                ++unmapped;
+            }
+        }
+    }
+    ASSERT_GT(total, 0u);
+    EXPECT_GT(static_cast<double>(unmapped) / static_cast<double>(total), 0.3);
+}
+
+// ---------------------------------------------------------------- Datasets
+
+class DatasetFixture : public ::testing::Test {
+  protected:
+    static const Topology& topo() {
+        static const Topology instance = Topology::build(
+            {.seed = 41, .num_ases = 250, .tier1_count = 6, .transit_fraction = 0.2,
+             .scale = 0.4});
+        return instance;
+    }
+    static const std::vector<TracerouteDataset>& snapshots() {
+        static const std::vector<TracerouteDataset> instance = [] {
+            DatasetConfig config;
+            config.seed = 1;
+            config.traces_per_snapshot = 3000;
+            config.destination_pool = 60;
+            DatasetBuilder builder(topo(), config);
+            return builder.ripe_snapshots();
+        }();
+        return instance;
+    }
+};
+
+TEST_F(DatasetFixture, FiveSnapshotsWithDates) {
+    ASSERT_EQ(snapshots().size(), 5u);
+    EXPECT_EQ(snapshots()[0].name, "RIPE-1");
+    EXPECT_EQ(snapshots()[4].name, "RIPE-5");
+    EXPECT_EQ(snapshots()[0].date, "2022-01-24");
+    for (const auto& snapshot : snapshots()) {
+        EXPECT_GT(snapshot.traces.size(), 2000u);
+        EXPECT_GT(snapshot.router_ips().size(), 500u);
+    }
+}
+
+TEST_F(DatasetFixture, ConsecutiveSnapshotsOverlapLikeRipe) {
+    // Paper: ~88% pairwise router-IP overlap between consecutive snapshots.
+    for (std::size_t i = 1; i < snapshots().size(); ++i) {
+        const auto previous = snapshots()[i - 1].router_ips();
+        const auto current = snapshots()[i].router_ips();
+        const std::unordered_set<net::IPv4Address> previous_set(previous.begin(),
+                                                                previous.end());
+        std::size_t common = 0;
+        for (net::IPv4Address ip : current) {
+            if (previous_set.contains(ip)) ++common;
+        }
+        const double overlap = static_cast<double>(common) / static_cast<double>(current.size());
+        EXPECT_GT(overlap, 0.70) << "snapshot " << i;
+        EXPECT_LT(overlap, 0.99) << "snapshot " << i;
+    }
+}
+
+TEST_F(DatasetFixture, ItdkAliasSetsAreNonSingletonAndResponsive) {
+    DatasetConfig config;
+    config.seed = 1;
+    DatasetBuilder builder(topo(), config);
+    const ItdkDataset itdk = builder.itdk();
+    ASSERT_GT(itdk.alias_sets.size(), 50u);
+    for (const AliasSet& set : itdk.alias_sets) {
+        EXPECT_GE(set.addresses.size(), 2u);
+        const auto& router = topo().router(set.router_index);
+        EXPECT_TRUE(router.responds_icmp() || router.responds_tcp() || router.responds_udp());
+        EXPECT_EQ(router.interfaces(), set.addresses);
+    }
+    // ITDK covers fewer ASes than the traceroute snapshots (paper Table 2).
+    EXPECT_LT(itdk.as_count(topo()), snapshots()[4].as_count(topo()));
+}
+
+TEST_F(DatasetFixture, RouterIpsAreUniqueAndRoutable) {
+    const auto ips = snapshots()[4].router_ips();
+    const std::set<net::IPv4Address> unique(ips.begin(), ips.end());
+    EXPECT_EQ(unique.size(), ips.size());
+    for (net::IPv4Address ip : ips) EXPECT_TRUE(ip.is_routable());
+}
+
+// --------------------------------------------------------------------- Geo
+
+TEST(Geo, ContinentNamesAndCodes) {
+    EXPECT_EQ(to_string(Continent::north_america), "North America");
+    EXPECT_EQ(continent_code(Continent::europe), "EU");
+    EXPECT_EQ(continent_code(Continent::oceania), "OC");
+}
+
+TEST(Geo, RegistryLookup) {
+    GeoRegistry registry;
+    registry.assign(64500, {"US", Continent::north_america});
+    ASSERT_NE(registry.lookup(64500), nullptr);
+    EXPECT_TRUE(registry.is_in_country(64500, "US"));
+    EXPECT_FALSE(registry.is_in_country(64500, "DE"));
+    EXPECT_FALSE(registry.is_in_country(99999, "US"));
+    EXPECT_EQ(registry.lookup(99999), nullptr);
+}
+
+TEST(Geo, DrawCountryIsUsHeavy) {
+    util::Rng rng(3);
+    std::size_t us = 0;
+    constexpr std::size_t kTrials = 5000;
+    for (std::size_t i = 0; i < kTrials; ++i) {
+        if (GeoRegistry::draw_country(rng).country == "US") ++us;
+    }
+    const double share = static_cast<double>(us) / kTrials;
+    EXPECT_GT(share, 0.15);
+    EXPECT_LT(share, 0.35);
+}
+
+}  // namespace
+}  // namespace lfp::sim

@@ -1,0 +1,218 @@
+// Unit tests for the SNMP substrate: BER codec, engine IDs, SNMPv3
+// discovery messages.
+#include <gtest/gtest.h>
+
+#include "snmp/ber.hpp"
+#include "snmp/engine_id.hpp"
+#include "snmp/snmpv3.hpp"
+#include "util/rng.hpp"
+
+namespace lfp::snmp {
+namespace {
+
+TEST(Ber, IntegerKnownEncodings) {
+    EXPECT_EQ(ber_encode(BerValue::integer(0)), (Bytes{0x02, 0x01, 0x00}));
+    EXPECT_EQ(ber_encode(BerValue::integer(127)), (Bytes{0x02, 0x01, 0x7F}));
+    EXPECT_EQ(ber_encode(BerValue::integer(128)), (Bytes{0x02, 0x02, 0x00, 0x80}));
+    EXPECT_EQ(ber_encode(BerValue::integer(-1)), (Bytes{0x02, 0x01, 0xFF}));
+    EXPECT_EQ(ber_encode(BerValue::integer(256)), (Bytes{0x02, 0x02, 0x01, 0x00}));
+}
+
+class BerIntegerRoundTrip : public ::testing::TestWithParam<std::int64_t> {};
+
+TEST_P(BerIntegerRoundTrip, RoundTrips) {
+    const std::int64_t value = GetParam();
+    auto decoded = ber_decode(ber_encode(BerValue::integer(value)));
+    ASSERT_TRUE(decoded.has_value());
+    auto result = decoded.value().as_integer();
+    ASSERT_TRUE(result.has_value());
+    EXPECT_EQ(result.value(), value);
+}
+
+INSTANTIATE_TEST_SUITE_P(Values, BerIntegerRoundTrip,
+                         ::testing::Values(0, 1, -1, 127, 128, 255, 256, -128, -129, 65535,
+                                           2147483647LL, -2147483648LL, 1099511627776LL));
+
+TEST(Ber, OctetStringRoundTrip) {
+    Bytes payload{0x00, 0xFF, 0x80, 0x01};
+    auto decoded = ber_decode(ber_encode(BerValue::octet_string(payload)));
+    ASSERT_TRUE(decoded.has_value());
+    auto result = decoded.value().as_octet_string();
+    ASSERT_TRUE(result.has_value());
+    EXPECT_EQ(result.value(), payload);
+}
+
+TEST(Ber, LongOctetStringUsesLongLengthForm) {
+    const Bytes payload(300, 0x5A);
+    const Bytes wire = ber_encode(BerValue::octet_string(payload));
+    EXPECT_EQ(wire[1], 0x82);  // two length digits
+    auto decoded = ber_decode(wire);
+    ASSERT_TRUE(decoded.has_value());
+    EXPECT_EQ(decoded.value().as_octet_string().value().size(), 300u);
+}
+
+TEST(Ber, OidRoundTrip) {
+    const std::vector<std::uint32_t> arcs{1, 3, 6, 1, 6, 3, 15, 1, 1, 4, 0};
+    auto decoded = ber_decode(ber_encode(BerValue::oid(arcs)));
+    ASSERT_TRUE(decoded.has_value());
+    auto result = decoded.value().as_oid();
+    ASSERT_TRUE(result.has_value());
+    EXPECT_EQ(result.value(), arcs);
+}
+
+TEST(Ber, OidMultiByteArcs) {
+    const std::vector<std::uint32_t> arcs{1, 3, 6, 1, 4, 1, 14988, 1};  // MikroTik arc > 127
+    auto decoded = ber_decode(ber_encode(BerValue::oid(arcs)));
+    ASSERT_TRUE(decoded.has_value());
+    EXPECT_EQ(decoded.value().as_oid().value(), arcs);
+}
+
+TEST(Ber, SequenceNesting) {
+    BerValue message = BerValue::sequence({
+        BerValue::integer(3),
+        BerValue::sequence({BerValue::octet_string("abc"), BerValue::null()}),
+        BerValue::context(8, {BerValue::integer(1)}),
+    });
+    auto decoded = ber_decode(ber_encode(message));
+    ASSERT_TRUE(decoded.has_value());
+    const BerValue& out = decoded.value();
+    ASSERT_EQ(out.children().size(), 3u);
+    EXPECT_EQ(out.children()[0].as_integer().value(), 3);
+    ASSERT_TRUE(out.children()[2].is_context());
+    EXPECT_EQ(out.children()[2].context_number(), 8);
+    EXPECT_EQ(out, message);
+}
+
+TEST(Ber, RejectsMalformedInput) {
+    EXPECT_FALSE(ber_decode(Bytes{}).has_value());
+    EXPECT_FALSE(ber_decode(Bytes{0x02}).has_value());                  // tag only
+    EXPECT_FALSE(ber_decode(Bytes{0x02, 0x05, 0x01}).has_value());      // short content
+    EXPECT_FALSE(ber_decode(Bytes{0x02, 0x01, 0x01, 0x00}).has_value());  // trailing byte
+    EXPECT_FALSE(ber_decode(Bytes{0x1F, 0x01, 0x00}).has_value());      // multi-byte tag
+    EXPECT_FALSE(ber_decode(Bytes{0x05, 0x01, 0x00}).has_value());      // non-empty null
+}
+
+TEST(Ber, RejectsDeepNesting) {
+    Bytes bomb;
+    for (int i = 0; i < 40; ++i) {
+        Bytes wrapped{0x30, static_cast<std::uint8_t>(bomb.size())};
+        wrapped.insert(wrapped.end(), bomb.begin(), bomb.end());
+        bomb = wrapped;
+    }
+    EXPECT_FALSE(ber_decode(bomb).has_value());
+}
+
+TEST(Ber, TypeAccessorsValidate) {
+    EXPECT_FALSE(BerValue::null().as_integer().has_value());
+    EXPECT_FALSE(BerValue::integer(1).as_octet_string().has_value());
+    EXPECT_FALSE(BerValue::octet_string("x").as_oid().has_value());
+    auto child = BerValue::integer(1).child(0);
+    EXPECT_FALSE(child.has_value());
+}
+
+TEST(EngineId, MacFormatRoundTrip) {
+    const EngineId id = make_mac_engine_id(enterprise::kCisco, {1, 2, 3, 4, 5, 6});
+    const Bytes wire = id.serialize();
+    ASSERT_EQ(wire.size(), 11u);
+    EXPECT_EQ(wire[0] & 0x80, 0x80);  // new format bit
+    auto parsed = EngineId::parse(wire);
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(parsed.value(), id);
+    EXPECT_EQ(parsed.value().enterprise, enterprise::kCisco);
+}
+
+TEST(EngineId, TextAndOctetsFormats) {
+    const EngineId text = make_text_engine_id(enterprise::kMikroTik, "MikroTik-42");
+    auto parsed = EngineId::parse(text.serialize());
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(parsed.value().format, EngineIdFormat::text);
+    EXPECT_EQ(parsed.value().enterprise, enterprise::kMikroTik);
+
+    const EngineId octets = make_octets_engine_id(enterprise::kHuawei, Bytes(8, 0xEE));
+    auto parsed2 = EngineId::parse(octets.serialize());
+    ASSERT_TRUE(parsed2.has_value());
+    EXPECT_EQ(parsed2.value().enterprise, enterprise::kHuawei);
+}
+
+TEST(EngineId, Ipv4Format) {
+    const auto address = net::IPv4Address::from_octets(5, 6, 7, 8);
+    const EngineId id = make_ipv4_engine_id(enterprise::kJuniper, address);
+    auto parsed = EngineId::parse(id.serialize());
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(parsed.value().remainder, (Bytes{5, 6, 7, 8}));
+}
+
+TEST(EngineId, RejectsBadLengths) {
+    EXPECT_FALSE(EngineId::parse(Bytes{1, 2, 3}).has_value());
+    EXPECT_FALSE(EngineId::parse(Bytes(40, 1)).has_value());
+    // Old format (high bit clear) must be exactly 12 bytes.
+    Bytes old_format(11, 0x01);
+    EXPECT_FALSE(EngineId::parse(old_format).has_value());
+    Bytes ok_old(12, 0x01);
+    auto parsed = EngineId::parse(ok_old);
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_FALSE(parsed.value().new_format);
+}
+
+TEST(EngineId, TextTruncatesToWireCap) {
+    const std::string long_name(64, 'x');
+    const EngineId id = make_text_engine_id(enterprise::kCisco, long_name);
+    EXPECT_LE(id.serialize().size(), 32u);
+}
+
+TEST(Snmpv3, DiscoveryRequestRoundTrip) {
+    DiscoveryRequest request;
+    request.message_id = 0x1234;
+    const Bytes wire = request.serialize();
+    auto parsed = DiscoveryRequest::parse(wire);
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(parsed.value().message_id, 0x1234);
+}
+
+TEST(Snmpv3, DiscoveryResponseRoundTrip) {
+    DiscoveryResponse response;
+    response.message_id = 77;
+    response.engine_id = make_mac_engine_id(enterprise::kJuniper, {9, 8, 7, 6, 5, 4});
+    response.engine_boots = 12;
+    response.engine_time = 123456;
+
+    const Bytes wire = response.serialize();
+    auto parsed = DiscoveryResponse::parse(wire);
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(parsed.value().message_id, 77);
+    EXPECT_EQ(parsed.value().engine_id, response.engine_id);
+    EXPECT_EQ(parsed.value().engine_boots, 12);
+    EXPECT_EQ(parsed.value().engine_time, 123456);
+}
+
+TEST(Snmpv3, RequestAndResponseAreDistinct) {
+    DiscoveryRequest request;
+    request.message_id = 5;
+    EXPECT_FALSE(DiscoveryResponse::parse(request.serialize()).has_value());
+
+    DiscoveryResponse response;
+    response.message_id = 5;
+    response.engine_id = make_mac_engine_id(enterprise::kCisco, {1, 2, 3, 4, 5, 6});
+    EXPECT_FALSE(DiscoveryRequest::parse(response.serialize()).has_value());
+}
+
+TEST(Snmpv3, ParseRejectsGarbage) {
+    EXPECT_FALSE(DiscoveryRequest::parse(Bytes{1, 2, 3}).has_value());
+    EXPECT_FALSE(DiscoveryResponse::parse(Bytes(64, 0x30)).has_value());
+    // Fuzz-ish: random bytes never crash and never parse.
+    util::Rng rng(1);
+    for (int i = 0; i < 200; ++i) {
+        Bytes junk(rng.below(64));
+        for (auto& b : junk) b = static_cast<std::uint8_t>(rng.next());
+        EXPECT_FALSE(DiscoveryResponse::parse(junk).has_value());
+    }
+}
+
+TEST(Snmpv3, UsmOidIsCorrect) {
+    const auto oid = usm_stats_unknown_engine_ids_oid();
+    const std::vector<std::uint32_t> expected{1, 3, 6, 1, 6, 3, 15, 1, 1, 4, 0};
+    EXPECT_EQ(oid, expected);
+}
+
+}  // namespace
+}  // namespace lfp::snmp

@@ -1,0 +1,456 @@
+// Unit tests for the vendor stack models: IPID counter machines, the
+// simulated router's per-protocol responses, overrides, and SNMP identity.
+#include <gtest/gtest.h>
+
+#include "probe/campaign.hpp"
+#include "probe/transport.hpp"
+#include "snmp/snmpv3.hpp"
+#include "stack/profile_catalog.hpp"
+#include "stack/simulated_router.hpp"
+
+namespace lfp::stack {
+namespace {
+
+const net::IPv4Address kVantage = net::IPv4Address::from_octets(192, 0, 2, 9);
+const net::IPv4Address kRouterIp = net::IPv4Address::from_octets(5, 5, 5, 5);
+
+/// Transport that hands packets straight to one router (no loss, no TTL
+/// decay) — isolates stack behaviour from the network model.
+class DirectTransport final : public probe::ProbeTransport {
+  public:
+    explicit DirectTransport(SimulatedRouter& router) : router_(&router) {}
+    std::optional<net::Bytes> transact(std::span<const std::uint8_t> packet) override {
+        return router_->handle_packet(packet);
+    }
+    [[nodiscard]] net::IPv4Address vantage_address() const override { return kVantage; }
+
+  private:
+    SimulatedRouter* router_;
+};
+
+/// A profile that always answers everything, with tunable stack features.
+StackProfile responsive_profile() {
+    StackProfile profile;
+    profile.family = "test";
+    profile.vendor = Vendor::cisco;
+    profile.response = {1.0, 1.0, 1.0, 1.0, 0.0, 1.0};
+    profile.mean_traffic_gap = 5.0;
+    return profile;
+}
+
+SimulatedRouter make_router(const StackProfile& profile, std::uint64_t seed = 1) {
+    util::Rng rng(seed);
+    SimulatedRouter router(seed, profile, rng);
+    router.add_interface(kRouterIp);
+    return router;
+}
+
+net::Bytes icmp_probe(std::uint16_t ipid, std::uint16_t seq = 0) {
+    net::IpSendOptions ip;
+    ip.source = kVantage;
+    ip.destination = kRouterIp;
+    ip.identification = ipid;
+    return net::make_icmp_echo_request(ip, 7, seq, net::Bytes(56, 0xA5));
+}
+
+net::Bytes tcp_probe(bool syn, std::uint32_t ack_value, std::uint16_t port = kProbePort) {
+    net::TcpSegment segment;
+    segment.source_port = 40000;
+    segment.destination_port = port;
+    segment.sequence = 0x100;
+    segment.acknowledgment = ack_value;
+    if (syn) {
+        segment.flags.syn = true;
+    } else {
+        segment.flags.ack = true;
+    }
+    segment.window = 1024;
+    net::IpSendOptions ip;
+    ip.source = kVantage;
+    ip.destination = kRouterIp;
+    ip.identification = 0x42;
+    return net::make_tcp_packet(ip, segment);
+}
+
+net::Bytes udp_probe(std::uint16_t port = kProbePort) {
+    net::UdpDatagram datagram;
+    datagram.source_port = 40001;
+    datagram.destination_port = port;
+    datagram.payload.assign(12, 0x00);
+    net::IpSendOptions ip;
+    ip.source = kVantage;
+    ip.destination = kRouterIp;
+    ip.identification = 0x43;
+    return net::make_udp_packet(ip, datagram);
+}
+
+// ---------------------------------------------------------------- IpidCounter
+
+TEST(IpidCounter, IncrementalAdvancesModestly) {
+    util::Rng rng(3);
+    IpidCounter counter(IpidMode::incremental, 100, 10.0);
+    std::uint16_t previous = counter.next(rng);
+    for (int i = 0; i < 200; ++i) {
+        const std::uint16_t current = counter.next(rng);
+        const std::uint16_t step = static_cast<std::uint16_t>(current - previous);
+        EXPECT_GE(step, 1);
+        EXPECT_LT(step, 1000);
+        previous = current;
+    }
+}
+
+TEST(IpidCounter, IncrementalWrapsAround) {
+    util::Rng rng(3);
+    IpidCounter counter(IpidMode::incremental, 65530, 1.0);
+    bool wrapped = false;
+    std::uint16_t previous = counter.next(rng);
+    for (int i = 0; i < 50; ++i) {
+        const std::uint16_t current = counter.next(rng);
+        if (current < previous) wrapped = true;
+        previous = current;
+    }
+    EXPECT_TRUE(wrapped);
+}
+
+TEST(IpidCounter, ZeroAndStatic) {
+    util::Rng rng(4);
+    IpidCounter zero(IpidMode::zero, 123, 1.0);
+    IpidCounter fixed(IpidMode::static_value, 777, 1.0);
+    for (int i = 0; i < 20; ++i) {
+        EXPECT_EQ(zero.next(rng), 0);
+        EXPECT_EQ(fixed.next(rng), 777);
+    }
+}
+
+TEST(IpidCounter, StaticValueNeverZero) {
+    util::Rng rng(5);
+    IpidCounter fixed(IpidMode::static_value, 0, 1.0);
+    EXPECT_NE(fixed.next(rng), 0);
+}
+
+TEST(IpidCounter, DuplicatePairServesValuesTwice) {
+    util::Rng rng(6);
+    IpidCounter counter(IpidMode::duplicate_pair, 10, 3.0);
+    for (int i = 0; i < 10; ++i) {
+        const std::uint16_t a = counter.next(rng);
+        const std::uint16_t b = counter.next(rng);
+        EXPECT_EQ(a, b);
+    }
+}
+
+TEST(IpidCounter, RandomSpreadsAcrossRange) {
+    util::Rng rng(7);
+    IpidCounter counter(IpidMode::random, 0, 1.0);
+    std::uint16_t min = 0xFFFF;
+    std::uint16_t max = 0;
+    for (int i = 0; i < 500; ++i) {
+        const std::uint16_t v = counter.next(rng);
+        min = std::min(min, v);
+        max = std::max(max, v);
+    }
+    EXPECT_LT(min, 5000);
+    EXPECT_GT(max, 60000);
+}
+
+// ------------------------------------------------------------ SimulatedRouter
+
+TEST(SimulatedRouter, EchoReplyMirrorsPayloadAndUsesProfileTtl) {
+    StackProfile profile = responsive_profile();
+    profile.ittl_icmp = 255;
+    auto router = make_router(profile);
+
+    auto response = router.handle_packet(icmp_probe(0x1111));
+    ASSERT_TRUE(response.has_value());
+    auto parsed = net::parse_packet(*response);
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(parsed.value().ip.ttl, 255);
+    EXPECT_EQ(parsed.value().ip.source, kRouterIp);
+    EXPECT_EQ(parsed.value().ip.destination, kVantage);
+    EXPECT_EQ(response->size(), 84u);
+    const auto* echo = std::get_if<net::IcmpEcho>(parsed.value().icmp());
+    ASSERT_NE(echo, nullptr);
+    EXPECT_TRUE(echo->is_reply);
+    EXPECT_EQ(echo->identifier, 7);
+}
+
+TEST(SimulatedRouter, IcmpIpidEchoBehaviour) {
+    StackProfile profile = responsive_profile();
+    profile.ipid.icmp_echoes_request_ipid = true;
+    auto router = make_router(profile);
+    auto response = router.handle_packet(icmp_probe(0xABCD));
+    ASSERT_TRUE(response.has_value());
+    auto parsed = net::parse_packet(*response);
+    EXPECT_EQ(parsed.value().ip.identification, 0xABCD);
+
+    StackProfile no_echo = responsive_profile();
+    no_echo.ipid.icmp_echoes_request_ipid = false;
+    auto router2 = make_router(no_echo);
+    auto response2 = router2.handle_packet(icmp_probe(0xABCD));
+    auto parsed2 = net::parse_packet(*response2);
+    EXPECT_NE(parsed2.value().ip.identification, 0xABCD);
+}
+
+TEST(SimulatedRouter, ClosedPortRstBehaviour) {
+    // Non-compliant stack: RST to the SYN probe carries sequence zero.
+    StackProfile profile = responsive_profile();
+    profile.rst_seq_from_ack = false;
+    auto router = make_router(profile);
+
+    auto syn_response = router.handle_packet(tcp_probe(/*syn=*/true, 0xBEEF0001));
+    ASSERT_TRUE(syn_response.has_value());
+    auto parsed = net::parse_packet(*syn_response);
+    const auto* rst = parsed.value().tcp();
+    ASSERT_NE(rst, nullptr);
+    EXPECT_TRUE(rst->flags.rst);
+    EXPECT_EQ(rst->sequence, 0u);
+    EXPECT_EQ(syn_response->size(), 40u);
+
+    // Compliant stack: sequence taken from the probe's ack field.
+    StackProfile compliant = responsive_profile();
+    compliant.rst_seq_from_ack = true;
+    auto router2 = make_router(compliant);
+    auto syn_response2 = router2.handle_packet(tcp_probe(true, 0xBEEF0001));
+    auto parsed2 = net::parse_packet(*syn_response2);
+    EXPECT_EQ(parsed2.value().tcp()->sequence, 0xBEEF0001);
+
+    // ACK probes always take the incoming ack as the RST sequence.
+    auto ack_response = router.handle_packet(tcp_probe(false, 0x1234));
+    auto parsed3 = net::parse_packet(*ack_response);
+    EXPECT_EQ(parsed3.value().tcp()->sequence, 0x1234u);
+    EXPECT_FALSE(parsed3.value().tcp()->flags.ack);
+}
+
+TEST(SimulatedRouter, UdpClosedPortQuotesPerProfile) {
+    StackProfile minimal = responsive_profile();
+    minimal.icmp_quote_limit = 28;
+    auto router = make_router(minimal);
+    auto response = router.handle_packet(udp_probe());
+    ASSERT_TRUE(response.has_value());
+    EXPECT_EQ(response->size(), 56u);
+
+    StackProfile full = responsive_profile();
+    full.icmp_quote_limit = 65535;
+    auto router2 = make_router(full);
+    auto response2 = router2.handle_packet(udp_probe());
+    ASSERT_TRUE(response2.has_value());
+    EXPECT_EQ(response2->size(), 68u);
+
+    auto parsed = net::parse_packet(*response2);
+    const auto* error = std::get_if<net::IcmpError>(parsed.value().icmp());
+    ASSERT_NE(error, nullptr);
+    EXPECT_EQ(error->type, net::IcmpType::destination_unreachable);
+    EXPECT_EQ(error->code, net::kIcmpCodePortUnreachable);
+    // The quote embeds our original probe verbatim.
+    EXPECT_EQ(error->quoted.size(), 40u);
+    auto quoted_header = net::Ipv4Header::parse(error->quoted);
+    ASSERT_TRUE(quoted_header.has_value());
+    EXPECT_EQ(quoted_header.value().destination, kRouterIp);
+}
+
+TEST(SimulatedRouter, SnmpDiscoveryCarriesVendorEngineId) {
+    StackProfile profile = responsive_profile();
+    profile.vendor = Vendor::juniper;
+    auto router = make_router(profile);
+    ASSERT_TRUE(router.snmp_enabled());
+
+    snmp::DiscoveryRequest request;
+    request.message_id = 99;
+    net::UdpDatagram datagram;
+    datagram.source_port = 50000;
+    datagram.destination_port = snmp::kSnmpPort;
+    datagram.payload = request.serialize();
+    net::IpSendOptions ip;
+    ip.source = kVantage;
+    ip.destination = kRouterIp;
+
+    auto raw = router.handle_packet(net::make_udp_packet(ip, datagram));
+    ASSERT_TRUE(raw.has_value());
+    auto parsed = net::parse_packet(*raw);
+    const auto* udp = parsed.value().udp();
+    ASSERT_NE(udp, nullptr);
+    auto response = snmp::DiscoveryResponse::parse(udp->payload);
+    ASSERT_TRUE(response.has_value());
+    EXPECT_EQ(response.value().message_id, 99);
+    EXPECT_EQ(response.value().engine_id.enterprise, enterprise_number(Vendor::juniper));
+}
+
+TEST(SimulatedRouter, SilentWhenUnresponsive) {
+    StackProfile profile = responsive_profile();
+    profile.response = {0.0, 0.0, 0.0, 0.0, 0.0, 0.0};
+    auto router = make_router(profile);
+    EXPECT_FALSE(router.handle_packet(icmp_probe(1)).has_value());
+    EXPECT_FALSE(router.handle_packet(tcp_probe(true, 1)).has_value());
+    EXPECT_FALSE(router.handle_packet(udp_probe()).has_value());
+}
+
+TEST(SimulatedRouter, IgnoresForeignDestinations) {
+    auto router = make_router(responsive_profile());
+    net::IpSendOptions ip;
+    ip.source = kVantage;
+    ip.destination = net::IPv4Address::from_octets(9, 9, 9, 9);
+    auto foreign = net::make_icmp_echo_request(ip, 1, 1, net::Bytes(8, 0));
+    EXPECT_FALSE(router.handle_packet(foreign).has_value());
+}
+
+TEST(SimulatedRouter, IgnoresMalformedPackets) {
+    auto router = make_router(responsive_profile());
+    EXPECT_FALSE(router.handle_packet(net::Bytes{1, 2, 3}).has_value());
+    net::Bytes corrupted = icmp_probe(1);
+    corrupted[25] ^= 0xFF;  // break the ICMP checksum
+    EXPECT_FALSE(router.handle_packet(corrupted).has_value());
+}
+
+TEST(SimulatedRouter, OverridesChangeIttl) {
+    StackProfile profile = responsive_profile();
+    profile.ittl_icmp = 64;
+    auto router = make_router(profile);
+    RouterOverrides overrides;
+    overrides.ittl_icmp = 255;
+    router.set_overrides(overrides);
+    auto response = router.handle_packet(icmp_probe(1));
+    auto parsed = net::parse_packet(*response);
+    EXPECT_EQ(parsed.value().ip.ttl, 255);
+}
+
+TEST(SimulatedRouter, MgmtPortSynAckWhenReachable) {
+    StackProfile profile = responsive_profile();
+    profile.response.open_mgmt_port = 1.0;
+    profile.response.mgmt_scan_reachable = 1.0;
+    profile.syn_ack = {14600, 1460, true, true};
+    auto router = make_router(profile);
+    ASSERT_TRUE(router.mgmt_reachable());
+
+    auto response = router.handle_packet(tcp_probe(true, 0, kMgmtPort));
+    ASSERT_TRUE(response.has_value());
+    auto parsed = net::parse_packet(*response);
+    const auto* syn_ack = parsed.value().tcp();
+    ASSERT_NE(syn_ack, nullptr);
+    EXPECT_TRUE(syn_ack->flags.syn);
+    EXPECT_TRUE(syn_ack->flags.ack);
+    EXPECT_EQ(syn_ack->window, 14600);
+    EXPECT_EQ(syn_ack->mss(), std::optional<std::uint16_t>(1460));
+}
+
+TEST(SimulatedRouter, DeterministicForSameSeed) {
+    StackProfile profile = responsive_profile();
+    auto a = make_router(profile, 77);
+    auto b = make_router(profile, 77);
+    for (int i = 0; i < 5; ++i) {
+        auto ra = a.handle_packet(icmp_probe(static_cast<std::uint16_t>(i)));
+        auto rb = b.handle_packet(icmp_probe(static_cast<std::uint16_t>(i)));
+        ASSERT_EQ(ra.has_value(), rb.has_value());
+        if (ra) {
+            EXPECT_EQ(*ra, *rb);
+        }
+    }
+}
+
+// ------------------------------------------------------------------ Catalog
+
+TEST(ProfileCatalog, EveryVendorHasProfiles) {
+    const ProfileCatalog& catalog = standard_catalog();
+    for (Vendor vendor : all_vendors()) {
+        const auto profiles = catalog.profiles_for(vendor);
+        EXPECT_FALSE(profiles.empty()) << to_string(vendor);
+        for (const auto& wp : profiles) {
+            EXPECT_GT(wp.weight, 0.0);
+            EXPECT_EQ(wp.profile.vendor, vendor);
+            EXPECT_FALSE(wp.profile.family.empty());
+        }
+    }
+    EXPECT_GE(catalog.size(), 30u);
+}
+
+TEST(ProfileCatalog, FamilyNamesAreUniqueAndFindable) {
+    const ProfileCatalog& catalog = standard_catalog();
+    std::set<std::string> names;
+    for (const auto& wp : catalog.all()) {
+        EXPECT_TRUE(names.insert(wp.profile.family).second) << wp.profile.family;
+        EXPECT_EQ(catalog.find(wp.profile.family), &wp.profile);
+    }
+    EXPECT_EQ(catalog.find("no-such-family"), nullptr);
+}
+
+TEST(ProfileCatalog, IttlValuesAreCanonical) {
+    for (const auto& wp : standard_catalog().all()) {
+        for (std::uint8_t ttl :
+             {wp.profile.ittl_icmp, wp.profile.ittl_tcp, wp.profile.ittl_udp}) {
+            EXPECT_TRUE(ttl == 32 || ttl == 64 || ttl == 128 || ttl == 255)
+                << wp.profile.family << " ttl=" << int(ttl);
+        }
+    }
+}
+
+TEST(ProfileCatalog, ProbabilitiesInRange) {
+    for (const auto& wp : standard_catalog().all()) {
+        const auto& r = wp.profile.response;
+        for (double p : {r.icmp, r.tcp, r.udp, r.snmpv3, r.open_mgmt_port,
+                         r.mgmt_scan_reachable}) {
+            EXPECT_GE(p, 0.0) << wp.profile.family;
+            EXPECT_LE(p, 1.0) << wp.profile.family;
+        }
+    }
+}
+
+class AllProfilesRespond : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(AllProfilesRespond, ProducesWellFormedResponses) {
+    const auto& wp = standard_catalog().all()[GetParam()];
+    StackProfile profile = wp.profile;
+    profile.response = {1.0, 1.0, 1.0, 1.0, 0.0, 1.0};  // force responsiveness
+    auto router = make_router(profile, 1000 + GetParam());
+
+    auto icmp = router.handle_packet(icmp_probe(5));
+    ASSERT_TRUE(icmp.has_value()) << profile.family;
+    auto icmp_parsed = net::parse_packet(*icmp);
+    ASSERT_TRUE(icmp_parsed.has_value()) << profile.family;
+    EXPECT_EQ(icmp_parsed.value().ip.ttl, profile.ittl_icmp);
+
+    auto tcp = router.handle_packet(tcp_probe(true, 0xBEEF0001));
+    ASSERT_TRUE(tcp.has_value()) << profile.family;
+    auto tcp_parsed = net::parse_packet(*tcp);
+    EXPECT_EQ(tcp_parsed.value().ip.ttl, profile.ittl_tcp);
+    EXPECT_TRUE(tcp_parsed.value().tcp()->flags.rst);
+
+    auto udp = router.handle_packet(udp_probe());
+    ASSERT_TRUE(udp.has_value()) << profile.family;
+    auto udp_parsed = net::parse_packet(*udp);
+    EXPECT_EQ(udp_parsed.value().ip.ttl, profile.ittl_udp);
+    EXPECT_NE(udp_parsed.value().icmp(), nullptr);
+}
+
+INSTANTIATE_TEST_SUITE_P(Catalog, AllProfilesRespond,
+                         ::testing::Range<std::size_t>(0, standard_catalog().size()));
+
+// ------------------------------------------------------------------- Vendors
+
+TEST(Vendor, StringRoundTrip) {
+    for (Vendor vendor : all_vendors()) {
+        const auto name = to_string(vendor);
+        auto parsed = vendor_from_string(name);
+        ASSERT_TRUE(parsed.has_value()) << name;
+        EXPECT_EQ(*parsed, vendor);
+    }
+    EXPECT_FALSE(vendor_from_string("NotAVendor").has_value());
+    EXPECT_EQ(to_string(Vendor::unknown), "Unknown");
+}
+
+TEST(Vendor, EnterpriseRoundTrip) {
+    for (Vendor vendor : all_vendors()) {
+        const std::uint32_t enterprise = enterprise_number(vendor);
+        EXPECT_NE(enterprise, 0u);
+        EXPECT_EQ(vendor_from_enterprise(enterprise), vendor);
+    }
+    EXPECT_EQ(vendor_from_enterprise(999999), Vendor::unknown);
+}
+
+TEST(Vendor, WellKnownEnterpriseNumbers) {
+    EXPECT_EQ(enterprise_number(Vendor::cisco), 9u);
+    EXPECT_EQ(enterprise_number(Vendor::juniper), 2636u);
+    EXPECT_EQ(enterprise_number(Vendor::huawei), 2011u);
+    EXPECT_EQ(enterprise_number(Vendor::mikrotik), 14988u);
+    EXPECT_EQ(enterprise_number(Vendor::net_snmp), 8072u);
+}
+
+}  // namespace
+}  // namespace lfp::stack

@@ -1,0 +1,256 @@
+// Unit tests for util: RNG, statistics, tables, strings, result.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "util/result.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+
+namespace lfp::util {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+    Rng a(42);
+    Rng b(42);
+    for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+    Rng a(1);
+    Rng b(2);
+    int same = 0;
+    for (int i = 0; i < 64; ++i) {
+        if (a.next() == b.next()) ++same;
+    }
+    EXPECT_LT(same, 2);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+    Rng rng(7);
+    for (int i = 0; i < 10000; ++i) {
+        const double u = rng.uniform();
+        EXPECT_GE(u, 0.0);
+        EXPECT_LT(u, 1.0);
+    }
+}
+
+TEST(Rng, BelowRespectsBound) {
+    Rng rng(9);
+    for (std::uint64_t bound : {1ULL, 2ULL, 7ULL, 1000ULL}) {
+        for (int i = 0; i < 1000; ++i) EXPECT_LT(rng.below(bound), bound);
+    }
+    EXPECT_EQ(rng.below(0), 0u);
+}
+
+TEST(Rng, RangeInclusive) {
+    Rng rng(11);
+    std::set<std::int64_t> seen;
+    for (int i = 0; i < 1000; ++i) seen.insert(rng.range(-3, 3));
+    EXPECT_EQ(*seen.begin(), -3);
+    EXPECT_EQ(*seen.rbegin(), 3);
+}
+
+TEST(Rng, ForkIndependentOfParentDrawOrder) {
+    Rng parent1(5);
+    Rng parent2(5);
+    (void)parent2;  // parent2 never draws
+    Rng child1 = parent1.fork(17);
+    Rng child2 = parent2.fork(17);
+    EXPECT_EQ(child1.next(), child2.next());
+    // Different tags give different streams.
+    Rng parent3(5);
+    Rng other = parent3.fork(18);
+    Rng parent4(5);
+    Rng reference = parent4.fork(17);
+    EXPECT_NE(other.next(), reference.next());
+}
+
+TEST(Rng, ChanceExtremes) {
+    Rng rng(13);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_FALSE(rng.chance(0.0));
+        EXPECT_TRUE(rng.chance(1.0));
+    }
+}
+
+TEST(Rng, TrafficGapMeanRoughlyCorrect) {
+    Rng rng(15);
+    double total = 0;
+    constexpr int kSamples = 20000;
+    for (int i = 0; i < kSamples; ++i) total += rng.traffic_gap(50.0);
+    const double mean = total / kSamples;
+    EXPECT_GT(mean, 40.0);
+    EXPECT_LT(mean, 60.0);
+}
+
+TEST(Rng, WeightedFollowsWeights) {
+    Rng rng(17);
+    const std::array<double, 3> weights{0.0, 10.0, 0.0};
+    for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.weighted(weights), 1u);
+}
+
+TEST(Rng, ShuffleKeepsElements) {
+    Rng rng(19);
+    std::vector<int> items{1, 2, 3, 4, 5, 6, 7};
+    auto copy = items;
+    shuffle(copy, rng);
+    std::sort(copy.begin(), copy.end());
+    EXPECT_EQ(copy, items);
+}
+
+TEST(Ecdf, AtAndQuantile) {
+    Ecdf ecdf({1.0, 2.0, 3.0, 4.0});
+    EXPECT_DOUBLE_EQ(ecdf.at(0.5), 0.0);
+    EXPECT_DOUBLE_EQ(ecdf.at(1.0), 0.25);
+    EXPECT_DOUBLE_EQ(ecdf.at(2.5), 0.5);
+    EXPECT_DOUBLE_EQ(ecdf.at(4.0), 1.0);
+    EXPECT_DOUBLE_EQ(ecdf.quantile(0.5), 2.0);
+    EXPECT_DOUBLE_EQ(ecdf.quantile(1.0), 4.0);
+    EXPECT_DOUBLE_EQ(ecdf.min(), 1.0);
+    EXPECT_DOUBLE_EQ(ecdf.max(), 4.0);
+    EXPECT_DOUBLE_EQ(ecdf.mean(), 2.5);
+}
+
+TEST(Ecdf, EmptyBehaviour) {
+    Ecdf ecdf;
+    EXPECT_TRUE(ecdf.empty());
+    EXPECT_DOUBLE_EQ(ecdf.at(1.0), 0.0);
+    EXPECT_THROW((void)ecdf.quantile(0.5), std::out_of_range);
+    EXPECT_TRUE(ecdf.series().x.empty());
+}
+
+TEST(Ecdf, SeriesMonotonic) {
+    Ecdf ecdf;
+    Rng rng(3);
+    for (int i = 0; i < 500; ++i) ecdf.add(rng.uniform() * 100);
+    const auto series = ecdf.series(30);
+    ASSERT_EQ(series.x.size(), 30u);
+    for (std::size_t i = 1; i < series.y.size(); ++i) {
+        EXPECT_LE(series.y[i - 1], series.y[i]);
+    }
+    EXPECT_DOUBLE_EQ(series.y.back(), 1.0);
+}
+
+TEST(Ecdf, AddInvalidatesSortedCache) {
+    Ecdf ecdf({5.0});
+    EXPECT_DOUBLE_EQ(ecdf.at(5.0), 1.0);
+    ecdf.add(1.0);
+    EXPECT_DOUBLE_EQ(ecdf.at(1.0), 0.5);
+}
+
+TEST(Histogram, BinningAndPercent) {
+    Histogram hist(0.0, 10.0, 10);
+    for (int i = 0; i < 10; ++i) hist.add(0.5);
+    for (int i = 0; i < 10; ++i) hist.add(5.5);
+    EXPECT_EQ(hist.count(0), 10u);
+    EXPECT_EQ(hist.count(5), 10u);
+    EXPECT_DOUBLE_EQ(hist.percent(0), 50.0);
+    EXPECT_DOUBLE_EQ(hist.bin_low(5), 5.0);
+    EXPECT_DOUBLE_EQ(hist.bin_high(5), 6.0);
+}
+
+TEST(Histogram, OutOfRangeCountsTowardTotal) {
+    Histogram hist(0.0, 10.0, 5);
+    hist.add(-1.0);
+    hist.add(11.0);
+    hist.add(5.0);
+    EXPECT_EQ(hist.total(), 3u);
+    EXPECT_EQ(hist.count(2), 1u);
+}
+
+TEST(Histogram, RejectsBadBounds) {
+    EXPECT_THROW(Histogram(1.0, 1.0, 4), std::invalid_argument);
+    EXPECT_THROW(Histogram(0.0, 1.0, 0), std::invalid_argument);
+}
+
+TEST(Counter, TopAndFractions) {
+    Counter counter;
+    counter.add("cisco", 10);
+    counter.add("juniper", 5);
+    counter.add("huawei", 5);
+    counter.add("cisco");
+    EXPECT_EQ(counter.total(), 21u);
+    EXPECT_EQ(counter.get("cisco"), 11u);
+    EXPECT_EQ(counter.get("missing"), 0u);
+    EXPECT_NEAR(counter.fraction("cisco"), 11.0 / 21.0, 1e-12);
+    const auto top = counter.top(2);
+    ASSERT_EQ(top.size(), 2u);
+    EXPECT_EQ(top[0].first, "cisco");
+    EXPECT_EQ(top[1].first, "huawei");  // tie broken lexicographically
+}
+
+TEST(Stats, MeanAndMedian) {
+    EXPECT_DOUBLE_EQ(mean({1, 2, 3}), 2.0);
+    EXPECT_DOUBLE_EQ(mean({}), 0.0);
+    EXPECT_DOUBLE_EQ(median({5, 1, 3}), 3.0);
+    EXPECT_DOUBLE_EQ(median({4, 1, 3, 2}), 2.5);
+}
+
+TEST(Strings, Split) {
+    const auto parts = split("a,b,,c", ',');
+    ASSERT_EQ(parts.size(), 4u);
+    EXPECT_EQ(parts[0], "a");
+    EXPECT_EQ(parts[2], "");
+    EXPECT_EQ(split("", ',').size(), 1u);
+}
+
+TEST(Strings, JoinRoundTrip) {
+    const std::vector<std::string> parts{"x", "y", "z"};
+    EXPECT_EQ(join(parts, "-"), "x-y-z");
+    EXPECT_EQ(join(std::vector<std::string>{}, "-"), "");
+}
+
+TEST(Strings, HexAndLower) {
+    const std::vector<std::uint8_t> bytes{0x80, 0x00, 0xAB};
+    EXPECT_EQ(hex(bytes), "80:00:ab");
+    EXPECT_EQ(hex({}), "");
+    EXPECT_EQ(to_lower("MiXeD"), "mixed");
+    EXPECT_TRUE(starts_with("SSH-2.0-Cisco", "SSH-"));
+    EXPECT_FALSE(starts_with("SSH", "SSH-"));
+}
+
+TEST(Result, ValueAndError) {
+    Result<int> ok(7);
+    EXPECT_TRUE(ok.has_value());
+    EXPECT_EQ(ok.value(), 7);
+    EXPECT_EQ(ok.value_or(9), 7);
+
+    Result<int> bad(make_error("boom"));
+    EXPECT_FALSE(bad.has_value());
+    EXPECT_EQ(bad.error().message, "boom");
+    EXPECT_EQ(bad.value_or(9), 9);
+}
+
+TEST(Table, FormatHelpers) {
+    EXPECT_EQ(format_double(3.14159, 2), "3.14");
+    EXPECT_EQ(format_percent(0.5), "50.0%");
+    EXPECT_EQ(format_count(1234567), "1,234,567");
+    EXPECT_EQ(format_count(999), "999");
+    EXPECT_EQ(format_count(0), "0");
+}
+
+TEST(Table, PrintsAlignedRows) {
+    TablePrinter table("demo");
+    table.header({"a", "long-column"});
+    table.row({"1", "2"});
+    std::ostringstream out;
+    table.print(out);
+    const std::string text = out.str();
+    EXPECT_NE(text.find("demo"), std::string::npos);
+    EXPECT_NE(text.find("long-column"), std::string::npos);
+    EXPECT_NE(text.find("| 1"), std::string::npos);
+}
+
+TEST(Table, EcdfRendering) {
+    Ecdf ecdf({1, 2, 3, 4, 5});
+    std::ostringstream out;
+    print_ecdf(out, "cdf", ecdf, 5, "hops");
+    EXPECT_NE(out.str().find("hops"), std::string::npos);
+    EXPECT_NE(out.str().find("#"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace lfp::util

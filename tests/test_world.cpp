@@ -1,0 +1,207 @@
+// Integration tests over the full experiment world: the end-to-end pipeline
+// reproduces the paper's headline *shapes* at reduced scale, and the whole
+// run is deterministic under a fixed seed.
+#include <gtest/gtest.h>
+
+#include "analysis/as_analysis.hpp"
+#include "analysis/experiment_world.hpp"
+#include "analysis/path_analysis.hpp"
+
+namespace lfp::analysis {
+namespace {
+
+/// One modest world shared by all tests in this file (building it runs the
+/// full six-dataset measurement campaign).
+class WorldFixture : public ::testing::Test {
+  protected:
+    static WorldConfig config() {
+        WorldConfig cfg;
+        cfg.seed = 91;
+        cfg.num_ases = 600;
+        cfg.scale = 0.35;
+        cfg.traces_per_snapshot = 8000;
+        cfg.signature_min_occurrences = 10;  // smaller world, smaller threshold
+        return cfg;
+    }
+    static const ExperimentWorld& world() {
+        static const std::unique_ptr<ExperimentWorld> instance =
+            ExperimentWorld::create(config());
+        return *instance;
+    }
+};
+
+TEST_F(WorldFixture, SixMeasurementsInDatasetOrder) {
+    ASSERT_EQ(world().measurements().size(), 6u);
+    EXPECT_EQ(world().measurements()[0].name, "RIPE-1");
+    EXPECT_EQ(world().ripe5_measurement().name, "RIPE-5");
+    EXPECT_EQ(world().itdk_measurement().name, "ITDK");
+    EXPECT_EQ(&world().measurement("RIPE-3"), &world().measurements()[2]);
+    EXPECT_THROW((void)world().measurement("nope"), std::out_of_range);
+}
+
+TEST_F(WorldFixture, TenPacketsPerTarget) {
+    std::size_t targets = 0;
+    for (const auto& measurement : world().measurements()) {
+        targets += measurement.records.size();
+    }
+    EXPECT_EQ(world().packets_sent(), targets * 10);
+}
+
+TEST_F(WorldFixture, ResponsivenessMatchesPaperShape) {
+    // Paper Table 3: RIPE snapshots ≈ 66-73% responsive; ITDK higher (≈91%).
+    const auto& ripe5 = world().ripe5_measurement();
+    const double ripe_responsive = static_cast<double>(ripe5.responsive_count()) /
+                                   static_cast<double>(ripe5.records.size());
+    EXPECT_GT(ripe_responsive, 0.55);
+    EXPECT_LT(ripe_responsive, 0.85);
+
+    const auto& itdk = world().itdk_measurement();
+    const double itdk_responsive = static_cast<double>(itdk.responsive_count()) /
+                                   static_cast<double>(itdk.records.size());
+    EXPECT_GT(itdk_responsive, ripe_responsive);
+    EXPECT_GT(itdk_responsive, 0.9);
+}
+
+TEST_F(WorldFixture, SnmpLabelsAreMinorityOfResponsive) {
+    // Paper: ≈28% of responsive IPs answer SNMPv3.
+    const auto& ripe5 = world().ripe5_measurement();
+    const double share = static_cast<double>(ripe5.snmp_count()) /
+                         static_cast<double>(ripe5.responsive_count());
+    EXPECT_GT(share, 0.15);
+    EXPECT_LT(share, 0.45);
+}
+
+TEST_F(WorldFixture, LfpDoublesCoverage) {
+    // The headline: SNMPv3+LFP identifies ≈2x the IPs SNMPv3 alone does.
+    const auto& ripe5 = world().ripe5_measurement();
+    std::size_t snmp = 0;
+    std::size_t combined = 0;
+    for (const auto& record : ripe5.records) {
+        if (record.snmp_vendor) ++snmp;
+        if (record.snmp_vendor || record.lfp.identified()) ++combined;
+    }
+    ASSERT_GT(snmp, 0u);
+    const double gain = static_cast<double>(combined) / static_cast<double>(snmp);
+    EXPECT_GT(gain, 1.5);
+    EXPECT_LT(gain, 3.5);
+}
+
+TEST_F(WorldFixture, MostLabeledIpsMapToUniqueSignatures) {
+    // Paper §4.4: >82% of the labeled dataset (SNMPv3 ∩ fully LFP-responsive,
+    // the paper's signature-extraction population) carries a unique
+    // signature.
+    std::size_t labeled = 0;
+    std::size_t unique = 0;
+    for (const auto& measurement : world().measurements()) {
+        for (const auto& record : measurement.records) {
+            if (!record.snmp_vendor || !record.features.complete()) continue;
+            ++labeled;
+            const auto* stats = world().database().lookup(record.signature);
+            if (stats != nullptr && stats->unique()) ++unique;
+        }
+    }
+    ASSERT_GT(labeled, 1000u);
+    const double share = static_cast<double>(unique) / static_cast<double>(labeled);
+    EXPECT_GT(share, 0.7);
+}
+
+TEST_F(WorldFixture, UniqueMatchesAgreeWithGroundTruth) {
+    // LFP's unique-signature verdicts should almost always match the actual
+    // simulated vendor (the paper reports ≈95-99% accuracy for majors).
+    std::size_t checked = 0;
+    std::size_t correct = 0;
+    const auto& topology = world().topology();
+    for (const auto& record : world().ripe5_measurement().records) {
+        if (record.lfp.kind != core::MatchKind::unique_full) continue;
+        const std::size_t index = topology.find_by_interface(record.probes.target);
+        if (index == sim::Topology::npos) continue;
+        ++checked;
+        if (record.lfp.vendor == topology.router(index).vendor()) ++correct;
+    }
+    ASSERT_GT(checked, 500u);
+    EXPECT_GT(static_cast<double>(correct) / static_cast<double>(checked), 0.95);
+}
+
+TEST_F(WorldFixture, SnmpLabelsAlwaysMatchGroundTruth) {
+    const auto& topology = world().topology();
+    for (const auto& record : world().itdk_measurement().records) {
+        if (!record.snmp_vendor) continue;
+        const std::size_t index = topology.find_by_interface(record.probes.target);
+        ASSERT_NE(index, sim::Topology::npos);
+        EXPECT_EQ(*record.snmp_vendor, topology.router(index).vendor());
+    }
+}
+
+TEST_F(WorldFixture, CiscoDominatesLabeledData) {
+    // Paper Table 5: Cisco ≈ half the labeled IPs, Juniper/Huawei ≈ 10% each.
+    std::map<stack::Vendor, std::size_t> counts;
+    std::size_t total = 0;
+    for (const auto& measurement : world().measurements()) {
+        for (const auto& record : measurement.records) {
+            if (!record.snmp_vendor) continue;
+            ++counts[*record.snmp_vendor];
+            ++total;
+        }
+    }
+    ASSERT_GT(total, 1000u);
+    const double cisco = static_cast<double>(counts[stack::Vendor::cisco]) /
+                         static_cast<double>(total);
+    EXPECT_GT(cisco, 0.3);
+    EXPECT_LT(cisco, 0.7);
+    EXPECT_GT(counts[stack::Vendor::mikrotik], counts[stack::Vendor::ericsson]);
+}
+
+TEST_F(WorldFixture, AliasSetInterfacesAgreeOnVendor) {
+    // Paper §7.2: ≈99% of alias sets report one vendor across interfaces.
+    const auto lfp_map =
+        VendorMap::from_measurement(world().itdk_measurement(), VendorMap::Method::lfp);
+    const auto snmp_map =
+        VendorMap::from_measurement(world().itdk_measurement(), VendorMap::Method::snmpv3);
+    const auto verdicts = map_routers(world().itdk(), world().topology(), snmp_map, lfp_map);
+    std::size_t conflicting = 0;
+    std::size_t identified = 0;
+    for (const auto& verdict : verdicts) {
+        if (!verdict.combined()) continue;
+        ++identified;
+        if (verdict.conflicting_interfaces) ++conflicting;
+    }
+    ASSERT_GT(identified, 100u);
+    EXPECT_LT(static_cast<double>(conflicting) / static_cast<double>(identified), 0.05);
+}
+
+TEST_F(WorldFixture, DeterministicAcrossRebuilds) {
+    auto second = ExperimentWorld::create(config());
+    ASSERT_EQ(second->measurements().size(), world().measurements().size());
+    for (std::size_t m = 0; m < second->measurements().size(); ++m) {
+        const auto& a = world().measurements()[m];
+        const auto& b = second->measurements()[m];
+        ASSERT_EQ(a.records.size(), b.records.size()) << a.name;
+        EXPECT_EQ(a.snmp_count(), b.snmp_count());
+        for (std::size_t r = 0; r < a.records.size(); r += 97) {
+            EXPECT_EQ(a.records[r].signature, b.records[r].signature);
+            EXPECT_EQ(a.records[r].lfp.vendor, b.records[r].lfp.vendor);
+        }
+    }
+    EXPECT_EQ(second->database().signatures().size(),
+              world().database().signatures().size());
+}
+
+TEST_F(WorldFixture, PathAnalysisIdentifiesMostPaths) {
+    // Paper §6: with ≥3 hops, ≥1 hop identifiable on ~82% of paths, ≥2 on
+    // ~62%. Assert the coarse shape.
+    const auto combined = VendorMap::from_measurement(world().ripe5_measurement(),
+                                                      VendorMap::Method::combined);
+    PathAnalyzer analyzer(world().topology(), combined);
+    const auto stats = analyzer.analyze(world().ripe5().traces, PathScope::all, {.min_hops = 3});
+    ASSERT_GT(stats.paths_considered, 1000u);
+    const double at_least_one = static_cast<double>(stats.paths_with_k_identified(1)) /
+                                static_cast<double>(stats.paths_considered);
+    const double at_least_two = static_cast<double>(stats.paths_with_k_identified(2)) /
+                                static_cast<double>(stats.paths_considered);
+    EXPECT_GT(at_least_one, 0.6);
+    EXPECT_GT(at_least_two, 0.4);
+    EXPECT_LT(at_least_two, at_least_one);
+}
+
+}  // namespace
+}  // namespace lfp::analysis
