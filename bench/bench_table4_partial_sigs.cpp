@@ -28,6 +28,7 @@ int main() {
     // Coverage gain from partial signatures (paper: ≈ +15%).
     std::size_t full_only = 0;
     std::size_t with_partial = 0;
+    std::size_t partial_probe_targets = 0;
     for (const auto& record : world->ripe5_measurement().records) {
         if (record.lfp.kind == core::MatchKind::unique_full) {
             ++full_only;
@@ -35,7 +36,18 @@ int main() {
         } else if (record.lfp.kind == core::MatchKind::unique_partial) {
             ++with_partial;
         }
+        // Targets where some protocol answered only a subset of its rounds:
+        // the raw population the partial-signature machinery exists for.
+        if (record.probes.partially_responsive()) ++partial_probe_targets;
     }
+    std::cout << "\nRIPE-5 targets with a partially responsive protocol:  "
+              << partial_probe_targets << " of " << world->ripe5_measurement().records.size()
+              << " (" << util::format_percent(
+                     world->ripe5_measurement().records.empty()
+                         ? 0.0
+                         : static_cast<double>(partial_probe_targets) /
+                               static_cast<double>(world->ripe5_measurement().records.size()))
+              << ")\n";
     std::cout << "\nRIPE-5 IPs classified by full unique signatures:   " << full_only
               << "\nRIPE-5 IPs classified incl. partial unique sigs:   " << with_partial
               << "  (+"

@@ -50,7 +50,14 @@ int main(int argc, char** argv) {
                      " only probe infrastructure you are authorized to measure)\n";
     }
 
-    core::LfpPipeline pipeline(transport);
+    // Async engine configuration: keep up to 32 targets in flight (sends
+    // stay in the fixed global order; responses are demultiplexed by flow
+    // key as they arrive). window = 1 would reproduce serial pacing.
+    core::PipelineConfig config;
+    config.campaign.window = 32;
+    config.campaign.response_timeout = options.timeout;
+    config.worker_threads = 0;  // one feature-extraction shard per core
+    core::LfpPipeline pipeline(transport, config);
     auto measurement = pipeline.measure("live", targets);
 
     util::TablePrinter table("LFP live probe results");

@@ -37,20 +37,33 @@ std::size_t Measurement::lfp_only_count() const {
 }
 
 LfpPipeline::LfpPipeline(probe::ProbeTransport& transport, PipelineConfig config)
-    : campaign_(transport, config.campaign), config_(config) {}
+    : campaign_(transport, config.campaign), config_(config),
+      pool_(config.worker_threads) {}
 
 Measurement LfpPipeline::measure(std::string name, std::span<const net::IPv4Address> targets) {
     Measurement measurement;
     measurement.name = std::move(name);
-    measurement.records.reserve(targets.size());
-    for (net::IPv4Address target : targets) {
-        TargetRecord record;
-        record.probes = campaign_.probe_target(target);
-        record.features = extract_features(record.probes, config_.extractor);
-        record.signature = Signature::from_features(record.features);
-        record.snmp_vendor = snmp_vendor_label(record.probes);
-        measurement.records.push_back(std::move(record));
-    }
+
+    // Step 1: the probe engine owns I/O ordering (window per campaign
+    // config); results come back in target order whatever the window.
+    auto probed = campaign_.run(targets);
+
+    // Step 2: feature extraction is pure per-record work — shard it across
+    // the pool and merge by index so the output is identical at any width.
+    measurement.records.resize(probed.size());
+    TargetRecord* records = measurement.records.data();
+    probe::TargetProbeResult* probes = probed.data();
+    pool_.parallel_for(probed.size(), config_.shard_grain,
+                       [this, records, probes](std::size_t begin, std::size_t end) {
+                           for (std::size_t i = begin; i < end; ++i) {
+                               TargetRecord& record = records[i];
+                               record.probes = std::move(probes[i]);
+                               record.features =
+                                   extract_features(record.probes, config_.extractor);
+                               record.signature = Signature::from_features(record.features);
+                               record.snmp_vendor = snmp_vendor_label(record.probes);
+                           }
+                       });
     return measurement;
 }
 

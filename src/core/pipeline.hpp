@@ -11,6 +11,7 @@
 #include "core/labeler.hpp"
 #include "core/signature_db.hpp"
 #include "probe/campaign.hpp"
+#include "util/thread_pool.hpp"
 
 namespace lfp::core {
 
@@ -43,6 +44,12 @@ struct Measurement {
 struct PipelineConfig {
     probe::Campaign::Config campaign;
     FeatureExtractorConfig extractor;
+    /// Worker pool size for sharded feature extraction and classification.
+    /// 1 = single-threaded (default), 0 = one shard per hardware thread.
+    /// Any value yields identical output: shards are merged by target index.
+    std::size_t worker_threads = 1;
+    /// Records per extraction shard.
+    std::size_t shard_grain = 64;
 };
 
 class LfpPipeline {
@@ -69,6 +76,7 @@ class LfpPipeline {
   private:
     probe::Campaign campaign_;
     PipelineConfig config_;
+    util::ThreadPool pool_;
 };
 
 }  // namespace lfp::core

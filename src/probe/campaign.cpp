@@ -1,8 +1,34 @@
 #include "probe/campaign.hpp"
 
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "probe/demux.hpp"
 #include "stack/simulated_router.hpp"  // kProbePort
 
 namespace lfp::probe {
+namespace {
+
+/// Per-target slot layout: slots 0..8 are the nine probes in global send
+/// order (round-major, protocols interleaved), slot 9 the SNMP discovery.
+constexpr std::uint16_t kSnmpSlot =
+    static_cast<std::uint16_t>(kProtocolCount * kRoundsPerProtocol);
+
+constexpr std::uint16_t probe_slot(std::size_t protocol, std::size_t round) {
+    return static_cast<std::uint16_t>(round * kProtocolCount + protocol);
+}
+
+/// One admitted target awaiting responses.
+struct InFlightTarget {
+    std::size_t index = 0;  ///< position in the input target span
+    TargetProbeResult result;
+    std::uint16_t outstanding = 0;
+    std::int32_t snmp_message_id = 0;
+    std::chrono::steady_clock::time_point deadline;
+};
+
+}  // namespace
 
 std::size_t TargetProbeResult::responses_for(ProtoIndex protocol) const {
     const auto& row = probes[static_cast<std::size_t>(protocol)];
@@ -11,6 +37,13 @@ std::size_t TargetProbeResult::responses_for(ProtoIndex protocol) const {
         if (exchange.responded()) ++count;
     }
     return count;
+}
+
+bool TargetProbeResult::partially_responsive() const {
+    for (std::size_t p = 0; p < kProtocolCount; ++p) {
+        if (partially_responsive(static_cast<ProtoIndex>(p))) return true;
+    }
+    return false;
 }
 
 std::size_t TargetProbeResult::responsive_protocol_count() const {
@@ -74,62 +107,167 @@ net::Bytes Campaign::build_probe(net::IPv4Address target, ProtoIndex protocol, s
     return {};
 }
 
+net::Bytes Campaign::build_snmp_probe(net::IPv4Address target, std::int32_t message_id,
+                                      std::uint16_t ipid) {
+    snmp::DiscoveryRequest discovery;
+    discovery.message_id = message_id;
+
+    net::UdpDatagram datagram;
+    datagram.source_port = static_cast<std::uint16_t>(config_.source_port + 7);
+    datagram.destination_port = snmp::kSnmpPort;
+    datagram.payload = discovery.serialize();
+
+    net::IpSendOptions ip;
+    ip.source = transport_->vantage_address();
+    ip.destination = target;
+    ip.identification = ipid;
+    ip.ttl = config_.probe_ttl;
+    return net::make_udp_packet(ip, datagram);
+}
+
 TargetProbeResult Campaign::probe_target(net::IPv4Address target) {
-    TargetProbeResult result;
-    result.target = target;
-
-    // Interleave protocols round by round: icmp,tcp,udp, icmp,tcp,udp, ...
-    // The global send order is what makes shared IPID counters observable.
-    std::uint32_t send_index = 0;
-    for (std::size_t round = 0; round < kRoundsPerProtocol; ++round) {
-        for (std::size_t p = 0; p < kProtocolCount; ++p) {
-            const auto protocol = static_cast<ProtoIndex>(p);
-            ProbeExchange& exchange = result.probes[p][round];
-            exchange.request_ipid = next_ipid_++;
-            exchange.send_index = send_index++;
-            exchange.request = build_probe(target, protocol, round, exchange.request_ipid);
-            ++packets_sent_;
-            exchange.response = transport_->transact(exchange.request);
-            if (exchange.response) ++responses_;
-        }
-    }
-
-    if (config_.send_snmp) {
-        snmp::DiscoveryRequest discovery;
-        discovery.message_id = static_cast<std::int32_t>(snmp_message_id_++ & 0x7FFFFFFF);
-
-        net::UdpDatagram datagram;
-        datagram.source_port = static_cast<std::uint16_t>(config_.source_port + 7);
-        datagram.destination_port = snmp::kSnmpPort;
-        datagram.payload = discovery.serialize();
-
-        net::IpSendOptions ip;
-        ip.source = transport_->vantage_address();
-        ip.destination = target;
-        ip.identification = next_ipid_++;
-        ip.ttl = config_.probe_ttl;
-        ++packets_sent_;
-        auto raw = transport_->transact(net::make_udp_packet(ip, datagram));
-        if (raw) {
-            ++responses_;
-            auto packet = net::parse_packet(*raw);
-            if (packet) {
-                if (const auto* udp = packet.value().udp()) {
-                    auto response = snmp::DiscoveryResponse::parse(udp->payload);
-                    if (response) result.snmp = std::move(response).value();
-                }
-            }
-        }
-    }
-    return result;
+    auto results = run({&target, 1});
+    return std::move(results.front());
 }
 
 std::vector<TargetProbeResult> Campaign::run(std::span<const net::IPv4Address> targets) {
-    std::vector<TargetProbeResult> results;
-    results.reserve(targets.size());
-    for (net::IPv4Address target : targets) {
-        results.push_back(probe_target(target));
+    using Clock = std::chrono::steady_clock;
+
+    std::vector<TargetProbeResult> results(targets.size());
+    if (targets.empty()) return results;
+
+    const std::size_t window = std::max<std::size_t>(1, config_.window);
+    ResponseDemux demux;
+    std::unordered_map<std::uint64_t, InFlightTarget> in_flight;
+    // Flow keys are derived from the target address, so two in-flight copies
+    // of the same address would collide in the demux; duplicates wait until
+    // the first copy completes (exactly what a serial run does).
+    std::unordered_set<std::uint32_t> in_flight_addresses;
+    std::size_t next_target = 0;
+
+    // Admission builds and sends the target's whole batch in the fixed
+    // global order; because admission itself is in target order, the wire
+    // sees the exact same packet sequence at every window size.
+    auto admit = [&](std::size_t index) {
+        InFlightTarget state;
+        state.index = index;
+        state.result.target = targets[index];
+
+        // Flow keys are derived from the same inputs build_probe serializes,
+        // so registration needs no re-parse of the packet it just built
+        // (request_flow_key over the wire bytes yields these exact keys —
+        // the demux tests pin that equivalence).
+        const auto target_value = targets[index].value();
+        const auto icmp_identifier =
+            static_cast<std::uint16_t>(target_value ^ (target_value >> 16));
+        auto probe_key = [&](ProtoIndex protocol, std::size_t round) {
+            switch (protocol) {
+                case ProtoIndex::icmp:
+                    return FlowKey{target_value,
+                                   static_cast<std::uint8_t>(net::Protocol::icmp),
+                                   icmp_identifier, static_cast<std::uint16_t>(round)};
+                case ProtoIndex::tcp:
+                    return FlowKey{target_value,
+                                   static_cast<std::uint8_t>(net::Protocol::tcp),
+                                   static_cast<std::uint16_t>(config_.source_port + round),
+                                   stack::kProbePort};
+                case ProtoIndex::udp:
+                default:
+                    return FlowKey{target_value,
+                                   static_cast<std::uint8_t>(net::Protocol::udp),
+                                   static_cast<std::uint16_t>(config_.source_port + round),
+                                   stack::kProbePort};
+            }
+        };
+
+        std::vector<net::Bytes> batch;
+        batch.reserve(kSnmpSlot + 1);
+        std::uint32_t send_index = 0;
+        for (std::size_t round = 0; round < kRoundsPerProtocol; ++round) {
+            for (std::size_t p = 0; p < kProtocolCount; ++p) {
+                ProbeExchange& exchange = state.result.probes[p][round];
+                exchange.request_ipid = next_ipid_++;
+                exchange.send_index = send_index++;
+                exchange.request = build_probe(targets[index], static_cast<ProtoIndex>(p),
+                                               round, exchange.request_ipid);
+                demux.expect(probe_key(static_cast<ProtoIndex>(p), round),
+                             SlotRef{index, probe_slot(p, round)});
+                ++state.outstanding;
+                batch.push_back(exchange.request);
+                ++packets_sent_;
+            }
+        }
+        if (config_.send_snmp) {
+            state.snmp_message_id =
+                static_cast<std::int32_t>(snmp_message_id_++ & 0x7FFFFFFF);
+            batch.push_back(
+                build_snmp_probe(targets[index], state.snmp_message_id, next_ipid_++));
+            demux.expect(
+                FlowKey{target_value, static_cast<std::uint8_t>(net::Protocol::udp),
+                        static_cast<std::uint16_t>(config_.source_port + 7), snmp::kSnmpPort},
+                SlotRef{index, kSnmpSlot});
+            ++state.outstanding;
+            ++packets_sent_;
+        }
+        state.deadline = Clock::now() + config_.response_timeout;
+        transport_->send_batch(batch);
+        in_flight_addresses.insert(targets[index].value());
+        in_flight.emplace(index, std::move(state));
+    };
+
+    auto dispatch = [&](net::Bytes& raw) {
+        auto parsed = net::parse_packet(raw);
+        if (!parsed) return;
+        auto slot = demux.match(parsed.value());
+        if (!slot) return;
+        auto it = in_flight.find(slot->target);
+        if (it == in_flight.end()) return;
+        InFlightTarget& state = it->second;
+        ++responses_;
+        if (state.outstanding > 0) --state.outstanding;
+        if (slot->slot == kSnmpSlot) {
+            if (const auto* udp = parsed.value().udp()) {
+                auto response = snmp::DiscoveryResponse::parse(udp->payload);
+                // The msgID closes the flow key: a discovery answer must
+                // quote the msgID of this target's request.
+                if (response && response.value().message_id == state.snmp_message_id) {
+                    state.result.snmp = std::move(response).value();
+                }
+            }
+        } else {
+            ProbeExchange& exchange =
+                state.result.probes[slot->slot % kProtocolCount][slot->slot / kProtocolCount];
+            exchange.response = std::move(raw);
+        }
+    };
+
+    while (next_target < targets.size() || !in_flight.empty()) {
+        while (in_flight.size() < window && next_target < targets.size() &&
+               !in_flight_addresses.contains(targets[next_target].value())) {
+            admit(next_target++);
+        }
+
+        auto inbound = transport_->poll_responses(config_.poll_interval);
+        for (net::Bytes& raw : inbound) dispatch(raw);
+
+        // A transport that can prove it holds nothing (the simulation after
+        // loss) lets us fail outstanding slots without burning the timeout.
+        const bool starved = inbound.empty() && transport_->drained();
+        const auto now = Clock::now();
+        for (auto it = in_flight.begin(); it != in_flight.end();) {
+            InFlightTarget& state = it->second;
+            if (state.outstanding == 0 || starved || now >= state.deadline) {
+                if (state.outstanding > 0) demux.cancel_target(it->first);
+                in_flight_addresses.erase(state.result.target.value());
+                results[state.index] = std::move(state.result);
+                it = in_flight.erase(it);
+            } else {
+                ++it;
+            }
+        }
     }
+
+    strays_ += demux.stray_responses();
     return results;
 }
 

@@ -4,9 +4,19 @@
 // SNMPv3 discovery request. Probes are interleaved across protocols in a
 // fixed global send order so cross-protocol IPID counter sharing is
 // observable.
+//
+// The campaign engine is batched and asynchronous: each target's probes are
+// sent as one ordered batch without waiting for responses, and a window of
+// up to Config::window targets is kept in flight while inbound packets are
+// demultiplexed back to their probe slots by flow key. Targets are admitted
+// strictly in input order, so the global send order — the property the
+// IPID-sharing features depend on — is identical at every window size, and
+// a windowed run produces byte-identical results to a serial one (window=1)
+// on any deterministic transport.
 #pragma once
 
 #include <array>
+#include <chrono>
 #include <cstdint>
 #include <optional>
 #include <span>
@@ -30,6 +40,8 @@ struct ProbeExchange {
     std::optional<net::Bytes> response;
 
     [[nodiscard]] bool responded() const noexcept { return response.has_value(); }
+
+    friend bool operator==(const ProbeExchange&, const ProbeExchange&) = default;
 };
 
 /// Everything LFP learned about one target IP.
@@ -40,12 +52,30 @@ struct TargetProbeResult {
     std::optional<snmp::DiscoveryResponse> snmp;
 
     [[nodiscard]] std::size_t responses_for(ProtoIndex protocol) const;
+
+    /// True only when *all* kRoundsPerProtocol rounds of `protocol` drew a
+    /// response. Full per-protocol responsiveness is what the Table 3
+    /// population counts and the full-signature extraction require; use
+    /// partially_responsive() for the partial-signature analyses.
     [[nodiscard]] bool protocol_responsive(ProtoIndex protocol) const {
         return responses_for(protocol) == kRoundsPerProtocol;
     }
+
+    /// True when `protocol` answered at least one round but not all of them
+    /// (the partial-signature population of the paper's Table 4).
+    [[nodiscard]] bool partially_responsive(ProtoIndex protocol) const {
+        const std::size_t count = responses_for(protocol);
+        return count > 0 && count < kRoundsPerProtocol;
+    }
+
+    /// True when any protocol responded only partially.
+    [[nodiscard]] bool partially_responsive() const;
+
     [[nodiscard]] std::size_t responsive_protocol_count() const;
     [[nodiscard]] bool fully_responsive() const { return responsive_protocol_count() == 3; }
     [[nodiscard]] bool any_response() const;
+
+    friend bool operator==(const TargetProbeResult&, const TargetProbeResult&) = default;
 };
 
 class Campaign {
@@ -56,31 +86,57 @@ class Campaign {
         std::uint16_t source_port = 43211;
         std::uint8_t probe_ttl = 64;
         bool send_snmp = true;
+
+        /// First request IPID; consecutive probes increment from here in
+        /// global send order. Pinning it makes concurrent runs reproducible.
+        std::uint16_t ipid_base = 0x3100;
+        /// First SNMPv3 msgID; one per target, in target order.
+        std::uint32_t snmp_message_id_base = 0x51000;
+
+        /// Targets kept in flight simultaneously. 1 = serial behaviour; any
+        /// larger window produces identical results on a deterministic
+        /// transport, it only overlaps the waiting.
+        std::size_t window = 1;
+        /// How long to keep a target's unresolved probes waiting before
+        /// declaring them unanswered. Transports that can prove nothing is
+        /// pending (the simulation) cut this short automatically.
+        std::chrono::milliseconds response_timeout{1000};
+        /// Granularity of a single poll_responses() wait.
+        std::chrono::milliseconds poll_interval{20};
     };
 
     explicit Campaign(ProbeTransport& transport) : Campaign(transport, Config{}) {}
     Campaign(ProbeTransport& transport, Config config)
-        : transport_(&transport), config_(config) {}
+        : transport_(&transport), config_(config), next_ipid_(config.ipid_base),
+          snmp_message_id_(config.snmp_message_id_base) {}
 
     /// Runs the full 9+1 probe exchange against one target.
     TargetProbeResult probe_target(net::IPv4Address target);
 
-    /// Probes every target in order.
+    /// Probes every target, keeping up to Config::window targets in flight.
+    /// Results are ordered like `targets` regardless of completion order.
     std::vector<TargetProbeResult> run(std::span<const net::IPv4Address> targets);
 
+    [[nodiscard]] const Config& config() const noexcept { return config_; }
     [[nodiscard]] std::uint64_t packets_sent() const noexcept { return packets_sent_; }
     [[nodiscard]] std::uint64_t responses_received() const noexcept { return responses_; }
+    /// Inbound packets that matched no outstanding probe (late, spoofed, or
+    /// unrelated traffic observed on the wire).
+    [[nodiscard]] std::uint64_t stray_responses() const noexcept { return strays_; }
 
   private:
     net::Bytes build_probe(net::IPv4Address target, ProtoIndex protocol, std::size_t round,
                            std::uint16_t ipid);
+    net::Bytes build_snmp_probe(net::IPv4Address target, std::int32_t message_id,
+                                std::uint16_t ipid);
 
     ProbeTransport* transport_;
     Config config_;
-    std::uint16_t next_ipid_ = 0x3100;
-    std::uint32_t snmp_message_id_ = 0x51000;
+    std::uint16_t next_ipid_;
+    std::uint32_t snmp_message_id_;
     std::uint64_t packets_sent_ = 0;
     std::uint64_t responses_ = 0;
+    std::uint64_t strays_ = 0;
 };
 
 }  // namespace lfp::probe

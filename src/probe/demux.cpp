@@ -1,0 +1,122 @@
+#include "probe/demux.hpp"
+
+namespace lfp::probe {
+namespace {
+
+FlowKey make_key(net::IPv4Address target, net::Protocol protocol, std::uint16_t local,
+                 std::uint16_t remote) {
+    return FlowKey{target.value(), static_cast<std::uint8_t>(protocol), local, remote};
+}
+
+/// Keys an ICMP error by the quoted offending datagram. The quote starts
+/// with our original IPv4 header followed by at least the first 8 bytes of
+/// the transport header (RFC 792) — enough for the port pair. Only UDP
+/// probes accept an ICMP error as their answer (port unreachable from the
+/// closed port): TCP responsiveness means an actual RST (paper Table 1), so
+/// an admin-prohibited error quoting a TCP probe must not fill its slot,
+/// and quoted ICMP echoes have no port pair to read.
+std::optional<FlowKey> quoted_flow_key(const net::ParsedPacket& response,
+                                       const net::IcmpError& error) {
+    if (error.quoted.size() < net::Ipv4Header::kSize + 4) return std::nullopt;
+    auto quoted = net::Ipv4Header::parse(
+        std::span<const std::uint8_t>(error.quoted.data(), error.quoted.size()));
+    if (!quoted) return std::nullopt;
+    if (quoted.value().protocol != net::Protocol::udp) return std::nullopt;
+    // Only the probed interface itself may answer; errors relayed by
+    // intermediate routers carry a foreign source address and are dropped.
+    if (quoted.value().destination != response.ip.source) return std::nullopt;
+    const std::size_t off = net::Ipv4Header::kSize;
+    const auto src_port =
+        static_cast<std::uint16_t>((error.quoted[off] << 8) | error.quoted[off + 1]);
+    const auto dst_port =
+        static_cast<std::uint16_t>((error.quoted[off + 2] << 8) | error.quoted[off + 3]);
+    return make_key(quoted.value().destination, quoted.value().protocol, src_port, dst_port);
+}
+
+}  // namespace
+
+std::optional<FlowKey> request_flow_key(const net::ParsedPacket& request) {
+    switch (request.ip.protocol) {
+        case net::Protocol::icmp: {
+            const auto* echo = std::get_if<net::IcmpEcho>(request.icmp());
+            if (echo == nullptr || echo->is_reply) return std::nullopt;
+            return make_key(request.ip.destination, net::Protocol::icmp, echo->identifier,
+                            echo->sequence);
+        }
+        case net::Protocol::tcp: {
+            const auto* tcp = request.tcp();
+            if (tcp == nullptr) return std::nullopt;
+            return make_key(request.ip.destination, net::Protocol::tcp, tcp->source_port,
+                            tcp->destination_port);
+        }
+        case net::Protocol::udp: {
+            const auto* udp = request.udp();
+            if (udp == nullptr) return std::nullopt;
+            return make_key(request.ip.destination, net::Protocol::udp, udp->source_port,
+                            udp->destination_port);
+        }
+    }
+    return std::nullopt;
+}
+
+std::optional<FlowKey> response_flow_key(const net::ParsedPacket& response) {
+    switch (response.ip.protocol) {
+        case net::Protocol::icmp: {
+            const auto* icmp = response.icmp();
+            if (icmp == nullptr) return std::nullopt;
+            if (const auto* echo = std::get_if<net::IcmpEcho>(icmp)) {
+                if (!echo->is_reply) return std::nullopt;
+                return make_key(response.ip.source, net::Protocol::icmp, echo->identifier,
+                                echo->sequence);
+            }
+            if (const auto* error = std::get_if<net::IcmpError>(icmp)) {
+                return quoted_flow_key(response, *error);
+            }
+            return std::nullopt;
+        }
+        case net::Protocol::tcp: {
+            const auto* tcp = response.tcp();
+            if (tcp == nullptr) return std::nullopt;
+            // Swap the pair back into request orientation.
+            return make_key(response.ip.source, net::Protocol::tcp, tcp->destination_port,
+                            tcp->source_port);
+        }
+        case net::Protocol::udp: {
+            const auto* udp = response.udp();
+            if (udp == nullptr) return std::nullopt;
+            return make_key(response.ip.source, net::Protocol::udp, udp->destination_port,
+                            udp->source_port);
+        }
+    }
+    return std::nullopt;
+}
+
+void ResponseDemux::expect(const FlowKey& key, SlotRef slot) { expected_[key] = slot; }
+
+std::optional<SlotRef> ResponseDemux::match(const net::ParsedPacket& response) {
+    auto key = response_flow_key(response);
+    if (!key) {
+        ++strays_;
+        return std::nullopt;
+    }
+    auto it = expected_.find(*key);
+    if (it == expected_.end()) {
+        ++strays_;
+        return std::nullopt;
+    }
+    SlotRef slot = it->second;
+    expected_.erase(it);
+    return slot;
+}
+
+void ResponseDemux::cancel_target(std::uint64_t target) {
+    for (auto it = expected_.begin(); it != expected_.end();) {
+        if (it->second.target == target) {
+            it = expected_.erase(it);
+        } else {
+            ++it;
+        }
+    }
+}
+
+}  // namespace lfp::probe

@@ -1,0 +1,84 @@
+// Response demultiplexer: matches raw inbound packets back to outstanding
+// probe slots by flow key, so receives can be fully decoupled from sends.
+//
+// Every LFP probe defines a flow key in *request orientation*:
+//   ICMP echo   — (target, icmp, identifier, sequence)
+//   TCP         — (target, tcp, source port, destination port)
+//   UDP / SNMP  — (target, udp, source port, destination port)
+// A response maps to the same key by swapping the port pair (or reading the
+// echoed id/seq); ICMP errors are keyed by the quoted offending datagram.
+// Responses from addresses other than the probed target never match — LFP
+// probes interfaces directly and discards ICMP errors from intermediate
+// routers.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+
+#include "net/packet_builder.hpp"
+
+namespace lfp::probe {
+
+struct FlowKey {
+    std::uint32_t target = 0;  ///< probed address (request destination)
+    std::uint8_t protocol = 0;
+    std::uint16_t local = 0;   ///< our src port / ICMP identifier
+    std::uint16_t remote = 0;  ///< probed port / ICMP sequence
+
+    friend bool operator==(const FlowKey&, const FlowKey&) = default;
+};
+
+struct FlowKeyHash {
+    std::size_t operator()(const FlowKey& key) const noexcept {
+        std::uint64_t packed = (static_cast<std::uint64_t>(key.target) << 32) |
+                               ((static_cast<std::uint64_t>(key.protocol) << 24) ^
+                                (static_cast<std::uint64_t>(key.local) << 16) ^ key.remote);
+        // splitmix64 finalizer — cheap and well distributed.
+        packed = (packed ^ (packed >> 30)) * 0xBF58476D1CE4E5B9ULL;
+        packed = (packed ^ (packed >> 27)) * 0x94D049BB133111EBULL;
+        return static_cast<std::size_t>(packed ^ (packed >> 31));
+    }
+};
+
+/// Flow key of an outbound probe, or nullopt for unkeyable packets.
+[[nodiscard]] std::optional<FlowKey> request_flow_key(const net::ParsedPacket& request);
+
+/// Flow key an inbound packet answers (request orientation), or nullopt when
+/// the packet cannot be an answer to any LFP probe. Handles direct replies
+/// (echo reply, TCP RST, UDP) and ICMP errors quoting the original datagram;
+/// errors must originate from the probed address itself.
+[[nodiscard]] std::optional<FlowKey> response_flow_key(const net::ParsedPacket& response);
+
+/// Identifies the probe slot a response resolves: target is an opaque caller
+/// handle (the engine uses the target's admission index), slot is the
+/// per-target probe position (protocol round or the trailing SNMP probe).
+struct SlotRef {
+    std::uint64_t target = 0;
+    std::uint16_t slot = 0;
+
+    friend bool operator==(const SlotRef&, const SlotRef&) = default;
+};
+
+class ResponseDemux {
+  public:
+    /// Registers an outstanding probe. Overwrites any previous registration
+    /// of the same key (callers guarantee in-flight keys are unique).
+    void expect(const FlowKey& key, SlotRef slot);
+
+    /// Matches a parsed inbound packet to an outstanding slot, consuming the
+    /// registration. Unmatched packets return nullopt and count as strays.
+    std::optional<SlotRef> match(const net::ParsedPacket& response);
+
+    /// Drops every outstanding registration for `target` (timeout/cancel).
+    void cancel_target(std::uint64_t target);
+
+    [[nodiscard]] std::size_t outstanding() const noexcept { return expected_.size(); }
+    [[nodiscard]] std::uint64_t stray_responses() const noexcept { return strays_; }
+
+  private:
+    std::unordered_map<FlowKey, SlotRef, FlowKeyHash> expected_;
+    std::uint64_t strays_ = 0;
+};
+
+}  // namespace lfp::probe

@@ -61,47 +61,44 @@ void RawSocketTransport::close_sockets() noexcept {
     ready_ = false;
 }
 
-std::optional<net::Bytes> RawSocketTransport::transact(std::span<const std::uint8_t> packet) {
-    if (!ready_) return std::nullopt;
-    auto request = net::parse_packet(packet);
-    if (!request) return std::nullopt;
-
-    sockaddr_in destination{};
-    destination.sin_family = AF_INET;
-    destination.sin_addr.s_addr = htonl(request.value().ip.destination.value());
-    const auto sent =
-        ::sendto(send_fd_, packet.data(), packet.size(), 0,
-                 reinterpret_cast<const sockaddr*>(&destination), sizeof(destination));
-    if (sent < 0 || static_cast<std::size_t>(sent) != packet.size()) return std::nullopt;
-    return wait_for_match(request.value());
+void RawSocketTransport::send_batch(std::span<const net::Bytes> packets) {
+    if (!ready_) return;
+    for (const net::Bytes& packet : packets) {
+        auto destination_ip = net::peek_destination(packet);
+        if (!destination_ip) {
+            ++send_failures_;
+            continue;
+        }
+        sockaddr_in destination{};
+        destination.sin_family = AF_INET;
+        destination.sin_addr.s_addr = htonl(destination_ip.value().value());
+        const auto sent =
+            ::sendto(send_fd_, packet.data(), packet.size(), 0,
+                     reinterpret_cast<const sockaddr*>(&destination), sizeof(destination));
+        if (sent < 0 || static_cast<std::size_t>(sent) != packet.size()) ++send_failures_;
+    }
 }
 
-std::optional<net::Bytes> RawSocketTransport::wait_for_match(const net::ParsedPacket& request) {
-    const auto deadline =
-        std::chrono::steady_clock::now() + options_.timeout;
+std::vector<net::Bytes> RawSocketTransport::poll_responses(std::chrono::milliseconds timeout) {
+    std::vector<net::Bytes> inbound;
+    if (!ready_) return inbound;
     std::array<pollfd, 3> fds{{{recv_icmp_fd_, POLLIN, 0},
                                {recv_tcp_fd_, POLLIN, 0},
                                {recv_udp_fd_, POLLIN, 0}}};
+    const int rc = ::poll(fds.data(), fds.size(), static_cast<int>(timeout.count()));
+    if (rc <= 0) return inbound;
     std::array<std::uint8_t, 65536> buffer{};
-    for (;;) {
-        const auto now = std::chrono::steady_clock::now();
-        if (now >= deadline) return std::nullopt;
-        const auto remaining =
-            std::chrono::duration_cast<std::chrono::milliseconds>(deadline - now);
-        const int rc = ::poll(fds.data(), fds.size(), static_cast<int>(remaining.count()));
-        if (rc <= 0) return std::nullopt;
-        for (const pollfd& entry : fds) {
-            if ((entry.revents & POLLIN) == 0) continue;
-            const auto received = ::recv(entry.fd, buffer.data(), buffer.size(), 0);
-            if (received <= 0) continue;
-            auto candidate = net::parse_packet(
-                std::span<const std::uint8_t>(buffer.data(), static_cast<std::size_t>(received)));
-            if (!candidate) continue;
-            if (response_matches(request, candidate.value())) {
-                return net::Bytes(buffer.begin(), buffer.begin() + received);
-            }
+    for (const pollfd& entry : fds) {
+        if ((entry.revents & POLLIN) == 0) continue;
+        // Drain everything queued on this socket without blocking again.
+        for (;;) {
+            const auto received =
+                ::recv(entry.fd, buffer.data(), buffer.size(), MSG_DONTWAIT);
+            if (received <= 0) break;
+            inbound.emplace_back(buffer.begin(), buffer.begin() + received);
         }
     }
+    return inbound;
 }
 
 #else  // !__linux__
@@ -113,70 +110,12 @@ bool RawSocketTransport::open_sockets() {
 
 void RawSocketTransport::close_sockets() noexcept {}
 
-std::optional<net::Bytes> RawSocketTransport::transact(std::span<const std::uint8_t>) {
-    return std::nullopt;
-}
+void RawSocketTransport::send_batch(std::span<const net::Bytes>) {}
 
-std::optional<net::Bytes> RawSocketTransport::wait_for_match(const net::ParsedPacket&) {
-    return std::nullopt;
+std::vector<net::Bytes> RawSocketTransport::poll_responses(std::chrono::milliseconds) {
+    return {};
 }
 
 #endif  // __linux__
-
-bool RawSocketTransport::response_matches(const net::ParsedPacket& request,
-                                          const net::ParsedPacket& candidate) {
-    // Any response must come from the probed address (ICMP errors from
-    // intermediate routers are rejected; LFP probes the target directly).
-    if (candidate.ip.source != request.ip.destination) return false;
-    switch (request.ip.protocol) {
-        case net::Protocol::icmp: {
-            const auto* sent = request.icmp();
-            const auto* got = candidate.icmp();
-            if (sent == nullptr || got == nullptr) return false;
-            const auto* sent_echo = std::get_if<net::IcmpEcho>(sent);
-            const auto* got_echo = std::get_if<net::IcmpEcho>(got);
-            return sent_echo != nullptr && got_echo != nullptr && got_echo->is_reply &&
-                   got_echo->identifier == sent_echo->identifier &&
-                   got_echo->sequence == sent_echo->sequence;
-        }
-        case net::Protocol::tcp: {
-            const auto* sent = request.tcp();
-            const auto* got = candidate.tcp();
-            return sent != nullptr && got != nullptr &&
-                   got->source_port == sent->destination_port &&
-                   got->destination_port == sent->source_port;
-        }
-        case net::Protocol::udp: {
-            // Either a UDP reply (SNMP) or an ICMP error quoting our probe.
-            const auto* sent = request.udp();
-            if (sent == nullptr) return false;
-            if (const auto* got = candidate.udp()) {
-                return got->source_port == sent->destination_port &&
-                       got->destination_port == sent->source_port;
-            }
-            if (const auto* got = candidate.icmp()) {
-                const auto* error = std::get_if<net::IcmpError>(got);
-                if (error == nullptr || error->quoted.size() < net::Ipv4Header::kSize + 4) {
-                    return false;
-                }
-                // The quote begins with our original IPv4 header; match the
-                // embedded destination and UDP ports.
-                auto quoted_header = net::Ipv4Header::parse(error->quoted);
-                if (!quoted_header ||
-                    quoted_header.value().destination != request.ip.destination) {
-                    return false;
-                }
-                const std::size_t off = net::Ipv4Header::kSize;
-                const std::uint16_t src_port = static_cast<std::uint16_t>(
-                    (error->quoted[off] << 8) | error->quoted[off + 1]);
-                const std::uint16_t dst_port = static_cast<std::uint16_t>(
-                    (error->quoted[off + 2] << 8) | error->quoted[off + 3]);
-                return src_port == sent->source_port && dst_port == sent->destination_port;
-            }
-            return false;
-        }
-    }
-    return false;
-}
 
 }  // namespace lfp::probe

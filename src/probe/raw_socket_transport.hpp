@@ -2,8 +2,11 @@
 // CAP_NET_RAW). The same campaign and classification pipeline that runs in
 // simulation runs over this transport unchanged.
 //
-// Responses are matched to requests by protocol-specific keys: ICMP echo
-// identifier, the quoted datagram inside ICMP errors, TCP/UDP port pairs.
+// The transport is a dumb pipe: send_batch() writes raw IPv4 packets,
+// poll_responses() drains whatever the ICMP/TCP/UDP receive sockets have
+// captured. Matching inbound packets to probes (ICMP echo identifier, the
+// quoted datagram inside ICMP errors, TCP/UDP port pairs) is done by the
+// caller's demultiplexer — probe/demux.hpp.
 #pragma once
 
 #include <chrono>
@@ -17,8 +20,8 @@ class RawSocketTransport final : public ProbeTransport {
   public:
     struct Options {
         std::chrono::milliseconds timeout{1000};
-        /// When true, no sockets are opened and every transact() times out;
-        /// lets callers exercise the code path without privileges.
+        /// When true, no sockets are opened, sends vanish, and polls return
+        /// empty; lets callers exercise the code path without privileges.
         bool dry_run = false;
     };
 
@@ -31,20 +34,33 @@ class RawSocketTransport final : public ProbeTransport {
     [[nodiscard]] bool ready() const noexcept { return ready_; }
     [[nodiscard]] const std::string& status() const noexcept { return status_; }
 
-    std::optional<net::Bytes> transact(std::span<const std::uint8_t> packet) override;
+    /// Packets sendto() rejected or truncated (ENOBUFS, filtered routes…).
+    /// Those probes never reached the wire: their slots will run into the
+    /// response timeout, and a climbing counter here is the tell.
+    [[nodiscard]] std::uint64_t send_failures() const noexcept { return send_failures_; }
+
+    void send_batch(std::span<const net::Bytes> packets) override;
+
+    std::vector<net::Bytes> poll_responses(std::chrono::milliseconds timeout) override;
+
+    /// A live network can always surprise us — except when the transport
+    /// never opened sockets, in which case no response can ever arrive.
+    [[nodiscard]] bool drained() const override { return !ready_; }
 
     [[nodiscard]] net::IPv4Address vantage_address() const override { return vantage_; }
+
+    [[nodiscard]] std::chrono::milliseconds transact_timeout() const override {
+        return options_.timeout;
+    }
 
   private:
     bool open_sockets();
     void close_sockets() noexcept;
-    std::optional<net::Bytes> wait_for_match(const net::ParsedPacket& request);
-    static bool response_matches(const net::ParsedPacket& request,
-                                 const net::ParsedPacket& candidate);
 
     Options options_;
     bool ready_ = false;
     std::string status_;
+    std::uint64_t send_failures_ = 0;
     net::IPv4Address vantage_;
     int send_fd_ = -1;
     int recv_icmp_fd_ = -1;

@@ -1,4 +1,43 @@
 #include "probe/sim_transport.hpp"
 
-// Header-only implementation; translation unit anchors the target.
-namespace lfp::probe {}
+#include <thread>
+
+namespace lfp::probe {
+
+void SimTransport::send_batch(std::span<const net::Bytes> packets) {
+    const auto now = Clock::now();
+    auto responses = internet_->transact_batch(packets);
+    for (auto& response : responses) {
+        // The jitter stream advances once per *response* in send order, so
+        // delivery timing never perturbs simulation state determinism.
+        if (!response) continue;
+        auto delay = options_.rtt;
+        if (options_.jitter > 0 && options_.rtt.count() > 0) {
+            const double swing = options_.jitter * (2.0 * jitter_rng_.uniform() - 1.0);
+            delay = std::chrono::microseconds(static_cast<std::int64_t>(
+                static_cast<double>(options_.rtt.count()) * (1.0 + swing)));
+        }
+        pending_.push(Pending{now + delay, sequence_++, std::move(*response)});
+    }
+}
+
+std::vector<net::Bytes> SimTransport::poll_responses(std::chrono::milliseconds timeout) {
+    std::vector<net::Bytes> matured;
+    if (pending_.empty()) return matured;  // drained: nothing will ever arrive
+
+    auto now = Clock::now();
+    if (pending_.top().ready_at > now) {
+        const auto wait = std::min<Clock::duration>(pending_.top().ready_at - now, timeout);
+        if (wait > Clock::duration::zero()) std::this_thread::sleep_for(wait);
+        now = Clock::now();
+    }
+    while (!pending_.empty() && pending_.top().ready_at <= now) {
+        // top() is const; moving out is safe because the pop follows
+        // immediately and the heap never compares packet contents.
+        matured.push_back(std::move(const_cast<Pending&>(pending_.top()).packet));
+        pending_.pop();
+    }
+    return matured;
+}
+
+}  // namespace lfp::probe

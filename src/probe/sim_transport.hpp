@@ -1,26 +1,76 @@
 // Transport over the simulated Internet.
+//
+// Responses are computed synchronously when a batch is sent (the simulation
+// is deterministic in send order), then held until their modeled round-trip
+// time elapses. With a non-zero RTT plus jitter, poll_responses() delivers
+// packets out of send order — exactly the regime the response demultiplexer
+// exists for — and a windowed campaign overlaps many targets' RTTs where a
+// serial one pays them back to back.
 #pragma once
+
+#include <chrono>
+#include <queue>
+#include <vector>
 
 #include "probe/transport.hpp"
 #include "sim/internet.hpp"
+#include "util/rng.hpp"
 
 namespace lfp::probe {
 
 class SimTransport final : public ProbeTransport {
   public:
+    struct Options {
+        net::IPv4Address vantage = net::IPv4Address::from_octets(192, 0, 2, 7);
+        /// Modeled round-trip latency per probe. Zero = responses are
+        /// available on the first poll after the send (fastest, default).
+        std::chrono::microseconds rtt{0};
+        /// Uniform per-packet jitter as a fraction of rtt in [0, 1): each
+        /// response matures at rtt * (1 ± jitter), reordering deliveries.
+        double jitter = 0.0;
+        std::uint64_t jitter_seed = 0x5EED;
+    };
+
     explicit SimTransport(sim::Internet& internet,
                           net::IPv4Address vantage = net::IPv4Address::from_octets(192, 0, 2, 7))
-        : internet_(&internet), vantage_(vantage) {}
+        : SimTransport(internet, Options{.vantage = vantage}) {}
+    SimTransport(sim::Internet& internet, Options options)
+        : internet_(&internet), options_(options), jitter_rng_(options.jitter_seed) {}
 
-    std::optional<net::Bytes> transact(std::span<const std::uint8_t> packet) override {
-        return internet_->transact(packet);
+    void send_batch(std::span<const net::Bytes> packets) override;
+
+    std::vector<net::Bytes> poll_responses(std::chrono::milliseconds timeout) override;
+
+    [[nodiscard]] bool drained() const override { return pending_.empty(); }
+
+    [[nodiscard]] net::IPv4Address vantage_address() const override { return options_.vantage; }
+
+    [[nodiscard]] std::chrono::milliseconds transact_timeout() const override {
+        // Everything that will ever arrive is queued at send time, so the
+        // deadline only bounds the wait for modeled latency.
+        return std::chrono::duration_cast<std::chrono::milliseconds>(4 * options_.rtt) +
+               std::chrono::milliseconds(50);
     }
 
-    [[nodiscard]] net::IPv4Address vantage_address() const override { return vantage_; }
-
   private:
+    using Clock = std::chrono::steady_clock;
+
+    struct Pending {
+        Clock::time_point ready_at;
+        std::uint64_t sequence = 0;  ///< tie-break keeps equal-delay FIFO
+        net::Bytes packet;
+
+        bool operator>(const Pending& other) const {
+            return ready_at != other.ready_at ? ready_at > other.ready_at
+                                              : sequence > other.sequence;
+        }
+    };
+
     sim::Internet* internet_;
-    net::IPv4Address vantage_;
+    Options options_;
+    util::Rng jitter_rng_;
+    std::uint64_t sequence_ = 0;
+    std::priority_queue<Pending, std::vector<Pending>, std::greater<>> pending_;
 };
 
 }  // namespace lfp::probe

@@ -1,4 +1,36 @@
 #include "probe/transport.hpp"
 
-// Interface-only translation unit: keeps the vtable anchored in one place.
-namespace lfp::probe {}
+#include "probe/demux.hpp"
+
+namespace lfp::probe {
+
+std::optional<net::Bytes> ProbeTransport::transact(std::span<const std::uint8_t> packet) {
+    auto request = net::parse_packet(packet);
+    if (!request) return std::nullopt;
+    auto key = request_flow_key(request.value());
+    if (!key) return std::nullopt;
+
+    const net::Bytes copy(packet.begin(), packet.end());
+    send_batch({&copy, 1});
+
+    const auto deadline = std::chrono::steady_clock::now() + transact_timeout();
+    // Poll in short slices so a transport with real latency can sleep, while
+    // a drained transport (simulation after loss) bails out immediately.
+    constexpr std::chrono::milliseconds kSlice{20};
+    for (;;) {
+        const auto now = std::chrono::steady_clock::now();
+        if (now >= deadline) return std::nullopt;
+        const auto remaining =
+            std::chrono::duration_cast<std::chrono::milliseconds>(deadline - now);
+        auto responses = poll_responses(std::min(kSlice, remaining));
+        for (net::Bytes& raw : responses) {
+            auto candidate = net::parse_packet(raw);
+            if (!candidate) continue;
+            auto candidate_key = response_flow_key(candidate.value());
+            if (candidate_key && *candidate_key == *key) return std::move(raw);
+        }
+        if (responses.empty() && drained()) return std::nullopt;
+    }
+}
+
+}  // namespace lfp::probe

@@ -1,11 +1,21 @@
 // Probe transport abstraction: the campaign logic is transport-agnostic so
 // the identical pipeline runs against the simulated Internet (SimTransport)
 // or live targets via raw sockets (RawSocketTransport).
+//
+// The contract is batched and asynchronous: send_batch() queues raw packets
+// onto the wire in order without waiting for anything, poll_responses()
+// collects whatever raw inbound packets have arrived. Correlating inbound
+// packets back to outstanding probes is the caller's job (see
+// probe/demux.hpp); a blocking one-packet transact() convenience is layered
+// on top for callers that genuinely want request/response semantics
+// (baselines, alias resolution).
 #pragma once
 
+#include <chrono>
 #include <cstdint>
 #include <optional>
 #include <span>
+#include <vector>
 
 #include "net/ip_address.hpp"
 #include "net/packet_builder.hpp"
@@ -20,12 +30,63 @@ class ProbeTransport {
     ProbeTransport(const ProbeTransport&) = delete;
     ProbeTransport& operator=(const ProbeTransport&) = delete;
 
-    /// Sends one raw IPv4 packet and waits for the matching response.
-    /// Returns the raw response packet, or nullopt on timeout/filtering.
-    virtual std::optional<net::Bytes> transact(std::span<const std::uint8_t> packet) = 0;
+    /// Sends a batch of raw IPv4 packets in order. The wire order of a batch
+    /// is the span order; consecutive batches preserve submission order. The
+    /// call never waits for responses.
+    virtual void send_batch(std::span<const net::Bytes> packets) = 0;
+
+    /// Returns raw inbound packets. Blocks up to `timeout` when none are
+    /// immediately available; may return early (possibly empty) when the
+    /// transport can prove nothing is pending (see drained()).
+    virtual std::vector<net::Bytes> poll_responses(std::chrono::milliseconds timeout) = 0;
+
+    /// True when the transport can prove no further response will arrive for
+    /// anything sent so far. Transports that cannot know (live networks)
+    /// return false and callers fall back to deadlines.
+    [[nodiscard]] virtual bool drained() const { return false; }
 
     /// The source address probes should carry.
     [[nodiscard]] virtual net::IPv4Address vantage_address() const = 0;
+
+    /// Default deadline for the transact() convenience.
+    [[nodiscard]] virtual std::chrono::milliseconds transact_timeout() const {
+        return std::chrono::milliseconds(1000);
+    }
+
+    /// Sends one raw IPv4 packet and waits for the flow-matching response
+    /// (ICMP id/seq, TCP/UDP port pair, or an ICMP error quoting the probe).
+    /// Returns the raw response packet, or nullopt on timeout/filtering.
+    /// Non-matching inbound packets received while waiting are dropped.
+    std::optional<net::Bytes> transact(std::span<const std::uint8_t> packet);
+};
+
+/// Adapter for transports that can answer a packet synchronously (test
+/// doubles, single-router harnesses): implement exchange() and the batch
+/// contract falls out — responses are queued at send time and handed back by
+/// poll_responses() in send order.
+class SynchronousTransport : public ProbeTransport {
+  public:
+    void send_batch(std::span<const net::Bytes> packets) override {
+        for (const net::Bytes& packet : packets) {
+            auto response = exchange(packet);
+            if (response) queue_.push_back(std::move(*response));
+        }
+    }
+
+    std::vector<net::Bytes> poll_responses(std::chrono::milliseconds /*timeout*/) override {
+        std::vector<net::Bytes> out;
+        out.swap(queue_);
+        return out;
+    }
+
+    [[nodiscard]] bool drained() const override { return queue_.empty(); }
+
+  protected:
+    /// One request/response round trip; nullopt models loss or filtering.
+    virtual std::optional<net::Bytes> exchange(std::span<const std::uint8_t> packet) = 0;
+
+  private:
+    std::vector<net::Bytes> queue_;
 };
 
 }  // namespace lfp::probe

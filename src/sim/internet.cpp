@@ -2,6 +2,16 @@
 
 namespace lfp::sim {
 
+std::vector<std::optional<net::Bytes>> Internet::transact_batch(
+    std::span<const net::Bytes> probes) {
+    std::vector<std::optional<net::Bytes>> responses;
+    responses.reserve(probes.size());
+    for (const net::Bytes& probe : probes) {
+        responses.push_back(transact(probe));
+    }
+    return responses;
+}
+
 std::optional<net::Bytes> Internet::transact(std::span<const std::uint8_t> probe) {
     ++sent_;
     auto destination = net::peek_destination(probe);

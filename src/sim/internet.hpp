@@ -6,6 +6,7 @@
 #include <cstdint>
 #include <optional>
 #include <span>
+#include <vector>
 
 #include "sim/topology.hpp"
 
@@ -25,6 +26,11 @@ class Internet {
     /// Sends one packet and returns the response packet (if any): the
     /// request-response round trip of a single probe.
     std::optional<net::Bytes> transact(std::span<const std::uint8_t> probe);
+
+    /// Routes a batch of probes in span order. Slot i of the result is
+    /// probe i's response (nullopt = lost/filtered/unroutable), so callers
+    /// can stamp per-probe delivery metadata without re-deriving the match.
+    std::vector<std::optional<net::Bytes>> transact_batch(std::span<const net::Bytes> probes);
 
     [[nodiscard]] std::uint64_t packets_sent() const noexcept { return sent_; }
     [[nodiscard]] std::uint64_t responses_returned() const noexcept { return returned_; }

@@ -39,6 +39,8 @@ struct DiscoveryResponse {
     [[nodiscard]] Bytes serialize() const;
 
     static util::Result<DiscoveryResponse> parse(std::span<const std::uint8_t> data);
+
+    friend bool operator==(const DiscoveryResponse&, const DiscoveryResponse&) = default;
 };
 
 }  // namespace lfp::snmp

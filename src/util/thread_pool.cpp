@@ -1,0 +1,98 @@
+#include "util/thread_pool.hpp"
+
+#include <algorithm>
+
+namespace lfp::util {
+
+ThreadPool::ThreadPool(std::size_t threads) {
+    if (threads == 0) {
+        threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+    }
+    // The submitting thread is worker number one; only spawn the extras.
+    workers_.reserve(threads - 1);
+    for (std::size_t i = 0; i + 1 < threads; ++i) {
+        workers_.emplace_back([this] { worker_loop(); });
+    }
+}
+
+ThreadPool::~ThreadPool() {
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        stopping_ = true;
+    }
+    work_ready_.notify_all();
+    for (std::thread& worker : workers_) worker.join();
+}
+
+void ThreadPool::worker_loop() {
+    for (;;) {
+        std::function<void()> task;
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            work_ready_.wait(lock, [this] { return stopping_ || !tasks_.empty(); });
+            if (tasks_.empty()) {
+                if (stopping_) return;
+                continue;
+            }
+            task = std::move(tasks_.front());
+            tasks_.pop();
+        }
+        finish_task(task);
+    }
+}
+
+bool ThreadPool::run_one_task() {
+    std::function<void()> task;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (tasks_.empty()) return false;
+        task = std::move(tasks_.front());
+        tasks_.pop();
+    }
+    finish_task(task);
+    return true;
+}
+
+void ThreadPool::finish_task(const std::function<void()>& task) {
+    std::exception_ptr error;
+    try {
+        task();
+    } catch (...) {
+        error = std::current_exception();
+    }
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (error && !batch_error_) batch_error_ = error;
+    if (--active_tasks_ == 0) batch_done_.notify_all();
+}
+
+void ThreadPool::parallel_for(std::size_t count, std::size_t grain,
+                              const std::function<void(std::size_t, std::size_t)>& body) {
+    if (count == 0) return;
+    grain = std::max<std::size_t>(1, grain);
+    if (workers_.empty() || count <= grain) {
+        body(0, count);
+        return;
+    }
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        for (std::size_t begin = 0; begin < count; begin += grain) {
+            const std::size_t end = std::min(count, begin + grain);
+            tasks_.push([&body, begin, end] { body(begin, end); });
+            ++active_tasks_;
+        }
+    }
+    work_ready_.notify_all();
+    // The caller chips in instead of blocking idle.
+    while (run_one_task()) {
+    }
+    std::exception_ptr error;
+    {
+        std::unique_lock<std::mutex> lock(mutex_);
+        batch_done_.wait(lock, [this] { return active_tasks_ == 0; });
+        error = batch_error_;
+        batch_error_ = nullptr;
+    }
+    if (error) std::rethrow_exception(error);
+}
+
+}  // namespace lfp::util

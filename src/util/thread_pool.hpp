@@ -1,0 +1,56 @@
+// A small fixed-size worker pool for sharding embarrassingly parallel loops
+// (feature extraction, classification). Work is split into contiguous index
+// ranges and results are written by index, so the merge order — and thus
+// every downstream artifact — is deterministic regardless of worker count
+// or scheduling.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace lfp::util {
+
+class ThreadPool {
+  public:
+    /// `threads` = 0 picks std::thread::hardware_concurrency(). A pool of
+    /// one worker runs everything inline (no threads spawned).
+    explicit ThreadPool(std::size_t threads = 0);
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool&) = delete;
+    ThreadPool& operator=(const ThreadPool&) = delete;
+
+    [[nodiscard]] std::size_t worker_count() const noexcept { return workers_.size() + 1; }
+
+    /// Applies `body(begin, end)` to contiguous shards covering [0, count),
+    /// each at most `grain` wide, and waits for all of them. `body` must be
+    /// safe to call concurrently on disjoint ranges. Blocks until done; the
+    /// calling thread participates, so a single-worker pool degrades to a
+    /// plain loop. If any shard throws, the first exception is rethrown on
+    /// the calling thread after the batch finishes (remaining shards still
+    /// run; further exceptions are dropped).
+    void parallel_for(std::size_t count, std::size_t grain,
+                      const std::function<void(std::size_t, std::size_t)>& body);
+
+  private:
+    void worker_loop();
+    bool run_one_task();
+    void finish_task(const std::function<void()>& task);
+
+    std::vector<std::thread> workers_;
+    std::mutex mutex_;
+    std::condition_variable work_ready_;
+    std::condition_variable batch_done_;
+    std::queue<std::function<void()>> tasks_;
+    std::size_t active_tasks_ = 0;
+    std::exception_ptr batch_error_;
+    bool stopping_ = false;
+};
+
+}  // namespace lfp::util

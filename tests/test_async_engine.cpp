@@ -1,0 +1,251 @@
+// Tests for the batched asynchronous probe engine: the fixed global send
+// order across window sizes, serial-vs-windowed result equivalence on the
+// simulated Internet (including loss and delivery jitter), configurable
+// IPID/msgID bases, and a ≥1k-target stress run.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "core/pipeline.hpp"
+#include "probe/campaign.hpp"
+#include "probe/sim_transport.hpp"
+#include "sim/internet.hpp"
+#include "snmp/snmpv3.hpp"
+
+namespace lfp::probe {
+namespace {
+
+/// Records wire order; never answers.
+class WireTapTransport final : public SynchronousTransport {
+  public:
+    [[nodiscard]] net::IPv4Address vantage_address() const override {
+        return net::IPv4Address::from_octets(192, 0, 2, 7);
+    }
+    std::vector<net::Bytes> packets;
+
+  protected:
+    std::optional<net::Bytes> exchange(std::span<const std::uint8_t> packet) override {
+        packets.emplace_back(packet.begin(), packet.end());
+        return std::nullopt;
+    }
+};
+
+std::vector<net::IPv4Address> make_targets(std::size_t count) {
+    std::vector<net::IPv4Address> targets;
+    targets.reserve(count);
+    for (std::size_t i = 0; i < count; ++i) {
+        targets.push_back(net::IPv4Address::from_octets(
+            10, static_cast<std::uint8_t>(i >> 8), static_cast<std::uint8_t>(i), 1));
+    }
+    return targets;
+}
+
+/// Interface IPs sampled across the whole world (strided, so edge ASes with
+/// open SNMP show up alongside filtered backbones), padded with phantom
+/// (dead) addresses for the non-responsive case.
+std::vector<net::IPv4Address> world_targets(const sim::Topology& topology, std::size_t limit) {
+    std::vector<net::IPv4Address> targets;
+    const std::size_t stride = std::max<std::size_t>(1, topology.router_count() / limit);
+    for (std::size_t offset = 0; offset < stride && targets.size() < limit; ++offset) {
+        for (std::size_t i = offset; i < topology.router_count() && targets.size() < limit;
+             i += stride) {
+            targets.push_back(topology.router(i).interfaces().front());
+        }
+    }
+    for (std::size_t i = 0; i < topology.phantom_addresses().size() && targets.size() < limit;
+         ++i) {
+        targets.push_back(topology.phantom_addresses()[i]);
+    }
+    return targets;
+}
+
+TEST(AsyncEngine, GlobalSendOrderIdenticalAcrossWindowSizes) {
+    const auto targets = make_targets(12);
+    WireTapTransport serial_tap;
+    Campaign serial(serial_tap, {.window = 1});
+    serial.run(targets);
+
+    WireTapTransport windowed_tap;
+    Campaign windowed(windowed_tap, {.window = 8});
+    windowed.run(targets);
+
+    // Byte-identical wire order: the IPID-sharing features depend on it.
+    ASSERT_EQ(serial_tap.packets.size(), targets.size() * 10);
+    ASSERT_EQ(windowed_tap.packets.size(), serial_tap.packets.size());
+    EXPECT_EQ(serial_tap.packets, windowed_tap.packets);
+}
+
+TEST(AsyncEngine, ConfigurableIpidAndMessageIdBases) {
+    const auto targets = make_targets(2);
+    WireTapTransport tap;
+    Campaign campaign(tap, {.ipid_base = 0x9000, .snmp_message_id_base = 0x1111});
+    auto results = campaign.run(targets);
+
+    // Probe IPIDs count up from the base in global send order; the SNMP
+    // probe consumes one IPID per target too (slot 10 of each batch).
+    EXPECT_EQ(results[0].probes[0][0].request_ipid, 0x9000);
+    EXPECT_EQ(results[0].probes[1][0].request_ipid, 0x9001);
+    EXPECT_EQ(results[1].probes[0][0].request_ipid, 0x9000 + 10);
+
+    // The SNMP discovery requests carry msgIDs from the configured base.
+    for (std::size_t t = 0; t < targets.size(); ++t) {
+        auto parsed = net::parse_packet(tap.packets[t * 10 + 9]);
+        ASSERT_TRUE(parsed.has_value());
+        const auto* udp = parsed.value().udp();
+        ASSERT_NE(udp, nullptr);
+        auto discovery = snmp::DiscoveryRequest::parse(udp->payload);
+        ASSERT_TRUE(discovery.has_value());
+        EXPECT_EQ(discovery.value().message_id,
+                  static_cast<std::int32_t>(0x1111 + t));
+    }
+
+    // A second campaign pinned to the same bases replays identically.
+    WireTapTransport replay_tap;
+    Campaign replay(replay_tap, {.ipid_base = 0x9000, .snmp_message_id_base = 0x1111});
+    replay.run(targets);
+    EXPECT_EQ(tap.packets, replay_tap.packets);
+}
+
+TEST(AsyncEngine, SerialAndWindowedResultsAreIdentical) {
+    const sim::TopologyConfig topo_config{
+        .seed = 83, .num_ases = 120, .tier1_count = 6, .transit_fraction = 0.2, .scale = 0.6};
+    const sim::InternetConfig net_config{.seed = 9, .loss_rate = 0.01};
+
+    auto run_with = [&](std::size_t window, std::chrono::microseconds rtt, double jitter) {
+        // Fresh deterministic world per run: identical seeds rebuild the
+        // identical Internet, so any divergence comes from the engine.
+        sim::Topology topology = sim::Topology::build(topo_config);
+        sim::Internet internet(topology, net_config);
+        SimTransport transport(internet, SimTransport::Options{.rtt = rtt, .jitter = jitter});
+        Campaign campaign(transport, {.window = window,
+                                      .response_timeout = std::chrono::milliseconds(250)});
+        const auto targets = world_targets(topology, 160);
+        return campaign.run(targets);
+    };
+
+    const auto serial = run_with(1, std::chrono::microseconds(0), 0.0);
+    // Out-of-order delivery: 200µs RTT with ±80% jitter reorders inbound
+    // packets across the window; results must not care.
+    const auto windowed7 = run_with(7, std::chrono::microseconds(200), 0.8);
+    const auto windowed32 = run_with(32, std::chrono::microseconds(200), 0.8);
+
+    ASSERT_EQ(serial.size(), windowed7.size());
+    ASSERT_EQ(serial.size(), windowed32.size());
+    std::size_t responsive = 0;
+    std::size_t with_snmp = 0;
+    for (std::size_t i = 0; i < serial.size(); ++i) {
+        EXPECT_EQ(serial[i], windowed7[i]) << "target " << i;
+        EXPECT_EQ(serial[i], windowed32[i]) << "target " << i;
+        if (serial[i].any_response()) ++responsive;
+        if (serial[i].snmp) ++with_snmp;
+    }
+    // The comparison only means something if the world actually talked back.
+    EXPECT_GT(responsive, serial.size() / 2);
+    EXPECT_GT(with_snmp, 0u);
+}
+
+TEST(AsyncEngine, DuplicateTargetsInWindowMatchSerial) {
+    const sim::TopologyConfig topo_config{
+        .seed = 29, .num_ases = 60, .tier1_count = 4, .transit_fraction = 0.2, .scale = 0.5};
+
+    auto run_with = [&](std::size_t window) {
+        sim::Topology topology = sim::Topology::build(topo_config);
+        sim::Internet internet(topology, {.seed = 2, .loss_rate = 0.0});
+        SimTransport transport(internet);
+        Campaign campaign(transport, {.window = window});
+        // The same address twice (plus neighbours): flow keys collide, so
+        // the engine must hold the duplicate back until the first completes.
+        auto targets = world_targets(topology, 6);
+        targets.insert(targets.begin() + 1, targets.front());
+        targets.push_back(targets.front());
+        return campaign.run(targets);
+    };
+
+    const auto serial = run_with(1);
+    const auto windowed = run_with(16);
+    ASSERT_EQ(serial.size(), windowed.size());
+    for (std::size_t i = 0; i < serial.size(); ++i) {
+        EXPECT_EQ(serial[i], windowed[i]) << "target " << i;
+    }
+    // Both copies of the duplicate address carry full, distinct exchanges
+    // (the second run observes the router's counters advanced by the first).
+    EXPECT_EQ(serial[0].target, serial[1].target);
+    EXPECT_NE(serial[0].probes[0][0].request_ipid, serial[1].probes[0][0].request_ipid);
+}
+
+TEST(AsyncEngine, PipelineShardingMatchesSingleThread) {
+    const sim::TopologyConfig topo_config{
+        .seed = 19, .num_ases = 80, .tier1_count = 5, .transit_fraction = 0.2, .scale = 0.5};
+
+    auto measure_with = [&](std::size_t window, std::size_t workers) {
+        sim::Topology topology = sim::Topology::build(topo_config);
+        sim::Internet internet(topology, {.seed = 3, .loss_rate = 0.005});
+        SimTransport transport(internet);
+        core::PipelineConfig config;
+        config.campaign.window = window;
+        config.worker_threads = workers;
+        config.shard_grain = 16;
+        core::LfpPipeline pipeline(transport, config);
+        const auto targets = world_targets(topology, 120);
+        return pipeline.measure("equivalence", targets);
+    };
+
+    const auto baseline = measure_with(1, 1);
+    const auto sharded = measure_with(32, 4);
+    ASSERT_EQ(baseline.records.size(), sharded.records.size());
+    for (std::size_t i = 0; i < baseline.records.size(); ++i) {
+        EXPECT_EQ(baseline.records[i].probes, sharded.records[i].probes) << i;
+        EXPECT_EQ(baseline.records[i].features, sharded.records[i].features) << i;
+        EXPECT_EQ(baseline.records[i].signature, sharded.records[i].signature) << i;
+        EXPECT_EQ(baseline.records[i].snmp_vendor, sharded.records[i].snmp_vendor) << i;
+    }
+    EXPECT_EQ(baseline.responsive_count(), sharded.responsive_count());
+    EXPECT_EQ(baseline.snmp_count(), sharded.snmp_count());
+}
+
+TEST(AsyncEngine, StressThousandTargetsWindowed) {
+    sim::Topology topology = sim::Topology::build({.seed = 7,
+                                                   .num_ases = 500,
+                                                   .tier1_count = 10,
+                                                   .transit_fraction = 0.18,
+                                                   .scale = 1.0});
+    sim::Internet internet(topology, {.seed = 11, .loss_rate = 0.004});
+    SimTransport transport(internet);
+    Campaign campaign(transport, {.window = 64});
+
+    const auto targets = world_targets(topology, 1200);
+    ASSERT_GE(targets.size(), 1000u) << "world too small for the stress test";
+
+    const auto results = campaign.run(targets);
+    ASSERT_EQ(results.size(), targets.size());
+    EXPECT_EQ(campaign.packets_sent(), targets.size() * 10);
+
+    std::size_t responsive = 0;
+    for (std::size_t i = 0; i < results.size(); ++i) {
+        // Result order is input order even though completions interleave.
+        EXPECT_EQ(results[i].target, targets[i]);
+        if (results[i].any_response()) ++responsive;
+    }
+    EXPECT_GT(responsive, results.size() / 2);
+    EXPECT_GT(campaign.responses_received(), 0u);
+    EXPECT_EQ(campaign.stray_responses(), 0u);
+}
+
+TEST(TargetProbeResult, PartialResponsivenessHelper) {
+    TargetProbeResult result;
+    EXPECT_FALSE(result.partially_responsive());
+    result.probes[1][0].response = net::Bytes{1};
+    EXPECT_TRUE(result.partially_responsive(ProtoIndex::tcp));
+    EXPECT_FALSE(result.protocol_responsive(ProtoIndex::tcp));
+    EXPECT_TRUE(result.partially_responsive());
+    result.probes[1][1].response = net::Bytes{1};
+    result.probes[1][2].response = net::Bytes{1};
+    // All rounds answered: fully responsive, no longer partial.
+    EXPECT_TRUE(result.protocol_responsive(ProtoIndex::tcp));
+    EXPECT_FALSE(result.partially_responsive(ProtoIndex::tcp));
+    EXPECT_FALSE(result.partially_responsive());
+}
+
+}  // namespace
+}  // namespace lfp::probe

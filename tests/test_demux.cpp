@@ -1,0 +1,237 @@
+// Tests for the response demultiplexer: flow-key round trips for every
+// probe shape, matching under interleaved/out-of-order delivery, stray
+// rejection, and cancellation.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "probe/demux.hpp"
+
+namespace lfp::probe {
+namespace {
+
+const net::IPv4Address kVantage = net::IPv4Address::from_octets(192, 0, 2, 7);
+const net::IPv4Address kTarget = net::IPv4Address::from_octets(10, 1, 2, 3);
+const net::IPv4Address kOtherRouter = net::IPv4Address::from_octets(10, 9, 9, 9);
+
+net::IpSendOptions outbound(net::IPv4Address target = kTarget) {
+    net::IpSendOptions ip;
+    ip.source = kVantage;
+    ip.destination = target;
+    ip.identification = 0x4242;
+    return ip;
+}
+
+net::IpSendOptions inbound(net::IPv4Address source = kTarget) {
+    net::IpSendOptions ip;
+    ip.source = source;
+    ip.destination = kVantage;
+    ip.identification = 0x9999;
+    return ip;
+}
+
+net::ParsedPacket parse(const net::Bytes& packet) {
+    auto parsed = net::parse_packet(packet);
+    EXPECT_TRUE(parsed.has_value());
+    return parsed.value();
+}
+
+TEST(FlowKey, IcmpEchoRoundTrip) {
+    const auto request =
+        net::make_icmp_echo_request(outbound(), /*identifier=*/0x1234, /*sequence=*/2,
+                                    net::Bytes(56, 0xA5));
+    auto request_key = request_flow_key(parse(request));
+    ASSERT_TRUE(request_key.has_value());
+    EXPECT_EQ(request_key->target, kTarget.value());
+
+    net::IcmpEcho echo;
+    echo.identifier = 0x1234;
+    echo.sequence = 2;
+    echo.payload = net::Bytes(56, 0xA5);
+    const auto reply = net::make_icmp_echo_reply(inbound(), echo);
+    auto reply_key = response_flow_key(parse(reply));
+    ASSERT_TRUE(reply_key.has_value());
+    EXPECT_EQ(*request_key, *reply_key);
+}
+
+TEST(FlowKey, EchoRequestIsNotAResponse) {
+    const auto request =
+        net::make_icmp_echo_request(outbound(), 0x1234, 0, net::Bytes(8, 0));
+    EXPECT_FALSE(response_flow_key(parse(request)).has_value());
+}
+
+TEST(FlowKey, TcpPortSwapRoundTrip) {
+    net::TcpSegment segment;
+    segment.source_port = 43211;
+    segment.destination_port = 33533;
+    segment.flags.ack = true;
+    segment.acknowledgment = 0xBEEF0001;
+    const auto request = net::make_tcp_packet(outbound(), segment);
+    auto request_key = request_flow_key(parse(request));
+    ASSERT_TRUE(request_key.has_value());
+
+    net::TcpSegment rst;
+    rst.source_port = 33533;
+    rst.destination_port = 43211;
+    rst.flags.rst = true;
+    const auto response = net::make_tcp_packet(inbound(), rst);
+    auto response_key = response_flow_key(parse(response));
+    ASSERT_TRUE(response_key.has_value());
+    EXPECT_EQ(*request_key, *response_key);
+}
+
+TEST(FlowKey, UdpDirectReplyRoundTrip) {
+    net::UdpDatagram datagram;
+    datagram.source_port = 43218;
+    datagram.destination_port = 161;
+    datagram.payload = net::Bytes(16, 0x30);
+    const auto request = net::make_udp_packet(outbound(), datagram);
+    auto request_key = request_flow_key(parse(request));
+    ASSERT_TRUE(request_key.has_value());
+
+    net::UdpDatagram reply;
+    reply.source_port = 161;
+    reply.destination_port = 43218;
+    reply.payload = net::Bytes(24, 0x30);
+    const auto response = net::make_udp_packet(inbound(), reply);
+    auto response_key = response_flow_key(parse(response));
+    ASSERT_TRUE(response_key.has_value());
+    EXPECT_EQ(*request_key, *response_key);
+}
+
+TEST(FlowKey, IcmpErrorQuotingUdpRoundTrip) {
+    net::UdpDatagram datagram;
+    datagram.source_port = 43211;
+    datagram.destination_port = 33533;
+    datagram.payload = net::Bytes(12, 0x00);
+    const auto request = net::make_udp_packet(outbound(), datagram);
+    auto request_key = request_flow_key(parse(request));
+    ASSERT_TRUE(request_key.has_value());
+
+    // Port unreachable from the target, quoting our whole probe.
+    const auto error =
+        net::make_icmp_error(inbound(), net::IcmpType::destination_unreachable,
+                             net::kIcmpCodePortUnreachable, request, request.size());
+    auto response_key = response_flow_key(parse(error));
+    ASSERT_TRUE(response_key.has_value());
+    EXPECT_EQ(*request_key, *response_key);
+}
+
+TEST(FlowKey, IcmpErrorQuotingTcpProbeRejected) {
+    // TCP responsiveness means an actual RST; an admin-prohibited ICMP
+    // error quoting the TCP probe must not key into the TCP slot.
+    net::TcpSegment segment;
+    segment.source_port = 43211;
+    segment.destination_port = 33533;
+    segment.flags.ack = true;
+    const auto request = net::make_tcp_packet(outbound(), segment);
+
+    const auto error =
+        net::make_icmp_error(inbound(), net::IcmpType::destination_unreachable,
+                             /*code=*/13, request, request.size());
+    EXPECT_FALSE(response_flow_key(parse(error)).has_value());
+}
+
+TEST(FlowKey, IcmpErrorFromIntermediateRouterRejected) {
+    net::UdpDatagram datagram;
+    datagram.source_port = 43211;
+    datagram.destination_port = 33533;
+    const auto request = net::make_udp_packet(outbound(), datagram);
+
+    // Same quote, but emitted by a router that is not the probed address:
+    // the quoted destination no longer matches the error's source.
+    const auto error =
+        net::make_icmp_error(inbound(kOtherRouter), net::IcmpType::time_exceeded,
+                             net::kIcmpCodeTtlExceeded, request, request.size());
+    EXPECT_FALSE(response_flow_key(parse(error)).has_value());
+}
+
+TEST(ResponseDemux, MatchesOutOfOrderAndConsumes) {
+    ResponseDemux demux;
+    std::vector<net::Bytes> requests;
+    std::vector<net::Bytes> responses;
+    for (std::uint16_t round = 0; round < 3; ++round) {
+        auto ip = outbound();
+        const auto request =
+            net::make_icmp_echo_request(ip, 0x7000, round, net::Bytes(8, 0));
+        auto key = request_flow_key(parse(request));
+        ASSERT_TRUE(key.has_value());
+        demux.expect(*key, SlotRef{5, round});
+        requests.push_back(request);
+
+        net::IcmpEcho echo;
+        echo.identifier = 0x7000;
+        echo.sequence = round;
+        echo.payload = net::Bytes(8, 0);
+        responses.push_back(net::make_icmp_echo_reply(inbound(), echo));
+    }
+    EXPECT_EQ(demux.outstanding(), 3u);
+
+    // Deliver in reverse order: every response still finds its slot.
+    std::reverse(responses.begin(), responses.end());
+    std::vector<std::uint16_t> resolved;
+    for (const auto& response : responses) {
+        auto slot = demux.match(parse(response));
+        ASSERT_TRUE(slot.has_value());
+        EXPECT_EQ(slot->target, 5u);
+        resolved.push_back(slot->slot);
+    }
+    EXPECT_EQ(resolved, (std::vector<std::uint16_t>{2, 1, 0}));
+    EXPECT_EQ(demux.outstanding(), 0u);
+    EXPECT_EQ(demux.stray_responses(), 0u);
+
+    // A duplicate delivery is a stray: the slot was consumed.
+    EXPECT_FALSE(demux.match(parse(responses[0])).has_value());
+    EXPECT_EQ(demux.stray_responses(), 1u);
+}
+
+TEST(ResponseDemux, InterleavedTargetsResolveIndependently) {
+    ResponseDemux demux;
+    const auto target_a = net::IPv4Address::from_octets(10, 0, 0, 1);
+    const auto target_b = net::IPv4Address::from_octets(10, 0, 0, 2);
+    for (std::uint64_t handle = 0; handle < 2; ++handle) {
+        const auto target = handle == 0 ? target_a : target_b;
+        const auto request = net::make_icmp_echo_request(
+            outbound(target), /*identifier=*/0x11, /*sequence=*/0, net::Bytes(8, 0));
+        auto key = request_flow_key(parse(request));
+        ASSERT_TRUE(key.has_value());
+        demux.expect(*key, SlotRef{handle, 0});
+    }
+
+    // B answers before A; identical id/seq, distinct source addresses.
+    net::IcmpEcho echo;
+    echo.identifier = 0x11;
+    echo.sequence = 0;
+    echo.payload = net::Bytes(8, 0);
+    auto slot_b = demux.match(parse(net::make_icmp_echo_reply(inbound(target_b), echo)));
+    ASSERT_TRUE(slot_b.has_value());
+    EXPECT_EQ(slot_b->target, 1u);
+    auto slot_a = demux.match(parse(net::make_icmp_echo_reply(inbound(target_a), echo)));
+    ASSERT_TRUE(slot_a.has_value());
+    EXPECT_EQ(slot_a->target, 0u);
+}
+
+TEST(ResponseDemux, CancelTargetDropsOnlyItsSlots) {
+    ResponseDemux demux;
+    for (std::uint64_t handle = 0; handle < 3; ++handle) {
+        const auto target = net::IPv4Address::from_octets(
+            10, 0, 1, static_cast<std::uint8_t>(handle + 1));
+        const auto request =
+            net::make_icmp_echo_request(outbound(target), 0x22, 0, net::Bytes(8, 0));
+        demux.expect(request_flow_key(parse(request)).value(), SlotRef{handle, 0});
+    }
+    demux.cancel_target(1);
+    EXPECT_EQ(demux.outstanding(), 2u);
+
+    net::IcmpEcho echo;
+    echo.identifier = 0x22;
+    echo.sequence = 0;
+    echo.payload = net::Bytes(8, 0);
+    const auto cancelled = net::IPv4Address::from_octets(10, 0, 1, 2);
+    EXPECT_FALSE(demux.match(parse(net::make_icmp_echo_reply(inbound(cancelled), echo))));
+    const auto alive = net::IPv4Address::from_octets(10, 0, 1, 3);
+    EXPECT_TRUE(demux.match(parse(net::make_icmp_echo_reply(inbound(alive), echo))));
+}
+
+}  // namespace
+}  // namespace lfp::probe

@@ -12,16 +12,18 @@ namespace lfp::probe {
 namespace {
 
 /// Transport that records every packet and never answers.
-class RecordingTransport final : public ProbeTransport {
+class RecordingTransport final : public SynchronousTransport {
   public:
-    std::optional<net::Bytes> transact(std::span<const std::uint8_t> packet) override {
-        packets.emplace_back(packet.begin(), packet.end());
-        return std::nullopt;
-    }
     [[nodiscard]] net::IPv4Address vantage_address() const override {
         return net::IPv4Address::from_octets(192, 0, 2, 7);
     }
     std::vector<net::Bytes> packets;
+
+  protected:
+    std::optional<net::Bytes> exchange(std::span<const std::uint8_t> packet) override {
+        packets.emplace_back(packet.begin(), packet.end());
+        return std::nullopt;
+    }
 };
 
 TEST(Campaign, SendsNineProbesPlusSnmp) {

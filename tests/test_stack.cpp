@@ -16,13 +16,15 @@ const net::IPv4Address kRouterIp = net::IPv4Address::from_octets(5, 5, 5, 5);
 
 /// Transport that hands packets straight to one router (no loss, no TTL
 /// decay) — isolates stack behaviour from the network model.
-class DirectTransport final : public probe::ProbeTransport {
+class DirectTransport final : public probe::SynchronousTransport {
   public:
     explicit DirectTransport(SimulatedRouter& router) : router_(&router) {}
-    std::optional<net::Bytes> transact(std::span<const std::uint8_t> packet) override {
+    [[nodiscard]] net::IPv4Address vantage_address() const override { return kVantage; }
+
+  protected:
+    std::optional<net::Bytes> exchange(std::span<const std::uint8_t> packet) override {
         return router_->handle_packet(packet);
     }
-    [[nodiscard]] net::IPv4Address vantage_address() const override { return kVantage; }
 
   private:
     SimulatedRouter* router_;
