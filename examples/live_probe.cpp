@@ -13,7 +13,7 @@
 #include <string>
 #include <vector>
 
-#include "core/pipeline.hpp"
+#include "core/census.hpp"
 #include "probe/raw_socket_transport.hpp"
 #include "util/table.hpp"
 
@@ -50,15 +50,21 @@ int main(int argc, char** argv) {
                      " only probe infrastructure you are authorized to measure)\n";
     }
 
-    // Async engine configuration: keep up to 32 targets in flight (sends
-    // stay in the fixed global order; responses are demultiplexed by flow
-    // key as they arrive). window = 1 would reproduce serial pacing.
-    core::PipelineConfig config;
-    config.campaign.window = 32;
-    config.campaign.response_timeout = options.timeout;
-    config.worker_threads = 0;  // one feature-extraction shard per core
-    core::LfpPipeline pipeline(transport, config);
-    auto measurement = pipeline.measure("live", targets);
+    // Declarative census plan: one vantage lane over this transport, up to
+    // 32 targets in flight (sends stay in the fixed global order; responses
+    // are demultiplexed by flow key as they arrive; window = 1 would
+    // reproduce serial pacing). A real multi-origin deployment would list
+    // one transport per vantage here and the runner would partition the
+    // target list across them.
+    core::CensusPlan plan;
+    plan.name = "live";
+    plan.targets = targets;
+    plan.vantages = {&transport};
+    plan.campaign.window = 32;
+    plan.campaign.response_timeout = options.timeout;
+    plan.worker_threads = 0;  // one feature-extraction shard per core
+    core::CensusRunner runner(std::move(plan));
+    auto measurement = runner.run();
 
     util::TablePrinter table("LFP live probe results");
     table.header({"target", "protocols", "SNMPv3 vendor", "signature"});
@@ -72,9 +78,9 @@ int main(int argc, char** argv) {
     }
     table.print(std::cout);
 
-    std::cout << "\nPackets sent: " << pipeline.packets_sent() << " (10 per target).\n"
+    std::cout << "\nPackets sent: " << runner.packets_sent() << " (10 per target).\n"
               << "To classify live signatures, load a signature database built from a\n"
-              << "labeled corpus (see LfpPipeline::build_database) and call\n"
-              << "LfpClassifier::classify on each record.\n";
+              << "labeled corpus (see CensusRunner::build_database) and call\n"
+              << "CensusRunner::classify on the measurement.\n";
     return 0;
 }

@@ -1,7 +1,9 @@
 #include "analysis/experiment_world.hpp"
 
+#include <cerrno>
 #include <cstdlib>
 #include <stdexcept>
+#include <string_view>
 
 namespace lfp::analysis {
 
@@ -10,13 +12,29 @@ namespace {
 double env_double(const char* name, double fallback) {
     const char* value = std::getenv(name);
     if (value == nullptr) return fallback;
-    return std::strtod(value, nullptr);
+    char* end = nullptr;
+    errno = 0;
+    const double parsed = std::strtod(value, &end);
+    if (end == value || *end != '\0' || errno == ERANGE) {
+        throw std::invalid_argument(std::string(name) + "=\"" + value + "\" is not a number");
+    }
+    return parsed;
 }
 
 std::uint64_t env_u64(const char* name, std::uint64_t fallback) {
     const char* value = std::getenv(name);
     if (value == nullptr) return fallback;
-    return std::strtoull(value, nullptr, 10);
+    char* end = nullptr;
+    errno = 0;
+    const std::uint64_t parsed = std::strtoull(value, &end, 10);
+    // strtoull silently wraps negative input ("-1" -> 2^64-1), so reject a
+    // minus sign explicitly.
+    if (end == value || *end != '\0' || errno == ERANGE ||
+        std::string_view(value).find('-') != std::string_view::npos) {
+        throw std::invalid_argument(std::string(name) + "=\"" + value +
+                                    "\" is not an unsigned integer");
+    }
+    return parsed;
 }
 
 }  // namespace
@@ -28,7 +46,43 @@ WorldConfig WorldConfig::from_env() {
     config.num_ases = static_cast<std::size_t>(env_u64("LFP_ASES", config.num_ases));
     config.traces_per_snapshot =
         static_cast<std::size_t>(env_u64("LFP_TRACES", config.traces_per_snapshot));
+    config.window = static_cast<std::size_t>(env_u64("LFP_WINDOW", config.window));
+    config.worker_threads = static_cast<std::size_t>(env_u64("LFP_WORKERS", config.worker_threads));
+    config.vantages = static_cast<std::size_t>(env_u64("LFP_VANTAGES", config.vantages));
+    config.validate();
     return config;
+}
+
+void WorldConfig::validate() const {
+    if (scale <= 0) {
+        throw std::invalid_argument("WorldConfig: scale (LFP_SCALE) must be > 0");
+    }
+    if (vantages == 0) {
+        throw std::invalid_argument(
+            "WorldConfig: vantages (LFP_VANTAGES) must be >= 1 — a census needs at least one "
+            "vantage point");
+    }
+    if (vantages > core::CensusPlan::kMaxVantages) {
+        throw std::invalid_argument("WorldConfig: vantages (LFP_VANTAGES) = " +
+                                    std::to_string(vantages) + " exceeds the ceiling of " +
+                                    std::to_string(core::CensusPlan::kMaxVantages));
+    }
+    if (window == 0) {
+        throw std::invalid_argument(
+            "WorldConfig: window (LFP_WINDOW) must be >= 1 (1 = serial pacing)");
+    }
+    if (window > core::CensusPlan::kMaxWindow) {
+        throw std::invalid_argument("WorldConfig: window (LFP_WINDOW) = " +
+                                    std::to_string(window) + " exceeds the ceiling of " +
+                                    std::to_string(core::CensusPlan::kMaxWindow));
+    }
+    if (worker_threads > core::CensusPlan::kMaxWorkers) {
+        throw std::invalid_argument("WorldConfig: worker_threads (LFP_WORKERS) = " +
+                                    std::to_string(worker_threads) +
+                                    " exceeds the ceiling of " +
+                                    std::to_string(core::CensusPlan::kMaxWorkers) +
+                                    " (0 = one per hardware thread)");
+    }
 }
 
 std::unique_ptr<ExperimentWorld> ExperimentWorld::create(WorldConfig config) {
@@ -36,14 +90,21 @@ std::unique_ptr<ExperimentWorld> ExperimentWorld::create(WorldConfig config) {
 }
 
 ExperimentWorld::ExperimentWorld(WorldConfig config)
-    : config_(config),
+    : config_((config.validate(), config)),
       topology_(sim::Topology::build({.seed = config.seed,
                                       .num_ases = config.num_ases,
                                       .tier1_count = 12,
                                       .transit_fraction = 0.18,
                                       .scale = config.scale})),
-      internet_(topology_, {.seed = config.seed ^ 0xF00D, .loss_rate = 0.004}),
-      transport_(internet_) {
+      internet_(topology_, {.seed = config.seed ^ 0xF00D, .loss_rate = 0.004}) {
+    // One transport per vantage lane, all sharing the wire and the vantage
+    // address: lanes model parallel probing capacity at one origin, so the
+    // merged measurement is byte-identical whatever the lane count.
+    transports_.reserve(config.vantages);
+    for (std::size_t v = 0; v < config.vantages; ++v) {
+        transports_.push_back(std::make_unique<probe::SimTransport>(internet_));
+    }
+
     // Datasets.
     sim::DatasetConfig dataset_config;
     dataset_config.seed = config.seed ^ 0xDA7A;
@@ -52,24 +113,51 @@ ExperimentWorld::ExperimentWorld(WorldConfig config)
     ripe_ = builder.ripe_snapshots();
     itdk_ = builder.itdk();
 
-    // Measurements (Figure 1 steps 1-2 per dataset).
-    core::LfpPipeline pipeline(transport_);
+    // Measurements (Figure 1 steps 1-2 per dataset) through the vantage-
+    // aware runner. Successive datasets continue the same global ID lanes,
+    // like one long serial campaign over the concatenated target lists.
+    core::CensusPlan plan;
+    plan.vantages.reserve(transports_.size());
+    for (const auto& transport : transports_) plan.vantages.push_back(transport.get());
+    plan.campaign.window = config.window;
+    plan.worker_threads = config.worker_threads;
+    core::CensusRunner runner(std::move(plan));
+
+    // Lane assignment by ground-truth router affinity: interface aliases of
+    // one (stateful) simulated router always share a lane, which keeps the
+    // multi-lane run deterministic and thread-safe. Addresses without a
+    // backing router are independent; they get singleton keys outside the
+    // router-index range.
+    auto affinity_assignment = [&](const std::vector<net::IPv4Address>& targets) {
+        std::vector<std::uint64_t> keys;
+        keys.reserve(targets.size());
+        for (net::IPv4Address ip : targets) {
+            const std::size_t router = topology_.find_by_interface(ip);
+            keys.push_back(router != sim::Topology::npos
+                               ? static_cast<std::uint64_t>(router)
+                               : 0x8000000000000000ULL | ip.value());
+        }
+        return core::CensusPlan::assignment_by_affinity(keys, transports_.size());
+    };
+
     measurements_.reserve(ripe_.size() + 1);
     for (const sim::TracerouteDataset& snapshot : ripe_) {
         const auto targets = snapshot.router_ips();
-        measurements_.push_back(pipeline.measure(snapshot.name, targets));
+        measurements_.push_back(
+            runner.measure(snapshot.name, targets, affinity_assignment(targets)));
     }
     {
         const auto targets = itdk_.router_ips();
-        measurements_.push_back(pipeline.measure(itdk_.name, targets));
+        measurements_.push_back(runner.measure(itdk_.name, targets, affinity_assignment(targets)));
     }
-    packets_sent_ = pipeline.packets_sent();
+    packets_sent_ = runner.packets_sent();
 
-    // Union signature database (step 3) and classification (steps 4-5).
-    database_ = core::LfpPipeline::build_database(
-        measurements_, {.min_occurrences = config.signature_min_occurrences});
+    // Union signature database (step 3) and classification (steps 4-5),
+    // sharded over the runner's worker pool.
+    database_ = runner.build_database(measurements_,
+                                      {.min_occurrences = config.signature_min_occurrences});
     for (core::Measurement& measurement : measurements_) {
-        core::LfpPipeline::classify_measurement(measurement, database_);
+        runner.classify(measurement, database_);
     }
 }
 
@@ -77,7 +165,13 @@ const core::Measurement& ExperimentWorld::measurement(const std::string& name) c
     for (const core::Measurement& m : measurements_) {
         if (m.name == name) return m;
     }
-    throw std::out_of_range("no measurement named " + name);
+    std::string available;
+    for (const core::Measurement& m : measurements_) {
+        if (!available.empty()) available += ", ";
+        available += m.name;
+    }
+    throw std::out_of_range("no measurement named \"" + name + "\" (available: " + available +
+                            ")");
 }
 
 }  // namespace lfp::analysis

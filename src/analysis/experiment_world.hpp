@@ -2,11 +2,20 @@
 // six datasets (RIPE-1..5 + ITDK), runs the LFP campaign against each,
 // builds the union signature database, and classifies everything — the
 // common prefix of every table/figure reproduction.
+//
+// The campaigns run through a CensusRunner: WorldConfig::vantages lanes
+// (each its own SimTransport over the shared simulated Internet), window
+// targets in flight per lane, and worker_threads pool shards for the
+// analysis stages. Targets are assigned to lanes by ground-truth router
+// affinity, so the measurements are byte-identical for every vantage count,
+// window size, and worker count — the knobs only change how fast the world
+// is built.
 #pragma once
 
 #include <memory>
 #include <string>
 
+#include "core/census.hpp"
 #include "core/pipeline.hpp"
 #include "probe/sim_transport.hpp"
 #include "sim/datasets.hpp"
@@ -22,8 +31,19 @@ struct WorldConfig {
     std::size_t traces_per_snapshot = 30000;
     std::size_t signature_min_occurrences = 20;
 
-    /// Honors LFP_SEED / LFP_SCALE / LFP_ASES / LFP_TRACES env overrides.
+    /// Probe-engine knobs, finally honored by ExperimentWorld construction.
+    std::size_t window = 32;         ///< in-flight targets per vantage lane
+    std::size_t worker_threads = 0;  ///< analysis pool width (0 = hardware)
+    std::size_t vantages = 1;        ///< vantage lanes (results identical for any count)
+
+    /// Honors LFP_SEED / LFP_SCALE / LFP_ASES / LFP_TRACES / LFP_WINDOW /
+    /// LFP_WORKERS / LFP_VANTAGES env overrides. Throws std::invalid_argument
+    /// (naming the variable) on unparseable or absurd values.
     static WorldConfig from_env();
+
+    /// Rejects impossible knob combinations (0 vantages, 0 window, ceilings
+    /// from CensusPlan) with a clear error instead of UB downstream.
+    void validate() const;
 };
 
 class ExperimentWorld {
@@ -38,7 +58,12 @@ class ExperimentWorld {
     [[nodiscard]] sim::Topology& topology() noexcept { return topology_; }
     [[nodiscard]] const sim::Topology& topology() const noexcept { return topology_; }
     [[nodiscard]] sim::Internet& internet() noexcept { return internet_; }
-    [[nodiscard]] probe::SimTransport& transport() noexcept { return transport_; }
+    /// Lane 0's transport (the classic single-vantage view).
+    [[nodiscard]] probe::SimTransport& transport() noexcept { return *transports_.front(); }
+    [[nodiscard]] const std::vector<std::unique_ptr<probe::SimTransport>>& vantage_transports()
+        const noexcept {
+        return transports_;
+    }
 
     [[nodiscard]] const std::vector<sim::TracerouteDataset>& ripe() const noexcept {
         return ripe_;
@@ -50,6 +75,8 @@ class ExperimentWorld {
     [[nodiscard]] const std::vector<core::Measurement>& measurements() const noexcept {
         return measurements_;
     }
+    /// Lookup by dataset name; throws std::out_of_range naming the missing
+    /// dataset and the available names.
     [[nodiscard]] const core::Measurement& measurement(const std::string& name) const;
     [[nodiscard]] const core::Measurement& ripe5_measurement() const {
         return measurements_[4];
@@ -70,7 +97,7 @@ class ExperimentWorld {
     WorldConfig config_;
     sim::Topology topology_;
     sim::Internet internet_;
-    probe::SimTransport transport_;
+    std::vector<std::unique_ptr<probe::SimTransport>> transports_;
     std::vector<sim::TracerouteDataset> ripe_;
     sim::ItdkDataset itdk_;
     std::vector<core::Measurement> measurements_;

@@ -1,0 +1,254 @@
+#include "core/census.hpp"
+
+#include <algorithm>
+#include <exception>
+#include <stdexcept>
+#include <thread>
+#include <unordered_map>
+
+#include "core/labeler.hpp"
+#include "probe/campaign.hpp"
+
+namespace lfp::core {
+
+namespace {
+
+[[noreturn]] void plan_error(const std::string& what) {
+    throw std::invalid_argument("CensusPlan: " + what);
+}
+
+/// Validates before the pool (and its threads) exists.
+const CensusPlan& validated(const CensusPlan& plan) {
+    plan.validate();
+    return plan;
+}
+
+}  // namespace
+
+void CensusPlan::validate() const {
+    if (vantages.empty()) {
+        plan_error("no vantage transports (a census needs at least one vantage)");
+    }
+    if (vantages.size() > kMaxVantages) {
+        plan_error(std::to_string(vantages.size()) + " vantages exceeds the ceiling of " +
+                   std::to_string(kMaxVantages));
+    }
+    for (std::size_t v = 0; v < vantages.size(); ++v) {
+        if (vantages[v] == nullptr) {
+            plan_error("vantage " + std::to_string(v) + " is a null transport");
+        }
+    }
+    if (campaign.window == 0) {
+        plan_error("window must be >= 1 (1 = serial pacing)");
+    }
+    if (campaign.window > kMaxWindow) {
+        plan_error("window " + std::to_string(campaign.window) + " exceeds the ceiling of " +
+                   std::to_string(kMaxWindow));
+    }
+    if (worker_threads > kMaxWorkers) {
+        plan_error("worker_threads " + std::to_string(worker_threads) +
+                   " exceeds the ceiling of " + std::to_string(kMaxWorkers) +
+                   " (0 = one per hardware thread)");
+    }
+    if (shard_grain == 0) {
+        plan_error("shard_grain must be >= 1");
+    }
+    if (!assignment.empty()) {
+        if (assignment.size() != targets.size()) {
+            plan_error("assignment covers " + std::to_string(assignment.size()) +
+                       " targets but the plan has " + std::to_string(targets.size()));
+        }
+        for (std::size_t i = 0; i < assignment.size(); ++i) {
+            if (assignment[i] >= vantages.size()) {
+                plan_error("assignment[" + std::to_string(i) + "] = " +
+                           std::to_string(assignment[i]) + " but there are only " +
+                           std::to_string(vantages.size()) + " vantages");
+            }
+        }
+    }
+}
+
+std::vector<std::uint32_t> CensusPlan::assignment_by_affinity(
+    std::span<const std::uint64_t> keys, std::size_t vantage_count) {
+    if (vantage_count == 0) plan_error("assignment_by_affinity: zero vantages");
+    std::vector<std::uint32_t> assignment(keys.size());
+    std::unordered_map<std::uint64_t, std::uint32_t> lane_of_key;
+    lane_of_key.reserve(keys.size());
+    std::uint32_t next_lane = 0;
+    for (std::size_t i = 0; i < keys.size(); ++i) {
+        auto [it, inserted] = lane_of_key.try_emplace(keys[i], next_lane);
+        if (inserted) next_lane = static_cast<std::uint32_t>((next_lane + 1) % vantage_count);
+        assignment[i] = it->second;
+    }
+    return assignment;
+}
+
+CensusRunner::CensusRunner(CensusPlan plan)
+    : plan_(std::move(plan)), pool_(validated(plan_).worker_threads) {}
+
+Measurement CensusRunner::run() {
+    return measure(plan_.name, plan_.targets, plan_.assignment);
+}
+
+Measurement CensusRunner::measure(std::string name, std::span<const net::IPv4Address> targets,
+                                  std::span<const std::uint32_t> assignment) {
+    const std::size_t lanes = plan_.vantages.size();
+    if (!assignment.empty() && assignment.size() != targets.size()) {
+        plan_error("measure(): assignment covers " + std::to_string(assignment.size()) +
+                   " targets but the list has " + std::to_string(targets.size()));
+    }
+
+    // Partition: each lane gets its slice of the target list plus the
+    // targets' global indices, in input order.
+    struct Lane {
+        std::vector<net::IPv4Address> targets;
+        std::vector<std::uint64_t> indices;
+    };
+    // Default assignment: round-robin over *distinct addresses* rather than
+    // raw positions, so duplicate targets land on one lane (they share a
+    // backend router whose counters must see them in serial order; two
+    // lanes probing it concurrently would race). For a duplicate-free list
+    // this degenerates to plain i mod lanes.
+    std::vector<std::uint32_t> default_assignment;
+    if (assignment.empty() && lanes > 1) {
+        std::vector<std::uint64_t> keys;
+        keys.reserve(targets.size());
+        for (net::IPv4Address ip : targets) keys.push_back(ip.value());
+        default_assignment = CensusPlan::assignment_by_affinity(keys, lanes);
+        assignment = default_assignment;
+    }
+
+    const std::uint64_t index_base = next_global_index_;
+    std::vector<Lane> partition(lanes);
+    for (std::size_t i = 0; i < targets.size(); ++i) {
+        const std::size_t lane = assignment.empty() ? i % lanes : assignment[i];
+        if (lane >= lanes) {
+            plan_error("measure(): assignment[" + std::to_string(i) + "] = " +
+                       std::to_string(lane) + " but there are only " + std::to_string(lanes) +
+                       " vantages");
+        }
+        partition[lane].targets.push_back(targets[i]);
+        partition[lane].indices.push_back(index_base + i);
+    }
+
+    // Each vantage lane runs its own windowed campaign with its own slice
+    // of the global ID lanes. One lane runs inline; N lanes get a thread
+    // each (they spend their life overlapping network waits, so a dedicated
+    // thread per lane beats queueing them behind pool workers).
+    std::vector<std::vector<probe::TargetProbeResult>> lane_results(lanes);
+    std::vector<probe::Campaign> campaigns;
+    campaigns.reserve(lanes);
+    for (std::size_t v = 0; v < lanes; ++v) {
+        campaigns.emplace_back(*plan_.vantages[v], plan_.campaign);
+    }
+    auto run_lane = [&](std::size_t v) {
+        lane_results[v] = campaigns[v].run_indexed(partition[v].targets, partition[v].indices);
+    };
+    if (lanes == 1) {
+        run_lane(0);
+    } else {
+        std::vector<std::exception_ptr> errors(lanes);
+        std::vector<std::thread> threads;
+        threads.reserve(lanes);
+        for (std::size_t v = 0; v < lanes; ++v) {
+            threads.emplace_back([&, v] {
+                try {
+                    run_lane(v);
+                } catch (...) {
+                    errors[v] = std::current_exception();
+                }
+            });
+        }
+        for (std::thread& thread : threads) thread.join();
+        for (const std::exception_ptr& error : errors) {
+            if (error) std::rethrow_exception(error);
+        }
+    }
+    next_global_index_ += targets.size();
+    for (const probe::Campaign& campaign : campaigns) {
+        packets_sent_ += campaign.packets_sent();
+        responses_ += campaign.responses_received();
+        strays_ += campaign.stray_responses();
+    }
+
+    // Index merge: record order is input order whatever the lane layout.
+    std::vector<probe::TargetProbeResult> probed(targets.size());
+    for (std::size_t v = 0; v < lanes; ++v) {
+        for (std::size_t k = 0; k < partition[v].indices.size(); ++k) {
+            probed[partition[v].indices[k] - index_base] = std::move(lane_results[v][k]);
+        }
+    }
+    return assemble_measurement(std::move(name), std::move(probed), plan_.extractor, pool_,
+                                plan_.shard_grain);
+}
+
+SignatureDatabase CensusRunner::build_database(std::span<const Measurement> measurements,
+                                               SignatureDbConfig config) {
+    return build_signature_database(measurements, config, pool_);
+}
+
+void CensusRunner::classify(Measurement& measurement, const SignatureDatabase& database,
+                            LfpClassifier::Options options) {
+    classify_records(measurement, database, options, pool_, plan_.shard_grain);
+}
+
+Measurement assemble_measurement(std::string name,
+                                 std::vector<probe::TargetProbeResult>&& probed,
+                                 const FeatureExtractorConfig& extractor,
+                                 util::ThreadPool& pool, std::size_t grain) {
+    Measurement measurement;
+    measurement.name = std::move(name);
+    measurement.records.resize(probed.size());
+    TargetRecord* records = measurement.records.data();
+    probe::TargetProbeResult* probes = probed.data();
+    pool.parallel_for(probed.size(), grain,
+                      [&extractor, records, probes](std::size_t begin, std::size_t end) {
+                          for (std::size_t i = begin; i < end; ++i) {
+                              TargetRecord& record = records[i];
+                              record.probes = std::move(probes[i]);
+                              record.features = extract_features(record.probes, extractor);
+                              record.signature = Signature::from_features(record.features);
+                              record.snmp_vendor = snmp_vendor_label(record.probes);
+                          }
+                      });
+    return measurement;
+}
+
+SignatureDatabase build_signature_database(std::span<const Measurement> measurements,
+                                           SignatureDbConfig config, util::ThreadPool& pool) {
+    // Shard aggregation per measurement: counts are additive, so absorbing
+    // the shard databases (in any order — we use measurement order) yields
+    // the same totals as one serial pass.
+    std::vector<SignatureDatabase> shards(measurements.size(), SignatureDatabase(config));
+    SignatureDatabase* shard_data = shards.data();
+    const Measurement* measurement_data = measurements.data();
+    pool.parallel_for(measurements.size(), 1,
+                      [shard_data, measurement_data](std::size_t begin, std::size_t end) {
+                          for (std::size_t m = begin; m < end; ++m) {
+                              for (const TargetRecord& record : measurement_data[m].records) {
+                                  if (!record.snmp_vendor || record.features.empty()) continue;
+                                  shard_data[m].add_labeled(record.signature,
+                                                            *record.snmp_vendor);
+                              }
+                          }
+                      });
+    SignatureDatabase database(config);
+    for (const SignatureDatabase& shard : shards) database.absorb(shard);
+    database.finalize();
+    return database;
+}
+
+void classify_records(Measurement& measurement, const SignatureDatabase& database,
+                      LfpClassifier::Options options, util::ThreadPool& pool,
+                      std::size_t grain) {
+    const LfpClassifier classifier(database, options);
+    TargetRecord* records = measurement.records.data();
+    pool.parallel_for(measurement.records.size(), grain,
+                      [&classifier, records](std::size_t begin, std::size_t end) {
+                          for (std::size_t i = begin; i < end; ++i) {
+                              records[i].lfp = classifier.classify(records[i].signature);
+                          }
+                      });
+}
+
+}  // namespace lfp::core

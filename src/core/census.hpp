@@ -1,0 +1,161 @@
+// Vantage-aware census API: the declarative CensusPlan describes *what* to
+// measure (targets, vantage transports, window/timeout/worker knobs, ID
+// bases) and the CensusRunner executes it — partitioning the target list
+// across vantage lanes, running each lane's windowed campaign on its own
+// thread, and index-merging records so the merged Measurement is
+// byte-identical to a single-vantage serial run on deterministic transports.
+//
+// Determinism rests on three properties:
+//   1. IPIDs and SNMP msgIDs are pure functions of a target's *global*
+//      index (Campaign::run_indexed), so every lane stamps exactly the
+//      packets a serial run would, whatever the partition.
+//   2. Records are merged by global index, so output order never depends on
+//      lane scheduling.
+//   3. Targets that share backend state (alias IPs of one simulated router)
+//      are pinned to one lane via CensusPlan::assignment, preserving their
+//      serial relative order; lanes touch disjoint state and may run freely
+//      in parallel.
+// The downstream stages (feature extraction, signature aggregation,
+// classification) shard over a worker pool with index-order merges, so the
+// whole Figure-1 pipeline is deterministic at any worker count.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/measurement.hpp"
+#include "probe/transport.hpp"
+#include "util/thread_pool.hpp"
+
+namespace lfp::core {
+
+/// Declarative description of a measurement census: one aggregate holding
+/// everything the ad-hoc Campaign::Config + PipelineConfig + loose
+/// ExperimentWorld plumbing used to scatter.
+struct CensusPlan {
+    /// Name stamped onto the Measurement produced by run().
+    std::string name = "census";
+    /// Target list for run(). measure() takes explicit lists instead.
+    std::vector<net::IPv4Address> targets;
+
+    /// Vantage transports, one per lane (non-owning; must outlive the
+    /// runner). One entry reproduces the classic single-vantage pipeline.
+    std::vector<probe::ProbeTransport*> vantages;
+
+    /// Optional explicit lane assignment for run(): assignment[i] is the
+    /// vantage lane of targets[i]. Empty = round-robin over distinct
+    /// addresses (duplicates of one address always share a lane; for a
+    /// duplicate-free list this is plain i mod lane count). Targets that
+    /// share backend state under *different* addresses (alias interfaces
+    /// of one simulated router) must be grouped explicitly; use
+    /// assignment_by_affinity() to build such an assignment from keys.
+    std::vector<std::uint32_t> assignment;
+
+    /// Per-lane campaign knobs: window, timeouts, IPID/msgID bases. The ID
+    /// bases seed the *global* index lanes, shared by every vantage.
+    probe::Campaign::Config campaign;
+    FeatureExtractorConfig extractor;
+
+    /// Worker pool size for sharded feature extraction, signature
+    /// aggregation, and classification. 1 = single-threaded, 0 = one worker
+    /// per hardware thread. Any value yields identical output.
+    std::size_t worker_threads = 1;
+    /// Records per worker-pool shard.
+    std::size_t shard_grain = 64;
+
+    /// Validation ceilings: generous for real deployments, tight enough to
+    /// catch corrupted configs (a window of 2^20 or 10^6 vantages is a bug,
+    /// not a plan).
+    static constexpr std::size_t kMaxVantages = 256;
+    static constexpr std::size_t kMaxWindow = 1 << 16;
+    static constexpr std::size_t kMaxWorkers = 1024;
+
+    /// Throws std::invalid_argument naming the offending knob when the plan
+    /// cannot be executed (no vantages, null transport, zero/absurd window,
+    /// assignment of the wrong size or referencing a missing lane, ...).
+    void validate() const;
+
+    /// Builds a lane assignment that groups targets with equal affinity
+    /// keys onto one lane, balancing *groups* round-robin over
+    /// `vantage_count` lanes in first-appearance order. keys[i] is an
+    /// opaque identifier of the backend state behind targets[i] (e.g. the
+    /// ground-truth router index, or the address itself when independent).
+    static std::vector<std::uint32_t> assignment_by_affinity(
+        std::span<const std::uint64_t> keys, std::size_t vantage_count);
+};
+
+/// Executes CensusPlans. Holds the worker pool and the running global-index
+/// offset, so consecutive measure() calls continue the same ID lanes exactly
+/// like one long serial campaign over the concatenated target lists.
+class CensusRunner {
+  public:
+    /// Validates the plan (throws std::invalid_argument on a bad one).
+    explicit CensusRunner(CensusPlan plan);
+
+    CensusRunner(const CensusRunner&) = delete;
+    CensusRunner& operator=(const CensusRunner&) = delete;
+
+    /// Probes the plan's own target list with the plan's assignment and
+    /// assembles records (steps 1-2 of Figure 1).
+    [[nodiscard]] Measurement run();
+
+    /// Probes an explicit target list, reusing the plan's vantages and
+    /// knobs. `assignment` maps each target to a lane (empty = round-robin
+    /// over distinct addresses, as for CensusPlan::assignment).
+    [[nodiscard]] Measurement measure(std::string name,
+                                      std::span<const net::IPv4Address> targets,
+                                      std::span<const std::uint32_t> assignment = {});
+
+    /// Builds the signature database from the labeled subset of the given
+    /// measurements (step 3), sharding aggregation per measurement over the
+    /// worker pool and merging shard counts in measurement order.
+    [[nodiscard]] SignatureDatabase build_database(std::span<const Measurement> measurements,
+                                                   SignatureDbConfig config = {});
+
+    /// Classifies every record in place (steps 4-5), sharded over the
+    /// worker pool with deterministic index-order merge.
+    void classify(Measurement& measurement, const SignatureDatabase& database,
+                  LfpClassifier::Options options = {});
+
+    [[nodiscard]] const CensusPlan& plan() const noexcept { return plan_; }
+    [[nodiscard]] std::size_t vantage_count() const noexcept { return plan_.vantages.size(); }
+    [[nodiscard]] util::ThreadPool& pool() noexcept { return pool_; }
+
+    /// Aggregate counters across all lanes and measure() calls.
+    [[nodiscard]] std::uint64_t packets_sent() const noexcept { return packets_sent_; }
+    [[nodiscard]] std::uint64_t responses_received() const noexcept { return responses_; }
+    [[nodiscard]] std::uint64_t stray_responses() const noexcept { return strays_; }
+
+  private:
+    CensusPlan plan_;
+    util::ThreadPool pool_;
+    std::uint64_t next_global_index_ = 0;
+    std::uint64_t packets_sent_ = 0;
+    std::uint64_t responses_ = 0;
+    std::uint64_t strays_ = 0;
+};
+
+/// Sharded stage implementations shared by CensusRunner and the LfpPipeline
+/// compatibility wrapper. All merge by index, so output is identical at any
+/// pool width.
+
+/// Steps 1-2 glue: turns raw probe results into a Measurement (feature
+/// extraction, signature derivation, SNMP labeling) over `pool`.
+[[nodiscard]] Measurement assemble_measurement(std::string name,
+                                               std::vector<probe::TargetProbeResult>&& probed,
+                                               const FeatureExtractorConfig& extractor,
+                                               util::ThreadPool& pool, std::size_t grain);
+
+/// Step 3: per-measurement sharded signature aggregation.
+[[nodiscard]] SignatureDatabase build_signature_database(
+    std::span<const Measurement> measurements, SignatureDbConfig config,
+    util::ThreadPool& pool);
+
+/// Steps 4-5: per-record sharded classification.
+void classify_records(Measurement& measurement, const SignatureDatabase& database,
+                      LfpClassifier::Options options, util::ThreadPool& pool,
+                      std::size_t grain);
+
+}  // namespace lfp::core

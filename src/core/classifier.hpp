@@ -28,6 +28,8 @@ struct Classification {
     double confidence = 0.0;
 
     [[nodiscard]] bool identified() const noexcept { return vendor.has_value(); }
+
+    friend bool operator==(const Classification&, const Classification&) = default;
 };
 
 class LfpClassifier {

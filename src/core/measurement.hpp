@@ -1,0 +1,49 @@
+// The measurement record model shared by every pipeline entry point: one
+// TargetRecord per probed IP, one Measurement per dataset. Split out of
+// pipeline.hpp so the CensusRunner (core/census.hpp) and the LfpPipeline
+// compatibility wrapper (core/pipeline.hpp) can both speak it.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/classifier.hpp"
+#include "core/feature.hpp"
+#include "core/signature.hpp"
+#include "probe/campaign.hpp"
+#include "stack/vendor.hpp"
+
+namespace lfp::core {
+
+/// Everything the pipeline knows about one probed target.
+struct TargetRecord {
+    probe::TargetProbeResult probes;
+    FeatureVector features;
+    Signature signature;
+    std::optional<stack::Vendor> snmp_vendor;
+    Classification lfp;  ///< filled by classify_measurement()
+
+    /// LFP-responsive: at least one protocol yielded extractable features.
+    [[nodiscard]] bool lfp_responsive() const noexcept { return !features.empty(); }
+    [[nodiscard]] bool responsive() const noexcept {
+        return lfp_responsive() || snmp_vendor.has_value() || probes.any_response();
+    }
+
+    friend bool operator==(const TargetRecord&, const TargetRecord&) = default;
+};
+
+/// One dataset's worth of probed targets plus Table 3 style aggregates.
+struct Measurement {
+    std::string name;
+    std::vector<TargetRecord> records;
+
+    [[nodiscard]] std::size_t responsive_count() const;
+    [[nodiscard]] std::size_t snmp_count() const;
+    [[nodiscard]] std::size_t snmp_and_lfp_count() const;
+    [[nodiscard]] std::size_t lfp_only_count() const;
+
+    friend bool operator==(const Measurement&, const Measurement&) = default;
+};
+
+}  // namespace lfp::core

@@ -2,6 +2,20 @@
 
 namespace lfp::core {
 
+namespace {
+
+CensusPlan single_vantage_plan(probe::ProbeTransport& transport, const PipelineConfig& config) {
+    CensusPlan plan;
+    plan.vantages = {&transport};
+    plan.campaign = config.campaign;
+    plan.extractor = config.extractor;
+    plan.worker_threads = config.worker_threads;
+    plan.shard_grain = config.shard_grain;
+    return plan;
+}
+
+}  // namespace
+
 std::size_t Measurement::responsive_count() const {
     std::size_t count = 0;
     for (const auto& record : records) {
@@ -37,56 +51,25 @@ std::size_t Measurement::lfp_only_count() const {
 }
 
 LfpPipeline::LfpPipeline(probe::ProbeTransport& transport, PipelineConfig config)
-    : campaign_(transport, config.campaign), config_(config),
-      pool_(config.worker_threads) {}
+    : runner_(single_vantage_plan(transport, config)) {}
 
 Measurement LfpPipeline::measure(std::string name, std::span<const net::IPv4Address> targets) {
-    Measurement measurement;
-    measurement.name = std::move(name);
-
-    // Step 1: the probe engine owns I/O ordering (window per campaign
-    // config); results come back in target order whatever the window.
-    auto probed = campaign_.run(targets);
-
-    // Step 2: feature extraction is pure per-record work — shard it across
-    // the pool and merge by index so the output is identical at any width.
-    measurement.records.resize(probed.size());
-    TargetRecord* records = measurement.records.data();
-    probe::TargetProbeResult* probes = probed.data();
-    pool_.parallel_for(probed.size(), config_.shard_grain,
-                       [this, records, probes](std::size_t begin, std::size_t end) {
-                           for (std::size_t i = begin; i < end; ++i) {
-                               TargetRecord& record = records[i];
-                               record.probes = std::move(probes[i]);
-                               record.features =
-                                   extract_features(record.probes, config_.extractor);
-                               record.signature = Signature::from_features(record.features);
-                               record.snmp_vendor = snmp_vendor_label(record.probes);
-                           }
-                       });
-    return measurement;
+    return runner_.measure(std::move(name), targets);
 }
 
 SignatureDatabase LfpPipeline::build_database(std::span<const Measurement> measurements,
-                                              SignatureDbConfig config) {
-    SignatureDatabase database(config);
-    for (const Measurement& measurement : measurements) {
-        for (const TargetRecord& record : measurement.records) {
-            if (!record.snmp_vendor || record.features.empty()) continue;
-            database.add_labeled(record.signature, *record.snmp_vendor);
-        }
-    }
-    database.finalize();
-    return database;
+                                              SignatureDbConfig config,
+                                              std::size_t worker_threads) {
+    util::ThreadPool pool(worker_threads);
+    return build_signature_database(measurements, config, pool);
 }
 
 void LfpPipeline::classify_measurement(Measurement& measurement,
                                        const SignatureDatabase& database,
-                                       LfpClassifier::Options options) {
-    const LfpClassifier classifier(database, options);
-    for (TargetRecord& record : measurement.records) {
-        record.lfp = classifier.classify(record.signature);
-    }
+                                       LfpClassifier::Options options,
+                                       std::size_t worker_threads, std::size_t shard_grain) {
+    util::ThreadPool pool(worker_threads);
+    classify_records(measurement, database, options, pool, shard_grain);
 }
 
 }  // namespace lfp::core

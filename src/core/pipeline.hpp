@@ -1,45 +1,22 @@
 // End-to-end LFP pipeline (paper Figure 1): probe targets, extract features,
 // label via SNMPv3, build the signature database, classify.
+//
+// LfpPipeline is the classic single-transport entry point, kept as a thin
+// single-vantage wrapper over the CensusRunner (core/census.hpp) so existing
+// call sites keep compiling. New code — anything that wants several vantage
+// transports, or explicit lane assignment — should build a CensusPlan and
+// drive a CensusRunner directly.
 #pragma once
 
 #include <span>
 #include <string>
 #include <vector>
 
-#include "core/classifier.hpp"
-#include "core/feature.hpp"
+#include "core/census.hpp"
 #include "core/labeler.hpp"
-#include "core/signature_db.hpp"
-#include "probe/campaign.hpp"
-#include "util/thread_pool.hpp"
+#include "core/measurement.hpp"
 
 namespace lfp::core {
-
-/// Everything the pipeline knows about one probed target.
-struct TargetRecord {
-    probe::TargetProbeResult probes;
-    FeatureVector features;
-    Signature signature;
-    std::optional<stack::Vendor> snmp_vendor;
-    Classification lfp;  ///< filled by classify_measurement()
-
-    /// LFP-responsive: at least one protocol yielded extractable features.
-    [[nodiscard]] bool lfp_responsive() const noexcept { return !features.empty(); }
-    [[nodiscard]] bool responsive() const noexcept {
-        return lfp_responsive() || snmp_vendor.has_value() || probes.any_response();
-    }
-};
-
-/// One dataset's worth of probed targets plus Table 3 style aggregates.
-struct Measurement {
-    std::string name;
-    std::vector<TargetRecord> records;
-
-    [[nodiscard]] std::size_t responsive_count() const;
-    [[nodiscard]] std::size_t snmp_count() const;
-    [[nodiscard]] std::size_t snmp_and_lfp_count() const;
-    [[nodiscard]] std::size_t lfp_only_count() const;
-};
 
 struct PipelineConfig {
     probe::Campaign::Config campaign;
@@ -62,21 +39,28 @@ class LfpPipeline {
     [[nodiscard]] Measurement measure(std::string name,
                                       std::span<const net::IPv4Address> targets);
 
-    [[nodiscard]] std::uint64_t packets_sent() const noexcept { return campaign_.packets_sent(); }
+    [[nodiscard]] std::uint64_t packets_sent() const noexcept {
+        return runner_.packets_sent();
+    }
 
     /// Builds the signature database from the labeled subset of the given
-    /// measurements (step 3). Returns a finalized database.
+    /// measurements (step 3). Returns a finalized database. Aggregation is
+    /// sharded per measurement across `worker_threads` (1 = serial, 0 = one
+    /// per hardware thread); the merged database is identical at any width.
     [[nodiscard]] static SignatureDatabase build_database(
-        std::span<const Measurement> measurements, SignatureDbConfig config = {});
+        std::span<const Measurement> measurements, SignatureDbConfig config = {},
+        std::size_t worker_threads = 1);
 
-    /// Classifies every record in place (steps 4-5).
-    static void classify_measurement(Measurement& measurement, const SignatureDatabase& database,
-                                     LfpClassifier::Options options = {});
+    /// Classifies every record in place (steps 4-5), sharded across
+    /// `worker_threads` with deterministic index-order merge.
+    static void classify_measurement(Measurement& measurement,
+                                     const SignatureDatabase& database,
+                                     LfpClassifier::Options options = {},
+                                     std::size_t worker_threads = 1,
+                                     std::size_t shard_grain = 64);
 
   private:
-    probe::Campaign campaign_;
-    PipelineConfig config_;
-    util::ThreadPool pool_;
+    CensusRunner runner_;
 };
 
 }  // namespace lfp::core

@@ -34,6 +34,17 @@ void SignatureDatabase::add_labeled(const Signature& signature, stack::Vendor ve
     stats.total += count;
 }
 
+void SignatureDatabase::absorb(const SignatureDatabase& other) {
+    assert(!finalized_);
+    for (const auto& [signature, stats] : other.raw_) {
+        SignatureStats& mine = raw_[signature];
+        for (const auto& [vendor, count] : stats.vendor_counts) {
+            mine.vendor_counts[vendor] += count;
+        }
+        mine.total += stats.total;
+    }
+}
+
 void SignatureDatabase::finalize() {
     admitted_.clear();
     for (const auto& [signature, stats] : raw_) {

@@ -23,6 +23,8 @@ struct SignatureStats {
     [[nodiscard]] stack::Vendor dominant_vendor() const;
     /// Fraction of samples carrying the dominant vendor's label.
     [[nodiscard]] double dominant_share() const;
+
+    friend bool operator==(const SignatureStats&, const SignatureStats&) = default;
 };
 
 struct SignatureDbConfig {
@@ -38,6 +40,12 @@ class SignatureDatabase {
     /// before finalize(); cross-dataset vendor conflicts then surface
     /// naturally as non-unique signatures.
     void add_labeled(const Signature& signature, stack::Vendor vendor, std::size_t count = 1);
+
+    /// Folds another (unfinalized) database's accumulated counts into this
+    /// one. Counts are additive and keyed by signature, so absorbing shard
+    /// databases in any order yields the same totals — the merge step of the
+    /// sharded build_database.
+    void absorb(const SignatureDatabase& other);
 
     /// Applies the occurrence threshold and freezes the database.
     void finalize();

@@ -1,6 +1,8 @@
 #include "probe/campaign.hpp"
 
 #include <algorithm>
+#include <stdexcept>
+#include <string>
 #include <unordered_map>
 #include <unordered_set>
 
@@ -131,7 +133,19 @@ TargetProbeResult Campaign::probe_target(net::IPv4Address target) {
 }
 
 std::vector<TargetProbeResult> Campaign::run(std::span<const net::IPv4Address> targets) {
+    return run_indexed(targets, {});
+}
+
+std::vector<TargetProbeResult> Campaign::run_indexed(
+    std::span<const net::IPv4Address> targets, std::span<const std::uint64_t> global_indices) {
     using Clock = std::chrono::steady_clock;
+
+    if (!global_indices.empty() && global_indices.size() != targets.size()) {
+        throw std::invalid_argument("Campaign::run_indexed: " +
+                                    std::to_string(global_indices.size()) +
+                                    " global indices for " + std::to_string(targets.size()) +
+                                    " targets");
+    }
 
     std::vector<TargetProbeResult> results(targets.size());
     if (targets.empty()) return results;
@@ -147,8 +161,15 @@ std::vector<TargetProbeResult> Campaign::run(std::span<const net::IPv4Address> t
 
     // Admission builds and sends the target's whole batch in the fixed
     // global order; because admission itself is in target order, the wire
-    // sees the exact same packet sequence at every window size.
+    // sees the exact same packet sequence at every window size. IPIDs and
+    // the SNMP msgID are derived from the target's global index, so a lane
+    // probing a slice of a larger list stamps the same IDs a serial run
+    // over the full list would.
     auto admit = [&](std::size_t index) {
+        const std::uint64_t global_index =
+            global_indices.empty() ? index : global_indices[index];
+        std::uint16_t next_ipid = static_cast<std::uint16_t>(
+            config_.ipid_base + global_index * ids_per_target());
         InFlightTarget state;
         state.index = index;
         state.result.target = targets[index];
@@ -186,7 +207,7 @@ std::vector<TargetProbeResult> Campaign::run(std::span<const net::IPv4Address> t
         for (std::size_t round = 0; round < kRoundsPerProtocol; ++round) {
             for (std::size_t p = 0; p < kProtocolCount; ++p) {
                 ProbeExchange& exchange = state.result.probes[p][round];
-                exchange.request_ipid = next_ipid_++;
+                exchange.request_ipid = next_ipid++;
                 exchange.send_index = send_index++;
                 exchange.request = build_probe(targets[index], static_cast<ProtoIndex>(p),
                                                round, exchange.request_ipid);
@@ -198,10 +219,10 @@ std::vector<TargetProbeResult> Campaign::run(std::span<const net::IPv4Address> t
             }
         }
         if (config_.send_snmp) {
-            state.snmp_message_id =
-                static_cast<std::int32_t>(snmp_message_id_++ & 0x7FFFFFFF);
+            state.snmp_message_id = static_cast<std::int32_t>(
+                (config_.snmp_message_id_base + global_index) & 0x7FFFFFFF);
             batch.push_back(
-                build_snmp_probe(targets[index], state.snmp_message_id, next_ipid_++));
+                build_snmp_probe(targets[index], state.snmp_message_id, next_ipid++));
             demux.expect(
                 FlowKey{target_value, static_cast<std::uint8_t>(net::Protocol::udp),
                         static_cast<std::uint16_t>(config_.source_port + 7), snmp::kSnmpPort},

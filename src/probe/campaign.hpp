@@ -87,10 +87,15 @@ class Campaign {
         std::uint8_t probe_ttl = 64;
         bool send_snmp = true;
 
-        /// First request IPID; consecutive probes increment from here in
-        /// global send order. Pinning it makes concurrent runs reproducible.
+        /// First request IPID. A target's IPIDs are a pure function of its
+        /// *global index*: target i's probes carry ipid_base + i*10 ..
+        /// ipid_base + i*10 + 9 (mod 2^16) in global send order, which for a
+        /// serial run is exactly "consecutive probes increment from the
+        /// base". Because the IDs depend only on the index, any partition of
+        /// the target list across vantage lanes (see run_indexed) stamps the
+        /// identical packets a single serial run would.
         std::uint16_t ipid_base = 0x3100;
-        /// First SNMPv3 msgID; one per target, in target order.
+        /// First SNMPv3 msgID; target i carries snmp_message_id_base + i.
         std::uint32_t snmp_message_id_base = 0x51000;
 
         /// Targets kept in flight simultaneously. 1 = serial behaviour; any
@@ -107,15 +112,36 @@ class Campaign {
 
     explicit Campaign(ProbeTransport& transport) : Campaign(transport, Config{}) {}
     Campaign(ProbeTransport& transport, Config config)
-        : transport_(&transport), config_(config), next_ipid_(config.ipid_base),
-          snmp_message_id_(config.snmp_message_id_base) {}
+        : transport_(&transport), config_(config) {}
 
     /// Runs the full 9+1 probe exchange against one target.
     TargetProbeResult probe_target(net::IPv4Address target);
 
     /// Probes every target, keeping up to Config::window targets in flight.
     /// Results are ordered like `targets` regardless of completion order.
+    /// Target i is stamped with the IDs of global index i — every run() of
+    /// a campaign replays the same ID lanes, so two runs over the same list
+    /// emit byte-identical packets (re-probe under a different ipid_base,
+    /// or via CensusRunner whose consecutive measures continue the lane,
+    /// when distinct wire traffic matters).
     std::vector<TargetProbeResult> run(std::span<const net::IPv4Address> targets);
+
+    /// Like run(), but target i carries the IPID/msgID lane of
+    /// global_indices[i] instead of i. This is the multi-vantage seam: a
+    /// CensusRunner hands each vantage lane its slice of the target list
+    /// together with the targets' positions in the *full* list, and every
+    /// lane emits byte-identical packets to the serial single-vantage run.
+    /// `global_indices` must match `targets` in size and preserve the
+    /// relative order of any targets that share backend state.
+    std::vector<TargetProbeResult> run_indexed(std::span<const net::IPv4Address> targets,
+                                               std::span<const std::uint64_t> global_indices);
+
+    /// IDs consumed per target in the index-derived lane scheme (9 probes
+    /// plus the SNMP discovery when enabled).
+    [[nodiscard]] std::uint16_t ids_per_target() const noexcept {
+        return static_cast<std::uint16_t>(kProtocolCount * kRoundsPerProtocol +
+                                          (config_.send_snmp ? 1 : 0));
+    }
 
     [[nodiscard]] const Config& config() const noexcept { return config_; }
     [[nodiscard]] std::uint64_t packets_sent() const noexcept { return packets_sent_; }
@@ -132,8 +158,6 @@ class Campaign {
 
     ProbeTransport* transport_;
     Config config_;
-    std::uint16_t next_ipid_;
-    std::uint32_t snmp_message_id_;
     std::uint64_t packets_sent_ = 0;
     std::uint64_t responses_ = 0;
     std::uint64_t strays_ = 0;

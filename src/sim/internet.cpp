@@ -2,6 +2,37 @@
 
 namespace lfp::sim {
 
+namespace {
+
+/// FNV-1a over the packet bytes, finished with a splitmix64 avalanche. Cheap,
+/// and packets differ in IPID/ports/checksum anyway, so one 64-bit state is
+/// plenty to decorrelate loss decisions between probes.
+std::uint64_t mix_packet(std::uint64_t seed, std::span<const std::uint8_t> packet,
+                         std::uint64_t salt) noexcept {
+    std::uint64_t hash = 0xCBF29CE484222325ULL ^ seed;
+    for (std::uint8_t byte : packet) {
+        hash ^= byte;
+        hash *= 0x100000001B3ULL;
+    }
+    hash ^= salt * 0x9E3779B97F4A7C15ULL;
+    hash ^= hash >> 30;
+    hash *= 0xBF58476D1CE4E5B9ULL;
+    hash ^= hash >> 27;
+    hash *= 0x94D049BB133111EBULL;
+    hash ^= hash >> 31;
+    return hash;
+}
+
+}  // namespace
+
+bool Internet::lost_in_transit(std::span<const std::uint8_t> packet,
+                               std::uint64_t direction) const noexcept {
+    if (config_.loss_rate <= 0) return false;
+    const std::uint64_t hash = mix_packet(config_.seed, packet, direction);
+    const double draw = static_cast<double>(hash >> 11) * 0x1.0p-53;
+    return draw < config_.loss_rate;
+}
+
 std::vector<std::optional<net::Bytes>> Internet::transact_batch(
     std::span<const net::Bytes> probes) {
     std::vector<std::optional<net::Bytes>> responses;
@@ -13,15 +44,20 @@ std::vector<std::optional<net::Bytes>> Internet::transact_batch(
 }
 
 std::optional<net::Bytes> Internet::transact(std::span<const std::uint8_t> probe) {
-    ++sent_;
+    sent_.fetch_add(1, std::memory_order_relaxed);
     auto destination = net::peek_destination(probe);
     if (!destination) return std::nullopt;
 
     const std::size_t index = topology_->find_by_interface(destination.value());
     if (index == Topology::npos) return std::nullopt;  // unassigned / stale address
 
-    if (config_.loss_rate > 0 && rng_.chance(config_.loss_rate)) {
-        ++lost_;
+    // Both loss decisions hash the *request* bytes (salted by direction):
+    // request uniqueness is what makes the decision per-probe. Note the
+    // response-direction check must stay *after* handle_packet — the router
+    // advances its stateful counters for every packet it answers, even
+    // answers the wire then eats.
+    if (lost_in_transit(probe, 0)) {
+        lost_.fetch_add(1, std::memory_order_relaxed);
         return std::nullopt;  // probe lost in transit
     }
 
@@ -37,15 +73,15 @@ std::optional<net::Bytes> Internet::transact(std::span<const std::uint8_t> probe
     auto response = topology_->router(index).handle_packet(on_wire);
     if (!response) return std::nullopt;
 
-    if (config_.loss_rate > 0 && rng_.chance(config_.loss_rate)) {
-        ++lost_;
+    if (lost_in_transit(probe, 1)) {
+        lost_.fetch_add(1, std::memory_order_relaxed);
         return std::nullopt;  // response lost in transit
     }
 
     auto response_ttl = net::peek_ttl(*response);
     if (!response_ttl || response_ttl.value() <= distance) return std::nullopt;
     net::rewrite_ttl(*response, static_cast<std::uint8_t>(response_ttl.value() - distance));
-    ++returned_;
+    returned_.fetch_add(1, std::memory_order_relaxed);
     return response;
 }
 

@@ -1,8 +1,21 @@
 // The simulated wire: routes raw probe packets from the measurement vantage
 // to the owning router and carries responses back, applying hop-count TTL
 // decay and light random loss.
+//
+// Loss is a pure per-packet function (a hash of the seed and the packet
+// bytes), not a draw from a shared sequential RNG: whether a packet survives
+// does not depend on what was sent before or concurrently. This makes a
+// multi-vantage census deterministic — lanes can transact from several
+// threads and every packet meets the same fate it would in a serial run.
+// Corollary: byte-identical packets share a loss fate, so a retry loop must
+// vary something (e.g. probe a target under a different ipid_base) to get
+// an independent draw.
+// Concurrent transact() calls are safe as long as no two threads probe
+// interfaces of the *same* router at once (router counters are stateful);
+// the CensusRunner's affinity assignment guarantees that.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <optional>
 #include <span>
@@ -21,7 +34,7 @@ struct InternetConfig {
 class Internet {
   public:
     explicit Internet(Topology& topology, InternetConfig config = {})
-        : topology_(&topology), config_(config), rng_(config.seed) {}
+        : topology_(&topology), config_(config) {}
 
     /// Sends one packet and returns the response packet (if any): the
     /// request-response round trip of a single probe.
@@ -32,19 +45,29 @@ class Internet {
     /// can stamp per-probe delivery metadata without re-deriving the match.
     std::vector<std::optional<net::Bytes>> transact_batch(std::span<const net::Bytes> probes);
 
-    [[nodiscard]] std::uint64_t packets_sent() const noexcept { return sent_; }
-    [[nodiscard]] std::uint64_t responses_returned() const noexcept { return returned_; }
-    [[nodiscard]] std::uint64_t packets_lost() const noexcept { return lost_; }
+    [[nodiscard]] std::uint64_t packets_sent() const noexcept {
+        return sent_.load(std::memory_order_relaxed);
+    }
+    [[nodiscard]] std::uint64_t responses_returned() const noexcept {
+        return returned_.load(std::memory_order_relaxed);
+    }
+    [[nodiscard]] std::uint64_t packets_lost() const noexcept {
+        return lost_.load(std::memory_order_relaxed);
+    }
 
     [[nodiscard]] Topology& topology() noexcept { return *topology_; }
 
   private:
+    /// True when the packet is dropped in the given direction (0 = request,
+    /// 1 = response). Pure in (seed, packet bytes, direction).
+    [[nodiscard]] bool lost_in_transit(std::span<const std::uint8_t> packet,
+                                       std::uint64_t direction) const noexcept;
+
     Topology* topology_;
     InternetConfig config_;
-    util::Rng rng_;
-    std::uint64_t sent_ = 0;
-    std::uint64_t returned_ = 0;
-    std::uint64_t lost_ = 0;
+    std::atomic<std::uint64_t> sent_{0};
+    std::atomic<std::uint64_t> returned_{0};
+    std::atomic<std::uint64_t> lost_{0};
 };
 
 }  // namespace lfp::sim

@@ -3,6 +3,10 @@
 // run is deterministic under a fixed seed.
 #include <gtest/gtest.h>
 
+#include <cstdlib>
+#include <optional>
+#include <string>
+
 #include "analysis/as_analysis.hpp"
 #include "analysis/experiment_world.hpp"
 #include "analysis/path_analysis.hpp"
@@ -37,6 +41,18 @@ TEST_F(WorldFixture, SixMeasurementsInDatasetOrder) {
     EXPECT_EQ(world().itdk_measurement().name, "ITDK");
     EXPECT_EQ(&world().measurement("RIPE-3"), &world().measurements()[2]);
     EXPECT_THROW((void)world().measurement("nope"), std::out_of_range);
+}
+
+TEST_F(WorldFixture, MeasurementLookupErrorNamesTheDatasets) {
+    try {
+        (void)world().measurement("RIPE-9");
+        FAIL() << "expected std::out_of_range";
+    } catch (const std::out_of_range& error) {
+        const std::string what = error.what();
+        EXPECT_NE(what.find("RIPE-9"), std::string::npos) << what;   // the missing name
+        EXPECT_NE(what.find("RIPE-1"), std::string::npos) << what;   // the available names
+        EXPECT_NE(what.find("ITDK"), std::string::npos) << what;
+    }
 }
 
 TEST_F(WorldFixture, TenPacketsPerTarget) {
@@ -201,6 +217,92 @@ TEST_F(WorldFixture, PathAnalysisIdentifiesMostPaths) {
     EXPECT_GT(at_least_one, 0.6);
     EXPECT_GT(at_least_two, 0.4);
     EXPECT_LT(at_least_two, at_least_one);
+}
+
+/// Scoped environment override (restores the previous value on destruction).
+class ScopedEnv {
+  public:
+    ScopedEnv(const char* name, const char* value) : name_(name) {
+        const char* previous = std::getenv(name);
+        if (previous != nullptr) saved_ = previous;
+        ::setenv(name, value, 1);
+    }
+    ~ScopedEnv() {
+        if (saved_) {
+            ::setenv(name_, saved_->c_str(), 1);
+        } else {
+            ::unsetenv(name_);
+        }
+    }
+    ScopedEnv(const ScopedEnv&) = delete;
+    ScopedEnv& operator=(const ScopedEnv&) = delete;
+
+  private:
+    const char* name_;
+    std::optional<std::string> saved_;
+};
+
+TEST(WorldConfigEnv, ReadsCampaignKnobs) {
+    ScopedEnv window("LFP_WINDOW", "64");
+    ScopedEnv workers("LFP_WORKERS", "3");
+    ScopedEnv vantages("LFP_VANTAGES", "4");
+    const WorldConfig config = WorldConfig::from_env();
+    EXPECT_EQ(config.window, 64u);
+    EXPECT_EQ(config.worker_threads, 3u);
+    EXPECT_EQ(config.vantages, 4u);
+}
+
+TEST(WorldConfigEnv, RejectsZeroVantages) {
+    ScopedEnv vantages("LFP_VANTAGES", "0");
+    try {
+        (void)WorldConfig::from_env();
+        FAIL() << "expected std::invalid_argument";
+    } catch (const std::invalid_argument& error) {
+        EXPECT_NE(std::string(error.what()).find("LFP_VANTAGES"), std::string::npos)
+            << error.what();
+    }
+}
+
+TEST(WorldConfigEnv, RejectsAbsurdValues) {
+    {
+        ScopedEnv window("LFP_WINDOW", "0");
+        EXPECT_THROW((void)WorldConfig::from_env(), std::invalid_argument);
+    }
+    {
+        ScopedEnv window("LFP_WINDOW", "9999999");
+        EXPECT_THROW((void)WorldConfig::from_env(), std::invalid_argument);
+    }
+    {
+        ScopedEnv vantages("LFP_VANTAGES", "100000");
+        EXPECT_THROW((void)WorldConfig::from_env(), std::invalid_argument);
+    }
+    {
+        ScopedEnv workers("LFP_WORKERS", "not-a-number");
+        EXPECT_THROW((void)WorldConfig::from_env(), std::invalid_argument);
+    }
+    {
+        // strtoull would silently wrap "-1" to 2^64-1; from_env must reject.
+        ScopedEnv traces("LFP_TRACES", "-1");
+        EXPECT_THROW((void)WorldConfig::from_env(), std::invalid_argument);
+    }
+    {
+        ScopedEnv scale("LFP_SCALE", "fast");
+        EXPECT_THROW((void)WorldConfig::from_env(), std::invalid_argument);
+    }
+    // worker_threads = 0 is the documented "one per hardware thread".
+    ScopedEnv workers("LFP_WORKERS", "0");
+    EXPECT_EQ(WorldConfig::from_env().worker_threads, 0u);
+}
+
+TEST(WorldConfigEnv, ValidateRejectsDirectMisconfiguration) {
+    WorldConfig config;
+    config.vantages = 0;
+    EXPECT_THROW(config.validate(), std::invalid_argument);
+    config.vantages = 2;
+    config.window = 0;
+    EXPECT_THROW(config.validate(), std::invalid_argument);
+    config.window = 32;
+    config.validate();
 }
 
 }  // namespace
