@@ -2,16 +2,32 @@
 // simulated Internet with a modeled per-probe RTT. The paper's census probed
 // ~2.2M interfaces; at one blocking round trip per packet that is weeks of
 // wall clock, which is why the engine decouples sends from receives. This
-// bench measures targets/sec at several window sizes and verifies the
-// windowed runs return byte-identical Measurement records to the serial one.
+// bench measures targets/sec at several (fixed) window sizes and verifies
+// the windowed runs return byte-identical Measurement records to the serial
+// one.
 //
 // A second scenario scales *vantages*: a CensusRunner partitions the same
-// target list across N vantage transports (each a lane with its own thread
-// and in-flight window) and index-merges the records. Lanes multiply the
-// total in-flight budget, so targets/sec scales with the lane count while
-// the merged Measurement stays byte-identical to the single-vantage run.
+// target list across N vantage transports (each a lane with its own
+// sender/receiver thread pair and in-flight window) and index-merges the
+// records. Lanes multiply the total in-flight budget, so targets/sec scales
+// with the lane count while the merged Measurement stays byte-identical to
+// the single-vantage run.
+//
+// A third scenario models the regime the adaptive window exists for: a
+// lossy path whose ICMP budget is rate-limited (sim::Internet token bucket
+// + source-quench advisories) under live timeout semantics. A fixed
+// full-ceiling window blasts past the budget and loses ICMP/UDP answers
+// wholesale; the AIMD window learns the path's knee and keeps them. The
+// metric that matters there is *successfully measured targets* — full
+// signatures, the population LFP extracts complete signatures from; a
+// census must re-probe everything else. The acceptance gate is adaptive
+// >= 1.5x fixed on full-signature yield from the identical hitlist (a
+// deterministic-leaning count; the per-second rates are printed alongside
+// and track it, but breathe with wall-clock scheduling noise).
 //
 // Env overrides: LFP_BENCH_TARGETS, LFP_BENCH_RTT_US, LFP_BENCH_JITTER.
+// LFP_BENCH_SMOKE=1 shrinks every scenario for CI PR runs: identity checks
+// stay enforced, the timing-sensitive speed gates are reported but waived.
 #include <algorithm>
 #include <chrono>
 #include <cstdlib>
@@ -43,9 +59,13 @@ int main() {
     using namespace lfp;
     using Clock = std::chrono::steady_clock;
 
-    const std::size_t target_count = env_or("LFP_BENCH_TARGETS", 300);
+    const bool smoke = env_or("LFP_BENCH_SMOKE", 0) != 0;
+    const std::size_t target_count = env_or("LFP_BENCH_TARGETS", smoke ? 120 : 300);
     const auto rtt = std::chrono::microseconds(env_or("LFP_BENCH_RTT_US", 2000));
     const double jitter = env_or_double("LFP_BENCH_JITTER", 0.3);
+    if (smoke) {
+        std::cout << "[smoke mode: reduced sizes, speed gates reported but waived]\n\n";
+    }
 
     const sim::TopologyConfig topo_config{
         .seed = 42, .num_ases = 300, .tier1_count = 8, .transit_fraction = 0.18, .scale = 1.0};
@@ -58,8 +78,11 @@ int main() {
         sim::Internet internet(topology, {.seed = 4, .loss_rate = 0.004});
         probe::SimTransport transport(internet,
                                       probe::SimTransport::Options{.rtt = rtt, .jitter = jitter});
+        // Fixed-window mode: this scenario measures raw window scaling, so
+        // the adaptive controller stays off (loss here is rate-independent).
         probe::Campaign campaign(transport,
                                  {.window = window,
+                                  .adaptive_window = false,
                                   .response_timeout = std::chrono::milliseconds(250)});
 
         std::vector<net::IPv4Address> targets;
@@ -108,7 +131,8 @@ int main() {
               << " hours; the windowed engine divides that by the window.)\n";
 
     // --- Multi-vantage scaling: lanes multiply the in-flight budget --------
-    const std::size_t census_targets = std::max<std::size_t>(target_count * 4, 1000);
+    const std::size_t census_targets =
+        std::max<std::size_t>(target_count * 4, smoke ? 400 : 1000);
     auto run_census = [&](std::size_t vantage_count) {
         sim::Topology topology = sim::Topology::build(topo_config);
         sim::Internet internet(topology, {.seed = 4, .loss_rate = 0.004});
@@ -166,7 +190,140 @@ int main() {
               << "byte-identical merged records: "
               << (speedup_at_4 >= 2.0 && census_identical ? "PASS" : "FAIL") << "\n";
 
-    const bool pass =
-        speedup_at_32 >= 5.0 && all_identical && speedup_at_4 >= 2.0 && census_identical;
-    return pass ? 0 : 1;
+    // --- Lossy path with ICMP rate limiting: adaptive vs fixed window ------
+    // The path sustains a bounded ICMP answer rate; past it, echo replies
+    // and the ICMP errors UDP probes earn are replaced by source-quench
+    // advisories. The transport runs with live-path semantics (drained()
+    // never proves silence, like a real raw socket), so every target whose
+    // answers were suppressed parks a window slot for the full response
+    // timeout. A fixed full-ceiling window overruns the budget and stalls
+    // on those timeouts wholesale; the AIMD window converges to the
+    // sustainable rate and keeps both its answers and its pace.
+    const std::size_t lossy_targets = smoke ? 200 : 800;
+
+    // Hitlist: the full-signature re-probe population — targets known to
+    // answer all nine probes when the path is quiet (exactly the
+    // responsive population a census re-probes for complete signatures).
+    // Selected in an instant quiet world (rtt 0, no loss, no limiter) so
+    // the timed runs measure pacing, not target policy.
+    const auto hitlist = [&] {
+        sim::Topology topology = sim::Topology::build(topo_config);
+        sim::Internet internet(topology, {.seed = 4, .loss_rate = 0.0});
+        probe::SimTransport transport(internet);
+        probe::Campaign campaign(transport,
+                                 {.send_snmp = false, .window = 64, .adaptive_window = false});
+        std::vector<net::IPv4Address> candidates;
+        for (std::size_t i = 0; i < topology.router_count(); ++i) {
+            candidates.push_back(topology.router(i).interfaces().front());
+        }
+        auto probed = campaign.run(candidates);
+        std::vector<net::IPv4Address> selected;
+        for (std::size_t i = 0; i < probed.size() && selected.size() < lossy_targets; ++i) {
+            bool full = true;
+            for (std::size_t p = 0; p < probe::kProtocolCount; ++p) {
+                full = full &&
+                       probed[i].protocol_responsive(static_cast<probe::ProtoIndex>(p));
+            }
+            if (full) selected.push_back(candidates[i]);
+        }
+        return selected;
+    }();
+
+    auto run_lossy = [&](bool adaptive) {
+        sim::Topology topology = sim::Topology::build(topo_config);
+        sim::Internet internet(topology, {.seed = 4,
+                                          .loss_rate = 0.001,
+                                          .icmp_rate_limit_per_sec = 12000.0,
+                                          .icmp_rate_limit_burst = 32.0});
+        probe::SimTransport transport(
+            internet, probe::SimTransport::Options{.rtt = rtt,
+                                                   .jitter = jitter,
+                                                   .live_semantics = true});
+        // SNMP off: the discovery probe is filtered almost everywhere, and
+        // under live semantics a guaranteed-unanswered slot would just park
+        // every target on the timeout, drowning the signal this scenario
+        // measures (the nine-probe LFP exchange is what the window paces).
+        // The response timeout stays at the live-prober default (1 s):
+        // parking a window slot for a second is the true price of a lost
+        // answer, and it is exactly what blasting past the budget costs.
+        probe::Campaign campaign(transport,
+                                 {.send_snmp = false,
+                                  .window = 128,
+                                  .adaptive_window = adaptive});
+
+        const auto& targets = hitlist;
+        const auto start = Clock::now();
+        auto results = campaign.run(targets);
+        const auto elapsed =
+            std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() - start);
+        const double seconds = static_cast<double>(elapsed.count()) / 1e6;
+
+        std::size_t full = 0;
+        for (const auto& result : results) {
+            bool complete = true;
+            for (std::size_t p = 0; p < probe::kProtocolCount; ++p) {
+                complete =
+                    complete &&
+                    result.protocol_responsive(static_cast<probe::ProtoIndex>(p));
+            }
+            if (complete) ++full;
+        }
+        struct Outcome {
+            double rate = 0;       ///< targets/sec
+            double full_rate = 0;  ///< full signatures/sec
+            std::size_t full = 0;
+            std::uint64_t quenches = 0;
+            std::size_t window = 0;
+        } outcome;
+        outcome.rate = seconds > 0 ? static_cast<double>(results.size()) / seconds : 0.0;
+        outcome.full_rate = seconds > 0 ? static_cast<double>(full) / seconds : 0.0;
+        outcome.full = full;
+        outcome.quenches = campaign.rate_limit_signals();
+        outcome.window = campaign.current_window();
+        return outcome;
+    };
+
+    std::cout << "\nLossy path, ICMP rate-limited (12k ICMP answers/sec, burst 32), live\n"
+              << "timeout semantics: " << hitlist.size()
+              << " full-responsive targets, window ceiling 128\n\n";
+    const auto fixed = run_lossy(false);
+    const auto adaptive = run_lossy(true);
+
+    util::TablePrinter lossy_table("Adaptive vs fixed window on the rate-limited path");
+    lossy_table.header(
+        {"mode", "targets/sec", "full sigs/sec", "full sigs", "quenches", "final window"});
+    lossy_table.row({"fixed 128", util::format_double(fixed.rate, 1),
+                     util::format_double(fixed.full_rate, 1), std::to_string(fixed.full),
+                     std::to_string(fixed.quenches), std::to_string(fixed.window)});
+    lossy_table.row({"adaptive <=128", util::format_double(adaptive.rate, 1),
+                     util::format_double(adaptive.full_rate, 1), std::to_string(adaptive.full),
+                     std::to_string(adaptive.quenches), std::to_string(adaptive.window)});
+    lossy_table.print(std::cout);
+
+    const double adaptive_gain =
+        fixed.full > 0 ? static_cast<double>(adaptive.full) / static_cast<double>(fixed.full)
+                       : 0.0;
+    std::cout << "\nAcceptance: the adaptive window must collect >=1.5x the fixed window's\n"
+              << "full signatures from the same hitlist on the rate-limited lossy path: "
+              << util::format_double(adaptive_gain, 2) << "x "
+              << (adaptive_gain >= 1.5 ? "PASS" : "FAIL") << "\n";
+
+    const bool identity_pass = all_identical && census_identical;
+    const bool yield_pass = adaptive_gain >= 1.5;
+    const bool speed_pass = speedup_at_32 >= 5.0 && speedup_at_4 >= 2.0;
+    if (smoke) {
+        // CI PR smoke: only the byte-identity checks are truly
+        // load-independent and stay binding. The yield gate leans on a
+        // wall-clock token bucket (a heavily loaded runner slows the sim's
+        // sends until even the blast fits the budget), so like the speedup
+        // gates it is reported but waived; the full-size run gates all
+        // three.
+        std::cout << "\n[smoke] identity checks " << (identity_pass ? "PASS" : "FAIL")
+                  << "; yield gate "
+                  << (yield_pass ? "passes (informational)" : "waived (informational)")
+                  << ", speedup gates "
+                  << (speed_pass ? "pass (informational)" : "waived (informational)") << "\n";
+        return identity_pass ? 0 : 1;
+    }
+    return identity_pass && yield_pass && speed_pass ? 0 : 1;
 }

@@ -49,6 +49,14 @@ WorldConfig WorldConfig::from_env() {
     config.window = static_cast<std::size_t>(env_u64("LFP_WINDOW", config.window));
     config.worker_threads = static_cast<std::size_t>(env_u64("LFP_WORKERS", config.worker_threads));
     config.vantages = static_cast<std::size_t>(env_u64("LFP_VANTAGES", config.vantages));
+    const std::uint64_t adaptive =
+        env_u64("LFP_ADAPTIVE", config.adaptive_window ? 1 : 0);
+    if (adaptive > 1) {
+        throw std::invalid_argument("LFP_ADAPTIVE=" + std::to_string(adaptive) +
+                                    " must be 0 (fixed window) or 1 (AIMD under the "
+                                    "LFP_WINDOW ceiling)");
+    }
+    config.adaptive_window = adaptive == 1;
     config.validate();
     return config;
 }
@@ -120,42 +128,43 @@ ExperimentWorld::ExperimentWorld(WorldConfig config)
     plan.vantages.reserve(transports_.size());
     for (const auto& transport : transports_) plan.vantages.push_back(transport.get());
     plan.campaign.window = config.window;
+    plan.campaign.adaptive_window = config.adaptive_window;
     plan.worker_threads = config.worker_threads;
     core::CensusRunner runner(std::move(plan));
 
-    // Lane assignment by ground-truth router affinity: interface aliases of
-    // one (stateful) simulated router always share a lane, which keeps the
-    // multi-lane run deterministic and thread-safe. Addresses without a
-    // backing router are independent; they get singleton keys outside the
-    // router-index range.
-    auto affinity_assignment = [&](const std::vector<net::IPv4Address>& targets) {
-        std::vector<std::uint64_t> keys;
-        keys.reserve(targets.size());
-        for (net::IPv4Address ip : targets) {
-            const std::size_t router = topology_.find_by_interface(ip);
-            keys.push_back(router != sim::Topology::npos
-                               ? static_cast<std::uint64_t>(router)
-                               : 0x8000000000000000ULL | ip.value());
-        }
-        return core::CensusPlan::assignment_by_affinity(keys, transports_.size());
+    // Streaming census per dataset: lane assignment comes from the
+    // transports' backend hints (SimTransport reports ground-truth router
+    // indices, so interface aliases of one stateful router always share a
+    // lane — deterministic and thread-safe), and each record flows through
+    // a SignatureAbsorbSink into the union database *while the census is
+    // still probing*, in front of a CollectingSink that keeps the classic
+    // Measurement. Step 3's aggregation thereby overlaps steps 1-2 instead
+    // of re-walking every record afterwards; counts are additive, so the
+    // finalized database is byte-identical to a batch build.
+    core::SignatureDatabase database(
+        core::SignatureDbConfig{.min_occurrences = config.signature_min_occurrences});
+    auto stream_dataset = [&](const std::string& name,
+                              const std::vector<net::IPv4Address>& targets) {
+        core::CollectingSink collect(name);
+        collect.reserve(targets.size());
+        core::SignatureAbsorbSink absorb(database, &collect);
+        runner.stream(targets, {}, absorb);
+        measurements_.push_back(collect.take());
     };
 
     measurements_.reserve(ripe_.size() + 1);
     for (const sim::TracerouteDataset& snapshot : ripe_) {
-        const auto targets = snapshot.router_ips();
-        measurements_.push_back(
-            runner.measure(snapshot.name, targets, affinity_assignment(targets)));
+        stream_dataset(snapshot.name, snapshot.router_ips());
     }
-    {
-        const auto targets = itdk_.router_ips();
-        measurements_.push_back(runner.measure(itdk_.name, targets, affinity_assignment(targets)));
-    }
+    stream_dataset(itdk_.name, itdk_.router_ips());
     packets_sent_ = runner.packets_sent();
 
-    // Union signature database (step 3) and classification (steps 4-5),
-    // sharded over the runner's worker pool.
-    database_ = runner.build_database(measurements_,
-                                      {.min_occurrences = config.signature_min_occurrences});
+    // Freeze the union database (step 3) and classify (steps 4-5), sharded
+    // over the runner's worker pool. Classification cannot overlap the
+    // probing above — the database admits signatures only once every
+    // dataset has been absorbed.
+    database.finalize();
+    database_ = std::move(database);
     for (core::Measurement& measurement : measurements_) {
         runner.classify(measurement, database_);
     }

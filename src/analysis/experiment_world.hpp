@@ -3,12 +3,15 @@
 // builds the union signature database, and classifies everything — the
 // common prefix of every table/figure reproduction.
 //
-// The campaigns run through a CensusRunner: WorldConfig::vantages lanes
-// (each its own SimTransport over the shared simulated Internet), window
-// targets in flight per lane, and worker_threads pool shards for the
-// analysis stages. Targets are assigned to lanes by ground-truth router
-// affinity, so the measurements are byte-identical for every vantage count,
-// window size, and worker count — the knobs only change how fast the world
+// The campaigns run through a streaming CensusRunner: WorldConfig::vantages
+// lanes (each its own SimTransport over the shared simulated Internet), up
+// to `window` targets in flight per lane (the adaptive AIMD window's
+// ceiling), and worker_threads pool shards for the analysis stages. Targets
+// are assigned to lanes via the transports' backend hints (ground-truth
+// router affinity), and signature aggregation rides a record sink that
+// absorbs labeled records while the census is still probing — so the
+// measurements and database are byte-identical for every vantage count,
+// window size, and worker count; the knobs only change how fast the world
 // is built.
 #pragma once
 
@@ -32,13 +35,18 @@ struct WorldConfig {
     std::size_t signature_min_occurrences = 20;
 
     /// Probe-engine knobs, finally honored by ExperimentWorld construction.
-    std::size_t window = 32;         ///< in-flight targets per vantage lane
+    std::size_t window = 32;         ///< in-flight ceiling per vantage lane
     std::size_t worker_threads = 0;  ///< analysis pool width (0 = hardware)
     std::size_t vantages = 1;        ///< vantage lanes (results identical for any count)
+    /// AIMD window control per lane; window becomes a ceiling. Off by
+    /// default: the sim's background loss is rate-independent, so backing
+    /// off would only slow the build. Results are identical either way.
+    bool adaptive_window = false;
 
     /// Honors LFP_SEED / LFP_SCALE / LFP_ASES / LFP_TRACES / LFP_WINDOW /
-    /// LFP_WORKERS / LFP_VANTAGES env overrides. Throws std::invalid_argument
-    /// (naming the variable) on unparseable or absurd values.
+    /// LFP_WORKERS / LFP_VANTAGES / LFP_ADAPTIVE (0/1) env overrides. Throws
+    /// std::invalid_argument (naming the variable) on unparseable or absurd
+    /// values.
     static WorldConfig from_env();
 
     /// Rejects impossible knob combinations (0 vantages, 0 window, ceilings

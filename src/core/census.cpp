@@ -1,13 +1,17 @@
 #include "core/census.hpp"
 
 #include <algorithm>
+#include <atomic>
+#include <chrono>
 #include <exception>
+#include <memory>
 #include <stdexcept>
 #include <thread>
 #include <unordered_map>
 
 #include "core/labeler.hpp"
 #include "probe/campaign.hpp"
+#include "util/spsc_ring.hpp"
 
 namespace lfp::core {
 
@@ -21,6 +25,35 @@ namespace {
 const CensusPlan& validated(const CensusPlan& plan) {
     plan.validate();
     return plan;
+}
+
+/// Completed probe results cross from a lane thread to the streaming
+/// consumer over a ring this deep; a lane stalls (backpressure) only when
+/// the consumer falls this far behind it.
+constexpr std::size_t kLaneRingDepth = 256;
+
+/// Sleep phase of the spin-then-sleep backoff on either side of a lane
+/// ring (producer finding it full, consumer finding it empty).
+constexpr std::chrono::microseconds kRingBackoff{50};
+
+/// One vantage lane's streaming state: the producing campaign thread and
+/// the ring its in-order completions travel through.
+struct LaneStream {
+    explicit LaneStream() : ring(kLaneRingDepth) {}
+
+    util::SpscRing<probe::TargetProbeResult> ring;
+    std::atomic<bool> done{false};
+    std::exception_ptr error;  ///< synchronised by thread join
+};
+
+/// Assembles one TargetRecord from a completed probe exchange (steps 1-2
+/// glue shared by the streaming consumer and assemble_measurement).
+void assemble_record(TargetRecord& record, probe::TargetProbeResult&& probed,
+                     const FeatureExtractorConfig& extractor) {
+    record.probes = std::move(probed);
+    record.features = extract_features(record.probes, extractor);
+    record.signature = Signature::from_features(record.features);
+    record.snmp_vendor = snmp_vendor_label(record.probes);
 }
 
 }  // namespace
@@ -92,10 +125,37 @@ Measurement CensusRunner::run() {
 
 Measurement CensusRunner::measure(std::string name, std::span<const net::IPv4Address> targets,
                                   std::span<const std::uint32_t> assignment) {
+    CollectingSink sink(std::move(name));
+    sink.reserve(targets.size());
+    stream(targets, assignment, sink);
+    return sink.take();
+}
+
+void CensusRunner::stream(std::span<const net::IPv4Address> targets,
+                          std::span<const std::uint32_t> assignment, RecordSink& sink) {
     const std::size_t lanes = plan_.vantages.size();
     if (!assignment.empty() && assignment.size() != targets.size()) {
-        plan_error("measure(): assignment covers " + std::to_string(assignment.size()) +
+        plan_error("stream(): assignment covers " + std::to_string(assignment.size()) +
                    " targets but the list has " + std::to_string(targets.size()));
+    }
+
+    // Default assignment: group by the lead vantage's backend-identity
+    // hint, so alias interfaces of one stateful backend (which must see
+    // their probes in serial order; two lanes probing it concurrently
+    // would race) share a lane. Targets the transport knows nothing about
+    // fall back to per-address singleton keys — duplicates of one address
+    // still always share a lane, and a duplicate-free unhinted list
+    // degenerates to plain round-robin.
+    std::vector<std::uint32_t> default_assignment;
+    if (assignment.empty() && lanes > 1) {
+        std::vector<std::uint64_t> keys;
+        keys.reserve(targets.size());
+        for (net::IPv4Address ip : targets) {
+            keys.push_back(plan_.vantages.front()->backend_hint(ip).value_or(
+                0x8000000000000000ULL | ip.value()));
+        }
+        default_assignment = CensusPlan::assignment_by_affinity(keys, lanes);
+        assignment = default_assignment;
     }
 
     // Partition: each lane gets its slice of the target list plus the
@@ -104,82 +164,158 @@ Measurement CensusRunner::measure(std::string name, std::span<const net::IPv4Add
         std::vector<net::IPv4Address> targets;
         std::vector<std::uint64_t> indices;
     };
-    // Default assignment: round-robin over *distinct addresses* rather than
-    // raw positions, so duplicate targets land on one lane (they share a
-    // backend router whose counters must see them in serial order; two
-    // lanes probing it concurrently would race). For a duplicate-free list
-    // this degenerates to plain i mod lanes.
-    std::vector<std::uint32_t> default_assignment;
-    if (assignment.empty() && lanes > 1) {
-        std::vector<std::uint64_t> keys;
-        keys.reserve(targets.size());
-        for (net::IPv4Address ip : targets) keys.push_back(ip.value());
-        default_assignment = CensusPlan::assignment_by_affinity(keys, lanes);
-        assignment = default_assignment;
-    }
-
     const std::uint64_t index_base = next_global_index_;
     std::vector<Lane> partition(lanes);
+    std::vector<std::uint32_t> lane_of(targets.size(), 0);
     for (std::size_t i = 0; i < targets.size(); ++i) {
         const std::size_t lane = assignment.empty() ? i % lanes : assignment[i];
         if (lane >= lanes) {
-            plan_error("measure(): assignment[" + std::to_string(i) + "] = " +
+            plan_error("stream(): assignment[" + std::to_string(i) + "] = " +
                        std::to_string(lane) + " but there are only " + std::to_string(lanes) +
                        " vantages");
         }
+        lane_of[i] = static_cast<std::uint32_t>(lane);
         partition[lane].targets.push_back(targets[i]);
         partition[lane].indices.push_back(index_base + i);
     }
 
-    // Each vantage lane runs its own windowed campaign with its own slice
-    // of the global ID lanes. One lane runs inline; N lanes get a thread
-    // each (they spend their life overlapping network waits, so a dedicated
-    // thread per lane beats queueing them behind pool workers).
-    std::vector<std::vector<probe::TargetProbeResult>> lane_results(lanes);
+    // Each vantage lane runs its own windowed streaming campaign on its own
+    // thread (lanes spend their life overlapping network waits, so a
+    // dedicated thread per lane beats queueing them behind pool workers),
+    // emitting completed targets in lane order into its ring. This thread
+    // is the consumer: it walks the *global* order — the next expected
+    // index lives in exactly one lane, so the cross-lane merge is a plain
+    // pop from that lane's ring — assembles records in shard_grain batches
+    // over the worker pool, and feeds the sink in order.
     std::vector<probe::Campaign> campaigns;
     campaigns.reserve(lanes);
     for (std::size_t v = 0; v < lanes; ++v) {
         campaigns.emplace_back(*plan_.vantages[v], plan_.campaign);
     }
-    auto run_lane = [&](std::size_t v) {
-        lane_results[v] = campaigns[v].run_indexed(partition[v].targets, partition[v].indices);
-    };
-    if (lanes == 1) {
-        run_lane(0);
-    } else {
-        std::vector<std::exception_ptr> errors(lanes);
-        std::vector<std::thread> threads;
-        threads.reserve(lanes);
-        for (std::size_t v = 0; v < lanes; ++v) {
-            threads.emplace_back([&, v] {
-                try {
-                    run_lane(v);
-                } catch (...) {
-                    errors[v] = std::current_exception();
-                }
-            });
+    std::vector<std::unique_ptr<LaneStream>> streams;
+    streams.reserve(lanes);
+    for (std::size_t v = 0; v < lanes; ++v) streams.push_back(std::make_unique<LaneStream>());
+
+    // Set when the consumer bails (sink threw, or a lane died): producers
+    // drop further emissions instead of blocking on a ring nobody drains.
+    std::atomic<bool> abort{false};
+
+    std::vector<std::thread> threads;
+    threads.reserve(lanes);
+    for (std::size_t v = 0; v < lanes; ++v) {
+        threads.emplace_back([&, v] {
+            LaneStream& lane = *streams[v];
+            try {
+                util::SpinBackoff push_backoff(kRingBackoff);
+                campaigns[v].run_streaming(
+                    partition[v].targets, partition[v].indices,
+                    [&lane, &abort, &push_backoff](std::size_t,
+                                                   probe::TargetProbeResult&& result) {
+                        push_backoff.reset();
+                        while (!lane.ring.try_push(std::move(result))) {
+                            // Nobody is draining this ring any more: tell
+                            // the campaign to cancel instead of probing the
+                            // rest of the lane for a dead consumer.
+                            if (abort.load(std::memory_order_acquire)) return false;
+                            push_backoff.pause();
+                        }
+                        return !abort.load(std::memory_order_acquire);
+                    });
+            } catch (...) {
+                lane.error = std::current_exception();
+            }
+            lane.done.store(true, std::memory_order_release);
+        });
+    }
+
+    auto join_all = [&] {
+        for (std::thread& thread : threads) {
+            if (thread.joinable()) thread.join();
         }
-        for (std::thread& thread : threads) thread.join();
-        for (const std::exception_ptr& error : errors) {
-            if (error) std::rethrow_exception(error);
+    };
+
+    std::exception_ptr failure;
+    try {
+        // Assembly batches: up to shard_grain raw results are collected,
+        // turned into records in parallel over the pool, then sunk in
+        // order. Lane threads keep probing (and filling their rings)
+        // throughout.
+        const std::size_t grain = std::max<std::size_t>(1, plan_.shard_grain);
+        std::vector<probe::TargetProbeResult> batch;
+        std::vector<std::uint64_t> batch_indices;
+        std::vector<TargetRecord> batch_records;
+        batch.reserve(grain);
+        batch_indices.reserve(grain);
+        const FeatureExtractorConfig& extractor = plan_.extractor;
+
+        auto flush = [&] {
+            if (batch.empty()) return;
+            batch_records.clear();
+            batch_records.resize(batch.size());
+            TargetRecord* records = batch_records.data();
+            probe::TargetProbeResult* probes = batch.data();
+            pool_.parallel_for(batch.size(), 8,
+                               [&extractor, records, probes](std::size_t begin,
+                                                             std::size_t end) {
+                                   for (std::size_t k = begin; k < end; ++k) {
+                                       assemble_record(records[k], std::move(probes[k]),
+                                                       extractor);
+                                   }
+                               });
+            for (std::size_t k = 0; k < batch_records.size(); ++k) {
+                sink.accept(batch_indices[k], std::move(batch_records[k]));
+            }
+            batch.clear();
+            batch_indices.clear();
+        };
+
+        util::SpinBackoff pop_backoff(kRingBackoff);
+        for (std::size_t i = 0; i < targets.size(); ++i) {
+            LaneStream& lane = *streams[lane_of[i]];
+            probe::TargetProbeResult result;
+            pop_backoff.reset();
+            while (!lane.ring.try_pop(result)) {
+                if (lane.done.load(std::memory_order_acquire)) {
+                    // The producer is gone; whatever it managed to push is
+                    // still in the ring — only a truly empty ring means the
+                    // lane died short of index i.
+                    if (lane.ring.try_pop(result)) break;
+                    throw std::runtime_error(
+                        "CensusRunner::stream: vantage lane " +
+                        std::to_string(lane_of[i]) + " ended before target " +
+                        std::to_string(i) + (lane.error ? " (lane threw)" : ""));
+                }
+                pop_backoff.pause();
+            }
+            batch.push_back(std::move(result));
+            batch_indices.push_back(index_base + i);
+            if (batch.size() >= grain) flush();
+        }
+        flush();
+        sink.finish();
+    } catch (...) {
+        failure = std::current_exception();
+        abort.store(true, std::memory_order_release);
+    }
+
+    join_all();
+
+    // A lane's own exception explains the failure better than the
+    // consumer's "lane ended early" symptom; prefer it.
+    for (const auto& lane : streams) {
+        if (lane->error) {
+            failure = lane->error;
+            break;
         }
     }
+    if (failure) std::rethrow_exception(failure);
+
     next_global_index_ += targets.size();
     for (const probe::Campaign& campaign : campaigns) {
         packets_sent_ += campaign.packets_sent();
         responses_ += campaign.responses_received();
         strays_ += campaign.stray_responses();
     }
-
-    // Index merge: record order is input order whatever the lane layout.
-    std::vector<probe::TargetProbeResult> probed(targets.size());
-    for (std::size_t v = 0; v < lanes; ++v) {
-        for (std::size_t k = 0; k < partition[v].indices.size(); ++k) {
-            probed[partition[v].indices[k] - index_base] = std::move(lane_results[v][k]);
-        }
-    }
-    return assemble_measurement(std::move(name), std::move(probed), plan_.extractor, pool_,
-                                plan_.shard_grain);
 }
 
 SignatureDatabase CensusRunner::build_database(std::span<const Measurement> measurements,
@@ -204,11 +340,7 @@ Measurement assemble_measurement(std::string name,
     pool.parallel_for(probed.size(), grain,
                       [&extractor, records, probes](std::size_t begin, std::size_t end) {
                           for (std::size_t i = begin; i < end; ++i) {
-                              TargetRecord& record = records[i];
-                              record.probes = std::move(probes[i]);
-                              record.features = extract_features(record.probes, extractor);
-                              record.signature = Signature::from_features(record.features);
-                              record.snmp_vendor = snmp_vendor_label(record.probes);
+                              assemble_record(records[i], std::move(probes[i]), extractor);
                           }
                       });
     return measurement;

@@ -18,6 +18,12 @@
 // The downstream stages (feature extraction, signature aggregation,
 // classification) shard over a worker pool with index-order merges, so the
 // whole Figure-1 pipeline is deterministic at any worker count.
+//
+// The runner is streaming end to end: stream() merges lane completions in
+// global-index order over per-lane lock-free rings and drives a RecordSink
+// record by record while later targets are still in flight, so analysis
+// overlaps probing. measure() is the batch adapter — stream() into a
+// CollectingSink.
 #pragma once
 
 #include <cstdint>
@@ -26,6 +32,7 @@
 #include <vector>
 
 #include "core/measurement.hpp"
+#include "core/record_sink.hpp"
 #include "probe/transport.hpp"
 #include "util/thread_pool.hpp"
 
@@ -45,12 +52,14 @@ struct CensusPlan {
     std::vector<probe::ProbeTransport*> vantages;
 
     /// Optional explicit lane assignment for run(): assignment[i] is the
-    /// vantage lane of targets[i]. Empty = round-robin over distinct
-    /// addresses (duplicates of one address always share a lane; for a
-    /// duplicate-free list this is plain i mod lane count). Targets that
-    /// share backend state under *different* addresses (alias interfaces
-    /// of one simulated router) must be grouped explicitly; use
-    /// assignment_by_affinity() to build such an assignment from keys.
+    /// vantage lane of targets[i]. Empty = group by the lead vantage's
+    /// ProbeTransport::backend_hint() — targets reporting the same backend
+    /// (alias interfaces of one simulated router) share a lane, everything
+    /// else (including duplicate addresses, which always share) spreads
+    /// round-robin in first-appearance order. Transports without ground
+    /// truth hint nothing, which degrades to round-robin over distinct
+    /// addresses. Pass an explicit assignment (assignment_by_affinity())
+    /// when the caller knows an affinity the transport cannot.
     std::vector<std::uint32_t> assignment;
 
     /// Per-lane campaign knobs: window, timeouts, IPID/msgID bases. The ID
@@ -102,11 +111,25 @@ class CensusRunner {
     [[nodiscard]] Measurement run();
 
     /// Probes an explicit target list, reusing the plan's vantages and
-    /// knobs. `assignment` maps each target to a lane (empty = round-robin
-    /// over distinct addresses, as for CensusPlan::assignment).
+    /// knobs. `assignment` maps each target to a lane (empty = backend-hint
+    /// grouping, as for CensusPlan::assignment). A thin adapter: stream()
+    /// into a CollectingSink.
     [[nodiscard]] Measurement measure(std::string name,
                                       std::span<const net::IPv4Address> targets,
                                       std::span<const std::uint32_t> assignment = {});
+
+    /// The streaming census: probes `targets` across the vantage lanes and
+    /// drives `sink` with one assembled TargetRecord per target in strictly
+    /// increasing global-index order, while later targets are still in
+    /// flight. Lane threads hand completed probe results to this (calling)
+    /// thread over per-lane lock-free rings; feature extraction and
+    /// signature/labeling run here in shard_grain batches over the worker
+    /// pool; sink.accept() sees the merged in-order stream and
+    /// sink.finish() follows the last record. Byte-identity: feeding a
+    /// CollectingSink yields exactly the Measurement measure() returns, at
+    /// any vantage count or window.
+    void stream(std::span<const net::IPv4Address> targets,
+                std::span<const std::uint32_t> assignment, RecordSink& sink);
 
     /// Builds the signature database from the labeled subset of the given
     /// measurements (step 3), sharding aggregation per measurement over the

@@ -1,0 +1,104 @@
+// Incremental record consumers: the streaming counterpart of the
+// materialise-everything Measurement. CensusRunner::stream() drives a
+// RecordSink with one fully assembled TargetRecord per target, in strictly
+// increasing global-index order, *while later targets are still being
+// probed* — so signature aggregation and classification overlap the census
+// instead of waiting behind it.
+//
+// Sinks compose as a chain: each decorating sink does its per-record work
+// and forwards the record downstream (SignatureAbsorbSink feeds the
+// database, ClassifySink stamps record.lfp), with a CollectingSink at the
+// tail whenever the caller also wants the classic Measurement. The batch
+// entry points (CensusRunner::measure, LfpPipeline::measure,
+// ExperimentWorld) are exactly that: thin adapters over a collecting sink.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+
+#include "core/measurement.hpp"
+#include "core/signature_db.hpp"
+
+namespace lfp::core {
+
+/// Consumer of a census record stream. accept() is called once per target
+/// in strictly increasing global-index order, on the streaming thread;
+/// finish() follows the last record of the stream exactly once.
+class RecordSink {
+  public:
+    virtual ~RecordSink() = default;
+
+    virtual void accept(std::uint64_t global_index, TargetRecord&& record) = 0;
+    virtual void finish() {}
+};
+
+/// The adapter back to batch land: collects the stream into a Measurement.
+class CollectingSink final : public RecordSink {
+  public:
+    explicit CollectingSink(std::string name) { measurement_.name = std::move(name); }
+
+    void reserve(std::size_t records) { measurement_.records.reserve(records); }
+
+    void accept(std::uint64_t /*global_index*/, TargetRecord&& record) override {
+        measurement_.records.push_back(std::move(record));
+    }
+
+    /// Moves the collected Measurement out; call after the stream finished.
+    [[nodiscard]] Measurement take() { return std::move(measurement_); }
+
+  private:
+    Measurement measurement_;
+};
+
+/// Streams labeled signatures into an (unfinalized) SignatureDatabase as
+/// records complete — the per-record form of the sharded build_database
+/// stage. Absorbing the same records in any grouping yields the same
+/// totals (counts are additive), so a database fed by this sink across
+/// several datasets and then finalized is byte-identical to the batch
+/// build. Forwards every record downstream when a next sink is given.
+class SignatureAbsorbSink final : public RecordSink {
+  public:
+    explicit SignatureAbsorbSink(SignatureDatabase& database, RecordSink* next = nullptr)
+        : database_(&database), next_(next) {}
+
+    void accept(std::uint64_t global_index, TargetRecord&& record) override {
+        if (record.snmp_vendor && !record.features.empty()) {
+            database_->add_labeled(record.signature, *record.snmp_vendor);
+        }
+        if (next_ != nullptr) next_->accept(global_index, std::move(record));
+    }
+
+    void finish() override {
+        if (next_ != nullptr) next_->finish();
+    }
+
+  private:
+    SignatureDatabase* database_;
+    RecordSink* next_;
+};
+
+/// Classifies each record against a *finalized* database as it streams by —
+/// the per-record form of classify_records, for censuses run against an
+/// existing signature corpus: records leave the wire already labeled.
+class ClassifySink final : public RecordSink {
+  public:
+    explicit ClassifySink(const SignatureDatabase& database,
+                          LfpClassifier::Options options = {}, RecordSink* next = nullptr)
+        : classifier_(database, options), next_(next) {}
+
+    void accept(std::uint64_t global_index, TargetRecord&& record) override {
+        record.lfp = classifier_.classify(record.signature);
+        if (next_ != nullptr) next_->accept(global_index, std::move(record));
+    }
+
+    void finish() override {
+        if (next_ != nullptr) next_->finish();
+    }
+
+  private:
+    LfpClassifier classifier_;
+    RecordSink* next_;
+};
+
+}  // namespace lfp::core

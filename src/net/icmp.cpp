@@ -48,6 +48,7 @@ util::Result<IcmpMessage> parse_icmp(std::span<const std::uint8_t> data) {
             return IcmpMessage{std::move(echo)};
         }
         case IcmpType::destination_unreachable:
+        case IcmpType::source_quench:
         case IcmpType::time_exceeded: {
             IcmpError error;
             error.type = static_cast<IcmpType>(type);

@@ -1,5 +1,6 @@
 // ICMP message codec (RFC 792): echo request/reply, destination unreachable,
-// and time exceeded — the only message types the LFP probe exchange uses.
+// time exceeded, and source quench — the message types the LFP probe
+// exchange uses plus the rate-limit advisory the adaptive window reacts to.
 #pragma once
 
 #include <cstdint>
@@ -14,6 +15,13 @@ namespace lfp::net {
 enum class IcmpType : std::uint8_t {
     echo_reply = 0,
     destination_unreachable = 3,
+    /// Rate-limit advisory (RFC 792 §"Source Quench"): a router signalling
+    /// the sender to slow down. Deprecated on the real Internet (RFC 6633)
+    /// but the cleanest explicit wire encoding of "you are being ICMP
+    /// rate-limited" — the simulated Internet emits it when its token
+    /// bucket runs dry and the probe engine treats it as a back-off signal,
+    /// never as a probe answer.
+    source_quench = 4,
     echo_request = 8,
     time_exceeded = 11,
 };

@@ -1,13 +1,19 @@
 #include "probe/campaign.hpp"
 
 #include <algorithm>
+#include <atomic>
+#include <exception>
+#include <memory>
 #include <stdexcept>
 #include <string>
+#include <thread>
 #include <unordered_map>
 #include <unordered_set>
+#include <utility>
 
 #include "probe/demux.hpp"
 #include "stack/simulated_router.hpp"  // kProbePort
+#include "util/spsc_ring.hpp"
 
 namespace lfp::probe {
 namespace {
@@ -21,6 +27,40 @@ constexpr std::uint16_t probe_slot(std::size_t protocol, std::size_t round) {
     return static_cast<std::uint16_t>(round * kProtocolCount + protocol);
 }
 
+/// Raw inbound packets cross from the receive thread to the scheduler over
+/// a ring this deep. Deeper than any sane in-flight probe count, so the
+/// receiver only ever waits when the scheduler is truly swamped.
+constexpr std::size_t kInboundRingDepth = 2048;
+
+/// Multiplicative decrease factor on loss / rate-limit signals.
+constexpr double kWindowBackoff = 0.5;
+
+/// Adaptive runs open at this window (capped by the ceiling) and slow-start
+/// upward, instead of blasting the ceiling blind: an opening burst into a
+/// rate-limited path would empty its token budget instantly and spend the
+/// whole run paying for it (TCP starts small for the same reason).
+constexpr double kAdaptiveInitialWindow = 8.0;
+
+/// Loss-shaped completions tolerated before the window reacts: unlike TCP,
+/// a prober cannot read every loss as congestion — background loss on a
+/// long path is rate-independent, and halving on each of its victims would
+/// pin the window at the floor no matter how polite the send rate already
+/// is. Only when more than this fraction of a flight's completions come
+/// back partial does the loss profile look rate-driven.
+constexpr double kPartialLossTolerance = 0.10;
+
+/// Growth stops this far below the learned quench ceiling: sitting at the
+/// knee keeps tripping the limiter (each trip parks its victims for the
+/// response timeout), so the window settles with headroom instead.
+constexpr double kQuenchCeilingMargin = 0.85;
+
+/// The learned ceiling relaxes by this factor per clean completion, so an
+/// opening-burst transient (the token bucket starts at its burst size,
+/// well below its sustained rate) cannot pin the window forever: the
+/// estimate drifts back up over hundreds of clean completions and the
+/// next quench re-anchors it at the real knee.
+constexpr double kQuenchCeilingRecovery = 1.001;
+
 /// One admitted target awaiting responses.
 struct InFlightTarget {
     std::size_t index = 0;  ///< position in the input target span
@@ -28,6 +68,106 @@ struct InFlightTarget {
     std::uint16_t outstanding = 0;
     std::int32_t snmp_message_id = 0;
     std::chrono::steady_clock::time_point deadline;
+};
+
+/// The dedicated receive thread: blocks in poll_responses() and forwards
+/// raw packets into the SPSC ring. Publishes "the transport was drained as
+/// of send epoch E" so the scheduler can fail outstanding probes without
+/// burning the response timeout — but only when no send raced the
+/// observation (epoch mismatch makes the claim conservatively stale).
+class ReceiveLoop {
+  public:
+    static constexpr std::uint64_t kNeverDrained = ~std::uint64_t{0};
+
+    ReceiveLoop(ProbeTransport& transport, const Campaign::Config& config)
+        : transport_(&transport), config_(&config), ring_(kInboundRingDepth) {
+        thread_ = std::thread([this] { loop(); });
+    }
+
+    ~ReceiveLoop() {
+        // The normal and exceptional paths both join explicitly; this is
+        // the backstop, and a destructor must not throw.
+        try {
+            stop_and_join();
+        } catch (...) {
+        }
+    }
+
+    ReceiveLoop(const ReceiveLoop&) = delete;
+    ReceiveLoop& operator=(const ReceiveLoop&) = delete;
+
+    /// Scheduler side: bump after every send_batch() completes.
+    void note_sent() { send_epoch_.fetch_add(1, std::memory_order_release); }
+
+    /// Scheduler side: pop one raw inbound packet.
+    bool try_pop(net::Bytes& out) { return ring_.try_pop(out); }
+
+    /// Scheduler side: true when provably no response is pending anywhere —
+    /// not in the transport, not in the receiver's hands, not in the ring.
+    /// The drained observation must cover the current send epoch (all
+    /// packets a poll saw were pushed before the epoch was published) and
+    /// the ring must be empty *after* reading the publication.
+    [[nodiscard]] bool starved() {
+        if (drained_epoch_.load(std::memory_order_acquire) !=
+            send_epoch_.load(std::memory_order_relaxed)) {
+            return false;
+        }
+        return ring_.empty();
+    }
+
+    void stop_and_join() {
+        if (!thread_.joinable()) return;
+        stop_.store(true, std::memory_order_release);
+        thread_.join();
+        if (error_) std::rethrow_exception(std::exchange(error_, nullptr));
+    }
+
+  private:
+    void loop() {
+        try {
+            util::SpinBackoff backoff(config_->idle_backoff);
+            while (!stop_.load(std::memory_order_acquire)) {
+                // Capture the epoch *before* polling: any send that lands
+                // after this load bumps the epoch and invalidates a drained
+                // observation made by this poll.
+                const std::uint64_t epoch = send_epoch_.load(std::memory_order_acquire);
+                auto inbound = transport_->poll_responses(config_->poll_interval);
+                if (inbound.empty()) {
+                    if (transport_->drained()) {
+                        drained_epoch_.store(epoch, std::memory_order_release);
+                    }
+                    // An immediate empty return (drained transports do this)
+                    // must not become a hot spin — but stay on the CPU for
+                    // the first beats: the scheduler is usually about to
+                    // send and handoff latency bounds the whole pipeline.
+                    backoff.pause();
+                    continue;
+                }
+                backoff.reset();
+                for (net::Bytes& raw : inbound) {
+                    util::SpinBackoff push_backoff(config_->idle_backoff);
+                    while (!ring_.try_push(std::move(raw))) {
+                        if (stop_.load(std::memory_order_acquire)) return;
+                        // The ring only stays full while the scheduler is
+                        // stalled on a slow consumer — don't burn a core
+                        // for the duration of that stall.
+                        push_backoff.pause();
+                    }
+                }
+            }
+        } catch (...) {
+            error_ = std::current_exception();
+        }
+    }
+
+    ProbeTransport* transport_;
+    const Campaign::Config* config_;
+    util::SpscRing<net::Bytes> ring_;
+    std::thread thread_;
+    std::atomic<bool> stop_{false};
+    std::atomic<std::uint64_t> send_epoch_{0};
+    std::atomic<std::uint64_t> drained_epoch_{kNeverDrained};
+    std::exception_ptr error_;  ///< synchronised by thread_.join()
 };
 
 }  // namespace
@@ -127,6 +267,12 @@ net::Bytes Campaign::build_snmp_probe(net::IPv4Address target, std::int32_t mess
     return net::make_udp_packet(ip, datagram);
 }
 
+std::size_t Campaign::current_window() const noexcept {
+    const std::size_t ceiling = std::max<std::size_t>(1, config_.window);
+    if (!config_.adaptive_window || cwnd_ < 0) return ceiling;
+    return std::clamp<std::size_t>(static_cast<std::size_t>(cwnd_), 1, ceiling);
+}
+
 TargetProbeResult Campaign::probe_target(net::IPv4Address target) {
     auto results = run({&target, 1});
     return std::move(results.front());
@@ -138,26 +284,125 @@ std::vector<TargetProbeResult> Campaign::run(std::span<const net::IPv4Address> t
 
 std::vector<TargetProbeResult> Campaign::run_indexed(
     std::span<const net::IPv4Address> targets, std::span<const std::uint64_t> global_indices) {
+    std::vector<TargetProbeResult> results(targets.size());
+    run_streaming(targets, global_indices,
+                  [&results](std::size_t index, TargetProbeResult&& result) {
+                      results[index] = std::move(result);
+                      return true;
+                  });
+    return results;
+}
+
+void Campaign::run_streaming(
+    std::span<const net::IPv4Address> targets, std::span<const std::uint64_t> global_indices,
+    const std::function<bool(std::size_t, TargetProbeResult&&)>& emit) {
     using Clock = std::chrono::steady_clock;
 
     if (!global_indices.empty() && global_indices.size() != targets.size()) {
-        throw std::invalid_argument("Campaign::run_indexed: " +
+        throw std::invalid_argument("Campaign::run_streaming: " +
                                     std::to_string(global_indices.size()) +
                                     " global indices for " + std::to_string(targets.size()) +
                                     " targets");
     }
+    if (targets.empty()) return;
 
-    std::vector<TargetProbeResult> results(targets.size());
-    if (targets.empty()) return results;
-
-    const std::size_t window = std::max<std::size_t>(1, config_.window);
+    const std::size_t ceiling = std::max<std::size_t>(1, config_.window);
+    if (cwnd_ < 0) {
+        cwnd_ = config_.adaptive_window
+                    ? std::min(static_cast<double>(ceiling), kAdaptiveInitialWindow)
+                    : static_cast<double>(ceiling);
+    }
     ResponseDemux demux;
     std::unordered_map<std::uint64_t, InFlightTarget> in_flight;
     // Flow keys are derived from the target address, so two in-flight copies
     // of the same address would collide in the demux; duplicates wait until
     // the first copy completes (exactly what a serial run does).
     std::unordered_set<std::uint32_t> in_flight_addresses;
+    // Targets completed out of order but not yet emittable: the engine
+    // emits strictly in input order, so a completed target waits here for
+    // its predecessors. Admission stalls once this backlog reaches
+    // holdback_limit (below), so a head-of-line target waiting out its
+    // response timeout bounds memory at O(window) instead of buffering
+    // everything its successors complete in the meantime.
+    std::unordered_map<std::size_t, TargetProbeResult> holdback;
+    const std::size_t holdback_limit = 4 * ceiling + 64;
     std::size_t next_target = 0;
+    std::size_t next_emit = 0;
+    std::size_t completed = 0;
+
+    // At most one multiplicative decrease per in-flight generation: after a
+    // back-off, this many completions must drain before the next decrease
+    // (the targets that were already in flight all saw the same congested
+    // window; punishing each would collapse the window to 1 on any burst).
+    std::size_t decrease_holdoff = 0;
+    // Loss-rate accounting for the tolerance check, evaluated once per
+    // flight's worth of completions.
+    std::size_t eval_completions = 0;
+    std::size_t eval_partials = 0;
+
+    auto back_off = [&](bool from_quench) {
+        if (!config_.adaptive_window || decrease_holdoff > 0) return;
+        // An explicit quench marks the current window as over budget;
+        // remember the lowest such knee so growth stops short of it.
+        if (from_quench) quench_ceiling_ = std::min(quench_ceiling_, cwnd_);
+        cwnd_ = std::max(1.0, cwnd_ * kWindowBackoff);
+        ++window_decreases_;
+        decrease_holdoff = std::max<std::size_t>(1, in_flight.size());
+    };
+    enum class Completion { clean, partial, silent };
+    auto on_completion = [&](Completion completion) {
+        if (decrease_holdoff > 0) --decrease_holdoff;
+        if (!config_.adaptive_window) return;
+        switch (completion) {
+            case Completion::clean: {
+                // Slow start until the first congestion event (+1 per clean
+                // completion — the window doubles per flight), congestion
+                // avoidance after (+1 per window of clean completions),
+                // capped at the configured ceiling and a margin below the
+                // (slowly relaxing) learned quench knee.
+                quench_ceiling_ = std::min(1e300, quench_ceiling_ * kQuenchCeilingRecovery);
+                const double limit =
+                    std::min(static_cast<double>(ceiling),
+                             std::max(1.0, kQuenchCeilingMargin * quench_ceiling_));
+                cwnd_ = std::min(limit, cwnd_ + (window_decreases_ == 0
+                                                     ? 1.0
+                                                     : 1.0 / std::max(1.0, cwnd_)));
+                break;
+            }
+            case Completion::partial:
+                // A protocol answered some rounds but not all of them: a
+                // stack that speaks a protocol answers every round unless
+                // packets dropped — drop-shaped evidence. Counted below;
+                // the window reacts only when the *rate* of such
+                // completions outruns background loss.
+                break;
+            case Completion::silent:
+                // Whole-protocol silence (or a dead address) is policy- or
+                // filtering-shaped, not congestion-shaped: neither grow nor
+                // shrink, or phantom-padded and SNMP-filtered target lists
+                // would collapse the window for no responsiveness gain.
+                break;
+        }
+        ++eval_completions;
+        if (completion == Completion::partial) ++eval_partials;
+        const std::size_t eval_span = std::max<std::size_t>(
+            16, static_cast<std::size_t>(cwnd_));
+        if (eval_completions >= eval_span) {
+            if (static_cast<double>(eval_partials) >
+                kPartialLossTolerance * static_cast<double>(eval_completions)) {
+                back_off(/*from_quench=*/false);
+            }
+            eval_completions = 0;
+            eval_partials = 0;
+        }
+    };
+
+    // Multi-target runs earn the dedicated receive thread (overlap is the
+    // point); a single-target exchange (probe_target, the baselines' unit
+    // probes) pumps the transport inline instead of paying a thread
+    // spawn/join and a ring per call.
+    std::unique_ptr<ReceiveLoop> receiver;
+    if (targets.size() > 1) receiver = std::make_unique<ReceiveLoop>(*transport_, config_);
 
     // Admission builds and sends the target's whole batch in the fixed
     // global order; because admission itself is in target order, the wire
@@ -232,6 +477,7 @@ std::vector<TargetProbeResult> Campaign::run_indexed(
         }
         state.deadline = Clock::now() + config_.response_timeout;
         transport_->send_batch(batch);
+        if (receiver) receiver->note_sent();
         in_flight_addresses.insert(targets[index].value());
         in_flight.emplace(index, std::move(state));
     };
@@ -239,6 +485,16 @@ std::vector<TargetProbeResult> Campaign::run_indexed(
     auto dispatch = [&](net::Bytes& raw) {
         auto parsed = net::parse_packet(raw);
         if (!parsed) return;
+        // Rate-limit advisories are back-off signals, never probe answers;
+        // intercept them before the demux would count them as strays.
+        if (const auto* icmp = parsed.value().icmp()) {
+            if (const auto* error = std::get_if<net::IcmpError>(icmp);
+                error != nullptr && error->type == net::IcmpType::source_quench) {
+                ++rate_limit_signals_;
+                back_off(/*from_quench=*/true);
+                return;
+            }
+        }
         auto slot = demux.match(parsed.value());
         if (!slot) return;
         auto it = in_flight.find(slot->target);
@@ -262,34 +518,102 @@ std::vector<TargetProbeResult> Campaign::run_indexed(
         }
     };
 
-    while (next_target < targets.size() || !in_flight.empty()) {
-        while (in_flight.size() < window && next_target < targets.size() &&
-               !in_flight_addresses.contains(targets[next_target].value())) {
-            admit(next_target++);
-        }
+    bool cancelled = false;
+    try {
+        util::SpinBackoff backoff(config_.idle_backoff);
+        while (completed < targets.size() && !cancelled) {
+            bool progressed = false;
 
-        auto inbound = transport_->poll_responses(config_.poll_interval);
-        for (net::Bytes& raw : inbound) dispatch(raw);
+            const std::size_t window = current_window();
+            while (in_flight.size() < window && holdback.size() < holdback_limit &&
+                   next_target < targets.size() &&
+                   !in_flight_addresses.contains(targets[next_target].value())) {
+                admit(next_target++);
+                progressed = true;
+            }
 
-        // A transport that can prove it holds nothing (the simulation after
-        // loss) lets us fail outstanding slots without burning the timeout.
-        const bool starved = inbound.empty() && transport_->drained();
-        const auto now = Clock::now();
-        for (auto it = in_flight.begin(); it != in_flight.end();) {
-            InFlightTarget& state = it->second;
-            if (state.outstanding == 0 || starved || now >= state.deadline) {
-                if (state.outstanding > 0) demux.cancel_target(it->first);
-                in_flight_addresses.erase(state.result.target.value());
-                results[state.index] = std::move(state.result);
-                it = in_flight.erase(it);
+            // A transport that can prove it holds nothing (the simulation
+            // after loss) lets us fail outstanding slots without burning
+            // the timeout. With a receive thread, starved() is only true
+            // when the drained observation covers every send so far and
+            // the ring is empty; inline, the direct poll's emptiness plus
+            // drained() is the same proof.
+            bool starved = false;
+            if (receiver) {
+                net::Bytes raw;
+                while (receiver->try_pop(raw)) {
+                    dispatch(raw);
+                    progressed = true;
+                }
+                starved = receiver->starved();
             } else {
-                ++it;
+                auto inbound = transport_->poll_responses(config_.poll_interval);
+                for (net::Bytes& raw : inbound) {
+                    dispatch(raw);
+                    progressed = true;
+                }
+                starved = inbound.empty() && transport_->drained();
+            }
+            const auto now = Clock::now();
+            for (auto it = in_flight.begin(); it != in_flight.end();) {
+                InFlightTarget& state = it->second;
+                if (state.outstanding == 0 || starved || now >= state.deadline) {
+                    // Loss-shaped = some round of a spoken protocol vanished
+                    // (the paper's partial-responsiveness notion). Anything
+                    // that answered without intra-protocol gaps is clean;
+                    // protocol-level silence alone stays neutral.
+                    const Completion completion =
+                        state.result.partially_responsive() ? Completion::partial
+                        : state.result.any_response()       ? Completion::clean
+                                                            : Completion::silent;
+                    if (state.outstanding > 0) demux.cancel_target(it->first);
+                    in_flight_addresses.erase(state.result.target.value());
+                    holdback.emplace(state.index, std::move(state.result));
+                    it = in_flight.erase(it);
+                    ++completed;
+                    on_completion(completion);
+                    progressed = true;
+                } else {
+                    ++it;
+                }
+            }
+
+            // In-order emission: a completed target leaves as soon as every
+            // predecessor has left, overlapping downstream consumption with
+            // the probing of its successors. An emit returning false
+            // cancels the run: stop admitting, abandon the in-flight rest.
+            for (auto it = holdback.find(next_emit);
+                 it != holdback.end() && !cancelled; it = holdback.find(next_emit)) {
+                TargetProbeResult result = std::move(it->second);
+                holdback.erase(it);
+                ++next_emit;
+                cancelled = !emit(next_emit - 1, std::move(result));
+            }
+
+            if (progressed) {
+                backoff.reset();
+            } else if (receiver) {
+                // Inline mode already blocked in poll_responses() above;
+                // only the threaded scheduler needs its own pacing.
+                backoff.pause();
             }
         }
+    } catch (...) {
+        // Unblock and collapse the receiver before unwinding; a receiver
+        // error would otherwise be lost (the scheduler's exception wins).
+        try {
+            if (receiver) receiver->stop_and_join();
+        } catch (...) {
+        }
+        strays_ += demux.stray_responses();
+        throw;
     }
 
+    // Strays are settled before the join: a receiver error rethrown by
+    // stop_and_join() must not skip the accumulation (the catch path above
+    // preserves it the same way).
     strays_ += demux.stray_responses();
-    return results;
+    if (receiver) receiver->stop_and_join();
 }
 
 }  // namespace lfp::probe

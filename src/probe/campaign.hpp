@@ -5,19 +5,40 @@
 // fixed global send order so cross-protocol IPID counter sharing is
 // observable.
 //
-// The campaign engine is batched and asynchronous: each target's probes are
-// sent as one ordered batch without waiting for responses, and a window of
-// up to Config::window targets is kept in flight while inbound packets are
-// demultiplexed back to their probe slots by flow key. Targets are admitted
-// strictly in input order, so the global send order — the property the
-// IPID-sharing features depend on — is identical at every window size, and
-// a windowed run produces byte-identical results to a serial one (window=1)
+// The campaign engine is batched, asynchronous, and streaming: each target's
+// probes are sent as one ordered batch without waiting for responses, and a
+// window of in-flight targets is kept saturated while inbound packets are
+// demultiplexed back to their probe slots by flow key.
+//
+// Internally every run splits across two threads: the calling thread is the
+// sender/scheduler (admission, demux dispatch, deadlines, window control)
+// and a dedicated receive thread blocks in transport->poll_responses(),
+// handing raw packets over a bounded lock-free SPSC ring
+// (util/spsc_ring.hpp) so receives never wait on scheduling and vice versa.
+//
+// The in-flight window can adapt (Config::adaptive_window): clean target
+// completions grow it additively, loss and ICMP rate-limit advisories
+// (source quench) shrink it multiplicatively, clamped to [1, Config::window]
+// — the configured window then acts as a *ceiling*, not a fixed size. Turn
+// it on when the path punishes aggressiveness (live networks, the sim's
+// ICMP rate limiter); leave it off where loss is rate-independent and a
+// full fixed window is simply fastest. Targets are admitted strictly in
+// input order and IPIDs/msgIDs derive from the global target index, so the
+// global send order — the property the IPID-sharing features depend on — is
+// identical at every window size and every adaptive trajectory, and a
+// windowed run produces byte-identical results to a serial one (window=1)
 // on any deterministic transport.
+//
+// run_streaming() exposes the engine's streaming nature directly: completed
+// targets are emitted in input order while later targets are still in
+// flight, which is what lets the census pipeline overlap feature
+// extraction, signature aggregation, and classification with probing.
 #pragma once
 
 #include <array>
 #include <chrono>
 #include <cstdint>
+#include <functional>
 #include <optional>
 #include <span>
 #include <vector>
@@ -98,16 +119,37 @@ class Campaign {
         /// First SNMPv3 msgID; target i carries snmp_message_id_base + i.
         std::uint32_t snmp_message_id_base = 0x51000;
 
-        /// Targets kept in flight simultaneously. 1 = serial behaviour; any
-        /// larger window produces identical results on a deterministic
-        /// transport, it only overlaps the waiting.
+        /// Ceiling on targets kept in flight simultaneously. 1 = serial
+        /// behaviour; any larger window produces identical results on a
+        /// deterministic transport, it only overlaps the waiting. With
+        /// adaptive_window the engine moves inside [1, window]; without it
+        /// the window is pinned here (the PR 2 fixed-window behaviour).
         std::size_t window = 1;
+        /// AIMD control of the in-flight window: additive growth on clean
+        /// target completions, multiplicative back-off (with a one-decrease-
+        /// per-flight holdoff) on loss-shaped completions (a protocol that
+        /// answered some rounds but not all — packets dropped) and ICMP
+        /// source-quench advisories. Whole-protocol silence is neutral —
+        /// filtering-shaped, not congestion-shaped. Never
+        /// affects results — only pacing. Off by default: backing off is
+        /// the right reflex only where loss correlates with send rate
+        /// (live paths, rate-limited scenarios); under the sim's
+        /// rate-independent background loss it would shrink the window for
+        /// no responsiveness gain.
+        bool adaptive_window = false;
         /// How long to keep a target's unresolved probes waiting before
         /// declaring them unanswered. Transports that can prove nothing is
         /// pending (the simulation) cut this short automatically.
         std::chrono::milliseconds response_timeout{1000};
-        /// Granularity of a single poll_responses() wait.
+        /// Granularity of a single poll_responses() wait on the receive
+        /// thread.
         std::chrono::milliseconds poll_interval{20};
+        /// Sleep phase of the spin-then-sleep backoff either thread applies
+        /// when it finds nothing to do (an empty immediate poll on the
+        /// receive side, an idle scheduler pass on the send side): a burst
+        /// of yields keeps cross-thread handoff in the microseconds, then
+        /// naps this long so an idle wait never burns a core.
+        std::chrono::microseconds idle_backoff{100};
     };
 
     explicit Campaign(ProbeTransport& transport) : Campaign(transport, Config{}) {}
@@ -136,6 +178,23 @@ class Campaign {
     std::vector<TargetProbeResult> run_indexed(std::span<const net::IPv4Address> targets,
                                                std::span<const std::uint64_t> global_indices);
 
+    /// The streaming engine underneath run()/run_indexed(): probes every
+    /// target (windowed; multi-target runs split sends and receives across
+    /// two threads, a single-target run pumps the transport inline) and
+    /// hands each completed target to `emit` in strict input order —
+    /// target i is emitted as soon as targets 0..i have all completed,
+    /// while targets past i may still be in flight. `emit` runs on the
+    /// calling thread and returns whether to continue: false cancels the
+    /// run promptly (no further admissions; in-flight targets are
+    /// abandoned unreported) — the seam a failing downstream consumer uses
+    /// to stop lanes mid-census instead of waiting out the target list.
+    /// Keeping `emit` cheap (e.g. pushing into a queue another thread
+    /// drains) keeps the scheduler responsive. Empty `global_indices`
+    /// means position i is global index i, as for run_indexed().
+    void run_streaming(std::span<const net::IPv4Address> targets,
+                       std::span<const std::uint64_t> global_indices,
+                       const std::function<bool(std::size_t, TargetProbeResult&&)>& emit);
+
     /// IDs consumed per target in the index-derived lane scheme (9 probes
     /// plus the SNMP discovery when enabled).
     [[nodiscard]] std::uint16_t ids_per_target() const noexcept {
@@ -150,6 +209,19 @@ class Campaign {
     /// unrelated traffic observed on the wire).
     [[nodiscard]] std::uint64_t stray_responses() const noexcept { return strays_; }
 
+    /// ICMP source-quench advisories observed (each is a back-off signal,
+    /// never a probe answer).
+    [[nodiscard]] std::uint64_t rate_limit_signals() const noexcept {
+        return rate_limit_signals_;
+    }
+    /// Multiplicative window decreases taken so far.
+    [[nodiscard]] std::uint64_t window_decreases() const noexcept { return window_decreases_; }
+    /// The in-flight window currently in force (= Config::window when the
+    /// adaptive controller is off or has seen no congestion). The learned
+    /// window persists across run() calls of one Campaign, like one long
+    /// probing session.
+    [[nodiscard]] std::size_t current_window() const noexcept;
+
   private:
     net::Bytes build_probe(net::IPv4Address target, ProtoIndex protocol, std::size_t round,
                            std::uint16_t ipid);
@@ -161,6 +233,19 @@ class Campaign {
     std::uint64_t packets_sent_ = 0;
     std::uint64_t responses_ = 0;
     std::uint64_t strays_ = 0;
+    std::uint64_t rate_limit_signals_ = 0;
+    std::uint64_t window_decreases_ = 0;
+    /// AIMD congestion window (targets), clamped to [1, Config::window].
+    /// Negative = uninitialised (the first run seeds it: a small opening
+    /// window when adaptive, the ceiling when fixed).
+    double cwnd_ = -1.0;
+    /// Learned path budget: the lowest window at which the path has sent
+    /// an explicit quench. Unlike TCP, a census gains nothing from
+    /// re-probing the knee — every probe costs parked timeout slots — so
+    /// growth stops a margin below the learned value instead of sawtooth-
+    /// ing into the limiter forever. Effectively unbounded until the
+    /// first quench.
+    double quench_ceiling_ = 1e300;
 };
 
 }  // namespace lfp::probe

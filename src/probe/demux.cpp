@@ -17,6 +17,11 @@ FlowKey make_key(net::IPv4Address target, net::Protocol protocol, std::uint16_t 
 /// and quoted ICMP echoes have no port pair to read.
 std::optional<FlowKey> quoted_flow_key(const net::ParsedPacket& response,
                                        const net::IcmpError& error) {
+    // A source quench is a rate-limit advisory, not an answer: it must never
+    // fill the quoted probe's slot (the probe's real response was suppressed
+    // and the slot stays outstanding). The engine reads quenches out of band
+    // as window back-off signals before demultiplexing.
+    if (error.type == net::IcmpType::source_quench) return std::nullopt;
     if (error.quoted.size() < net::Ipv4Header::kSize + 4) return std::nullopt;
     auto quoted = net::Ipv4Header::parse(
         std::span<const std::uint8_t>(error.quoted.data(), error.quoted.size()));

@@ -7,6 +7,11 @@
 // captured. Matching inbound packets to probes (ICMP echo identifier, the
 // quoted datagram inside ICMP errors, TCP/UDP port pairs) is done by the
 // caller's demultiplexer — probe/demux.hpp.
+//
+// The one-sender/one-receiver threading contract holds without locks: sends
+// and receives use disjoint file descriptors, so the scheduler thread's
+// sendto() and the receive thread's poll()/recvfrom() never touch shared
+// state (send_failures_ is written by the sending thread only).
 #pragma once
 
 #include <chrono>

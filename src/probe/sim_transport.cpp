@@ -1,12 +1,17 @@
 #include "probe/sim_transport.hpp"
 
+#include <algorithm>
 #include <thread>
 
 namespace lfp::probe {
 
 void SimTransport::send_batch(std::span<const net::Bytes> packets) {
     const auto now = Clock::now();
+    // The simulation round trip runs outside the queue mutex: it can be
+    // compute-heavy and the receive thread must stay free to drain matured
+    // responses meanwhile.
     auto responses = internet_->transact_batch(packets);
+    std::lock_guard<std::mutex> lock(mutex_);
     for (auto& response : responses) {
         // The jitter stream advances once per *response* in send order, so
         // delivery timing never perturbs simulation state determinism.
@@ -23,14 +28,22 @@ void SimTransport::send_batch(std::span<const net::Bytes> packets) {
 
 std::vector<net::Bytes> SimTransport::poll_responses(std::chrono::milliseconds timeout) {
     std::vector<net::Bytes> matured;
-    if (pending_.empty()) return matured;  // drained: nothing will ever arrive
 
-    auto now = Clock::now();
-    if (pending_.top().ready_at > now) {
-        const auto wait = std::min<Clock::duration>(pending_.top().ready_at - now, timeout);
-        if (wait > Clock::duration::zero()) std::this_thread::sleep_for(wait);
-        now = Clock::now();
+    // Decide how long to wait under the lock, but never sleep holding it —
+    // the sender must be able to enqueue while we wait for maturity.
+    Clock::duration wait = Clock::duration::zero();
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (pending_.empty()) return matured;  // drained: nothing will ever arrive
+        const auto now = Clock::now();
+        if (pending_.top().ready_at > now) {
+            wait = std::min<Clock::duration>(pending_.top().ready_at - now, timeout);
+        }
     }
+    if (wait > Clock::duration::zero()) std::this_thread::sleep_for(wait);
+
+    const auto now = Clock::now();
+    std::lock_guard<std::mutex> lock(mutex_);
     while (!pending_.empty() && pending_.top().ready_at <= now) {
         // top() is const; moving out is safe because the pop follows
         // immediately and the heap never compares packet contents.
@@ -38,6 +51,12 @@ std::vector<net::Bytes> SimTransport::poll_responses(std::chrono::milliseconds t
         pending_.pop();
     }
     return matured;
+}
+
+std::optional<std::uint64_t> SimTransport::backend_hint(net::IPv4Address target) const {
+    const std::size_t router = internet_->topology().find_by_interface(target);
+    if (router == sim::Topology::npos) return std::nullopt;
+    return static_cast<std::uint64_t>(router);
 }
 
 }  // namespace lfp::probe

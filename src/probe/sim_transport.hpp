@@ -6,9 +6,16 @@
 // packets out of send order — exactly the regime the response demultiplexer
 // exists for — and a windowed campaign overlaps many targets' RTTs where a
 // serial one pays them back to back.
+//
+// The pending-response queue is mutex-guarded (never held across a sleep),
+// so send_batch() on the scheduler thread and poll_responses()/drained() on
+// the dedicated receive thread interleave safely per the ProbeTransport
+// threading contract. The jitter RNG and send sequence are only touched on
+// the sending thread.
 #pragma once
 
 #include <chrono>
+#include <mutex>
 #include <queue>
 #include <vector>
 
@@ -29,6 +36,12 @@ class SimTransport final : public ProbeTransport {
         /// response matures at rtt * (1 ± jitter), reordering deliveries.
         double jitter = 0.0;
         std::uint64_t jitter_seed = 0x5EED;
+        /// Live-path semantics: drained() always reports false, exactly
+        /// like RawSocketTransport on a real network — the engine can then
+        /// never prove silence and must wait out its response timeouts.
+        /// Default off (the simulation's omniscient fast path); turn on to
+        /// model the operational cost of lost/suppressed answers.
+        bool live_semantics = false;
     };
 
     explicit SimTransport(sim::Internet& internet,
@@ -41,9 +54,19 @@ class SimTransport final : public ProbeTransport {
 
     std::vector<net::Bytes> poll_responses(std::chrono::milliseconds timeout) override;
 
-    [[nodiscard]] bool drained() const override { return pending_.empty(); }
+    [[nodiscard]] bool drained() const override {
+        if (options_.live_semantics) return false;
+        std::lock_guard<std::mutex> lock(mutex_);
+        return pending_.empty();
+    }
 
     [[nodiscard]] net::IPv4Address vantage_address() const override { return options_.vantage; }
+
+    /// The simulation's ground truth: targets backed by the same simulated
+    /// router share its index (their probes must stay serialized); addresses
+    /// without a backing router are independent and report nullopt.
+    [[nodiscard]] std::optional<std::uint64_t> backend_hint(
+        net::IPv4Address target) const override;
 
     [[nodiscard]] std::chrono::milliseconds transact_timeout() const override {
         // Everything that will ever arrive is queued at send time, so the
@@ -68,8 +91,9 @@ class SimTransport final : public ProbeTransport {
 
     sim::Internet* internet_;
     Options options_;
-    util::Rng jitter_rng_;
-    std::uint64_t sequence_ = 0;
+    util::Rng jitter_rng_;     ///< sending thread only
+    std::uint64_t sequence_ = 0;  ///< sending thread only
+    mutable std::mutex mutex_;  ///< guards pending_; never held across sleeps
     std::priority_queue<Pending, std::vector<Pending>, std::greater<>> pending_;
 };
 

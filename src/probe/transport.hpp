@@ -9,10 +9,18 @@
 // probe/demux.hpp); a blocking one-packet transact() convenience is layered
 // on top for callers that genuinely want request/response semantics
 // (baselines, alias resolution).
+//
+// Threading contract: the streaming campaign engine runs send_batch() on a
+// scheduler thread and poll_responses()/drained() on a dedicated receive
+// thread, concurrently. Implementations must tolerate exactly that split —
+// one sender thread, one receiver thread — without external locking.
+// Concurrent calls to send_batch() from several threads (or to
+// poll_responses() from several threads) remain outside the contract.
 #pragma once
 
 #include <chrono>
 #include <cstdint>
+#include <mutex>
 #include <optional>
 #include <span>
 #include <vector>
@@ -32,21 +40,36 @@ class ProbeTransport {
 
     /// Sends a batch of raw IPv4 packets in order. The wire order of a batch
     /// is the span order; consecutive batches preserve submission order. The
-    /// call never waits for responses.
+    /// call never waits for responses. May run concurrently with
+    /// poll_responses()/drained() on another thread (see the threading
+    /// contract above).
     virtual void send_batch(std::span<const net::Bytes> packets) = 0;
 
     /// Returns raw inbound packets. Blocks up to `timeout` when none are
     /// immediately available; may return early (possibly empty) when the
-    /// transport can prove nothing is pending (see drained()).
+    /// transport can prove nothing is pending (see drained()). May run
+    /// concurrently with send_batch() on another thread.
     virtual std::vector<net::Bytes> poll_responses(std::chrono::milliseconds timeout) = 0;
 
     /// True when the transport can prove no further response will arrive for
     /// anything sent so far. Transports that cannot know (live networks)
-    /// return false and callers fall back to deadlines.
+    /// return false and callers fall back to deadlines. Safe to call from
+    /// the receive thread concurrently with send_batch().
     [[nodiscard]] virtual bool drained() const { return false; }
 
     /// The source address probes should carry.
     [[nodiscard]] virtual net::IPv4Address vantage_address() const = 0;
+
+    /// Optional backend-identity hint: an opaque key such that two targets
+    /// with equal keys share stateful backend state (the same physical
+    /// router behind alias interfaces). The simulation knows its ground
+    /// truth and reports router indices; live transports return nullopt.
+    /// CensusRunner uses the hint to default-group alias interfaces onto
+    /// one vantage lane so their probes stay serialized.
+    [[nodiscard]] virtual std::optional<std::uint64_t> backend_hint(
+        net::IPv4Address /*target*/) const {
+        return std::nullopt;
+    }
 
     /// Default deadline for the transact() convenience.
     [[nodiscard]] virtual std::chrono::milliseconds transact_timeout() const {
@@ -63,29 +86,46 @@ class ProbeTransport {
 /// Adapter for transports that can answer a packet synchronously (test
 /// doubles, single-router harnesses): implement exchange() and the batch
 /// contract falls out — responses are queued at send time and handed back by
-/// poll_responses() in send order.
+/// poll_responses() in send order. The internal queue is mutex-guarded, so
+/// the adapter satisfies the one-sender/one-receiver threading contract;
+/// exchange() itself only ever runs on the sending thread.
 class SynchronousTransport : public ProbeTransport {
   public:
     void send_batch(std::span<const net::Bytes> packets) override {
         for (const net::Bytes& packet : packets) {
             auto response = exchange(packet);
-            if (response) queue_.push_back(std::move(*response));
+            if (response) {
+                std::lock_guard<std::mutex> lock(mutex_);
+                queue_.push_back(std::move(*response));
+            }
         }
     }
 
+    /// The `timeout` parameter is deliberately unused — and that is the
+    /// documented contract, not an oversight: every response this adapter
+    /// will ever hold is queued synchronously at send_batch() time, so an
+    /// empty queue means drained() — nothing further can arrive until the
+    /// next send — and the base-class contract explicitly allows a drained
+    /// transport to return early. Blocking here would add latency and
+    /// starve nobody of anything; the zero-cost early return is correct.
     std::vector<net::Bytes> poll_responses(std::chrono::milliseconds /*timeout*/) override {
+        std::lock_guard<std::mutex> lock(mutex_);
         std::vector<net::Bytes> out;
         out.swap(queue_);
         return out;
     }
 
-    [[nodiscard]] bool drained() const override { return queue_.empty(); }
+    [[nodiscard]] bool drained() const override {
+        std::lock_guard<std::mutex> lock(mutex_);
+        return queue_.empty();
+    }
 
   protected:
     /// One request/response round trip; nullopt models loss or filtering.
     virtual std::optional<net::Bytes> exchange(std::span<const std::uint8_t> packet) = 0;
 
   private:
+    mutable std::mutex mutex_;
     std::vector<net::Bytes> queue_;
 };
 

@@ -1,5 +1,9 @@
 #include "sim/internet.hpp"
 
+#include <algorithm>
+
+#include "net/packet_builder.hpp"
+
 namespace lfp::sim {
 
 namespace {
@@ -24,6 +28,21 @@ std::uint64_t mix_packet(std::uint64_t seed, std::span<const std::uint8_t> packe
 }
 
 }  // namespace
+
+bool Internet::take_icmp_token() {
+    const auto now = std::chrono::steady_clock::now();
+    std::lock_guard<std::mutex> lock(bucket_mutex_);
+    const double elapsed =
+        std::chrono::duration<double>(now - bucket_refill_at_).count();
+    if (elapsed > 0) {
+        bucket_tokens_ = std::min(config_.icmp_rate_limit_burst,
+                                  bucket_tokens_ + elapsed * config_.icmp_rate_limit_per_sec);
+        bucket_refill_at_ = now;
+    }
+    if (bucket_tokens_ < 1.0) return false;
+    bucket_tokens_ -= 1.0;
+    return true;
+}
 
 bool Internet::lost_in_transit(std::span<const std::uint8_t> packet,
                                std::uint64_t direction) const noexcept {
@@ -72,6 +91,28 @@ std::optional<net::Bytes> Internet::transact(std::span<const std::uint8_t> probe
 
     auto response = topology_->router(index).handle_packet(on_wire);
     if (!response) return std::nullopt;
+
+    // Path ICMP rate limiting: the router answered (its counters advanced —
+    // same as the loss path), but the path's ICMP budget is spent, so the
+    // ICMP-protocol answer (echo reply, or the ICMP error a UDP probe earns)
+    // is swallowed and a source-quench advisory quoting the probe travels
+    // back instead. TCP RSTs and SNMP/UDP answers are not ICMP and pass.
+    // The quench replaces the response *in place* and rides the normal
+    // return path below — the same loss draw, TTL decay, and returned_
+    // accounting the answer it displaced would have seen (back-off signals
+    // are packets, not oracles: a lossy path loses them too).
+    if (config_.icmp_rate_limit_per_sec > 0) {
+        auto header = net::Ipv4Header::parse(
+            std::span<const std::uint8_t>(response->data(), response->size()));
+        if (header && header.value().protocol == net::Protocol::icmp && !take_icmp_token()) {
+            rate_limited_.fetch_add(1, std::memory_order_relaxed);
+            net::IpSendOptions quench_ip;
+            quench_ip.source = header.value().source;
+            quench_ip.destination = header.value().destination;
+            *response = net::make_icmp_error(quench_ip, net::IcmpType::source_quench, 0,
+                                             on_wire, net::Ipv4Header::kSize + 8);
+        }
+    }
 
     if (lost_in_transit(probe, 1)) {
         lost_.fetch_add(1, std::memory_order_relaxed);

@@ -1,6 +1,6 @@
 // The simulated wire: routes raw probe packets from the measurement vantage
 // to the owning router and carries responses back, applying hop-count TTL
-// decay and light random loss.
+// decay, light random loss, and (optionally) path ICMP rate limiting.
 //
 // Loss is a pure per-packet function (a hash of the seed and the packet
 // bytes), not a draw from a shared sequential RNG: whether a packet survives
@@ -10,13 +10,27 @@
 // Corollary: byte-identical packets share a loss fate, so a retry loop must
 // vary something (e.g. probe a target under a different ipid_base) to get
 // an independent draw.
+//
+// ICMP rate limiting (off by default) is deliberately the opposite: a
+// load-dependent token bucket shared by the whole path, modelling the
+// aggregate ICMP generation budget the first hops grant one vantage. When
+// the bucket is dry an ICMP-protocol response (echo reply or ICMP error —
+// the answers to the ICMP and UDP probes) is replaced by a source-quench
+// advisory quoting the probe. A prober that blasts past the budget loses
+// responses; one that backs off keeps them — exactly the regime the
+// adaptive in-flight window is built for. Because the outcome depends on
+// *when* packets arrive, enable it only in scenarios that do not assert
+// byte-identity across runs.
+//
 // Concurrent transact() calls are safe as long as no two threads probe
 // interfaces of the *same* router at once (router counters are stateful);
 // the CensusRunner's affinity assignment guarantees that.
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
+#include <mutex>
 #include <optional>
 #include <span>
 #include <vector>
@@ -29,12 +43,22 @@ struct InternetConfig {
     std::uint64_t seed = 7;
     /// Per-direction packet loss probability.
     double loss_rate = 0.004;
+    /// ICMP responses per second the path sustains before quenching; 0
+    /// disables rate limiting (the default, and required by every scenario
+    /// that asserts byte-identity — the bucket is wall-clock dependent).
+    double icmp_rate_limit_per_sec = 0.0;
+    /// Token-bucket burst capacity: this many ICMP responses may pass
+    /// back-to-back before the refill rate becomes the binding constraint.
+    double icmp_rate_limit_burst = 64.0;
 };
 
 class Internet {
   public:
     explicit Internet(Topology& topology, InternetConfig config = {})
-        : topology_(&topology), config_(config) {}
+        : topology_(&topology),
+          config_(config),
+          bucket_tokens_(config.icmp_rate_limit_burst),
+          bucket_refill_at_(std::chrono::steady_clock::now()) {}
 
     /// Sends one packet and returns the response packet (if any): the
     /// request-response round trip of a single probe.
@@ -54,6 +78,11 @@ class Internet {
     [[nodiscard]] std::uint64_t packets_lost() const noexcept {
         return lost_.load(std::memory_order_relaxed);
     }
+    /// ICMP responses suppressed (and replaced by a quench) by the path
+    /// rate limiter.
+    [[nodiscard]] std::uint64_t responses_rate_limited() const noexcept {
+        return rate_limited_.load(std::memory_order_relaxed);
+    }
 
     [[nodiscard]] Topology& topology() noexcept { return *topology_; }
 
@@ -63,11 +92,18 @@ class Internet {
     [[nodiscard]] bool lost_in_transit(std::span<const std::uint8_t> packet,
                                        std::uint64_t direction) const noexcept;
 
+    /// Takes one token from the ICMP budget; false = quench instead.
+    [[nodiscard]] bool take_icmp_token();
+
     Topology* topology_;
     InternetConfig config_;
     std::atomic<std::uint64_t> sent_{0};
     std::atomic<std::uint64_t> returned_{0};
     std::atomic<std::uint64_t> lost_{0};
+    std::atomic<std::uint64_t> rate_limited_{0};
+    std::mutex bucket_mutex_;
+    double bucket_tokens_;
+    std::chrono::steady_clock::time_point bucket_refill_at_;
 };
 
 }  // namespace lfp::sim
