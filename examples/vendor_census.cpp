@@ -28,9 +28,18 @@ int main(int argc, char** argv) {
     // measurements are byte-identical to a single-vantage run — just built
     // on four lanes' worth of in-flight probes.
     config.vantages = 4;
+    // Production-census manners: shape each lane's send rate with a
+    // token-bucket packets-per-second cap (polite to ICMP limiters; on the
+    // deterministic sim it changes timing, never results), and give
+    // loss-struck targets a second pass — the retry re-probes only the
+    // incomplete signatures under fresh ID lanes.
+    config.packets_per_second = 50'000.0;
+    config.passes = 2;
     auto world = analysis::ExperimentWorld::create(config);
     std::cout << "Census ran from " << world->vantage_transports().size()
-              << " vantage lanes (" << world->packets_sent() << " probe packets).\n\n";
+              << " vantage lanes, " << config.passes << " passes, "
+              << config.packets_per_second << " pps/lane cap ("
+              << world->packets_sent() << " probe packets).\n\n";
 
     // Router-level vendor mapping over the ITDK-like alias sets.
     const auto& itdk_measurement = world->itdk_measurement();

@@ -57,6 +57,8 @@ WorldConfig WorldConfig::from_env() {
                                     "LFP_WINDOW ceiling)");
     }
     config.adaptive_window = adaptive == 1;
+    config.packets_per_second = env_double("LFP_PPS", config.packets_per_second);
+    config.passes = static_cast<std::size_t>(env_u64("LFP_PASSES", config.passes));
     config.validate();
     return config;
 }
@@ -90,6 +92,19 @@ void WorldConfig::validate() const {
                                     " exceeds the ceiling of " +
                                     std::to_string(core::CensusPlan::kMaxWorkers) +
                                     " (0 = one per hardware thread)");
+    }
+    if (!(packets_per_second >= 0)) {  // also rejects NaN
+        throw std::invalid_argument(
+            "WorldConfig: packets_per_second (LFP_PPS) must be >= 0 (0 = unpaced)");
+    }
+    if (passes == 0) {
+        throw std::invalid_argument(
+            "WorldConfig: passes (LFP_PASSES) must be >= 1 (1 = single-pass census)");
+    }
+    if (passes > core::CensusPlan::kMaxPasses) {
+        throw std::invalid_argument("WorldConfig: passes (LFP_PASSES) = " +
+                                    std::to_string(passes) + " exceeds the ceiling of " +
+                                    std::to_string(core::CensusPlan::kMaxPasses));
     }
 }
 
@@ -129,7 +144,9 @@ ExperimentWorld::ExperimentWorld(WorldConfig config)
     for (const auto& transport : transports_) plan.vantages.push_back(transport.get());
     plan.campaign.window = config.window;
     plan.campaign.adaptive_window = config.adaptive_window;
+    plan.campaign.packets_per_second = config.packets_per_second;
     plan.worker_threads = config.worker_threads;
+    plan.passes = config.passes;
     core::CensusRunner runner(std::move(plan));
 
     // Streaming census per dataset: lane assignment comes from the
@@ -143,12 +160,16 @@ ExperimentWorld::ExperimentWorld(WorldConfig config)
     // finalized database is byte-identical to a batch build.
     core::SignatureDatabase database(
         core::SignatureDbConfig{.min_occurrences = config.signature_min_occurrences});
+    // With config.passes > 1 the runner re-probes incomplete targets under
+    // shifted ID bases before the sink chain sees final records (absorption
+    // then follows the last pass instead of overlapping the probing — a
+    // record is not final until its last chance to be retried has run).
     auto stream_dataset = [&](const std::string& name,
                               const std::vector<net::IPv4Address>& targets) {
         core::CollectingSink collect(name);
         collect.reserve(targets.size());
         core::SignatureAbsorbSink absorb(database, &collect);
-        runner.stream(targets, {}, absorb);
+        runner.stream_passes(targets, {}, config.passes, absorb);
         measurements_.push_back(collect.take());
     };
 

@@ -6,13 +6,17 @@
 // The campaigns run through a streaming CensusRunner: WorldConfig::vantages
 // lanes (each its own SimTransport over the shared simulated Internet), up
 // to `window` targets in flight per lane (the adaptive AIMD window's
-// ceiling), and worker_threads pool shards for the analysis stages. Targets
+// ceiling), an optional packets-per-second token-bucket cap per lane, up to
+// `passes` census passes re-probing incomplete targets, and worker_threads
+// pool shards for the analysis stages. Targets
 // are assigned to lanes via the transports' backend hints (ground-truth
 // router affinity), and signature aggregation rides a record sink that
 // absorbs labeled records while the census is still probing — so the
 // measurements and database are byte-identical for every vantage count,
-// window size, and worker count; the knobs only change how fast the world
-// is built.
+// window size, pacing cap, and worker count; those knobs only change how
+// fast the world is built. `passes` is the one knob that *measures more*:
+// extra passes deterministically convert partial signatures into full ones
+// by re-probing incomplete targets under fresh ID lanes.
 #pragma once
 
 #include <memory>
@@ -42,11 +46,21 @@ struct WorldConfig {
     /// default: the sim's background loss is rate-independent, so backing
     /// off would only slow the build. Results are identical either way.
     bool adaptive_window = false;
+    /// Packets-per-second send cap per vantage lane (token-bucket pacing at
+    /// target admission). 0 = unpaced. Like the window it only changes how
+    /// fast the world is built, never what it measures.
+    double packets_per_second = 0.0;
+    /// Census passes per dataset: pass 1 probes everything, later passes
+    /// re-probe only incomplete targets under shifted ID bases. 1 = the
+    /// classic single-pass census. Deterministic at any value; under the
+    /// sim's per-packet-hash loss, extra passes convert partial signatures
+    /// into full ones.
+    std::size_t passes = 1;
 
     /// Honors LFP_SEED / LFP_SCALE / LFP_ASES / LFP_TRACES / LFP_WINDOW /
-    /// LFP_WORKERS / LFP_VANTAGES / LFP_ADAPTIVE (0/1) env overrides. Throws
-    /// std::invalid_argument (naming the variable) on unparseable or absurd
-    /// values.
+    /// LFP_WORKERS / LFP_VANTAGES / LFP_ADAPTIVE (0/1) / LFP_PPS /
+    /// LFP_PASSES env overrides. Throws std::invalid_argument (naming the
+    /// variable) on unparseable or absurd values.
     static WorldConfig from_env();
 
     /// Rejects impossible knob combinations (0 vantages, 0 window, ceilings

@@ -56,6 +56,60 @@ void assemble_record(TargetRecord& record, probe::TargetProbeResult&& probed,
     record.snmp_vendor = snmp_vendor_label(record.probes);
 }
 
+/// The multi-pass merge rule: a retry replaces the incumbent only when it
+/// is >= on *every* evidence axis — each protocol's answered rounds and
+/// the SNMP discovery answer — and strictly better on at least one. The
+/// axes are deliberately not traded against each other: a retry that
+/// gained a TCP round but lost an ICMP round (or the SNMP answer) would
+/// erase evidence the census already holds — a weaker feature row, a
+/// dropped ground-truth vendor label — so incomparable outcomes keep the
+/// incumbent. A retry can never degrade the census on any dimension, and
+/// equal evidence keeps the earliest pass (stable provenance). Note a
+/// fully-answered retry dominates every incumbent, so the rule never
+/// blocks a partial-to-full conversion — it only refuses sideways trades.
+bool merge_improves(const TargetRecord& candidate, const TargetRecord& incumbent) {
+    bool strictly_better = false;
+    for (std::size_t p = 0; p < probe::kProtocolCount; ++p) {
+        const auto protocol = static_cast<probe::ProtoIndex>(p);
+        const std::size_t candidate_rounds = candidate.probes.responses_for(protocol);
+        const std::size_t incumbent_rounds = incumbent.probes.responses_for(protocol);
+        if (candidate_rounds < incumbent_rounds) return false;
+        if (candidate_rounds > incumbent_rounds) strictly_better = true;
+    }
+    const bool candidate_snmp = candidate.probes.snmp.has_value();
+    const bool incumbent_snmp = incumbent.probes.snmp.has_value();
+    if (incumbent_snmp && !candidate_snmp) return false;
+    return strictly_better || (candidate_snmp && !incumbent_snmp);
+}
+
+/// Retry-pass consumer: merges each re-probed record into the pass-0 record
+/// vector (global index g lives at position g - index_base), replacing the
+/// incumbent wholesale when the retry measured strictly more and stamping
+/// the winning pass as provenance.
+class MergeSink final : public RecordSink {
+  public:
+    MergeSink(std::vector<TargetRecord>& records, std::uint64_t index_base,
+              std::uint16_t pass)
+        : records_(&records), index_base_(index_base), pass_(pass) {}
+
+    void accept(std::uint64_t global_index, TargetRecord&& record) override {
+        TargetRecord& incumbent = (*records_)[global_index - index_base_];
+        if (merge_improves(record, incumbent)) {
+            record.pass = pass_;
+            incumbent = std::move(record);
+            ++upgraded_;
+        }
+    }
+
+    [[nodiscard]] std::uint64_t upgraded() const noexcept { return upgraded_; }
+
+  private:
+    std::vector<TargetRecord>* records_;
+    std::uint64_t index_base_;
+    std::uint16_t pass_;
+    std::uint64_t upgraded_ = 0;
+};
+
 }  // namespace
 
 void CensusPlan::validate() const {
@@ -85,6 +139,19 @@ void CensusPlan::validate() const {
     }
     if (shard_grain == 0) {
         plan_error("shard_grain must be >= 1");
+    }
+    if (passes == 0) {
+        plan_error("passes must be >= 1 (1 = single-pass census)");
+    }
+    if (passes > kMaxPasses) {
+        plan_error("passes " + std::to_string(passes) + " exceeds the ceiling of " +
+                   std::to_string(kMaxPasses));
+    }
+    if (!(campaign.packets_per_second >= 0)) {  // also rejects NaN
+        plan_error("campaign.packets_per_second must be >= 0 (0 = unpaced)");
+    }
+    if (campaign.packets_per_second > 0 && !(campaign.pacing_burst > 0)) {
+        plan_error("campaign.pacing_burst must be > 0 when pacing is on");
     }
     if (!assignment.empty()) {
         if (assignment.size() != targets.size()) {
@@ -133,6 +200,17 @@ Measurement CensusRunner::measure(std::string name, std::span<const net::IPv4Add
 
 void CensusRunner::stream(std::span<const net::IPv4Address> targets,
                           std::span<const std::uint32_t> assignment, RecordSink& sink) {
+    std::vector<std::uint64_t> indices(targets.size());
+    for (std::size_t i = 0; i < targets.size(); ++i) indices[i] = next_global_index_ + i;
+    stream_indexed(targets, indices, assignment, plan_.campaign, sink);
+    next_global_index_ += targets.size();
+}
+
+void CensusRunner::stream_indexed(std::span<const net::IPv4Address> targets,
+                                  std::span<const std::uint64_t> global_indices,
+                                  std::span<const std::uint32_t> assignment,
+                                  const probe::Campaign::Config& campaign_config,
+                                  RecordSink& sink) {
     const std::size_t lanes = plan_.vantages.size();
     if (!assignment.empty() && assignment.size() != targets.size()) {
         plan_error("stream(): assignment covers " + std::to_string(assignment.size()) +
@@ -164,7 +242,6 @@ void CensusRunner::stream(std::span<const net::IPv4Address> targets,
         std::vector<net::IPv4Address> targets;
         std::vector<std::uint64_t> indices;
     };
-    const std::uint64_t index_base = next_global_index_;
     std::vector<Lane> partition(lanes);
     std::vector<std::uint32_t> lane_of(targets.size(), 0);
     for (std::size_t i = 0; i < targets.size(); ++i) {
@@ -176,7 +253,7 @@ void CensusRunner::stream(std::span<const net::IPv4Address> targets,
         }
         lane_of[i] = static_cast<std::uint32_t>(lane);
         partition[lane].targets.push_back(targets[i]);
-        partition[lane].indices.push_back(index_base + i);
+        partition[lane].indices.push_back(global_indices[i]);
     }
 
     // Each vantage lane runs its own windowed streaming campaign on its own
@@ -190,7 +267,7 @@ void CensusRunner::stream(std::span<const net::IPv4Address> targets,
     std::vector<probe::Campaign> campaigns;
     campaigns.reserve(lanes);
     for (std::size_t v = 0; v < lanes; ++v) {
-        campaigns.emplace_back(*plan_.vantages[v], plan_.campaign);
+        campaigns.emplace_back(*plan_.vantages[v], campaign_config);
     }
     std::vector<std::unique_ptr<LaneStream>> streams;
     streams.reserve(lanes);
@@ -288,7 +365,7 @@ void CensusRunner::stream(std::span<const net::IPv4Address> targets,
                 pop_backoff.pause();
             }
             batch.push_back(std::move(result));
-            batch_indices.push_back(index_base + i);
+            batch_indices.push_back(global_indices[i]);
             if (batch.size() >= grain) flush();
         }
         flush();
@@ -310,12 +387,109 @@ void CensusRunner::stream(std::span<const net::IPv4Address> targets,
     }
     if (failure) std::rethrow_exception(failure);
 
-    next_global_index_ += targets.size();
     for (const probe::Campaign& campaign : campaigns) {
         packets_sent_ += campaign.packets_sent();
         responses_ += campaign.responses_received();
         strays_ += campaign.stray_responses();
     }
+}
+
+Measurement CensusRunner::run_passes() {
+    return measure_passes(plan_.name, plan_.targets, plan_.assignment, plan_.passes);
+}
+
+Measurement CensusRunner::measure_passes(std::string name,
+                                         std::span<const net::IPv4Address> targets,
+                                         std::span<const std::uint32_t> assignment,
+                                         std::size_t passes) {
+    CollectingSink sink(std::move(name));
+    sink.reserve(targets.size());
+    stream_passes(targets, assignment, passes, sink);
+    return sink.take();
+}
+
+void CensusRunner::stream_passes(std::span<const net::IPv4Address> targets,
+                                 std::span<const std::uint32_t> assignment,
+                                 std::size_t passes, RecordSink& sink) {
+    if (passes == 0) passes = plan_.passes;  // 0 = the plan's configured count
+    if (passes > CensusPlan::kMaxPasses) {
+        plan_error("stream_passes(): passes " + std::to_string(passes) +
+                   " exceeds the ceiling of " + std::to_string(CensusPlan::kMaxPasses));
+    }
+    pass_stats_.clear();
+
+    // A single pass is the plain streaming census — the sink overlaps the
+    // probing as usual, with a RetrySink in front only to tally how much a
+    // second pass would have had to re-probe.
+    if (passes == 1) {
+        RetrySink retry(&sink, plan_.retry);
+        stream(targets, assignment, retry);
+        pass_stats_.push_back(
+            {targets.size(), 0, retry.retry_indices().size()});
+        return;
+    }
+
+    // Pass 0: the full list, collected (records are not final until every
+    // retry pass they might appear in has run) with the retry population
+    // tallied in stream.
+    const std::uint64_t index_base = next_global_index_;
+    std::vector<std::uint64_t> indices(targets.size());
+    for (std::size_t i = 0; i < targets.size(); ++i) indices[i] = index_base + i;
+    CollectingSink collect("");
+    collect.reserve(targets.size());
+    RetrySink first_pass(&collect, plan_.retry);
+    stream_indexed(targets, indices, assignment, plan_.campaign, first_pass);
+    next_global_index_ += targets.size();
+    std::vector<TargetRecord> records = collect.take().records;
+    std::vector<std::uint64_t> retry_list = first_pass.retry_indices();
+    pass_stats_.push_back({targets.size(), 0, retry_list.size()});
+
+    // Retry passes: re-probe only the still-incomplete targets, each pass
+    // under its shifted ID bases — IPIDs/msgIDs stay pure functions of
+    // (pass, global index), so the re-probe emits packets no earlier pass
+    // emitted (fresh loss draws) yet the whole multi-pass run is
+    // byte-deterministic. The merged record, not the raw retry result,
+    // decides what the *next* pass still retries.
+    for (std::size_t pass = 1; pass < passes && !retry_list.empty(); ++pass) {
+        std::vector<net::IPv4Address> subset;
+        std::vector<std::uint64_t> subset_indices;
+        std::vector<std::uint32_t> subset_assignment;
+        subset.reserve(retry_list.size());
+        subset_indices.reserve(retry_list.size());
+        if (!assignment.empty()) subset_assignment.reserve(retry_list.size());
+        for (std::uint64_t g : retry_list) {
+            const std::size_t position = static_cast<std::size_t>(g - index_base);
+            subset.push_back(targets[position]);
+            subset_indices.push_back(g);
+            if (!assignment.empty()) subset_assignment.push_back(assignment[position]);
+        }
+
+        probe::Campaign::Config shifted = plan_.campaign;
+        shifted.ipid_base = static_cast<std::uint16_t>(
+            shifted.ipid_base + pass * CensusPlan::kPassIpidStride);
+        shifted.snmp_message_id_base +=
+            static_cast<std::uint32_t>(pass) * CensusPlan::kPassMsgIdStride;
+
+        MergeSink merge(records, index_base, static_cast<std::uint16_t>(pass));
+        stream_indexed(subset, subset_indices, subset_assignment, shifted, merge);
+
+        std::vector<std::uint64_t> still;
+        for (std::uint64_t g : retry_list) {
+            if (RetrySink::incomplete(records[static_cast<std::size_t>(g - index_base)],
+                                      plan_.retry)) {
+                still.push_back(g);
+            }
+        }
+        pass_stats_.push_back({subset.size(), merge.upgraded(), still.size()});
+        retry_list = std::move(still);
+    }
+
+    // Final emission: every target's merged record exactly once, in
+    // global-index order, with TargetRecord::pass naming the winning pass.
+    for (std::size_t i = 0; i < records.size(); ++i) {
+        sink.accept(index_base + i, std::move(records[i]));
+    }
+    sink.finish();
 }
 
 SignatureDatabase CensusRunner::build_database(std::span<const Measurement> measurements,

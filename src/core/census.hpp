@@ -24,6 +24,14 @@
 // record by record while later targets are still in flight, so analysis
 // overlaps probing. measure() is the batch adapter — stream() into a
 // CollectingSink.
+//
+// Multi-pass censuses (stream_passes/run_passes) wrap the streaming engine
+// in a retry loop: a RetrySink tallies targets whose signatures came back
+// incomplete, and each later pass re-probes only those under per-pass
+// shifted ID bases (kPassIpidStride/kPassMsgIdStride — still pure
+// functions of pass and global index, so multi-pass runs stay
+// byte-deterministic), merging per record with strict-improvement
+// semantics and TargetRecord::pass provenance.
 #pragma once
 
 #include <cstdint>
@@ -74,12 +82,33 @@ struct CensusPlan {
     /// Records per worker-pool shard.
     std::size_t shard_grain = 64;
 
+    /// Census passes for run_passes()/stream_passes(): pass 0 probes the
+    /// whole list, every later pass re-probes only the targets whose
+    /// signatures came back incomplete (RetrySink's predicate) under that
+    /// pass's shifted ID bases. 1 (the default) is the classic single-pass
+    /// census; measure()/stream() always run exactly one pass regardless.
+    std::size_t passes = 1;
+    /// Retry policy for the multi-pass loop (see RetrySink::Options).
+    RetrySink::Options retry;
+
+    /// Per-pass ID lane shifts: pass p stamps target g with IPIDs
+    /// (ipid_base + p*kPassIpidStride) + g*ids_per_target .. and msgID
+    /// (snmp_message_id_base + p*kPassMsgIdStride) + g — pure functions of
+    /// (pass, global index), so a multi-pass census is as byte-deterministic
+    /// as a single-pass one, and a retried target's packets differ from its
+    /// pass-0 packets (fresh loss draws on the sim's per-packet hash, fresh
+    /// wire traffic live). The IPID stride is odd so consecutive passes
+    /// never re-stamp a colliding lane even after mod-2^16 wraparound.
+    static constexpr std::uint16_t kPassIpidStride = 0x4D1F;
+    static constexpr std::uint32_t kPassMsgIdStride = 1u << 20;
+
     /// Validation ceilings: generous for real deployments, tight enough to
     /// catch corrupted configs (a window of 2^20 or 10^6 vantages is a bug,
     /// not a plan).
     static constexpr std::size_t kMaxVantages = 256;
     static constexpr std::size_t kMaxWindow = 1 << 16;
     static constexpr std::size_t kMaxWorkers = 1024;
+    static constexpr std::size_t kMaxPasses = 64;
 
     /// Throws std::invalid_argument naming the offending knob when the plan
     /// cannot be executed (no vantages, null transport, zero/absurd window,
@@ -131,6 +160,52 @@ class CensusRunner {
     void stream(std::span<const net::IPv4Address> targets,
                 std::span<const std::uint32_t> assignment, RecordSink& sink);
 
+    /// Per-pass accounting of the latest run_passes()/stream_passes() call
+    /// (entry p describes pass p).
+    struct PassStats {
+        std::uint64_t probed = 0;      ///< targets this pass probed
+        std::uint64_t upgraded = 0;    ///< records a retry result replaced
+        std::uint64_t incomplete = 0;  ///< retry candidates left afterwards
+    };
+
+    /// The multi-pass census (plan.passes, plan.retry): run_passes() probes
+    /// the plan's own target list like run() does, then feeds the
+    /// incomplete targets back through up to plan.passes - 1 retry passes.
+    [[nodiscard]] Measurement run_passes();
+
+    /// Explicit-list form of run_passes(), mirroring measure(): a thin
+    /// adapter — stream_passes() into a CollectingSink. `passes` 0 (the
+    /// default) means "the plan's configured pass count", so omitting the
+    /// argument honors plan.passes exactly like run_passes() does.
+    [[nodiscard]] Measurement measure_passes(std::string name,
+                                             std::span<const net::IPv4Address> targets,
+                                             std::span<const std::uint32_t> assignment = {},
+                                             std::size_t passes = 0);
+
+    /// The streaming re-probe loop. Pass 0 probes every target; each later
+    /// pass re-probes only the targets RetrySink flagged incomplete, under
+    /// ID bases shifted by CensusPlan::kPassIpidStride/kPassMsgIdStride per
+    /// pass — pure functions of (pass, global index), so multi-pass runs
+    /// stay byte-deterministic. A retry result replaces a record only when
+    /// it measured *strictly more* (more answered probe slots, an SNMP
+    /// answer breaking ties); records are never spliced across passes, and
+    /// TargetRecord::pass carries the winning pass as provenance. The sink
+    /// sees each target's final merged record exactly once, in global-index
+    /// order — necessarily after the last pass, since no record is final
+    /// before every pass it might be retried in has run (passes == 1
+    /// degenerates to plain stream(), which overlaps the sink with
+    /// probing). `passes` 0 means "the plan's configured pass count".
+    /// Per-pass counts land in last_pass_stats().
+    void stream_passes(std::span<const net::IPv4Address> targets,
+                       std::span<const std::uint32_t> assignment, std::size_t passes,
+                       RecordSink& sink);
+
+    /// Per-pass stats of the most recent multi-pass call (empty before the
+    /// first one; single-pass stream()/measure() calls leave it untouched).
+    [[nodiscard]] const std::vector<PassStats>& last_pass_stats() const noexcept {
+        return pass_stats_;
+    }
+
     /// Builds the signature database from the labeled subset of the given
     /// measurements (step 3), sharding aggregation per measurement over the
     /// worker pool and merging shard counts in measurement order.
@@ -152,12 +227,23 @@ class CensusRunner {
     [[nodiscard]] std::uint64_t stray_responses() const noexcept { return strays_; }
 
   private:
+    /// The engine beneath stream() and the retry passes: probes `targets`
+    /// where targets[i] carries global index global_indices[i] and the
+    /// given campaign knobs (stream() passes the plan's, retry passes shift
+    /// the ID bases). Does not advance next_global_index_ — the public
+    /// entry points own index-space accounting.
+    void stream_indexed(std::span<const net::IPv4Address> targets,
+                        std::span<const std::uint64_t> global_indices,
+                        std::span<const std::uint32_t> assignment,
+                        const probe::Campaign::Config& campaign_config, RecordSink& sink);
+
     CensusPlan plan_;
     util::ThreadPool pool_;
     std::uint64_t next_global_index_ = 0;
     std::uint64_t packets_sent_ = 0;
     std::uint64_t responses_ = 0;
     std::uint64_t strays_ = 0;
+    std::vector<PassStats> pass_stats_;
 };
 
 /// Sharded stage implementations shared by CensusRunner and the LfpPipeline

@@ -23,6 +23,13 @@ struct TargetRecord {
     Signature signature;
     std::optional<stack::Vendor> snmp_vendor;
     Classification lfp;  ///< filled by classify_measurement()
+    /// Provenance of a multi-pass census: the pass whose probe exchange this
+    /// record carries (0 = the initial pass; a retry pass replaces the
+    /// record wholesale when it measures strictly more, so probes, features,
+    /// and signature always describe one internally consistent exchange —
+    /// never a cross-pass splice, which would fabricate IPID-sharing
+    /// behaviour no router exhibited). Single-pass runs leave it 0.
+    std::uint16_t pass = 0;
 
     /// LFP-responsive: at least one protocol yielded extractable features.
     [[nodiscard]] bool lfp_responsive() const noexcept { return !features.empty(); }

@@ -16,6 +16,7 @@
 #include <cstdint>
 #include <string>
 #include <utility>
+#include <vector>
 
 #include "core/measurement.hpp"
 #include "core/signature_db.hpp"
@@ -76,6 +77,98 @@ class SignatureAbsorbSink final : public RecordSink {
   private:
     SignatureDatabase* database_;
     RecordSink* next_;
+};
+
+/// Collects the retry population for multi-pass probing as records stream
+/// by, forwarding every record downstream untouched. A target is a retry
+/// candidate when its signature is *incomplete* in the paper's Table 4
+/// sense — loss-shaped (a spoken protocol answered some rounds but not
+/// all: packets demonstrably dropped) or missing-protocol (the target
+/// proved it is alive on one protocol while another stayed silent). Fully
+/// silent targets are filtering-shaped, not loss-shaped, and are skipped
+/// unless Options::retry_silent opts them in — re-probing a dead address
+/// parks a window slot for the full response timeout every pass and almost
+/// never converts.
+///
+/// CensusRunner's multi-pass loop (stream_passes/run_passes) plants this
+/// sink at the head of the chain on pass 0 and feeds retry_indices() into
+/// pass 1 under shifted ID bases; later passes consult the static
+/// incomplete() predicate directly over the *merged* records (a MergeSink
+/// consumes the retry stream), so the merged state — not the raw retry
+/// result — decides what the next pass still re-probes.
+struct RetryOptions {
+    /// Also retry targets that answered nothing at all. Off by default
+    /// (silence is filtering-shaped, see RetrySink); turn it on for
+    /// hitlists known to be responsive, where total silence really does
+    /// mean every probe was lost.
+    bool retry_silent = false;
+    /// Also retry targets whose *only* missing datum is the SNMP discovery
+    /// answer. Off by default: in the wild, SNMP silence is overwhelmingly
+    /// filtering (the paper's Table 3 — SNMPv3 answers are a small minority
+    /// of the responsive population), so retrying every SNMP-silent target
+    /// would re-probe most of the census every pass for almost no converts.
+    /// Turn it on for hitlists known to speak SNMPv3, where a missing
+    /// answer really is a lost packet worth a fresh msgID lane.
+    bool retry_missing_snmp = false;
+    /// Retry targets that proved they are alive on one protocol while
+    /// another stayed entirely silent (missing-protocol). On by default —
+    /// the multi-pass contract chases every incomplete signature — but on
+    /// live populations protocol-level silence is mostly *policy* (a
+    /// router that answers ICMP and filters TCP never converts, so every
+    /// pass re-probes it for nothing); turn it off there to retry only the
+    /// genuinely loss-shaped intra-protocol gaps.
+    bool retry_missing_protocol = true;
+};
+
+class RetrySink final : public RecordSink {
+  public:
+    /// Namespace-level so it can serve as an in-class default argument
+    /// (a nested struct's member initializers are not parsed until the
+    /// enclosing class is complete).
+    using Options = RetryOptions;
+
+    explicit RetrySink(RecordSink* next = nullptr, Options options = {})
+        : next_(next), options_(options) {}
+
+    /// The retry predicate, exposed so tests and callers can ask the same
+    /// question of any record: true when another pass could plausibly
+    /// complete this signature.
+    [[nodiscard]] static bool incomplete(const TargetRecord& record,
+                                         const Options& options = {}) {
+        const auto& probes = record.probes;
+        if (probes.all_protocols_responsive()) {
+            // Complete signature; only the (independent) SNMP exchange can
+            // still be missing, and only opted-in hitlists chase it.
+            return options.retry_missing_snmp && !probes.snmp.has_value();
+        }
+        // Intra-protocol gaps are drop-shaped evidence: always worth a
+        // fresh pass.
+        if (probes.partially_responsive()) return true;
+        // Alive on some protocol, entirely silent on another: loss or
+        // policy — the option decides which way to bet.
+        if (probes.any_response()) return options.retry_missing_protocol;
+        return options.retry_silent;
+    }
+
+    void accept(std::uint64_t global_index, TargetRecord&& record) override {
+        if (incomplete(record, options_)) retry_indices_.push_back(global_index);
+        if (next_ != nullptr) next_->accept(global_index, std::move(record));
+    }
+
+    void finish() override {
+        if (next_ != nullptr) next_->finish();
+    }
+
+    /// Global indices of the retry population, in stream (= global index)
+    /// order.
+    [[nodiscard]] const std::vector<std::uint64_t>& retry_indices() const noexcept {
+        return retry_indices_;
+    }
+
+  private:
+    RecordSink* next_;
+    Options options_;
+    std::vector<std::uint64_t> retry_indices_;
 };
 
 /// Classifies each record against a *finalized* database as it streams by —

@@ -304,7 +304,28 @@ void Campaign::run_streaming(
                                     " global indices for " + std::to_string(targets.size()) +
                                     " targets");
     }
+    // Config validation precedes the empty-list early return: a broken
+    // pacing config is broken regardless of the first run's target count.
+    if (!(config_.packets_per_second >= 0)) {  // also rejects NaN
+        throw std::invalid_argument(
+            "Campaign::Config::packets_per_second must be >= 0 (0 = unpaced)");
+    }
+    if (config_.packets_per_second > 0 && !(config_.pacing_burst > 0)) {
+        throw std::invalid_argument(
+            "Campaign::Config::pacing_burst must be > 0 when pacing is on");
+    }
     if (targets.empty()) return;
+
+    // Between-target send shaping: admission spends one token per packet of
+    // the target's batch, so the wire rate between targets settles at the
+    // cap while the in-flight window independently bounds concurrency. The
+    // burst is clamped up to one batch so a single admission can always be
+    // served from a full bucket.
+    if (config_.packets_per_second > 0 && !pacer_) {
+        pacer_.emplace(config_.packets_per_second,
+                       std::max(config_.pacing_burst,
+                                static_cast<double>(ids_per_target())));
+    }
 
     const std::size_t ceiling = std::max<std::size_t>(1, config_.window);
     if (cwnd_ < 0) {
@@ -528,6 +549,14 @@ void Campaign::run_streaming(
             while (in_flight.size() < window && holdback.size() < holdback_limit &&
                    next_target < targets.size() &&
                    !in_flight_addresses.contains(targets[next_target].value())) {
+                // Pacing gate: without tokens for the whole batch, skip
+                // admission this pass — the loop keeps dispatching inbound
+                // packets and expiring deadlines, then naps in the idle
+                // backoff until the bucket refills. Never blocks.
+                if (pacer_ &&
+                    !pacer_->try_acquire(static_cast<double>(ids_per_target()))) {
+                    break;
+                }
                 admit(next_target++);
                 progressed = true;
             }

@@ -45,6 +45,7 @@
 
 #include "probe/transport.hpp"
 #include "snmp/snmpv3.hpp"
+#include "util/token_bucket.hpp"
 
 namespace lfp::probe {
 
@@ -92,6 +93,18 @@ struct TargetProbeResult {
     /// True when any protocol responded only partially.
     [[nodiscard]] bool partially_responsive() const;
 
+    /// True when every protocol answered every round — the full-signature
+    /// population (all nine probe slots filled; the SNMP discovery is a
+    /// separate ground-truth exchange and deliberately not part of this).
+    /// This is the completeness notion the multi-pass retry scheduler and
+    /// the bench yield gates share.
+    [[nodiscard]] bool all_protocols_responsive() const {
+        for (std::size_t p = 0; p < kProtocolCount; ++p) {
+            if (!protocol_responsive(static_cast<ProtoIndex>(p))) return false;
+        }
+        return true;
+    }
+
     [[nodiscard]] std::size_t responsive_protocol_count() const;
     [[nodiscard]] bool fully_responsive() const { return responsive_protocol_count() == 3; }
     [[nodiscard]] bool any_response() const;
@@ -137,6 +150,23 @@ class Campaign {
         /// rate-independent background loss it would shrink the window for
         /// no responsiveness gain.
         bool adaptive_window = false;
+        /// Explicit packets-per-second send cap for this lane, enforced by a
+        /// token bucket (util/token_bucket.hpp) on the sender thread: a
+        /// target is admitted — its whole 9+1 probe batch released onto the
+        /// wire — only when the bucket holds ids_per_target() tokens, so the
+        /// sustained send rate between targets never exceeds the cap. 0 (the
+        /// default) disables pacing. Orthogonal to the in-flight window:
+        /// the window (fixed or AIMD) bounds *concurrency*, the bucket
+        /// bounds *rate*, and the tighter of the two governs at any moment.
+        /// Pacing only delays admissions — it never reorders sends or
+        /// changes IDs — so a paced run is byte-identical to an unpaced one
+        /// on a deterministic transport, at any cap.
+        double packets_per_second = 0.0;
+        /// Bucket capacity in packets when pacing is on: the burst a lane
+        /// may open with (and re-earn after idling) before settling to the
+        /// sustained rate. Clamped up to one target batch so admission can
+        /// always eventually proceed.
+        double pacing_burst = 32.0;
         /// How long to keep a target's unresolved probes waiting before
         /// declaring them unanswered. Transports that can prove nothing is
         /// pending (the simulation) cut this short automatically.
@@ -246,6 +276,15 @@ class Campaign {
     /// ing into the limiter forever. Effectively unbounded until the
     /// first quench.
     double quench_ceiling_ = 1e300;
+    /// Send-rate shaper (Config::packets_per_second), created lazily on the
+    /// first paced run and persisted across run() calls of *this* Campaign
+    /// object — consecutive runs of one Campaign are one pacing session and
+    /// do not re-earn the opening burst. Callers that construct a fresh
+    /// Campaign per batch (CensusRunner builds new lane campaigns per
+    /// stream/pass) start each with a full bucket: one pacing_burst of
+    /// wire-speed headroom per pass, after which the rate cap governs —
+    /// standard token-bucket session semantics, bounded by pacing_burst.
+    std::optional<util::TokenBucket> pacer_;
 };
 
 }  // namespace lfp::probe

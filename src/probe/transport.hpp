@@ -1,21 +1,42 @@
-// Probe transport abstraction: the campaign logic is transport-agnostic so
-// the identical pipeline runs against the simulated Internet (SimTransport)
-// or live targets via raw sockets (RawSocketTransport).
-//
-// The contract is batched and asynchronous: send_batch() queues raw packets
-// onto the wire in order without waiting for anything, poll_responses()
-// collects whatever raw inbound packets have arrived. Correlating inbound
-// packets back to outstanding probes is the caller's job (see
-// probe/demux.hpp); a blocking one-packet transact() convenience is layered
-// on top for callers that genuinely want request/response semantics
-// (baselines, alias resolution).
-//
-// Threading contract: the streaming campaign engine runs send_batch() on a
-// scheduler thread and poll_responses()/drained() on a dedicated receive
-// thread, concurrently. Implementations must tolerate exactly that split —
-// one sender thread, one receiver thread — without external locking.
-// Concurrent calls to send_batch() from several threads (or to
-// poll_responses() from several threads) remain outside the contract.
+/// \file
+/// Probe transport abstraction: the campaign logic is transport-agnostic so
+/// the identical pipeline runs against the simulated Internet (SimTransport)
+/// or live targets via raw sockets (RawSocketTransport).
+///
+/// The contract is batched and asynchronous: send_batch() queues raw packets
+/// onto the wire in order without waiting for anything, poll_responses()
+/// collects whatever raw inbound packets have arrived. Correlating inbound
+/// packets back to outstanding probes is the caller's job (see
+/// probe/demux.hpp); a blocking one-packet transact() convenience is layered
+/// on top for callers that genuinely want request/response semantics
+/// (baselines, alias resolution).
+///
+/// \par The threading contract (one sender, one receiver)
+/// The streaming campaign engine (probe/campaign.cpp) drives every
+/// transport from exactly two threads, concurrently:
+///   - a **scheduler/sender thread** calling send_batch(), and
+///   - a **dedicated receive thread** calling poll_responses() and
+///     drained() in a loop.
+/// An implementation must tolerate exactly that split — one concurrent
+/// sender, one concurrent receiver — without the caller adding locks.
+/// Nothing more: concurrent send_batch() calls from several threads, or
+/// concurrent poll_responses() calls from several threads, are *outside*
+/// the contract and need not be supported. vantage_address() and
+/// backend_hint() are read-only queries and may be called from any thread
+/// at any time (the census runner calls backend_hint() while lanes run).
+///
+/// \par What a live-transport implementer must provide
+///   1. send_batch() that preserves order (span order within a batch,
+///      submission order across batches) and never blocks on responses.
+///   2. poll_responses() that waits at most `timeout` and is safely
+///      concurrent with send_batch() — a raw-socket recv loop typically
+///      needs no shared state with the send path beyond the socket itself.
+///   3. drained() — return false unless the transport can *prove* silence
+///      (live networks cannot; see the method docs for what a true return
+///      promises and how the engine uses it).
+///   4. vantage_address() — the source address probes are stamped with.
+///   5. Optionally backend_hint() where ground truth about target/backend
+///      affinity exists; return std::nullopt otherwise.
 #pragma once
 
 #include <chrono>
@@ -38,34 +59,105 @@ class ProbeTransport {
     ProbeTransport(const ProbeTransport&) = delete;
     ProbeTransport& operator=(const ProbeTransport&) = delete;
 
-    /// Sends a batch of raw IPv4 packets in order. The wire order of a batch
-    /// is the span order; consecutive batches preserve submission order. The
-    /// call never waits for responses. May run concurrently with
-    /// poll_responses()/drained() on another thread (see the threading
-    /// contract above).
+    /// Sends a batch of raw IPv4 packets in order.
+    ///
+    /// \param packets Fully serialized IPv4 packets; the transport puts
+    ///   them on the wire verbatim (the engine has already stamped IPIDs,
+    ///   ports, and checksums).
+    ///
+    /// \par Contract
+    ///   - The wire order of a batch is the span order; consecutive
+    ///     batches preserve submission order. The probe engine's
+    ///     cross-protocol IPID features depend on this.
+    ///   - The call never waits for responses (it may block briefly on
+    ///     socket buffers, not on the network's answers).
+    ///   - Called only from the sender thread, but concurrently with
+    ///     poll_responses()/drained() on the receive thread (see the
+    ///     threading contract in the file header).
     virtual void send_batch(std::span<const net::Bytes> packets) = 0;
 
-    /// Returns raw inbound packets. Blocks up to `timeout` when none are
-    /// immediately available; may return early (possibly empty) when the
-    /// transport can prove nothing is pending (see drained()). May run
-    /// concurrently with send_batch() on another thread.
+    /// Returns raw inbound packets, in arrival order.
+    ///
+    /// \param timeout Upper bound on how long to wait when nothing is
+    ///   immediately available. Two early-return exceptions are part of
+    ///   the contract:
+    ///   - packets arrived: return them immediately, don't wait out the
+    ///     remainder;
+    ///   - the transport is drained() (provably nothing pending): an
+    ///     immediate — possibly empty — return is correct and costs the
+    ///     caller nothing (the engine's receive loop handles pacing; see
+    ///     SynchronousTransport::poll_responses for the canonical case).
+    ///
+    /// \returns Whole raw packets exactly as read off the wire; the engine
+    ///   parses and demultiplexes them. Non-probe traffic may be included —
+    ///   the demux counts unmatched packets as strays.
+    ///
+    /// \par Contract
+    ///   Called only from the receive thread, concurrently with
+    ///   send_batch() on the sender thread. Must not drop inbound packets
+    ///   between consecutive calls (buffer internally if the OS hands over
+    ///   more than one poll's worth).
     virtual std::vector<net::Bytes> poll_responses(std::chrono::milliseconds timeout) = 0;
 
-    /// True when the transport can prove no further response will arrive for
-    /// anything sent so far. Transports that cannot know (live networks)
-    /// return false and callers fall back to deadlines. Safe to call from
-    /// the receive thread concurrently with send_batch().
+    /// True when the transport can *prove* no further response will arrive
+    /// for anything sent so far — "the pipe is empty", not "nothing right
+    /// now".
+    ///
+    /// \par What a true return promises
+    ///   Every response that any packet sent *before this call* will ever
+    ///   produce has already been returned by poll_responses(). The engine
+    ///   uses this proof to fail outstanding probe slots immediately
+    ///   instead of parking them for the full response timeout — the
+    ///   difference between simulation-speed and live-speed timeout
+    ///   handling. A false positive silently truncates measurements;
+    ///   a false negative merely costs waiting, so **when in doubt,
+    ///   return false**.
+    ///
+    /// \par Live transports
+    ///   A live network can never prove silence, so the default returns
+    ///   false and callers fall back to deadlines. Simulated transports
+    ///   (and queue-at-send adapters like SynchronousTransport) know their
+    ///   pending state exactly.
+    ///
+    /// \par Races with in-flight sends
+    ///   The engine tolerates the inherent race — a send may land between
+    ///   the receiver's poll and its drained() call — by re-validating the
+    ///   observation against a send epoch (see ReceiveLoop in
+    ///   campaign.cpp). The implementation only answers for packets whose
+    ///   send_batch() call completed before drained() began; it is never
+    ///   required to predict concurrent sends.
+    ///
+    /// \par Contract
+    ///   Called from the receive thread, concurrently with send_batch().
     [[nodiscard]] virtual bool drained() const { return false; }
 
-    /// The source address probes should carry.
+    /// The source address probes should carry — one address per transport;
+    /// multi-homed deployments use one transport per vantage. Read-only,
+    /// callable from any thread.
     [[nodiscard]] virtual net::IPv4Address vantage_address() const = 0;
 
     /// Optional backend-identity hint: an opaque key such that two targets
     /// with equal keys share stateful backend state (the same physical
-    /// router behind alias interfaces). The simulation knows its ground
-    /// truth and reports router indices; live transports return nullopt.
-    /// CensusRunner uses the hint to default-group alias interfaces onto
-    /// one vantage lane so their probes stay serialized.
+    /// router behind alias interfaces).
+    ///
+    /// \returns A key equal for targets sharing backend state, or
+    ///   std::nullopt when the transport knows nothing about `target`.
+    ///   Key *values* carry no meaning beyond equality.
+    ///
+    /// \par Why it exists
+    ///   CensusRunner default-groups targets with equal hints onto one
+    ///   vantage lane so a stateful backend sees its probes serialized
+    ///   (two lanes probing alias interfaces of one router concurrently
+    ///   would race its counters). The simulation reports ground-truth
+    ///   router indices; live transports have no ground truth and should
+    ///   keep the default nullopt, which degrades to round-robin over
+    ///   distinct addresses — callers with external alias knowledge pass
+    ///   an explicit assignment instead
+    ///   (CensusPlan::assignment_by_affinity()).
+    ///
+    /// \par Contract
+    ///   Read-only and thread-safe: the runner queries it while lanes are
+    ///   running.
     [[nodiscard]] virtual std::optional<std::uint64_t> backend_hint(
         net::IPv4Address /*target*/) const {
         return std::nullopt;

@@ -1,0 +1,84 @@
+// Token-bucket send shaping: the classic rate limiter — a bucket holding up
+// to `burst` tokens refills continuously at `rate` tokens per second, and a
+// sender spends one token per packet. Bursts up to the bucket size pass at
+// wire speed; sustained throughput converges to the refill rate.
+//
+// This is the *between-targets* pacing control of the probe engine
+// (Campaign::Config::packets_per_second): it bounds the send rate a path
+// sees, which is what keeps a census under ICMP limiter budgets, while the
+// in-flight window (fixed or AIMD) independently bounds concurrency. The
+// two compose — the window decides how many targets wait for answers at
+// once, the bucket decides how fast their probes leave the vantage.
+//
+// Time is passed in explicitly (steady_clock time points) so the arithmetic
+// is exactly testable without wall-clock sleeps; callers in the engine just
+// pass Clock::now(). Not thread-safe: one bucket belongs to one sender
+// thread, matching the transport's one-sender contract.
+#pragma once
+
+#include <algorithm>
+#include <chrono>
+
+namespace lfp::util {
+
+class TokenBucket {
+  public:
+    using Clock = std::chrono::steady_clock;
+
+    /// `rate_per_sec` tokens accrue per second, capped at `burst` (the
+    /// bucket also *starts* full — the polite interpretation: a fresh
+    /// sender may open with one burst, then settles to the rate). Both
+    /// must be positive; a non-positive burst is clamped to 1 so a bucket
+    /// can always eventually serve a single-token request, and a
+    /// non-positive rate is clamped up to a minimal trickle rather than
+    /// wedging the sender forever.
+    TokenBucket(double rate_per_sec, double burst,
+                Clock::time_point now = Clock::now())
+        : rate_(std::max(rate_per_sec, 1e-9)),
+          burst_(std::max(burst, 1.0)),
+          tokens_(burst_),
+          last_(now) {}
+
+    /// Spends `tokens` if the bucket (refilled up to `now`) holds them;
+    /// returns false without spending anything otherwise. Requests larger
+    /// than the burst capacity are served once the bucket is full — the
+    /// bucket goes momentarily negative-free by capping the request check
+    /// at capacity, so an oversized batch costs a full bucket instead of
+    /// deadlocking.
+    bool try_acquire(double tokens, Clock::time_point now = Clock::now()) {
+        refill(now);
+        const double needed = std::min(tokens, burst_);
+        if (tokens_ + kSlack < needed) return false;
+        tokens_ = std::max(0.0, tokens_ - tokens);
+        return true;
+    }
+
+    /// Tokens available at `now` (refills as a side effect).
+    double available(Clock::time_point now = Clock::now()) {
+        refill(now);
+        return tokens_;
+    }
+
+    [[nodiscard]] double rate_per_sec() const noexcept { return rate_; }
+    [[nodiscard]] double burst() const noexcept { return burst_; }
+
+  private:
+    /// Floating-point slack on the availability check: refill arithmetic
+    /// accumulates rounding, and a sender stalled for want of 1e-12 of a
+    /// token would be wrong in the silliest way.
+    static constexpr double kSlack = 1e-9;
+
+    void refill(Clock::time_point now) {
+        if (now <= last_) return;  // steady_clock never goes back; belt and braces
+        const std::chrono::duration<double> elapsed = now - last_;
+        tokens_ = std::min(burst_, tokens_ + rate_ * elapsed.count());
+        last_ = now;
+    }
+
+    double rate_;
+    double burst_;
+    double tokens_;
+    Clock::time_point last_;
+};
+
+}  // namespace lfp::util

@@ -246,10 +246,37 @@ TEST(WorldConfigEnv, ReadsCampaignKnobs) {
     ScopedEnv window("LFP_WINDOW", "64");
     ScopedEnv workers("LFP_WORKERS", "3");
     ScopedEnv vantages("LFP_VANTAGES", "4");
+    ScopedEnv pps("LFP_PPS", "25000.5");
+    ScopedEnv passes("LFP_PASSES", "3");
     const WorldConfig config = WorldConfig::from_env();
     EXPECT_EQ(config.window, 64u);
     EXPECT_EQ(config.worker_threads, 3u);
     EXPECT_EQ(config.vantages, 4u);
+    EXPECT_DOUBLE_EQ(config.packets_per_second, 25000.5);
+    EXPECT_EQ(config.passes, 3u);
+}
+
+TEST(WorldConfigEnv, RejectsBadPacingAndPassKnobs) {
+    {
+        ScopedEnv pps("LFP_PPS", "-100");
+        EXPECT_THROW((void)WorldConfig::from_env(), std::invalid_argument);
+    }
+    {
+        ScopedEnv pps("LFP_PPS", "brisk");
+        EXPECT_THROW((void)WorldConfig::from_env(), std::invalid_argument);
+    }
+    {
+        ScopedEnv passes("LFP_PASSES", "0");
+        EXPECT_THROW((void)WorldConfig::from_env(), std::invalid_argument);
+    }
+    {
+        ScopedEnv passes("LFP_PASSES", "1000");
+        EXPECT_THROW((void)WorldConfig::from_env(), std::invalid_argument);
+    }
+    // The documented defaults: unpaced, single pass.
+    const WorldConfig config = WorldConfig::from_env();
+    EXPECT_DOUBLE_EQ(config.packets_per_second, 0.0);
+    EXPECT_EQ(config.passes, 1u);
 }
 
 TEST(WorldConfigEnv, RejectsZeroVantages) {

@@ -1,0 +1,61 @@
+#!/usr/bin/env bash
+# Docs drift checks, run by the CI docs job (and locally: tools/check_docs.sh).
+#
+#   1. Every relative markdown link in README.md and docs/*.md must resolve
+#      to an existing file (anchors are stripped; http(s)/mailto links are
+#      skipped — CI should not depend on the outside internet).
+#   2. Every LFP_* name mentioned in those docs must be real: either an env
+#      var read by an actual getenv-style call in src/ or bench/ (the env
+#      helpers env_u64/env_double/env_or/env_or_double all take the quoted
+#      name), or a CMake option/cache variable declared in CMakeLists.txt.
+#      This is what keeps the README knob table honest — documenting a knob
+#      nothing reads, or renaming a knob without updating the docs, fails
+#      the build.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+fail=0
+
+docs=(README.md docs/*.md)
+
+# --- 1. Markdown links resolve --------------------------------------------
+for doc in "${docs[@]}"; do
+    dir=$(dirname "$doc")
+    # Inline links: [text](target). Good enough for these docs — no
+    # reference-style links or angle-bracket URLs in the tree.
+    while IFS= read -r target; do
+        case "$target" in
+            http://*|https://*|mailto:*) continue ;;
+            '#'*) continue ;;  # same-document anchor
+        esac
+        path="${target%%#*}"  # strip a trailing anchor
+        if [[ ! -e "$dir/$path" ]]; then
+            echo "BROKEN LINK: $doc -> $target (no file $dir/$path)"
+            fail=1
+        fi
+    done < <(grep -oE '\]\([^)]+\)' "$doc" | sed -E 's/^\]\(//; s/\)$//')
+done
+
+# --- 2. LFP_* names in docs map to real knobs -----------------------------
+mentioned=$(grep -ohE 'LFP_[A-Z0-9_]+' "${docs[@]}" | sort -u)
+for var in $mentioned; do
+    # An env var some code actually reads (the quoted name as the first
+    # argument of a getenv-style helper) ...
+    if grep -rqE "(getenv|env_or|env_or_double|env_u64|env_double)[[:space:]]*\(\"${var}\"" \
+            src bench; then
+        continue
+    fi
+    # ... or a CMake option / cache variable of the build itself.
+    if grep -qE "(option\(${var}\b|set\(${var}\b)" CMakeLists.txt; then
+        continue
+    fi
+    echo "UNDOCUMENTED-IN-CODE: docs mention ${var} but no getenv in src/ or" \
+         "bench/ (nor a CMake option) reads it"
+    fail=1
+done
+
+if [[ $fail -ne 0 ]]; then
+    echo "docs check FAILED"
+    exit 1
+fi
+echo "docs check OK: links resolve, every LFP_* knob maps to code"
