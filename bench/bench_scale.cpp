@@ -1,0 +1,286 @@
+// Internet-scale census memory engine: 10M simulated targets through the
+// spill-to-disk multi-pass census, measuring sustained targets/sec, peak
+// RSS (VmHWM), resident bytes per target, and heap allocations per target.
+//
+// The world is sim::ScaleTransport — stateless, hash-derived personas — so
+// the memory the bench observes belongs to the census engine, not the
+// simulation. The census runs the real pipeline end to end: compact spill
+// records on disk, a RAM response-mask index, retry passes merging
+// strictly-improving re-probes in place, and a final in-order drain into a
+// streaming tally sink. Nothing ever holds the whole Measurement.
+//
+// Results append to BENCH_scale.json (env LFP_BENCH_JSON overrides the
+// path) as a perf trajectory: one JSON object per run, smoke runs marked.
+// Gates:
+//   - bytes/target: peak RSS divided by target count must stay under the
+//     ceiling — the previous full run's recorded ceiling (a ratchet), or
+//     LFP_MEM_CEILING_MB * 1e6 / targets when that env override is set.
+//     Always binding, smoke included (memory is load-independent).
+//   - targets/sec: a full run must reach >= 0.8x the previous full run's
+//     rate. Wall-clock-sensitive, so smoke runs report but waive it.
+//
+// Env knobs: LFP_BENCH_SMOKE=1 shrinks to 1M targets for CI PRs;
+// LFP_BENCH_TARGETS overrides the count outright; LFP_SPILL_DIR places the
+// spill segments (default: the system temp dir); LFP_MEM_CEILING_MB caps
+// peak RSS absolutely.
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <new>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/census.hpp"
+#include "sim/scale_world.hpp"
+#include "util/table.hpp"
+
+// ---- global allocation counter ------------------------------------------
+// Counts every operator-new in the process (all threads), so the census
+// loop's steady-state allocation rate is directly observable. Counting
+// only — allocation behaviour is otherwise unchanged.
+namespace {
+std::atomic<std::uint64_t> g_alloc_count{0};
+}  // namespace
+
+void* operator new(std::size_t size) {
+    g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+    if (void* p = std::malloc(size ? size : 1)) return p;
+    throw std::bad_alloc();
+}
+void* operator new[](std::size_t size) { return ::operator new(size); }
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+namespace {
+
+std::size_t env_or(const char* name, std::size_t fallback) {
+    const char* value = std::getenv(name);
+    return value ? static_cast<std::size_t>(std::strtoull(value, nullptr, 10)) : fallback;
+}
+
+double env_or_double(const char* name, double fallback) {
+    const char* value = std::getenv(name);
+    return value ? std::strtod(value, nullptr) : fallback;
+}
+
+/// Peak resident set size in bytes (VmHWM), or 0 where unavailable.
+std::size_t peak_rss_bytes() {
+    std::ifstream status("/proc/self/status");
+    std::string line;
+    while (std::getline(status, line)) {
+        if (line.rfind("VmHWM:", 0) == 0) {
+            return static_cast<std::size_t>(
+                       std::strtoull(line.c_str() + 6, nullptr, 10)) *
+                   1024;
+        }
+    }
+    return 0;
+}
+
+/// Streaming consumer: tallies the draining records, holds none of them.
+class TallySink final : public lfp::core::RecordSink {
+  public:
+    void accept(std::uint64_t global_index, lfp::core::TargetRecord&& record) override {
+        ordered_ = ordered_ && global_index == next_expected_++;
+        counts_.add(record);
+        if (record.probes.all_protocols_responsive()) ++full_signatures_;
+        max_pass_ = std::max(max_pass_, record.pass);
+    }
+
+    [[nodiscard]] const lfp::core::MeasurementCounts& counts() const noexcept {
+        return counts_;
+    }
+    [[nodiscard]] std::uint64_t size() const noexcept { return next_expected_; }
+    [[nodiscard]] bool ordered() const noexcept { return ordered_; }
+    [[nodiscard]] std::uint64_t full_signatures() const noexcept { return full_signatures_; }
+    [[nodiscard]] std::uint16_t max_pass() const noexcept { return max_pass_; }
+
+  private:
+    lfp::core::MeasurementCounts counts_;
+    std::uint64_t next_expected_ = 0;
+    std::uint64_t full_signatures_ = 0;
+    std::uint16_t max_pass_ = 0;
+    bool ordered_ = true;
+};
+
+/// The trajectory file's most recent full (non-smoke) run, parsed
+/// line-orientedly — each run is one JSON object on its own line.
+struct PreviousRun {
+    bool found = false;
+    double targets_per_sec = 0.0;
+    double bytes_per_target_ceiling = 0.0;
+};
+
+double field_after(const std::string& line, const char* key) {
+    const auto at = line.find(key);
+    if (at == std::string::npos) return 0.0;
+    return std::strtod(line.c_str() + at + std::strlen(key), nullptr);
+}
+
+PreviousRun last_full_run(const std::string& path) {
+    PreviousRun previous;
+    std::ifstream in(path);
+    std::string line;
+    while (std::getline(in, line)) {
+        if (line.find("\"smoke\": false") == std::string::npos) continue;
+        previous.found = true;
+        previous.targets_per_sec = field_after(line, "\"targets_per_sec\": ");
+        previous.bytes_per_target_ceiling =
+            field_after(line, "\"bytes_per_target_ceiling\": ");
+    }
+    return previous;
+}
+
+void append_run(const std::string& path, const std::string& entry) {
+    std::ifstream in(path);
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+    std::string contents = buffer.str();
+    in.close();
+
+    const std::string closing = "]}\n";
+    if (const auto at = contents.rfind(closing); at != std::string::npos) {
+        contents.insert(at, "," + entry + "\n");
+    } else {
+        contents = "{\"benchmark\": \"bench_scale\", \"runs\": [\n" + entry + "\n" + closing;
+    }
+    std::ofstream out(path, std::ios::trunc);
+    out << contents;
+}
+
+}  // namespace
+
+int main() {
+    using namespace lfp;
+    using Clock = std::chrono::steady_clock;
+
+    const bool smoke = env_or("LFP_BENCH_SMOKE", 0) != 0;
+    const std::size_t target_count =
+        env_or("LFP_BENCH_TARGETS", smoke ? 1'000'000 : 10'000'000);
+    const std::string json_path = [] {
+        const char* value = std::getenv("LFP_BENCH_JSON");
+        return std::string(value != nullptr ? value : "BENCH_scale.json");
+    }();
+
+    std::cout << "Scale census: " << target_count << " targets, 2 passes, spill to disk"
+              << (smoke ? " [smoke]" : "") << "\n\n";
+
+    sim::ScaleTransport transport(
+        {.seed = 7, .responsive_fraction = 0.65, .loss_rate = 0.02});
+
+    std::vector<net::IPv4Address> targets;
+    targets.reserve(target_count);
+    for (std::size_t i = 0; i < target_count; ++i) {
+        targets.push_back(net::IPv4Address(static_cast<std::uint32_t>(0x0B000000 + i)));
+    }
+
+    core::CensusPlan plan;
+    plan.name = "scale";
+    plan.vantages = {&transport};
+    plan.campaign.window = 256;
+    plan.campaign.keep_request_bytes = false;
+    plan.campaign.response_timeout = std::chrono::milliseconds(250);
+    plan.passes = 2;
+    plan.spill = true;
+    plan.spill_config.segment_records = 1 << 16;
+    core::CensusRunner runner(std::move(plan));
+
+    TallySink tally;
+    const std::uint64_t allocs_before = g_alloc_count.load(std::memory_order_relaxed);
+    const auto start = Clock::now();
+    runner.stream_passes(targets, {}, 2, tally);
+    const auto elapsed =
+        std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() - start);
+    const std::uint64_t allocs_after = g_alloc_count.load(std::memory_order_relaxed);
+
+    const double seconds = static_cast<double>(elapsed.count()) / 1e6;
+    const double rate =
+        seconds > 0 ? static_cast<double>(target_count) / seconds : 0.0;
+    const std::size_t peak_rss = peak_rss_bytes();
+    const double bytes_per_target =
+        static_cast<double>(peak_rss) / static_cast<double>(target_count);
+    const double allocs_per_target = static_cast<double>(allocs_after - allocs_before) /
+                                     static_cast<double>(target_count);
+    const auto stats = runner.last_pass_stats();
+
+    util::TablePrinter table("Scale census results");
+    table.header({"metric", "value"});
+    table.row({"targets", std::to_string(target_count)});
+    table.row({"seconds", util::format_double(seconds, 2)});
+    table.row({"targets/sec", util::format_double(rate, 0)});
+    table.row({"peak RSS (MB)", util::format_double(
+                                    static_cast<double>(peak_rss) / 1e6, 1)});
+    table.row({"bytes/target", util::format_double(bytes_per_target, 1)});
+    table.row({"heap allocs/target", util::format_double(allocs_per_target, 2)});
+    table.row({"responsive", std::to_string(tally.counts().responsive)});
+    table.row({"snmp answered", std::to_string(tally.counts().snmp)});
+    table.row({"full signatures", std::to_string(tally.full_signatures())});
+    table.row({"pass-2 upgrades", stats.size() > 1 ? std::to_string(stats[1].upgraded) : "0"});
+    table.row({"packets simulated", std::to_string(transport.packets_seen())});
+    table.row({"packets lost", std::to_string(transport.packets_lost())});
+    table.print(std::cout);
+
+    bool ok = true;
+    if (tally.size() != target_count || !tally.ordered()) {
+        std::cout << "\nFAIL: sink saw " << tally.size() << " records (ordered="
+                  << tally.ordered() << "), expected a gap-free " << target_count << "\n";
+        ok = false;
+    }
+    if (stats.size() > 1 && stats[1].upgraded == 0) {
+        std::cout << "\nFAIL: retry pass upgraded nothing — under 2% deterministic loss "
+                     "a second pass must repair some targets\n";
+        ok = false;
+    }
+
+    // --- gates against the trajectory -------------------------------------
+    const PreviousRun previous = last_full_run(json_path);
+    double ceiling = previous.found && previous.bytes_per_target_ceiling > 0
+                         ? previous.bytes_per_target_ceiling
+                         : 128.0;
+    const double ceiling_mb = env_or_double("LFP_MEM_CEILING_MB", 0.0);
+    if (ceiling_mb > 0) {
+        ceiling = ceiling_mb * 1e6 / static_cast<double>(target_count);
+    }
+
+    std::cout << "\nMemory gate: " << util::format_double(bytes_per_target, 1)
+              << " bytes/target vs ceiling " << util::format_double(ceiling, 1) << ": "
+              << (bytes_per_target <= ceiling ? "PASS" : "FAIL") << "\n";
+    if (bytes_per_target > ceiling) ok = false;
+
+    if (previous.found && previous.targets_per_sec > 0) {
+        const double floor = 0.8 * previous.targets_per_sec;
+        const bool fast_enough = rate >= floor;
+        std::cout << "Throughput gate: " << util::format_double(rate, 0)
+                  << " targets/sec vs floor " << util::format_double(floor, 0)
+                  << " (0.8x previous full run): "
+                  << (fast_enough         ? "PASS"
+                      : smoke             ? "waived (smoke)"
+                                          : "FAIL")
+                  << "\n";
+        if (!fast_enough && !smoke) ok = false;
+    } else {
+        std::cout << "Throughput gate: no previous full run recorded; baseline only\n";
+    }
+
+    std::ostringstream entry;
+    entry << "{\"targets\": " << target_count << ", \"passes\": 2, \"seconds\": "
+          << util::format_double(seconds, 2) << ", \"targets_per_sec\": "
+          << util::format_double(rate, 1) << ", \"peak_rss_bytes\": " << peak_rss
+          << ", \"bytes_per_target\": " << util::format_double(bytes_per_target, 1)
+          << ", \"bytes_per_target_ceiling\": " << util::format_double(ceiling, 1)
+          << ", \"allocs_per_target\": " << util::format_double(allocs_per_target, 2)
+          << ", \"responsive\": " << tally.counts().responsive
+          << ", \"full_signatures\": " << tally.full_signatures()
+          << ", \"smoke\": " << (smoke ? "true" : "false") << "}";
+    append_run(json_path, entry.str());
+    std::cout << "Trajectory appended to " << json_path << "\n";
+
+    return ok ? 0 : 1;
+}

@@ -11,6 +11,7 @@
 
 #include "core/labeler.hpp"
 #include "probe/campaign.hpp"
+#include "util/arena.hpp"
 #include "util/spsc_ring.hpp"
 
 namespace lfp::core {
@@ -68,18 +69,11 @@ void assemble_record(TargetRecord& record, probe::TargetProbeResult&& probed,
 /// fully-answered retry dominates every incumbent, so the rule never
 /// blocks a partial-to-full conversion — it only refuses sideways trades.
 bool merge_improves(const TargetRecord& candidate, const TargetRecord& incumbent) {
-    bool strictly_better = false;
-    for (std::size_t p = 0; p < probe::kProtocolCount; ++p) {
-        const auto protocol = static_cast<probe::ProtoIndex>(p);
-        const std::size_t candidate_rounds = candidate.probes.responses_for(protocol);
-        const std::size_t incumbent_rounds = incumbent.probes.responses_for(protocol);
-        if (candidate_rounds < incumbent_rounds) return false;
-        if (candidate_rounds > incumbent_rounds) strictly_better = true;
-    }
-    const bool candidate_snmp = candidate.probes.snmp.has_value();
-    const bool incumbent_snmp = incumbent.probes.snmp.has_value();
-    if (incumbent_snmp && !candidate_snmp) return false;
-    return strictly_better || (candidate_snmp && !incumbent_snmp);
+    // Implemented via the 10-bit mask form so the in-memory and spilled
+    // merge paths can never disagree: both reduce to the same arithmetic
+    // over which exchanges answered.
+    return mask_merge_improves(probe_response_mask(candidate.probes),
+                               probe_response_mask(incumbent.probes));
 }
 
 /// Retry-pass consumer: merges each re-probed record into the pass-0 record
@@ -106,6 +100,31 @@ class MergeSink final : public RecordSink {
   private:
     std::vector<TargetRecord>* records_;
     std::uint64_t index_base_;
+    std::uint16_t pass_;
+    std::uint64_t upgraded_ = 0;
+};
+
+/// Retry-pass consumer for the spill path: the incumbent lives on disk, so
+/// improvement is decided from the RAM response-mask index alone (the same
+/// arithmetic merge_improves uses) and an upgrade is one fixed-width
+/// in-place segment write — the incumbent record is never read back.
+class SpillMergeSink final : public RecordSink {
+  public:
+    SpillMergeSink(SpillSink& spill, std::uint16_t pass) : spill_(&spill), pass_(pass) {}
+
+    void accept(std::uint64_t global_index, TargetRecord&& record) override {
+        const std::uint16_t candidate = probe_response_mask(record.probes);
+        if (mask_merge_improves(candidate, spill_->response_mask(global_index))) {
+            record.pass = pass_;
+            spill_->replace(global_index, CompactRecord::from_record(record));
+            ++upgraded_;
+        }
+    }
+
+    [[nodiscard]] std::uint64_t upgraded() const noexcept { return upgraded_; }
+
+  private:
+    SpillSink* spill_;
     std::uint16_t pass_;
     std::uint64_t upgraded_ = 0;
 };
@@ -146,6 +165,9 @@ void CensusPlan::validate() const {
     if (passes > kMaxPasses) {
         plan_error("passes " + std::to_string(passes) + " exceeds the ceiling of " +
                    std::to_string(kMaxPasses));
+    }
+    if (spill && spill_config.segment_records == 0) {
+        plan_error("spill_config.segment_records must be >= 1");
     }
     if (!(campaign.packets_per_second >= 0)) {  // also rejects NaN
         plan_error("campaign.packets_per_second must be >= 0 (0 = unpaced)");
@@ -429,6 +451,13 @@ void CensusRunner::stream_passes(std::span<const net::IPv4Address> targets,
         return;
     }
 
+    // Multi-pass with bounded memory: incumbents live in disk segments,
+    // only their response masks stay in RAM.
+    if (plan_.spill) {
+        stream_passes_spilled(targets, assignment, passes, sink);
+        return;
+    }
+
     // Pass 0: the full list, collected (records are not final until every
     // retry pass they might appear in has run) with the retry population
     // tallied in stream.
@@ -489,6 +518,79 @@ void CensusRunner::stream_passes(std::span<const net::IPv4Address> targets,
     for (std::size_t i = 0; i < records.size(); ++i) {
         sink.accept(index_base + i, std::move(records[i]));
     }
+    sink.finish();
+}
+
+void CensusRunner::stream_passes_spilled(std::span<const net::IPv4Address> targets,
+                                         std::span<const std::uint32_t> assignment,
+                                         std::size_t passes, RecordSink& sink) {
+    // Pass 0: stream the full list straight to disk. RAM footprint from
+    // here on: one unflushed segment of compact records plus two bytes of
+    // response mask per target — never a whole Measurement.
+    const std::uint64_t index_base = next_global_index_;
+    std::vector<std::uint64_t> indices(targets.size());
+    for (std::size_t i = 0; i < targets.size(); ++i) indices[i] = index_base + i;
+    SpillSink spill(plan_.spill_config, index_base);
+    stream_indexed(targets, indices, assignment, plan_.campaign, spill);
+    next_global_index_ += targets.size();
+    indices.clear();
+    indices.shrink_to_fit();
+
+    // The retry population falls out of the mask index — the predicate is
+    // the same one RetrySink applies to full records.
+    std::vector<std::uint64_t> retry_list;
+    for (std::size_t i = 0; i < targets.size(); ++i) {
+        if (RetrySink::incomplete_mask(spill.response_mask(index_base + i), plan_.retry)) {
+            retry_list.push_back(index_base + i);
+        }
+    }
+    pass_stats_.push_back({targets.size(), 0, retry_list.size()});
+
+    // Retry passes, as in the in-memory path (shifted ID lanes, strict-
+    // improvement merge, merged state decides the next pass) — but the
+    // merge happens in place inside the spilled segments, and the per-pass
+    // subset scratch comes from a bump arena recycled at each pass
+    // boundary, so a steady retry cadence allocates nothing new.
+    util::BumpArena pass_arena;
+    for (std::size_t pass = 1; pass < passes && !retry_list.empty(); ++pass) {
+        pass_arena.reset();
+        auto subset = pass_arena.make_span<net::IPv4Address>(retry_list.size());
+        auto subset_indices = pass_arena.make_span<std::uint64_t>(retry_list.size());
+        std::span<std::uint32_t> subset_assignment;
+        if (!assignment.empty()) {
+            subset_assignment = pass_arena.make_span<std::uint32_t>(retry_list.size());
+        }
+        for (std::size_t k = 0; k < retry_list.size(); ++k) {
+            const std::size_t position =
+                static_cast<std::size_t>(retry_list[k] - index_base);
+            subset[k] = targets[position];
+            subset_indices[k] = retry_list[k];
+            if (!assignment.empty()) subset_assignment[k] = assignment[position];
+        }
+
+        probe::Campaign::Config shifted = plan_.campaign;
+        shifted.ipid_base = static_cast<std::uint16_t>(
+            shifted.ipid_base + pass * CensusPlan::kPassIpidStride);
+        shifted.snmp_message_id_base +=
+            static_cast<std::uint32_t>(pass) * CensusPlan::kPassMsgIdStride;
+
+        SpillMergeSink merge(spill, static_cast<std::uint16_t>(pass));
+        stream_indexed(subset, subset_indices, subset_assignment, shifted, merge);
+
+        std::vector<std::uint64_t> still;
+        for (std::uint64_t g : retry_list) {
+            if (RetrySink::incomplete_mask(spill.response_mask(g), plan_.retry)) {
+                still.push_back(g);
+            }
+        }
+        pass_stats_.push_back({retry_list.size(), merge.upgraded(), still.size()});
+        retry_list = std::move(still);
+    }
+
+    // Final emission: sequential re-read of the segments, expanded back to
+    // rich records, in global-index order — same contract as the in-memory
+    // path (empty packet bytes aside; see CompactRecord).
+    spill.drain(sink);
     sink.finish();
 }
 

@@ -91,6 +91,23 @@ struct CensusPlan {
     /// Retry policy for the multi-pass loop (see RetrySink::Options).
     RetrySink::Options retry;
 
+    /// Spill-to-disk for the multi-pass census: when true, stream_passes()
+    /// never materialises the whole record set in RAM. Pass 0 streams into
+    /// a SpillSink (fixed-width CompactRecords in size-capped disk
+    /// segments; two bytes of response-mask index per target stay
+    /// resident), retry passes merge strictly-improving results into the
+    /// spilled segments in place, and the final in-order emission re-reads
+    /// the segments sequentially. Byte-identical classifications and
+    /// signature databases to the in-memory path — the merge/retry
+    /// predicates are shared mask arithmetic (see mask_merge_improves).
+    /// Expanded records carry empty packet bytes (the raw bytes are
+    /// consumed at assembly; see CompactRecord). Single-pass censuses
+    /// ignore this flag: stream() already holds nothing.
+    bool spill = false;
+    /// Segment directory/sizing for the spill path (see SpillConfig; the
+    /// default resolves $LFP_SPILL_DIR, then the system temp directory).
+    SpillConfig spill_config;
+
     /// Per-pass ID lane shifts: pass p stamps target g with IPIDs
     /// (ipid_base + p*kPassIpidStride) + g*ids_per_target .. and msgID
     /// (snmp_message_id_base + p*kPassMsgIdStride) + g — pure functions of
@@ -161,12 +178,11 @@ class CensusRunner {
                 std::span<const std::uint32_t> assignment, RecordSink& sink);
 
     /// Per-pass accounting of the latest run_passes()/stream_passes() call
-    /// (entry p describes pass p).
-    struct PassStats {
-        std::uint64_t probed = 0;      ///< targets this pass probed
-        std::uint64_t upgraded = 0;    ///< records a retry result replaced
-        std::uint64_t incomplete = 0;  ///< retry candidates left afterwards
-    };
+    /// (entry p describes pass p). The struct itself lives at core scope
+    /// (core::PassStats in measurement.hpp) so the io exporters can persist
+    /// pass trajectories without pulling in the census engine; the alias
+    /// keeps the historical CensusRunner::PassStats spelling working.
+    using PassStats = core::PassStats;
 
     /// The multi-pass census (plan.passes, plan.retry): run_passes() probes
     /// the plan's own target list like run() does, then feeds the
@@ -236,6 +252,12 @@ class CensusRunner {
                         std::span<const std::uint64_t> global_indices,
                         std::span<const std::uint32_t> assignment,
                         const probe::Campaign::Config& campaign_config, RecordSink& sink);
+
+    /// The spill-backed body of stream_passes() (plan.spill, passes > 1):
+    /// same pass/merge/emission semantics with on-disk incumbents.
+    void stream_passes_spilled(std::span<const net::IPv4Address> targets,
+                               std::span<const std::uint32_t> assignment, std::size_t passes,
+                               RecordSink& sink);
 
     CensusPlan plan_;
     util::ThreadPool pool_;

@@ -1,0 +1,112 @@
+#include "core/measurement.hpp"
+
+#include <cassert>
+
+namespace lfp::core {
+
+std::uint16_t probe_response_mask(const probe::TargetProbeResult& probes) noexcept {
+    std::uint16_t mask = 0;
+    for (std::size_t p = 0; p < probe::kProtocolCount; ++p) {
+        for (std::size_t r = 0; r < probe::kRoundsPerProtocol; ++r) {
+            if (probes.probes[p][r].responded()) {
+                mask |= static_cast<std::uint16_t>(1u << probe_slot(p, r));
+            }
+        }
+    }
+    if (probes.snmp.has_value()) mask |= kSnmpAnsweredBit;
+    return mask;
+}
+
+CompactRecord CompactRecord::from_record(const TargetRecord& record) {
+    CompactRecord compact;
+    compact.target = record.probes.target.value();
+    compact.response_mask = probe_response_mask(record.probes);
+    compact.pass = record.pass;
+    for (std::size_t p = 0; p < probe::kProtocolCount; ++p) {
+        for (std::size_t r = 0; r < probe::kRoundsPerProtocol; ++r) {
+            compact.request_ipids[probe_slot(p, r)] = record.probes.probes[p][r].request_ipid;
+        }
+    }
+    compact.features = record.features;
+    if (record.probes.snmp.has_value()) {
+        const auto& snmp = *record.probes.snmp;
+        compact.snmp_message_id = snmp.message_id;
+        compact.engine_boots = snmp.engine_boots;
+        compact.engine_time = snmp.engine_time;
+        compact.engine_enterprise = snmp.engine_id.enterprise;
+        compact.engine_format = static_cast<std::uint8_t>(snmp.engine_id.format);
+        compact.engine_new_format = snmp.engine_id.new_format ? 1 : 0;
+        const std::size_t len = snmp.engine_id.remainder.size() <= kEngineRemainderMax
+                                    ? snmp.engine_id.remainder.size()
+                                    : kEngineRemainderMax;
+        compact.engine_remainder_len = static_cast<std::uint8_t>(len);
+        for (std::size_t i = 0; i < len; ++i) {
+            compact.engine_remainder[i] = snmp.engine_id.remainder[i];
+        }
+    }
+    if (record.snmp_vendor.has_value()) {
+        compact.snmp_vendor = static_cast<std::uint8_t>(*record.snmp_vendor);
+    }
+    if (record.lfp.vendor.has_value()) {
+        compact.lfp_vendor = static_cast<std::uint8_t>(*record.lfp.vendor);
+    }
+    compact.lfp_kind = static_cast<std::uint8_t>(record.lfp.kind);
+    compact.lfp_confidence = record.lfp.confidence;
+    return compact;
+}
+
+TargetRecord CompactRecord::to_record() const {
+    TargetRecord record;
+    record.probes.target = net::IPv4Address(target);
+    for (std::size_t p = 0; p < probe::kProtocolCount; ++p) {
+        for (std::size_t r = 0; r < probe::kRoundsPerProtocol; ++r) {
+            const std::size_t slot = probe_slot(p, r);
+            auto& exchange = record.probes.probes[p][r];
+            exchange.request_ipid = request_ipids[slot];
+            // Admission is round-major, so the slot number is the send
+            // order within the target's batch.
+            exchange.send_index = static_cast<std::uint32_t>(slot);
+            if ((response_mask & (1u << slot)) != 0) {
+                // Present-but-empty: the raw bytes were consumed at
+                // assembly time; only the *fact* of the response survives
+                // (see the CompactRecord class comment).
+                exchange.response.emplace();
+            }
+        }
+    }
+    if ((response_mask & kSnmpAnsweredBit) != 0) {
+        snmp::DiscoveryResponse snmp;
+        snmp.message_id = snmp_message_id;
+        snmp.engine_boots = engine_boots;
+        snmp.engine_time = engine_time;
+        snmp.engine_id.enterprise = engine_enterprise;
+        snmp.engine_id.new_format = engine_new_format != 0;
+        snmp.engine_id.format = static_cast<snmp::EngineIdFormat>(engine_format);
+        snmp.engine_id.remainder.assign(engine_remainder.begin(),
+                                        engine_remainder.begin() + engine_remainder_len);
+        record.probes.snmp = std::move(snmp);
+    }
+    record.features = features;
+    record.signature = Signature::from_features(features);
+    if (snmp_vendor != kNoVendor) {
+        record.snmp_vendor = static_cast<stack::Vendor>(snmp_vendor);
+    }
+    if (lfp_vendor != kNoVendor) {
+        record.lfp.vendor = static_cast<stack::Vendor>(lfp_vendor);
+    }
+    record.lfp.kind = static_cast<MatchKind>(lfp_kind);
+    record.lfp.confidence = lfp_confidence;
+    record.pass = pass;
+    return record;
+}
+
+const MeasurementCounts& Measurement::tallies() const {
+    if (!counts.has_value()) {
+        MeasurementCounts computed;
+        for (const auto& record : records) computed.add(record);
+        counts = computed;
+    }
+    return *counts;
+}
+
+}  // namespace lfp::core

@@ -16,40 +16,6 @@ CensusPlan single_vantage_plan(probe::ProbeTransport& transport, const PipelineC
 
 }  // namespace
 
-std::size_t Measurement::responsive_count() const {
-    std::size_t count = 0;
-    for (const auto& record : records) {
-        if (record.responsive()) ++count;
-    }
-    return count;
-}
-
-std::size_t Measurement::snmp_count() const {
-    std::size_t count = 0;
-    for (const auto& record : records) {
-        if (record.snmp_vendor) ++count;
-    }
-    return count;
-}
-
-std::size_t Measurement::snmp_and_lfp_count() const {
-    // The paper's "SNMPv3 ∩ LFP" column counts IPs answering SNMPv3 *and all
-    // nine* LFP probes — the population signatures are extracted from.
-    std::size_t count = 0;
-    for (const auto& record : records) {
-        if (record.snmp_vendor && record.features.complete()) ++count;
-    }
-    return count;
-}
-
-std::size_t Measurement::lfp_only_count() const {
-    std::size_t count = 0;
-    for (const auto& record : records) {
-        if (!record.snmp_vendor && record.lfp_responsive()) ++count;
-    }
-    return count;
-}
-
 LfpPipeline::LfpPipeline(probe::ProbeTransport& transport, PipelineConfig config)
     : runner_(single_vantage_plan(transport, config)) {}
 

@@ -14,6 +14,9 @@
 #pragma once
 
 #include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <memory>
 #include <string>
 #include <utility>
 #include <vector>
@@ -42,14 +45,22 @@ class CollectingSink final : public RecordSink {
     void reserve(std::size_t records) { measurement_.records.reserve(records); }
 
     void accept(std::uint64_t /*global_index*/, TargetRecord&& record) override {
+        // Tally while the record streams by, so Measurement's Table 3
+        // counts never have to rescan the collected vector.
+        tallies_.add(record);
         measurement_.records.push_back(std::move(record));
     }
 
-    /// Moves the collected Measurement out; call after the stream finished.
-    [[nodiscard]] Measurement take() { return std::move(measurement_); }
+    /// Moves the collected Measurement out (with its streaming tallies
+    /// pre-installed); call after the stream finished.
+    [[nodiscard]] Measurement take() {
+        measurement_.set_counts(tallies_);
+        return std::move(measurement_);
+    }
 
   private:
     Measurement measurement_;
+    MeasurementCounts tallies_;
 };
 
 /// Streams labeled signatures into an (unfinalized) SignatureDatabase as
@@ -130,24 +141,32 @@ class RetrySink final : public RecordSink {
     explicit RetrySink(RecordSink* next = nullptr, Options options = {})
         : next_(next), options_(options) {}
 
+    /// The retry predicate on a bare response mask (see probe_response_mask)
+    /// — the form the spill path uses, where only the 10-bit topology of
+    /// each record stays in RAM. The record form below is implemented via
+    /// this one, so the two can never disagree.
+    [[nodiscard]] static constexpr bool incomplete_mask(std::uint16_t mask,
+                                                        const Options& options = {}) noexcept {
+        if (mask_all_protocols_responsive(mask)) {
+            // Complete signature; only the (independent) SNMP exchange can
+            // still be missing, and only opted-in hitlists chase it.
+            return options.retry_missing_snmp && (mask & kSnmpAnsweredBit) == 0;
+        }
+        // Intra-protocol gaps are drop-shaped evidence: always worth a
+        // fresh pass.
+        if (mask_partially_responsive(mask)) return true;
+        // Alive on some protocol, entirely silent on another: loss or
+        // policy — the option decides which way to bet.
+        if (mask_any_response(mask)) return options.retry_missing_protocol;
+        return options.retry_silent;
+    }
+
     /// The retry predicate, exposed so tests and callers can ask the same
     /// question of any record: true when another pass could plausibly
     /// complete this signature.
     [[nodiscard]] static bool incomplete(const TargetRecord& record,
                                          const Options& options = {}) {
-        const auto& probes = record.probes;
-        if (probes.all_protocols_responsive()) {
-            // Complete signature; only the (independent) SNMP exchange can
-            // still be missing, and only opted-in hitlists chase it.
-            return options.retry_missing_snmp && !probes.snmp.has_value();
-        }
-        // Intra-protocol gaps are drop-shaped evidence: always worth a
-        // fresh pass.
-        if (probes.partially_responsive()) return true;
-        // Alive on some protocol, entirely silent on another: loss or
-        // policy — the option decides which way to bet.
-        if (probes.any_response()) return options.retry_missing_protocol;
-        return options.retry_silent;
+        return incomplete_mask(probe_response_mask(record.probes), options);
     }
 
     void accept(std::uint64_t global_index, TargetRecord&& record) override {
@@ -192,6 +211,106 @@ class ClassifySink final : public RecordSink {
   private:
     LfpClassifier classifier_;
     RecordSink* next_;
+};
+
+// ---------------------------------------------------------------------------
+// Spill-to-disk storage
+
+struct SpillConfig {
+    /// Directory for segment files. Empty → $LFP_SPILL_DIR → the system
+    /// temp directory.
+    std::string directory;
+    /// Fixed-size records per on-disk segment (the flush/seek granularity).
+    /// 64Ki records ≈ 7 MB per segment at the current record width.
+    std::size_t segment_records = std::size_t{1} << 16;
+    /// Leave segment files on disk at destruction (debugging/post-mortem);
+    /// by default the sink removes everything it wrote.
+    bool keep_segments = false;
+};
+
+/// RecordSink that appends fixed-width CompactRecords to size-capped disk
+/// segments, so a census of any size holds at most one segment of records
+/// in RAM (the unflushed tail) plus two bytes per target (the response-mask
+/// index that drives retry selection and merge improvement — see
+/// probe_response_mask).
+///
+/// Records arrive in strictly increasing, gap-free global-index order (the
+/// stream contract); `index_base` anchors global index → file offset.
+/// Retry passes upgrade spilled records in place via replace() — records
+/// are fixed-width, so an upgrade is one positioned write, no rewrite of
+/// the segment. drain() re-reads everything sequentially, expands each
+/// record back to a TargetRecord, and feeds a downstream sink in order —
+/// the bridge back to the in-memory pipeline stages.
+///
+/// Single-threaded like every RecordSink (driven by the census consumer
+/// thread). I/O errors throw std::runtime_error — a half-written spill is
+/// not a census.
+class SpillSink final : public RecordSink {
+  public:
+    explicit SpillSink(SpillConfig config = {}, std::uint64_t index_base = 0);
+    ~SpillSink() override;
+
+    SpillSink(const SpillSink&) = delete;
+    SpillSink& operator=(const SpillSink&) = delete;
+
+    void accept(std::uint64_t global_index, TargetRecord&& record) override;
+
+    /// Appends a compact record; `global_index` must be exactly
+    /// index_base() + size() (the stream order contract, asserted).
+    void append(std::uint64_t global_index, const CompactRecord& record);
+
+    /// Overwrites the record at `global_index` (flushed segment or tail).
+    void replace(std::uint64_t global_index, const CompactRecord& record);
+
+    /// Reads one record back (seeks for flushed segments; RAM for the tail).
+    [[nodiscard]] CompactRecord read(std::uint64_t global_index);
+
+    /// The RAM-resident 10-bit response topology of every spilled record —
+    /// everything retry selection and merge improvement need.
+    [[nodiscard]] std::uint16_t response_mask(std::uint64_t global_index) const {
+        return masks_[static_cast<std::size_t>(global_index - index_base_)];
+    }
+    [[nodiscard]] const std::vector<std::uint16_t>& response_masks() const noexcept {
+        return masks_;
+    }
+
+    [[nodiscard]] std::size_t size() const noexcept { return masks_.size(); }
+    [[nodiscard]] std::uint64_t index_base() const noexcept { return index_base_; }
+    [[nodiscard]] std::size_t segments_flushed() const noexcept { return segments_.size(); }
+    [[nodiscard]] const std::filesystem::path& directory() const noexcept {
+        return directory_;
+    }
+
+    /// Sequentially re-reads every record in global-index order, expands it,
+    /// and feeds `sink` (without calling its finish() — the caller owns the
+    /// stream lifecycle).
+    void drain(RecordSink& sink);
+
+    /// Parses one segment file. A truncated tail (crash mid-write) is
+    /// tolerated: complete records parse, the partial trailing record is
+    /// dropped. A corrupt header throws.
+    [[nodiscard]] static std::vector<CompactRecord> read_segment_file(
+        const std::filesystem::path& path);
+
+  private:
+    struct Segment {
+        std::filesystem::path path;
+        std::size_t records = 0;
+        /// Lazily opened read/write handle for replace()/read(); kept open
+        /// because retry merges revisit segments many times.
+        std::unique_ptr<std::fstream> stream;
+    };
+
+    void flush_tail();
+    std::fstream& segment_stream(Segment& segment);
+
+    SpillConfig config_;
+    std::filesystem::path directory_;
+    std::uint64_t index_base_;
+    std::uint64_t sequence_;  ///< distinguishes this sink's files on disk
+    std::vector<Segment> segments_;
+    std::vector<CompactRecord> tail_;        ///< unflushed newest records
+    std::vector<std::uint16_t> masks_;       ///< response mask per record
 };
 
 }  // namespace lfp::core

@@ -19,14 +19,23 @@ std::string csv_escape(std::string_view field) {
 }
 
 void export_measurement_csv(std::ostream& out, const core::Measurement& measurement) {
-    out << "ip,responsive_protocols,snmp_vendor,lfp_vendor,match_kind,signature\n";
+    out << "ip,responsive_protocols,snmp_vendor,lfp_vendor,match_kind,pass,signature\n";
     for (const auto& record : measurement.records) {
         out << record.probes.target.to_string() << ','
             << record.probes.responsive_protocol_count() << ','
             << (record.snmp_vendor ? stack::to_string(*record.snmp_vendor) : "") << ','
             << (record.lfp.vendor ? stack::to_string(*record.lfp.vendor) : "") << ','
             << core::to_string(record.lfp.kind) << ','
+            << record.pass << ','
             << csv_escape(record.signature.key()) << '\n';
+    }
+}
+
+void export_pass_stats_csv(std::ostream& out, std::span<const core::PassStats> stats) {
+    out << "pass,probed,upgraded,incomplete\n";
+    for (std::size_t pass = 0; pass < stats.size(); ++pass) {
+        out << pass << ',' << stats[pass].probed << ',' << stats[pass].upgraded << ','
+            << stats[pass].incomplete << '\n';
     }
 }
 

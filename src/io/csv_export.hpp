@@ -4,6 +4,7 @@
 #pragma once
 
 #include <iosfwd>
+#include <span>
 
 #include "analysis/as_analysis.hpp"
 #include "core/pipeline.hpp"
@@ -12,8 +13,14 @@
 namespace lfp::io {
 
 /// One row per probed target:
-/// ip,responsive_protocols,snmp_vendor,lfp_vendor,match_kind,signature
+/// ip,responsive_protocols,snmp_vendor,lfp_vendor,match_kind,pass,signature
+/// `pass` is the retry pass that produced the record's evidence (0 for
+/// first-pass answers and single-pass censuses).
 void export_measurement_csv(std::ostream& out, const core::Measurement& measurement);
+
+/// One row per census pass: pass,probed,upgraded,incomplete — the retry
+/// trajectory of a multi-pass run (CensusRunner::last_pass_stats()).
+void export_pass_stats_csv(std::ostream& out, std::span<const core::PassStats> stats);
 
 /// One row per traceroute: src_asn,dst_asn,src,dst,hop1;hop2;...
 void export_traceroutes_csv(std::ostream& out, const sim::TracerouteDataset& dataset);

@@ -25,9 +25,15 @@ std::string_view trim(std::string_view text) {
 
 }  // namespace
 
-void save_signatures(std::ostream& out, const core::SignatureDatabase& database) {
+void save_signatures(std::ostream& out, const core::SignatureDatabase& database,
+                     std::span<const core::PassStats> pass_stats) {
     out << "# LFP signature database\n"
         << "# mask | canonical signature (Table 1 field order) | vendor=count,...\n";
+    for (std::size_t pass = 0; pass < pass_stats.size(); ++pass) {
+        out << "#: pass " << pass << " probed " << pass_stats[pass].probed << " upgraded "
+            << pass_stats[pass].upgraded << " incomplete " << pass_stats[pass].incomplete
+            << '\n';
+    }
     // Deterministic order: by key then mask.
     std::vector<const core::Signature*> keys;
     keys.reserve(database.signatures().size());
@@ -50,10 +56,11 @@ void save_signatures(std::ostream& out, const core::SignatureDatabase& database)
     }
 }
 
-bool save_signatures_file(const std::string& path, const core::SignatureDatabase& database) {
+bool save_signatures_file(const std::string& path, const core::SignatureDatabase& database,
+                          std::span<const core::PassStats> pass_stats) {
     std::ofstream out(path);
     if (!out) return false;
-    save_signatures(out, database);
+    save_signatures(out, database, pass_stats);
     return static_cast<bool>(out);
 }
 
@@ -71,14 +78,42 @@ util::Result<core::Signature> parse_signature_line(std::string_view mask_field,
     return core::Signature::from_parts(std::string(key), static_cast<std::uint8_t>(mask));
 }
 
+namespace {
+
+/// Parses a "#: pass <p> probed <n> upgraded <n> incomplete <n>" metadata
+/// line into `stats` (growing it so entry p holds pass p). Malformed
+/// metadata is ignored — to an older reader these lines are comments, and
+/// a newer reader should not reject a database over an optional trailer.
+void parse_pass_stats_line(std::string_view body, std::vector<core::PassStats>& stats) {
+    std::size_t pass = 0;
+    core::PassStats parsed;
+    std::istringstream fields{std::string(body)};
+    std::string word;
+    if (!(fields >> word >> pass) || word != "pass") return;
+    if (!(fields >> word >> parsed.probed) || word != "probed") return;
+    if (!(fields >> word >> parsed.upgraded) || word != "upgraded") return;
+    if (!(fields >> word >> parsed.incomplete) || word != "incomplete") return;
+    if (pass > 4096) return;  // corrupt index; don't let it size the vector
+    if (stats.size() <= pass) stats.resize(pass + 1);
+    stats[pass] = parsed;
+}
+
+}  // namespace
+
 util::Result<core::SignatureDatabase> load_signatures(std::istream& in,
-                                                      core::SignatureDbConfig config) {
+                                                      core::SignatureDbConfig config,
+                                                      std::vector<core::PassStats>* pass_stats) {
+    if (pass_stats != nullptr) pass_stats->clear();
     core::SignatureDatabase database(config);
     std::string line;
     std::size_t line_number = 0;
     while (std::getline(in, line)) {
         ++line_number;
         const std::string_view view = trim(line);
+        if (view.rfind("#:", 0) == 0) {
+            if (pass_stats != nullptr) parse_pass_stats_line(trim(view.substr(2)), *pass_stats);
+            continue;
+        }
         if (view.empty() || view.front() == '#') continue;
 
         const auto fields = util::split(view, '|');
@@ -117,10 +152,11 @@ util::Result<core::SignatureDatabase> load_signatures(std::istream& in,
 }
 
 util::Result<core::SignatureDatabase> load_signatures_file(const std::string& path,
-                                                           core::SignatureDbConfig config) {
+                                                           core::SignatureDbConfig config,
+                                                           std::vector<core::PassStats>* pass_stats) {
     std::ifstream in(path);
     if (!in) return util::make_error("cannot open " + path);
-    return load_signatures(in, config);
+    return load_signatures(in, config, pass_stats);
 }
 
 }  // namespace lfp::io

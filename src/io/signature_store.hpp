@@ -7,29 +7,44 @@
 //   <mask-hex> | <canonical signature> | vendor=count[,vendor=count...]
 // Example:
 //   7 | False r r r False False False False 255 64 64 84 40 56 0 | Juniper=1234
+//
+// Databases built by a multi-pass census can carry the pass trajectory as
+// '#:'-prefixed metadata lines (comments to older loaders):
+//   #: pass 0 probed 100000 upgraded 0 incomplete 1713
 #pragma once
 
 #include <iosfwd>
+#include <span>
 #include <string>
+#include <vector>
 
+#include "core/measurement.hpp"
 #include "core/signature_db.hpp"
 #include "util/result.hpp"
 
 namespace lfp::io {
 
-/// Serializes every admitted signature (deterministic order).
-void save_signatures(std::ostream& out, const core::SignatureDatabase& database);
+/// Serializes every admitted signature (deterministic order). A non-empty
+/// `pass_stats` span is persisted as '#:' metadata lines ahead of the
+/// signatures, so the census's retry trajectory travels with the artifact.
+void save_signatures(std::ostream& out, const core::SignatureDatabase& database,
+                     std::span<const core::PassStats> pass_stats = {});
 
 /// Convenience: write to a file path. Returns false on I/O failure.
-bool save_signatures_file(const std::string& path, const core::SignatureDatabase& database);
+bool save_signatures_file(const std::string& path, const core::SignatureDatabase& database,
+                          std::span<const core::PassStats> pass_stats = {});
 
 /// Parses a previously saved database. The result is finalized with the
-/// given config (threshold re-applied on load).
+/// given config (threshold re-applied on load). When `pass_stats` is
+/// non-null, any '#:' pass-trajectory lines are parsed into it (entry p =
+/// pass p); files without the metadata leave it empty.
 [[nodiscard]] util::Result<core::SignatureDatabase> load_signatures(
-    std::istream& in, core::SignatureDbConfig config = {});
+    std::istream& in, core::SignatureDbConfig config = {},
+    std::vector<core::PassStats>* pass_stats = nullptr);
 
 [[nodiscard]] util::Result<core::SignatureDatabase> load_signatures_file(
-    const std::string& path, core::SignatureDbConfig config = {});
+    const std::string& path, core::SignatureDbConfig config = {},
+    std::vector<core::PassStats>* pass_stats = nullptr);
 
 /// Re-parses one canonical signature line into a Signature (the inverse of
 /// Signature::key() + protocol mask).

@@ -7,12 +7,12 @@
 #include <stdexcept>
 #include <string>
 #include <thread>
-#include <unordered_map>
-#include <unordered_set>
 #include <utility>
 
+#include "net/checksum.hpp"
 #include "probe/demux.hpp"
 #include "stack/simulated_router.hpp"  // kProbePort
+#include "util/flat_hash.hpp"
 #include "util/spsc_ring.hpp"
 
 namespace lfp::probe {
@@ -25,6 +25,74 @@ constexpr std::uint16_t kSnmpSlot =
 
 constexpr std::uint16_t probe_slot(std::size_t protocol, std::size_t round) {
     return static_cast<std::uint16_t>(round * kProtocolCount + protocol);
+}
+
+/// Probe slots plus the trailing SNMP slot.
+constexpr std::size_t kSlotsPerTarget = kSnmpSlot + 1;
+
+// Byte offsets into a serialized probe packet (20-byte IPv4 header, no
+// options — the builders never emit options). Template patching rewrites
+// exactly the per-target fields at these offsets and recomputes the two
+// checksums; everything else is invariant across targets, which is what
+// makes the template cache byte-identical to a fresh build_probe() (pinned
+// by the template-patching test).
+constexpr std::size_t kIpIdOffset = 4;
+constexpr std::size_t kIpChecksumOffset = 10;
+constexpr std::size_t kIpDestOffset = 16;
+constexpr std::size_t kIpHeaderBytes = net::Ipv4Header::kSize;
+constexpr std::size_t kIcmpChecksumOffset = kIpHeaderBytes + 2;
+constexpr std::size_t kIcmpIdentifierOffset = kIpHeaderBytes + 4;
+constexpr std::size_t kTcpChecksumOffset = kIpHeaderBytes + 16;
+constexpr std::size_t kUdpChecksumOffset = kIpHeaderBytes + 6;
+
+inline void put_u16(net::Bytes& packet, std::size_t offset, std::uint16_t value) {
+    packet[offset] = static_cast<std::uint8_t>(value >> 8);
+    packet[offset + 1] = static_cast<std::uint8_t>(value & 0xFF);
+}
+
+inline void put_u32(net::Bytes& packet, std::size_t offset, std::uint32_t value) {
+    packet[offset] = static_cast<std::uint8_t>(value >> 24);
+    packet[offset + 1] = static_cast<std::uint8_t>(value >> 16);
+    packet[offset + 2] = static_cast<std::uint8_t>(value >> 8);
+    packet[offset + 3] = static_cast<std::uint8_t>(value & 0xFF);
+}
+
+/// Rewrites the per-target fields of a cached probe template in place:
+/// destination address, IPID, the ICMP identifier (derived from the
+/// target), and both checksums. The result is byte-for-byte what
+/// build_probe() would have serialized for this target — but without the
+/// serializer's buffer allocation, which is the hot path's whole per-packet
+/// heap traffic.
+void patch_probe(net::Bytes& packet, ProtoIndex protocol, net::IPv4Address source,
+                 net::IPv4Address target, std::uint16_t ipid) {
+    put_u32(packet, kIpDestOffset, target.value());
+    put_u16(packet, kIpIdOffset, ipid);
+    const std::span<const std::uint8_t> bytes(packet.data(), packet.size());
+    const auto segment = bytes.subspan(kIpHeaderBytes);
+    switch (protocol) {
+        case ProtoIndex::icmp: {
+            put_u16(packet, kIcmpIdentifierOffset,
+                    static_cast<std::uint16_t>(target.value() ^ (target.value() >> 16)));
+            put_u16(packet, kIcmpChecksumOffset, 0);
+            put_u16(packet, kIcmpChecksumOffset, net::internet_checksum(segment));
+            break;
+        }
+        case ProtoIndex::tcp: {
+            put_u16(packet, kTcpChecksumOffset, 0);
+            put_u16(packet, kTcpChecksumOffset,
+                    net::transport_checksum(source, target, 6, segment));
+            break;
+        }
+        case ProtoIndex::udp: {
+            put_u16(packet, kUdpChecksumOffset, 0);
+            std::uint16_t checksum = net::transport_checksum(source, target, 17, segment);
+            if (checksum == 0) checksum = 0xFFFF;  // RFC 768: zero means "no checksum"
+            put_u16(packet, kUdpChecksumOffset, checksum);
+            break;
+        }
+    }
+    put_u16(packet, kIpChecksumOffset, 0);
+    put_u16(packet, kIpChecksumOffset, net::internet_checksum(bytes.first(kIpHeaderBytes)));
 }
 
 /// Raw inbound packets cross from the receive thread to the scheduler over
@@ -61,13 +129,21 @@ constexpr double kQuenchCeilingMargin = 0.85;
 /// next quench re-anchors it at the real knee.
 constexpr double kQuenchCeilingRecovery = 1.001;
 
-/// One admitted target awaiting responses.
+/// One admitted target awaiting responses. Lives in a fixed slot pool —
+/// SlotRef::target carries the pool slot id, so dispatch is a direct index
+/// instead of a hash lookup, and completion releases the slot to a free
+/// list. The registered flow keys are remembered so a timed-out target's
+/// registrations are dropped with O(keys) exact erases rather than a
+/// whole-table scan.
 struct InFlightTarget {
     std::size_t index = 0;  ///< position in the input target span
     TargetProbeResult result;
     std::uint16_t outstanding = 0;
     std::int32_t snmp_message_id = 0;
     std::chrono::steady_clock::time_point deadline;
+    std::array<FlowKey, kSlotsPerTarget> keys{};
+    std::uint16_t key_count = 0;
+    bool active = false;
 };
 
 /// The dedicated receive thread: blocks in poll_responses() and forwards
@@ -333,23 +409,62 @@ void Campaign::run_streaming(
                     ? std::min(static_cast<double>(ceiling), kAdaptiveInitialWindow)
                     : static_cast<double>(ceiling);
     }
+    // Everything below is sized once, up front, for the whole run: the
+    // steady-state admit → dispatch → complete → emit cycle then runs with
+    // zero heap allocations per target (keep_request_bytes and send_snmp
+    // permitting — see their Config comments). The probe-allocation test
+    // pins this with a global operator-new counter.
+    const std::size_t pool_size = std::min(ceiling, targets.size());
     ResponseDemux demux;
-    std::unordered_map<std::uint64_t, InFlightTarget> in_flight;
+    demux.reserve(pool_size * kSlotsPerTarget);
+    std::vector<InFlightTarget> slots(pool_size);
+    std::vector<std::uint32_t> free_slots;
+    free_slots.reserve(pool_size);
+    for (std::size_t i = pool_size; i-- > 0;) {
+        free_slots.push_back(static_cast<std::uint32_t>(i));
+    }
+    std::size_t in_flight_count = 0;
     // Flow keys are derived from the target address, so two in-flight copies
     // of the same address would collide in the demux; duplicates wait until
     // the first copy completes (exactly what a serial run does).
-    std::unordered_set<std::uint32_t> in_flight_addresses;
+    util::FlatSet<std::uint32_t> in_flight_addresses;
+    in_flight_addresses.reserve(pool_size);
     // Targets completed out of order but not yet emittable: the engine
-    // emits strictly in input order, so a completed target waits here for
-    // its predecessors. Admission stalls once this backlog reaches
-    // holdback_limit (below), so a head-of-line target waiting out its
-    // response timeout bounds memory at O(window) instead of buffering
-    // everything its successors complete in the meantime.
-    std::unordered_map<std::size_t, TargetProbeResult> holdback;
-    const std::size_t holdback_limit = 4 * ceiling + 64;
+    // emits strictly in input order, so a completed target waits in this
+    // circular buffer (slot = input index mod capacity) for its
+    // predecessors. Admission stalls once next_target runs holdback_limit
+    // ahead of next_emit, so a head-of-line target waiting out its response
+    // timeout bounds memory at O(window) instead of buffering everything
+    // its successors complete in the meantime — and the mod mapping stays
+    // collision-free because in-flight + held-back spans never exceed the
+    // capacity.
+    struct HoldbackEntry {
+        TargetProbeResult result;
+        bool present = false;
+    };
+    const std::size_t holdback_limit = 4 * pool_size + 64;
+    std::vector<HoldbackEntry> holdback(holdback_limit);
     std::size_t next_target = 0;
     std::size_t next_emit = 0;
     std::size_t completed = 0;
+
+    // Probe templates: the nine per-slot packets serialized once against a
+    // placeholder target, then copied into pooled batch buffers and patched
+    // per admission. The SNMP discovery is *not* templated — its msgID
+    // lives inside a variable-length BER integer, so patching bytes is not
+    // sound; build_snmp_probe() serializes fresh (the one per-target
+    // allocation send_snmp costs).
+    std::array<net::Bytes, kSnmpSlot> templates;
+    for (std::size_t round = 0; round < kRoundsPerProtocol; ++round) {
+        for (std::size_t p = 0; p < kProtocolCount; ++p) {
+            templates[probe_slot(p, round)] =
+                build_probe(net::IPv4Address(0), static_cast<ProtoIndex>(p), round, 0);
+        }
+    }
+    // Batch buffers are pooled across admissions: assign() reuses capacity,
+    // so after the first admission the nine probe copies are pure memcpy.
+    std::array<net::Bytes, kSlotsPerTarget> batch;
+    const net::IPv4Address vantage = transport_->vantage_address();
 
     // At most one multiplicative decrease per in-flight generation: after a
     // back-off, this many completions must drain before the next decrease
@@ -368,7 +483,7 @@ void Campaign::run_streaming(
         if (from_quench) quench_ceiling_ = std::min(quench_ceiling_, cwnd_);
         cwnd_ = std::max(1.0, cwnd_ * kWindowBackoff);
         ++window_decreases_;
-        decrease_holdoff = std::max<std::size_t>(1, in_flight.size());
+        decrease_holdoff = std::max<std::size_t>(1, in_flight_count);
     };
     enum class Completion { clean, partial, silent };
     auto on_completion = [&](Completion completion) {
@@ -436,9 +551,18 @@ void Campaign::run_streaming(
             global_indices.empty() ? index : global_indices[index];
         std::uint16_t next_ipid = static_cast<std::uint16_t>(
             config_.ipid_base + global_index * ids_per_target());
-        InFlightTarget state;
+        const std::uint32_t slot_id = free_slots.back();
+        free_slots.pop_back();
+        // Reset the pooled slot in place (a moved-from result is valid but
+        // unspecified): the fill loop below rewrites every exchange field.
+        InFlightTarget& state = slots[slot_id];
+        state.active = true;
         state.index = index;
+        state.outstanding = 0;
+        state.key_count = 0;
+        state.snmp_message_id = 0;
         state.result.target = targets[index];
+        state.result.snmp.reset();
 
         // Flow keys are derived from the same inputs build_probe serializes,
         // so registration needs no re-parse of the packet it just built
@@ -467,40 +591,49 @@ void Campaign::run_streaming(
             }
         };
 
-        std::vector<net::Bytes> batch;
-        batch.reserve(kSnmpSlot + 1);
+        std::size_t batch_size = 0;
         std::uint32_t send_index = 0;
         for (std::size_t round = 0; round < kRoundsPerProtocol; ++round) {
             for (std::size_t p = 0; p < kProtocolCount; ++p) {
                 ProbeExchange& exchange = state.result.probes[p][round];
                 exchange.request_ipid = next_ipid++;
                 exchange.send_index = send_index++;
-                exchange.request = build_probe(targets[index], static_cast<ProtoIndex>(p),
-                                               round, exchange.request_ipid);
-                demux.expect(probe_key(static_cast<ProtoIndex>(p), round),
-                             SlotRef{index, probe_slot(p, round)});
+                exchange.response.reset();
+                net::Bytes& packet = batch[batch_size++];
+                const net::Bytes& probe_template = templates[probe_slot(p, round)];
+                packet.assign(probe_template.begin(), probe_template.end());
+                patch_probe(packet, static_cast<ProtoIndex>(p), vantage, targets[index],
+                            exchange.request_ipid);
+                if (config_.keep_request_bytes) {
+                    exchange.request.assign(packet.begin(), packet.end());
+                } else {
+                    exchange.request.clear();
+                }
+                const FlowKey key = probe_key(static_cast<ProtoIndex>(p), round);
+                state.keys[state.key_count++] = key;
+                demux.expect(key, SlotRef{slot_id, probe_slot(p, round)});
                 ++state.outstanding;
-                batch.push_back(exchange.request);
                 ++packets_sent_;
             }
         }
         if (config_.send_snmp) {
             state.snmp_message_id = static_cast<std::int32_t>(
                 (config_.snmp_message_id_base + global_index) & 0x7FFFFFFF);
-            batch.push_back(
-                build_snmp_probe(targets[index], state.snmp_message_id, next_ipid++));
-            demux.expect(
-                FlowKey{target_value, static_cast<std::uint8_t>(net::Protocol::udp),
-                        static_cast<std::uint16_t>(config_.source_port + 7), snmp::kSnmpPort},
-                SlotRef{index, kSnmpSlot});
+            batch[batch_size++] =
+                build_snmp_probe(targets[index], state.snmp_message_id, next_ipid++);
+            const FlowKey key{target_value, static_cast<std::uint8_t>(net::Protocol::udp),
+                              static_cast<std::uint16_t>(config_.source_port + 7),
+                              snmp::kSnmpPort};
+            state.keys[state.key_count++] = key;
+            demux.expect(key, SlotRef{slot_id, kSnmpSlot});
             ++state.outstanding;
             ++packets_sent_;
         }
         state.deadline = Clock::now() + config_.response_timeout;
-        transport_->send_batch(batch);
+        transport_->send_batch(std::span<const net::Bytes>(batch.data(), batch_size));
         if (receiver) receiver->note_sent();
-        in_flight_addresses.insert(targets[index].value());
-        in_flight.emplace(index, std::move(state));
+        in_flight_addresses.insert(target_value);
+        ++in_flight_count;
     };
 
     auto dispatch = [&](net::Bytes& raw) {
@@ -518,9 +651,8 @@ void Campaign::run_streaming(
         }
         auto slot = demux.match(parsed.value());
         if (!slot) return;
-        auto it = in_flight.find(slot->target);
-        if (it == in_flight.end()) return;
-        InFlightTarget& state = it->second;
+        InFlightTarget& state = slots[slot->target];
+        if (!state.active) return;
         ++responses_;
         if (state.outstanding > 0) --state.outstanding;
         if (slot->slot == kSnmpSlot) {
@@ -546,7 +678,8 @@ void Campaign::run_streaming(
             bool progressed = false;
 
             const std::size_t window = current_window();
-            while (in_flight.size() < window && holdback.size() < holdback_limit &&
+            while (in_flight_count < window && !free_slots.empty() &&
+                   next_target - next_emit < holdback_limit &&
                    next_target < targets.size() &&
                    !in_flight_addresses.contains(targets[next_target].value())) {
                 // Pacing gate: without tokens for the whole batch, skip
@@ -584,8 +717,10 @@ void Campaign::run_streaming(
                 starved = inbound.empty() && transport_->drained();
             }
             const auto now = Clock::now();
-            for (auto it = in_flight.begin(); it != in_flight.end();) {
-                InFlightTarget& state = it->second;
+            for (std::uint32_t slot_id = 0;
+                 in_flight_count > 0 && slot_id < slots.size(); ++slot_id) {
+                InFlightTarget& state = slots[slot_id];
+                if (!state.active) continue;
                 if (state.outstanding == 0 || starved || now >= state.deadline) {
                     // Loss-shaped = some round of a spoken protocol vanished
                     // (the paper's partial-responsiveness notion). Anything
@@ -595,15 +730,23 @@ void Campaign::run_streaming(
                         state.result.partially_responsive() ? Completion::partial
                         : state.result.any_response()       ? Completion::clean
                                                             : Completion::silent;
-                    if (state.outstanding > 0) demux.cancel_target(it->first);
+                    if (state.outstanding > 0) {
+                        // Exact-key erases (answered slots are already gone
+                        // from the table; their erases are no-ops).
+                        for (std::uint16_t k = 0; k < state.key_count; ++k) {
+                            demux.forget(state.keys[k]);
+                        }
+                    }
                     in_flight_addresses.erase(state.result.target.value());
-                    holdback.emplace(state.index, std::move(state.result));
-                    it = in_flight.erase(it);
+                    HoldbackEntry& entry = holdback[state.index % holdback_limit];
+                    entry.result = std::move(state.result);
+                    entry.present = true;
+                    state.active = false;
+                    free_slots.push_back(slot_id);
+                    --in_flight_count;
                     ++completed;
                     on_completion(completion);
                     progressed = true;
-                } else {
-                    ++it;
                 }
             }
 
@@ -611,10 +754,11 @@ void Campaign::run_streaming(
             // predecessor has left, overlapping downstream consumption with
             // the probing of its successors. An emit returning false
             // cancels the run: stop admitting, abandon the in-flight rest.
-            for (auto it = holdback.find(next_emit);
-                 it != holdback.end() && !cancelled; it = holdback.find(next_emit)) {
-                TargetProbeResult result = std::move(it->second);
-                holdback.erase(it);
+            while (next_emit < next_target && !cancelled) {
+                HoldbackEntry& entry = holdback[next_emit % holdback_limit];
+                if (!entry.present) break;
+                entry.present = false;
+                TargetProbeResult result = std::move(entry.result);
                 ++next_emit;
                 cancelled = !emit(next_emit - 1, std::move(result));
             }

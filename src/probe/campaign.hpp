@@ -121,6 +121,16 @@ class Campaign {
         std::uint8_t probe_ttl = 64;
         bool send_snmp = true;
 
+        /// Whether each ProbeExchange keeps a copy of the request packet it
+        /// sent. The bytes on the wire are unaffected either way. Feature
+        /// extraction and classification never read request bytes (IPIDs are
+        /// carried separately in request_ipid), so internet-scale runs turn
+        /// this off to drop one heap-allocated packet copy per probe slot —
+        /// the compact spill record couldn't retain them anyway. Defaults to
+        /// true because small-scale forensics and the wire-level tests want
+        /// to inspect exactly what was sent.
+        bool keep_request_bytes = true;
+
         /// First request IPID. A target's IPIDs are a pure function of its
         /// *global index*: target i's probes carry ipid_base + i*10 ..
         /// ipid_base + i*10 + 9 (mod 2^16) in global send order, which for a

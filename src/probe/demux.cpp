@@ -96,7 +96,9 @@ std::optional<FlowKey> response_flow_key(const net::ParsedPacket& response) {
     return std::nullopt;
 }
 
-void ResponseDemux::expect(const FlowKey& key, SlotRef slot) { expected_[key] = slot; }
+void ResponseDemux::expect(const FlowKey& key, SlotRef slot) {
+    expected_.insert_or_assign(key, slot);
+}
 
 std::optional<SlotRef> ResponseDemux::match(const net::ParsedPacket& response) {
     auto key = response_flow_key(response);
@@ -104,24 +106,22 @@ std::optional<SlotRef> ResponseDemux::match(const net::ParsedPacket& response) {
         ++strays_;
         return std::nullopt;
     }
-    auto it = expected_.find(*key);
-    if (it == expected_.end()) {
+    SlotRef* found = expected_.find(*key);
+    if (found == nullptr) {
         ++strays_;
         return std::nullopt;
     }
-    SlotRef slot = it->second;
-    expected_.erase(it);
+    SlotRef slot = *found;
+    expected_.erase(*key);
     return slot;
 }
 
 void ResponseDemux::cancel_target(std::uint64_t target) {
-    for (auto it = expected_.begin(); it != expected_.end();) {
-        if (it->second.target == target) {
-            it = expected_.erase(it);
-        } else {
-            ++it;
-        }
-    }
+    std::vector<FlowKey> doomed;
+    expected_.for_each([&](const FlowKey& key, const SlotRef& slot) {
+        if (slot.target == target) doomed.push_back(key);
+    });
+    for (const FlowKey& key : doomed) expected_.erase(key);
 }
 
 }  // namespace lfp::probe

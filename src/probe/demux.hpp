@@ -14,9 +14,9 @@
 
 #include <cstdint>
 #include <optional>
-#include <unordered_map>
 
 #include "net/packet_builder.hpp"
+#include "util/flat_hash.hpp"
 
 namespace lfp::probe {
 
@@ -62,6 +62,10 @@ struct SlotRef {
 
 class ResponseDemux {
   public:
+    /// Pre-sizes the flow table so `expected` concurrent registrations never
+    /// rehash (and therefore never allocate) on the hot path.
+    void reserve(std::size_t expected) { expected_.reserve(expected); }
+
     /// Registers an outstanding probe. Overwrites any previous registration
     /// of the same key (callers guarantee in-flight keys are unique).
     void expect(const FlowKey& key, SlotRef slot);
@@ -70,14 +74,21 @@ class ResponseDemux {
     /// registration. Unmatched packets return nullopt and count as strays.
     std::optional<SlotRef> match(const net::ParsedPacket& response);
 
+    /// Drops one outstanding registration by its exact key — O(1). Engines
+    /// that remember the keys they registered (the streaming campaign keeps
+    /// them per in-flight slot) use this on timeout instead of the
+    /// whole-table scan in cancel_target().
+    void forget(const FlowKey& key) { expected_.erase(key); }
+
     /// Drops every outstanding registration for `target` (timeout/cancel).
+    /// Scans the whole table; prefer forget() when the keys are known.
     void cancel_target(std::uint64_t target);
 
     [[nodiscard]] std::size_t outstanding() const noexcept { return expected_.size(); }
     [[nodiscard]] std::uint64_t stray_responses() const noexcept { return strays_; }
 
   private:
-    std::unordered_map<FlowKey, SlotRef, FlowKeyHash> expected_;
+    util::FlatMap<FlowKey, SlotRef, FlowKeyHash> expected_;
     std::uint64_t strays_ = 0;
 };
 

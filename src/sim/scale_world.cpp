@@ -1,0 +1,291 @@
+#include "sim/scale_world.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <string>
+
+#include "snmp/snmpv3.hpp"
+#include "stack/simulated_router.hpp"  // kProbePort / kMgmtPort
+
+namespace lfp::sim {
+namespace {
+
+/// splitmix64 finalizer: every draw in the scale world is some mix64() of
+/// the seed, the target, and a domain constant — stateless and replayable.
+std::uint64_t mix64(std::uint64_t x) noexcept {
+    x += 0x9E3779B97F4A7C15ULL;
+    x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+    return x ^ (x >> 31);
+}
+
+/// Uniform [0,1) draw from 20 bits of hash vs a probability.
+bool chance(std::uint64_t bits, double probability) noexcept {
+    if (probability <= 0.0) return false;
+    if (probability >= 1.0) return true;
+    const double draw =
+        static_cast<double>(bits & 0xFFFFF) / static_cast<double>(1u << 20);
+    return draw < probability;
+}
+
+// Domain constants separating the independent draws of one target.
+constexpr std::uint64_t kDomExists = 0xE115;
+constexpr std::uint64_t kDomProfile = 0x9F0F;
+constexpr std::uint64_t kDomIcmp = 0xA111;
+constexpr std::uint64_t kDomClosed = 0xB222;
+constexpr std::uint64_t kDomFlipTcp = 0xB223;
+constexpr std::uint64_t kDomFlipUdp = 0xB224;
+constexpr std::uint64_t kDomSnmp = 0xC333;
+constexpr std::uint64_t kDomIpidBase = 0xD444;
+constexpr std::uint64_t kDomIpidStep = 0xD445;
+constexpr std::uint64_t kDomIpidRandom = 0xD446;
+constexpr std::uint64_t kDomEngine = 0xEE01;
+constexpr std::uint64_t kDomLoss = 0x1055;
+
+/// Group mode resolution, mirroring SimulatedRouter: a shared counter group
+/// behaves like the first protocol that references it.
+stack::IpidMode group_mode(const stack::IpidBehaviour& b, std::uint8_t group) noexcept {
+    if (b.icmp_group == group) return b.icmp;
+    if (b.tcp_group == group) return b.tcp;
+    if (b.udp_group == group) return b.udp;
+    return stack::IpidMode::incremental;
+}
+
+std::uint8_t group_for(const stack::IpidBehaviour& b, std::size_t protocol) noexcept {
+    switch (protocol) {
+        case 0: return b.icmp_group;
+        case 1: return b.tcp_group;
+        default: return b.udp_group;
+    }
+}
+
+}  // namespace
+
+ScaleTransport::ScaleTransport(ScaleWorldConfig config) : config_(config) {
+    // Weighted pick table over the standard catalog: persona profile =
+    // table[hash % size]. 4096 entries keep every profile with weight
+    // >= total/4096 representable.
+    const auto all = stack::standard_catalog().all();
+    double total = 0.0;
+    for (const auto& weighted : all) total += weighted.weight;
+    constexpr std::size_t kTableSize = 4096;
+    for (const auto& weighted : all) {
+        const auto entries = static_cast<std::size_t>(
+            std::max(1.0, std::round(weighted.weight / total * kTableSize)));
+        for (std::size_t i = 0; i < entries; ++i) pick_table_.push_back(&weighted.profile);
+    }
+}
+
+ScaleTransport::Persona ScaleTransport::persona_for(net::IPv4Address target) const {
+    Persona persona;
+    persona.entropy = mix64(config_.seed ^ (0x9E3779B97F4A7C15ULL *
+                                            (static_cast<std::uint64_t>(target.value()) + 1)));
+    persona.profile =
+        pick_table_[mix64(persona.entropy ^ kDomProfile) % pick_table_.size()];
+    persona.exists = chance(mix64(persona.entropy ^ kDomExists), config_.responsive_fraction);
+    if (!persona.exists) return persona;
+
+    const stack::ResponsePolicy& policy = persona.profile->response;
+    persona.responds_icmp = chance(mix64(persona.entropy ^ kDomIcmp), policy.icmp);
+    // One ACL governs both closed-port protocols (see SimulatedRouter);
+    // each flips rarely, and never at the deterministic extremes.
+    const double closed = std::min(1.0, 0.5 * (policy.tcp + policy.udp));
+    const bool closed_respond = chance(mix64(persona.entropy ^ kDomClosed), closed);
+    const double flip = (closed > 0.0 && closed < 1.0) ? 0.04 : 0.0;
+    const bool flip_tcp = chance(mix64(persona.entropy ^ kDomFlipTcp), flip);
+    const bool flip_udp = chance(mix64(persona.entropy ^ kDomFlipUdp), flip);
+    persona.responds_tcp = closed_respond ? !flip_tcp : flip_tcp;
+    persona.responds_udp = closed_respond ? !flip_udp : flip_udp;
+    persona.snmp_enabled = chance(mix64(persona.entropy ^ kDomSnmp), policy.snmpv3);
+    return persona;
+}
+
+std::uint16_t ScaleTransport::response_ipid(const Persona& persona, std::size_t protocol,
+                                            std::size_t request_ipid) const {
+    const stack::IpidBehaviour& behaviour = persona.profile->ipid;
+    const std::uint8_t group = group_for(behaviour, protocol);
+    const std::uint64_t base_entropy = mix64(persona.entropy ^ kDomIpidBase ^ group);
+    const auto base = static_cast<std::uint16_t>(base_entropy & 0xFFFF);
+    // Per-target counter stride: request IPIDs increment by one per probe in
+    // global send order, so base + step*request_ipid advances monotonically
+    // across every probe drawing from this group — the shared-counter
+    // trajectory LFP fingerprints — while the stride varies the per-step
+    // deltas the IPID-step analyses look at.
+    const auto step = static_cast<std::uint16_t>(
+        1 + (mix64(persona.entropy ^ kDomIpidStep) % 7));
+    switch (group_mode(behaviour, group)) {
+        case stack::IpidMode::zero: return 0;
+        case stack::IpidMode::static_value: return base == 0 ? 0x1234 : base;
+        case stack::IpidMode::random:
+            return static_cast<std::uint16_t>(
+                mix64(persona.entropy ^ kDomIpidRandom ^ request_ipid) & 0xFFFF);
+        case stack::IpidMode::duplicate_pair:
+            // Consecutive requests share a value; the counter advances every
+            // second packet.
+            return static_cast<std::uint16_t>(base + step * (request_ipid >> 1));
+        case stack::IpidMode::incremental:
+        default:
+            return static_cast<std::uint16_t>(base + step * request_ipid);
+    }
+}
+
+std::optional<net::Bytes> ScaleTransport::exchange(std::span<const std::uint8_t> packet) {
+    ++packets_seen_;
+    if (packet.size() < net::Ipv4Header::kSize) return std::nullopt;
+    // Fast path: destination and IPID read straight from the raw bytes, so
+    // dark addresses and lost packets cost no parse at all — at 10M
+    // targets most packets take one of these two exits.
+    const std::uint32_t target =
+        (static_cast<std::uint32_t>(packet[16]) << 24) |
+        (static_cast<std::uint32_t>(packet[17]) << 16) |
+        (static_cast<std::uint32_t>(packet[18]) << 8) | packet[19];
+    const std::uint16_t request_ipid =
+        static_cast<std::uint16_t>((packet[4] << 8) | packet[5]);
+    const Persona persona = persona_for(net::IPv4Address(target));
+    if (!persona.exists) return std::nullopt;
+    if (config_.loss_rate > 0.0 &&
+        chance(mix64(config_.seed ^ kDomLoss ^
+                     (static_cast<std::uint64_t>(target) << 16) ^ request_ipid),
+               config_.loss_rate)) {
+        ++packets_lost_;
+        return std::nullopt;
+    }
+
+    auto parsed = net::parse_packet(packet);
+    if (!parsed) return std::nullopt;
+    const net::ParsedPacket& probe = parsed.value();
+    switch (probe.ip.protocol) {
+        case net::Protocol::icmp: return respond_icmp(persona, probe);
+        case net::Protocol::tcp: return respond_tcp(persona, probe);
+        case net::Protocol::udp: {
+            const auto* udp = probe.udp();
+            if (udp != nullptr && udp->destination_port == snmp::kSnmpPort) {
+                return respond_snmp(persona, probe);
+            }
+            return respond_udp(persona, probe, packet);
+        }
+    }
+    return std::nullopt;
+}
+
+std::optional<net::Bytes> ScaleTransport::respond_icmp(const Persona& persona,
+                                                       const net::ParsedPacket& probe) {
+    if (!persona.responds_icmp) return std::nullopt;
+    const auto* message = probe.icmp();
+    if (message == nullptr) return std::nullopt;
+    const auto* echo = std::get_if<net::IcmpEcho>(message);
+    if (echo == nullptr || echo->is_reply) return std::nullopt;
+
+    net::IpSendOptions ip;
+    ip.source = probe.ip.destination;
+    ip.destination = probe.ip.source;
+    ip.ttl = persona.profile->ittl_icmp;
+    ip.identification = persona.profile->ipid.icmp_echoes_request_ipid
+                            ? probe.ip.identification
+                            : response_ipid(persona, 0, probe.ip.identification);
+    return net::make_icmp_echo_reply(ip, *echo);
+}
+
+std::optional<net::Bytes> ScaleTransport::respond_tcp(const Persona& persona,
+                                                      const net::ParsedPacket& probe) {
+    if (!persona.responds_tcp) return std::nullopt;
+    const auto* segment = probe.tcp();
+    if (segment == nullptr) return std::nullopt;
+    if (segment->flags.rst) return std::nullopt;  // never answer a reset
+    if (segment->flags.ack && !persona.profile->rst_to_ack_probe) return std::nullopt;
+
+    // Closed port -> RST; the sequence-number choice for the SYN probe with
+    // a non-zero ack field is the LFP compliance feature.
+    net::TcpSegment rst;
+    rst.source_port = segment->destination_port;
+    rst.destination_port = segment->source_port;
+    rst.window = 0;
+    rst.flags.rst = true;
+    if (segment->flags.ack) {
+        rst.sequence = segment->acknowledgment;
+    } else {
+        rst.flags.ack = true;
+        rst.acknowledgment = segment->sequence + (segment->flags.syn ? 1 : 0);
+        rst.sequence = persona.profile->rst_seq_from_ack ? segment->acknowledgment : 0;
+    }
+    net::IpSendOptions ip;
+    ip.source = probe.ip.destination;
+    ip.destination = probe.ip.source;
+    ip.ttl = persona.profile->ittl_tcp;
+    ip.identification = persona.profile->ipid.tcp == stack::IpidMode::zero
+                            ? 0
+                            : response_ipid(persona, 1, probe.ip.identification);
+    return net::make_tcp_packet(ip, rst);
+}
+
+std::optional<net::Bytes> ScaleTransport::respond_udp(const Persona& persona,
+                                                      const net::ParsedPacket& probe,
+                                                      std::span<const std::uint8_t> raw) {
+    if (!persona.responds_udp) return std::nullopt;
+    net::IpSendOptions ip;
+    ip.source = probe.ip.destination;
+    ip.destination = probe.ip.source;
+    ip.ttl = persona.profile->ittl_udp;
+    ip.identification = response_ipid(persona, 2, probe.ip.identification);
+    return net::make_icmp_error(ip, net::IcmpType::destination_unreachable,
+                                net::kIcmpCodePortUnreachable, raw,
+                                persona.profile->icmp_quote_limit);
+}
+
+std::optional<net::Bytes> ScaleTransport::respond_snmp(const Persona& persona,
+                                                       const net::ParsedPacket& probe) {
+    if (!persona.snmp_enabled) return std::nullopt;
+    const auto* udp = probe.udp();
+    auto request = snmp::DiscoveryRequest::parse(udp->payload);
+    if (!request) return std::nullopt;
+
+    // Engine identity: stable per target, format per profile.
+    const std::uint32_t enterprise = stack::enterprise_number(persona.profile->vendor);
+    const std::uint64_t engine_entropy = mix64(persona.entropy ^ kDomEngine);
+    snmp::EngineId engine_id;
+    switch (persona.profile->engine_format) {
+        case snmp::EngineIdFormat::mac: {
+            std::array<std::uint8_t, 6> mac{};
+            for (std::size_t i = 0; i < mac.size(); ++i) {
+                mac[i] = static_cast<std::uint8_t>(engine_entropy >> (8 * i));
+            }
+            engine_id = snmp::make_mac_engine_id(enterprise, mac);
+            break;
+        }
+        case snmp::EngineIdFormat::text:
+            engine_id = snmp::make_text_engine_id(
+                enterprise, std::string(stack::to_string(persona.profile->vendor)) + "-" +
+                                std::to_string(engine_entropy & 0xFFFFFF));
+            break;
+        default: {
+            net::Bytes octets(8);
+            for (std::size_t i = 0; i < octets.size(); ++i) {
+                octets[i] = static_cast<std::uint8_t>(engine_entropy >> (8 * i));
+            }
+            engine_id = snmp::make_octets_engine_id(enterprise, std::move(octets));
+            break;
+        }
+    }
+
+    snmp::DiscoveryResponse response;
+    response.message_id = request.value().message_id;
+    response.engine_id = engine_id;
+    response.engine_boots = static_cast<std::int32_t>(1 + (engine_entropy % 60));
+    response.engine_time =
+        static_cast<std::int32_t>(mix64(engine_entropy) % (60ull * 60 * 24 * 500));
+
+    net::UdpDatagram reply;
+    reply.source_port = snmp::kSnmpPort;
+    reply.destination_port = udp->source_port;
+    reply.payload = response.serialize();
+
+    net::IpSendOptions ip;
+    ip.source = probe.ip.destination;
+    ip.destination = probe.ip.source;
+    ip.ttl = persona.profile->ittl_udp;
+    ip.identification = response_ipid(persona, 2, probe.ip.identification);
+    return net::make_udp_packet(ip, reply);
+}
+
+}  // namespace lfp::sim

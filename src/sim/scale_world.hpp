@@ -1,0 +1,106 @@
+// Internet-scale simulated world for memory/throughput benchmarking.
+//
+// sim::Topology/sim::Internet model every router as a stateful object —
+// perfect for fidelity studies, hopeless for a 10M-target memory benchmark
+// where the *world* would dwarf the engine under test. ScaleTransport is
+// the complement: a stateless transport whose per-target behaviour (which
+// protocols answer, stack profile, IPID trajectory, SNMPv3 engine identity,
+// per-packet loss) is a pure hash of the target address and the seed.
+// Nothing is stored per target, so the transport's memory footprint is O(1)
+// no matter how many addresses a census sweeps, and the bytes-per-target
+// the bench reports belong entirely to the census engine.
+//
+// Determinism is total and replay-stable: the same (seed, target, request
+// IPID) always produces the same response bytes, so spill-to-disk runs are
+// byte-identical to in-memory runs, and windowed runs to serial ones. Loss
+// is keyed on the request IPID, which the multi-pass scheduler shifts per
+// pass (CensusPlan::kPassIpidStride) — retry passes draw fresh loss fates
+// against identical response content, exactly the regime the
+// strictly-improving merge is built for.
+//
+// Response recipes mirror stack::SimulatedRouter (echo replies, closed-port
+// RSTs with the profile's sequence-number choice, ICMP port-unreachable
+// errors with the profile's quote limit, SNMPv3 discovery responses), so
+// the records a scale run produces walk the same feature-extraction and
+// classification paths as the fidelity sim — only the per-instance draws
+// are hash-derived instead of RNG-stream-derived.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "net/ip_address.hpp"
+#include "net/packet_builder.hpp"
+#include "probe/transport.hpp"
+#include "stack/profile_catalog.hpp"
+
+namespace lfp::sim {
+
+struct ScaleWorldConfig {
+    std::uint64_t seed = 1;
+    /// Fraction of addresses that exist at all; the rest ignore everything
+    /// (the census hitlist regime: most of a raw sweep is dark).
+    double responsive_fraction = 0.65;
+    /// Deterministic per-packet loss, keyed on (seed, target, request
+    /// IPID): a lost probe never answers, and the same probe re-sent with
+    /// the same IPID is lost again — but a retry pass shifts IPIDs, so it
+    /// draws a fresh fate.
+    double loss_rate = 0.0;
+    net::IPv4Address vantage = net::IPv4Address(0x0A000001);  // 10.0.0.1
+};
+
+/// Stateless transport over the hash-derived world. Synchronous (responses
+/// queue at send time) and single-owner like every SynchronousTransport.
+class ScaleTransport final : public probe::SynchronousTransport {
+  public:
+    explicit ScaleTransport(ScaleWorldConfig config = {});
+
+    [[nodiscard]] net::IPv4Address vantage_address() const override { return config_.vantage; }
+
+    [[nodiscard]] std::uint64_t packets_seen() const noexcept { return packets_seen_; }
+    [[nodiscard]] std::uint64_t packets_lost() const noexcept { return packets_lost_; }
+
+    /// The persona a target hashes to — exposed so tests can compute the
+    /// expected outcome of a probe without replaying the transport.
+    struct Persona {
+        const stack::StackProfile* profile = nullptr;
+        bool exists = false;
+        bool responds_icmp = false;
+        bool responds_tcp = false;
+        bool responds_udp = false;
+        bool snmp_enabled = false;
+        std::uint64_t entropy = 0;  ///< per-target hash driving the draws
+    };
+    [[nodiscard]] Persona persona_for(net::IPv4Address target) const;
+
+  protected:
+    std::optional<net::Bytes> exchange(std::span<const std::uint8_t> packet) override;
+
+  private:
+    std::optional<net::Bytes> respond_icmp(const Persona& persona,
+                                           const net::ParsedPacket& probe);
+    std::optional<net::Bytes> respond_tcp(const Persona& persona,
+                                          const net::ParsedPacket& probe);
+    std::optional<net::Bytes> respond_udp(const Persona& persona,
+                                          const net::ParsedPacket& probe,
+                                          std::span<const std::uint8_t> raw);
+    std::optional<net::Bytes> respond_snmp(const Persona& persona,
+                                           const net::ParsedPacket& probe);
+
+    /// IPID for this persona's next response on `protocol`, given that the
+    /// response answers probe round `round` — a pure function, replayed
+    /// identically on every pass (see the file comment).
+    [[nodiscard]] std::uint16_t response_ipid(const Persona& persona, std::size_t protocol,
+                                              std::size_t round) const;
+
+    ScaleWorldConfig config_;
+    /// Weighted profile pick table (indices into the standard catalog),
+    /// built once; persona profile = table[hash % size].
+    std::vector<const stack::StackProfile*> pick_table_;
+    std::uint64_t packets_seen_ = 0;
+    std::uint64_t packets_lost_ = 0;
+};
+
+}  // namespace lfp::sim

@@ -1,0 +1,185 @@
+// Hot-path allocation machinery for the Internet-scale census engine.
+//
+// Steady-state probing must not pay one heap allocation per target: at ten
+// million targets even a handful of small allocations per admission
+// dominates the scheduler loop and fragments the heap under the spill
+// sink's working set. Two primitives cover the patterns the engine needs:
+//
+//   - BumpArena: a block-chained bump allocator for trivially-destructible
+//     per-pass scratch (retry subsets, index arrays). Allocation is a
+//     pointer bump; reset() recycles every block at once at a pass
+//     boundary, keeping the largest block so a steady-state pass allocates
+//     nothing new.
+//   - BufferPool: a free-list recycler for byte buffers (probe packets,
+//     batch scratch). acquire() hands back a previously released vector
+//     with its capacity intact, so after warm-up the build-send-release
+//     cycle touches the heap zero times per target. Hit/miss counters make
+//     that claim testable instead of aspirational.
+//
+// Neither primitive is thread-safe; the engine keeps one per lane (the
+// census's per-lane arenas) or one per single-threaded stage.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace lfp::util {
+
+/// Block-chained bump allocator for trivially-destructible scratch. The
+/// arena never runs destructors: only trivially-destructible types may live
+/// in it (enforced per call), which is exactly the per-pass scratch shape —
+/// addresses, indices, masks.
+class BumpArena {
+  public:
+    /// `block_bytes` is the granularity fresh blocks are requested in;
+    /// oversized allocations get a dedicated block of their exact size.
+    explicit BumpArena(std::size_t block_bytes = 1 << 16)
+        : block_bytes_(block_bytes == 0 ? 1 : block_bytes) {}
+
+    BumpArena(const BumpArena&) = delete;
+    BumpArena& operator=(const BumpArena&) = delete;
+
+    /// Raw aligned allocation. Alignment must be a power of two.
+    void* allocate(std::size_t bytes, std::size_t alignment = alignof(std::max_align_t)) {
+        std::size_t offset = align_up(used_, alignment);
+        if (current_ == nullptr || offset + bytes > current_->size) {
+            grow(bytes + alignment);
+            offset = align_up(used_, alignment);
+        }
+        used_ = offset + bytes;
+        bytes_allocated_ += bytes;
+        return current_->data.get() + offset;
+    }
+
+    /// Carves a default-initialized span of `count` Ts. T must be trivially
+    /// destructible (the arena never runs destructors) and trivially
+    /// copyable (reset() abandons the storage wholesale).
+    template <typename T>
+    [[nodiscard]] std::span<T> make_span(std::size_t count) {
+        static_assert(std::is_trivially_destructible_v<T>,
+                      "BumpArena storage is reclaimed without destructors");
+        static_assert(std::is_trivially_copyable_v<T>,
+                      "BumpArena spans hold plain data only");
+        if (count == 0) return {};
+        T* data = static_cast<T*>(allocate(count * sizeof(T), alignof(T)));
+        for (std::size_t i = 0; i < count; ++i) new (data + i) T{};
+        return {data, count};
+    }
+
+    /// Recycles every block at once (a pass boundary). The largest block is
+    /// kept so a steady-state pass of the same shape allocates nothing; the
+    /// rest are returned to the heap.
+    void reset() noexcept {
+        if (current_ == nullptr) return;
+        // Find the largest block in the chain and make it the sole survivor.
+        Block* largest = current_;
+        for (Block* block = current_->next.get(); block != nullptr; block = block->next.get()) {
+            if (block->size > largest->size) largest = block;
+        }
+        if (largest != current_) {
+            // Detach `largest` from wherever it sits in the chain.
+            Block* prev = current_;
+            while (prev->next.get() != largest) prev = prev->next.get();
+            std::unique_ptr<Block> keep = std::move(prev->next);
+            prev->next = std::move(keep->next);
+            keep->next = std::move(head_);
+            head_ = std::move(keep);
+        } else {
+            std::unique_ptr<Block> keep = std::move(head_);
+            head_ = std::move(keep);
+        }
+        head_->next.reset();
+        current_ = head_.get();
+        used_ = 0;
+        bytes_allocated_ = 0;
+        reserved_ = head_->size;  // every other block was just returned
+        ++resets_;
+    }
+
+    /// Bytes handed out since the last reset (excludes alignment padding).
+    [[nodiscard]] std::size_t bytes_allocated() const noexcept { return bytes_allocated_; }
+    /// Bytes of backing storage currently owned (survives reset()).
+    [[nodiscard]] std::size_t bytes_reserved() const noexcept { return reserved_; }
+    [[nodiscard]] std::uint64_t resets() const noexcept { return resets_; }
+
+  private:
+    struct Block {
+        std::unique_ptr<std::byte[]> data;
+        std::size_t size = 0;
+        std::unique_ptr<Block> next;
+    };
+
+    static constexpr std::size_t align_up(std::size_t value, std::size_t alignment) noexcept {
+        return (value + alignment - 1) & ~(alignment - 1);
+    }
+
+    void grow(std::size_t at_least) {
+        const std::size_t size = at_least > block_bytes_ ? at_least : block_bytes_;
+        auto block = std::make_unique<Block>();
+        block->data = std::make_unique<std::byte[]>(size);
+        block->size = size;
+        block->next = std::move(head_);
+        head_ = std::move(block);
+        current_ = head_.get();
+        used_ = 0;
+        reserved_ += size;
+    }
+
+    std::size_t block_bytes_;
+    std::unique_ptr<Block> head_;   ///< chain of blocks; front is the active one
+    Block* current_ = nullptr;
+    std::size_t used_ = 0;          ///< bump offset within current_
+    std::size_t bytes_allocated_ = 0;
+    std::size_t reserved_ = 0;
+    std::uint64_t resets_ = 0;
+};
+
+/// Free-list recycler for byte buffers: the probe engine's per-lane packet
+/// scratch. acquire() prefers a previously released buffer (capacity
+/// intact — a hit); only an empty pool touches the heap (a miss). After
+/// warm-up every build-send-release cycle is all hits, which the
+/// zero-allocation tests assert via these counters.
+class BufferPool {
+  public:
+    using Buffer = std::vector<std::uint8_t>;
+
+    [[nodiscard]] Buffer acquire() {
+        if (free_.empty()) {
+            ++misses_;
+            return {};
+        }
+        ++hits_;
+        Buffer buffer = std::move(free_.back());
+        free_.pop_back();
+        buffer.clear();  // keeps capacity
+        return buffer;
+    }
+
+    void release(Buffer&& buffer) { free_.push_back(std::move(buffer)); }
+
+    /// Pre-populates the free list so even the first acquisitions are hits.
+    void prime(std::size_t buffers, std::size_t capacity_bytes) {
+        free_.reserve(free_.size() + buffers);
+        for (std::size_t i = 0; i < buffers; ++i) {
+            Buffer buffer;
+            buffer.reserve(capacity_bytes);
+            free_.push_back(std::move(buffer));
+        }
+    }
+
+    [[nodiscard]] std::size_t available() const noexcept { return free_.size(); }
+    [[nodiscard]] std::uint64_t hits() const noexcept { return hits_; }
+    [[nodiscard]] std::uint64_t misses() const noexcept { return misses_; }
+
+  private:
+    std::vector<Buffer> free_;
+    std::uint64_t hits_ = 0;
+    std::uint64_t misses_ = 0;
+};
+
+}  // namespace lfp::util

@@ -1,0 +1,195 @@
+// Open-addressing hash containers for the probe hot path.
+//
+// std::unordered_map allocates one node per insert, which is exactly the
+// per-target heap traffic the census hot path must not pay: the demux table
+// and the in-flight address set churn through one insert+erase per probe
+// slot per target. FlatMap/FlatSet store entries inline in a flat
+// power-of-two array with linear probing, so after a single reserve() the
+// steady-state insert/erase cycle never touches the heap.
+//
+// Deletion uses backward-shift (Robin-Hood-style compaction) instead of
+// tombstones: erase walks the following cluster and moves any entry whose
+// probe distance allows it into the hole, so lookup cost stays bounded by
+// cluster length no matter how many erases the table has seen. That matters
+// here — the demux table sees one erase per match, millions over a census,
+// and tombstone schemes degrade exactly under that load.
+//
+// Not thread-safe; sized for single-ownership per lane. Keys and values
+// must be movable; keys additionally equality-comparable.
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <utility>
+#include <vector>
+
+namespace lfp::util {
+
+template <typename Key, typename Value, typename Hash = std::hash<Key>,
+          typename Equal = std::equal_to<Key>>
+class FlatMap {
+  public:
+    explicit FlatMap(std::size_t expected = 0) {
+        rehash(slot_count_for(expected));
+    }
+
+    [[nodiscard]] std::size_t size() const noexcept { return size_; }
+    [[nodiscard]] bool empty() const noexcept { return size_ == 0; }
+    [[nodiscard]] std::size_t capacity() const noexcept { return slots_.size(); }
+
+    /// Ensures `expected` entries fit without rehashing (and therefore
+    /// without allocating) later.
+    void reserve(std::size_t expected) {
+        const std::size_t wanted = slot_count_for(expected);
+        if (wanted > slots_.size()) rehash(wanted);
+    }
+
+    void clear() noexcept {
+        for (auto& state : states_) state = State::kEmpty;
+        size_ = 0;
+    }
+
+    /// Inserts or overwrites. Returns a pointer to the stored value (stable
+    /// until the next rehash or erase).
+    Value* insert_or_assign(const Key& key, Value value) {
+        if ((size_ + 1) * 8 > slots_.size() * 7) rehash(slots_.size() * 2);
+        const std::size_t mask = slots_.size() - 1;
+        std::size_t index = Hash{}(key)&mask;
+        while (states_[index] == State::kFull) {
+            if (Equal{}(slots_[index].key, key)) {
+                slots_[index].value = std::move(value);
+                return &slots_[index].value;
+            }
+            index = (index + 1) & mask;
+        }
+        states_[index] = State::kFull;
+        slots_[index].key = key;
+        slots_[index].value = std::move(value);
+        ++size_;
+        return &slots_[index].value;
+    }
+
+    [[nodiscard]] Value* find(const Key& key) noexcept {
+        const std::size_t mask = slots_.size() - 1;
+        std::size_t index = Hash{}(key)&mask;
+        while (states_[index] == State::kFull) {
+            if (Equal{}(slots_[index].key, key)) return &slots_[index].value;
+            index = (index + 1) & mask;
+        }
+        return nullptr;
+    }
+
+    [[nodiscard]] const Value* find(const Key& key) const noexcept {
+        return const_cast<FlatMap*>(this)->find(key);
+    }
+
+    [[nodiscard]] bool contains(const Key& key) const noexcept { return find(key) != nullptr; }
+
+    /// Removes `key` if present; returns whether anything was removed.
+    bool erase(const Key& key) noexcept {
+        const std::size_t mask = slots_.size() - 1;
+        std::size_t index = Hash{}(key)&mask;
+        while (states_[index] == State::kFull) {
+            if (Equal{}(slots_[index].key, key)) {
+                remove_at(index);
+                return true;
+            }
+            index = (index + 1) & mask;
+        }
+        return false;
+    }
+
+    /// Visits every live entry as fn(const Key&, Value&). Iteration order is
+    /// the table's internal order — callers needing determinism must sort.
+    template <typename Fn>
+    void for_each(Fn&& fn) {
+        for (std::size_t i = 0; i < slots_.size(); ++i) {
+            if (states_[i] == State::kFull) fn(slots_[i].key, slots_[i].value);
+        }
+    }
+
+  private:
+    enum class State : std::uint8_t { kEmpty, kFull };
+
+    struct Slot {
+        Key key{};
+        Value value{};
+    };
+
+    static std::size_t slot_count_for(std::size_t expected) noexcept {
+        // Keep load factor under 7/8 at `expected` entries, minimum 16 slots.
+        std::size_t slots = 16;
+        while (expected * 8 > slots * 7) slots <<= 1;
+        return slots;
+    }
+
+    void rehash(std::size_t new_slot_count) {
+        std::vector<Slot> old_slots = std::move(slots_);
+        std::vector<State> old_states = std::move(states_);
+        slots_.assign(new_slot_count, Slot{});
+        states_.assign(new_slot_count, State::kEmpty);
+        size_ = 0;
+        for (std::size_t i = 0; i < old_slots.size(); ++i) {
+            if (old_states[i] == State::kFull) {
+                insert_or_assign(old_slots[i].key, std::move(old_slots[i].value));
+            }
+        }
+    }
+
+    /// Backward-shift deletion: close the hole by sliding down any later
+    /// cluster member whose home position permits the move.
+    void remove_at(std::size_t hole) noexcept {
+        const std::size_t mask = slots_.size() - 1;
+        std::size_t probe = hole;
+        for (;;) {
+            probe = (probe + 1) & mask;
+            if (states_[probe] != State::kFull) break;
+            const std::size_t home = Hash{}(slots_[probe].key) & mask;
+            // The entry at `probe` may move into `hole` only if its probe
+            // sequence from `home` passes through `hole` — i.e. the hole is
+            // no earlier in the cluster than the entry's home.
+            if (((probe - home) & mask) >= ((probe - hole) & mask)) {
+                slots_[hole] = std::move(slots_[probe]);
+                hole = probe;
+            }
+        }
+        states_[hole] = State::kEmpty;
+        slots_[hole] = Slot{};
+        --size_;
+    }
+
+    std::vector<Slot> slots_;
+    std::vector<State> states_;
+    std::size_t size_ = 0;
+};
+
+/// Set façade over FlatMap for membership-only tracking (in-flight target
+/// addresses). Same allocation guarantees as FlatMap.
+template <typename Key, typename Hash = std::hash<Key>, typename Equal = std::equal_to<Key>>
+class FlatSet {
+  public:
+    explicit FlatSet(std::size_t expected = 0) : map_(expected) {}
+
+    [[nodiscard]] std::size_t size() const noexcept { return map_.size(); }
+    [[nodiscard]] bool empty() const noexcept { return map_.empty(); }
+    void reserve(std::size_t expected) { map_.reserve(expected); }
+    void clear() noexcept { map_.clear(); }
+
+    /// Returns true if the key was newly inserted.
+    bool insert(const Key& key) {
+        if (map_.contains(key)) return false;
+        map_.insert_or_assign(key, Empty{});
+        return true;
+    }
+
+    [[nodiscard]] bool contains(const Key& key) const noexcept { return map_.contains(key); }
+    bool erase(const Key& key) noexcept { return map_.erase(key); }
+
+  private:
+    struct Empty {};
+    FlatMap<Key, Empty, Hash, Equal> map_;
+};
+
+}  // namespace lfp::util

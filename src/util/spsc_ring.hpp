@@ -20,28 +20,61 @@
 
 namespace lfp::util {
 
+/// Architectural spin hint: tells the core we are in a polling loop so it
+/// can release pipeline resources to the sibling hyper-thread (x86 PAUSE,
+/// arm YIELD). Falls back to an OS yield where no hint instruction exists.
+inline void cpu_relax() noexcept {
+#if defined(__x86_64__) || defined(__i386__)
+    __builtin_ia32_pause();
+#elif defined(__aarch64__) || defined(__arm__)
+    asm volatile("yield" ::: "memory");
+#else
+    std::this_thread::yield();
+#endif
+}
+
 /// Progressive wait for the idle side of a ring (or any producer/consumer
-/// edge): stay on the CPU with yields while the counterpart is likely mid-
-/// operation (cross-thread handoff is then a few microseconds), then fall
-/// back to real sleeps so a genuinely idle wait never burns a core. reset()
-/// on every success.
+/// edge), in three escalating phases so a stalled counterpart never pins a
+/// core for the duration of a 10M-target run:
+///
+///   1. cpu_relax() hints — the counterpart is likely mid-operation and the
+///      handoff lands within nanoseconds; stay on-core without stealing
+///      pipeline slots.
+///   2. sched yields — give up the timeslice but stay runnable; covers the
+///      counterpart being briefly preempted.
+///   3. real sleeps, doubling from the base interval up to a bounded cap —
+///      a genuinely idle wait (slow consumer, stalled lane) costs
+///      negligible CPU while still waking fast once work resumes.
+///
+/// reset() on every success restores both the phase and the base sleep.
 class SpinBackoff {
   public:
     explicit SpinBackoff(std::chrono::microseconds sleep = std::chrono::microseconds(100))
-        : sleep_(sleep) {}
+        : base_sleep_(sleep), sleep_(sleep) {}
 
     void pause() {
-        if (++spins_ <= kSpinLimit) {
+        ++spins_;
+        if (spins_ <= kRelaxLimit) {
+            cpu_relax();
+        } else if (spins_ <= kRelaxLimit + kYieldLimit) {
             std::this_thread::yield();
         } else {
             std::this_thread::sleep_for(sleep_);
+            const auto ceiling = base_sleep_ * kMaxSleepFactor;
+            sleep_ = sleep_ * 2 > ceiling ? ceiling : sleep_ * 2;
         }
     }
 
-    void reset() noexcept { spins_ = 0; }
+    void reset() noexcept {
+        spins_ = 0;
+        sleep_ = base_sleep_;
+    }
 
   private:
-    static constexpr int kSpinLimit = 64;
+    static constexpr int kRelaxLimit = 64;
+    static constexpr int kYieldLimit = 64;
+    static constexpr int kMaxSleepFactor = 32;
+    std::chrono::microseconds base_sleep_;
     std::chrono::microseconds sleep_;
     int spins_ = 0;
 };

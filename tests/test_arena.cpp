@@ -1,0 +1,167 @@
+// Unit tests for the hot-path allocation machinery (util/arena.hpp) and
+// the open-addressing hash containers (util/flat_hash.hpp) the probe
+// engine's steady state is built on. The backward-shift deletion of the
+// FlatMap is the subtle part — it gets an adversarial collision-chain
+// test rather than just smoke coverage.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/arena.hpp"
+#include "util/flat_hash.hpp"
+
+namespace lfp {
+namespace {
+
+// ---------------------------------------------------------------------------
+// BumpArena
+// ---------------------------------------------------------------------------
+
+TEST(BumpArena, BumpsWithinOneBlockAndAligns) {
+    util::BumpArena arena(1 << 12);
+    const auto a = arena.make_span<std::uint8_t>(3);
+    const auto b = arena.make_span<std::uint64_t>(4);
+    ASSERT_EQ(a.size(), 3u);
+    ASSERT_EQ(b.size(), 4u);
+    EXPECT_EQ(reinterpret_cast<std::uintptr_t>(b.data()) % alignof(std::uint64_t), 0u);
+    EXPECT_EQ(arena.bytes_allocated(), 3u + 4u * sizeof(std::uint64_t));
+    for (auto& v : b) v = 7;  // writable, distinct storage
+    EXPECT_EQ(a[0], 0u) << "make_span value-initializes";
+}
+
+TEST(BumpArena, ResetKeepsLargestBlockAndStopsGrowing) {
+    util::BumpArena arena(256);
+    // Force several blocks, including one oversized one.
+    (void)arena.make_span<std::uint8_t>(200);
+    (void)arena.make_span<std::uint8_t>(200);
+    (void)arena.make_span<std::uint8_t>(4000);  // dedicated oversized block
+    const std::size_t peak_reserved = arena.bytes_reserved();
+    EXPECT_GE(peak_reserved, 4000u + 256u);
+
+    arena.reset();
+    EXPECT_EQ(arena.bytes_allocated(), 0u);
+    const std::size_t kept = arena.bytes_reserved();
+    EXPECT_GE(kept, 4000u) << "the largest block survives reset";
+    EXPECT_LT(kept, peak_reserved) << "the smaller blocks are returned";
+
+    // A steady-state pass of the same shape fits in the kept block: the
+    // reserve footprint must not move across repeated reset cycles.
+    for (int pass = 0; pass < 3; ++pass) {
+        (void)arena.make_span<std::uint8_t>(3900);
+        arena.reset();
+        EXPECT_EQ(arena.bytes_reserved(), kept) << "pass " << pass;
+    }
+    EXPECT_EQ(arena.resets(), 4u);
+}
+
+// ---------------------------------------------------------------------------
+// BufferPool
+// ---------------------------------------------------------------------------
+
+TEST(BufferPool, RecyclesCapacityAfterWarmup) {
+    util::BufferPool pool;
+    pool.prime(2, 128);
+    EXPECT_EQ(pool.available(), 2u);
+
+    auto first = pool.acquire();
+    EXPECT_GE(first.capacity(), 128u);
+    first.assign(100, 0xAB);
+    const auto* storage = first.data();
+    pool.release(std::move(first));
+
+    auto second = pool.acquire();
+    EXPECT_EQ(second.data(), storage) << "a released buffer is reused, capacity intact";
+    EXPECT_TRUE(second.empty()) << "acquire() clears contents but keeps capacity";
+    EXPECT_EQ(pool.hits(), 2u);
+    EXPECT_EQ(pool.misses(), 0u);
+
+    pool.release(std::move(second));
+    (void)pool.acquire();
+    (void)pool.acquire();  // second live acquire outruns the primed pair
+    auto miss = pool.acquire();
+    EXPECT_TRUE(miss.empty());
+    EXPECT_EQ(pool.misses(), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// FlatMap / FlatSet
+// ---------------------------------------------------------------------------
+
+/// Forces every key into one bucket neighbourhood so erase() must exercise
+/// backward-shift compaction across a maximal collision chain.
+struct CollidingHash {
+    std::size_t operator()(std::uint32_t) const noexcept { return 42; }
+};
+
+TEST(FlatMap, InsertFindEraseSurvivesRehash) {
+    util::FlatMap<std::uint32_t, std::string, std::hash<std::uint32_t>> map;
+    map.reserve(4);
+    constexpr std::uint32_t kCount = 1000;  // far past any initial capacity
+    for (std::uint32_t k = 0; k < kCount; ++k) {
+        map.insert_or_assign(k, std::to_string(k));
+    }
+    ASSERT_EQ(map.size(), kCount);
+    for (std::uint32_t k = 0; k < kCount; ++k) {
+        const auto* value = map.find(k);
+        ASSERT_NE(value, nullptr) << k;
+        EXPECT_EQ(*value, std::to_string(k));
+    }
+    EXPECT_FALSE(map.contains(kCount + 1));
+
+    // insert_or_assign really assigns.
+    map.insert_or_assign(7, "seven");
+    EXPECT_EQ(*map.find(7), "seven");
+
+    // Erase every third key; the rest must stay reachable.
+    for (std::uint32_t k = 0; k < kCount; k += 3) EXPECT_TRUE(map.erase(k));
+    EXPECT_FALSE(map.erase(0)) << "double erase reports absence";
+    for (std::uint32_t k = 0; k < kCount; ++k) {
+        EXPECT_EQ(map.contains(k), k % 3 != 0) << k;
+    }
+
+    std::size_t visited = 0;
+    map.for_each([&](const std::uint32_t&, const std::string&) { ++visited; });
+    EXPECT_EQ(visited, map.size());
+}
+
+TEST(FlatMap, BackwardShiftDeletionKeepsCollisionChainsIntact) {
+    // All keys collide into one chain. Deleting from the front, middle and
+    // back of the chain must never strand a later key behind an empty slot
+    // — the classic open-addressing deletion bug.
+    util::FlatMap<std::uint32_t, int, CollidingHash> map;
+    for (std::uint32_t k = 0; k < 12; ++k) map.insert_or_assign(k, static_cast<int>(k));
+
+    EXPECT_TRUE(map.erase(0));   // head of the chain
+    EXPECT_TRUE(map.erase(6));   // middle
+    EXPECT_TRUE(map.erase(11));  // tail
+    for (std::uint32_t k = 0; k < 12; ++k) {
+        const bool erased = k == 0 || k == 6 || k == 11;
+        ASSERT_EQ(map.contains(k), !erased) << k;
+        if (!erased) {
+            EXPECT_EQ(*map.find(k), static_cast<int>(k));
+        }
+    }
+    // Reinsertion after the shifts still works.
+    map.insert_or_assign(6, -6);
+    EXPECT_EQ(*map.find(6), -6);
+    EXPECT_EQ(map.size(), 10u);
+}
+
+TEST(FlatSet, InsertIsIdempotentAndEraseReports) {
+    util::FlatSet<std::uint32_t> set;
+    set.reserve(8);
+    EXPECT_TRUE(set.insert(5));
+    EXPECT_FALSE(set.insert(5)) << "duplicate insert is a no-op";
+    EXPECT_TRUE(set.insert(9));
+    EXPECT_EQ(set.size(), 2u);
+    EXPECT_TRUE(set.contains(5));
+    EXPECT_TRUE(set.erase(5));
+    EXPECT_FALSE(set.erase(5));
+    EXPECT_FALSE(set.contains(5));
+    EXPECT_TRUE(set.contains(9));
+}
+
+}  // namespace
+}  // namespace lfp

@@ -120,6 +120,37 @@ TEST(SignatureStore, FileRoundTrip) {
     EXPECT_FALSE(load_signatures_file("/no/such/dir/f.txt").has_value());
 }
 
+TEST(SignatureStore, PassStatsRoundTrip) {
+    const auto original = sample_database();
+    const std::vector<core::PassStats> stats = {{.probed = 500, .upgraded = 0, .incomplete = 25},
+                                                {.probed = 25, .upgraded = 18, .incomplete = 7}};
+    std::stringstream buffer;
+    save_signatures(buffer, original, stats);
+
+    // A loader that asks for the trajectory gets it back verbatim.
+    std::vector<core::PassStats> loaded_stats;
+    auto loaded = load_signatures(buffer, {.min_occurrences = 1}, &loaded_stats);
+    ASSERT_TRUE(loaded.has_value());
+    EXPECT_EQ(loaded.value().signatures().size(), original.signatures().size());
+    ASSERT_EQ(loaded_stats.size(), stats.size());
+    EXPECT_EQ(loaded_stats[0], stats[0]);
+    EXPECT_EQ(loaded_stats[1], stats[1]);
+
+    // The metadata lines are comments to a loader that doesn't ask.
+    std::stringstream again;
+    save_signatures(again, original, stats);
+    auto plain = load_signatures(again, {.min_occurrences = 1});
+    ASSERT_TRUE(plain.has_value());
+    EXPECT_EQ(plain.value().signatures().size(), original.signatures().size());
+
+    // Files without metadata leave a requested vector empty.
+    std::stringstream bare;
+    save_signatures(bare, original);
+    std::vector<core::PassStats> none = {{.probed = 1}};
+    ASSERT_TRUE(load_signatures(bare, {.min_occurrences = 1}, &none).has_value());
+    EXPECT_TRUE(none.empty());
+}
+
 TEST(CsvEscape, QuotesWhenNeeded) {
     EXPECT_EQ(csv_escape("plain"), "plain");
     EXPECT_EQ(csv_escape("a,b"), "\"a,b\"");
@@ -135,13 +166,23 @@ TEST(CsvExport, MeasurementRows) {
     record.lfp.vendor = stack::Vendor::cisco;
     record.lfp.kind = core::MatchKind::unique_full;
     record.signature = core::Signature::from_parts("a b c", 0b111);
+    record.pass = 2;
     measurement.records.push_back(record);
 
     std::stringstream out;
     export_measurement_csv(out, measurement);
     const std::string text = out.str();
-    EXPECT_NE(text.find("ip,responsive_protocols"), std::string::npos);
-    EXPECT_NE(text.find("5.1.2.3,0,Cisco,Cisco,unique,a b c"), std::string::npos);
+    EXPECT_NE(text.find("ip,responsive_protocols,snmp_vendor,lfp_vendor,match_kind,pass,signature"),
+              std::string::npos);
+    EXPECT_NE(text.find("5.1.2.3,0,Cisco,Cisco,unique,2,a b c"), std::string::npos);
+}
+
+TEST(CsvExport, PassStatsRows) {
+    const std::vector<core::PassStats> stats = {{.probed = 1000, .upgraded = 0, .incomplete = 40},
+                                                {.probed = 40, .upgraded = 31, .incomplete = 9}};
+    std::stringstream out;
+    export_pass_stats_csv(out, stats);
+    EXPECT_EQ(out.str(), "pass,probed,upgraded,incomplete\n0,1000,0,40\n1,40,31,9\n");
 }
 
 TEST(CsvExport, TracerouteRows) {
