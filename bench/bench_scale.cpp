@@ -266,7 +266,10 @@ int main() {
                   << "\n";
         if (!fast_enough && !smoke) ok = false;
     } else {
-        std::cout << "Throughput gate: no previous full run recorded; baseline only\n";
+        std::cout << "Throughput gate: NO BASELINE — " << json_path
+                  << " has no previous full (non-smoke) run, so the 0.8x floor cannot bind. "
+                     "This run PASSES by default and records the baseline the next full run "
+                     "will be gated against.\n";
     }
 
     std::ostringstream entry;

@@ -1,0 +1,176 @@
+// Census-as-a-service read-path benchmark: point-lookup QPS and tail
+// latency against a live SnapshotStore *while a census pass absorbs and
+// publishes underneath the readers* — the property the RCU-style snapshot
+// swap exists to provide.
+//
+// Shape: a ScaleTransport world (stateless hash-derived personas, so the
+// census engine is the only real work) feeds a CensusService. Census v1
+// publishes synchronously; then a second census runs on a background
+// thread while the main thread hammers QueryEngine::vendor_of() with
+// per-query steady_clock timing. Queries answered during the concurrent
+// pass form the measured window; the version flip (v1 -> v2 mid-loop with
+// no blocked or failed read) is asserted, not just observed.
+//
+// Gates (binding, smoke included — the read path is load-independent):
+//   - point-lookup QPS while the pass absorbs >= 100k
+//   - p99 lookup latency < 1 ms
+//
+// Env knobs: LFP_BENCH_SMOKE=1 shrinks the world for CI PRs;
+// LFP_BENCH_TARGETS overrides the target count outright.
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/query.hpp"
+#include "serve/service.hpp"
+#include "sim/scale_world.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace lfp;
+
+std::uint64_t env_u64(const char* name, std::uint64_t fallback) {
+    const char* value = std::getenv(name);
+    if (value == nullptr || *value == '\0') return fallback;
+    char* end = nullptr;
+    const unsigned long long parsed = std::strtoull(value, &end, 10);
+    return (end != nullptr && *end == '\0') ? parsed : fallback;
+}
+
+std::vector<net::IPv4Address> make_targets(std::size_t count) {
+    std::vector<net::IPv4Address> targets;
+    targets.reserve(count);
+    for (std::size_t i = 0; i < count; ++i) {
+        targets.push_back(net::IPv4Address(0x0B000000u + static_cast<std::uint32_t>(i)));
+    }
+    return targets;
+}
+
+}  // namespace
+
+int main() {
+    const bool smoke = env_u64("LFP_BENCH_SMOKE", 0) != 0;
+    const std::size_t target_count =
+        static_cast<std::size_t>(env_u64("LFP_BENCH_TARGETS", smoke ? 60'000 : 200'000));
+
+    sim::ScaleTransport transport({.seed = 42, .responsive_fraction = 0.65, .loss_rate = 0.02});
+    core::CensusPlan plan;
+    plan.name = "bench-serve";
+    plan.targets = make_targets(target_count);
+    plan.vantages.push_back(&transport);
+    plan.campaign.window = 64;
+    plan.passes = 2;
+    plan.worker_threads = 0;  // one worker per hardware thread
+
+    serve::ServiceConfig config;
+    config.name = "bench-serve";
+    config.run_immediately = false;
+    serve::CensusService service(std::move(plan), config);
+    const serve::QueryEngine engine(service.store());
+
+    std::cout << "bench_serve: " << target_count << " targets"
+              << (smoke ? " (smoke)" : "") << "\n";
+
+    const auto census_start = std::chrono::steady_clock::now();
+    const std::uint64_t v1 = service.run_census_now();
+    const double census_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - census_start).count();
+    std::cout << "census v" << v1 << ": " << util::format_double(census_seconds, 2) << " s ("
+              << util::format_double(static_cast<double>(target_count) / census_seconds, 0)
+              << " targets/sec)\n";
+
+    // --- the measured window: queries racing a concurrent census ----------
+    std::atomic<bool> census_running{true};
+    std::thread census_thread([&service, &census_running] {
+        (void)service.run_census_now();
+        census_running.store(false, std::memory_order_release);
+    });
+
+    std::vector<std::uint32_t> latency_ns;
+    latency_ns.reserve(smoke ? 1u << 22 : 1u << 23);
+    const std::vector<net::IPv4Address>& targets = service.runner().plan().targets;
+    std::uint64_t queries = 0;
+    std::uint64_t known = 0;
+    std::uint64_t served_v1 = 0;
+    std::uint64_t served_v2 = 0;
+    std::size_t cursor = 0;
+    // Stride coprime with the target count walks the whole address set
+    // rather than hot-looping one cache line.
+    const std::size_t stride = 7919;
+
+    const auto window_start = std::chrono::steady_clock::now();
+    while (census_running.load(std::memory_order_acquire)) {
+        const net::IPv4Address target = targets[cursor];
+        cursor = (cursor + stride) % targets.size();
+        const auto t0 = std::chrono::steady_clock::now();
+        const serve::VendorAnswer answer = engine.vendor_of(target);
+        const auto t1 = std::chrono::steady_clock::now();
+        if (latency_ns.size() < latency_ns.capacity()) {
+            latency_ns.push_back(static_cast<std::uint32_t>(
+                std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0).count()));
+        }
+        ++queries;
+        if (answer.known) ++known;
+        if (answer.version == v1) ++served_v1;
+        if (answer.version == v1 + 1) ++served_v2;
+    }
+    const double window_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - window_start).count();
+    census_thread.join();
+
+    const double qps = static_cast<double>(queries) / window_seconds;
+    std::sort(latency_ns.begin(), latency_ns.end());
+    const auto percentile = [&latency_ns](double p) -> double {
+        if (latency_ns.empty()) return 0.0;
+        const std::size_t index = std::min(
+            latency_ns.size() - 1,
+            static_cast<std::size_t>(p * static_cast<double>(latency_ns.size())));
+        return static_cast<double>(latency_ns[index]);
+    };
+
+    std::cout << "concurrent window: " << util::format_double(window_seconds, 2) << " s, "
+              << queries << " lookups (" << known << " known), v" << v1 << " answered "
+              << served_v1 << ", v" << (v1 + 1) << " answered " << served_v2 << "\n"
+              << "QPS while absorbing: " << util::format_double(qps, 0) << "\n"
+              << "latency ns p50/p90/p99/max: " << util::format_double(percentile(0.50), 0)
+              << " / " << util::format_double(percentile(0.90), 0) << " / "
+              << util::format_double(percentile(0.99), 0) << " / "
+              << (latency_ns.empty() ? 0 : latency_ns.back()) << "\n";
+
+    bool ok = true;
+    if (service.store().current() == nullptr ||
+        service.store().current()->version() != v1 + 1) {
+        std::cout << "FAIL: second census never published (store at v"
+                  << (service.store().current() ? service.store().current()->version() : 0)
+                  << ")\n";
+        ok = false;
+    }
+    if (served_v1 == 0) {
+        std::cout << "FAIL: no query was answered from v1 during the concurrent pass — the "
+                     "window raced past the census\n";
+        ok = false;
+    }
+    if (queries != served_v1 + served_v2) {
+        std::cout << "FAIL: " << (queries - served_v1 - served_v2)
+                  << " queries saw neither v1 nor v2 — readers observed a torn/absent "
+                     "snapshot\n";
+        ok = false;
+    }
+    if (known == 0) {
+        std::cout << "FAIL: no lookup hit a census target\n";
+        ok = false;
+    }
+    const double p99 = percentile(0.99);
+    std::cout << "QPS gate (>= 100000): " << (qps >= 100000.0 ? "PASS" : "FAIL") << "\n";
+    if (qps < 100000.0) ok = false;
+    std::cout << "p99 gate (< 1 ms): " << (p99 < 1e6 ? "PASS" : "FAIL") << "\n";
+    if (p99 >= 1e6) ok = false;
+
+    return ok ? 0 : 1;
+}

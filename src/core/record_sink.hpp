@@ -18,6 +18,7 @@
 #include <fstream>
 #include <memory>
 #include <string>
+#include <unordered_map>
 #include <utility>
 #include <vector>
 
@@ -69,14 +70,43 @@ class CollectingSink final : public RecordSink {
 /// totals (counts are additive), so a database fed by this sink across
 /// several datasets and then finalized is byte-identical to the batch
 /// build. Forwards every record downstream when a next sink is given.
+///
+/// Pass-aware mode (Options::retract_superseded): a multi-pass producer may
+/// feed the sink *per pass* — the same global index arrives again whenever a
+/// retry pass upgraded that target's record. The sink then retracts the
+/// superseded record's absorbed contribution before absorbing the upgrade,
+/// so after any add/retract sequence the database holds exactly what a
+/// final-records-only absorption would — signature aggregation can overlap
+/// multi-pass probing instead of waiting for the last pass (the serving
+/// layer's incremental snapshot build rides this). Without the option the
+/// classic stream contract applies: each index exactly once.
+struct AbsorbOptions {
+    /// Accept repeated global indices, retracting the previously absorbed
+    /// contribution of a superseded record before absorbing its upgrade.
+    bool retract_superseded = false;
+};
+
 class SignatureAbsorbSink final : public RecordSink {
   public:
-    explicit SignatureAbsorbSink(SignatureDatabase& database, RecordSink* next = nullptr)
-        : database_(&database), next_(next) {}
+    using Options = AbsorbOptions;
+
+    explicit SignatureAbsorbSink(SignatureDatabase& database, RecordSink* next = nullptr,
+                                 Options options = {})
+        : database_(&database), next_(next), options_(options) {}
 
     void accept(std::uint64_t global_index, TargetRecord&& record) override {
+        if (options_.retract_superseded) {
+            if (auto it = absorbed_.find(global_index); it != absorbed_.end()) {
+                database_->retract_labeled(it->second.signature, it->second.vendor);
+                absorbed_.erase(it);
+            }
+        }
         if (record.snmp_vendor && !record.features.empty()) {
             database_->add_labeled(record.signature, *record.snmp_vendor);
+            if (options_.retract_superseded) {
+                absorbed_.emplace(global_index,
+                                  Absorbed{record.signature, *record.snmp_vendor});
+            }
         }
         if (next_ != nullptr) next_->accept(global_index, std::move(record));
     }
@@ -86,8 +116,17 @@ class SignatureAbsorbSink final : public RecordSink {
     }
 
   private:
+    struct Absorbed {
+        Signature signature;
+        stack::Vendor vendor;
+    };
+
     SignatureDatabase* database_;
     RecordSink* next_;
+    Options options_;
+    /// Pass-aware mode only: what each global index last contributed, so a
+    /// superseding record can withdraw it.
+    std::unordered_map<std::uint64_t, Absorbed> absorbed_;
 };
 
 /// Collects the retry population for multi-pass probing as records stream

@@ -34,6 +34,27 @@ void SignatureDatabase::add_labeled(const Signature& signature, stack::Vendor ve
     stats.total += count;
 }
 
+void SignatureDatabase::retract_labeled(const Signature& signature, stack::Vendor vendor,
+                                        std::size_t count) {
+    assert(!finalized_);
+    if (signature.is_empty() || vendor == stack::Vendor::unknown || count == 0) return;
+    auto it = raw_.find(signature);
+    assert(it != raw_.end() && "retracting a signature never absorbed");
+    if (it == raw_.end()) return;
+    SignatureStats& stats = it->second;
+    auto vendor_it = stats.vendor_counts.find(vendor);
+    assert(vendor_it != stats.vendor_counts.end() && vendor_it->second >= count &&
+           stats.total >= count && "retracting more than was absorbed");
+    if (vendor_it == stats.vendor_counts.end() || vendor_it->second < count ||
+        stats.total < count) {
+        return;
+    }
+    vendor_it->second -= count;
+    stats.total -= count;
+    if (vendor_it->second == 0) stats.vendor_counts.erase(vendor_it);
+    if (stats.total == 0) raw_.erase(it);
+}
+
 void SignatureDatabase::absorb(const SignatureDatabase& other) {
     assert(!finalized_);
     for (const auto& [signature, stats] : other.raw_) {

@@ -41,6 +41,18 @@ class SignatureDatabase {
     /// naturally as non-unique signatures.
     void add_labeled(const Signature& signature, stack::Vendor vendor, std::size_t count = 1);
 
+    /// Withdraws `count` previously added labeled samples — the inverse of
+    /// add_labeled, and the retraction half of pass-aware incremental
+    /// absorption: when a retry pass supersedes a record whose signature was
+    /// already absorbed, the superseded contribution is retracted before the
+    /// upgrade is absorbed, so add/retract sequences land on exactly the
+    /// counts a final-records-only absorption would. Mirrors add_labeled's
+    /// input filter (empty signatures, unknown vendors, zero counts are
+    /// no-ops), and retracting more than was added is a logic error
+    /// (asserted). Only valid before finalize().
+    void retract_labeled(const Signature& signature, stack::Vendor vendor,
+                         std::size_t count = 1);
+
     /// Folds another (unfinalized) database's accumulated counts into this
     /// one. Counts are additive and keyed by signature, so absorbing shard
     /// databases in any order yields the same totals — the merge step of the

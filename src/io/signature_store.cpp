@@ -81,21 +81,27 @@ util::Result<core::Signature> parse_signature_line(std::string_view mask_field,
 namespace {
 
 /// Parses a "#: pass <p> probed <n> upgraded <n> incomplete <n>" metadata
-/// line into `stats` (growing it so entry p holds pass p). Malformed
-/// metadata is ignored — to an older reader these lines are comments, and
-/// a newer reader should not reject a database over an optional trailer.
-void parse_pass_stats_line(std::string_view body, std::vector<core::PassStats>& stats) {
+/// line into `stats` (growing it so entry p holds pass p). Returns false on
+/// a truncated or malformed line: a '#:' line is *this* writer's own
+/// structured metadata, so a line that fails to parse means the artifact
+/// was cut short or corrupted mid-write — the loader reports a structured
+/// error instead of best-effort-skipping it, and a serving layer can refuse
+/// to publish the snapshot. (To an *older* reader the lines are still plain
+/// comments; only a reader that understands '#:' validates them.)
+[[nodiscard]] bool parse_pass_stats_line(std::string_view body,
+                                         std::vector<core::PassStats>& stats) {
     std::size_t pass = 0;
     core::PassStats parsed;
     std::istringstream fields{std::string(body)};
     std::string word;
-    if (!(fields >> word >> pass) || word != "pass") return;
-    if (!(fields >> word >> parsed.probed) || word != "probed") return;
-    if (!(fields >> word >> parsed.upgraded) || word != "upgraded") return;
-    if (!(fields >> word >> parsed.incomplete) || word != "incomplete") return;
-    if (pass > 4096) return;  // corrupt index; don't let it size the vector
+    if (!(fields >> word >> pass) || word != "pass") return false;
+    if (!(fields >> word >> parsed.probed) || word != "probed") return false;
+    if (!(fields >> word >> parsed.upgraded) || word != "upgraded") return false;
+    if (!(fields >> word >> parsed.incomplete) || word != "incomplete") return false;
+    if (pass > 4096) return false;  // corrupt index; don't let it size the vector
     if (stats.size() <= pass) stats.resize(pass + 1);
     stats[pass] = parsed;
+    return true;
 }
 
 }  // namespace
@@ -111,7 +117,16 @@ util::Result<core::SignatureDatabase> load_signatures(std::istream& in,
         ++line_number;
         const std::string_view view = trim(line);
         if (view.rfind("#:", 0) == 0) {
-            if (pass_stats != nullptr) parse_pass_stats_line(trim(view.substr(2)), *pass_stats);
+            // Structured metadata is validated whether or not the caller
+            // asked for it back — a truncated trailer means a truncated
+            // artifact, and callers (the serving layer in particular) must
+            // be able to refuse it rather than publish half a census.
+            std::vector<core::PassStats> scratch;
+            std::vector<core::PassStats>& into = pass_stats != nullptr ? *pass_stats : scratch;
+            if (!parse_pass_stats_line(trim(view.substr(2)), into)) {
+                return util::make_error("line " + std::to_string(line_number) +
+                                        ": truncated '#:' pass metadata line");
+            }
             continue;
         }
         if (view.empty() || view.front() == '#') continue;

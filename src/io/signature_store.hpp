@@ -37,7 +37,11 @@ bool save_signatures_file(const std::string& path, const core::SignatureDatabase
 /// Parses a previously saved database. The result is finalized with the
 /// given config (threshold re-applied on load). When `pass_stats` is
 /// non-null, any '#:' pass-trajectory lines are parsed into it (entry p =
-/// pass p); files without the metadata leave it empty.
+/// pass p); files without the metadata leave it empty. A '#:' line that
+/// fails to parse (truncated mid-write, corrupted) is a structured error —
+/// the metadata is this format's own trailer, and a loader that can see it
+/// is damaged must say so rather than best-effort skip it, so a serving
+/// layer can refuse to publish a corrupt snapshot.
 [[nodiscard]] util::Result<core::SignatureDatabase> load_signatures(
     std::istream& in, core::SignatureDbConfig config = {},
     std::vector<core::PassStats>* pass_stats = nullptr);

@@ -1,0 +1,112 @@
+#include "serve/query.hpp"
+
+#include <array>
+#include <utility>
+
+#include "analysis/path_analysis.hpp"
+
+namespace lfp::serve {
+
+namespace {
+
+std::optional<stack::Vendor> vendor_or_nullopt(std::uint8_t raw) {
+    if (raw == core::kNoVendor) return std::nullopt;
+    return static_cast<stack::Vendor>(raw);
+}
+
+}  // namespace
+
+VendorAnswer QueryEngine::vendor_of(net::IPv4Address target) const {
+    VendorAnswer answer;
+    const std::shared_ptr<const Snapshot> snapshot = store_->current();
+    if (snapshot == nullptr) return answer;
+    answer.version = snapshot->version();
+    const core::CompactRecord* record = snapshot->find(target);
+    if (record == nullptr) return answer;
+    answer.known = true;
+    answer.responsive = !record->features.empty() || record->snmp_vendor != core::kNoVendor ||
+                        core::mask_any_response(record->response_mask);
+    answer.asn = snapshot->asn_of(target);
+    answer.snmp_vendor = vendor_or_nullopt(record->snmp_vendor);
+    answer.lfp_vendor = vendor_or_nullopt(record->lfp_vendor);
+    answer.kind = static_cast<core::MatchKind>(record->lfp_kind);
+    answer.confidence = record->lfp_confidence;
+    answer.pass = record->pass;
+    return answer;
+}
+
+AsMixAnswer QueryEngine::as_mix(std::uint32_t asn) const {
+    AsMixAnswer answer;
+    answer.asn = asn;
+    const std::shared_ptr<const Snapshot> snapshot = store_->current();
+    if (snapshot == nullptr) return answer;
+    answer.version = snapshot->version();
+    if (const analysis::AsCoverage* mix = snapshot->as_mix(asn)) answer.mix = *mix;
+    return answer;
+}
+
+PathProfile QueryEngine::path_profile(std::span<const net::IPv4Address> hops) const {
+    PathProfile profile;
+    const std::shared_ptr<const Snapshot> snapshot = store_->current();
+    profile.hops.reserve(hops.size());
+    std::vector<stack::Vendor> identified;
+    for (const net::IPv4Address hop : hops) {
+        PathProfile::Hop entry;
+        entry.address = hop;
+        if (snapshot != nullptr) {
+            if (const core::CompactRecord* record = snapshot->find(hop)) {
+                entry.known = true;
+                ++profile.known_hops;
+                if (record->snmp_vendor != core::kNoVendor) {
+                    entry.vendor = static_cast<stack::Vendor>(record->snmp_vendor);
+                } else if (record->lfp_vendor != core::kNoVendor) {
+                    entry.vendor = static_cast<stack::Vendor>(record->lfp_vendor);
+                }
+                if (entry.vendor) {
+                    ++profile.identified_hops;
+                    identified.push_back(*entry.vendor);
+                }
+            }
+        }
+        profile.hops.push_back(entry);
+    }
+    if (snapshot != nullptr) profile.version = snapshot->version();
+    if (!identified.empty()) {
+        profile.combination = analysis::combination_key(std::move(identified));
+    }
+    return profile;
+}
+
+util::Result<SnapshotDiff> QueryEngine::diff(std::uint64_t from_version,
+                                             std::uint64_t to_version) const {
+    const std::shared_ptr<const Snapshot> from = store_->version(from_version);
+    if (from == nullptr) {
+        return util::make_error("version " + std::to_string(from_version) +
+                                " not retained (ring keeps the last " +
+                                std::to_string(store_->retain_limit()) + ")");
+    }
+    const std::shared_ptr<const Snapshot> to = store_->version(to_version);
+    if (to == nullptr) {
+        return util::make_error("version " + std::to_string(to_version) +
+                                " not retained (ring keeps the last " +
+                                std::to_string(store_->retain_limit()) + ")");
+    }
+
+    SnapshotDiff result;
+    result.from_version = from_version;
+    result.to_version = to_version;
+    result.from_pass_stats = from->pass_stats();
+    result.to_pass_stats = to->pass_stats();
+
+    // Delegate the signature comparison to the batch longitudinal analysis:
+    // expand both snapshots to Measurements (classifications and pass
+    // provenance intact) and diff them as a two-snapshot series.
+    const std::array<core::Measurement, 2> series{from->expand(), to->expand()};
+    analysis::LongitudinalReport report = analysis::signature_stability(series);
+    if (!report.pairs.empty()) result.stability = std::move(report.pairs.front());
+    result.stability.first = from->name() + "@v" + std::to_string(from_version);
+    result.stability.second = to->name() + "@v" + std::to_string(to_version);
+    return result;
+}
+
+}  // namespace lfp::serve

@@ -1,0 +1,100 @@
+// The serving layer's read path: every query resolves against one coherent
+// snapshot (one SnapshotStore::current() load — lock-free with respect to
+// publishers), so answers within a query never mix censuses even while the
+// next pass is absorbing. The four query families mirror the paper's
+// operator-facing results: vendor-of-IP point lookups (§7.1), AS
+// vendor-mix aggregates (§7.2, over analysis::AsCoverage), path vendor
+// profiles (§6, via analysis::combination_key), and snapshot diffs
+// delegating to analysis/longitudinal with the pass provenance the io
+// formats persist.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "analysis/longitudinal.hpp"
+#include "serve/snapshot.hpp"
+#include "util/result.hpp"
+
+namespace lfp::serve {
+
+/// Point-lookup answer. `version` 0 = nothing published yet; `known`
+/// false = the address was not in the census target list.
+struct VendorAnswer {
+    std::uint64_t version = 0;
+    bool known = false;
+    bool responsive = false;
+    std::optional<std::uint32_t> asn;
+    std::optional<stack::Vendor> snmp_vendor;
+    std::optional<stack::Vendor> lfp_vendor;
+    core::MatchKind kind = core::MatchKind::none;
+    double confidence = 0.0;
+    std::uint16_t pass = 0;
+
+    /// SNMP ground truth when present, else the LFP verdict (the
+    /// RouterVerdict::combined() rule).
+    [[nodiscard]] std::optional<stack::Vendor> combined() const {
+        return snmp_vendor ? snmp_vendor : lfp_vendor;
+    }
+};
+
+/// AS vendor-mix answer: nullopt mix = the AS was not observed in the
+/// snapshot (or no ASN resolver is configured — see Snapshot::as_mixes).
+struct AsMixAnswer {
+    std::uint64_t version = 0;
+    std::uint32_t asn = 0;
+    std::optional<analysis::AsCoverage> mix;
+};
+
+/// Per-path vendor profile for a caller-supplied hop list (a traceroute's
+/// router hops): the serving-time form of the §6 path analyses.
+struct PathProfile {
+    std::uint64_t version = 0;
+
+    struct Hop {
+        net::IPv4Address address;
+        bool known = false;
+        std::optional<stack::Vendor> vendor;  ///< combined verdict
+    };
+    std::vector<Hop> hops;
+    std::size_t known_hops = 0;
+    std::size_t identified_hops = 0;
+    /// Canonical sorted vendor-set key (analysis::combination_key); empty
+    /// when no hop was identified.
+    std::string combination;
+};
+
+/// Snapshot diff: signature stability between two retained versions plus
+/// both censuses' pass trajectories (the PR 6 provenance).
+struct SnapshotDiff {
+    std::uint64_t from_version = 0;
+    std::uint64_t to_version = 0;
+    analysis::SnapshotPairStability stability;
+    std::vector<core::PassStats> from_pass_stats;
+    std::vector<core::PassStats> to_pass_stats;
+};
+
+class QueryEngine {
+  public:
+    explicit QueryEngine(const SnapshotStore& store) : store_(&store) {}
+
+    /// The snapshot the next query would answer from (nullptr before the
+    /// first publish).
+    [[nodiscard]] std::shared_ptr<const Snapshot> snapshot() const { return store_->current(); }
+
+    [[nodiscard]] VendorAnswer vendor_of(net::IPv4Address target) const;
+    [[nodiscard]] AsMixAnswer as_mix(std::uint32_t asn) const;
+    [[nodiscard]] PathProfile path_profile(std::span<const net::IPv4Address> hops) const;
+
+    /// Diffs two retained snapshot versions (error when either aged out of
+    /// the retention ring or was never published).
+    [[nodiscard]] util::Result<SnapshotDiff> diff(std::uint64_t from_version,
+                                                  std::uint64_t to_version) const;
+
+  private:
+    const SnapshotStore* store_;
+};
+
+}  // namespace lfp::serve

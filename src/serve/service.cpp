@@ -1,0 +1,155 @@
+#include "serve/service.hpp"
+
+#include <charconv>
+#include <cstdlib>
+#include <filesystem>
+#include <utility>
+
+#ifndef _WIN32
+#include <unistd.h>
+#endif
+
+namespace lfp::serve {
+
+namespace {
+
+std::uint64_t env_u64(const char* name, std::uint64_t fallback) {
+    const char* value = std::getenv(name);
+    if (value == nullptr || *value == '\0') return fallback;
+    std::uint64_t parsed = 0;
+    const char* end = value;
+    while (*end != '\0') ++end;
+    auto [ptr, ec] = std::from_chars(value, end, parsed);
+    if (ec != std::errc{} || ptr != end) return fallback;
+    return parsed;
+}
+
+}  // namespace
+
+PassScheduler::PassScheduler(std::function<void()> pass, Options options)
+    : pass_(std::move(pass)), options_(options) {}
+
+PassScheduler::~PassScheduler() { stop(); }
+
+void PassScheduler::start() {
+    std::lock_guard<std::mutex> guard(mutex_);
+    if (running_) return;
+    running_ = true;
+    stop_requested_ = false;
+    if (options_.run_immediately) trigger_pending_ = true;
+    thread_ = std::thread([this] { run(); });
+}
+
+void PassScheduler::stop() {
+    {
+        std::lock_guard<std::mutex> guard(mutex_);
+        if (!running_) return;
+        stop_requested_ = true;
+    }
+    cv_.notify_all();
+    thread_.join();
+    std::lock_guard<std::mutex> guard(mutex_);
+    running_ = false;
+}
+
+void PassScheduler::trigger() {
+    bool need_start = false;
+    {
+        std::lock_guard<std::mutex> guard(mutex_);
+        trigger_pending_ = true;
+        need_start = !running_;
+    }
+    if (need_start) {
+        // start() takes the lock itself; run_immediately already queued one
+        // pass when set, but trigger_pending_ is a flag, not a counter, so
+        // the two requests coalesce.
+        start();
+    }
+    cv_.notify_all();
+}
+
+std::uint64_t PassScheduler::passes_completed() const {
+    std::lock_guard<std::mutex> guard(mutex_);
+    return completed_;
+}
+
+bool PassScheduler::wait_for_passes(std::uint64_t count, std::chrono::milliseconds timeout) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    return cv_.wait_for(lock, timeout, [this, count] { return completed_ >= count; });
+}
+
+void PassScheduler::run() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    while (true) {
+        if (options_.interval.count() > 0) {
+            // Recurring mode: wake on the timer, a trigger, or stop.
+            cv_.wait_for(lock, options_.interval,
+                         [this] { return stop_requested_ || trigger_pending_; });
+            if (stop_requested_) return;
+            // A timer expiry with no explicit trigger is itself a pass.
+            trigger_pending_ = false;
+        } else {
+            cv_.wait(lock, [this] { return stop_requested_ || trigger_pending_; });
+            if (stop_requested_) return;
+            trigger_pending_ = false;
+        }
+        lock.unlock();
+        pass_();
+        lock.lock();
+        ++completed_;
+        cv_.notify_all();
+    }
+}
+
+ServiceConfig ServiceConfig::from_env() { return from_env(ServiceConfig{}); }
+
+ServiceConfig ServiceConfig::from_env(ServiceConfig base) {
+    base.interval = std::chrono::milliseconds(
+        env_u64("LFP_SERVE_INTERVAL_MS", static_cast<std::uint64_t>(base.interval.count())));
+    base.retain = static_cast<std::size_t>(env_u64("LFP_SERVE_RETAIN", base.retain));
+    return base;
+}
+
+std::string default_socket_path() {
+    if (const char* path = std::getenv("LFP_SERVE_SOCKET"); path != nullptr && *path != '\0') {
+        return path;
+    }
+    const std::filesystem::path dir = std::filesystem::temp_directory_path();
+#ifndef _WIN32
+    return (dir / ("lfp_serve." + std::to_string(::getuid()) + ".sock")).string();
+#else
+    return (dir / "lfp_serve.sock").string();
+#endif
+}
+
+CensusService::CensusService(core::CensusPlan plan, ServiceConfig config)
+    : config_(std::move(config)),
+      runner_(std::move(plan)),
+      store_(config_.retain),
+      scheduler_([this] { run_census_now(); },
+                 {.interval = config_.interval, .run_immediately = config_.run_immediately}) {}
+
+CensusService::~CensusService() { stop(); }
+
+void CensusService::start() { scheduler_.start(); }
+
+void CensusService::stop() { scheduler_.stop(); }
+
+void CensusService::trigger() { scheduler_.trigger(); }
+
+std::uint64_t CensusService::run_census_now() {
+    std::lock_guard<std::mutex> guard(census_mutex_);
+    SnapshotBuilder builder({.name = config_.name,
+                             .database = config_.database,
+                             .classify = config_.classify,
+                             .asn = config_.asn});
+    const core::CensusPlan& plan = runner_.plan();
+    runner_.stream_passes(plan.targets, plan.assignment, config_.passes, builder);
+    auto snapshot =
+        builder.build(next_version_++, runner_.last_pass_stats(), &runner_.pool());
+    const std::uint64_t version = store_.publish(std::move(snapshot));
+    published_.fetch_add(1, std::memory_order_relaxed);
+    return version;
+}
+
+}  // namespace lfp::serve

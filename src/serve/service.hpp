@@ -1,0 +1,167 @@
+// Census-as-a-service: the resident control plane. A CensusService owns a
+// CensusRunner, a SnapshotStore, and (optionally) a PassScheduler thread;
+// each census — scheduled or on-demand — streams through a fresh
+// SnapshotBuilder and publishes an immutable versioned Snapshot that the
+// QueryEngine answers from. Queries never wait on a running census: they
+// read the previously published snapshot through one atomic load, and the
+// new version swaps in only when fully built.
+//
+// Environment knobs (ServiceConfig::from_env / default_socket_path):
+//   LFP_SERVE_INTERVAL_MS  recurring-pass period; 0 = on-demand only
+//   LFP_SERVE_RETAIN       snapshot versions retained for diff queries
+//   LFP_SERVE_SOCKET       lfp_serve's unix-domain socket path
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "core/census.hpp"
+#include "serve/snapshot.hpp"
+
+namespace lfp::serve {
+
+/// The recurring-pass driver: a worker thread that invokes a callback every
+/// `interval` (recurring mode) and whenever trigger() is called (on-demand;
+/// an interval of zero means on-demand only). Triggers arriving while a
+/// pass runs coalesce into one follow-up pass — the schedule never queues
+/// unboundedly behind a slow census.
+class PassScheduler {
+  public:
+    struct Options {
+        /// Period between scheduled passes. zero = never fire on a timer;
+        /// only trigger() starts passes.
+        std::chrono::milliseconds interval{0};
+        /// Run one pass immediately on start() rather than waiting a full
+        /// interval first.
+        bool run_immediately = true;
+    };
+
+    explicit PassScheduler(std::function<void()> pass) : PassScheduler(std::move(pass), Options{}) {}
+    PassScheduler(std::function<void()> pass, Options options);
+    ~PassScheduler();
+
+    PassScheduler(const PassScheduler&) = delete;
+    PassScheduler& operator=(const PassScheduler&) = delete;
+
+    /// Starts the scheduler thread. Idempotent.
+    void start();
+    /// Stops the thread, joining it; a pass in flight completes first.
+    /// Idempotent; the destructor calls it.
+    void stop();
+
+    /// Requests one pass now (starts the thread if needed). Returns after
+    /// noting the request, not after the pass.
+    void trigger();
+
+    [[nodiscard]] std::uint64_t passes_completed() const;
+
+    /// Blocks until at least `count` passes have completed since
+    /// construction, or `timeout` elapses. Returns whether the count was
+    /// reached.
+    [[nodiscard]] bool wait_for_passes(std::uint64_t count, std::chrono::milliseconds timeout);
+
+  private:
+    void run();
+
+    std::function<void()> pass_;
+    Options options_;
+
+    mutable std::mutex mutex_;
+    std::condition_variable cv_;
+    std::thread thread_;
+    bool running_ = false;
+    bool stop_requested_ = false;
+    bool trigger_pending_ = false;
+    std::uint64_t completed_ = 0;
+};
+
+/// Service-level knobs layered over the CensusPlan (which continues to
+/// describe the measurement itself: targets, vantages, windows, passes).
+struct ServiceConfig {
+    /// Name stamped onto published snapshots.
+    std::string name = "census";
+    /// Passes per serving census; 0 = the plan's configured pass count.
+    std::size_t passes = 0;
+    /// Recurring census period; zero = on-demand only.
+    std::chrono::milliseconds interval{0};
+    /// Snapshot versions retained for diff queries.
+    std::size_t retain = 4;
+    /// Whether start() runs a census immediately (the usual case: serve as
+    /// soon as there is something to serve).
+    bool run_immediately = true;
+
+    core::SignatureDbConfig database;
+    core::LfpClassifier::Options classify;
+    AsnResolver asn;
+
+    /// Overlays LFP_SERVE_INTERVAL_MS / LFP_SERVE_RETAIN from the
+    /// environment onto `base` (default-constructed when omitted).
+    [[nodiscard]] static ServiceConfig from_env();
+    [[nodiscard]] static ServiceConfig from_env(ServiceConfig base);
+};
+
+/// The lfp_serve daemon's socket path: LFP_SERVE_SOCKET, or a per-uid
+/// default under the system temp directory.
+[[nodiscard]] std::string default_socket_path();
+
+/// The resident census service. Owns the runner (and with it the vantage
+/// schedule and worker pool), the snapshot store, and the scheduler.
+/// Censuses serialize internally; queries against store()/current snapshots
+/// proceed concurrently with a running census.
+class CensusService {
+  public:
+    /// Validates the plan (CensusRunner's constructor throws on a bad one).
+    /// The plan's transports must outlive the service.
+    CensusService(core::CensusPlan plan, ServiceConfig config = {});
+    ~CensusService();
+
+    CensusService(const CensusService&) = delete;
+    CensusService& operator=(const CensusService&) = delete;
+
+    /// Starts the scheduler (recurring passes when config.interval > 0, an
+    /// immediate first census when config.run_immediately).
+    void start();
+    /// Stops the scheduler; a census in flight completes and publishes.
+    void stop();
+
+    /// Requests one census soon (asynchronous; coalesces with a pending
+    /// trigger).
+    void trigger();
+
+    /// Runs one census synchronously on the calling thread and publishes
+    /// the snapshot. Returns the published version. Serializes with
+    /// scheduler-driven censuses.
+    std::uint64_t run_census_now();
+
+    /// Censuses published so far, scheduler-driven and synchronous alike.
+    [[nodiscard]] std::uint64_t censuses_completed() const {
+        return published_.load(std::memory_order_relaxed);
+    }
+
+    /// Blocks until at least `count` censuses have published (or timeout).
+    [[nodiscard]] bool wait_for_census(std::uint64_t count, std::chrono::milliseconds timeout) {
+        return scheduler_.wait_for_passes(count, timeout);
+    }
+
+    [[nodiscard]] const SnapshotStore& store() const noexcept { return store_; }
+    [[nodiscard]] core::CensusRunner& runner() noexcept { return runner_; }
+    [[nodiscard]] const ServiceConfig& config() const noexcept { return config_; }
+
+  private:
+    ServiceConfig config_;
+    core::CensusRunner runner_;
+    SnapshotStore store_;
+    std::mutex census_mutex_;  ///< serializes censuses, never queries
+    std::uint64_t next_version_ = 1;
+    std::atomic<std::uint64_t> published_{0};
+    PassScheduler scheduler_;
+};
+
+}  // namespace lfp::serve

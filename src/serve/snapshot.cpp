@@ -1,0 +1,188 @@
+#include "serve/snapshot.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace lfp::serve {
+
+namespace {
+
+/// The MeasurementCounts::add predicates, restated over the compact form
+/// (no expansion): responsive = any exchange answered or features/label
+/// present; the SNMP split follows the label, snmp_and_lfp requires a
+/// complete feature row.
+void add_compact(core::MeasurementCounts& counts, const core::CompactRecord& record) {
+    const bool has_features = !record.features.empty();
+    const bool has_snmp = record.snmp_vendor != core::kNoVendor;
+    if (has_features || has_snmp || core::mask_any_response(record.response_mask)) {
+        ++counts.responsive;
+    }
+    if (has_snmp) {
+        ++counts.snmp;
+        if (record.features.complete()) ++counts.snmp_and_lfp;
+    } else if (has_features) {
+        ++counts.lfp_only;
+    }
+}
+
+/// The serving layer's combined verdict, mirroring
+/// analysis::RouterVerdict::combined(): the SNMP ground-truth label when
+/// the target yielded one, else the LFP classification.
+std::optional<stack::Vendor> combined_vendor(const core::CompactRecord& record) {
+    if (record.snmp_vendor != core::kNoVendor) {
+        return static_cast<stack::Vendor>(record.snmp_vendor);
+    }
+    if (record.lfp_vendor != core::kNoVendor) {
+        return static_cast<stack::Vendor>(record.lfp_vendor);
+    }
+    return std::nullopt;
+}
+
+}  // namespace
+
+const core::CompactRecord* Snapshot::find(net::IPv4Address target) const {
+    const std::uint32_t needle = target.value();
+    auto it = std::lower_bound(by_target_.begin(), by_target_.end(), needle,
+                               [this](std::uint32_t position, std::uint32_t value) {
+                                   return records_[position].target < value;
+                               });
+    if (it == by_target_.end() || records_[*it].target != needle) return nullptr;
+    return &records_[*it];
+}
+
+std::optional<std::uint32_t> Snapshot::asn_of(net::IPv4Address target) const {
+    if (!asn_) return std::nullopt;
+    return asn_(target);
+}
+
+const analysis::AsCoverage* Snapshot::as_mix(std::uint32_t asn) const {
+    auto it = as_mix_.find(asn);
+    return it == as_mix_.end() ? nullptr : &it->second;
+}
+
+core::Measurement Snapshot::expand() const {
+    core::Measurement measurement;
+    measurement.name = name_;
+    measurement.records.reserve(records_.size());
+    for (const core::CompactRecord& record : records_) {
+        measurement.records.push_back(record.to_record());
+    }
+    measurement.set_counts(counts_);
+    return measurement;
+}
+
+SnapshotBuilder::SnapshotBuilder(Options options)
+    : options_(std::move(options)),
+      database_(options_.database),
+      appender_(*this),
+      absorb_(database_, &appender_, {.retract_superseded = true}) {}
+
+void SnapshotBuilder::accept(std::uint64_t global_index, core::TargetRecord&& record) {
+    absorb_.accept(global_index, std::move(record));
+}
+
+void SnapshotBuilder::append(std::uint64_t global_index, const core::TargetRecord& record) {
+    auto [it, inserted] = position_of_.try_emplace(global_index, records_.size());
+    if (inserted) {
+        records_.push_back(core::CompactRecord::from_record(record));
+    } else {
+        records_[it->second] = core::CompactRecord::from_record(record);
+    }
+}
+
+std::shared_ptr<const Snapshot> SnapshotBuilder::build(
+    std::uint64_t version, std::span<const core::PassStats> pass_stats,
+    util::ThreadPool* pool) {
+    auto database = std::make_shared<core::SignatureDatabase>(std::move(database_));
+    database->finalize();
+
+    // Classification at publish time, against the pass's own finalized
+    // database — exactly the batch pipeline's classify stage: both sides
+    // reduce to LfpClassifier::classify(Signature::from_features(features)),
+    // so answers are byte-identical to classify_records() over the same
+    // records. Sharded over the pool when one is given; index-order writes,
+    // so output is identical at any width.
+    const core::LfpClassifier classifier(*database, options_.classify);
+    core::CompactRecord* records = records_.data();
+    auto classify_range = [&classifier, records](std::size_t begin, std::size_t end) {
+        for (std::size_t i = begin; i < end; ++i) {
+            core::CompactRecord& record = records[i];
+            const core::Classification verdict =
+                classifier.classify(core::Signature::from_features(record.features));
+            record.lfp_vendor = verdict.vendor
+                                    ? static_cast<std::uint8_t>(*verdict.vendor)
+                                    : core::kNoVendor;
+            record.lfp_kind = static_cast<std::uint8_t>(verdict.kind);
+            record.lfp_confidence = verdict.confidence;
+        }
+    };
+    if (pool != nullptr) {
+        pool->parallel_for(records_.size(), 256, classify_range);
+    } else {
+        classify_range(0, records_.size());
+    }
+
+    auto snapshot = std::make_shared<Snapshot>();
+    snapshot->version_ = version;
+    snapshot->name_ = options_.name;
+    snapshot->pass_stats_.assign(pass_stats.begin(), pass_stats.end());
+    snapshot->database_ = std::move(database);
+    snapshot->asn_ = options_.asn;
+    snapshot->records_ = std::move(records_);
+    position_of_.clear();
+
+    snapshot->by_target_.resize(snapshot->records_.size());
+    for (std::size_t i = 0; i < snapshot->by_target_.size(); ++i) {
+        snapshot->by_target_[i] = static_cast<std::uint32_t>(i);
+    }
+    std::stable_sort(snapshot->by_target_.begin(), snapshot->by_target_.end(),
+                     [&snapshot](std::uint32_t a, std::uint32_t b) {
+                         return snapshot->records_[a].target < snapshot->records_[b].target;
+                     });
+
+    for (const core::CompactRecord& record : snapshot->records_) {
+        add_compact(snapshot->counts_, record);
+        if (options_.asn) {
+            if (auto asn = options_.asn(net::IPv4Address(record.target))) {
+                analysis::AsCoverage& mix = snapshot->as_mix_[*asn];
+                mix.asn = *asn;
+                ++mix.routers_total;
+                if (auto vendor = combined_vendor(record)) {
+                    ++mix.routers_identified;
+                    ++mix.vendor_counts[*vendor];
+                }
+            }
+        }
+    }
+    return snapshot;
+}
+
+SnapshotStore::SnapshotStore(std::size_t retain) : retain_(retain == 0 ? 1 : retain) {}
+
+std::uint64_t SnapshotStore::publish(std::shared_ptr<const Snapshot> snapshot) {
+    const std::uint64_t version = snapshot->version();
+    {
+        std::lock_guard<std::mutex> guard(mutex_);
+        retained_.push_back(snapshot);
+        while (retained_.size() > retain_) retained_.pop_front();
+    }
+    // The swap readers observe: one release store; concurrent current()
+    // loads see either the old snapshot or the new one, both fully built.
+    current_.store(std::move(snapshot), std::memory_order_release);
+    return version;
+}
+
+std::shared_ptr<const Snapshot> SnapshotStore::version(std::uint64_t version) const {
+    std::lock_guard<std::mutex> guard(mutex_);
+    for (const auto& snapshot : retained_) {
+        if (snapshot->version() == version) return snapshot;
+    }
+    return nullptr;
+}
+
+std::vector<std::shared_ptr<const Snapshot>> SnapshotStore::retained() const {
+    std::lock_guard<std::mutex> guard(mutex_);
+    return {retained_.begin(), retained_.end()};
+}
+
+}  // namespace lfp::serve

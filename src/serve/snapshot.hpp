@@ -1,0 +1,211 @@
+// The serving layer's data plane: immutable, versioned census snapshots.
+//
+// A Snapshot is one completed census pass frozen for querying: every
+// target's CompactRecord (classification stamped at publish time), the
+// signature database the pass itself derived, per-AS vendor-mix aggregates,
+// and the pass provenance trajectory (core::PassStats) — everything the
+// QueryEngine needs, reachable through one pointer.
+//
+// SnapshotBuilder is the absorb-to-snapshot RecordSink: planted at the tail
+// of a CensusRunner::stream_passes() chain it compacts each record as it
+// streams by and absorbs labeled signatures into the snapshot's own
+// database through the pass-aware SignatureAbsorbSink — with
+// retract_superseded on, a producer may feed it per pass (repeated global
+// indices supersede), so the snapshot can be built incrementally while
+// later passes are still probing. build() then finalizes: classify every
+// record against the freshly finalized database (byte-identical to the
+// batch pipeline's classify stage — both reduce to
+// LfpClassifier::classify(Signature::from_features(features))), sort a
+// lookup index by target address, and aggregate per-AS vendor mixes.
+//
+// SnapshotStore is the RCU-style publication point: current() is one
+// atomic shared_ptr load — readers never take the store mutex, never
+// observe a torn pointer, and keep their snapshot alive for as long as
+// they hold it, while publish() swaps the next pass in underneath them.
+// A bounded ring of recent versions is retained for snapshot-diff queries.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "analysis/as_analysis.hpp"
+#include "core/classifier.hpp"
+#include "core/measurement.hpp"
+#include "core/record_sink.hpp"
+#include "core/signature_db.hpp"
+#include "util/thread_pool.hpp"
+
+namespace lfp::serve {
+
+/// Maps an interface address to its AS, when the deployment knows the
+/// mapping (the sim world resolves through its topology; a live deployment
+/// would wrap a longest-prefix-match table). Absent resolver = no AS
+/// aggregates, point and path queries unaffected.
+using AsnResolver = std::function<std::optional<std::uint32_t>(net::IPv4Address)>;
+
+/// One published census, immutable after build. Readers share it via
+/// shared_ptr — a snapshot outlives its store slot for as long as any
+/// query still holds it.
+class Snapshot {
+  public:
+    [[nodiscard]] std::uint64_t version() const noexcept { return version_; }
+    [[nodiscard]] const std::string& name() const noexcept { return name_; }
+
+    /// Records in census stream order (the batch Measurement's order).
+    [[nodiscard]] const std::vector<core::CompactRecord>& records() const noexcept {
+        return records_;
+    }
+
+    /// Point lookup by target address (binary search over the sorted
+    /// index). Duplicate targets resolve to the earliest stream occurrence.
+    [[nodiscard]] const core::CompactRecord* find(net::IPv4Address target) const;
+
+    /// The AS of `target` per the builder's resolver (nullopt when no
+    /// resolver was configured or the resolver does not know the address).
+    [[nodiscard]] std::optional<std::uint32_t> asn_of(net::IPv4Address target) const;
+
+    /// Per-AS vendor mix at interface granularity (each probed interface
+    /// counts once; alias-set folding needs ITDK-style ground truth the
+    /// serving layer does not assume). Null when the AS was not observed.
+    [[nodiscard]] const analysis::AsCoverage* as_mix(std::uint32_t asn) const;
+    [[nodiscard]] const std::map<std::uint32_t, analysis::AsCoverage>& as_mixes()
+        const noexcept {
+        return as_mix_;
+    }
+
+    /// The retry trajectory of the census that produced this snapshot
+    /// (entry p = pass p) — the provenance the io formats persist.
+    [[nodiscard]] const std::vector<core::PassStats>& pass_stats() const noexcept {
+        return pass_stats_;
+    }
+
+    [[nodiscard]] const core::MeasurementCounts& counts() const noexcept { return counts_; }
+
+    /// The signature database this census derived (finalized).
+    [[nodiscard]] const core::SignatureDatabase& database() const noexcept {
+        return *database_;
+    }
+
+    /// Expands back to the batch representation, in stream order, with
+    /// classifications and pass provenance intact — byte-identical CSV
+    /// exports to the batch pipeline's Measurement for the same pass.
+    [[nodiscard]] core::Measurement expand() const;
+
+  private:
+    friend class SnapshotBuilder;
+
+    std::uint64_t version_ = 0;
+    std::string name_;
+    std::vector<core::CompactRecord> records_;
+    /// Positions into records_, sorted by target address (stable: stream
+    /// order breaks ties), for point lookups.
+    std::vector<std::uint32_t> by_target_;
+    std::vector<core::PassStats> pass_stats_;
+    core::MeasurementCounts counts_;
+    std::shared_ptr<const core::SignatureDatabase> database_;
+    std::map<std::uint32_t, analysis::AsCoverage> as_mix_;
+    AsnResolver asn_;
+};
+
+/// The absorb-to-snapshot sink: terminal RecordSink of a serving census.
+/// One-shot — build() consumes the accumulated state; use a fresh builder
+/// per pass.
+class SnapshotBuilder final : public core::RecordSink {
+  public:
+    struct Options {
+        std::string name = "census";
+        core::SignatureDbConfig database;
+        core::LfpClassifier::Options classify;
+        AsnResolver asn;
+    };
+
+    SnapshotBuilder() : SnapshotBuilder(Options{}) {}
+    explicit SnapshotBuilder(Options options);
+
+    /// Compacts the record and absorbs its labeled signature. Repeated
+    /// global indices supersede (pass-aware incremental feed): the old
+    /// record is replaced and its absorbed signature contribution
+    /// retracted, so a per-pass feed lands on exactly the database a
+    /// final-records-only feed produces.
+    void accept(std::uint64_t global_index, core::TargetRecord&& record) override;
+
+    /// Freezes everything accepted so far into an immutable snapshot:
+    /// finalizes the database, classifies every record against it (over
+    /// `pool` when given — deterministic at any width), sorts the target
+    /// index, and aggregates per-AS mixes. `pass_stats` is the producing
+    /// census's retry trajectory (CensusRunner::last_pass_stats()).
+    [[nodiscard]] std::shared_ptr<const Snapshot> build(
+        std::uint64_t version, std::span<const core::PassStats> pass_stats,
+        util::ThreadPool* pool = nullptr);
+
+    [[nodiscard]] std::size_t size() const noexcept { return records_.size(); }
+
+  private:
+    /// Inner sink fed by absorb_: appends/replaces the compact projection.
+    class Appender final : public core::RecordSink {
+      public:
+        explicit Appender(SnapshotBuilder& owner) : owner_(&owner) {}
+        void accept(std::uint64_t global_index, core::TargetRecord&& record) override {
+            owner_->append(global_index, record);
+        }
+
+      private:
+        SnapshotBuilder* owner_;
+    };
+
+    void append(std::uint64_t global_index, const core::TargetRecord& record);
+
+    Options options_;
+    core::SignatureDatabase database_;
+    Appender appender_;
+    core::SignatureAbsorbSink absorb_;
+    std::vector<core::CompactRecord> records_;
+    std::unordered_map<std::uint64_t, std::size_t> position_of_;
+};
+
+/// The RCU-style publication point. Readers: current() — one atomic
+/// shared_ptr load, never the mutex; the returned snapshot stays valid
+/// (and immutable) for as long as the caller holds it, however many
+/// passes publish meanwhile. Writers: publish() under the mutex — swap
+/// the current pointer and retire the oldest retained version beyond the
+/// retention ring. Readers never block writers and vice versa; the ring
+/// only bounds how far back version() lookups (snapshot diffs) reach.
+class SnapshotStore {
+  public:
+    explicit SnapshotStore(std::size_t retain = 4);
+
+    /// The latest published snapshot (nullptr before the first publish).
+    [[nodiscard]] std::shared_ptr<const Snapshot> current() const noexcept {
+        return current_.load(std::memory_order_acquire);
+    }
+
+    /// Publishes `snapshot` as current and retains it in the version ring.
+    /// Returns its version.
+    std::uint64_t publish(std::shared_ptr<const Snapshot> snapshot);
+
+    /// A retained snapshot by version (nullptr when it aged out of the
+    /// ring or never existed).
+    [[nodiscard]] std::shared_ptr<const Snapshot> version(std::uint64_t version) const;
+
+    /// All retained snapshots, oldest first.
+    [[nodiscard]] std::vector<std::shared_ptr<const Snapshot>> retained() const;
+
+    [[nodiscard]] std::size_t retain_limit() const noexcept { return retain_; }
+
+  private:
+    std::size_t retain_;
+    std::atomic<std::shared_ptr<const Snapshot>> current_{nullptr};
+    mutable std::mutex mutex_;  ///< guards the retention ring, never reads
+    std::deque<std::shared_ptr<const Snapshot>> retained_;
+};
+
+}  // namespace lfp::serve

@@ -1,0 +1,261 @@
+#include "serve/wire.hpp"
+
+#include <algorithm>
+#include <charconv>
+#include <sstream>
+
+#ifndef _WIN32
+#include <unistd.h>
+#endif
+
+#include "io/csv_export.hpp"
+
+namespace lfp::serve {
+
+namespace {
+
+std::vector<std::string_view> split_words(std::string_view text) {
+    std::vector<std::string_view> words;
+    std::size_t i = 0;
+    while (i < text.size()) {
+        while (i < text.size() && text[i] == ' ') ++i;
+        std::size_t start = i;
+        while (i < text.size() && text[i] != ' ') ++i;
+        if (i > start) words.push_back(text.substr(start, i - start));
+    }
+    return words;
+}
+
+std::optional<std::uint64_t> parse_u64(std::string_view text) {
+    std::uint64_t value = 0;
+    auto [ptr, ec] = std::from_chars(text.data(), text.data() + text.size(), value);
+    if (ec != std::errc{} || ptr != text.data() + text.size()) return std::nullopt;
+    return value;
+}
+
+std::string err(std::string message) { return "ERR " + std::move(message); }
+
+std::string handle_stats(const CensusService& service, const QueryEngine& engine) {
+    std::ostringstream out;
+    out << "OK censuses=" << service.censuses_completed();
+    const std::shared_ptr<const Snapshot> snapshot = engine.snapshot();
+    if (snapshot == nullptr) {
+        out << " version=0 records=0";
+        return out.str();
+    }
+    const core::MeasurementCounts& counts = snapshot->counts();
+    out << " version=" << snapshot->version() << " name=" << snapshot->name()
+        << " records=" << snapshot->records().size() << " responsive=" << counts.responsive
+        << " snmp=" << counts.snmp << " snmp_and_lfp=" << counts.snmp_and_lfp
+        << " lfp_only=" << counts.lfp_only << " passes=" << snapshot->pass_stats().size()
+        << " retained=";
+    bool first = true;
+    for (const auto& retained : service.store().retained()) {
+        if (!first) out << ',';
+        first = false;
+        out << retained->version();
+    }
+    return out.str();
+}
+
+std::string handle_vendor(const QueryEngine& engine, std::string_view operand) {
+    auto address = net::IPv4Address::parse(operand);
+    if (!address) return err("bad address '" + std::string(operand) + "'");
+    const VendorAnswer answer = engine.vendor_of(address.value());
+    std::ostringstream out;
+    out << "OK version=" << answer.version << " ip=" << operand
+        << " known=" << (answer.known ? 1 : 0);
+    if (!answer.known) return out.str();
+    out << " responsive=" << (answer.responsive ? 1 : 0);
+    if (answer.asn) out << " asn=" << *answer.asn;
+    out << " snmp=" << (answer.snmp_vendor ? stack::to_string(*answer.snmp_vendor) : "-")
+        << " lfp=" << (answer.lfp_vendor ? stack::to_string(*answer.lfp_vendor) : "-")
+        << " kind=" << core::to_string(answer.kind) << " confidence=" << answer.confidence
+        << " pass=" << answer.pass;
+    return out.str();
+}
+
+std::string handle_asmix(const QueryEngine& engine, std::string_view operand) {
+    const auto asn = parse_u64(operand);
+    if (!asn || *asn > 0xFFFFFFFFull) return err("bad asn '" + std::string(operand) + "'");
+    const AsMixAnswer answer = engine.as_mix(static_cast<std::uint32_t>(*asn));
+    std::ostringstream out;
+    out << "OK version=" << answer.version << " asn=" << answer.asn;
+    if (!answer.mix) {
+        out << " unknown";
+        return out.str();
+    }
+    out << " routers=" << answer.mix->routers_total
+        << " identified=" << answer.mix->routers_identified << " mix=";
+    bool first = true;
+    for (const auto& [vendor, count] : answer.mix->vendor_counts) {
+        if (!first) out << ',';
+        first = false;
+        out << stack::to_string(vendor) << '=' << count;
+    }
+    return out.str();
+}
+
+std::string handle_path(const QueryEngine& engine, std::span<const std::string_view> operands) {
+    std::vector<net::IPv4Address> hops;
+    hops.reserve(operands.size());
+    for (const std::string_view operand : operands) {
+        auto address = net::IPv4Address::parse(operand);
+        if (!address) return err("bad address '" + std::string(operand) + "'");
+        hops.push_back(address.value());
+    }
+    const PathProfile profile = engine.path_profile(hops);
+    std::ostringstream out;
+    out << "OK version=" << profile.version << " hops=" << profile.hops.size()
+        << " known=" << profile.known_hops << " identified=" << profile.identified_hops
+        << " combination=" << profile.combination << " |";
+    for (const PathProfile::Hop& hop : profile.hops) {
+        out << ' ' << hop.address.to_string() << '=';
+        if (!hop.known) {
+            out << '?';
+        } else if (hop.vendor) {
+            out << stack::to_string(*hop.vendor);
+        } else {
+            out << '-';
+        }
+    }
+    return out.str();
+}
+
+std::string handle_diff(const QueryEngine& engine, std::string_view from_text,
+                        std::string_view to_text) {
+    const auto from = parse_u64(from_text);
+    const auto to = parse_u64(to_text);
+    if (!from || !to) return err("bad version operand");
+    const auto result = engine.diff(*from, *to);
+    if (!result) return err(result.error().message);
+    const SnapshotDiff& diff = result.value();
+    std::ostringstream out;
+    out << "OK from=" << diff.from_version << " to=" << diff.to_version
+        << " common=" << diff.stability.common_ips
+        << " identical=" << diff.stability.identical_signature
+        << " changed=" << diff.stability.changed_signature
+        << " vendor_changed=" << diff.stability.vendor_changed
+        << " stability=" << diff.stability.stability()
+        << " from_passes=" << diff.from_pass_stats.size()
+        << " to_passes=" << diff.to_pass_stats.size();
+    return out.str();
+}
+
+std::string handle_export(const QueryEngine& engine) {
+    const std::shared_ptr<const Snapshot> snapshot = engine.snapshot();
+    if (snapshot == nullptr) return err("no snapshot published");
+    std::ostringstream out;
+    io::export_measurement_csv(out, snapshot->expand());
+    return out.str();
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> encode_frame(std::string_view payload) {
+    const auto size = static_cast<std::uint32_t>(payload.size());
+    std::vector<std::uint8_t> frame;
+    frame.reserve(4 + payload.size());
+    frame.push_back(static_cast<std::uint8_t>(size & 0xFF));
+    frame.push_back(static_cast<std::uint8_t>((size >> 8) & 0xFF));
+    frame.push_back(static_cast<std::uint8_t>((size >> 16) & 0xFF));
+    frame.push_back(static_cast<std::uint8_t>((size >> 24) & 0xFF));
+    frame.insert(frame.end(), payload.begin(), payload.end());
+    return frame;
+}
+
+void FrameDecoder::feed(const std::uint8_t* data, std::size_t size) {
+    if (error_) return;
+    buffer_.insert(buffer_.end(), data, data + size);
+}
+
+std::optional<std::string> FrameDecoder::next() {
+    if (error_ || buffer_.size() < 4) return std::nullopt;
+    const std::uint32_t length = static_cast<std::uint32_t>(buffer_[0]) |
+                                 (static_cast<std::uint32_t>(buffer_[1]) << 8) |
+                                 (static_cast<std::uint32_t>(buffer_[2]) << 16) |
+                                 (static_cast<std::uint32_t>(buffer_[3]) << 24);
+    if (length > kMaxFramePayload) {
+        error_ = true;
+        return std::nullopt;
+    }
+    if (buffer_.size() < 4u + length) return std::nullopt;
+    std::string payload(buffer_.begin() + 4, buffer_.begin() + 4 + length);
+    buffer_.erase(buffer_.begin(), buffer_.begin() + 4 + length);
+    return payload;
+}
+
+#ifndef _WIN32
+
+bool write_frame(int fd, std::string_view payload) {
+    const std::vector<std::uint8_t> frame = encode_frame(payload);
+    std::size_t written = 0;
+    while (written < frame.size()) {
+        const ssize_t n = ::write(fd, frame.data() + written, frame.size() - written);
+        if (n <= 0) return false;
+        written += static_cast<std::size_t>(n);
+    }
+    return true;
+}
+
+std::optional<std::string> read_frame(int fd) {
+    FrameDecoder decoder;
+    std::uint8_t chunk[4096];
+    while (true) {
+        if (auto payload = decoder.next()) return payload;
+        if (decoder.error()) return std::nullopt;
+        const ssize_t n = ::read(fd, chunk, sizeof(chunk));
+        if (n <= 0) return std::nullopt;
+        decoder.feed(chunk, static_cast<std::size_t>(n));
+    }
+}
+
+#endif  // !_WIN32
+
+RequestOutcome handle_request(std::string_view request, CensusService& service,
+                              const QueryEngine& engine) {
+    const std::vector<std::string_view> words = split_words(request);
+    if (words.empty()) return {err("empty request"), false};
+    const std::string_view verb = words[0];
+    const std::span<const std::string_view> operands(words.data() + 1, words.size() - 1);
+
+    if (verb == "PING") {
+        if (!operands.empty()) return {err("PING takes no operands"), false};
+        return {"OK pong", false};
+    }
+    if (verb == "STATS") {
+        if (!operands.empty()) return {err("STATS takes no operands"), false};
+        return {handle_stats(service, engine), false};
+    }
+    if (verb == "VENDOR") {
+        if (operands.size() != 1) return {err("usage: VENDOR <ip>"), false};
+        return {handle_vendor(engine, operands[0]), false};
+    }
+    if (verb == "ASMIX") {
+        if (operands.size() != 1) return {err("usage: ASMIX <asn>"), false};
+        return {handle_asmix(engine, operands[0]), false};
+    }
+    if (verb == "PATH") {
+        if (operands.empty()) return {err("usage: PATH <ip> [<ip>...]"), false};
+        return {handle_path(engine, operands), false};
+    }
+    if (verb == "DIFF") {
+        if (operands.size() != 2) return {err("usage: DIFF <from-version> <to-version>"), false};
+        return {handle_diff(engine, operands[0], operands[1]), false};
+    }
+    if (verb == "EXPORT") {
+        if (!operands.empty()) return {err("EXPORT takes no operands"), false};
+        return {handle_export(engine), false};
+    }
+    if (verb == "TRIGGER") {
+        if (!operands.empty()) return {err("TRIGGER takes no operands"), false};
+        return {"OK version=" + std::to_string(service.run_census_now()), false};
+    }
+    if (verb == "SHUTDOWN") {
+        if (!operands.empty()) return {err("SHUTDOWN takes no operands"), false};
+        return {"OK bye", true};
+    }
+    return {err("unknown command '" + std::string(verb) + "'"), false};
+}
+
+}  // namespace lfp::serve

@@ -1,0 +1,82 @@
+// The lfp_serve wire protocol: length-prefixed text frames over a local
+// stream socket. Each frame is a 4-byte little-endian payload length
+// followed by that many bytes of UTF-8 text; a request is one line-like
+// command ("VENDOR 10.0.0.1"), a response is either "OK ..."/"ERR ..." or,
+// for EXPORT, the raw CSV payload. The framing is deliberately minimal —
+// the daemon serves the local operator loop (CLI, smoke tests, dashboards
+// polling over a unix socket), not the open internet — but it is a real
+// protocol: framed (no delimiter ambiguity), bounded (kMaxFramePayload),
+// and versionless text so `lfp_query` output diffs cleanly against the
+// batch pipeline's artifacts.
+//
+// Commands (case-sensitive verbs, space-separated operands):
+//   PING                     liveness check
+//   STATS                    snapshot version/counts/retention summary
+//   VENDOR <ip>              point lookup: vendors, kind, confidence, pass
+//   ASMIX <asn>              per-AS vendor mix
+//   PATH <ip> [<ip>...]      per-hop vendor profile + combination key
+//   DIFF <from> <to>         signature stability between retained versions
+//   EXPORT                   current snapshot as measurement CSV (raw)
+//   TRIGGER                  run one census now (synchronous; returns the
+//                            newly published version)
+//   SHUTDOWN                 stop serving after this response
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "serve/query.hpp"
+#include "serve/service.hpp"
+
+namespace lfp::serve {
+
+/// Frames larger than this are a protocol violation (the full-census CSV
+/// export of a 10M-target snapshot fits comfortably).
+inline constexpr std::uint32_t kMaxFramePayload = 1u << 30;
+
+/// Serializes one frame: 4-byte little-endian length + payload.
+[[nodiscard]] std::vector<std::uint8_t> encode_frame(std::string_view payload);
+
+/// Incremental frame decoder for a byte stream: feed() arbitrary chunks,
+/// next() yields complete payloads in order. Oversized or torn frames set
+/// error() (the connection should be dropped).
+class FrameDecoder {
+  public:
+    void feed(const std::uint8_t* data, std::size_t size);
+
+    /// The next complete frame payload, or nullopt when more bytes are
+    /// needed.
+    [[nodiscard]] std::optional<std::string> next();
+
+    [[nodiscard]] bool error() const noexcept { return error_; }
+
+  private:
+    std::deque<std::uint8_t> buffer_;
+    bool error_ = false;
+};
+
+#ifndef _WIN32
+/// Blocking fd helpers for the daemon and CLI (POSIX only). write_frame
+/// returns false on I/O error; read_frame returns nullopt on EOF/error.
+[[nodiscard]] bool write_frame(int fd, std::string_view payload);
+[[nodiscard]] std::optional<std::string> read_frame(int fd);
+#endif
+
+/// One request's outcome: the response payload plus whether the server
+/// should stop accepting connections (SHUTDOWN).
+struct RequestOutcome {
+    std::string response;
+    bool shutdown = false;
+};
+
+/// Executes one wire command against the service. Pure request/response —
+/// transport-agnostic, so tests exercise the full command surface without a
+/// socket.
+[[nodiscard]] RequestOutcome handle_request(std::string_view request, CensusService& service,
+                                            const QueryEngine& engine);
+
+}  // namespace lfp::serve

@@ -2,9 +2,12 @@
 // longitudinal stability (§8), and the feature-ablation framework.
 #include <gtest/gtest.h>
 
+#include <sstream>
+
 #include "analysis/ablation.hpp"
 #include "analysis/family_analysis.hpp"
 #include "analysis/longitudinal.hpp"
+#include "io/signature_store.hpp"
 
 namespace lfp::analysis {
 namespace {
@@ -104,6 +107,58 @@ TEST(Longitudinal, EmptyInput) {
     const auto report = signature_stability({});
     EXPECT_TRUE(report.pairs.empty());
     EXPECT_DOUBLE_EQ(report.overall_stability(), 0.0);
+}
+
+TEST(Longitudinal, PassProvenanceOnlyDiffIsFullyStable) {
+    // Two censuses of the same world can measure identical signatures while
+    // *winning* them on different retry passes (one run's pass 0 probe was
+    // lost, a later pass repaired it). That provenance is metadata: a
+    // longitudinal diff must report every common IP identical — pass
+    // numbers and pass trajectories must never register as churn.
+    auto first = snapshot("march", {{1, "sigA"}, {2, "sigB"}, {3, "sigC"}});
+    auto second = snapshot("april", {{1, "sigA"}, {2, "sigB"}, {3, "sigC"}});
+    for (auto& record : first.records) record.pass = 0;
+    second.records[0].pass = 1;  // repaired on the first retry pass
+    second.records[2].pass = 2;  // repaired on the second
+
+    const std::vector<core::Measurement> snapshots{std::move(first), std::move(second)};
+    const auto report = signature_stability(snapshots);
+    ASSERT_EQ(report.pairs.size(), 1u);
+    EXPECT_EQ(report.pairs[0].common_ips, 3u);
+    EXPECT_EQ(report.pairs[0].identical_signature, 3u);
+    EXPECT_EQ(report.pairs[0].changed_signature, 0u);
+    EXPECT_EQ(report.pairs[0].vendor_changed, 0u);
+    EXPECT_DOUBLE_EQ(report.pairs[0].stability(), 1.0);
+
+    // The trajectories themselves differ, and they round-trip through the
+    // io signature-store format end to end: the diff consumer can load both
+    // censuses' PassStats and see *why* the pass numbers differ without the
+    // signatures having moved at all.
+    const std::vector<core::PassStats> first_stats = {
+        {.probed = 3, .upgraded = 0, .incomplete = 0}};
+    const std::vector<core::PassStats> second_stats = {
+        {.probed = 3, .upgraded = 0, .incomplete = 2},
+        {.probed = 2, .upgraded = 1, .incomplete = 1},
+        {.probed = 1, .upgraded = 1, .incomplete = 0}};
+    core::SignatureDatabase database;
+    for (const auto& record : snapshots[1].records) {
+        database.add_labeled(record.signature, stack::Vendor::cisco);
+    }
+    std::stringstream first_buffer;
+    std::stringstream second_buffer;
+    io::save_signatures(first_buffer, database, first_stats);
+    io::save_signatures(second_buffer, database, second_stats);
+
+    std::vector<core::PassStats> first_loaded;
+    std::vector<core::PassStats> second_loaded;
+    ASSERT_TRUE(
+        io::load_signatures(first_buffer, {.min_occurrences = 1}, &first_loaded).has_value());
+    ASSERT_TRUE(
+        io::load_signatures(second_buffer, {.min_occurrences = 1}, &second_loaded).has_value());
+    ASSERT_EQ(first_loaded.size(), 1u);
+    ASSERT_EQ(second_loaded.size(), 3u);
+    EXPECT_EQ(first_loaded, first_stats);
+    EXPECT_EQ(second_loaded, second_stats);
 }
 
 // ------------------------------------------------------------------ ablation

@@ -151,6 +151,46 @@ TEST(SignatureStore, PassStatsRoundTrip) {
     EXPECT_TRUE(none.empty());
 }
 
+TEST(SignatureStore, TruncatedPassMetadataIsStructuredError) {
+    // A '#:' line is the writer's own structured trailer: cut short
+    // mid-write it must fail the load with a structured error naming the
+    // line — not be best-effort-skipped as a comment — whether or not the
+    // caller asked for the trajectory back.
+    const auto truncated_cases = {
+        "#: pass 0 probed 500 upgraded",          // field name without value
+        "#: pass 0 probed 500",                   // missing trailing fields
+        "#: pass 0 probed abc upgraded 0 incomplete 1",  // non-numeric count
+        "#: pass",                                // bare prefix
+        "#: probed 500 upgraded 0 incomplete 1",  // wrong leading word
+        "#: pass 9999 probed 1 upgraded 0 incomplete 0",  // absurd pass index
+    };
+    for (const char* bad_line : truncated_cases) {
+        std::stringstream buffer;
+        save_signatures(buffer, sample_database());
+        buffer << bad_line << '\n';
+
+        std::vector<core::PassStats> stats;
+        const auto with_stats = load_signatures(buffer, {.min_occurrences = 1}, &stats);
+        EXPECT_FALSE(with_stats.has_value()) << bad_line;
+        if (!with_stats.has_value()) {
+            EXPECT_NE(with_stats.error().message.find("pass metadata"), std::string::npos)
+                << with_stats.error().message;
+        }
+
+        std::stringstream again;
+        save_signatures(again, sample_database());
+        again << bad_line << '\n';
+        EXPECT_FALSE(load_signatures(again, {.min_occurrences = 1}).has_value())
+            << bad_line << " (no pass_stats out-param)";
+    }
+
+    // An intact trailer after real signature lines still loads.
+    std::stringstream good;
+    save_signatures(good, sample_database(),
+                    std::vector<core::PassStats>{{.probed = 9, .upgraded = 1, .incomplete = 2}});
+    EXPECT_TRUE(load_signatures(good, {.min_occurrences = 1}).has_value());
+}
+
 TEST(CsvEscape, QuotesWhenNeeded) {
     EXPECT_EQ(csv_escape("plain"), "plain");
     EXPECT_EQ(csv_escape("a,b"), "\"a,b\"");

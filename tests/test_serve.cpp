@@ -1,0 +1,474 @@
+// Tests for the census-as-a-service layer: RCU-style snapshot publication
+// (lock-free readers vs concurrent publishes, version retention), the
+// pass-aware absorb-with-retraction sink, byte-identity of served answers
+// against the batch pipeline over an identically-seeded world, the
+// recurring-pass scheduler, and the wire protocol (framing + the full
+// command surface, no socket required).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "core/census.hpp"
+#include "io/csv_export.hpp"
+#include "probe/sim_transport.hpp"
+#include "serve/query.hpp"
+#include "serve/service.hpp"
+#include "serve/snapshot.hpp"
+#include "serve/wire.hpp"
+#include "sim/internet.hpp"
+#include "sim/topology.hpp"
+
+namespace lfp {
+namespace {
+
+using namespace std::chrono_literals;
+
+// ---------------------------------------------------------------- fixtures
+
+/// A small deterministic sim world, rebuilt from fixed seeds — two
+/// instances probe to byte-identical records (stateful routers mean one
+/// instance cannot be probed twice identically, so byte-identity tests
+/// build two).
+struct ServeWorld {
+    ServeWorld()
+        : topology(sim::Topology::build({.seed = 77,
+                                         .num_ases = 60,
+                                         .tier1_count = 4,
+                                         .transit_fraction = 0.2,
+                                         .scale = 0.4})),
+          internet(topology, {.seed = 13, .loss_rate = 0.02}),
+          transport(std::make_unique<probe::SimTransport>(internet)) {}
+
+    [[nodiscard]] core::CensusPlan plan(std::size_t limit = 120) const {
+        core::CensusPlan plan;
+        plan.name = "serve";
+        for (std::size_t i = 0; i < topology.router_count() && plan.targets.size() < limit;
+             ++i) {
+            plan.targets.push_back(topology.router(i).interfaces().front());
+        }
+        plan.vantages.push_back(transport.get());
+        plan.campaign.window = 16;
+        plan.passes = 2;
+        plan.worker_threads = 2;
+        return plan;
+    }
+
+    [[nodiscard]] serve::AsnResolver resolver() {
+        sim::Topology* topo = &topology;
+        return [topo](net::IPv4Address address) -> std::optional<std::uint32_t> {
+            const std::size_t index = topo->find_by_interface(address);
+            if (index == sim::Topology::npos) return std::nullopt;
+            return topo->asn_of(index);
+        };
+    }
+
+    sim::Topology topology;
+    sim::Internet internet;
+    std::unique_ptr<probe::SimTransport> transport;
+};
+
+serve::ServiceConfig on_demand_config(ServeWorld& world) {
+    serve::ServiceConfig config;
+    config.name = "serve";
+    config.run_immediately = false;
+    config.asn = world.resolver();
+    return config;
+}
+
+std::shared_ptr<const serve::Snapshot> empty_snapshot(std::uint64_t version) {
+    serve::SnapshotBuilder builder;
+    return builder.build(version, {});
+}
+
+core::TargetRecord labeled(const std::string& key, std::optional<stack::Vendor> vendor) {
+    core::TargetRecord record;
+    record.features.protocol_mask = 0b111;  // non-empty feature row
+    record.signature = core::Signature::from_parts(key, 0b111);
+    record.snmp_vendor = vendor;
+    return record;
+}
+
+// ----------------------------------------------------------- SnapshotStore
+
+TEST(SnapshotStore, PublishCurrentAndRetention) {
+    serve::SnapshotStore store(3);
+    EXPECT_EQ(store.current(), nullptr);
+    EXPECT_EQ(store.version(1), nullptr);
+
+    for (std::uint64_t v = 1; v <= 6; ++v) {
+        EXPECT_EQ(store.publish(empty_snapshot(v)), v);
+    }
+    ASSERT_NE(store.current(), nullptr);
+    EXPECT_EQ(store.current()->version(), 6u);
+
+    // Ring of 3: versions 4..6 retained, 1..3 aged out.
+    EXPECT_EQ(store.version(3), nullptr);
+    for (std::uint64_t v = 4; v <= 6; ++v) {
+        ASSERT_NE(store.version(v), nullptr);
+        EXPECT_EQ(store.version(v)->version(), v);
+    }
+    const auto retained = store.retained();
+    ASSERT_EQ(retained.size(), 3u);
+    EXPECT_EQ(retained.front()->version(), 4u);
+    EXPECT_EQ(retained.back()->version(), 6u);
+
+    // A zero retain limit clamps to one — the current snapshot is always
+    // reachable by version.
+    serve::SnapshotStore tight(0);
+    EXPECT_EQ(tight.retain_limit(), 1u);
+}
+
+TEST(SnapshotStore, ReadersNeverObserveTornOrBackwardVersions) {
+    serve::SnapshotStore store(4);
+    constexpr std::uint64_t kVersions = 200;
+    std::vector<std::shared_ptr<const serve::Snapshot>> prebuilt;
+    prebuilt.reserve(kVersions);
+    for (std::uint64_t v = 1; v <= kVersions; ++v) prebuilt.push_back(empty_snapshot(v));
+
+    std::atomic<bool> done{false};
+    std::atomic<bool> failed{false};
+    std::vector<std::thread> readers;
+    for (int r = 0; r < 4; ++r) {
+        readers.emplace_back([&store, &done, &failed] {
+            std::uint64_t last_seen = 0;
+            while (!done.load(std::memory_order_acquire)) {
+                const auto snapshot = store.current();
+                if (snapshot == nullptr) continue;  // before the first publish
+                const std::uint64_t version = snapshot->version();
+                // The RCU contract: a held snapshot stays valid, and the
+                // published version never goes backward.
+                if (version < last_seen || version == 0 || version > kVersions) {
+                    failed.store(true, std::memory_order_release);
+                    return;
+                }
+                last_seen = version;
+            }
+        });
+    }
+    for (auto& snapshot : prebuilt) store.publish(std::move(snapshot));
+    done.store(true, std::memory_order_release);
+    for (auto& reader : readers) reader.join();
+    EXPECT_FALSE(failed.load());
+    EXPECT_EQ(store.current()->version(), kVersions);
+}
+
+// ------------------------------------------- pass-aware absorb/retraction
+
+TEST(SignatureAbsorbSink, RetractionMakesIncrementalFeedMatchFinalOnly) {
+    // Incremental per-pass feed: repeated global indices supersede earlier
+    // records — the sink retracts the superseded contribution before
+    // absorbing the upgrade.
+    const core::SignatureDbConfig config{.min_occurrences = 1};
+    core::SignatureDatabase incremental(config);
+    core::SignatureAbsorbSink sink(incremental, nullptr, {.retract_superseded = true});
+    sink.accept(0, labeled("sigA", stack::Vendor::cisco));
+    sink.accept(1, labeled("sigB", stack::Vendor::juniper));
+    sink.accept(2, labeled("sigC", std::nullopt));            // unlabeled pass-0 record
+    sink.accept(0, labeled("sigA2", stack::Vendor::cisco));   // signature upgraded on retry
+    sink.accept(1, labeled("sigB", stack::Vendor::nokia));    // label changed on retry
+    sink.accept(2, labeled("sigC", stack::Vendor::huawei));   // label gained on retry
+    sink.finish();
+    incremental.finalize();
+
+    // Final-records-only absorption of the same census.
+    core::SignatureDatabase final_only(config);
+    for (const auto& record :
+         {labeled("sigA2", stack::Vendor::cisco), labeled("sigB", stack::Vendor::nokia),
+          labeled("sigC", stack::Vendor::huawei)}) {
+        final_only.add_labeled(record.signature, *record.snmp_vendor);
+    }
+    final_only.finalize();
+
+    ASSERT_EQ(incremental.signatures().size(), final_only.signatures().size());
+    for (const auto& [signature, stats] : final_only.signatures()) {
+        const core::SignatureStats* incremental_stats = incremental.lookup(signature);
+        ASSERT_NE(incremental_stats, nullptr) << signature.key();
+        EXPECT_EQ(incremental_stats->total, stats.total) << signature.key();
+        EXPECT_EQ(incremental_stats->vendor_counts, stats.vendor_counts) << signature.key();
+    }
+    // The fully-retracted signature is gone, not present-with-zero.
+    EXPECT_EQ(incremental.lookup(core::Signature::from_parts("sigA", 0b111)), nullptr);
+
+    // Without retraction the superseded contributions linger — the flag is
+    // doing the work.
+    core::SignatureDatabase additive(config);
+    core::SignatureAbsorbSink plain(additive, nullptr);
+    plain.accept(0, labeled("sigA", stack::Vendor::cisco));
+    plain.accept(0, labeled("sigA2", stack::Vendor::cisco));
+    additive.finalize();
+    EXPECT_NE(additive.lookup(core::Signature::from_parts("sigA", 0b111)), nullptr);
+}
+
+// ------------------------------------------------ served == batch pipeline
+
+TEST(ServeByteIdentity, SnapshotAnswersMatchBatchClassifications) {
+    // Serving side: one census through the SnapshotBuilder path.
+    ServeWorld serving_world;
+    serve::CensusService service(serving_world.plan(), on_demand_config(serving_world));
+    EXPECT_EQ(service.run_census_now(), 1u);
+    const auto snapshot = service.store().current();
+    ASSERT_NE(snapshot, nullptr);
+
+    // Reference side: the classic batch pipeline over a *fresh* world
+    // rebuilt from the same seeds (simulated routers are stateful, so the
+    // serving world cannot simply be probed again).
+    ServeWorld batch_world;
+    core::CensusRunner runner(batch_world.plan());
+    core::Measurement measurement = runner.run_passes();
+    const core::SignatureDatabase database =
+        runner.build_database(std::span<const core::Measurement>(&measurement, 1));
+    runner.classify(measurement, database);
+
+    // Byte-identical CSV export — same records, same classifications, same
+    // pass provenance, same order.
+    std::ostringstream served;
+    std::ostringstream batch;
+    io::export_measurement_csv(served, snapshot->expand());
+    io::export_measurement_csv(batch, measurement);
+    EXPECT_EQ(served.str(), batch.str());
+
+    // Same pass trajectory.
+    ASSERT_EQ(snapshot->pass_stats().size(), runner.last_pass_stats().size());
+    for (std::size_t p = 0; p < snapshot->pass_stats().size(); ++p) {
+        EXPECT_EQ(snapshot->pass_stats()[p], runner.last_pass_stats()[p]) << "pass " << p;
+    }
+
+    // Point lookups agree with the batch records field by field.
+    const serve::QueryEngine engine(service.store());
+    std::size_t responsive = 0;
+    for (const auto& record : measurement.records) {
+        const serve::VendorAnswer answer = engine.vendor_of(record.probes.target);
+        ASSERT_TRUE(answer.known) << record.probes.target.to_string();
+        EXPECT_EQ(answer.version, 1u);
+        EXPECT_EQ(answer.snmp_vendor, record.snmp_vendor);
+        EXPECT_EQ(answer.lfp_vendor, record.lfp.vendor);
+        EXPECT_EQ(answer.kind, record.lfp.kind);
+        EXPECT_EQ(answer.confidence, record.lfp.confidence);
+        EXPECT_EQ(answer.pass, record.pass);
+        if (answer.responsive) ++responsive;
+    }
+    EXPECT_EQ(responsive, snapshot->counts().responsive);
+    EXPECT_GT(responsive, 0u);
+
+    // The AS aggregates cover exactly the targets the resolver places.
+    std::size_t routers_in_mixes = 0;
+    for (const auto& [asn, mix] : snapshot->as_mixes()) {
+        EXPECT_EQ(mix.asn, asn);
+        routers_in_mixes += mix.routers_total;
+    }
+    EXPECT_EQ(routers_in_mixes, measurement.records.size());
+}
+
+// ---------------------------------------------------------- PassScheduler
+
+TEST(PassScheduler, OnDemandTriggersRunExactlyWhenAsked) {
+    std::atomic<int> passes{0};
+    serve::PassScheduler scheduler([&passes] { ++passes; },
+                                   {.interval = 0ms, .run_immediately = false});
+    scheduler.start();
+    std::this_thread::sleep_for(20ms);
+    EXPECT_EQ(passes.load(), 0);  // nothing fires without a trigger
+
+    scheduler.trigger();
+    ASSERT_TRUE(scheduler.wait_for_passes(1, 5000ms));
+    scheduler.trigger();
+    ASSERT_TRUE(scheduler.wait_for_passes(2, 5000ms));
+    EXPECT_EQ(passes.load(), 2);
+    EXPECT_EQ(scheduler.passes_completed(), 2u);
+
+    scheduler.stop();
+    scheduler.stop();  // idempotent
+    EXPECT_FALSE(scheduler.wait_for_passes(3, 10ms));
+}
+
+TEST(PassScheduler, IntervalModeFiresRepeatedly) {
+    std::atomic<int> passes{0};
+    serve::PassScheduler scheduler([&passes] { ++passes; },
+                                   {.interval = 5ms, .run_immediately = true});
+    scheduler.start();
+    EXPECT_TRUE(scheduler.wait_for_passes(3, 5000ms));
+    scheduler.stop();
+    EXPECT_GE(passes.load(), 3);
+}
+
+TEST(PassScheduler, TriggerAloneStartsTheThread) {
+    std::atomic<int> passes{0};
+    serve::PassScheduler scheduler([&passes] { ++passes; },
+                                   {.interval = 0ms, .run_immediately = false});
+    scheduler.trigger();  // no explicit start()
+    EXPECT_TRUE(scheduler.wait_for_passes(1, 5000ms));
+}
+
+TEST(CensusService, TriggeredCensusesPublishSuccessiveVersions) {
+    ServeWorld world;
+    serve::CensusService service(world.plan(40), on_demand_config(world));
+    service.start();
+    EXPECT_EQ(service.store().current(), nullptr);  // run_immediately = false
+
+    service.trigger();
+    ASSERT_TRUE(service.wait_for_census(1, 30000ms));
+    ASSERT_NE(service.store().current(), nullptr);
+    EXPECT_EQ(service.store().current()->version(), 1u);
+
+    service.trigger();
+    ASSERT_TRUE(service.wait_for_census(2, 30000ms));
+    EXPECT_EQ(service.store().current()->version(), 2u);
+    EXPECT_EQ(service.censuses_completed(), 2u);
+    service.stop();
+
+    // Both versions retained: the diff path has something to compare.
+    EXPECT_NE(service.store().version(1), nullptr);
+    EXPECT_NE(service.store().version(2), nullptr);
+}
+
+// ------------------------------------------------------------ wire framing
+
+TEST(WireFraming, RoundTripsFramesFedInArbitraryChunks) {
+    const std::string big(100'000, 'x');
+    std::vector<std::uint8_t> stream;
+    for (const std::string& payload : {std::string("hello"), std::string(), big}) {
+        const auto frame = serve::encode_frame(payload);
+        stream.insert(stream.end(), frame.begin(), frame.end());
+    }
+
+    serve::FrameDecoder decoder;
+    std::vector<std::string> decoded;
+    for (std::size_t i = 0; i < stream.size(); i += 7) {
+        decoder.feed(stream.data() + i, std::min<std::size_t>(7, stream.size() - i));
+        while (auto payload = decoder.next()) decoded.push_back(*payload);
+    }
+    ASSERT_EQ(decoded.size(), 3u);
+    EXPECT_EQ(decoded[0], "hello");
+    EXPECT_EQ(decoded[1], "");
+    EXPECT_EQ(decoded[2], big);
+    EXPECT_FALSE(decoder.error());
+}
+
+TEST(WireFraming, OversizedFrameIsAProtocolError) {
+    const std::uint32_t absurd = serve::kMaxFramePayload + 1;
+    const std::uint8_t header[4] = {
+        static_cast<std::uint8_t>(absurd & 0xFF),
+        static_cast<std::uint8_t>((absurd >> 8) & 0xFF),
+        static_cast<std::uint8_t>((absurd >> 16) & 0xFF),
+        static_cast<std::uint8_t>((absurd >> 24) & 0xFF),
+    };
+    serve::FrameDecoder decoder;
+    decoder.feed(header, sizeof(header));
+    EXPECT_EQ(decoder.next(), std::nullopt);
+    EXPECT_TRUE(decoder.error());
+}
+
+// --------------------------------------------------------- request handling
+
+TEST(WireRequests, FullCommandSurface) {
+    ServeWorld world;
+    serve::CensusService service(world.plan(60), on_demand_config(world));
+    const serve::QueryEngine engine(service.store());
+
+    // Before any census: queries answer version 0, EXPORT refuses.
+    EXPECT_EQ(serve::handle_request("PING", service, engine).response, "OK pong");
+    EXPECT_TRUE(serve::handle_request("STATS", service, engine)
+                    .response.find("version=0") != std::string::npos);
+    EXPECT_TRUE(serve::handle_request("EXPORT", service, engine).response.rfind("ERR", 0) == 0);
+    EXPECT_TRUE(serve::handle_request("DIFF 1 2", service, engine).response.rfind("ERR", 0) ==
+                0);
+
+    // TRIGGER is synchronous on the wire: it returns the published version.
+    EXPECT_EQ(serve::handle_request("TRIGGER", service, engine).response, "OK version=1");
+    EXPECT_EQ(serve::handle_request("TRIGGER", service, engine).response, "OK version=2");
+
+    const auto snapshot = service.store().current();
+    ASSERT_NE(snapshot, nullptr);
+    const std::string first_ip =
+        net::IPv4Address(snapshot->records().front().target).to_string();
+
+    const std::string vendor = serve::handle_request("VENDOR " + first_ip, service, engine)
+                                   .response;
+    EXPECT_TRUE(vendor.rfind("OK version=2 ip=" + first_ip, 0) == 0) << vendor;
+    EXPECT_NE(vendor.find("known=1"), std::string::npos) << vendor;
+    EXPECT_NE(vendor.find("asn="), std::string::npos) << vendor;
+
+    // Unknown address answers known=0; garbage answers ERR.
+    EXPECT_NE(serve::handle_request("VENDOR 203.0.113.99", service, engine)
+                  .response.find("known=0"),
+              std::string::npos);
+    EXPECT_TRUE(serve::handle_request("VENDOR not-an-ip", service, engine)
+                    .response.rfind("ERR", 0) == 0);
+
+    // ASMIX of the first target's AS covers at least that router.
+    const auto asn = snapshot->asn_of(net::IPv4Address(snapshot->records().front().target));
+    ASSERT_TRUE(asn.has_value());
+    const std::string asmix =
+        serve::handle_request("ASMIX " + std::to_string(*asn), service, engine).response;
+    EXPECT_NE(asmix.find("routers="), std::string::npos) << asmix;
+    EXPECT_NE(serve::handle_request("ASMIX 4294967000", service, engine)
+                  .response.find("unknown"),
+              std::string::npos);
+    EXPECT_TRUE(serve::handle_request("ASMIX x", service, engine).response.rfind("ERR", 0) ==
+                0);
+
+    // PATH over three census targets: every hop known.
+    std::string path_request = "PATH";
+    for (std::size_t i = 0; i < 3 && i < snapshot->records().size(); ++i) {
+        path_request += ' ' + net::IPv4Address(snapshot->records()[i].target).to_string();
+    }
+    const std::string path = serve::handle_request(path_request, service, engine).response;
+    EXPECT_NE(path.find("hops=3 known=3"), std::string::npos) << path;
+
+    // DIFF of the two published versions.
+    const std::string diff = serve::handle_request("DIFF 1 2", service, engine).response;
+    EXPECT_TRUE(diff.rfind("OK from=1 to=2", 0) == 0) << diff;
+    EXPECT_NE(diff.find("from_passes=2 to_passes=2"), std::string::npos) << diff;
+    EXPECT_TRUE(serve::handle_request("DIFF 1 99", service, engine).response.rfind("ERR", 0) ==
+                0);
+
+    // EXPORT returns the raw CSV (header first, no OK prefix).
+    const std::string csv = serve::handle_request("EXPORT", service, engine).response;
+    EXPECT_TRUE(csv.rfind("ip,responsive_protocols,", 0) == 0);
+
+    // Operand and verb errors.
+    EXPECT_TRUE(serve::handle_request("", service, engine).response.rfind("ERR", 0) == 0);
+    EXPECT_TRUE(serve::handle_request("PING extra", service, engine).response.rfind("ERR", 0) ==
+                0);
+    EXPECT_TRUE(serve::handle_request("VENDOR", service, engine).response.rfind("ERR", 0) == 0);
+    EXPECT_TRUE(serve::handle_request("DIFF 1", service, engine).response.rfind("ERR", 0) == 0);
+    EXPECT_TRUE(serve::handle_request("NONSENSE", service, engine).response.rfind("ERR", 0) ==
+                0);
+
+    // SHUTDOWN answers and raises the flag.
+    const serve::RequestOutcome shutdown = serve::handle_request("SHUTDOWN", service, engine);
+    EXPECT_EQ(shutdown.response, "OK bye");
+    EXPECT_TRUE(shutdown.shutdown);
+    EXPECT_FALSE(serve::handle_request("PING", service, engine).shutdown);
+}
+
+// ------------------------------------------------------------- QueryEngine
+
+TEST(QueryEngine, AnswersBeforeFirstPublishAreVersionZero) {
+    serve::SnapshotStore store;
+    const serve::QueryEngine engine(store);
+    const serve::VendorAnswer vendor = engine.vendor_of(net::IPv4Address(0x01020304));
+    EXPECT_EQ(vendor.version, 0u);
+    EXPECT_FALSE(vendor.known);
+
+    const serve::AsMixAnswer mix = engine.as_mix(42);
+    EXPECT_EQ(mix.version, 0u);
+    EXPECT_FALSE(mix.mix.has_value());
+
+    const std::vector<net::IPv4Address> hops = {net::IPv4Address(0x01020304)};
+    const serve::PathProfile profile = engine.path_profile(hops);
+    EXPECT_EQ(profile.version, 0u);
+    ASSERT_EQ(profile.hops.size(), 1u);
+    EXPECT_FALSE(profile.hops.front().known);
+    EXPECT_TRUE(profile.combination.empty());
+
+    EXPECT_FALSE(engine.diff(1, 2).has_value());
+}
+
+}  // namespace
+}  // namespace lfp

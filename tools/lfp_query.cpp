@@ -1,0 +1,98 @@
+// lfp_query: CLI client for the lfp_serve daemon. Maps subcommands onto
+// the wire verbs one-for-one and prints the response payload; exits
+// nonzero when the server answers ERR (or the socket is unreachable), so
+// shell scripts can assert on answers directly.
+//
+//   lfp_query [--socket PATH] ping|stats|export|trigger|shutdown
+//   lfp_query [--socket PATH] vendor <ip>
+//   lfp_query [--socket PATH] asmix <asn>
+//   lfp_query [--socket PATH] path <ip> [<ip>...]
+//   lfp_query [--socket PATH] diff <from-version> <to-version>
+#include <cerrno>
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "serve/service.hpp"
+#include "serve/wire.hpp"
+
+namespace {
+
+using namespace lfp;
+
+void usage(std::ostream& out) {
+    out << "usage: lfp_query [--socket PATH] <command> [operands...]\n"
+           "commands: ping stats export trigger shutdown\n"
+           "          vendor <ip> | asmix <asn> | path <ip> [<ip>...] |"
+           " diff <from> <to>\n";
+}
+
+std::string to_verb(std::string command) {
+    for (char& c : command) c = static_cast<char>(std::toupper(static_cast<unsigned char>(c)));
+    return command;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    std::string socket_path = serve::default_socket_path();
+    int i = 1;
+    if (i < argc && std::string(argv[i]) == "--socket") {
+        if (i + 1 >= argc) {
+            usage(std::cerr);
+            return 2;
+        }
+        socket_path = argv[i + 1];
+        i += 2;
+    }
+    if (i >= argc) {
+        usage(std::cerr);
+        return 2;
+    }
+
+    std::string request = to_verb(argv[i++]);
+    for (; i < argc; ++i) {
+        request += ' ';
+        request += argv[i];
+    }
+
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0) {
+        std::cerr << "lfp_query: socket: " << std::strerror(errno) << '\n';
+        return 1;
+    }
+    sockaddr_un address{};
+    address.sun_family = AF_UNIX;
+    if (socket_path.size() >= sizeof(address.sun_path)) {
+        std::cerr << "lfp_query: socket path too long: " << socket_path << '\n';
+        ::close(fd);
+        return 1;
+    }
+    std::strncpy(address.sun_path, socket_path.c_str(), sizeof(address.sun_path) - 1);
+    if (::connect(fd, reinterpret_cast<const sockaddr*>(&address), sizeof(address)) != 0) {
+        std::cerr << "lfp_query: connect " << socket_path << ": " << std::strerror(errno)
+                  << '\n';
+        ::close(fd);
+        return 1;
+    }
+
+    if (!serve::write_frame(fd, request)) {
+        std::cerr << "lfp_query: write failed\n";
+        ::close(fd);
+        return 1;
+    }
+    const auto response = serve::read_frame(fd);
+    ::close(fd);
+    if (!response) {
+        std::cerr << "lfp_query: no response\n";
+        return 1;
+    }
+    std::cout << *response;
+    if (!response->empty() && response->back() != '\n') std::cout << '\n';
+    return response->rfind("ERR", 0) == 0 ? 1 : 0;
+}

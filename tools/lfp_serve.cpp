@@ -1,0 +1,226 @@
+// lfp_serve: the census-as-a-service daemon over the simulated Internet.
+//
+// Builds a deterministic sim world (fixed seeds), runs an initial census,
+// and serves VENDOR/ASMIX/PATH/DIFF/STATS/EXPORT/TRIGGER queries over a
+// unix-domain socket using the length-prefixed frame protocol in
+// serve/wire.hpp. With --interval-ms the PassScheduler re-censuses on a
+// timer, publishing a fresh snapshot version each time; queries keep
+// answering from the previous version while a pass runs.
+//
+// --batch-csv PATH additionally runs the classic batch pipeline (probe →
+// build database → classify → export CSV) over a *second* world rebuilt
+// from the same seeds and writes its CSV there — the byte-identity
+// reference the serve-smoke CI step diffs `lfp_query export` against.
+#include <cerrno>
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "core/census.hpp"
+#include "io/csv_export.hpp"
+#include "probe/sim_transport.hpp"
+#include "serve/query.hpp"
+#include "serve/service.hpp"
+#include "serve/wire.hpp"
+#include "sim/internet.hpp"
+#include "sim/topology.hpp"
+
+namespace {
+
+using namespace lfp;
+
+struct ServeArgs {
+    std::string socket_path = serve::default_socket_path();
+    std::string batch_csv;
+    std::uint64_t interval_ms = 0;
+    std::size_t passes = 3;
+    std::size_t retain = 4;
+    std::size_t target_limit = 0;  // 0 = every router
+    double loss_rate = 0.02;
+    double scale = 0.6;
+};
+
+void usage(std::ostream& out) {
+    out << "usage: lfp_serve [--socket PATH] [--interval-ms N] [--passes N] [--retain N]\n"
+           "                 [--targets N] [--loss RATE] [--scale S] [--batch-csv PATH]\n"
+           "Serves census queries over a unix socket (protocol: serve/wire.hpp).\n"
+           "Environment: LFP_SERVE_SOCKET, LFP_SERVE_INTERVAL_MS, LFP_SERVE_RETAIN.\n";
+}
+
+/// The deterministic serving world: fixed topology/internet seeds so a
+/// second process (or the --batch-csv reference pipeline) can rebuild an
+/// identical Internet and probe it to identical records.
+struct World {
+    explicit World(const ServeArgs& args)
+        : topology(sim::Topology::build({.seed = 77,
+                                         .num_ases = 200,
+                                         .tier1_count = 6,
+                                         .transit_fraction = 0.2,
+                                         .scale = args.scale})),
+          internet(topology, {.seed = 13, .loss_rate = args.loss_rate}),
+          transport(std::make_unique<probe::SimTransport>(internet)) {}
+
+    [[nodiscard]] core::CensusPlan plan(const ServeArgs& args) const {
+        core::CensusPlan plan;
+        plan.name = "serve";
+        for (std::size_t i = 0; i < topology.router_count(); ++i) {
+            if (args.target_limit != 0 && plan.targets.size() >= args.target_limit) break;
+            plan.targets.push_back(topology.router(i).interfaces().front());
+        }
+        plan.vantages.push_back(transport.get());
+        plan.campaign.window = 32;
+        plan.passes = args.passes;
+        plan.worker_threads = 0;  // one worker per hardware thread
+        return plan;
+    }
+
+    sim::Topology topology;
+    sim::Internet internet;
+    std::unique_ptr<probe::SimTransport> transport;
+};
+
+/// The batch reference: same seeds, same plan, classic measure → database →
+/// classify → CSV pipeline. A fresh world is mandatory — simulated routers
+/// are stateful, so re-probing the serving world would not reproduce the
+/// first census.
+bool write_batch_csv(const ServeArgs& args, const std::string& path) {
+    World world(args);
+    core::CensusRunner runner(world.plan(args));
+    core::Measurement measurement = runner.run_passes();
+    const core::SignatureDatabase database =
+        runner.build_database(std::span<const core::Measurement>(&measurement, 1));
+    runner.classify(measurement, database);
+    std::ofstream out(path);
+    if (!out) {
+        std::cerr << "lfp_serve: cannot write " << path << '\n';
+        return false;
+    }
+    io::export_measurement_csv(out, measurement);
+    return static_cast<bool>(out);
+}
+
+int serve_loop(const std::string& socket_path, serve::CensusService& service,
+               const serve::QueryEngine& engine) {
+    const int listener = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (listener < 0) {
+        std::cerr << "lfp_serve: socket: " << std::strerror(errno) << '\n';
+        return 1;
+    }
+    sockaddr_un address{};
+    address.sun_family = AF_UNIX;
+    if (socket_path.size() >= sizeof(address.sun_path)) {
+        std::cerr << "lfp_serve: socket path too long: " << socket_path << '\n';
+        ::close(listener);
+        return 1;
+    }
+    std::strncpy(address.sun_path, socket_path.c_str(), sizeof(address.sun_path) - 1);
+    ::unlink(socket_path.c_str());
+    if (::bind(listener, reinterpret_cast<const sockaddr*>(&address), sizeof(address)) != 0 ||
+        ::listen(listener, 16) != 0) {
+        std::cerr << "lfp_serve: bind/listen " << socket_path << ": " << std::strerror(errno)
+                  << '\n';
+        ::close(listener);
+        return 1;
+    }
+    std::cout << "lfp_serve: listening on " << socket_path << std::endl;
+
+    bool shutdown = false;
+    while (!shutdown) {
+        const int client = ::accept(listener, nullptr, nullptr);
+        if (client < 0) {
+            if (errno == EINTR) continue;
+            std::cerr << "lfp_serve: accept: " << std::strerror(errno) << '\n';
+            break;
+        }
+        // One request/response exchange at a time per connection; the CLI
+        // and smoke scripts open a fresh connection per command.
+        while (auto request = serve::read_frame(client)) {
+            const serve::RequestOutcome outcome =
+                serve::handle_request(*request, service, engine);
+            if (!serve::write_frame(client, outcome.response)) break;
+            if (outcome.shutdown) {
+                shutdown = true;
+                break;
+            }
+        }
+        ::close(client);
+    }
+    ::close(listener);
+    ::unlink(socket_path.c_str());
+    return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    ServeArgs args;
+    for (int i = 1; i < argc; ++i) {
+        const std::string flag = argv[i];
+        auto next = [&]() -> std::optional<std::string> {
+            if (i + 1 >= argc) return std::nullopt;
+            return std::string(argv[++i]);
+        };
+        if (flag == "--help" || flag == "-h") {
+            usage(std::cout);
+            return 0;
+        }
+        std::optional<std::string> value;
+        if (flag == "--socket" && (value = next())) {
+            args.socket_path = *value;
+        } else if (flag == "--batch-csv" && (value = next())) {
+            args.batch_csv = *value;
+        } else if (flag == "--interval-ms" && (value = next())) {
+            args.interval_ms = std::stoull(*value);
+        } else if (flag == "--passes" && (value = next())) {
+            args.passes = std::stoull(*value);
+        } else if (flag == "--retain" && (value = next())) {
+            args.retain = std::stoull(*value);
+        } else if (flag == "--targets" && (value = next())) {
+            args.target_limit = std::stoull(*value);
+        } else if (flag == "--loss" && (value = next())) {
+            args.loss_rate = std::stod(*value);
+        } else if (flag == "--scale" && (value = next())) {
+            args.scale = std::stod(*value);
+        } else {
+            std::cerr << "lfp_serve: bad argument '" << flag << "'\n";
+            usage(std::cerr);
+            return 2;
+        }
+    }
+
+    if (!args.batch_csv.empty() && !write_batch_csv(args, args.batch_csv)) return 1;
+
+    World world(args);
+    serve::ServiceConfig config = serve::ServiceConfig::from_env();
+    config.name = "serve";
+    config.interval = std::chrono::milliseconds(
+        args.interval_ms != 0 ? args.interval_ms
+                              : static_cast<std::uint64_t>(config.interval.count()));
+    config.retain = args.retain;
+    config.run_immediately = false;  // the first census runs synchronously below
+    sim::Topology& topology = world.topology;
+    config.asn = [&topology](net::IPv4Address address) -> std::optional<std::uint32_t> {
+        const std::size_t index = topology.find_by_interface(address);
+        if (index == sim::Topology::npos) return std::nullopt;
+        return topology.asn_of(index);
+    };
+
+    serve::CensusService service(world.plan(args), config);
+    const std::uint64_t version = service.run_census_now();
+    std::cout << "lfp_serve: published snapshot v" << version << " ("
+              << service.store().current()->records().size() << " targets, "
+              << service.store().current()->pass_stats().size() << " passes)" << std::endl;
+    if (config.interval.count() > 0) service.start();
+
+    const serve::QueryEngine engine(service.store());
+    return serve_loop(args.socket_path, service, engine);
+}
