@@ -59,6 +59,7 @@ WorldConfig WorldConfig::from_env() {
     config.adaptive_window = adaptive == 1;
     config.packets_per_second = env_double("LFP_PPS", config.packets_per_second);
     config.passes = static_cast<std::size_t>(env_u64("LFP_PASSES", config.passes));
+    config.faults = sim::FaultPlan::from_env();
     config.validate();
     return config;
 }
@@ -106,6 +107,7 @@ void WorldConfig::validate() const {
                                     std::to_string(passes) + " exceeds the ceiling of " +
                                     std::to_string(core::CensusPlan::kMaxPasses));
     }
+    faults.validate();
 }
 
 std::unique_ptr<ExperimentWorld> ExperimentWorld::create(WorldConfig config) {
@@ -127,6 +129,16 @@ ExperimentWorld::ExperimentWorld(WorldConfig config)
     for (std::size_t v = 0; v < config.vantages; ++v) {
         transports_.push_back(std::make_unique<probe::SimTransport>(internet_));
     }
+    // Fault matrix: decorate every lane's transport when any fault class is
+    // active. The decorator's fault draws are pure functions of (seed,
+    // packet bytes), so a faulted build is itself deterministic.
+    if (config.faults.any()) {
+        fault_transports_.reserve(transports_.size());
+        for (auto& transport : transports_) {
+            fault_transports_.push_back(
+                std::make_unique<sim::FaultInjectingTransport>(*transport, config.faults));
+        }
+    }
 
     // Datasets.
     sim::DatasetConfig dataset_config;
@@ -141,7 +153,13 @@ ExperimentWorld::ExperimentWorld(WorldConfig config)
     // like one long serial campaign over the concatenated target lists.
     core::CensusPlan plan;
     plan.vantages.reserve(transports_.size());
-    for (const auto& transport : transports_) plan.vantages.push_back(transport.get());
+    if (fault_transports_.empty()) {
+        for (const auto& transport : transports_) plan.vantages.push_back(transport.get());
+    } else {
+        for (const auto& transport : fault_transports_) {
+            plan.vantages.push_back(transport.get());
+        }
+    }
     plan.campaign.window = config.window;
     plan.campaign.adaptive_window = config.adaptive_window;
     plan.campaign.packets_per_second = config.packets_per_second;

@@ -26,6 +26,7 @@
 #include "core/pipeline.hpp"
 #include "probe/sim_transport.hpp"
 #include "sim/datasets.hpp"
+#include "sim/faults.hpp"
 #include "sim/internet.hpp"
 #include "sim/topology.hpp"
 
@@ -57,9 +58,19 @@ struct WorldConfig {
     /// into full ones.
     std::size_t passes = 1;
 
+    /// Fault matrix for the vantage transports: when any rate is non-zero
+    /// (or a wedge point is set) every SimTransport is wrapped in a
+    /// FaultInjectingTransport, so any scenario built on ExperimentWorld
+    /// can run under injected send failures, payload corruption,
+    /// duplication, reordering, stalls, and lane wedges. All-zero (the
+    /// default) leaves the transports unwrapped — byte-identical to every
+    /// prior build.
+    sim::FaultPlan faults;
+
     /// Honors LFP_SEED / LFP_SCALE / LFP_ASES / LFP_TRACES / LFP_WINDOW /
     /// LFP_WORKERS / LFP_VANTAGES / LFP_ADAPTIVE (0/1) / LFP_PPS /
-    /// LFP_PASSES env overrides. Throws std::invalid_argument (naming the
+    /// LFP_PASSES env overrides, plus the LFP_FAULT_* family (see
+    /// sim::FaultPlan::from_env). Throws std::invalid_argument (naming the
     /// variable) on unparseable or absurd values.
     static WorldConfig from_env();
 
@@ -80,11 +91,18 @@ class ExperimentWorld {
     [[nodiscard]] sim::Topology& topology() noexcept { return topology_; }
     [[nodiscard]] const sim::Topology& topology() const noexcept { return topology_; }
     [[nodiscard]] sim::Internet& internet() noexcept { return internet_; }
-    /// Lane 0's transport (the classic single-vantage view).
+    /// Lane 0's transport (the classic single-vantage view). Always the
+    /// bare SimTransport — fault decoration, when on, wraps around it.
     [[nodiscard]] probe::SimTransport& transport() noexcept { return *transports_.front(); }
     [[nodiscard]] const std::vector<std::unique_ptr<probe::SimTransport>>& vantage_transports()
         const noexcept {
         return transports_;
+    }
+    /// The fault decorators, one per lane — empty unless config.faults is
+    /// active.
+    [[nodiscard]] const std::vector<std::unique_ptr<sim::FaultInjectingTransport>>&
+    fault_transports() const noexcept {
+        return fault_transports_;
     }
 
     [[nodiscard]] const std::vector<sim::TracerouteDataset>& ripe() const noexcept {
@@ -120,6 +138,7 @@ class ExperimentWorld {
     sim::Topology topology_;
     sim::Internet internet_;
     std::vector<std::unique_ptr<probe::SimTransport>> transports_;
+    std::vector<std::unique_ptr<sim::FaultInjectingTransport>> fault_transports_;
     std::vector<sim::TracerouteDataset> ripe_;
     sim::ItdkDataset itdk_;
     std::vector<core::Measurement> measurements_;

@@ -2,13 +2,18 @@
 
 #include <algorithm>
 #include <atomic>
+#include <charconv>
 #include <chrono>
+#include <cstdlib>
 #include <exception>
+#include <filesystem>
 #include <memory>
 #include <stdexcept>
+#include <string_view>
 #include <thread>
 #include <unordered_map>
 
+#include "core/checkpoint.hpp"
 #include "core/labeler.hpp"
 #include "probe/campaign.hpp"
 #include "util/arena.hpp"
@@ -44,8 +49,57 @@ struct LaneStream {
 
     util::SpscRing<probe::TargetProbeResult> ring;
     std::atomic<bool> done{false};
+    /// Raised by the watchdog when the consumer declares this lane dead: the
+    /// campaign's cancel seam, so a lane wedged with nothing completing
+    /// still exits promptly instead of waiting out its target list.
+    std::atomic<bool> cancel{false};
     std::exception_ptr error;  ///< synchronised by thread join
 };
+
+/// RecordSink that drops everything — the destination of checkpoint-resume
+/// replay traffic, which exists to advance stateful transports, not to
+/// produce records.
+class DiscardSink final : public RecordSink {
+  public:
+    void accept(std::uint64_t, TargetRecord&&) override {}
+};
+
+/// Pass p's ID lanes: pure functions of (pass, global index) — see
+/// CensusPlan::kPassIpidStride.
+probe::Campaign::Config shifted_config(const probe::Campaign::Config& base,
+                                       std::size_t pass) {
+    probe::Campaign::Config shifted = base;
+    shifted.ipid_base =
+        static_cast<std::uint16_t>(shifted.ipid_base + pass * CensusPlan::kPassIpidStride);
+    shifted.snmp_message_id_base +=
+        static_cast<std::uint32_t>(pass) * CensusPlan::kPassMsgIdStride;
+    return shifted;
+}
+
+/// Plan knob first, LFP_WATCHDOG_MS as the fallback when the plan leaves it
+/// unset. Unparseable env values throw, like WorldConfig::from_env.
+std::chrono::milliseconds resolved_watchdog(const CensusPlan& plan) {
+    if (plan.watchdog.count() != 0) return plan.watchdog;
+    const char* env = std::getenv("LFP_WATCHDOG_MS");
+    if (env == nullptr || *env == '\0') return std::chrono::milliseconds{0};
+    std::uint64_t parsed = 0;
+    const auto [ptr, ec] =
+        std::from_chars(env, env + std::string_view(env).size(), parsed);
+    if (ec != std::errc{} || *ptr != '\0') {
+        throw std::invalid_argument(std::string("unparseable LFP_WATCHDOG_MS='") + env +
+                                    "'");
+    }
+    return std::chrono::milliseconds{parsed};
+}
+
+/// Plan knob first, LFP_CHECKPOINT_DIR as the fallback.
+std::string resolved_checkpoint_dir(const CensusPlan& plan) {
+    if (!plan.checkpoint_dir.empty()) return plan.checkpoint_dir;
+    if (const char* env = std::getenv("LFP_CHECKPOINT_DIR"); env != nullptr && *env != '\0') {
+        return env;
+    }
+    return {};
+}
 
 /// Assembles one TargetRecord from a completed probe exchange (steps 1-2
 /// glue shared by the streaming consumer and assemble_measurement).
@@ -168,6 +222,9 @@ void CensusPlan::validate() const {
     }
     if (spill && spill_config.segment_records == 0) {
         plan_error("spill_config.segment_records must be >= 1");
+    }
+    if (watchdog.count() < 0) {
+        plan_error("watchdog must be >= 0 (0 = supervision off)");
     }
     if (!(campaign.packets_per_second >= 0)) {  // also rejects NaN
         plan_error("campaign.packets_per_second must be >= 0 (0 = unpaced)");
@@ -299,6 +356,23 @@ void CensusRunner::stream_indexed(std::span<const net::IPv4Address> targets,
     // drop further emissions instead of blocking on a ring nobody drains.
     std::atomic<bool> abort{false};
 
+    // Lane supervision (tentpole 2). When the plan (or LFP_WATCHDOG_MS)
+    // arms a watchdog, a lane that delivers nothing for a whole deadline —
+    // or exits with targets still owed — is declared dead: its campaign is
+    // cancelled and its unfinished targets are requeued onto the surviving
+    // lanes after the loop. IDs are pure functions of (pass, global index),
+    // so the recovered run's output merges byte-identically with an
+    // unfaulted one. All state is empty when supervision is off — the
+    // normal path pays one predictable branch per pop, nothing more.
+    // Resolved before any lane thread exists: an unparseable LFP_WATCHDOG_MS
+    // must throw while unwinding is still safe.
+    const std::chrono::milliseconds watchdog = resolved_watchdog(plan_);
+    const bool supervised = watchdog.count() > 0;
+    std::vector<char> lane_dead(supervised ? lanes : 0, 0);
+    std::vector<std::size_t> holes;  ///< positions owed by dead lanes
+    std::vector<std::pair<std::size_t, probe::TargetProbeResult>> buffered;
+    std::size_t dead_lanes = 0;
+
     std::vector<std::thread> threads;
     threads.reserve(lanes);
     for (std::size_t v = 0; v < lanes; ++v) {
@@ -319,7 +393,8 @@ void CensusRunner::stream_indexed(std::span<const net::IPv4Address> targets,
                             push_backoff.pause();
                         }
                         return !abort.load(std::memory_order_acquire);
-                    });
+                    },
+                    &lane.cancel);
             } catch (...) {
                 lane.error = std::current_exception();
             }
@@ -368,30 +443,155 @@ void CensusRunner::stream_indexed(std::span<const net::IPv4Address> targets,
             batch_indices.clear();
         };
 
+        // Declare lane v dead: stop its campaign, flush what the sink can
+        // still take in order (everything batched predates the first
+        // hole), and count the recovery. Requeueing happens after the loop.
+        auto mark_dead = [&](std::size_t v) {
+            lane_dead[v] = 1;
+            ++dead_lanes;
+            ++lanes_recovered_;
+            streams[v]->cancel.store(true, std::memory_order_release);
+            flush();
+        };
+
         util::SpinBackoff pop_backoff(kRingBackoff);
         for (std::size_t i = 0; i < targets.size(); ++i) {
-            LaneStream& lane = *streams[lane_of[i]];
+            const std::size_t v = lane_of[i];
+            if (dead_lanes != 0 && lane_dead[v] != 0) {
+                holes.push_back(i);
+                continue;
+            }
+            LaneStream& lane = *streams[v];
             probe::TargetProbeResult result;
             pop_backoff.reset();
+            bool popped = true;
+            std::chrono::steady_clock::time_point wait_start{};
+            std::size_t spins = 0;
             while (!lane.ring.try_pop(result)) {
                 if (lane.done.load(std::memory_order_acquire)) {
                     // The producer is gone; whatever it managed to push is
                     // still in the ring — only a truly empty ring means the
                     // lane died short of index i.
                     if (lane.ring.try_pop(result)) break;
+                    if (supervised && dead_lanes + 1 < lanes) {
+                        mark_dead(v);
+                        popped = false;
+                        break;
+                    }
                     throw std::runtime_error(
-                        "CensusRunner::stream: vantage lane " +
-                        std::to_string(lane_of[i]) + " ended before target " +
-                        std::to_string(i) + (lane.error ? " (lane threw)" : ""));
+                        "CensusRunner::stream: vantage lane " + std::to_string(v) +
+                        " ended before target " + std::to_string(i) +
+                        (lane.error ? " (lane threw)" : ""));
+                }
+                if (supervised) {
+                    // Cheap deadline: stamp the clock on the first idle
+                    // spin, re-check it every 512 spins (~tens of ms at
+                    // the ring backoff cadence).
+                    if (spins == 0) wait_start = std::chrono::steady_clock::now();
+                    if (++spins % 512 == 0 &&
+                        std::chrono::steady_clock::now() - wait_start > watchdog) {
+                        if (dead_lanes + 1 < lanes) {
+                            mark_dead(v);
+                            popped = false;
+                            break;
+                        }
+                        throw std::runtime_error(
+                            "CensusRunner::stream: watchdog expired on vantage lane " +
+                            std::to_string(v) + " before target " + std::to_string(i) +
+                            " with no surviving lane to requeue onto");
+                    }
                 }
                 pop_backoff.pause();
             }
-            batch.push_back(std::move(result));
-            batch_indices.push_back(global_indices[i]);
-            if (batch.size() >= grain) flush();
+            if (!popped) {
+                holes.push_back(i);
+                continue;
+            }
+            if (dead_lanes == 0) {
+                batch.push_back(std::move(result));
+                batch_indices.push_back(global_indices[i]);
+                if (batch.size() >= grain) flush();
+            } else {
+                // Order through the sink is broken by the holes; park
+                // surviving-lane results until recovery fills the gaps.
+                buffered.emplace_back(i, std::move(result));
+            }
         }
-        flush();
-        sink.finish();
+
+        if (holes.empty()) {
+            flush();
+            sink.finish();
+        } else {
+            // Recovery. The surviving producers have delivered everything
+            // they own and the dead ones were cancelled — join, then
+            // re-probe the holes through the surviving vantages. Each dead
+            // lane's targets move, in order, to the next surviving lane
+            // (deterministic, so two recovered runs agree), and their IDs
+            // are untouched — still functions of the global index.
+            join_all();
+            std::vector<std::uint32_t> redirect(lanes, 0);
+            for (std::size_t d = 0; d < lanes; ++d) {
+                if (lane_dead[d] == 0) {
+                    redirect[d] = static_cast<std::uint32_t>(d);
+                    continue;
+                }
+                std::size_t r = (d + 1) % lanes;
+                while (lane_dead[r] != 0) r = (r + 1) % lanes;
+                redirect[d] = static_cast<std::uint32_t>(r);
+            }
+            std::vector<net::IPv4Address> requeue_targets;
+            std::vector<std::uint64_t> requeue_indices;
+            std::vector<std::uint32_t> requeue_assignment;
+            requeue_targets.reserve(holes.size());
+            requeue_indices.reserve(holes.size());
+            requeue_assignment.reserve(holes.size());
+            for (std::size_t i : holes) {
+                requeue_targets.push_back(targets[i]);
+                requeue_indices.push_back(global_indices[i]);
+                requeue_assignment.push_back(redirect[lane_of[i]]);
+            }
+            CollectingSink recovered("");
+            recovered.reserve(holes.size());
+            stream_indexed(requeue_targets, requeue_indices, requeue_assignment,
+                           campaign_config, recovered);
+            std::vector<TargetRecord> hole_records = recovered.take().records;
+
+            // Assemble the parked surviving-lane results the same way the
+            // batched path would have.
+            std::vector<TargetRecord> survivor_records(buffered.size());
+            {
+                TargetRecord* records = survivor_records.data();
+                auto* parked = buffered.data();
+                const FeatureExtractorConfig& extract_config = plan_.extractor;
+                pool_.parallel_for(buffered.size(), 8,
+                                   [&extract_config, records, parked](std::size_t begin,
+                                                                      std::size_t end) {
+                                       for (std::size_t k = begin; k < end; ++k) {
+                                           assemble_record(records[k],
+                                                           std::move(parked[k].second),
+                                                           extract_config);
+                                       }
+                                   });
+            }
+
+            // Emit the tail in position order: holes and parked results are
+            // each already position-sorted, so a two-pointer merge restores
+            // the global stream order the sink contract demands.
+            std::size_t h = 0;
+            std::size_t b = 0;
+            while (h < hole_records.size() || b < survivor_records.size()) {
+                if (b >= survivor_records.size() ||
+                    (h < hole_records.size() && holes[h] < buffered[b].first)) {
+                    sink.accept(global_indices[holes[h]], std::move(hole_records[h]));
+                    ++h;
+                } else {
+                    sink.accept(global_indices[buffered[b].first],
+                                std::move(survivor_records[b]));
+                    ++b;
+                }
+            }
+            sink.finish();
+        }
     } catch (...) {
         failure = std::current_exception();
         abort.store(true, std::memory_order_release);
@@ -400,10 +600,14 @@ void CensusRunner::stream_indexed(std::span<const net::IPv4Address> targets,
     join_all();
 
     // A lane's own exception explains the failure better than the
-    // consumer's "lane ended early" symptom; prefer it.
-    for (const auto& lane : streams) {
-        if (lane->error) {
-            failure = lane->error;
+    // consumer's "lane ended early" symptom; prefer it. Recovered (dead)
+    // lanes are exempt: their campaign was cancelled deliberately and their
+    // targets already re-probed — whatever they threw is not a failure of
+    // this run.
+    for (std::size_t v = 0; v < streams.size(); ++v) {
+        if (dead_lanes != 0 && lane_dead[v] != 0) continue;
+        if (streams[v]->error) {
+            failure = streams[v]->error;
             break;
         }
     }
@@ -439,6 +643,7 @@ void CensusRunner::stream_passes(std::span<const net::IPv4Address> targets,
                    " exceeds the ceiling of " + std::to_string(CensusPlan::kMaxPasses));
     }
     pass_stats_.clear();
+    resumed_ = false;
 
     // A single pass is the plain streaming census — the sink overlaps the
     // probing as usual, with a RetrySink in front only to tally how much a
@@ -493,14 +698,9 @@ void CensusRunner::stream_passes(std::span<const net::IPv4Address> targets,
             if (!assignment.empty()) subset_assignment.push_back(assignment[position]);
         }
 
-        probe::Campaign::Config shifted = plan_.campaign;
-        shifted.ipid_base = static_cast<std::uint16_t>(
-            shifted.ipid_base + pass * CensusPlan::kPassIpidStride);
-        shifted.snmp_message_id_base +=
-            static_cast<std::uint32_t>(pass) * CensusPlan::kPassMsgIdStride;
-
         MergeSink merge(records, index_base, static_cast<std::uint16_t>(pass));
-        stream_indexed(subset, subset_indices, subset_assignment, shifted, merge);
+        stream_indexed(subset, subset_indices, subset_assignment,
+                       shifted_config(plan_.campaign, pass), merge);
 
         std::vector<std::uint64_t> still;
         for (std::uint64_t g : retry_list) {
@@ -524,27 +724,126 @@ void CensusRunner::stream_passes(std::span<const net::IPv4Address> targets,
 void CensusRunner::stream_passes_spilled(std::span<const net::IPv4Address> targets,
                                          std::span<const std::uint32_t> assignment,
                                          std::size_t passes, RecordSink& sink) {
-    // Pass 0: stream the full list straight to disk. RAM footprint from
-    // here on: one unflushed segment of compact records plus two bytes of
-    // response mask per target — never a whole Measurement.
+    // Checkpointing (crash-tolerant resume): when a checkpoint directory is
+    // configured — plan_.checkpoint_dir or LFP_CHECKPOINT_DIR — the spill
+    // segments land there and a manifest is journaled next to them at every
+    // pass boundary. A census killed mid-pass resumes at the last boundary:
+    // completed passes' records are adopted from the surviving segments and
+    // the interrupted pass re-runs from scratch. Every ID is a pure
+    // function of (pass, global index) and the retry merge is idempotent
+    // per pass, so a partially-merged interrupted pass heals — re-running
+    // it recomputes identical records — and the resumed run's output is
+    // byte-identical to an uninterrupted one.
+    const std::string checkpoint_dir = resolved_checkpoint_dir(plan_);
+    const bool checkpointed = !checkpoint_dir.empty();
+    SpillConfig spill_config = plan_.spill_config;
+    if (checkpointed) spill_config.directory = checkpoint_dir;
+
     const std::uint64_t index_base = next_global_index_;
-    std::vector<std::uint64_t> indices(targets.size());
-    for (std::size_t i = 0; i < targets.size(); ++i) indices[i] = index_base + i;
-    SpillSink spill(plan_.spill_config, index_base);
-    stream_indexed(targets, indices, assignment, plan_.campaign, spill);
-    next_global_index_ += targets.size();
-    indices.clear();
-    indices.shrink_to_fit();
+    SpillSink spill(spill_config, index_base);
+
+    // Resume detection: a manifest describing this exact census shape
+    // (base, target count, segment geometry, a completed-pass count this
+    // run could have produced) means an earlier process was killed here.
+    std::size_t first_pass = 0;
+    std::vector<std::vector<std::uint64_t>> replay_lists;
+    if (checkpointed) {
+        if (auto manifest = read_manifest(checkpoint_dir);
+            manifest.has_value() && manifest->index_base == index_base &&
+            manifest->target_count == targets.size() &&
+            manifest->segment_records == spill_config.segment_records &&
+            manifest->completed_passes <= passes) {
+            std::vector<SpillSink::SegmentInfo> segments;
+            segments.reserve(manifest->segments.size());
+            for (const auto& [name, records] : manifest->segments) {
+                segments.push_back({std::filesystem::path(checkpoint_dir) / name, records});
+            }
+            spill.adopt(std::move(segments), std::move(manifest->masks));
+            pass_stats_ = std::move(manifest->pass_stats);
+            replay_lists = std::move(manifest->retry_lists);
+            first_pass = manifest->completed_passes;
+            resumed_ = true;
+        }
+    }
+
+    // Journal the census state as of `completed` finished passes. flush()
+    // first: after it, every accepted record is on disk and the manifest's
+    // segment list describes the census completely. The manifest itself is
+    // written atomically (tmp + rename), so a kill at any instant leaves
+    // either the previous checkpoint or this one — never a torn one.
+    auto write_checkpoint = [&](std::size_t completed) {
+        spill.flush();
+        CensusManifest manifest;
+        manifest.index_base = index_base;
+        manifest.target_count = targets.size();
+        manifest.segment_records = spill_config.segment_records;
+        manifest.completed_passes = static_cast<std::uint32_t>(completed);
+        for (const SpillSink::SegmentInfo& info : spill.segment_manifest()) {
+            manifest.segments.emplace_back(info.path.filename().string(), info.records);
+        }
+        manifest.masks = spill.response_masks();
+        manifest.pass_stats = pass_stats_;
+        manifest.retry_lists = replay_lists;
+        write_manifest(checkpoint_dir, manifest);
+    };
+
+    if (!resumed_) {
+        // Pass 0: stream the full list straight to disk. RAM footprint from
+        // here on: one unflushed segment of compact records plus two bytes
+        // of response mask per target — never a whole Measurement.
+        std::vector<std::uint64_t> indices(targets.size());
+        for (std::size_t i = 0; i < targets.size(); ++i) indices[i] = index_base + i;
+        stream_indexed(targets, indices, assignment, plan_.campaign, spill);
+        next_global_index_ += targets.size();
+    } else {
+        next_global_index_ += targets.size();
+        if (plan_.checkpoint_replay) {
+            // Simulated transports are stateful (per-router counters
+            // advance as probes arrive), so a resumed pass's packets must
+            // meet the same backend state they would have met in the
+            // uninterrupted run: replay every completed pass's send
+            // traffic, results discarded. Live transports set
+            // checkpoint_replay = false — real routers don't need warming.
+            DiscardSink discard;
+            std::vector<std::uint64_t> indices(targets.size());
+            for (std::size_t i = 0; i < targets.size(); ++i) indices[i] = index_base + i;
+            stream_indexed(targets, indices, assignment, plan_.campaign, discard);
+            for (std::size_t q = 1; q < first_pass; ++q) {
+                const std::vector<std::uint64_t>& list = replay_lists[q - 1];
+                std::vector<net::IPv4Address> subset;
+                std::vector<std::uint64_t> subset_indices;
+                std::vector<std::uint32_t> subset_assignment;
+                subset.reserve(list.size());
+                subset_indices.reserve(list.size());
+                if (!assignment.empty()) subset_assignment.reserve(list.size());
+                for (std::uint64_t g : list) {
+                    const std::size_t position = static_cast<std::size_t>(g - index_base);
+                    subset.push_back(targets[position]);
+                    subset_indices.push_back(g);
+                    if (!assignment.empty()) {
+                        subset_assignment.push_back(assignment[position]);
+                    }
+                }
+                stream_indexed(subset, subset_indices, subset_assignment,
+                               shifted_config(plan_.campaign, q), discard);
+            }
+        }
+    }
 
     // The retry population falls out of the mask index — the predicate is
-    // the same one RetrySink applies to full records.
+    // the same one RetrySink applies to full records. On resume the masks
+    // came from the manifest, so this recomputes exactly the list the
+    // killed process would have probed next.
     std::vector<std::uint64_t> retry_list;
     for (std::size_t i = 0; i < targets.size(); ++i) {
         if (RetrySink::incomplete_mask(spill.response_mask(index_base + i), plan_.retry)) {
             retry_list.push_back(index_base + i);
         }
     }
-    pass_stats_.push_back({targets.size(), 0, retry_list.size()});
+    if (!resumed_) {
+        pass_stats_.push_back({targets.size(), 0, retry_list.size()});
+        if (checkpointed) write_checkpoint(1);
+    }
 
     // Retry passes, as in the in-memory path (shifted ID lanes, strict-
     // improvement merge, merged state decides the next pass) — but the
@@ -552,7 +851,8 @@ void CensusRunner::stream_passes_spilled(std::span<const net::IPv4Address> targe
     // subset scratch comes from a bump arena recycled at each pass
     // boundary, so a steady retry cadence allocates nothing new.
     util::BumpArena pass_arena;
-    for (std::size_t pass = 1; pass < passes && !retry_list.empty(); ++pass) {
+    for (std::size_t pass = std::max<std::size_t>(first_pass, 1);
+         pass < passes && !retry_list.empty(); ++pass) {
         pass_arena.reset();
         auto subset = pass_arena.make_span<net::IPv4Address>(retry_list.size());
         auto subset_indices = pass_arena.make_span<std::uint64_t>(retry_list.size());
@@ -568,14 +868,9 @@ void CensusRunner::stream_passes_spilled(std::span<const net::IPv4Address> targe
             if (!assignment.empty()) subset_assignment[k] = assignment[position];
         }
 
-        probe::Campaign::Config shifted = plan_.campaign;
-        shifted.ipid_base = static_cast<std::uint16_t>(
-            shifted.ipid_base + pass * CensusPlan::kPassIpidStride);
-        shifted.snmp_message_id_base +=
-            static_cast<std::uint32_t>(pass) * CensusPlan::kPassMsgIdStride;
-
         SpillMergeSink merge(spill, static_cast<std::uint16_t>(pass));
-        stream_indexed(subset, subset_indices, subset_assignment, shifted, merge);
+        stream_indexed(subset, subset_indices, subset_assignment,
+                       shifted_config(plan_.campaign, pass), merge);
 
         std::vector<std::uint64_t> still;
         for (std::uint64_t g : retry_list) {
@@ -584,6 +879,10 @@ void CensusRunner::stream_passes_spilled(std::span<const net::IPv4Address> targe
             }
         }
         pass_stats_.push_back({retry_list.size(), merge.upgraded(), still.size()});
+        if (checkpointed) {
+            replay_lists.push_back(retry_list);
+            write_checkpoint(pass + 1);
+        }
         retry_list = std::move(still);
     }
 
@@ -592,6 +891,18 @@ void CensusRunner::stream_passes_spilled(std::span<const net::IPv4Address> targe
     // path (empty packet bytes aside; see CompactRecord).
     spill.drain(sink);
     sink.finish();
+
+    // Clean finish: the manifest (and, after a resume, the adopted segments
+    // the destructor deliberately leaves alone) are no longer needed.
+    if (checkpointed) {
+        remove_manifest(checkpoint_dir);
+        if (resumed_ && !spill_config.keep_segments) {
+            std::error_code ec;  // best-effort, like the destructor's cleanup
+            for (const SpillSink::SegmentInfo& info : spill.segment_manifest()) {
+                std::filesystem::remove(info.path, ec);
+            }
+        }
+    }
 }
 
 SignatureDatabase CensusRunner::build_database(std::span<const Measurement> measurements,

@@ -34,6 +34,7 @@
 // semantics and TargetRecord::pass provenance.
 #pragma once
 
+#include <chrono>
 #include <cstdint>
 #include <span>
 #include <string>
@@ -90,6 +91,41 @@ struct CensusPlan {
     std::size_t passes = 1;
     /// Retry policy for the multi-pass loop (see RetrySink::Options).
     RetrySink::Options retry;
+
+    /// Lane supervision deadline: when > 0, the streaming consumer watches
+    /// each lane for progress and declares a lane dead once it has neither
+    /// delivered a record nor finished within this window (also the trigger
+    /// for a lane that *ends* short of its targets, e.g. a transport that
+    /// threw). A dead lane is torn down (its campaign cancelled) and its
+    /// unfinished targets are requeued onto the surviving lanes — IDs are
+    /// pure functions of (pass, global index), so the re-probe stamps
+    /// exactly the packets the dead lane would have, and the merged stream
+    /// stays in global-index order. 0 (the default) disables supervision:
+    /// a short lane throws, as ever. Resolved from LFP_WATCHDOG_MS when the
+    /// plan leaves it 0. Set it comfortably above
+    /// campaign.response_timeout — a merely slow lane that trips the
+    /// watchdog is requeued too, which is safe but wasteful (and, on
+    /// stateful simulated transports, no longer byte-identical since the
+    /// first probes already advanced router state).
+    std::chrono::milliseconds watchdog{0};
+
+    /// Crash-tolerant resume for the spilled multi-pass census: when
+    /// non-empty (or via LFP_CHECKPOINT_DIR when empty), spill segments are
+    /// redirected into this directory and a census manifest (see
+    /// core/checkpoint.hpp) is journaled at every pass boundary. A later
+    /// run over the same target count finding a manifest resumes at the
+    /// last completed pass instead of starting over; `kill -9` mid-pass
+    /// costs at most one pass of work, and the resumed output is
+    /// byte-identical to an uninterrupted run. Applies to the spill path
+    /// only (spill = true, passes > 1); other shapes ignore it.
+    std::string checkpoint_dir;
+    /// On resume, replay the completed passes' send traffic (results
+    /// discarded) before re-running the interrupted pass. Stateful
+    /// simulated transports need this — routers advance per-packet counters
+    /// at send time, and a fresh process holds fresh routers — for the
+    /// byte-identity guarantee. Live transports can turn it off: the
+    /// network does not reset when the census process does.
+    bool checkpoint_replay = true;
 
     /// Spill-to-disk for the multi-pass census: when true, stream_passes()
     /// never materialises the whole record set in RAM. Pass 0 streams into
@@ -241,6 +277,11 @@ class CensusRunner {
     [[nodiscard]] std::uint64_t packets_sent() const noexcept { return packets_sent_; }
     [[nodiscard]] std::uint64_t responses_received() const noexcept { return responses_; }
     [[nodiscard]] std::uint64_t stray_responses() const noexcept { return strays_; }
+    /// Lanes the watchdog tore down and requeued (0 on a healthy census).
+    [[nodiscard]] std::uint64_t lanes_recovered() const noexcept { return lanes_recovered_; }
+    /// True when the latest stream_passes() call resumed from a checkpoint
+    /// manifest instead of starting pass 0 from scratch.
+    [[nodiscard]] bool resumed_from_checkpoint() const noexcept { return resumed_; }
 
   private:
     /// The engine beneath stream() and the retry passes: probes `targets`
@@ -265,6 +306,8 @@ class CensusRunner {
     std::uint64_t packets_sent_ = 0;
     std::uint64_t responses_ = 0;
     std::uint64_t strays_ = 0;
+    std::uint64_t lanes_recovered_ = 0;
+    bool resumed_ = false;
     std::vector<PassStats> pass_stats_;
 };
 

@@ -1,0 +1,175 @@
+#include "core/checkpoint.hpp"
+
+#include <cstring>
+#include <fstream>
+#include <stdexcept>
+
+namespace lfp::core {
+namespace {
+
+constexpr char kManifestMagic[8] = {'L', 'F', 'P', 'C', 'K', 'P', 'T', '1'};
+constexpr char kManifestName[] = "census.manifest";
+
+void put_u64(std::ostream& out, std::uint64_t value) {
+    out.write(reinterpret_cast<const char*>(&value), sizeof(value));
+}
+
+void put_u32(std::ostream& out, std::uint32_t value) {
+    out.write(reinterpret_cast<const char*>(&value), sizeof(value));
+}
+
+bool get_u64(std::istream& in, std::uint64_t& value) {
+    in.read(reinterpret_cast<char*>(&value), sizeof(value));
+    return in.gcount() == sizeof(value);
+}
+
+bool get_u32(std::istream& in, std::uint32_t& value) {
+    in.read(reinterpret_cast<char*>(&value), sizeof(value));
+    return in.gcount() == sizeof(value);
+}
+
+// Structural sanity ceilings: a corrupt length field must not turn into a
+// multi-gigabyte allocation before the truncation check catches it.
+constexpr std::uint64_t kMaxNameLength = 4096;
+constexpr std::uint64_t kMaxListLength = std::uint64_t{1} << 40;
+
+}  // namespace
+
+std::filesystem::path manifest_path(const std::filesystem::path& directory) {
+    return directory / kManifestName;
+}
+
+void write_manifest(const std::filesystem::path& directory, const CensusManifest& manifest) {
+    std::filesystem::create_directories(directory);
+    const std::filesystem::path final_path = manifest_path(directory);
+    const std::filesystem::path tmp_path = final_path.string() + ".tmp";
+    {
+        std::ofstream out(tmp_path, std::ios::binary | std::ios::trunc);
+        if (!out) {
+            throw std::runtime_error("checkpoint: cannot create " + tmp_path.string());
+        }
+        out.write(kManifestMagic, sizeof(kManifestMagic));
+        put_u64(out, manifest.index_base);
+        put_u64(out, manifest.target_count);
+        put_u64(out, manifest.segment_records);
+        put_u32(out, manifest.completed_passes);
+        put_u32(out, static_cast<std::uint32_t>(manifest.segments.size()));
+        for (const auto& [name, records] : manifest.segments) {
+            put_u64(out, records);
+            put_u32(out, static_cast<std::uint32_t>(name.size()));
+            out.write(name.data(), static_cast<std::streamsize>(name.size()));
+        }
+        put_u64(out, manifest.masks.size());
+        out.write(reinterpret_cast<const char*>(manifest.masks.data()),
+                  static_cast<std::streamsize>(manifest.masks.size() * sizeof(std::uint16_t)));
+        put_u32(out, static_cast<std::uint32_t>(manifest.pass_stats.size()));
+        for (const PassStats& stats : manifest.pass_stats) {
+            put_u64(out, stats.probed);
+            put_u64(out, stats.upgraded);
+            put_u64(out, stats.incomplete);
+        }
+        put_u32(out, static_cast<std::uint32_t>(manifest.retry_lists.size()));
+        for (const auto& list : manifest.retry_lists) {
+            put_u64(out, list.size());
+            out.write(reinterpret_cast<const char*>(list.data()),
+                      static_cast<std::streamsize>(list.size() * sizeof(std::uint64_t)));
+        }
+        out.flush();
+        if (!out) {
+            throw std::runtime_error("checkpoint: short write to " + tmp_path.string());
+        }
+    }
+    // rename() within one directory is atomic on POSIX: readers (and crash
+    // recovery) see the old manifest or the new one, never a prefix.
+    std::filesystem::rename(tmp_path, final_path);
+}
+
+std::optional<CensusManifest> read_manifest(const std::filesystem::path& directory) {
+    std::ifstream in(manifest_path(directory), std::ios::binary);
+    if (!in) return std::nullopt;
+
+    char magic[sizeof(kManifestMagic)] = {};
+    in.read(magic, sizeof(magic));
+    if (in.gcount() != sizeof(magic) ||
+        std::memcmp(magic, kManifestMagic, sizeof(magic)) != 0) {
+        return std::nullopt;
+    }
+
+    CensusManifest manifest;
+    std::uint32_t segment_count = 0;
+    if (!get_u64(in, manifest.index_base) || !get_u64(in, manifest.target_count) ||
+        !get_u64(in, manifest.segment_records)) {
+        return std::nullopt;
+    }
+    if (!get_u32(in, manifest.completed_passes) || !get_u32(in, segment_count)) {
+        return std::nullopt;
+    }
+    manifest.segments.reserve(segment_count);
+    for (std::uint32_t i = 0; i < segment_count; ++i) {
+        std::uint64_t records = 0;
+        std::uint32_t name_length = 0;
+        if (!get_u64(in, records) || !get_u32(in, name_length) ||
+            name_length > kMaxNameLength) {
+            return std::nullopt;
+        }
+        std::string name(name_length, '\0');
+        in.read(name.data(), name_length);
+        if (in.gcount() != static_cast<std::streamsize>(name_length)) return std::nullopt;
+        manifest.segments.emplace_back(std::move(name), records);
+    }
+
+    std::uint64_t mask_count = 0;
+    if (!get_u64(in, mask_count) || mask_count > kMaxListLength ||
+        mask_count != manifest.target_count) {
+        return std::nullopt;
+    }
+    manifest.masks.resize(mask_count);
+    in.read(reinterpret_cast<char*>(manifest.masks.data()),
+            static_cast<std::streamsize>(mask_count * sizeof(std::uint16_t)));
+    if (in.gcount() != static_cast<std::streamsize>(mask_count * sizeof(std::uint16_t))) {
+        return std::nullopt;
+    }
+
+    std::uint32_t stats_count = 0;
+    if (!get_u32(in, stats_count) || stats_count != manifest.completed_passes) {
+        return std::nullopt;
+    }
+    manifest.pass_stats.resize(stats_count);
+    for (PassStats& stats : manifest.pass_stats) {
+        if (!get_u64(in, stats.probed) || !get_u64(in, stats.upgraded) ||
+            !get_u64(in, stats.incomplete)) {
+            return std::nullopt;
+        }
+    }
+
+    std::uint32_t list_count = 0;
+    if (!get_u32(in, list_count) || list_count + 1 != manifest.completed_passes) {
+        return std::nullopt;
+    }
+    manifest.retry_lists.resize(list_count);
+    for (auto& list : manifest.retry_lists) {
+        std::uint64_t length = 0;
+        if (!get_u64(in, length) || length > kMaxListLength) return std::nullopt;
+        list.resize(length);
+        in.read(reinterpret_cast<char*>(list.data()),
+                static_cast<std::streamsize>(length * sizeof(std::uint64_t)));
+        if (in.gcount() != static_cast<std::streamsize>(length * sizeof(std::uint64_t))) {
+            return std::nullopt;
+        }
+    }
+
+    // Cross-field consistency: segments must cover exactly the targets.
+    std::uint64_t covered = 0;
+    for (const auto& [name, records] : manifest.segments) covered += records;
+    if (covered != manifest.target_count || manifest.completed_passes == 0) {
+        return std::nullopt;
+    }
+    return manifest;
+}
+
+void remove_manifest(const std::filesystem::path& directory) {
+    std::error_code ec;  // best-effort: a missing manifest is already removed
+    std::filesystem::remove(manifest_path(directory), ec);
+}
+
+}  // namespace lfp::core

@@ -4,6 +4,7 @@
 #include <cassert>
 #include <cstdlib>
 #include <cstring>
+#include <iterator>
 #include <stdexcept>
 
 namespace lfp::core {
@@ -70,7 +71,10 @@ SpillSink::SpillSink(SpillConfig config, std::uint64_t index_base)
 SpillSink::~SpillSink() {
     // Close handles before unlinking (portability; POSIX wouldn't care).
     for (auto& segment : segments_) segment.stream.reset();
-    if (!config_.keep_segments) {
+    // Adopted segments stay regardless of keep_segments: they belong to an
+    // interrupted census, and a resume that failed partway must remain
+    // resumable. The runner removes them explicitly after a clean finish.
+    if (!config_.keep_segments && !adopted_) {
         std::error_code ec;  // best-effort cleanup; never throw from a dtor
         for (auto& segment : segments_) std::filesystem::remove(segment.path, ec);
     }
@@ -83,10 +87,53 @@ void SpillSink::accept(std::uint64_t global_index, TargetRecord&& record) {
 void SpillSink::append(std::uint64_t global_index, const CompactRecord& record) {
     assert(global_index == index_base_ + masks_.size() &&
            "spill records must arrive in gap-free stream order");
+    assert((segments_.empty() || segments_.back().records == config_.segment_records) &&
+           "append after flush() would break the position -> segment math");
     (void)global_index;
     tail_.push_back(record);
     masks_.push_back(record.response_mask);
     if (tail_.size() >= config_.segment_records) flush_tail();
+}
+
+void SpillSink::flush() { flush_tail(); }
+
+std::vector<SpillSink::SegmentInfo> SpillSink::segment_manifest() const {
+    std::vector<SegmentInfo> manifest;
+    manifest.reserve(segments_.size());
+    for (const Segment& segment : segments_) {
+        manifest.push_back({segment.path, segment.records});
+    }
+    return manifest;
+}
+
+void SpillSink::adopt(std::vector<SegmentInfo> segments, std::vector<std::uint16_t> masks) {
+    if (!segments_.empty() || !tail_.empty() || !masks_.empty()) {
+        throw std::runtime_error("spill sink: adopt() requires an empty sink");
+    }
+    std::size_t covered = 0;
+    for (std::size_t i = 0; i < segments.size(); ++i) {
+        if (i + 1 < segments.size() && segments[i].records != config_.segment_records) {
+            spill_error("adopted non-final segment is not full", segments[i].path);
+        }
+        if (!std::filesystem::exists(segments[i].path)) {
+            spill_error("adopted segment is missing", segments[i].path);
+        }
+        covered += segments[i].records;
+    }
+    if (covered != masks.size()) {
+        throw std::runtime_error("spill sink: adopted segments cover " +
+                                 std::to_string(covered) + " records for " +
+                                 std::to_string(masks.size()) + " masks");
+    }
+    segments_.reserve(segments.size());
+    for (SegmentInfo& info : segments) {
+        Segment segment;
+        segment.path = std::move(info.path);
+        segment.records = info.records;
+        segments_.push_back(std::move(segment));
+    }
+    masks_ = std::move(masks);
+    adopted_ = true;
 }
 
 void SpillSink::flush_tail() {
@@ -176,19 +223,32 @@ void SpillSink::drain(RecordSink& sink) {
 }
 
 std::vector<CompactRecord> SpillSink::read_segment_file(const std::filesystem::path& path) {
+    auto result = try_read_segment_file(path);
+    if (!result.has_value()) {
+        throw std::runtime_error("spill sink: " + result.error().message);
+    }
+    return std::move(result).value();
+}
+
+util::Result<std::vector<CompactRecord>> SpillSink::try_read_segment_file(
+    const std::filesystem::path& path) {
+    const auto fail = [&path](const std::string& what) {
+        return util::make_error(what + ": " + path.string());
+    };
     std::ifstream in(path, std::ios::binary);
-    if (!in) spill_error("cannot open segment", path);
+    if (!in) return fail("cannot open segment");
     std::array<char, kSpillHeaderBytes> header{};
     in.read(header.data(), static_cast<std::streamsize>(header.size()));
-    if (!in || std::memcmp(header.data(), kSpillMagic, sizeof(kSpillMagic)) != 0) {
-        spill_error("bad segment magic", path);
+    if (in.gcount() != static_cast<std::streamsize>(header.size()) ||
+        std::memcmp(header.data(), kSpillMagic, sizeof(kSpillMagic)) != 0) {
+        return fail("bad segment magic");
     }
     std::uint16_t version = 0;
     std::uint16_t record_size = 0;
     std::memcpy(&version, header.data() + 8, sizeof(version));
     std::memcpy(&record_size, header.data() + 10, sizeof(record_size));
-    if (version != kSpillVersion) spill_error("unsupported segment version", path);
-    if (record_size != kRecordBytes) spill_error("segment record size mismatch", path);
+    if (version != kSpillVersion) return fail("unsupported segment version");
+    if (record_size != kRecordBytes) return fail("segment record size mismatch");
 
     std::vector<CompactRecord> records;
     CompactRecord record;
@@ -202,6 +262,23 @@ std::vector<CompactRecord> SpillSink::read_segment_file(const std::filesystem::p
         records.push_back(record);
     }
     return records;
+}
+
+SpillSink::SegmentSalvage SpillSink::read_segment_files(
+    std::span<const std::filesystem::path> paths) {
+    SegmentSalvage salvage;
+    for (const std::filesystem::path& path : paths) {
+        auto result = try_read_segment_file(path);
+        if (result.has_value()) {
+            auto& records = result.value();
+            salvage.records.insert(salvage.records.end(),
+                                   std::make_move_iterator(records.begin()),
+                                   std::make_move_iterator(records.end()));
+        } else {
+            salvage.skipped.emplace_back(path, result.error().message);
+        }
+    }
+    return salvage;
 }
 
 }  // namespace lfp::core

@@ -17,6 +17,7 @@
 #include <filesystem>
 #include <fstream>
 #include <memory>
+#include <span>
 #include <string>
 #include <unordered_map>
 #include <utility>
@@ -24,6 +25,7 @@
 
 #include "core/measurement.hpp"
 #include "core/signature_db.hpp"
+#include "util/result.hpp"
 
 namespace lfp::core {
 
@@ -325,11 +327,55 @@ class SpillSink final : public RecordSink {
     /// stream lifecycle).
     void drain(RecordSink& sink);
 
+    /// Flushes the unflushed tail into a (possibly short) final segment —
+    /// the checkpoint-boundary hook: after flush() every accepted record is
+    /// on disk and segment_manifest() describes the census completely. Only
+    /// legal as the last write-side operation before replace()/drain()
+    /// (append() past a short final segment would break the position math,
+    /// and is asserted against).
+    void flush();
+
+    /// One on-disk segment as the checkpoint manifest records it.
+    struct SegmentInfo {
+        std::filesystem::path path;
+        std::size_t records = 0;
+    };
+
+    /// The flushed segment set, in global-index order.
+    [[nodiscard]] std::vector<SegmentInfo> segment_manifest() const;
+
+    /// Adopts segments a previous (killed) process wrote, together with the
+    /// journaled response-mask index — the crash-resume entry point. The
+    /// sink must be empty; every non-final segment must hold exactly
+    /// `config.segment_records` records and the counts must sum to
+    /// `masks.size()` (throws std::runtime_error otherwise). Adopted
+    /// segments are never removed by the destructor regardless of
+    /// keep_segments — this sink did not create them alone, and a failed
+    /// resume must stay resumable.
+    void adopt(std::vector<SegmentInfo> segments, std::vector<std::uint16_t> masks);
+
     /// Parses one segment file. A truncated tail (crash mid-write) is
     /// tolerated: complete records parse, the partial trailing record is
     /// dropped. A corrupt header throws.
     [[nodiscard]] static std::vector<CompactRecord> read_segment_file(
         const std::filesystem::path& path);
+
+    /// Non-throwing variant: a corrupt or unreadable segment reports as an
+    /// error value instead (truncated tails are still tolerated in-band).
+    [[nodiscard]] static util::Result<std::vector<CompactRecord>> try_read_segment_file(
+        const std::filesystem::path& path);
+
+    /// Salvage read over a segment set: good segments contribute their
+    /// records, corrupt ones are skipped and reported (path + reason) so
+    /// the caller can keep going with partial data instead of losing the
+    /// census. The value is never an error — total loss is simply every
+    /// segment landing in `skipped`.
+    struct SegmentSalvage {
+        std::vector<CompactRecord> records;
+        std::vector<std::pair<std::filesystem::path, std::string>> skipped;
+    };
+    [[nodiscard]] static SegmentSalvage read_segment_files(
+        std::span<const std::filesystem::path> paths);
 
   private:
     struct Segment {
@@ -347,6 +393,7 @@ class SpillSink final : public RecordSink {
     std::filesystem::path directory_;
     std::uint64_t index_base_;
     std::uint64_t sequence_;  ///< distinguishes this sink's files on disk
+    bool adopted_ = false;    ///< segments inherited from a killed process
     std::vector<Segment> segments_;
     std::vector<CompactRecord> tail_;        ///< unflushed newest records
     std::vector<std::uint16_t> masks_;       ///< response mask per record

@@ -371,7 +371,8 @@ std::vector<TargetProbeResult> Campaign::run_indexed(
 
 void Campaign::run_streaming(
     std::span<const net::IPv4Address> targets, std::span<const std::uint64_t> global_indices,
-    const std::function<bool(std::size_t, TargetProbeResult&&)>& emit) {
+    const std::function<bool(std::size_t, TargetProbeResult&&)>& emit,
+    const std::atomic<bool>* cancel) {
     using Clock = std::chrono::steady_clock;
 
     if (!global_indices.empty() && global_indices.size() != targets.size()) {
@@ -675,6 +676,7 @@ void Campaign::run_streaming(
     try {
         util::SpinBackoff backoff(config_.idle_backoff);
         while (completed < targets.size() && !cancelled) {
+            if (cancel != nullptr && cancel->load(std::memory_order_relaxed)) break;
             bool progressed = false;
 
             const std::size_t window = current_window();

@@ -36,6 +36,7 @@
 #pragma once
 
 #include <array>
+#include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <functional>
@@ -231,9 +232,16 @@ class Campaign {
     /// Keeping `emit` cheap (e.g. pushing into a queue another thread
     /// drains) keeps the scheduler responsive. Empty `global_indices`
     /// means position i is global index i, as for run_indexed().
+    ///
+    /// `cancel`, when non-null, is polled every scheduler iteration: a true
+    /// load stops the run exactly like `emit` returning false. Unlike the
+    /// emit seam it fires even when no target ever completes — the handle a
+    /// census watchdog uses to tear down a wedged lane whose transport has
+    /// stopped delivering.
     void run_streaming(std::span<const net::IPv4Address> targets,
                        std::span<const std::uint64_t> global_indices,
-                       const std::function<bool(std::size_t, TargetProbeResult&&)>& emit);
+                       const std::function<bool(std::size_t, TargetProbeResult&&)>& emit,
+                       const std::atomic<bool>* cancel = nullptr);
 
     /// IDs consumed per target in the index-derived lane scheme (9 probes
     /// plus the SNMP discovery when enabled).

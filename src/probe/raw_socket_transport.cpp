@@ -1,8 +1,10 @@
 #include "probe/raw_socket_transport.hpp"
 
+#include <algorithm>
 #include <array>
 #include <cerrno>
 #include <cstring>
+#include <thread>
 
 #ifdef __linux__
 #include <arpa/inet.h>
@@ -13,6 +15,18 @@
 #endif
 
 namespace lfp::probe {
+
+namespace {
+
+/// Backoff schedule for transient send errors: start tight (buffer drains
+/// are usually microseconds), double each attempt, cap well below the probe
+/// timeout so a wedged NIC degrades to a counted failure rather than a
+/// stalled scheduler. 8 attempts ≈ 50+100+...+5000µs ≈ 13ms worst case.
+constexpr std::chrono::microseconds kSendBackoffInitial{50};
+constexpr std::chrono::microseconds kSendBackoffCap{5000};
+constexpr int kSendAttempts = 8;
+
+}  // namespace
 
 RawSocketTransport::RawSocketTransport(Options options)
     : options_(options), vantage_(net::IPv4Address::from_octets(127, 0, 0, 1)) {
@@ -72,10 +86,28 @@ void RawSocketTransport::send_batch(std::span<const net::Bytes> packets) {
         sockaddr_in destination{};
         destination.sin_family = AF_INET;
         destination.sin_addr.s_addr = htonl(destination_ip.value().value());
-        const auto sent =
-            ::sendto(send_fd_, packet.data(), packet.size(), 0,
-                     reinterpret_cast<const sockaddr*>(&destination), sizeof(destination));
-        if (sent < 0 || static_cast<std::size_t>(sent) != packet.size()) ++send_failures_;
+        std::chrono::microseconds backoff = kSendBackoffInitial;
+        bool delivered = false;
+        for (int attempt = 0; attempt < kSendAttempts; ++attempt) {
+            const auto sent =
+                ::sendto(send_fd_, packet.data(), packet.size(), 0,
+                         reinterpret_cast<const sockaddr*>(&destination), sizeof(destination));
+            if (sent >= 0 && static_cast<std::size_t>(sent) == packet.size()) {
+                delivered = true;
+                break;
+            }
+            const int error = errno;
+            const bool transient = sent < 0 && (error == EAGAIN || error == EWOULDBLOCK ||
+                                                error == ENOBUFS || error == EINTR);
+            if (!transient) break;  // hard failure: no amount of waiting helps
+            ++transient_send_errors_;
+            // EINTR needs no delay — the send was interrupted, not refused.
+            if (error != EINTR) {
+                std::this_thread::sleep_for(backoff);
+                backoff = std::min(backoff * 2, kSendBackoffCap);
+            }
+        }
+        if (!delivered) ++send_failures_;
     }
 }
 

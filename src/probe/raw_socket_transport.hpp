@@ -39,10 +39,21 @@ class RawSocketTransport final : public ProbeTransport {
     [[nodiscard]] bool ready() const noexcept { return ready_; }
     [[nodiscard]] const std::string& status() const noexcept { return status_; }
 
-    /// Packets sendto() rejected or truncated (ENOBUFS, filtered routes…).
-    /// Those probes never reached the wire: their slots will run into the
-    /// response timeout, and a climbing counter here is the tell.
+    /// Packets sendto() rejected or truncated (filtered routes, bad
+    /// destinations…) after retries were exhausted. Those probes never
+    /// reached the wire: their slots will run into the response timeout,
+    /// and a climbing counter here is the tell.
     [[nodiscard]] std::uint64_t send_failures() const noexcept { return send_failures_; }
+
+    /// Transient backpressure events (EAGAIN/EWOULDBLOCK/ENOBUFS/EINTR)
+    /// absorbed by the capped-backoff retry loop in send_batch(). These are
+    /// kernel buffer pressure, not packet loss: the packet was eventually
+    /// sent (or counted in send_failures() once retries ran out). A
+    /// climbing counter with flat send_failures() means the pacer is
+    /// outrunning the NIC and LFP_PPS should come down.
+    [[nodiscard]] std::uint64_t transient_send_errors() const noexcept {
+        return transient_send_errors_;
+    }
 
     void send_batch(std::span<const net::Bytes> packets) override;
 
@@ -66,6 +77,7 @@ class RawSocketTransport final : public ProbeTransport {
     bool ready_ = false;
     std::string status_;
     std::uint64_t send_failures_ = 0;
+    std::uint64_t transient_send_errors_ = 0;
     net::IPv4Address vantage_;
     int send_fd_ = -1;
     int recv_icmp_fd_ = -1;

@@ -107,6 +107,9 @@ ServiceConfig ServiceConfig::from_env(ServiceConfig base) {
     base.interval = std::chrono::milliseconds(
         env_u64("LFP_SERVE_INTERVAL_MS", static_cast<std::uint64_t>(base.interval.count())));
     base.retain = static_cast<std::size_t>(env_u64("LFP_SERVE_RETAIN", base.retain));
+    if (const char* dir = std::getenv("LFP_SERVE_STATE"); dir != nullptr && *dir != '\0') {
+        base.state_dir = dir;
+    }
     return base;
 }
 
@@ -125,7 +128,7 @@ std::string default_socket_path() {
 CensusService::CensusService(core::CensusPlan plan, ServiceConfig config)
     : config_(std::move(config)),
       runner_(std::move(plan)),
-      store_(config_.retain),
+      store_(config_.retain, config_.state_dir),
       scheduler_([this] { run_census_now(); },
                  {.interval = config_.interval, .run_immediately = config_.run_immediately}) {}
 
@@ -150,6 +153,20 @@ std::uint64_t CensusService::run_census_now() {
     const std::uint64_t version = store_.publish(std::move(snapshot));
     published_.fetch_add(1, std::memory_order_relaxed);
     return version;
+}
+
+bool CensusService::restore_latest() {
+    if (config_.state_dir.empty()) return false;
+    auto snapshot = load_latest_snapshot(config_.state_dir,
+                                         {.database = config_.database, .asn = config_.asn});
+    if (snapshot == nullptr) return false;
+    // Serialize with censuses so a concurrent publish cannot interleave
+    // with the version bump. Not counted in published_ — a restore serves
+    // old data, it does not complete a census.
+    std::lock_guard<std::mutex> guard(census_mutex_);
+    next_version_ = snapshot->version() + 1;
+    store_.publish(std::move(snapshot));
+    return true;
 }
 
 }  // namespace lfp::serve

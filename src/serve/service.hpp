@@ -96,13 +96,17 @@ struct ServiceConfig {
     /// Whether start() runs a census immediately (the usual case: serve as
     /// soon as there is something to serve).
     bool run_immediately = true;
+    /// Durability directory: non-empty persists every published snapshot
+    /// there (see SnapshotStore) and lets restore_latest() reload the
+    /// newest across a restart. Empty = in-memory only, as before.
+    std::string state_dir;
 
     core::SignatureDbConfig database;
     core::LfpClassifier::Options classify;
     AsnResolver asn;
 
-    /// Overlays LFP_SERVE_INTERVAL_MS / LFP_SERVE_RETAIN from the
-    /// environment onto `base` (default-constructed when omitted).
+    /// Overlays LFP_SERVE_INTERVAL_MS / LFP_SERVE_RETAIN / LFP_SERVE_STATE
+    /// from the environment onto `base` (default-constructed when omitted).
     [[nodiscard]] static ServiceConfig from_env();
     [[nodiscard]] static ServiceConfig from_env(ServiceConfig base);
 };
@@ -139,6 +143,16 @@ class CensusService {
     /// the snapshot. Returns the published version. Serializes with
     /// scheduler-driven censuses.
     std::uint64_t run_census_now();
+
+    /// Boot-time durability: reloads the newest persisted snapshot from
+    /// config.state_dir and publishes it as current, marked restored() —
+    /// the service answers in degraded mode (stale data, stamped with its
+    /// age by STATS) until the first fresh census publishes over it.
+    /// Version numbering continues above the restored version. Returns
+    /// whether a snapshot was restored; false (no-op) when state_dir is
+    /// empty or holds nothing loadable. Does not count toward
+    /// censuses_completed().
+    bool restore_latest();
 
     /// Censuses published so far, scheduler-driven and synchronous alike.
     [[nodiscard]] std::uint64_t censuses_completed() const {

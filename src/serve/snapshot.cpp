@@ -1,11 +1,49 @@
 #include "serve/snapshot.hpp"
 
 #include <algorithm>
+#include <charconv>
+#include <chrono>
+#include <cstring>
+#include <fstream>
+#include <string_view>
 #include <utility>
 
 namespace lfp::serve {
 
 namespace {
+
+constexpr char kSnapshotMagic[8] = {'L', 'F', 'P', 'S', 'N', 'A', 'P', '1'};
+constexpr char kSnapshotPrefix[] = "snapshot-v";
+constexpr char kSnapshotSuffix[] = ".snap";
+
+std::filesystem::path snapshot_file_path(const std::filesystem::path& directory,
+                                         std::uint64_t version) {
+    return directory / (kSnapshotPrefix + std::to_string(version) + kSnapshotSuffix);
+}
+
+/// The version encoded in a persisted snapshot's filename, or nullopt for
+/// unrelated directory entries.
+std::optional<std::uint64_t> snapshot_file_version(const std::filesystem::path& path) {
+    const std::string name = path.filename().string();
+    const std::string_view prefix = kSnapshotPrefix;
+    const std::string_view suffix = kSnapshotSuffix;
+    if (name.size() <= prefix.size() + suffix.size() || !name.starts_with(prefix) ||
+        !name.ends_with(suffix)) {
+        return std::nullopt;
+    }
+    const std::string_view digits(name.data() + prefix.size(),
+                                  name.size() - prefix.size() - suffix.size());
+    std::uint64_t version = 0;
+    auto [ptr, ec] = std::from_chars(digits.data(), digits.data() + digits.size(), version);
+    if (ec != std::errc{} || ptr != digits.data() + digits.size()) return std::nullopt;
+    return version;
+}
+
+std::uint64_t now_unix_ms() {
+    return static_cast<std::uint64_t>(std::chrono::duration_cast<std::chrono::milliseconds>(
+                                          std::chrono::system_clock::now().time_since_epoch())
+                                          .count());
+}
 
 /// The MeasurementCounts::add predicates, restated over the compact form
 /// (no expansion): responsive = any exchange answered or features/label
@@ -124,6 +162,7 @@ std::shared_ptr<const Snapshot> SnapshotBuilder::build(
 
     auto snapshot = std::make_shared<Snapshot>();
     snapshot->version_ = version;
+    snapshot->created_unix_ms_ = now_unix_ms();
     snapshot->name_ = options_.name;
     snapshot->pass_stats_.assign(pass_stats.begin(), pass_stats.end());
     snapshot->database_ = std::move(database);
@@ -157,10 +196,45 @@ std::shared_ptr<const Snapshot> SnapshotBuilder::build(
     return snapshot;
 }
 
-SnapshotStore::SnapshotStore(std::size_t retain) : retain_(retain == 0 ? 1 : retain) {}
+SnapshotStore::SnapshotStore(std::size_t retain, std::string persist_dir)
+    : retain_(retain == 0 ? 1 : retain), persist_dir_(std::move(persist_dir)) {}
+
+bool SnapshotStore::persist(const Snapshot& snapshot) {
+    try {
+        const std::filesystem::path directory(persist_dir_);
+        std::filesystem::create_directories(directory);
+        const std::filesystem::path final_path =
+            snapshot_file_path(directory, snapshot.version());
+        const std::filesystem::path tmp_path = final_path.string() + ".tmp";
+        if (!save_snapshot_file(tmp_path, snapshot)) return false;
+        // Atomic within the directory: a reload sees whole files only.
+        std::filesystem::rename(tmp_path, final_path);
+
+        // Prune beyond the retention ring, oldest first.
+        std::vector<std::pair<std::uint64_t, std::filesystem::path>> persisted;
+        for (const auto& entry : std::filesystem::directory_iterator(directory)) {
+            if (auto version = snapshot_file_version(entry.path())) {
+                persisted.emplace_back(*version, entry.path());
+            }
+        }
+        std::sort(persisted.begin(), persisted.end());
+        std::error_code ec;
+        for (std::size_t i = 0; i + retain_ < persisted.size(); ++i) {
+            std::filesystem::remove(persisted[i].second, ec);
+        }
+        return true;
+    } catch (const std::filesystem::filesystem_error&) {
+        return false;
+    }
+}
 
 std::uint64_t SnapshotStore::publish(std::shared_ptr<const Snapshot> snapshot) {
     const std::uint64_t version = snapshot->version();
+    // Durability before visibility, and only for snapshots this process
+    // built — a restored snapshot's file is the one it was loaded from.
+    if (!persist_dir_.empty() && !snapshot->restored() && !persist(*snapshot)) {
+        persist_failures_.fetch_add(1, std::memory_order_relaxed);
+    }
     {
         std::lock_guard<std::mutex> guard(mutex_);
         retained_.push_back(snapshot);
@@ -183,6 +257,147 @@ std::shared_ptr<const Snapshot> SnapshotStore::version(std::uint64_t version) co
 std::vector<std::shared_ptr<const Snapshot>> SnapshotStore::retained() const {
     std::lock_guard<std::mutex> guard(mutex_);
     return {retained_.begin(), retained_.end()};
+}
+
+bool save_snapshot_file(const std::filesystem::path& path, const Snapshot& snapshot) {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    if (!out) return false;
+    const auto put_u64 = [&out](std::uint64_t value) {
+        out.write(reinterpret_cast<const char*>(&value), sizeof(value));
+    };
+    const auto put_u32 = [&out](std::uint32_t value) {
+        out.write(reinterpret_cast<const char*>(&value), sizeof(value));
+    };
+    out.write(kSnapshotMagic, sizeof(kSnapshotMagic));
+    put_u32(static_cast<std::uint32_t>(sizeof(core::CompactRecord)));
+    put_u64(snapshot.version());
+    put_u64(snapshot.created_unix_ms());
+    put_u32(static_cast<std::uint32_t>(snapshot.name().size()));
+    out.write(snapshot.name().data(),
+              static_cast<std::streamsize>(snapshot.name().size()));
+    put_u32(static_cast<std::uint32_t>(snapshot.pass_stats().size()));
+    for (const core::PassStats& stats : snapshot.pass_stats()) {
+        put_u64(stats.probed);
+        put_u64(stats.upgraded);
+        put_u64(stats.incomplete);
+    }
+    put_u64(snapshot.records().size());
+    out.write(reinterpret_cast<const char*>(snapshot.records().data()),
+              static_cast<std::streamsize>(snapshot.records().size() *
+                                           sizeof(core::CompactRecord)));
+    out.flush();
+    return static_cast<bool>(out);
+}
+
+std::shared_ptr<const Snapshot> load_snapshot_file(const std::filesystem::path& path,
+                                                   const SnapshotLoadOptions& options) {
+    std::ifstream in(path, std::ios::binary);
+    if (!in) return nullptr;
+    const auto get_u64 = [&in](std::uint64_t& value) {
+        in.read(reinterpret_cast<char*>(&value), sizeof(value));
+        return in.gcount() == sizeof(value);
+    };
+    const auto get_u32 = [&in](std::uint32_t& value) {
+        in.read(reinterpret_cast<char*>(&value), sizeof(value));
+        return in.gcount() == sizeof(value);
+    };
+    char magic[sizeof(kSnapshotMagic)] = {};
+    in.read(magic, sizeof(magic));
+    if (in.gcount() != sizeof(magic) ||
+        std::memcmp(magic, kSnapshotMagic, sizeof(magic)) != 0) {
+        return nullptr;
+    }
+    std::uint32_t record_size = 0;
+    if (!get_u32(record_size) || record_size != sizeof(core::CompactRecord)) {
+        // Written by a different build: refuse rather than misparse.
+        return nullptr;
+    }
+
+    auto snapshot = std::make_shared<Snapshot>();
+    std::uint32_t name_length = 0;
+    std::uint32_t stats_count = 0;
+    std::uint64_t record_count = 0;
+    if (!get_u64(snapshot->version_) || !get_u64(snapshot->created_unix_ms_) ||
+        !get_u32(name_length) || name_length > 4096) {
+        return nullptr;
+    }
+    snapshot->name_.resize(name_length);
+    in.read(snapshot->name_.data(), name_length);
+    if (in.gcount() != static_cast<std::streamsize>(name_length) || !get_u32(stats_count) ||
+        stats_count > 4096) {  // structural sanity cap, far above kMaxPasses
+        return nullptr;
+    }
+    snapshot->pass_stats_.resize(stats_count);
+    for (core::PassStats& stats : snapshot->pass_stats_) {
+        if (!get_u64(stats.probed) || !get_u64(stats.upgraded) ||
+            !get_u64(stats.incomplete)) {
+            return nullptr;
+        }
+    }
+    if (!get_u64(record_count)) return nullptr;
+    snapshot->records_.resize(record_count);
+    const std::streamsize record_bytes =
+        static_cast<std::streamsize>(record_count * sizeof(core::CompactRecord));
+    in.read(reinterpret_cast<char*>(snapshot->records_.data()), record_bytes);
+    if (in.gcount() != record_bytes) return nullptr;  // truncated (crash mid-write)
+
+    // Re-derive what the file does not carry. The database is rebuilt by
+    // re-absorbing every labeled record — Signature::from_features is
+    // deterministic and the builder's per-pass retractions netted out
+    // before publish, so this lands on the exact database the original
+    // snapshot finalized. Stored lfp_* fields are kept untouched.
+    auto database = std::make_shared<core::SignatureDatabase>(options.database);
+    for (const core::CompactRecord& record : snapshot->records_) {
+        if (record.snmp_vendor != core::kNoVendor && !record.features.empty()) {
+            database->add_labeled(core::Signature::from_features(record.features),
+                                  static_cast<stack::Vendor>(record.snmp_vendor));
+        }
+    }
+    database->finalize();
+    snapshot->database_ = std::move(database);
+    snapshot->asn_ = options.asn;
+    snapshot->restored_ = true;
+
+    snapshot->by_target_.resize(snapshot->records_.size());
+    for (std::size_t i = 0; i < snapshot->by_target_.size(); ++i) {
+        snapshot->by_target_[i] = static_cast<std::uint32_t>(i);
+    }
+    std::stable_sort(snapshot->by_target_.begin(), snapshot->by_target_.end(),
+                     [&snapshot](std::uint32_t a, std::uint32_t b) {
+                         return snapshot->records_[a].target < snapshot->records_[b].target;
+                     });
+    for (const core::CompactRecord& record : snapshot->records_) {
+        add_compact(snapshot->counts_, record);
+        if (snapshot->asn_) {
+            if (auto asn = snapshot->asn_(net::IPv4Address(record.target))) {
+                analysis::AsCoverage& mix = snapshot->as_mix_[*asn];
+                mix.asn = *asn;
+                ++mix.routers_total;
+                if (auto vendor = combined_vendor(record)) {
+                    ++mix.routers_identified;
+                    ++mix.vendor_counts[*vendor];
+                }
+            }
+        }
+    }
+    return snapshot;
+}
+
+std::shared_ptr<const Snapshot> load_latest_snapshot(const std::filesystem::path& directory,
+                                                     const SnapshotLoadOptions& options) {
+    std::vector<std::pair<std::uint64_t, std::filesystem::path>> candidates;
+    std::error_code ec;
+    for (const auto& entry : std::filesystem::directory_iterator(directory, ec)) {
+        if (auto version = snapshot_file_version(entry.path())) {
+            candidates.emplace_back(*version, entry.path());
+        }
+    }
+    std::sort(candidates.begin(), candidates.end(),
+              [](const auto& a, const auto& b) { return a.first > b.first; });
+    for (const auto& [version, path] : candidates) {
+        if (auto snapshot = load_snapshot_file(path, options)) return snapshot;
+    }
+    return nullptr;
 }
 
 }  // namespace lfp::serve

@@ -28,6 +28,7 @@
 #include <atomic>
 #include <cstdint>
 #include <deque>
+#include <filesystem>
 #include <functional>
 #include <map>
 #include <memory>
@@ -51,6 +52,15 @@ namespace lfp::serve {
 /// would wrap a longest-prefix-match table). Absent resolver = no AS
 /// aggregates, point and path queries unaffected.
 using AsnResolver = std::function<std::optional<std::uint32_t>(net::IPv4Address)>;
+
+/// What a persisted snapshot cannot carry and the loader must re-derive:
+/// the database config it re-absorbs records under (must match the
+/// publishing service's for byte-identical classification parity) and the
+/// deployment's AS resolver.
+struct SnapshotLoadOptions {
+    core::SignatureDbConfig database;
+    AsnResolver asn;
+};
 
 /// One published census, immutable after build. Readers share it via
 /// shared_ptr — a snapshot outlives its store slot for as long as any
@@ -100,10 +110,23 @@ class Snapshot {
     /// exports to the batch pipeline's Measurement for the same pass.
     [[nodiscard]] core::Measurement expand() const;
 
+    /// Wall-clock publish instant (unix epoch, ms) stamped at build time —
+    /// the staleness anchor a restored snapshot reports its age against.
+    [[nodiscard]] std::uint64_t created_unix_ms() const noexcept { return created_unix_ms_; }
+
+    /// True when this snapshot was reloaded from disk rather than built by
+    /// this process — the serving layer is in degraded mode until a fresh
+    /// census publishes over it.
+    [[nodiscard]] bool restored() const noexcept { return restored_; }
+
   private:
     friend class SnapshotBuilder;
+    friend std::shared_ptr<const Snapshot> load_snapshot_file(
+        const std::filesystem::path& path, const SnapshotLoadOptions& options);
 
     std::uint64_t version_ = 0;
+    std::uint64_t created_unix_ms_ = 0;
+    bool restored_ = false;
     std::string name_;
     std::vector<core::CompactRecord> records_;
     /// Positions into records_, sorted by target address (stable: stream
@@ -181,7 +204,14 @@ class SnapshotBuilder final : public core::RecordSink {
 /// only bounds how far back version() lookups (snapshot diffs) reach.
 class SnapshotStore {
   public:
-    explicit SnapshotStore(std::size_t retain = 4);
+    /// `persist_dir` non-empty turns on durability: every snapshot this
+    /// process builds is persisted there at publish time (atomic tmp +
+    /// rename; restored snapshots are not re-persisted — their file is the
+    /// one they came from), and files beyond the retention ring are pruned.
+    /// Persistence is best-effort: an unwritable directory counts a
+    /// failure (persist_failures()) and publication proceeds — serving
+    /// never stalls behind the disk.
+    explicit SnapshotStore(std::size_t retain = 4, std::string persist_dir = {});
 
     /// The latest published snapshot (nullptr before the first publish).
     [[nodiscard]] std::shared_ptr<const Snapshot> current() const noexcept {
@@ -200,12 +230,51 @@ class SnapshotStore {
     [[nodiscard]] std::vector<std::shared_ptr<const Snapshot>> retained() const;
 
     [[nodiscard]] std::size_t retain_limit() const noexcept { return retain_; }
+    [[nodiscard]] const std::string& persist_dir() const noexcept { return persist_dir_; }
+    /// Publishes whose disk write failed (serving continued regardless).
+    [[nodiscard]] std::uint64_t persist_failures() const noexcept {
+        return persist_failures_.load(std::memory_order_relaxed);
+    }
 
   private:
+    bool persist(const Snapshot& snapshot);
+
     std::size_t retain_;
+    std::string persist_dir_;
+    std::atomic<std::uint64_t> persist_failures_{0};
     std::atomic<std::shared_ptr<const Snapshot>> current_{nullptr};
     mutable std::mutex mutex_;  ///< guards the retention ring, never reads
     std::deque<std::shared_ptr<const Snapshot>> retained_;
 };
+
+// ---------------------------------------------------------------------------
+// Snapshot durability: the file form SnapshotStore persists and lfp_serve
+// reloads on boot. The file carries the snapshot's identity (version, name,
+// creation instant), its pass trajectory, and the raw CompactRecord array
+// (the same trivially-copyable projection the spill segments use — private
+// to one build, not an interchange format). Everything else is re-derived
+// at load: the signature database by re-absorbing the labeled records
+// (Signature::from_features is deterministic and builder retractions net
+// out, so the rebuilt database is byte-identical to the published one),
+// the target index, counts, and AS mixes by the same arithmetic build()
+// runs. Stored lfp_* classifications are kept as-is — a restored snapshot
+// answers exactly what the original answered.
+
+/// Writes `snapshot` to `path` (no tmp/rename — SnapshotStore::persist
+/// wraps this with atomic replacement). Returns false on I/O failure.
+[[nodiscard]] bool save_snapshot_file(const std::filesystem::path& path,
+                                      const Snapshot& snapshot);
+
+/// Reloads a persisted snapshot, marked restored(). Returns nullptr on a
+/// missing, truncated, or corrupt file — boot-time restore degrades to
+/// "no snapshot yet", never throws on bad state.
+[[nodiscard]] std::shared_ptr<const Snapshot> load_snapshot_file(
+    const std::filesystem::path& path, const SnapshotLoadOptions& options = {});
+
+/// Scans `directory` for persisted snapshots and loads the one with the
+/// highest version (corrupt candidates are skipped in favour of the next
+/// newest). nullptr when none load.
+[[nodiscard]] std::shared_ptr<const Snapshot> load_latest_snapshot(
+    const std::filesystem::path& directory, const SnapshotLoadOptions& options = {});
 
 }  // namespace lfp::serve

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <charconv>
+#include <chrono>
 #include <sstream>
 
 #ifndef _WIN32
@@ -47,8 +48,19 @@ std::string handle_stats(const CensusService& service, const QueryEngine& engine
     out << " version=" << snapshot->version() << " name=" << snapshot->name()
         << " records=" << snapshot->records().size() << " responsive=" << counts.responsive
         << " snmp=" << counts.snmp << " snmp_and_lfp=" << counts.snmp_and_lfp
-        << " lfp_only=" << counts.lfp_only << " passes=" << snapshot->pass_stats().size()
-        << " retained=";
+        << " lfp_only=" << counts.lfp_only << " passes=" << snapshot->pass_stats().size();
+    if (snapshot->restored()) {
+        // Degraded mode: this snapshot was reloaded from disk after a
+        // restart; stamp its staleness so the operator loop can tell old
+        // answers from fresh ones until the next census publishes.
+        const auto now_ms =
+            static_cast<std::uint64_t>(std::chrono::duration_cast<std::chrono::milliseconds>(
+                                           std::chrono::system_clock::now().time_since_epoch())
+                                           .count());
+        const std::uint64_t created = snapshot->created_unix_ms();
+        out << " degraded=1 age_ms=" << (now_ms > created ? now_ms - created : 0);
+    }
+    out << " retained=";
     bool first = true;
     for (const auto& retained : service.store().retained()) {
         if (!first) out << ',';
@@ -175,8 +187,15 @@ std::optional<std::string> FrameDecoder::next() {
                                  (static_cast<std::uint32_t>(buffer_[1]) << 8) |
                                  (static_cast<std::uint32_t>(buffer_[2]) << 16) |
                                  (static_cast<std::uint32_t>(buffer_[3]) << 24);
+    if (length == 0) {
+        error_ = true;
+        error_reason_ = "zero-length frame";
+        return std::nullopt;
+    }
     if (length > kMaxFramePayload) {
         error_ = true;
+        error_reason_ = "frame of " + std::to_string(length) +
+                        " bytes exceeds the cap of " + std::to_string(kMaxFramePayload);
         return std::nullopt;
     }
     if (buffer_.size() < 4u + length) return std::nullopt;
@@ -206,6 +225,30 @@ std::optional<std::string> read_frame(int fd) {
         if (decoder.error()) return std::nullopt;
         const ssize_t n = ::read(fd, chunk, sizeof(chunk));
         if (n <= 0) return std::nullopt;
+        decoder.feed(chunk, static_cast<std::size_t>(n));
+    }
+}
+
+bool serve_connection(int fd, CensusService& service, const QueryEngine& engine) {
+    FrameDecoder decoder;
+    std::uint8_t chunk[4096];
+    while (true) {
+        while (auto request = decoder.next()) {
+            const RequestOutcome outcome = handle_request(*request, service, engine);
+            if (!write_frame(fd, outcome.response)) return false;
+            if (outcome.shutdown) return true;
+        }
+        if (decoder.error()) {
+            // Structured rejection: one error frame naming the violation,
+            // then hang up — never a silent close, never an attempt to
+            // resynchronize a stream we can no longer trust.
+            (void)write_frame(fd, "ERR protocol: " + decoder.error_reason());
+            return false;
+        }
+        const ssize_t n = ::read(fd, chunk, sizeof(chunk));
+        // EOF or error — including a peer that vanished mid-frame: the
+        // partial frame still in the decoder is simply abandoned.
+        if (n <= 0) return false;
         decoder.feed(chunk, static_cast<std::size_t>(n));
     }
 }

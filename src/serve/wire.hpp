@@ -42,8 +42,13 @@ inline constexpr std::uint32_t kMaxFramePayload = 1u << 30;
 [[nodiscard]] std::vector<std::uint8_t> encode_frame(std::string_view payload);
 
 /// Incremental frame decoder for a byte stream: feed() arbitrary chunks,
-/// next() yields complete payloads in order. Oversized or torn frames set
-/// error() (the connection should be dropped).
+/// next() yields complete payloads in order. Zero-length and over-cap
+/// frames are protocol violations: they set error() with a reason
+/// (error_reason()), and the connection should answer with a structured
+/// "ERR protocol: ..." frame and close — see serve_connection(). A frame
+/// length of zero is rejected rather than round-tripped because no command
+/// and no response is ever empty; an all-zero length prefix is what a
+/// desynchronized or garbage byte stream most often looks like.
 class FrameDecoder {
   public:
     void feed(const std::uint8_t* data, std::size_t size);
@@ -53,10 +58,13 @@ class FrameDecoder {
     [[nodiscard]] std::optional<std::string> next();
 
     [[nodiscard]] bool error() const noexcept { return error_; }
+    /// Why the stream was rejected (empty while error() is false).
+    [[nodiscard]] const std::string& error_reason() const noexcept { return error_reason_; }
 
   private:
     std::deque<std::uint8_t> buffer_;
     bool error_ = false;
+    std::string error_reason_;
 };
 
 #ifndef _WIN32
@@ -78,5 +86,15 @@ struct RequestOutcome {
 /// socket.
 [[nodiscard]] RequestOutcome handle_request(std::string_view request, CensusService& service,
                                             const QueryEngine& engine);
+
+#ifndef _WIN32
+/// Serves one connection to completion: frames in, responses out, until
+/// the peer hangs up (EOF — including mid-frame: a torn frame is simply a
+/// closed connection, never a hang), an I/O error, a protocol violation
+/// (answered with one structured "ERR protocol: <reason>" frame before
+/// closing), or SHUTDOWN. Returns whether SHUTDOWN was requested.
+[[nodiscard]] bool serve_connection(int fd, CensusService& service,
+                                    const QueryEngine& engine);
+#endif
 
 }  // namespace lfp::serve

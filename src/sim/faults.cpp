@@ -1,0 +1,263 @@
+#include "sim/faults.hpp"
+
+#include <charconv>
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <utility>
+
+namespace lfp::sim {
+namespace {
+
+// Per-class salts folded into the per-packet hash so the same packet draws
+// independently for each fault class.
+constexpr std::uint64_t kSendSalt = 0x51;
+constexpr std::uint64_t kTruncateSalt = 0x52;
+constexpr std::uint64_t kTruncateLenSalt = 0x53;
+constexpr std::uint64_t kCorruptSalt = 0x54;
+constexpr std::uint64_t kCorruptBitSalt = 0x55;
+constexpr std::uint64_t kDuplicateSalt = 0x56;
+constexpr std::uint64_t kReorderSalt = 0x57;
+constexpr std::uint64_t kStallSalt = 0x58;
+
+/// The same per-packet mix sim::Internet uses for loss: FNV-1a over the
+/// bytes, a salt fold, then a splitmix64 avalanche. Pure in (seed, bytes,
+/// salt) — no sequential RNG, so multi-lane faulted runs stay reproducible.
+std::uint64_t mix_packet(std::span<const std::uint8_t> packet, std::uint64_t seed,
+                         std::uint64_t salt) {
+    std::uint64_t hash = 0xCBF29CE484222325ULL ^ seed;
+    for (const std::uint8_t byte : packet) {
+        hash ^= byte;
+        hash *= 0x100000001B3ULL;
+    }
+    hash ^= salt * 0x9E3779B97F4A7C15ULL;
+    hash ^= hash >> 30;
+    hash *= 0xBF58476D1CE4E5B9ULL;
+    hash ^= hash >> 27;
+    hash *= 0x94D049BB133111EBULL;
+    hash ^= hash >> 31;
+    return hash;
+}
+
+bool draw(std::uint64_t hash, double rate) {
+    return static_cast<double>(hash >> 11) * 0x1.0p-53 < rate;
+}
+
+[[noreturn]] void fault_env_error(const char* name, const char* value) {
+    throw std::invalid_argument(std::string("fault plan: unparseable ") + name + "='" +
+                                value + "'");
+}
+
+double env_double(const char* name, double fallback) {
+    const char* value = std::getenv(name);
+    if (value == nullptr || *value == '\0') return fallback;
+    char* end = nullptr;
+    const double parsed = std::strtod(value, &end);
+    if (end == value || *end != '\0') fault_env_error(name, value);
+    return parsed;
+}
+
+std::uint64_t env_u64(const char* name, std::uint64_t fallback) {
+    const char* value = std::getenv(name);
+    if (value == nullptr || *value == '\0') return fallback;
+    std::uint64_t parsed = 0;
+    const auto [ptr, ec] = std::from_chars(value, value + std::string_view(value).size(),
+                                           parsed);
+    if (ec != std::errc{} || *ptr != '\0') fault_env_error(name, value);
+    return parsed;
+}
+
+}  // namespace
+
+bool FaultPlan::any() const noexcept {
+    return send_fail_rate > 0.0 || truncate_rate > 0.0 || corrupt_rate > 0.0 ||
+           duplicate_rate > 0.0 || reorder_rate > 0.0 || stall_rate > 0.0 ||
+           wedge_after != kNeverWedge;
+}
+
+void FaultPlan::validate() const {
+    const double rates[] = {send_fail_rate, truncate_rate, corrupt_rate,
+                            duplicate_rate, reorder_rate,  stall_rate};
+    for (const double rate : rates) {
+        if (rate < 0.0 || rate > 1.0) {
+            throw std::invalid_argument("fault plan: rates must be within [0, 1]");
+        }
+    }
+}
+
+FaultPlan FaultPlan::from_env() {
+    FaultPlan plan;
+    plan.seed = env_u64("LFP_FAULT_SEED", plan.seed);
+    plan.send_fail_rate = env_double("LFP_FAULT_SEND", plan.send_fail_rate);
+    plan.truncate_rate = env_double("LFP_FAULT_TRUNCATE", plan.truncate_rate);
+    plan.corrupt_rate = env_double("LFP_FAULT_CORRUPT", plan.corrupt_rate);
+    plan.duplicate_rate = env_double("LFP_FAULT_DUPLICATE", plan.duplicate_rate);
+    plan.reorder_rate = env_double("LFP_FAULT_REORDER", plan.reorder_rate);
+    plan.stall_rate = env_double("LFP_FAULT_STALL", plan.stall_rate);
+    plan.wedge_after = env_u64("LFP_FAULT_WEDGE_AFTER", plan.wedge_after);
+    plan.validate();
+    return plan;
+}
+
+FaultInjectingTransport::FaultInjectingTransport(probe::ProbeTransport& inner, FaultPlan plan)
+    : inner_(&inner), plan_(plan) {
+    plan_.validate();
+}
+
+bool FaultInjectingTransport::wedged() const noexcept {
+    return submitted_.load(std::memory_order_relaxed) >= plan_.wedge_after;
+}
+
+void FaultInjectingTransport::send_batch(std::span<const net::Bytes> packets) {
+    // First pass: decide each packet's fate without copying. The common case
+    // (whole batch survives) forwards the caller's span untouched.
+    bool any_dropped = false;
+    std::uint64_t ordinal = submitted_.load(std::memory_order_relaxed);
+    for (const net::Bytes& packet : packets) {
+        if (ordinal >= plan_.wedge_after ||
+            (plan_.send_fail_rate > 0.0 &&
+             draw(mix_packet(packet, plan_.seed, kSendSalt), plan_.send_fail_rate))) {
+            any_dropped = true;
+        }
+        ++ordinal;
+    }
+    if (!any_dropped) {
+        submitted_.store(ordinal, std::memory_order_relaxed);
+        inner_->send_batch(packets);
+        return;
+    }
+
+    std::vector<net::Bytes> survivors;
+    survivors.reserve(packets.size());
+    ordinal = submitted_.load(std::memory_order_relaxed);
+    for (const net::Bytes& packet : packets) {
+        const std::uint64_t at = ordinal++;
+        if (at >= plan_.wedge_after) {
+            swallowed_by_wedge_.fetch_add(1, std::memory_order_relaxed);
+            continue;
+        }
+        if (plan_.send_fail_rate > 0.0 &&
+            draw(mix_packet(packet, plan_.seed, kSendSalt), plan_.send_fail_rate)) {
+            // EAGAIN/ENOBUFS-shaped: the packet never reaches the wire (or,
+            // in the sim, the stateful router behind it).
+            send_faults_.fetch_add(1, std::memory_order_relaxed);
+            continue;
+        }
+        survivors.push_back(packet);
+    }
+    submitted_.store(ordinal, std::memory_order_relaxed);
+    if (!survivors.empty()) inner_->send_batch(survivors);
+}
+
+std::vector<net::Bytes> FaultInjectingTransport::poll_responses(
+    std::chrono::milliseconds timeout) {
+    if (wedged()) {
+        // A wedged lane's receiver hangs: deliver nothing, but honour the
+        // poll timeout so the engine's receive loop doesn't busy-spin.
+        if (timeout.count() > 0) std::this_thread::sleep_for(timeout);
+        return {};
+    }
+
+    std::vector<net::Bytes> delivered;
+    // Release last cycle's stalled packets ahead of fresh arrivals.
+    if (!stalled_queue_.empty()) {
+        delivered = std::move(stalled_queue_);
+        stalled_queue_.clear();
+    }
+
+    std::vector<net::Bytes> inbound = inner_->poll_responses(timeout);
+    for (net::Bytes& packet : inbound) {
+        if (plan_.stall_rate > 0.0 &&
+            draw(mix_packet(packet, plan_.seed, kStallSalt), plan_.stall_rate)) {
+            stalled_.fetch_add(1, std::memory_order_relaxed);
+            stalled_queue_.push_back(std::move(packet));
+            continue;
+        }
+        const bool reorder =
+            plan_.reorder_rate > 0.0 &&
+            draw(mix_packet(packet, plan_.seed, kReorderSalt), plan_.reorder_rate);
+        if (plan_.truncate_rate > 0.0 && !packet.empty() &&
+            draw(mix_packet(packet, plan_.seed, kTruncateSalt), plan_.truncate_rate)) {
+            const std::uint64_t keep =
+                mix_packet(packet, plan_.seed, kTruncateLenSalt) % packet.size();
+            packet.resize(static_cast<std::size_t>(keep));
+            truncated_.fetch_add(1, std::memory_order_relaxed);
+        }
+        if (plan_.corrupt_rate > 0.0 && !packet.empty() &&
+            draw(mix_packet(packet, plan_.seed, kCorruptSalt), plan_.corrupt_rate)) {
+            const std::uint64_t bit =
+                mix_packet(packet, plan_.seed, kCorruptBitSalt) % (packet.size() * 8);
+            packet[static_cast<std::size_t>(bit / 8)] ^=
+                static_cast<std::uint8_t>(1u << (bit % 8));
+            corrupted_.fetch_add(1, std::memory_order_relaxed);
+        }
+        const bool duplicate =
+            plan_.duplicate_rate > 0.0 &&
+            draw(mix_packet(packet, plan_.seed, kDuplicateSalt), plan_.duplicate_rate);
+        if (duplicate) {
+            duplicated_.fetch_add(1, std::memory_order_relaxed);
+            delivered.push_back(packet);  // first copy; original follows below
+        }
+        if (reorder) {
+            reordered_.fetch_add(1, std::memory_order_relaxed);
+            reorder_queue_.push_back(std::move(packet));
+            continue;
+        }
+        delivered.push_back(std::move(packet));
+    }
+    // Reordered packets land behind everything else this cycle — they jumped
+    // the queue backwards relative to their batch position.
+    for (net::Bytes& packet : reorder_queue_) delivered.push_back(std::move(packet));
+    reorder_queue_.clear();
+    return delivered;
+}
+
+bool FaultInjectingTransport::drained() const {
+    // A wedged lane can never prove silence: in-flight probes were swallowed,
+    // not answered, and claiming drained would let the engine fail their
+    // slots instantly instead of looking wedged to the watchdog.
+    if (wedged()) return false;
+    return stalled_queue_.empty() && reorder_queue_.empty() && inner_->drained();
+}
+
+net::IPv4Address FaultInjectingTransport::vantage_address() const {
+    return inner_->vantage_address();
+}
+
+std::optional<std::uint64_t> FaultInjectingTransport::backend_hint(
+    net::IPv4Address target) const {
+    return inner_->backend_hint(target);
+}
+
+std::chrono::milliseconds FaultInjectingTransport::transact_timeout() const {
+    return inner_->transact_timeout();
+}
+
+std::uint64_t FaultInjectingTransport::send_faults() const noexcept {
+    return send_faults_.load(std::memory_order_relaxed);
+}
+std::uint64_t FaultInjectingTransport::swallowed_by_wedge() const noexcept {
+    return swallowed_by_wedge_.load(std::memory_order_relaxed);
+}
+std::uint64_t FaultInjectingTransport::truncated() const noexcept {
+    return truncated_.load(std::memory_order_relaxed);
+}
+std::uint64_t FaultInjectingTransport::corrupted() const noexcept {
+    return corrupted_.load(std::memory_order_relaxed);
+}
+std::uint64_t FaultInjectingTransport::duplicated() const noexcept {
+    return duplicated_.load(std::memory_order_relaxed);
+}
+std::uint64_t FaultInjectingTransport::reordered() const noexcept {
+    return reordered_.load(std::memory_order_relaxed);
+}
+std::uint64_t FaultInjectingTransport::stalled() const noexcept {
+    return stalled_.load(std::memory_order_relaxed);
+}
+std::uint64_t FaultInjectingTransport::injected_total() const noexcept {
+    return send_faults() + swallowed_by_wedge() + truncated() + corrupted() + duplicated() +
+           reordered() + stalled();
+}
+
+}  // namespace lfp::sim

@@ -1,0 +1,129 @@
+/// \file
+/// Deterministic fault injection for any ProbeTransport.
+///
+/// FaultInjectingTransport decorates an inner transport with the failure
+/// modes a live census actually meets: transient send failures
+/// (EAGAIN/ENOBUFS-shaped drops before the wire), truncated and
+/// bit-corrupted response payloads, duplicated and reordered deliveries,
+/// receiver stalls, and a fully wedged lane (the process-level analogue of
+/// a dead vantage). Every decision is a pure function of
+/// (plan seed, packet bytes, fault-class salt) — the same FNV-1a +
+/// splitmix64 per-packet mix sim::Internet uses for loss — so a faulted
+/// run is reproducible from its seed alone: no sequential RNG state, no
+/// dependence on thread interleaving for *which* packets are hit. (For
+/// reorder/stall the *selection* is per-packet deterministic; delivery
+/// timing naturally remains timing-dependent, which the flow-key demux is
+/// indifferent to.)
+///
+/// The decorator honours the one-sender/one-receiver threading contract of
+/// ProbeTransport: send-side state is touched only from send_batch(),
+/// receive-side queues only from poll_responses()/drained(); the few
+/// counters both sides share are atomics.
+///
+/// Wedge semantics: once `wedge_after` packets have been submitted
+/// (0 = wedged from birth), the transport swallows every further send
+/// *before* it reaches the inner transport, delivers nothing, and reports
+/// drained() == false forever — exactly what a hung lane looks like to the
+/// engine, and the shape the CensusRunner watchdog is built to detect.
+/// Swallowing before the inner transport matters: simulated routers advance
+/// per-packet state at send time, so a wedged-from-birth lane leaves its
+/// targets' routers untouched and a supervised re-probe merges
+/// byte-identically to an unfaulted run.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "probe/transport.hpp"
+
+namespace lfp::sim {
+
+/// Per-fault-class rates plus the seed that makes them reproducible.
+/// All rates are probabilities in [0, 1]; the default plan injects nothing.
+struct FaultPlan {
+    static constexpr std::uint64_t kNeverWedge = ~0ULL;
+
+    std::uint64_t seed = 0xFA171A7EULL;  ///< per-packet hash seed (LFP_FAULT_SEED)
+    double send_fail_rate = 0.0;   ///< drop a packet before the wire (LFP_FAULT_SEND)
+    double truncate_rate = 0.0;    ///< cut a response short (LFP_FAULT_TRUNCATE)
+    double corrupt_rate = 0.0;     ///< flip one response bit (LFP_FAULT_CORRUPT)
+    double duplicate_rate = 0.0;   ///< deliver a response twice (LFP_FAULT_DUPLICATE)
+    double reorder_rate = 0.0;     ///< delay a response behind its batch (LFP_FAULT_REORDER)
+    double stall_rate = 0.0;       ///< hold a response one poll cycle (LFP_FAULT_STALL)
+    /// Packets to pass before the lane wedges solid; kNeverWedge = healthy.
+    /// 0 wedges from birth (LFP_FAULT_WEDGE_AFTER).
+    std::uint64_t wedge_after = kNeverWedge;
+
+    /// True when any fault class can fire — the ExperimentWorld only wraps
+    /// transports when this holds, keeping the healthy path undecorated.
+    [[nodiscard]] bool any() const noexcept;
+
+    /// Throws std::invalid_argument on a rate outside [0, 1].
+    void validate() const;
+
+    /// Defaults overlaid with the LFP_FAULT_* environment knobs (see the
+    /// README knob table). Unparseable values throw std::invalid_argument
+    /// naming the variable, mirroring WorldConfig::from_env.
+    [[nodiscard]] static FaultPlan from_env();
+};
+
+/// The decorator. Non-owning over the inner transport (same lifetime rules
+/// as CensusPlan::vantages). Read-only queries forward to the inner
+/// transport so lane assignment still sees ground-truth backend hints.
+class FaultInjectingTransport final : public probe::ProbeTransport {
+  public:
+    /// Validates the plan (throws std::invalid_argument on bad rates).
+    FaultInjectingTransport(probe::ProbeTransport& inner, FaultPlan plan);
+
+    void send_batch(std::span<const net::Bytes> packets) override;
+    [[nodiscard]] std::vector<net::Bytes> poll_responses(
+        std::chrono::milliseconds timeout) override;
+    [[nodiscard]] bool drained() const override;
+    [[nodiscard]] net::IPv4Address vantage_address() const override;
+    [[nodiscard]] std::optional<std::uint64_t> backend_hint(
+        net::IPv4Address target) const override;
+    [[nodiscard]] std::chrono::milliseconds transact_timeout() const override;
+
+    [[nodiscard]] const FaultPlan& plan() const noexcept { return plan_; }
+    [[nodiscard]] probe::ProbeTransport& inner() noexcept { return *inner_; }
+
+    /// True once wedge_after packets have been submitted.
+    [[nodiscard]] bool wedged() const noexcept;
+
+    // Per-class tallies, readable from any thread (tests and ops assert on
+    // these; a faulted run that injected nothing is a misconfigured run).
+    [[nodiscard]] std::uint64_t send_faults() const noexcept;
+    [[nodiscard]] std::uint64_t swallowed_by_wedge() const noexcept;
+    [[nodiscard]] std::uint64_t truncated() const noexcept;
+    [[nodiscard]] std::uint64_t corrupted() const noexcept;
+    [[nodiscard]] std::uint64_t duplicated() const noexcept;
+    [[nodiscard]] std::uint64_t reordered() const noexcept;
+    [[nodiscard]] std::uint64_t stalled() const noexcept;
+    [[nodiscard]] std::uint64_t injected_total() const noexcept;
+
+  private:
+    probe::ProbeTransport* inner_;
+    FaultPlan plan_;
+
+    /// Packets submitted to send_batch (sender thread writes, receiver
+    /// thread reads for the wedge check) — hence atomic.
+    std::atomic<std::uint64_t> submitted_{0};
+
+    // Receiver-thread-only delivery queues.
+    std::vector<net::Bytes> stalled_queue_;   ///< held back one poll cycle
+    std::vector<net::Bytes> reorder_queue_;   ///< pushed behind the current batch
+
+    std::atomic<std::uint64_t> send_faults_{0};
+    std::atomic<std::uint64_t> swallowed_by_wedge_{0};
+    std::atomic<std::uint64_t> truncated_{0};
+    std::atomic<std::uint64_t> corrupted_{0};
+    std::atomic<std::uint64_t> duplicated_{0};
+    std::atomic<std::uint64_t> reordered_{0};
+    std::atomic<std::uint64_t> stalled_{0};
+};
+
+}  // namespace lfp::sim

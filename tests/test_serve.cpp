@@ -6,12 +6,21 @@
 // command surface, no socket required).
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <filesystem>
+#include <fstream>
+#include <iterator>
 #include <memory>
 #include <sstream>
 #include <thread>
 #include <vector>
+
+#ifndef _WIN32
+#include <sys/socket.h>
+#include <unistd.h>
+#endif
 
 #include "core/census.hpp"
 #include "io/csv_export.hpp"
@@ -331,7 +340,7 @@ TEST(CensusService, TriggeredCensusesPublishSuccessiveVersions) {
 TEST(WireFraming, RoundTripsFramesFedInArbitraryChunks) {
     const std::string big(100'000, 'x');
     std::vector<std::uint8_t> stream;
-    for (const std::string& payload : {std::string("hello"), std::string(), big}) {
+    for (const std::string& payload : {std::string("hello"), std::string("y"), big}) {
         const auto frame = serve::encode_frame(payload);
         stream.insert(stream.end(), frame.begin(), frame.end());
     }
@@ -344,7 +353,7 @@ TEST(WireFraming, RoundTripsFramesFedInArbitraryChunks) {
     }
     ASSERT_EQ(decoded.size(), 3u);
     EXPECT_EQ(decoded[0], "hello");
-    EXPECT_EQ(decoded[1], "");
+    EXPECT_EQ(decoded[1], "y");
     EXPECT_EQ(decoded[2], big);
     EXPECT_FALSE(decoder.error());
 }
@@ -359,6 +368,25 @@ TEST(WireFraming, OversizedFrameIsAProtocolError) {
     };
     serve::FrameDecoder decoder;
     decoder.feed(header, sizeof(header));
+    EXPECT_EQ(decoder.next(), std::nullopt);
+    EXPECT_TRUE(decoder.error());
+    EXPECT_NE(decoder.error_reason().find("exceeds the cap"), std::string::npos)
+        << decoder.error_reason();
+}
+
+TEST(WireFraming, ZeroLengthFrameIsAProtocolError) {
+    // An all-zero length prefix is what a desynchronized or garbage stream
+    // most often looks like; no real command or response is ever empty.
+    const std::uint8_t header[4] = {0, 0, 0, 0};
+    serve::FrameDecoder decoder;
+    decoder.feed(header, sizeof(header));
+    EXPECT_EQ(decoder.next(), std::nullopt);
+    EXPECT_TRUE(decoder.error());
+    EXPECT_EQ(decoder.error_reason(), "zero-length frame");
+
+    // The decoder stays latched: later valid bytes are not reinterpreted.
+    const auto good = serve::encode_frame("PING");
+    decoder.feed(good.data(), good.size());
     EXPECT_EQ(decoder.next(), std::nullopt);
     EXPECT_TRUE(decoder.error());
 }
@@ -469,6 +497,250 @@ TEST(QueryEngine, AnswersBeforeFirstPublishAreVersionZero) {
 
     EXPECT_FALSE(engine.diff(1, 2).has_value());
 }
+
+// ------------------------------------------------------- durability (disk)
+
+/// A fresh scratch directory under the system temp dir, removed on scope
+/// exit.
+class ScratchDir {
+  public:
+    explicit ScratchDir(const std::string& tag)
+        : path_(std::filesystem::temp_directory_path() /
+                ("lfp-test-" + tag + "-" + std::to_string(::getpid()))) {
+        std::filesystem::remove_all(path_);
+        std::filesystem::create_directories(path_);
+    }
+    ~ScratchDir() {
+        std::error_code ec;
+        std::filesystem::remove_all(path_, ec);
+    }
+    [[nodiscard]] const std::filesystem::path& path() const noexcept { return path_; }
+
+  private:
+    std::filesystem::path path_;
+};
+
+TEST(SnapshotPersistence, SaveLoadRoundTripsEveryServedAnswer) {
+    ScratchDir dir("snap-roundtrip");
+    ServeWorld world;
+    serve::CensusService service(world.plan(), on_demand_config(world));
+    ASSERT_EQ(service.run_census_now(), 1u);
+    const auto original = service.store().current();
+    ASSERT_NE(original, nullptr);
+
+    const std::filesystem::path file = dir.path() / "one.snap";
+    ASSERT_TRUE(serve::save_snapshot_file(file, *original));
+
+    serve::ServiceConfig config = on_demand_config(world);
+    const auto loaded =
+        serve::load_snapshot_file(file, {.database = config.database, .asn = config.asn});
+    ASSERT_NE(loaded, nullptr);
+    EXPECT_TRUE(loaded->restored());
+    EXPECT_FALSE(original->restored());
+    EXPECT_EQ(loaded->version(), original->version());
+    EXPECT_EQ(loaded->name(), original->name());
+    EXPECT_EQ(loaded->created_unix_ms(), original->created_unix_ms());
+    ASSERT_EQ(loaded->pass_stats().size(), original->pass_stats().size());
+
+    // The reloaded snapshot serves byte-identical answers: same records,
+    // same rebuilt signature database, same CSV export.
+    std::ostringstream before;
+    std::ostringstream after;
+    io::export_measurement_csv(before, original->expand());
+    io::export_measurement_csv(after, loaded->expand());
+    EXPECT_EQ(before.str(), after.str());
+    EXPECT_EQ(loaded->counts(), original->counts());
+    EXPECT_EQ(loaded->as_mixes().size(), original->as_mixes().size());
+}
+
+TEST(SnapshotPersistence, LoadRejectsTruncationAndGarbage) {
+    ScratchDir dir("snap-garbage");
+    ServeWorld world;
+    serve::CensusService service(world.plan(40), on_demand_config(world));
+    ASSERT_EQ(service.run_census_now(), 1u);
+    const std::filesystem::path file = dir.path() / "one.snap";
+    ASSERT_TRUE(serve::save_snapshot_file(file, *service.store().current()));
+
+    // Every prefix of a valid file is rejected, never crashes, never loads.
+    std::ifstream in(file, std::ios::binary);
+    std::vector<char> bytes((std::istreambuf_iterator<char>(in)),
+                            std::istreambuf_iterator<char>());
+    in.close();
+    ASSERT_GT(bytes.size(), 64u);
+    for (std::size_t length : {std::size_t{0}, std::size_t{4}, std::size_t{7}, std::size_t{20},
+                               bytes.size() / 2, bytes.size() - 1}) {
+        const std::filesystem::path cut = dir.path() / "cut.snap";
+        std::ofstream out(cut, std::ios::binary | std::ios::trunc);
+        out.write(bytes.data(), static_cast<std::streamsize>(length));
+        out.close();
+        EXPECT_EQ(serve::load_snapshot_file(cut), nullptr) << "prefix of " << length;
+    }
+
+    // Wrong magic is rejected outright.
+    bytes[0] ^= 0x40;
+    const std::filesystem::path bad = dir.path() / "bad.snap";
+    std::ofstream out(bad, std::ios::binary);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+    out.close();
+    EXPECT_EQ(serve::load_snapshot_file(bad), nullptr);
+    EXPECT_EQ(serve::load_snapshot_file(dir.path() / "missing.snap"), nullptr);
+}
+
+TEST(SnapshotPersistence, StorePersistsPublishesAndPrunesToRetention) {
+    ScratchDir dir("snap-store");
+    serve::SnapshotStore store(2, dir.path().string());
+    for (std::uint64_t v = 1; v <= 5; ++v) store.publish(empty_snapshot(v));
+    EXPECT_EQ(store.persist_failures(), 0u);
+
+    std::vector<std::string> files;
+    for (const auto& entry : std::filesystem::directory_iterator(dir.path())) {
+        files.push_back(entry.path().filename().string());
+    }
+    std::sort(files.begin(), files.end());
+    // Retention applies on disk as in memory: only the newest two survive.
+    ASSERT_EQ(files.size(), 2u) << files.size() << " files on disk";
+    EXPECT_EQ(files[0], "snapshot-v4.snap");
+    EXPECT_EQ(files[1], "snapshot-v5.snap");
+
+    const auto latest = serve::load_latest_snapshot(dir.path());
+    ASSERT_NE(latest, nullptr);
+    EXPECT_EQ(latest->version(), 5u);
+}
+
+TEST(CensusService, RestoreLatestServesDegradedUntilFreshCensus) {
+    ScratchDir dir("snap-restore");
+
+    // First life: run two censuses with persistence on.
+    std::string reference_csv;
+    {
+        ServeWorld world;
+        serve::ServiceConfig config = on_demand_config(world);
+        config.state_dir = dir.path().string();
+        serve::CensusService service(world.plan(), config);
+        ASSERT_EQ(service.run_census_now(), 1u);
+        ASSERT_EQ(service.run_census_now(), 2u);
+        std::ostringstream csv;
+        io::export_measurement_csv(csv, service.store().current()->expand());
+        reference_csv = csv.str();
+    }
+
+    // Second life: a fresh service over a fresh world restores v2 from disk
+    // and answers degraded until the next census publishes v3.
+    ServeWorld world;
+    serve::ServiceConfig config = on_demand_config(world);
+    config.state_dir = dir.path().string();
+    serve::CensusService service(world.plan(), config);
+    ASSERT_TRUE(service.restore_latest());
+    EXPECT_EQ(service.censuses_completed(), 0u);  // a restore is not a census
+
+    const auto restored = service.store().current();
+    ASSERT_NE(restored, nullptr);
+    EXPECT_EQ(restored->version(), 2u);
+    EXPECT_TRUE(restored->restored());
+    std::ostringstream csv;
+    io::export_measurement_csv(csv, restored->expand());
+    EXPECT_EQ(csv.str(), reference_csv);
+
+    // STATS stamps the degraded state and the snapshot's age.
+    const serve::QueryEngine engine(service.store());
+    const std::string degraded = serve::handle_request("STATS", service, engine).response;
+    EXPECT_NE(degraded.find(" degraded=1 age_ms="), std::string::npos) << degraded;
+    EXPECT_NE(degraded.find(" version=2 "), std::string::npos) << degraded;
+
+    // The next census publishes v3 (numbering continues) and clears the
+    // degraded stamp. A restored snapshot is never re-persisted, so disk
+    // now holds exactly the original v1/v2 files plus the fresh v3.
+    EXPECT_EQ(service.run_census_now(), 3u);
+    const std::string fresh = serve::handle_request("STATS", service, engine).response;
+    EXPECT_EQ(fresh.find("degraded"), std::string::npos) << fresh;
+    EXPECT_NE(fresh.find(" version=3 "), std::string::npos) << fresh;
+    std::size_t files = 0;
+    for (const auto& entry : std::filesystem::directory_iterator(dir.path())) {
+        (void)entry;
+        ++files;
+    }
+    EXPECT_EQ(files, 3u);
+
+    // An empty or missing state dir restores nothing.
+    serve::ServiceConfig no_state = on_demand_config(world);
+    serve::CensusService cold(world.plan(40), no_state);
+    EXPECT_FALSE(cold.restore_latest());
+}
+
+#ifndef _WIN32
+
+TEST(ServeConnection, MidFrameDisconnectReturnsWithoutHanging) {
+    ServeWorld world;
+    serve::CensusService service(world.plan(40), on_demand_config(world));
+    const serve::QueryEngine engine(service.store());
+
+    int fds[2];
+    ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+
+    // Client thread: one full PING, then half a frame, then vanish.
+    std::thread client([fd = fds[0]] {
+        ASSERT_TRUE(serve::write_frame(fd, "PING"));
+        const auto reply = serve::read_frame(fd);
+        ASSERT_TRUE(reply.has_value());
+        EXPECT_EQ(*reply, "OK pong");
+        const auto torn = serve::encode_frame("STATS");
+        // Length prefix plus two payload bytes — the frame never completes.
+        ASSERT_GT(torn.size(), 6u);
+        EXPECT_EQ(::write(fd, torn.data(), 6), 6);
+        ::close(fd);  // peer vanishes mid-frame
+    });
+
+    // The server must observe EOF and return false — not spin, not crash,
+    // not treat the torn frame as a request.
+    EXPECT_FALSE(serve::serve_connection(fds[1], service, engine));
+    client.join();
+    ::close(fds[1]);
+}
+
+TEST(ServeConnection, ProtocolViolationAnswersStructuredErrorThenCloses) {
+    ServeWorld world;
+    serve::CensusService service(world.plan(40), on_demand_config(world));
+    const serve::QueryEngine engine(service.store());
+
+    int fds[2];
+    ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+
+    std::thread client([fd = fds[0]] {
+        const std::uint8_t zero_header[4] = {0, 0, 0, 0};
+        EXPECT_EQ(::write(fd, zero_header, sizeof(zero_header)), 4);
+        const auto reply = serve::read_frame(fd);
+        ASSERT_TRUE(reply.has_value());
+        EXPECT_EQ(*reply, "ERR protocol: zero-length frame");
+        // And then the connection is gone.
+        EXPECT_FALSE(serve::read_frame(fd).has_value());
+        ::close(fd);
+    });
+
+    EXPECT_FALSE(serve::serve_connection(fds[1], service, engine));
+    ::close(fds[1]);
+    client.join();
+}
+
+TEST(ServeConnection, ShutdownFrameEndsTheConnectionWithTrue) {
+    ServeWorld world;
+    serve::CensusService service(world.plan(40), on_demand_config(world));
+    const serve::QueryEngine engine(service.store());
+
+    int fds[2];
+    ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+    std::thread client([fd = fds[0]] {
+        ASSERT_TRUE(serve::write_frame(fd, "SHUTDOWN"));
+        const auto reply = serve::read_frame(fd);
+        ASSERT_TRUE(reply.has_value());
+        EXPECT_EQ(*reply, "OK bye");
+        ::close(fd);
+    });
+    EXPECT_TRUE(serve::serve_connection(fds[1], service, engine));
+    ::close(fds[1]);
+    client.join();
+}
+
+#endif  // !_WIN32
 
 }  // namespace
 }  // namespace lfp

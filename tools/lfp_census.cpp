@@ -1,0 +1,175 @@
+// lfp_census: one deterministic census over the simulated Internet, as a
+// standalone process — the operator-shaped entry point the robustness smoke
+// scripts drive.
+//
+// The world is rebuilt from fixed seeds, so two invocations with the same
+// flags produce byte-identical CSV — which is what makes the script-level
+// checks meaningful:
+//
+//   - fault matrix: every LFP_FAULT_* knob applies here (the transport is
+//     wrapped in a FaultInjectingTransport whenever any fault rate is set),
+//     so `LFP_FAULT_CORRUPT=0.2 lfp_census` is a whole census under
+//     deterministic damage — it must complete and exit 0, never crash;
+//   - kill-and-resume: with --checkpoint-dir the spilled multi-pass census
+//     journals a manifest at every pass boundary; SIGKILL this process
+//     mid-run, rerun it with the same flags, and the resumed CSV must be
+//     byte-identical to an uninterrupted run (tools/resume_smoke.sh).
+//
+// The measurement CSV goes to --out (default stdout); progress and fault
+// tallies go to stderr, so `lfp_census > census.csv` stays clean.
+#include <cstdint>
+#include <exception>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "core/census.hpp"
+#include "io/csv_export.hpp"
+#include "probe/sim_transport.hpp"
+#include "sim/faults.hpp"
+#include "sim/internet.hpp"
+#include "sim/topology.hpp"
+
+namespace {
+
+using namespace lfp;
+
+struct CensusArgs {
+    std::size_t target_limit = 400;  // 0 = every router
+    std::size_t passes = 3;
+    double pps = 0.0;  // 0 = unpaced
+    double loss_rate = 0.03;
+    double scale = 0.5;
+    std::string checkpoint_dir;
+    std::string out;  // empty = stdout
+};
+
+void usage(std::ostream& out) {
+    out << "usage: lfp_census [--targets N] [--passes N] [--pps RATE] [--loss RATE]\n"
+           "                  [--scale S] [--checkpoint-dir PATH] [--out PATH]\n"
+           "Runs one deterministic multi-pass census over the simulated Internet and\n"
+           "writes the measurement CSV to --out (default stdout). Identical flags give\n"
+           "byte-identical CSV. --checkpoint-dir enables crash-tolerant resume: a run\n"
+           "killed mid-pass continues at the last pass boundary when rerun.\n"
+           "Environment: LFP_FAULT_* (deterministic fault injection),\n"
+           "             LFP_WATCHDOG_MS, LFP_CHECKPOINT_DIR.\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    CensusArgs args;
+    for (int i = 1; i < argc; ++i) {
+        const std::string flag = argv[i];
+        auto next = [&]() -> std::optional<std::string> {
+            if (i + 1 >= argc) return std::nullopt;
+            return std::string(argv[++i]);
+        };
+        if (flag == "--help" || flag == "-h") {
+            usage(std::cout);
+            return 0;
+        }
+        std::optional<std::string> value;
+        if (flag == "--targets" && (value = next())) {
+            args.target_limit = std::stoull(*value);
+        } else if (flag == "--passes" && (value = next())) {
+            args.passes = std::stoull(*value);
+        } else if (flag == "--pps" && (value = next())) {
+            args.pps = std::stod(*value);
+        } else if (flag == "--loss" && (value = next())) {
+            args.loss_rate = std::stod(*value);
+        } else if (flag == "--scale" && (value = next())) {
+            args.scale = std::stod(*value);
+        } else if (flag == "--checkpoint-dir" && (value = next())) {
+            args.checkpoint_dir = *value;
+        } else if (flag == "--out" && (value = next())) {
+            args.out = *value;
+        } else {
+            std::cerr << "lfp_census: bad argument '" << flag << "'\n";
+            usage(std::cerr);
+            return 2;
+        }
+    }
+
+    try {
+        sim::Topology topology = sim::Topology::build({.seed = 77,
+                                                       .num_ases = 150,
+                                                       .tier1_count = 4,
+                                                       .transit_fraction = 0.2,
+                                                       .scale = args.scale});
+        sim::Internet internet(topology, {.seed = 13, .loss_rate = args.loss_rate});
+        probe::SimTransport transport(internet);
+
+        // Fault injection rides in via the environment: wrap only when some
+        // class can actually fire, so the healthy path stays undecorated.
+        const sim::FaultPlan fault_plan = sim::FaultPlan::from_env();
+        std::unique_ptr<sim::FaultInjectingTransport> faulted;
+        probe::ProbeTransport* vantage = &transport;
+        if (fault_plan.any()) {
+            faulted = std::make_unique<sim::FaultInjectingTransport>(transport, fault_plan);
+            vantage = faulted.get();
+        }
+
+        core::CensusPlan plan;
+        plan.name = "census";
+        for (std::size_t i = 0; i < topology.router_count(); ++i) {
+            if (args.target_limit != 0 && plan.targets.size() >= args.target_limit) break;
+            plan.targets.push_back(topology.router(i).interfaces().front());
+        }
+        plan.vantages.push_back(vantage);
+        plan.campaign.window = 16;
+        plan.campaign.packets_per_second = args.pps;
+        plan.passes = args.passes;
+        if (!args.checkpoint_dir.empty()) {
+            plan.checkpoint_dir = args.checkpoint_dir;
+            plan.spill = true;
+            plan.spill_config.segment_records = 64;
+        }
+
+        core::CensusRunner runner(std::move(plan));
+        const core::Measurement measurement = runner.run_passes();
+
+        if (runner.resumed_from_checkpoint()) {
+            std::cerr << "lfp_census: resumed from checkpoint in " << args.checkpoint_dir
+                      << '\n';
+        }
+        std::cerr << "lfp_census: " << measurement.records.size() << " targets, "
+                  << runner.last_pass_stats().size() << " passes, "
+                  << runner.packets_sent() << " packets sent, "
+                  << runner.responses_received() << " responses\n";
+        if (faulted) {
+            std::cerr << "lfp_census: injected " << faulted->injected_total()
+                      << " faults (send=" << faulted->send_faults()
+                      << " truncate=" << faulted->truncated()
+                      << " corrupt=" << faulted->corrupted()
+                      << " duplicate=" << faulted->duplicated()
+                      << " reorder=" << faulted->reordered()
+                      << " stall=" << faulted->stalled() << ")\n";
+        }
+
+        if (args.out.empty()) {
+            io::export_measurement_csv(std::cout, measurement);
+            if (!std::cout) {
+                std::cerr << "lfp_census: write to stdout failed\n";
+                return 1;
+            }
+        } else {
+            std::ofstream out(args.out);
+            if (!out) {
+                std::cerr << "lfp_census: cannot write " << args.out << '\n';
+                return 1;
+            }
+            io::export_measurement_csv(out, measurement);
+            if (!out) {
+                std::cerr << "lfp_census: write to " << args.out << " failed\n";
+                return 1;
+            }
+        }
+        return 0;
+    } catch (const std::exception& error) {
+        std::cerr << "lfp_census: " << error.what() << '\n';
+        return 1;
+    }
+}

@@ -11,7 +11,9 @@
 // build database → classify → export CSV) over a *second* world rebuilt
 // from the same seeds and writes its CSV there — the byte-identity
 // reference the serve-smoke CI step diffs `lfp_query export` against.
+#include <atomic>
 #include <cerrno>
+#include <csignal>
 #include <cstdint>
 #include <cstring>
 #include <fstream>
@@ -41,6 +43,7 @@ using namespace lfp;
 struct ServeArgs {
     std::string socket_path = serve::default_socket_path();
     std::string batch_csv;
+    std::string state_dir;
     std::uint64_t interval_ms = 0;
     std::size_t passes = 3;
     std::size_t retain = 4;
@@ -52,8 +55,28 @@ struct ServeArgs {
 void usage(std::ostream& out) {
     out << "usage: lfp_serve [--socket PATH] [--interval-ms N] [--passes N] [--retain N]\n"
            "                 [--targets N] [--loss RATE] [--scale S] [--batch-csv PATH]\n"
+           "                 [--state-dir PATH]\n"
            "Serves census queries over a unix socket (protocol: serve/wire.hpp).\n"
-           "Environment: LFP_SERVE_SOCKET, LFP_SERVE_INTERVAL_MS, LFP_SERVE_RETAIN.\n";
+           "--state-dir persists snapshots and restores the newest on boot (degraded\n"
+           "mode until the first fresh census publishes). SIGTERM/SIGINT drain the\n"
+           "in-flight connection and unlink the socket before exiting.\n"
+           "Environment: LFP_SERVE_SOCKET, LFP_SERVE_INTERVAL_MS, LFP_SERVE_RETAIN,\n"
+           "             LFP_SERVE_STATE.\n";
+}
+
+/// SIGTERM/SIGINT raise the flag; accept() is interrupted (no SA_RESTART)
+/// and the serve loop drains and exits cleanly.
+std::atomic<bool> g_stop_requested{false};
+
+void handle_stop_signal(int) { g_stop_requested.store(true, std::memory_order_relaxed); }
+
+void install_stop_handlers() {
+    struct sigaction action{};
+    action.sa_handler = handle_stop_signal;
+    sigemptyset(&action.sa_mask);
+    action.sa_flags = 0;  // deliberately no SA_RESTART: accept() must EINTR
+    ::sigaction(SIGTERM, &action, nullptr);
+    ::sigaction(SIGINT, &action, nullptr);
 }
 
 /// The deterministic serving world: fixed topology/internet seeds so a
@@ -134,25 +157,25 @@ int serve_loop(const std::string& socket_path, serve::CensusService& service,
     std::cout << "lfp_serve: listening on " << socket_path << std::endl;
 
     bool shutdown = false;
-    while (!shutdown) {
+    while (!shutdown && !g_stop_requested.load(std::memory_order_relaxed)) {
         const int client = ::accept(listener, nullptr, nullptr);
         if (client < 0) {
+            // A stop signal interrupts accept() with EINTR; any connection
+            // already accepted was served to completion before we got here,
+            // so this is the drain point.
             if (errno == EINTR) continue;
             std::cerr << "lfp_serve: accept: " << std::strerror(errno) << '\n';
             break;
         }
-        // One request/response exchange at a time per connection; the CLI
-        // and smoke scripts open a fresh connection per command.
-        while (auto request = serve::read_frame(client)) {
-            const serve::RequestOutcome outcome =
-                serve::handle_request(*request, service, engine);
-            if (!serve::write_frame(client, outcome.response)) break;
-            if (outcome.shutdown) {
-                shutdown = true;
-                break;
-            }
-        }
+        // One connection at a time, served to completion even when a stop
+        // signal arrives mid-exchange — in-flight frames drain, the next
+        // accept() exits. The CLI and smoke scripts open a fresh
+        // connection per command.
+        shutdown = serve::serve_connection(client, service, engine);
         ::close(client);
+    }
+    if (g_stop_requested.load(std::memory_order_relaxed)) {
+        std::cout << "lfp_serve: stop signal received, drained and exiting" << std::endl;
     }
     ::close(listener);
     ::unlink(socket_path.c_str());
@@ -178,6 +201,8 @@ int main(int argc, char** argv) {
             args.socket_path = *value;
         } else if (flag == "--batch-csv" && (value = next())) {
             args.batch_csv = *value;
+        } else if (flag == "--state-dir" && (value = next())) {
+            args.state_dir = *value;
         } else if (flag == "--interval-ms" && (value = next())) {
             args.interval_ms = std::stoull(*value);
         } else if (flag == "--passes" && (value = next())) {
@@ -207,6 +232,7 @@ int main(int argc, char** argv) {
                               : static_cast<std::uint64_t>(config.interval.count()));
     config.retain = args.retain;
     config.run_immediately = false;  // the first census runs synchronously below
+    if (!args.state_dir.empty()) config.state_dir = args.state_dir;
     sim::Topology& topology = world.topology;
     config.asn = [&topology](net::IPv4Address address) -> std::optional<std::uint32_t> {
         const std::size_t index = topology.find_by_interface(address);
@@ -214,11 +240,25 @@ int main(int argc, char** argv) {
         return topology.asn_of(index);
     };
 
+    install_stop_handlers();
+
     serve::CensusService service(world.plan(args), config);
-    const std::uint64_t version = service.run_census_now();
-    std::cout << "lfp_serve: published snapshot v" << version << " ("
-              << service.store().current()->records().size() << " targets, "
-              << service.store().current()->pass_stats().size() << " passes)" << std::endl;
+    if (service.restore_latest()) {
+        // Degraded boot: answer from the reloaded snapshot immediately and
+        // refresh in the background — availability over freshness.
+        const auto snapshot = service.store().current();
+        std::cout << "lfp_serve: restored snapshot v" << snapshot->version() << " ("
+                  << snapshot->records().size()
+                  << " targets) from " << config.state_dir
+                  << "; serving degraded until a fresh census publishes" << std::endl;
+        service.trigger();
+    } else {
+        const std::uint64_t version = service.run_census_now();
+        std::cout << "lfp_serve: published snapshot v" << version << " ("
+                  << service.store().current()->records().size() << " targets, "
+                  << service.store().current()->pass_stats().size() << " passes)"
+                  << std::endl;
+    }
     if (config.interval.count() > 0) service.start();
 
     const serve::QueryEngine engine(service.store());

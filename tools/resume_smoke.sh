@@ -1,0 +1,118 @@
+#!/usr/bin/env bash
+# CI robustness smoke over the lfp_census CLI, two halves:
+#
+#   1. Fault matrix: a small census under each fault class in turn (and one
+#      run with every class at once). Each run must complete, exit 0, and
+#      actually inject something — a faulted run that injected nothing is a
+#      misconfigured run, not a passing one.
+#   2. Kill-and-resume byte-identity: start a paced checkpointed census,
+#      SIGKILL it after the first pass-boundary manifest appears, rerun with
+#      identical flags, and diff the resumed CSV byte for byte against an
+#      uninterrupted reference run. Also checks the clean finish retired the
+#      manifest.
+#
+# Usage: tools/resume_smoke.sh [build-dir]   (default: build)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD=${1:-build}
+CENSUS="$BUILD/tools/lfp_census"
+[[ -x "$CENSUS" ]] || { echo "resume-smoke FAILED: $CENSUS not built"; exit 1; }
+
+WORK=$(mktemp -d "${TMPDIR:-/tmp}/lfp_resume_smoke.XXXXXX")
+VICTIM_PID=
+cleanup() {
+    [[ -n "$VICTIM_PID" ]] && kill -9 "$VICTIM_PID" 2>/dev/null || true
+    rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+# Small and fast: the matrix is about surviving damage, not about scale.
+MATRIX_FLAGS=(--targets 120 --passes 2 --loss 0.0)
+
+# --- 1. the fault matrix --------------------------------------------------
+run_faulted() {
+    local name=$1; shift
+    local log="$WORK/fault_$name.log"
+    if ! env "$@" "$CENSUS" "${MATRIX_FLAGS[@]}" --out "$WORK/fault_$name.csv" \
+            2> "$log"; then
+        echo "resume-smoke FAILED: census under fault class '$name' did not complete"
+        cat "$log"
+        exit 1
+    fi
+    if ! grep -q "injected [1-9]" "$log"; then
+        echo "resume-smoke FAILED: fault class '$name' injected nothing"
+        cat "$log"
+        exit 1
+    fi
+    echo "resume-smoke: fault class '$name' survived ($(grep -o 'injected [0-9]*' "$log"))"
+}
+
+run_faulted send      LFP_FAULT_SEND=0.2
+run_faulted truncate  LFP_FAULT_TRUNCATE=0.2
+run_faulted corrupt   LFP_FAULT_CORRUPT=0.2
+run_faulted duplicate LFP_FAULT_DUPLICATE=0.2
+run_faulted reorder   LFP_FAULT_REORDER=0.2
+run_faulted stall     LFP_FAULT_STALL=0.2
+run_faulted all       LFP_FAULT_SEND=0.1 LFP_FAULT_TRUNCATE=0.1 LFP_FAULT_CORRUPT=0.1 \
+                      LFP_FAULT_DUPLICATE=0.1 LFP_FAULT_REORDER=0.1 LFP_FAULT_STALL=0.1
+
+# Determinism under damage: the same seed injects the same faults.
+env LFP_FAULT_CORRUPT=0.2 "$CENSUS" "${MATRIX_FLAGS[@]}" \
+    --out "$WORK/fault_corrupt_again.csv" 2>/dev/null
+if ! diff -q "$WORK/fault_corrupt.csv" "$WORK/fault_corrupt_again.csv" >/dev/null; then
+    echo "resume-smoke FAILED: identically-seeded faulted runs differ"
+    exit 1
+fi
+echo "resume-smoke: identically-seeded faulted runs byte-identical"
+
+# --- 2. kill -9 mid-pass, resume, byte-compare ----------------------------
+RESUME_FLAGS=(--targets 300 --passes 3 --loss 0.05)
+CKPT="$WORK/checkpoint"
+mkdir -p "$CKPT"
+
+# The reference: the identical census, never interrupted, no checkpointing.
+"$CENSUS" "${RESUME_FLAGS[@]}" --out "$WORK/reference.csv" 2>/dev/null
+
+# The victim: paced so every pass takes seconds, giving the kill a wide
+# mid-pass window after the pass-0 manifest lands.
+"$CENSUS" "${RESUME_FLAGS[@]}" --pps 1500 --checkpoint-dir "$CKPT" \
+    --out "$WORK/victim.csv" 2> "$WORK/victim.log" &
+VICTIM_PID=$!
+
+MANIFEST="$CKPT/census.manifest"
+for _ in $(seq 1 600); do
+    [[ -f "$MANIFEST" ]] && break
+    if ! kill -0 "$VICTIM_PID" 2>/dev/null; then
+        echo "resume-smoke FAILED: victim census exited before its first checkpoint"
+        cat "$WORK/victim.log"
+        exit 1
+    fi
+    sleep 0.1
+done
+[[ -f "$MANIFEST" ]] || { echo "resume-smoke FAILED: no manifest appeared"; exit 1; }
+
+kill -9 "$VICTIM_PID"
+wait "$VICTIM_PID" 2>/dev/null || true
+VICTIM_PID=
+[[ -f "$MANIFEST" ]] || { echo "resume-smoke FAILED: manifest vanished with the victim"; exit 1; }
+echo "resume-smoke: victim SIGKILLed mid-census, manifest survives"
+
+# Resume with identical flags (unpaced — pacing never changes bytes) and
+# compare against the uninterrupted reference.
+"$CENSUS" "${RESUME_FLAGS[@]}" --checkpoint-dir "$CKPT" \
+    --out "$WORK/resumed.csv" 2> "$WORK/resumed.log"
+grep -q "resumed from checkpoint" "$WORK/resumed.log" || {
+    echo "resume-smoke FAILED: rerun did not resume from the checkpoint"
+    cat "$WORK/resumed.log"
+    exit 1
+}
+if ! diff -q "$WORK/reference.csv" "$WORK/resumed.csv" >/dev/null; then
+    echo "resume-smoke FAILED: resumed CSV differs from uninterrupted run"
+    diff "$WORK/reference.csv" "$WORK/resumed.csv" | head -10
+    exit 1
+fi
+[[ -f "$MANIFEST" ]] && { echo "resume-smoke FAILED: clean finish left the manifest behind"; exit 1; }
+echo "resume-smoke: resumed CSV byte-identical to uninterrupted run ($(wc -l < "$WORK/reference.csv") lines), checkpoint retired"
+
+echo "resume-smoke OK"
