@@ -1,0 +1,220 @@
+// Wire-engine throughput: packets-per-second at the wire, measured over
+// real loopback sockets, serial (one sendto/recv per packet) vs batched
+// (sendmmsg/recvmmsg with UDP GSO/GRO coalescing) through the same
+// DgramWireBackend the wire tests exercise.
+//
+// "At the wire" means packets that actually traversed the kernel: the pump
+// counts what the receive side hands back, not what the send side claims.
+// Probe-sized (84-byte) datagrams, one single-threaded pump per mode —
+// send a chunk, drain the socket, recycle the buffers — so the number is
+// the per-core syscall-path cost, not a scheduling artifact.
+//
+// Results append to BENCH_wire.json (env LFP_BENCH_JSON overrides) as a
+// perf trajectory, one JSON object per run, smoke runs marked.
+// Gate (binding, smoke included — the ratio is load-independent):
+//   batched pps >= 3x serial pps. This is the tentpole claim: batching
+//   the syscall boundary must buy at least 3x at the wire.
+//
+// Env knobs: LFP_BENCH_SMOKE=1 shrinks packet counts for CI;
+// LFP_WIRE_BATCH overrides the flush depth (default 64).
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "probe/wire.hpp"
+#include "util/arena.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace std::chrono_literals;
+using lfp::probe::DgramWireBackend;
+using lfp::probe::WireConfig;
+using lfp::probe::WireMode;
+
+std::size_t env_or(const char* name, std::size_t fallback) {
+    const char* value = std::getenv(name);
+    return value ? static_cast<std::size_t>(std::strtoull(value, nullptr, 10)) : fallback;
+}
+
+constexpr std::size_t kPacketBytes = 84;  // ICMP echo probe size
+
+struct PumpResult {
+    double seconds = 0.0;
+    double pps = 0.0;
+    std::uint64_t sent = 0;
+    std::uint64_t received = 0;
+    lfp::probe::WireBackend::Counters send_counters;
+    lfp::probe::WireBackend::Counters recv_counters;
+    bool gso = false;
+    bool gro = false;
+};
+
+/// Single-threaded pump: send a chunk, drain the receive socket, recycle
+/// buffers, repeat. pps is computed over *received* packets.
+PumpResult pump(WireMode mode, std::size_t total_packets, std::size_t chunk) {
+    WireConfig config;
+    config.mode = mode;
+    config.batch = env_or("LFP_WIRE_BATCH", 64);
+    config.source = "127.0.0.1";
+    DgramWireBackend receiver(config);
+    DgramWireBackend sender(config);
+    if (!receiver.ready() || !sender.ready()) {
+        std::cerr << "loopback sockets unavailable: " << receiver.status() << " / "
+                  << sender.status() << "\n";
+        return {};
+    }
+    if (!sender.set_peer(receiver.local_address(), receiver.local_port())) {
+        std::cerr << "set_peer failed\n";
+        return {};
+    }
+
+    std::vector<lfp::net::Bytes> packets(chunk, lfp::net::Bytes(kPacketBytes, 0));
+    for (std::size_t i = 0; i < packets.size(); ++i) {
+        packets[i][0] = static_cast<std::uint8_t>(i);
+    }
+    lfp::util::BufferPool pool;
+    pool.prime(chunk * 2, kPacketBytes);
+    std::vector<lfp::net::Bytes> inbound;
+    inbound.reserve(chunk * 2);
+
+    PumpResult result;
+    result.gso = sender.gso_available();
+    result.gro = receiver.gro_available();
+    const auto start = std::chrono::steady_clock::now();
+    while (result.sent < total_packets) {
+        sender.send(std::span<const lfp::net::Bytes>(packets.data(), packets.size()));
+        result.sent += packets.size();
+        inbound.clear();
+        receiver.receive(0ms, pool, inbound);
+        result.received += inbound.size();
+        for (auto& packet : inbound) pool.release(std::move(packet));
+    }
+    // Tail drain: whatever is still queued in the socket buffer.
+    for (int i = 0; i < 20; ++i) {
+        inbound.clear();
+        if (receiver.receive(10ms, pool, inbound) == 0) break;
+        result.received += inbound.size();
+        for (auto& packet : inbound) pool.release(std::move(packet));
+    }
+    const auto elapsed = std::chrono::steady_clock::now() - start;
+    result.seconds =
+        std::chrono::duration_cast<std::chrono::duration<double>>(elapsed).count();
+    result.pps = result.seconds > 0
+                     ? static_cast<double>(result.received) / result.seconds
+                     : 0.0;
+    result.send_counters = sender.counters();
+    result.recv_counters = receiver.counters();
+    return result;
+}
+
+void append_run(const std::string& path, const std::string& entry) {
+    std::ifstream in(path);
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+    std::string contents = buffer.str();
+    in.close();
+
+    const std::string closing = "]}\n";
+    if (const auto at = contents.rfind(closing); at != std::string::npos) {
+        contents.insert(at, "," + entry + "\n");
+    } else {
+        contents = "{\"benchmark\": \"bench_wire\", \"runs\": [\n" + entry + "\n" + closing;
+    }
+    std::ofstream out(path, std::ios::trunc);
+    out << contents;
+}
+
+std::string format1(double value) { return lfp::util::format_double(value, 1); }
+
+}  // namespace
+
+int main() {
+    using namespace lfp;
+
+    const bool smoke = env_or("LFP_BENCH_SMOKE", 0) != 0;
+    // The serial pump is ~20x slower per packet; give it fewer packets so
+    // both legs take comparable wall-clock. pps does not depend on count.
+    const std::size_t serial_packets = env_or("LFP_BENCH_PACKETS", smoke ? 40'000 : 200'000);
+    const std::size_t batched_packets = serial_packets * 8;
+    const std::string json_path = [] {
+        const char* value = std::getenv("LFP_BENCH_JSON");
+        return std::string(value != nullptr ? value : "BENCH_wire.json");
+    }();
+
+    std::cout << "Wire engine: loopback pps, serial vs batched, " << kPacketBytes
+              << "-byte packets" << (smoke ? " [smoke]" : "") << "\n\n";
+
+    const PumpResult serial = pump(WireMode::serial, serial_packets, 64);
+    const PumpResult batched = pump(WireMode::batched, batched_packets, 64);
+    if (serial.received == 0 || batched.received == 0) {
+        std::cerr << "FAIL: a pump moved no packets\n";
+        return 1;
+    }
+
+    const double speedup = serial.pps > 0 ? batched.pps / serial.pps : 0.0;
+    const double serial_spp = serial.send_counters.send_syscalls > 0
+                                  ? static_cast<double>(serial.sent) /
+                                        static_cast<double>(serial.send_counters.send_syscalls)
+                                  : 0.0;
+    const double batched_spp =
+        batched.send_counters.send_syscalls > 0
+            ? static_cast<double>(batched.sent) /
+                  static_cast<double>(batched.send_counters.send_syscalls)
+            : 0.0;
+
+    util::TablePrinter table("Wire engine results");
+    table.header({"metric", "serial", "batched"});
+    table.row({"packets sent", std::to_string(serial.sent), std::to_string(batched.sent)});
+    table.row({"packets received", std::to_string(serial.received),
+               std::to_string(batched.received)});
+    table.row({"seconds", util::format_double(serial.seconds, 3),
+               util::format_double(batched.seconds, 3)});
+    table.row({"pps at the wire", format1(serial.pps), format1(batched.pps)});
+    table.row({"packets per send syscall", format1(serial_spp), format1(batched_spp)});
+    table.row({"gso segments", std::to_string(serial.send_counters.gso_segments),
+               std::to_string(batched.send_counters.gso_segments)});
+    table.row({"gro splits", std::to_string(serial.recv_counters.gro_splits),
+               std::to_string(batched.recv_counters.gro_splits)});
+    table.row({"send failures", std::to_string(serial.send_counters.send_failures),
+               std::to_string(batched.send_counters.send_failures)});
+    table.print(std::cout);
+    std::cout << "GSO " << (batched.gso ? "available" : "unavailable") << ", GRO "
+              << (batched.gro ? "available" : "unavailable") << "\n";
+
+    bool ok = true;
+    std::cout << "\nSpeedup gate: " << format1(speedup)
+              << "x batched over serial vs floor 3.0x: "
+              << (speedup >= 3.0 ? "PASS" : "FAIL") << "\n";
+    if (speedup < 3.0) ok = false;
+
+    // Delivery sanity: loopback under this pump must not be lossy enough to
+    // distort pps (socket buffers hold a full chunk comfortably).
+    const double batched_delivery = static_cast<double>(batched.received) /
+                                    static_cast<double>(batched.sent);
+    if (batched_delivery < 0.5) {
+        std::cout << "FAIL: batched pump delivered only "
+                  << format1(batched_delivery * 100.0) << "% of packets\n";
+        ok = false;
+    }
+
+    std::ostringstream entry;
+    entry << "{\"packet_bytes\": " << kPacketBytes
+          << ", \"serial_pps\": " << format1(serial.pps)
+          << ", \"batched_pps\": " << format1(batched.pps)
+          << ", \"speedup\": " << format1(speedup)
+          << ", \"serial_packets_per_syscall\": " << format1(serial_spp)
+          << ", \"batched_packets_per_syscall\": " << format1(batched_spp)
+          << ", \"gso\": " << (batched.gso ? "true" : "false")
+          << ", \"gro\": " << (batched.gro ? "true" : "false")
+          << ", \"smoke\": " << (smoke ? "true" : "false") << "}";
+    append_run(json_path, entry.str());
+    std::cout << "Trajectory appended to " << json_path << "\n";
+
+    return ok ? 0 : 1;
+}

@@ -16,6 +16,7 @@
 #include "core/checkpoint.hpp"
 #include "core/labeler.hpp"
 #include "probe/campaign.hpp"
+#include "util/alloc_trace.hpp"
 #include "util/arena.hpp"
 #include "util/spsc_ring.hpp"
 
@@ -377,6 +378,9 @@ void CensusRunner::stream_indexed(std::span<const net::IPv4Address> targets,
     threads.reserve(lanes);
     for (std::size_t v = 0; v < lanes; ++v) {
         threads.emplace_back([&, v] {
+            // Scheduler/sender side of the campaign; the receive thread and
+            // the simulated responder tag their own nested stages.
+            util::AllocStageScope stage("lane");
             LaneStream& lane = *streams[v];
             try {
                 util::SpinBackoff push_backoff(kRingBackoff);
@@ -431,11 +435,13 @@ void CensusRunner::stream_indexed(std::span<const net::IPv4Address> targets,
             pool_.parallel_for(batch.size(), 8,
                                [&extractor, records, probes](std::size_t begin,
                                                              std::size_t end) {
+                                   util::AllocStageScope stage("assemble");
                                    for (std::size_t k = begin; k < end; ++k) {
                                        assemble_record(records[k], std::move(probes[k]),
                                                        extractor);
                                    }
                                });
+            util::AllocStageScope stage("sink");
             for (std::size_t k = 0; k < batch_records.size(); ++k) {
                 sink.accept(batch_indices[k], std::move(batch_records[k]));
             }

@@ -43,4 +43,14 @@ bool checksum_ok(std::span<const std::uint8_t> data) noexcept {
     return internet_checksum(data) == 0;
 }
 
+std::uint16_t checksum_update(std::uint16_t current, std::uint16_t old_word,
+                              std::uint16_t new_word) noexcept {
+    // HC' = ~(~HC + ~m + m'), folded. ~HC and ~m are in [0, 0xFFFF], so the
+    // 32-bit accumulator cannot overflow before folding.
+    std::uint32_t acc = static_cast<std::uint32_t>(static_cast<std::uint16_t>(~current));
+    acc += static_cast<std::uint16_t>(~old_word);
+    acc += new_word;
+    return fold(acc);
+}
+
 }  // namespace lfp::net

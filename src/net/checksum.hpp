@@ -22,4 +22,15 @@ namespace lfp::net {
 /// over the whole blob is zero.
 [[nodiscard]] bool checksum_ok(std::span<const std::uint8_t> data) noexcept;
 
+/// RFC 1624 incremental update (eqn 3): the checksum of a packet after one
+/// 16-bit word changed from `old_word` to `new_word`, given the checksum
+/// `current` from before the change — without re-summing the packet.
+/// Chain one call per changed word. Matches a full recomputation
+/// bit-for-bit for any packet whose word sum is non-zero (every real IPv4
+/// packet: the version/IHL byte alone guarantees it), which is what lets
+/// the probe hot loop patch headers in O(changed words); eqn 3 rather than
+/// RFC 1141's eqn 2 because the latter mishandles the -0 representative.
+[[nodiscard]] std::uint16_t checksum_update(std::uint16_t current, std::uint16_t old_word,
+                                            std::uint16_t new_word) noexcept;
+
 }  // namespace lfp::net

@@ -12,6 +12,7 @@
 #include "net/checksum.hpp"
 #include "probe/demux.hpp"
 #include "stack/simulated_router.hpp"  // kProbePort
+#include "util/alloc_trace.hpp"
 #include "util/flat_hash.hpp"
 #include "util/spsc_ring.hpp"
 
@@ -57,43 +58,124 @@ inline void put_u32(net::Bytes& packet, std::size_t offset, std::uint32_t value)
     packet[offset + 3] = static_cast<std::uint8_t>(value & 0xFF);
 }
 
+inline std::uint16_t read_u16(const net::Bytes& packet, std::size_t offset) {
+    return static_cast<std::uint16_t>((packet[offset] << 8) | packet[offset + 1]);
+}
+
+/// The per-template checksum bases incremental patching starts from: the
+/// template's stored IP header checksum and its *computed* L4 checksum
+/// (pre RFC 768 zero-substitution — storing the substituted value would be
+/// ambiguous: a stored 0xFFFF could mean a computed 0 or a computed
+/// 0xFFFF, and the two diverge under further incremental updates).
+struct PatchBase {
+    std::uint16_t ip = 0;
+    std::uint16_t l4 = 0;
+};
+
+/// Derives a template's PatchBase. Templates are built against target 0,
+/// IPID 0, ICMP identifier 0, so every word the patcher later rewrites is
+/// zero in the template — each incremental update is then simply "old word
+/// 0 → new word". ICMP/TCP store their computed checksum verbatim, so the
+/// base reads straight out of the packet; UDP recomputes once to undo the
+/// possible zero-substitution.
+PatchBase patch_base_for(net::Bytes& tpl, ProtoIndex protocol, net::IPv4Address source) {
+    PatchBase base;
+    base.ip = read_u16(tpl, kIpChecksumOffset);
+    switch (protocol) {
+        case ProtoIndex::icmp:
+            base.l4 = read_u16(tpl, kIcmpChecksumOffset);
+            break;
+        case ProtoIndex::tcp:
+            base.l4 = read_u16(tpl, kTcpChecksumOffset);
+            break;
+        case ProtoIndex::udp: {
+            const std::uint16_t stored = read_u16(tpl, kUdpChecksumOffset);
+            put_u16(tpl, kUdpChecksumOffset, 0);
+            const std::span<const std::uint8_t> bytes(tpl.data(), tpl.size());
+            base.l4 = net::transport_checksum(source, net::IPv4Address(0), 17,
+                                              bytes.subspan(kIpHeaderBytes));
+            put_u16(tpl, kUdpChecksumOffset, stored);
+            break;
+        }
+    }
+    return base;
+}
+
 /// Rewrites the per-target fields of a cached probe template in place:
 /// destination address, IPID, the ICMP identifier (derived from the
 /// target), and both checksums. The result is byte-for-byte what
 /// build_probe() would have serialized for this target — but without the
-/// serializer's buffer allocation, which is the hot path's whole per-packet
-/// heap traffic.
-void patch_probe(net::Bytes& packet, ProtoIndex protocol, net::IPv4Address source,
+/// serializer's buffer allocation or a full re-sum of either checksum:
+/// both checksums update incrementally (RFC 1624) from the template's
+/// PatchBase, touching only the handful of header words that actually
+/// changed. Bit-for-bit equivalence to the full recomputation holds
+/// because every patched-over template word is zero and the template's
+/// word sum is non-zero (see net::checksum_update); the template-patching
+/// and wire tests pin it.
+void patch_probe(net::Bytes& packet, ProtoIndex protocol, const PatchBase& base,
                  net::IPv4Address target, std::uint16_t ipid) {
+    const auto dest_hi = static_cast<std::uint16_t>(target.value() >> 16);
+    const auto dest_lo = static_cast<std::uint16_t>(target.value() & 0xFFFF);
     put_u32(packet, kIpDestOffset, target.value());
     put_u16(packet, kIpIdOffset, ipid);
-    const std::span<const std::uint8_t> bytes(packet.data(), packet.size());
-    const auto segment = bytes.subspan(kIpHeaderBytes);
+    std::uint16_t ip_sum = net::checksum_update(base.ip, 0, ipid);
+    ip_sum = net::checksum_update(ip_sum, 0, dest_hi);
+    ip_sum = net::checksum_update(ip_sum, 0, dest_lo);
+    put_u16(packet, kIpChecksumOffset, ip_sum);
     switch (protocol) {
         case ProtoIndex::icmp: {
-            put_u16(packet, kIcmpIdentifierOffset,
-                    static_cast<std::uint16_t>(target.value() ^ (target.value() >> 16)));
-            put_u16(packet, kIcmpChecksumOffset, 0);
-            put_u16(packet, kIcmpChecksumOffset, net::internet_checksum(segment));
+            const auto identifier =
+                static_cast<std::uint16_t>(target.value() ^ (target.value() >> 16));
+            put_u16(packet, kIcmpIdentifierOffset, identifier);
+            put_u16(packet, kIcmpChecksumOffset, net::checksum_update(base.l4, 0, identifier));
             break;
         }
         case ProtoIndex::tcp: {
-            put_u16(packet, kTcpChecksumOffset, 0);
-            put_u16(packet, kTcpChecksumOffset,
-                    net::transport_checksum(source, target, 6, segment));
+            // Only the pseudo-header destination enters the TCP checksum.
+            std::uint16_t sum = net::checksum_update(base.l4, 0, dest_hi);
+            sum = net::checksum_update(sum, 0, dest_lo);
+            put_u16(packet, kTcpChecksumOffset, sum);
             break;
         }
         case ProtoIndex::udp: {
-            put_u16(packet, kUdpChecksumOffset, 0);
-            std::uint16_t checksum = net::transport_checksum(source, target, 17, segment);
-            if (checksum == 0) checksum = 0xFFFF;  // RFC 768: zero means "no checksum"
-            put_u16(packet, kUdpChecksumOffset, checksum);
+            std::uint16_t sum = net::checksum_update(base.l4, 0, dest_hi);
+            sum = net::checksum_update(sum, 0, dest_lo);
+            if (sum == 0) sum = 0xFFFF;  // RFC 768: zero means "no checksum"
+            put_u16(packet, kUdpChecksumOffset, sum);
             break;
         }
     }
-    put_u16(packet, kIpChecksumOffset, 0);
-    put_u16(packet, kIpChecksumOffset, net::internet_checksum(bytes.first(kIpHeaderBytes)));
 }
+
+/// Minimal BER encoding length (bytes) of a non-negative INTEGER value —
+/// what the discovery packet's two msgID fields use. The SNMP template
+/// cache keys on it: a byte patch must never change a field's length.
+constexpr std::size_t ber_int_len(std::uint32_t value) {
+    if (value < 0x80) return 1;
+    if (value < 0x8000) return 2;
+    if (value < 0x800000) return 3;
+    return 4;
+}
+
+/// A cached SNMP discovery template for one msgID encoding length: the
+/// serialized packet, its checksum bases, where the two msgID copies live
+/// (request-id and msgID both encode the campaign's message id), and the
+/// 16-bit checksum words those runs overlap, with their template values,
+/// for incremental updates. Offsets are recovered structurally — two
+/// builds differing only in msgID are diffed byte-for-byte — so the cache
+/// needs no knowledge of BER layout and disables itself (patchable=false,
+/// falling back to fresh serialization) if the diff ever looks unlike two
+/// clean runs.
+struct SnmpTemplate {
+    bool tried = false;
+    bool patchable = false;
+    net::Bytes bytes;
+    PatchBase base;
+    std::size_t msgid_len = 0;
+    std::array<std::size_t, 2> runs{};
+    std::array<std::pair<std::size_t, std::uint16_t>, 6> words{};
+    std::size_t word_count = 0;
+};
 
 /// Raw inbound packets cross from the receive thread to the scheduler over
 /// a ring this deep. Deeper than any sane in-flight probe count, so the
@@ -200,14 +282,23 @@ class ReceiveLoop {
 
   private:
     void loop() {
+        // Attribution tag for allocation-counting harnesses: everything
+        // this thread allocates belongs to the receive stage.
+        util::AllocStageScope stage("recv");
         try {
             util::SpinBackoff backoff(config_->idle_backoff);
+            // One scratch vector for the thread's lifetime: packets are
+            // moved out into the ring, so after warm-up each poll reuses
+            // the same capacity instead of allocating a fresh vector.
+            std::vector<net::Bytes> inbound;
+            inbound.reserve(kInboundRingDepth / 4);
             while (!stop_.load(std::memory_order_acquire)) {
                 // Capture the epoch *before* polling: any send that lands
                 // after this load bumps the epoch and invalidates a drained
                 // observation made by this poll.
                 const std::uint64_t epoch = send_epoch_.load(std::memory_order_acquire);
-                auto inbound = transport_->poll_responses(config_->poll_interval);
+                inbound.clear();
+                transport_->poll_responses_into(config_->poll_interval, inbound);
                 if (inbound.empty()) {
                     if (transport_->drained()) {
                         drained_epoch_.store(epoch, std::memory_order_release);
@@ -451,21 +542,116 @@ void Campaign::run_streaming(
 
     // Probe templates: the nine per-slot packets serialized once against a
     // placeholder target, then copied into pooled batch buffers and patched
-    // per admission. The SNMP discovery is *not* templated — its msgID
-    // lives inside a variable-length BER integer, so patching bytes is not
-    // sound; build_snmp_probe() serializes fresh (the one per-target
-    // allocation send_snmp costs).
+    // per admission.
     std::array<net::Bytes, kSnmpSlot> templates;
+    std::array<PatchBase, kSnmpSlot> patch_bases;
+    const net::IPv4Address vantage = transport_->vantage_address();
     for (std::size_t round = 0; round < kRoundsPerProtocol; ++round) {
         for (std::size_t p = 0; p < kProtocolCount; ++p) {
-            templates[probe_slot(p, round)] =
-                build_probe(net::IPv4Address(0), static_cast<ProtoIndex>(p), round, 0);
+            net::Bytes& tpl = templates[probe_slot(p, round)];
+            tpl = build_probe(net::IPv4Address(0), static_cast<ProtoIndex>(p), round, 0);
+            patch_bases[probe_slot(p, round)] =
+                patch_base_for(tpl, static_cast<ProtoIndex>(p), vantage);
         }
     }
     // Batch buffers are pooled across admissions: assign() reuses capacity,
     // so after the first admission the nine probe copies are pure memcpy.
     std::array<net::Bytes, kSlotsPerTarget> batch;
-    const net::IPv4Address vantage = transport_->vantage_address();
+
+    // The SNMP discovery is templated too — its BER tree was the admit
+    // path's dominant allocator (~80 heap allocations per serialize). The
+    // packet differs between targets only in the msgID (encoded twice) and
+    // the IP fields; the msgID is a variable-length BER integer, so one
+    // template is cached per encoding length and the patcher rewrites the
+    // fixed-width runs in place, updating the UDP checksum incrementally
+    // over exactly the words the runs overlap. Anything structurally
+    // surprising (diff not two clean runs, runs outside the payload, a run
+    // at the very tail) permanently falls back to fresh serialization.
+    std::array<SnmpTemplate, 5> snmp_templates;  // indexed by msgid_len 1..4
+    auto snmp_patch_or_build = [&](net::Bytes& packet, net::IPv4Address target,
+                                   std::uint16_t ipid, std::int32_t msg_id) {
+        const auto id_value = static_cast<std::uint32_t>(msg_id);
+        SnmpTemplate& tmpl = snmp_templates[ber_int_len(id_value)];
+        if (!tmpl.tried) {
+            tmpl.tried = true;
+            tmpl.msgid_len = ber_int_len(id_value);
+            // Representatives whose every encoded byte differs, so the diff
+            // exposes each run in full; both stay in the same length class.
+            static constexpr std::uint32_t kIdA[5] = {0, 0x7F, 0x7F7F, 0x7F7F7F,
+                                                      0x7F7F7F7F};
+            static constexpr std::uint32_t kIdB[5] = {0, 0x01, 0x4040, 0x404040,
+                                                      0x40404040};
+            net::Bytes built = build_snmp_probe(
+                net::IPv4Address(0), static_cast<std::int32_t>(kIdA[tmpl.msgid_len]), 0);
+            const net::Bytes alt = build_snmp_probe(
+                net::IPv4Address(0), static_cast<std::int32_t>(kIdB[tmpl.msgid_len]), 0);
+            std::array<std::size_t, 8> diff{};
+            std::size_t diff_count = 0;
+            bool ok = built.size() == alt.size();
+            for (std::size_t i = 0; ok && i < built.size(); ++i) {
+                // The UDP checksum differs too (it covers the payload);
+                // it's patched separately, so it's not part of the runs.
+                if (i == kUdpChecksumOffset || i == kUdpChecksumOffset + 1) continue;
+                if (built[i] == alt[i]) continue;
+                if (diff_count == diff.size()) ok = false;
+                else diff[diff_count++] = i;
+            }
+            ok = ok && diff_count == 2 * tmpl.msgid_len;
+            if (ok) {
+                tmpl.runs = {diff[0], diff[tmpl.msgid_len]};
+                for (std::size_t r = 0; ok && r < 2; ++r) {
+                    for (std::size_t j = 1; j < tmpl.msgid_len; ++j) {
+                        ok = ok && diff[r * tmpl.msgid_len + j] == tmpl.runs[r] + j;
+                    }
+                    ok = ok && tmpl.runs[r] >= kIpHeaderBytes + 8 &&
+                         ((tmpl.runs[r] + tmpl.msgid_len - 1) | 1) + 1 <= built.size();
+                }
+            }
+            if (ok) {
+                tmpl.bytes = std::move(built);
+                tmpl.base = patch_base_for(tmpl.bytes, ProtoIndex::udp, vantage);
+                for (std::size_t run : tmpl.runs) {
+                    const std::size_t first = run & ~std::size_t{1};
+                    const std::size_t last = (run + tmpl.msgid_len - 1) & ~std::size_t{1};
+                    for (std::size_t w = first; w <= last; w += 2) {
+                        bool seen = false;
+                        for (std::size_t k = 0; k < tmpl.word_count; ++k) {
+                            seen = seen || tmpl.words[k].first == w;
+                        }
+                        if (!seen) tmpl.words[tmpl.word_count++] = {w, read_u16(tmpl.bytes, w)};
+                    }
+                }
+                tmpl.patchable = true;
+            }
+        }
+        if (!tmpl.patchable) {
+            packet = build_snmp_probe(target, msg_id, ipid);
+            return;
+        }
+        packet.assign(tmpl.bytes.begin(), tmpl.bytes.end());
+        for (std::size_t run : tmpl.runs) {
+            for (std::size_t j = 0; j < tmpl.msgid_len; ++j) {
+                packet[run + j] = static_cast<std::uint8_t>(
+                    id_value >> (8 * (tmpl.msgid_len - 1 - j)));
+            }
+        }
+        const auto dest_hi = static_cast<std::uint16_t>(target.value() >> 16);
+        const auto dest_lo = static_cast<std::uint16_t>(target.value() & 0xFFFF);
+        std::uint16_t sum = net::checksum_update(tmpl.base.l4, 0, dest_hi);
+        sum = net::checksum_update(sum, 0, dest_lo);
+        for (std::size_t k = 0; k < tmpl.word_count; ++k) {
+            sum = net::checksum_update(sum, tmpl.words[k].second,
+                                       read_u16(packet, tmpl.words[k].first));
+        }
+        if (sum == 0) sum = 0xFFFF;  // RFC 768: zero means "no checksum"
+        put_u16(packet, kUdpChecksumOffset, sum);
+        put_u32(packet, kIpDestOffset, target.value());
+        put_u16(packet, kIpIdOffset, ipid);
+        std::uint16_t ip_sum = net::checksum_update(tmpl.base.ip, 0, ipid);
+        ip_sum = net::checksum_update(ip_sum, 0, dest_hi);
+        ip_sum = net::checksum_update(ip_sum, 0, dest_lo);
+        put_u16(packet, kIpChecksumOffset, ip_sum);
+    };
 
     // At most one multiplicative decrease per in-flight generation: after a
     // back-off, this many completions must drain before the next decrease
@@ -548,6 +734,7 @@ void Campaign::run_streaming(
     // probing a slice of a larger list stamps the same IDs a serial run
     // over the full list would.
     auto admit = [&](std::size_t index) {
+        util::AllocStageScope admit_stage("admit");
         const std::uint64_t global_index =
             global_indices.empty() ? index : global_indices[index];
         std::uint16_t next_ipid = static_cast<std::uint16_t>(
@@ -603,7 +790,8 @@ void Campaign::run_streaming(
                 net::Bytes& packet = batch[batch_size++];
                 const net::Bytes& probe_template = templates[probe_slot(p, round)];
                 packet.assign(probe_template.begin(), probe_template.end());
-                patch_probe(packet, static_cast<ProtoIndex>(p), vantage, targets[index],
+                patch_probe(packet, static_cast<ProtoIndex>(p),
+                            patch_bases[probe_slot(p, round)], targets[index],
                             exchange.request_ipid);
                 if (config_.keep_request_bytes) {
                     exchange.request.assign(packet.begin(), packet.end());
@@ -620,8 +808,8 @@ void Campaign::run_streaming(
         if (config_.send_snmp) {
             state.snmp_message_id = static_cast<std::int32_t>(
                 (config_.snmp_message_id_base + global_index) & 0x7FFFFFFF);
-            batch[batch_size++] =
-                build_snmp_probe(targets[index], state.snmp_message_id, next_ipid++);
+            snmp_patch_or_build(batch[batch_size++], targets[index], next_ipid++,
+                                state.snmp_message_id);
             const FlowKey key{target_value, static_cast<std::uint8_t>(net::Protocol::udp),
                               static_cast<std::uint16_t>(config_.source_port + 7),
                               snmp::kSnmpPort};
@@ -637,9 +825,14 @@ void Campaign::run_streaming(
         ++in_flight_count;
     };
 
-    auto dispatch = [&](net::Bytes& raw) {
+    // Returns true only when `raw` was kept (moved into a probe exchange);
+    // false means the caller still owns the buffer and should recycle it
+    // back to the transport — strays, quench advisories, parse failures,
+    // and SNMP payloads (copied into the decoded response) all come back.
+    auto dispatch = [&](net::Bytes& raw) -> bool {
+        util::AllocStageScope dispatch_stage("dispatch");
         auto parsed = net::parse_packet(raw);
-        if (!parsed) return;
+        if (!parsed) return false;
         // Rate-limit advisories are back-off signals, never probe answers;
         // intercept them before the demux would count them as strays.
         if (const auto* icmp = parsed.value().icmp()) {
@@ -647,13 +840,13 @@ void Campaign::run_streaming(
                 error != nullptr && error->type == net::IcmpType::source_quench) {
                 ++rate_limit_signals_;
                 back_off(/*from_quench=*/true);
-                return;
+                return false;
             }
         }
         auto slot = demux.match(parsed.value());
-        if (!slot) return;
+        if (!slot) return false;
         InFlightTarget& state = slots[slot->target];
-        if (!state.active) return;
+        if (!state.active) return false;
         ++responses_;
         if (state.outstanding > 0) --state.outstanding;
         if (slot->slot == kSnmpSlot) {
@@ -665,14 +858,18 @@ void Campaign::run_streaming(
                     state.result.snmp = std::move(response).value();
                 }
             }
-        } else {
-            ProbeExchange& exchange =
-                state.result.probes[slot->slot % kProtocolCount][slot->slot / kProtocolCount];
-            exchange.response = std::move(raw);
+            return false;
         }
+        ProbeExchange& exchange =
+            state.result.probes[slot->slot % kProtocolCount][slot->slot / kProtocolCount];
+        exchange.response = std::move(raw);
+        return true;
     };
 
     bool cancelled = false;
+    // Inline-mode (no receive thread) poll scratch: lives across loop
+    // passes so the steady state reuses one capacity.
+    std::vector<net::Bytes> inline_inbound;
     try {
         util::SpinBackoff backoff(config_.idle_backoff);
         while (completed < targets.size() && !cancelled) {
@@ -706,17 +903,18 @@ void Campaign::run_streaming(
             if (receiver) {
                 net::Bytes raw;
                 while (receiver->try_pop(raw)) {
-                    dispatch(raw);
+                    if (!dispatch(raw)) transport_->recycle(std::move(raw));
                     progressed = true;
                 }
                 starved = receiver->starved();
             } else {
-                auto inbound = transport_->poll_responses(config_.poll_interval);
-                for (net::Bytes& raw : inbound) {
-                    dispatch(raw);
+                inline_inbound.clear();
+                transport_->poll_responses_into(config_.poll_interval, inline_inbound);
+                for (net::Bytes& raw : inline_inbound) {
+                    if (!dispatch(raw)) transport_->recycle(std::move(raw));
                     progressed = true;
                 }
-                starved = inbound.empty() && transport_->drained();
+                starved = inline_inbound.empty() && transport_->drained();
             }
             const auto now = Clock::now();
             for (std::uint32_t slot_id = 0;

@@ -1,153 +1,93 @@
 #include "probe/raw_socket_transport.hpp"
 
-#include <algorithm>
-#include <array>
-#include <cerrno>
-#include <cstring>
-#include <thread>
-
-#ifdef __linux__
-#include <arpa/inet.h>
-#include <netinet/in.h>
-#include <poll.h>
-#include <sys/socket.h>
-#include <unistd.h>
-#endif
+#include <cstdlib>
+#include <sstream>
+#include <utility>
 
 namespace lfp::probe {
 
 namespace {
 
-/// Backoff schedule for transient send errors: start tight (buffer drains
-/// are usually microseconds), double each attempt, cap well below the probe
-/// timeout so a wedged NIC degrades to a counted failure rather than a
-/// stalled scheduler. 8 attempts ≈ 50+100+...+5000µs ≈ 13ms worst case.
-constexpr std::chrono::microseconds kSendBackoffInitial{50};
-constexpr std::chrono::microseconds kSendBackoffCap{5000};
-constexpr int kSendAttempts = 8;
+/// Recycle-ring depth: deeper than any sane packets-per-poll burst, so
+/// returns are only ever dropped (harmlessly — the pool just re-allocates)
+/// when the receiver has stopped draining entirely.
+constexpr std::size_t kRecycleRingDepth = 4096;
+
+/// Receive-pool warm-up: enough pre-sized buffers that the first polls are
+/// already allocation-free. Probe responses are small; 2 KB covers every
+/// ICMP error quote the probers elicit.
+constexpr std::size_t kPoolPrimeBuffers = 256;
+constexpr std::size_t kPoolPrimeBytes = 2048;
 
 }  // namespace
 
 RawSocketTransport::RawSocketTransport(Options options)
-    : options_(options), vantage_(net::IPv4Address::from_octets(127, 0, 0, 1)) {
+    : options_(std::move(options)),
+      vantage_(net::IPv4Address::from_octets(127, 0, 0, 1)),
+      recycle_ring_(kRecycleRingDepth) {
     if (options_.dry_run) {
         status_ = "dry-run (no sockets opened)";
         return;
     }
-    ready_ = open_sockets();
+    backend_ = std::make_unique<RawWireBackend>(options_.wire);
+    ready_ = backend_->ready();
+    status_ = backend_->status();
+    if (ready_) {
+        vantage_ = backend_->local_address();
+        pool_.prime(kPoolPrimeBuffers, kPoolPrimeBytes);
+    }
 }
 
-RawSocketTransport::~RawSocketTransport() { close_sockets(); }
+RawSocketTransport::~RawSocketTransport() = default;
 
-#ifdef __linux__
-
-bool RawSocketTransport::open_sockets() {
-    auto open_raw = [this](int protocol, int& fd) {
-        fd = ::socket(AF_INET, SOCK_RAW, protocol);
-        if (fd < 0) {
-            status_ = std::string("socket() failed: ") + std::strerror(errno);
-            return false;
-        }
-        return true;
-    };
-    if (!open_raw(IPPROTO_RAW, send_fd_) || !open_raw(IPPROTO_ICMP, recv_icmp_fd_) ||
-        !open_raw(IPPROTO_TCP, recv_tcp_fd_) || !open_raw(IPPROTO_UDP, recv_udp_fd_)) {
-        close_sockets();
-        return false;
-    }
-    const int one = 1;
-    if (::setsockopt(send_fd_, IPPROTO_IP, IP_HDRINCL, &one, sizeof(one)) != 0) {
-        status_ = std::string("IP_HDRINCL failed: ") + std::strerror(errno);
-        close_sockets();
-        return false;
-    }
-    status_ = "ready";
-    return true;
+std::unique_ptr<RawSocketTransport> RawSocketTransport::for_source(
+    const std::string& source, const std::string& interface) {
+    Options options;
+    options.wire.source = source;
+    options.wire.interface = interface;
+    return std::make_unique<RawSocketTransport>(std::move(options));
 }
 
-void RawSocketTransport::close_sockets() noexcept {
-    for (int* fd : {&send_fd_, &recv_icmp_fd_, &recv_tcp_fd_, &recv_udp_fd_}) {
-        if (*fd >= 0) {
-            ::close(*fd);
-            *fd = -1;
-        }
+std::vector<std::unique_ptr<RawSocketTransport>> RawSocketTransport::lanes_from_env() {
+    std::vector<std::unique_ptr<RawSocketTransport>> lanes;
+    const char* sources = std::getenv("LFP_WIRE_SOURCES");
+    if (sources == nullptr) return lanes;
+    std::istringstream stream{std::string(sources)};
+    std::string source;
+    while (std::getline(stream, source, ',')) {
+        if (!source.empty()) lanes.push_back(for_source(source));
     }
-    ready_ = false;
+    return lanes;
 }
 
 void RawSocketTransport::send_batch(std::span<const net::Bytes> packets) {
     if (!ready_) return;
-    for (const net::Bytes& packet : packets) {
-        auto destination_ip = net::peek_destination(packet);
-        if (!destination_ip) {
-            ++send_failures_;
-            continue;
-        }
-        sockaddr_in destination{};
-        destination.sin_family = AF_INET;
-        destination.sin_addr.s_addr = htonl(destination_ip.value().value());
-        std::chrono::microseconds backoff = kSendBackoffInitial;
-        bool delivered = false;
-        for (int attempt = 0; attempt < kSendAttempts; ++attempt) {
-            const auto sent =
-                ::sendto(send_fd_, packet.data(), packet.size(), 0,
-                         reinterpret_cast<const sockaddr*>(&destination), sizeof(destination));
-            if (sent >= 0 && static_cast<std::size_t>(sent) == packet.size()) {
-                delivered = true;
-                break;
-            }
-            const int error = errno;
-            const bool transient = sent < 0 && (error == EAGAIN || error == EWOULDBLOCK ||
-                                                error == ENOBUFS || error == EINTR);
-            if (!transient) break;  // hard failure: no amount of waiting helps
-            ++transient_send_errors_;
-            // EINTR needs no delay — the send was interrupted, not refused.
-            if (error != EINTR) {
-                std::this_thread::sleep_for(backoff);
-                backoff = std::min(backoff * 2, kSendBackoffCap);
-            }
-        }
-        if (!delivered) ++send_failures_;
-    }
+    backend_->send(packets);
+}
+
+void RawSocketTransport::poll_responses_into(std::chrono::milliseconds timeout,
+                                             std::vector<net::Bytes>& out) {
+    if (!ready_) return;
+    // Refill the pool from buffers the scheduler finished with before the
+    // kernel hands over new packets — steady state then cycles the same
+    // buffers forever.
+    net::Bytes returned;
+    while (recycle_ring_.try_pop(returned)) pool_.release(std::move(returned));
+    backend_->receive(timeout, pool_, out);
 }
 
 std::vector<net::Bytes> RawSocketTransport::poll_responses(std::chrono::milliseconds timeout) {
     std::vector<net::Bytes> inbound;
-    if (!ready_) return inbound;
-    std::array<pollfd, 3> fds{{{recv_icmp_fd_, POLLIN, 0},
-                               {recv_tcp_fd_, POLLIN, 0},
-                               {recv_udp_fd_, POLLIN, 0}}};
-    const int rc = ::poll(fds.data(), fds.size(), static_cast<int>(timeout.count()));
-    if (rc <= 0) return inbound;
-    std::array<std::uint8_t, 65536> buffer{};
-    for (const pollfd& entry : fds) {
-        if ((entry.revents & POLLIN) == 0) continue;
-        // Drain everything queued on this socket without blocking again.
-        for (;;) {
-            const auto received =
-                ::recv(entry.fd, buffer.data(), buffer.size(), MSG_DONTWAIT);
-            if (received <= 0) break;
-            inbound.emplace_back(buffer.begin(), buffer.begin() + received);
-        }
-    }
+    inbound.reserve(last_poll_size_);
+    poll_responses_into(timeout, inbound);
+    if (inbound.size() > last_poll_size_) last_poll_size_ = inbound.size();
     return inbound;
 }
 
-#else  // !__linux__
-
-bool RawSocketTransport::open_sockets() {
-    status_ = "raw sockets unsupported on this platform";
-    return false;
+void RawSocketTransport::recycle(net::Bytes&& buffer) {
+    // Best effort: a full ring just means this buffer is freed instead of
+    // reused — never block the scheduler on an optimisation.
+    recycle_ring_.try_push(std::move(buffer));
 }
-
-void RawSocketTransport::close_sockets() noexcept {}
-
-void RawSocketTransport::send_batch(std::span<const net::Bytes>) {}
-
-std::vector<net::Bytes> RawSocketTransport::poll_responses(std::chrono::milliseconds) {
-    return {};
-}
-
-#endif  // __linux__
 
 }  // namespace lfp::probe

@@ -8,16 +8,35 @@
 // quoted datagram inside ICMP errors, TCP/UDP port pairs) is done by the
 // caller's demultiplexer — probe/demux.hpp.
 //
+// The syscall layer itself is pluggable (probe/wire.hpp): by default the
+// transport runs the batched RawWireBackend — the whole in-flight window
+// flushed with one sendmmsg, ready sockets drained with one recvmmsg into
+// pre-pinned slabs — with LFP_WIRE_BACKEND=serial falling back to the
+// sendto-per-packet path. Inbound packet buffers come from a BufferPool
+// owned by the receive thread; the scheduler returns consumed buffers
+// through recycle(), which routes them back across the thread boundary over
+// an SPSC ring, so the steady-state receive path allocates nothing.
+//
+// One lane per source address: for_source() builds a transport bound to a
+// specific vantage address (and optionally interface), so a CensusPlan
+// can map each of its vantage lanes onto a distinct source on a
+// multi-homed host — every lane owns its own socket set and sees only its
+// own responses.
+//
 // The one-sender/one-receiver threading contract holds without locks: sends
-// and receives use disjoint file descriptors, so the scheduler thread's
-// sendto() and the receive thread's poll()/recvfrom() never touch shared
-// state (send_failures_ is written by the sending thread only).
+// and receives use disjoint file descriptors, counters are split by side,
+// and the recycle path is a single-producer/single-consumer ring.
 #pragma once
 
 #include <chrono>
+#include <memory>
 #include <string>
+#include <vector>
 
 #include "probe/transport.hpp"
+#include "probe/wire.hpp"
+#include "util/arena.hpp"
+#include "util/spsc_ring.hpp"
 
 namespace lfp::probe {
 
@@ -28,36 +47,64 @@ class RawSocketTransport final : public ProbeTransport {
         /// When true, no sockets are opened, sends vanish, and polls return
         /// empty; lets callers exercise the code path without privileges.
         bool dry_run = false;
+        /// Syscall-layer knobs (backend mode, batch depth, source address,
+        /// interface). Defaults honour LFP_WIRE_BACKEND / LFP_WIRE_BATCH.
+        WireConfig wire = WireConfig::from_env();
     };
 
     RawSocketTransport() : RawSocketTransport(Options{}) {}
     explicit RawSocketTransport(Options options);
     ~RawSocketTransport() override;
 
+    /// A transport lane bound to `source` (dotted quad) and optionally
+    /// `interface`: its sends are stamped from that vantage and its receive
+    /// sockets are bound to it, so concurrent lanes never see each other's
+    /// traffic. Env-level wire knobs still apply.
+    [[nodiscard]] static std::unique_ptr<RawSocketTransport> for_source(
+        const std::string& source, const std::string& interface = {});
+
+    /// One lane per entry of LFP_WIRE_SOURCES (comma-separated source
+    /// addresses) — the env-driven way to hand CensusPlan a multi-homed
+    /// vantage set. Empty when the variable is unset or empty.
+    [[nodiscard]] static std::vector<std::unique_ptr<RawSocketTransport>> lanes_from_env();
+
     /// True if all sockets opened (CAP_NET_RAW present and platform
     /// supported); false puts the transport in dry-run behaviour.
     [[nodiscard]] bool ready() const noexcept { return ready_; }
     [[nodiscard]] const std::string& status() const noexcept { return status_; }
 
-    /// Packets sendto() rejected or truncated (filtered routes, bad
-    /// destinations…) after retries were exhausted. Those probes never
-    /// reached the wire: their slots will run into the response timeout,
-    /// and a climbing counter here is the tell.
-    [[nodiscard]] std::uint64_t send_failures() const noexcept { return send_failures_; }
+    /// Packets the wire layer rejected (filtered routes, bad destinations…)
+    /// after retries were exhausted. Those probes never reached the wire:
+    /// their slots will run into the response timeout, and a climbing
+    /// counter here is the tell.
+    [[nodiscard]] std::uint64_t send_failures() const noexcept {
+        return backend_ ? backend_->counters().send_failures : 0;
+    }
 
     /// Transient backpressure events (EAGAIN/EWOULDBLOCK/ENOBUFS/EINTR)
-    /// absorbed by the capped-backoff retry loop in send_batch(). These are
-    /// kernel buffer pressure, not packet loss: the packet was eventually
-    /// sent (or counted in send_failures() once retries ran out). A
-    /// climbing counter with flat send_failures() means the pacer is
-    /// outrunning the NIC and LFP_PPS should come down.
+    /// absorbed by the capped-backoff retry loop. These are kernel buffer
+    /// pressure, not packet loss: the packet was eventually sent (or
+    /// counted in send_failures() once retries ran out). A climbing counter
+    /// with flat send_failures() means the pacer is outrunning the NIC and
+    /// LFP_PPS should come down.
     [[nodiscard]] std::uint64_t transient_send_errors() const noexcept {
-        return transient_send_errors_;
+        return backend_ ? backend_->counters().transient_send_errors : 0;
     }
+
+    /// The syscall backend in force (null in dry-run) — introspection for
+    /// tests and ops dashboards.
+    [[nodiscard]] const WireBackend* backend() const noexcept { return backend_.get(); }
+
+    /// Receive-pool statistics (hits mean the zero-allocation steady state
+    /// is holding). Receiver-thread values; read when quiescent.
+    [[nodiscard]] const util::BufferPool& receive_pool() const noexcept { return pool_; }
 
     void send_batch(std::span<const net::Bytes> packets) override;
 
     std::vector<net::Bytes> poll_responses(std::chrono::milliseconds timeout) override;
+    void poll_responses_into(std::chrono::milliseconds timeout,
+                             std::vector<net::Bytes>& out) override;
+    void recycle(net::Bytes&& buffer) override;
 
     /// A live network can always surprise us — except when the transport
     /// never opened sockets, in which case no response can ever arrive.
@@ -70,19 +117,20 @@ class RawSocketTransport final : public ProbeTransport {
     }
 
   private:
-    bool open_sockets();
-    void close_sockets() noexcept;
-
     Options options_;
     bool ready_ = false;
     std::string status_;
-    std::uint64_t send_failures_ = 0;
-    std::uint64_t transient_send_errors_ = 0;
     net::IPv4Address vantage_;
-    int send_fd_ = -1;
-    int recv_icmp_fd_ = -1;
-    int recv_tcp_fd_ = -1;
-    int recv_udp_fd_ = -1;
+    std::unique_ptr<WireBackend> backend_;
+    /// Receive buffers, owned by the receive thread; refilled from
+    /// recycle_ring_ at every poll.
+    util::BufferPool pool_;
+    /// Scheduler → receiver buffer returns (single producer, single
+    /// consumer, matching the transport threading contract).
+    util::SpscRing<net::Bytes> recycle_ring_;
+    /// High-water mark of packets per poll; sizes the vector the legacy
+    /// poll_responses() path returns.
+    std::size_t last_poll_size_ = 0;
 };
 
 }  // namespace lfp::probe

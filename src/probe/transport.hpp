@@ -99,6 +99,30 @@ class ProbeTransport {
     ///   more than one poll's worth).
     virtual std::vector<net::Bytes> poll_responses(std::chrono::milliseconds timeout) = 0;
 
+    /// Allocation-free variant of poll_responses(): appends inbound packets
+    /// to `out` instead of returning a fresh vector, so a receive loop that
+    /// reuses one scratch vector (and recycles consumed buffers — see
+    /// recycle()) runs with zero steady-state heap traffic. Same contract
+    /// as poll_responses() otherwise: receive thread only, arrival order,
+    /// early return when packets arrive or the transport is drained. The
+    /// default forwards to poll_responses() so existing transports keep
+    /// working unchanged; transports with a pooled receive path
+    /// (RawSocketTransport) override it.
+    virtual void poll_responses_into(std::chrono::milliseconds timeout,
+                                     std::vector<net::Bytes>& out) {
+        auto inbound = poll_responses(timeout);
+        for (net::Bytes& packet : inbound) out.push_back(std::move(packet));
+    }
+
+    /// Returns a packet buffer obtained from poll_responses*() to the
+    /// transport for reuse once the caller is done with it (stray traffic,
+    /// rate-limit advisories, parsed-and-discarded payloads). Purely an
+    /// optimisation: the default drops the buffer, which is always correct.
+    /// May be called from the sender/scheduler thread concurrently with the
+    /// receive thread — implementations route buffers across that boundary
+    /// themselves (RawSocketTransport uses an SPSC ring into its pool).
+    virtual void recycle(net::Bytes&& /*buffer*/) {}
+
     /// True when the transport can *prove* no further response will arrive
     /// for anything sent so far — "the pipe is empty", not "nothing right
     /// now".
@@ -205,6 +229,16 @@ class SynchronousTransport : public ProbeTransport {
         std::vector<net::Bytes> out;
         out.swap(queue_);
         return out;
+    }
+
+    /// Pooled-path override: drains the queue into the caller's scratch
+    /// vector, keeping the queue's capacity for the next send — the steady
+    /// state moves buffers without allocating either vector.
+    void poll_responses_into(std::chrono::milliseconds /*timeout*/,
+                             std::vector<net::Bytes>& out) override {
+        std::lock_guard<std::mutex> lock(mutex_);
+        for (net::Bytes& packet : queue_) out.push_back(std::move(packet));
+        queue_.clear();
     }
 
     [[nodiscard]] bool drained() const override {

@@ -1,0 +1,710 @@
+#include "probe/wire.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+#include <string_view>
+#include <thread>
+
+#ifdef __linux__
+#include <arpa/inet.h>
+#include <net/if.h>
+#include <netinet/in.h>
+#include <netinet/udp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+// UDP GSO/GRO socket options predate some libc headers; the kernel ABI
+// values are stable.
+#ifndef UDP_SEGMENT
+#define UDP_SEGMENT 103
+#endif
+#ifndef UDP_GRO
+#define UDP_GRO 104
+#endif
+#ifndef SOL_UDP
+#define SOL_UDP 17
+#endif
+#endif  // __linux__
+
+namespace lfp::probe {
+
+namespace {
+
+/// Backoff schedule for transient send errors: start tight (buffer drains
+/// are usually microseconds), double each attempt, cap well below the probe
+/// timeout so a wedged NIC degrades to a counted failure rather than a
+/// stalled scheduler. 8 attempts ≈ 50+100+...+5000µs ≈ 13ms worst case.
+constexpr std::chrono::microseconds kSendBackoffInitial{50};
+constexpr std::chrono::microseconds kSendBackoffCap{5000};
+constexpr int kSendAttempts = 8;
+
+/// Kernel limits on one UDP GSO super-datagram: at most this many segments,
+/// and the aggregate payload must fit a single UDP datagram.
+constexpr std::size_t kGsoMaxSegments = 64;
+constexpr std::size_t kGsoMaxBytes = 60000;
+
+[[maybe_unused]] bool transient_errno(int error) noexcept {
+    return error == EAGAIN || error == EWOULDBLOCK || error == ENOBUFS || error == EINTR;
+}
+
+}  // namespace
+
+WireConfig WireConfig::from_env() {
+    WireConfig config;
+    if (const char* backend = std::getenv("LFP_WIRE_BACKEND")) {
+        const std::string_view name(backend);
+        if (name == "serial") {
+            config.mode = WireMode::serial;
+        } else if (name == "batched") {
+            config.mode = WireMode::batched;
+        }
+        // Anything else keeps the default: a live run degrades, not dies.
+    }
+    if (const char* batch = std::getenv("LFP_WIRE_BATCH")) {
+        char* end = nullptr;
+        const unsigned long long value = std::strtoull(batch, &end, 10);
+        if (end != batch && value > 0) config.batch = static_cast<std::size_t>(value);
+    }
+    return config;
+}
+
+std::size_t WireConfig::clamped_batch() const noexcept {
+    return std::clamp<std::size_t>(batch, 1, kMaxBatch);
+}
+
+bool send_with_retry(const std::function<long()>& attempt, std::uint64_t& transient_errors,
+                     std::uint64_t& failures) {
+    std::chrono::microseconds backoff = kSendBackoffInitial;
+    for (int tries = 0; tries < kSendAttempts; ++tries) {
+        if (attempt() >= 0) return true;
+        const int error = errno;
+        if (!transient_errno(error)) break;  // hard failure: waiting won't help
+        ++transient_errors;
+        // EINTR needs no delay — the send was interrupted, not refused.
+        if (error != EINTR) {
+            std::this_thread::sleep_for(backoff);
+            backoff = std::min(backoff * 2, kSendBackoffCap);
+        }
+    }
+    ++failures;
+    return false;
+}
+
+#ifdef __linux__
+
+namespace {
+
+sockaddr_in make_sockaddr(net::IPv4Address address, std::uint16_t port) noexcept {
+    sockaddr_in out{};
+    out.sin_family = AF_INET;
+    out.sin_port = htons(port);
+    out.sin_addr.s_addr = htonl(address.value());
+    return out;
+}
+
+/// Best effort: big socket buffers absorb the bursts batching creates.
+void grow_socket_buffers(int fd) noexcept {
+    constexpr int kBytes = 4 << 20;
+    ::setsockopt(fd, SOL_SOCKET, SO_SNDBUF, &kBytes, sizeof(kBytes));
+    ::setsockopt(fd, SOL_SOCKET, SO_RCVBUF, &kBytes, sizeof(kBytes));
+}
+
+bool bind_device(int fd, const std::string& interface, std::string& status) {
+    if (interface.empty()) return true;
+    if (::setsockopt(fd, SOL_SOCKET, SO_BINDTODEVICE, interface.c_str(),
+                     static_cast<socklen_t>(interface.size())) != 0) {
+        status = "SO_BINDTODEVICE(" + interface + ") failed: " + std::strerror(errno);
+        return false;
+    }
+    return true;
+}
+
+/// Copies one wire packet out of a pinned slab into a pooled buffer.
+void emit_packet(util::BufferPool& pool, std::vector<net::Bytes>& out,
+                 const std::uint8_t* data, std::size_t size) {
+    net::Bytes buffer = pool.acquire();
+    buffer.assign(data, data + size);
+    out.push_back(std::move(buffer));
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// DgramWireBackend
+// ---------------------------------------------------------------------------
+
+/// Pre-pinned syscall scaffolding: every array the kernel reads or writes
+/// during sendmmsg/recvmmsg lives here for the backend's lifetime, so the
+/// steady state never allocates or re-registers anything.
+struct DgramWireBackend::Pinned {
+    static constexpr std::size_t kCtrlBytes = 64;  // room for one cmsg either way
+    /// Control buffers must carry cmsghdr alignment — a plain char array
+    /// inside a vector would not.
+    struct Ctrl {
+        alignas(cmsghdr) char bytes[kCtrlBytes];
+    };
+
+    // Send side: one iovec per packet, grouped under up to `batch` headers.
+    std::vector<mmsghdr> send_hdrs;
+    std::vector<iovec> send_iovs;
+    std::vector<Ctrl> send_ctrl;
+    std::vector<std::uint32_t> group_packets;  ///< packets behind each header
+
+    // Receive side: one slab + iovec + control buffer per header slot.
+    std::vector<mmsghdr> recv_hdrs;
+    std::vector<iovec> recv_iovs;
+    std::vector<Ctrl> recv_ctrl;
+    std::vector<std::uint8_t> slabs;  ///< batch * slab_bytes, contiguous
+};
+
+DgramWireBackend::DgramWireBackend(WireConfig config) : config_(std::move(config)) {
+    const std::string source = config_.source.empty() ? "127.0.0.1" : config_.source;
+    auto parsed = net::IPv4Address::parse(source);
+    if (!parsed) {
+        status_ = "bad source address: " + source;
+        return;
+    }
+    local_ = parsed.value();
+    fd_ = ::socket(AF_INET, SOCK_DGRAM | SOCK_NONBLOCK, 0);
+    if (fd_ < 0) {
+        status_ = std::string("socket() failed: ") + std::strerror(errno);
+        return;
+    }
+    if (!bind_device(fd_, config_.interface, status_)) return;
+    sockaddr_in addr = make_sockaddr(local_, 0);
+    if (::bind(fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0) {
+        status_ = "bind(" + source + ") failed: " + std::strerror(errno);
+        return;
+    }
+    socklen_t len = sizeof(addr);
+    if (::getsockname(fd_, reinterpret_cast<sockaddr*>(&addr), &len) == 0) {
+        local_port_ = ntohs(addr.sin_port);
+    }
+    grow_socket_buffers(fd_);
+
+    if (config_.mode == WireMode::batched) {
+        // Probe GSO/GRO support once; batched mode silently falls back to
+        // plain sendmmsg/recvmmsg where the kernel lacks them.
+        const int zero = 0;
+        gso_ok_ = ::setsockopt(fd_, SOL_UDP, UDP_SEGMENT, &zero, sizeof(zero)) == 0;
+        const int one = 1;
+        gro_ok_ = ::setsockopt(fd_, SOL_UDP, UDP_GRO, &one, sizeof(one)) == 0;
+    }
+
+    const std::size_t batch = config_.clamped_batch();
+    pinned_ = std::make_unique<Pinned>();
+    pinned_->send_hdrs.resize(batch);
+    pinned_->send_iovs.resize(batch * (gso_ok_ ? kGsoMaxSegments : 1));
+    pinned_->send_ctrl.resize(batch);
+    pinned_->group_packets.resize(batch);
+    pinned_->recv_hdrs.resize(batch);
+    pinned_->recv_iovs.resize(batch);
+    pinned_->recv_ctrl.resize(batch);
+    pinned_->slabs.resize(batch * config_.slab_bytes);
+    for (std::size_t i = 0; i < batch; ++i) {
+        iovec& iov = pinned_->recv_iovs[i];
+        iov.iov_base = pinned_->slabs.data() + i * config_.slab_bytes;
+        iov.iov_len = config_.slab_bytes;
+        msghdr& msg = pinned_->recv_hdrs[i].msg_hdr;
+        msg = {};
+        msg.msg_iov = &iov;
+        msg.msg_iovlen = 1;
+        msg.msg_control = pinned_->recv_ctrl[i].bytes;
+        msg.msg_controllen = Pinned::kCtrlBytes;
+    }
+
+    ready_ = true;
+    status_ = "ready";
+}
+
+DgramWireBackend::~DgramWireBackend() {
+    if (fd_ >= 0) ::close(fd_);
+}
+
+bool DgramWireBackend::set_peer(net::IPv4Address address, std::uint16_t port) {
+    if (!ready_) return false;
+    const sockaddr_in peer = make_sockaddr(address, port);
+    if (::connect(fd_, reinterpret_cast<const sockaddr*>(&peer), sizeof(peer)) != 0) {
+        status_ = std::string("connect() failed: ") + std::strerror(errno);
+        return false;
+    }
+    return true;
+}
+
+void DgramWireBackend::send(std::span<const net::Bytes> packets) {
+    if (!ready_) return;
+    if (config_.mode == WireMode::serial) {
+        send_serial(packets);
+    } else {
+        send_batched(packets);
+    }
+}
+
+void DgramWireBackend::send_serial(std::span<const net::Bytes> packets) {
+    for (const net::Bytes& packet : packets) {
+        const bool delivered = send_with_retry(
+            [&] {
+                ++counters_.send_syscalls;
+                return static_cast<long>(::send(fd_, packet.data(), packet.size(), 0));
+            },
+            counters_.transient_send_errors, counters_.send_failures);
+        if (delivered) ++counters_.packets_sent;
+    }
+}
+
+void DgramWireBackend::send_batched(std::span<const net::Bytes> packets) {
+    Pinned& pin = *pinned_;
+    const std::size_t max_groups = pin.send_hdrs.size();
+    std::size_t next = 0;
+    while (next < packets.size()) {
+        // Build up to `batch` headers. With GSO, a header carries a run of
+        // consecutive equal-size packets as one super-datagram the kernel
+        // segments back on the wire; without it, one packet per header.
+        std::size_t groups = 0;
+        std::size_t iov_cursor = 0;
+        while (groups < max_groups && next < packets.size()) {
+            const std::size_t segment_bytes = packets[next].size();
+            std::size_t run = 1;
+            std::size_t run_bytes = segment_bytes;
+            if (gso_ok_) {
+                while (next + run < packets.size() && run < kGsoMaxSegments &&
+                       packets[next + run].size() == segment_bytes &&
+                       run_bytes + segment_bytes <= kGsoMaxBytes) {
+                    ++run;
+                    run_bytes += segment_bytes;
+                }
+            }
+            mmsghdr& hdr = pin.send_hdrs[groups];
+            msghdr& msg = hdr.msg_hdr;
+            msg = {};
+            msg.msg_iov = &pin.send_iovs[iov_cursor];
+            msg.msg_iovlen = run;
+            for (std::size_t i = 0; i < run; ++i) {
+                pin.send_iovs[iov_cursor + i].iov_base =
+                    const_cast<std::uint8_t*>(packets[next + i].data());
+                pin.send_iovs[iov_cursor + i].iov_len = packets[next + i].size();
+            }
+            if (run > 1) {
+                msg.msg_control = pin.send_ctrl[groups].bytes;
+                msg.msg_controllen = CMSG_SPACE(sizeof(std::uint16_t));
+                cmsghdr* cmsg = CMSG_FIRSTHDR(&msg);
+                cmsg->cmsg_level = SOL_UDP;
+                cmsg->cmsg_type = UDP_SEGMENT;
+                cmsg->cmsg_len = CMSG_LEN(sizeof(std::uint16_t));
+                const auto seg = static_cast<std::uint16_t>(segment_bytes);
+                std::memcpy(CMSG_DATA(cmsg), &seg, sizeof(seg));
+            }
+            pin.group_packets[groups] = static_cast<std::uint32_t>(run);
+            iov_cursor += run;
+            next += run;
+            ++groups;
+        }
+
+        // Flush, handling partial completion: sendmmsg may accept a prefix
+        // of the headers; resume from the first unsent one. Transient errors
+        // retry under the shared backoff; a hard (or retry-exhausted) error
+        // skips exactly the offending header's packets.
+        std::size_t done = 0;
+        int attempts = 0;
+        std::chrono::microseconds backoff = kSendBackoffInitial;
+        while (done < groups) {
+            const int sent = ::sendmmsg(fd_, pin.send_hdrs.data() + done,
+                                        static_cast<unsigned>(groups - done), 0);
+            ++counters_.send_syscalls;
+            if (sent > 0) {
+                for (std::size_t i = done; i < done + static_cast<std::size_t>(sent); ++i) {
+                    counters_.packets_sent += pin.group_packets[i];
+                    if (pin.group_packets[i] > 1) {
+                        counters_.gso_segments += pin.group_packets[i];
+                    }
+                }
+                done += static_cast<std::size_t>(sent);
+                attempts = 0;
+                backoff = kSendBackoffInitial;
+                continue;
+            }
+            const int error = errno;
+            if (transient_errno(error) && ++attempts < kSendAttempts) {
+                ++counters_.transient_send_errors;
+                if (error != EINTR) {
+                    std::this_thread::sleep_for(backoff);
+                    backoff = std::min(backoff * 2, kSendBackoffCap);
+                }
+                continue;
+            }
+            counters_.send_failures += pin.group_packets[done];
+            ++done;
+            attempts = 0;
+            backoff = kSendBackoffInitial;
+        }
+    }
+}
+
+std::size_t DgramWireBackend::receive(std::chrono::milliseconds timeout, util::BufferPool& pool,
+                                      std::vector<net::Bytes>& out) {
+    if (!ready_) return 0;
+    Pinned& pin = *pinned_;
+    const std::size_t batch = pin.recv_hdrs.size();
+    std::size_t appended = 0;
+
+    // Serial mode is deliberately one recv() per packet — it is the
+    // baseline the batched path is benchmarked against, and the legacy
+    // behaviour a caller opting out of batching expects.
+    auto drain_serial = [&] {
+        std::uint8_t* slab = pin.slabs.data();
+        for (;;) {
+            const auto received = ::recv(fd_, slab, config_.slab_bytes, MSG_DONTWAIT);
+            ++counters_.recv_syscalls;
+            if (received <= 0) return;
+            emit_packet(pool, out, slab, static_cast<std::size_t>(received));
+            ++counters_.packets_received;
+            ++appended;
+        }
+    };
+
+    auto drain_batched = [&] {
+        for (;;) {
+            // The kernel overwrites control lengths and flags per call.
+            for (std::size_t i = 0; i < batch; ++i) {
+                pin.recv_hdrs[i].msg_hdr.msg_controllen = Pinned::kCtrlBytes;
+                pin.recv_hdrs[i].msg_hdr.msg_flags = 0;
+            }
+            const int got = ::recvmmsg(fd_, pin.recv_hdrs.data(), static_cast<unsigned>(batch),
+                                       MSG_DONTWAIT, nullptr);
+            ++counters_.recv_syscalls;
+            if (got <= 0) return;
+            for (int i = 0; i < got; ++i) {
+                mmsghdr& hdr = pin.recv_hdrs[i];
+                const std::size_t bytes = hdr.msg_len;
+                const auto* slab = pin.slabs.data() +
+                                   static_cast<std::size_t>(i) * config_.slab_bytes;
+                if ((hdr.msg_hdr.msg_flags & MSG_TRUNC) != 0) ++counters_.truncated;
+                // A GRO-coalesced read carries several equal-size wire
+                // packets (last possibly short); split on the kernel's
+                // reported segment size.
+                std::size_t segment = bytes;
+                if (gro_ok_) {
+                    for (cmsghdr* cmsg = CMSG_FIRSTHDR(&hdr.msg_hdr); cmsg != nullptr;
+                         cmsg = CMSG_NXTHDR(&hdr.msg_hdr, cmsg)) {
+                        if (cmsg->cmsg_level == SOL_UDP && cmsg->cmsg_type == UDP_GRO) {
+                            int gro_size = 0;
+                            std::memcpy(&gro_size, CMSG_DATA(cmsg), sizeof(gro_size));
+                            if (gro_size > 0) segment = static_cast<std::size_t>(gro_size);
+                            break;
+                        }
+                    }
+                }
+                if (segment == 0 || segment >= bytes) {
+                    emit_packet(pool, out, slab, bytes);
+                    ++counters_.packets_received;
+                    ++appended;
+                    continue;
+                }
+                for (std::size_t offset = 0; offset < bytes; offset += segment) {
+                    emit_packet(pool, out, slab + offset,
+                                std::min(segment, bytes - offset));
+                    ++counters_.packets_received;
+                    ++counters_.gro_splits;
+                    ++appended;
+                }
+            }
+            if (static_cast<std::size_t>(got) < batch) return;  // socket is dry
+        }
+    };
+
+    auto drain = [&] {
+        if (config_.mode == WireMode::serial) {
+            drain_serial();
+        } else {
+            drain_batched();
+        }
+    };
+
+    drain();
+    if (appended == 0 && timeout.count() > 0) {
+        pollfd waiter{fd_, POLLIN, 0};
+        const int rc = ::poll(&waiter, 1, static_cast<int>(timeout.count()));
+        if (rc > 0 && (waiter.revents & POLLIN) != 0) drain();
+    }
+    return appended;
+}
+
+// ---------------------------------------------------------------------------
+// RawWireBackend
+// ---------------------------------------------------------------------------
+
+struct RawWireBackend::Pinned {
+    // Send side: one header + iovec + destination per packet slot.
+    std::vector<mmsghdr> send_hdrs;
+    std::vector<iovec> send_iovs;
+    std::vector<sockaddr_in> send_addrs;
+    // Receive side, shared across the three protocol sockets (drained one
+    // socket at a time on the single receiver thread).
+    std::vector<mmsghdr> recv_hdrs;
+    std::vector<iovec> recv_iovs;
+    std::vector<std::uint8_t> slabs;
+};
+
+RawWireBackend::RawWireBackend(WireConfig config) : config_(std::move(config)) {
+    const std::string source = config_.source.empty() ? "127.0.0.1" : config_.source;
+    auto parsed = net::IPv4Address::parse(source);
+    if (!parsed) {
+        status_ = "bad source address: " + source;
+        return;
+    }
+    local_ = parsed.value();
+    ready_ = open_sockets();
+    if (!ready_) return;
+
+    const std::size_t batch = config_.clamped_batch();
+    pinned_ = std::make_unique<Pinned>();
+    pinned_->send_hdrs.resize(batch);
+    pinned_->send_iovs.resize(batch);
+    pinned_->send_addrs.resize(batch);
+    pinned_->recv_hdrs.resize(batch);
+    pinned_->recv_iovs.resize(batch);
+    pinned_->slabs.resize(batch * config_.slab_bytes);
+    for (std::size_t i = 0; i < batch; ++i) {
+        iovec& iov = pinned_->recv_iovs[i];
+        iov.iov_base = pinned_->slabs.data() + i * config_.slab_bytes;
+        iov.iov_len = config_.slab_bytes;
+        msghdr& msg = pinned_->recv_hdrs[i].msg_hdr;
+        msg = {};
+        msg.msg_iov = &iov;
+        msg.msg_iovlen = 1;
+    }
+}
+
+RawWireBackend::~RawWireBackend() { close_sockets(); }
+
+bool RawWireBackend::open_sockets() {
+    auto open_raw = [this](int protocol, int& fd) {
+        fd = ::socket(AF_INET, SOCK_RAW, protocol);
+        if (fd < 0) {
+            status_ = std::string("socket() failed: ") + std::strerror(errno);
+            return false;
+        }
+        return true;
+    };
+    if (!open_raw(IPPROTO_RAW, send_fd_) || !open_raw(IPPROTO_ICMP, recv_fds_[0]) ||
+        !open_raw(IPPROTO_TCP, recv_fds_[1]) || !open_raw(IPPROTO_UDP, recv_fds_[2])) {
+        close_sockets();
+        return false;
+    }
+    const int one = 1;
+    if (::setsockopt(send_fd_, IPPROTO_IP, IP_HDRINCL, &one, sizeof(one)) != 0) {
+        status_ = std::string("IP_HDRINCL failed: ") + std::strerror(errno);
+        close_sockets();
+        return false;
+    }
+    for (int fd : {send_fd_, recv_fds_[0], recv_fds_[1], recv_fds_[2]}) {
+        if (!bind_device(fd, config_.interface, status_)) {
+            close_sockets();
+            return false;
+        }
+        grow_socket_buffers(fd);
+    }
+    // Binding the receive sockets to the lane's source address is what
+    // keeps concurrent lanes on a multi-homed host isolated: each lane
+    // only ever sees responses addressed to its own vantage.
+    if (!config_.source.empty()) {
+        sockaddr_in addr = make_sockaddr(local_, 0);
+        for (int fd : recv_fds_) {
+            if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0) {
+                status_ = "bind(" + config_.source + ") failed: " + std::strerror(errno);
+                close_sockets();
+                return false;
+            }
+        }
+    }
+    status_ = "ready";
+    return true;
+}
+
+void RawWireBackend::close_sockets() noexcept {
+    for (int* fd : {&send_fd_, &recv_fds_[0], &recv_fds_[1], &recv_fds_[2]}) {
+        if (*fd >= 0) {
+            ::close(*fd);
+            *fd = -1;
+        }
+    }
+    ready_ = false;
+}
+
+void RawWireBackend::send(std::span<const net::Bytes> packets) {
+    if (!ready_) return;
+    if (config_.mode == WireMode::serial) {
+        send_serial(packets);
+    } else {
+        send_batched(packets);
+    }
+}
+
+void RawWireBackend::send_serial(std::span<const net::Bytes> packets) {
+    for (const net::Bytes& packet : packets) {
+        auto destination_ip = net::peek_destination(packet);
+        if (!destination_ip) {
+            ++counters_.send_failures;
+            continue;
+        }
+        const sockaddr_in destination = make_sockaddr(destination_ip.value(), 0);
+        const bool delivered = send_with_retry(
+            [&] {
+                ++counters_.send_syscalls;
+                const auto sent = ::sendto(send_fd_, packet.data(), packet.size(), 0,
+                                           reinterpret_cast<const sockaddr*>(&destination),
+                                           sizeof(destination));
+                if (sent >= 0 && static_cast<std::size_t>(sent) != packet.size()) {
+                    errno = EMSGSIZE;  // truncated raw send: hard failure
+                    return -1L;
+                }
+                return static_cast<long>(sent);
+            },
+            counters_.transient_send_errors, counters_.send_failures);
+        if (delivered) ++counters_.packets_sent;
+    }
+}
+
+void RawWireBackend::send_batched(std::span<const net::Bytes> packets) {
+    Pinned& pin = *pinned_;
+    const std::size_t batch = pin.send_hdrs.size();
+    std::size_t next = 0;
+    while (next < packets.size()) {
+        std::size_t count = 0;
+        while (count < batch && next < packets.size()) {
+            const net::Bytes& packet = packets[next++];
+            auto destination_ip = net::peek_destination(packet);
+            if (!destination_ip) {
+                ++counters_.send_failures;
+                continue;
+            }
+            pin.send_addrs[count] = make_sockaddr(destination_ip.value(), 0);
+            pin.send_iovs[count].iov_base = const_cast<std::uint8_t*>(packet.data());
+            pin.send_iovs[count].iov_len = packet.size();
+            msghdr& msg = pin.send_hdrs[count].msg_hdr;
+            msg = {};
+            msg.msg_name = &pin.send_addrs[count];
+            msg.msg_namelen = sizeof(sockaddr_in);
+            msg.msg_iov = &pin.send_iovs[count];
+            msg.msg_iovlen = 1;
+            ++count;
+        }
+        std::size_t done = 0;
+        int attempts = 0;
+        std::chrono::microseconds backoff = kSendBackoffInitial;
+        while (done < count) {
+            const int sent = ::sendmmsg(send_fd_, pin.send_hdrs.data() + done,
+                                        static_cast<unsigned>(count - done), 0);
+            ++counters_.send_syscalls;
+            if (sent > 0) {
+                counters_.packets_sent += static_cast<std::uint64_t>(sent);
+                done += static_cast<std::size_t>(sent);
+                attempts = 0;
+                backoff = kSendBackoffInitial;
+                continue;
+            }
+            const int error = errno;
+            if (transient_errno(error) && ++attempts < kSendAttempts) {
+                ++counters_.transient_send_errors;
+                if (error != EINTR) {
+                    std::this_thread::sleep_for(backoff);
+                    backoff = std::min(backoff * 2, kSendBackoffCap);
+                }
+                continue;
+            }
+            ++counters_.send_failures;  // skip exactly the offending packet
+            ++done;
+            attempts = 0;
+            backoff = kSendBackoffInitial;
+        }
+    }
+}
+
+std::size_t RawWireBackend::receive(std::chrono::milliseconds timeout, util::BufferPool& pool,
+                                    std::vector<net::Bytes>& out) {
+    if (!ready_) return 0;
+    std::array<pollfd, 3> fds{{{recv_fds_[0], POLLIN, 0},
+                               {recv_fds_[1], POLLIN, 0},
+                               {recv_fds_[2], POLLIN, 0}}};
+    const int rc = ::poll(fds.data(), fds.size(), static_cast<int>(timeout.count()));
+    if (rc <= 0) return 0;
+    Pinned& pin = *pinned_;
+    const std::size_t batch = pin.recv_hdrs.size();
+    std::size_t appended = 0;
+    for (const pollfd& entry : fds) {
+        if ((entry.revents & POLLIN) == 0) continue;
+        if (config_.mode == WireMode::batched) {
+            for (;;) {
+                const int got = ::recvmmsg(entry.fd, pin.recv_hdrs.data(),
+                                           static_cast<unsigned>(batch), MSG_DONTWAIT, nullptr);
+                ++counters_.recv_syscalls;
+                if (got <= 0) break;
+                for (int i = 0; i < got; ++i) {
+                    if ((pin.recv_hdrs[i].msg_hdr.msg_flags & MSG_TRUNC) != 0) {
+                        ++counters_.truncated;
+                    }
+                    emit_packet(pool, out,
+                                pin.slabs.data() +
+                                    static_cast<std::size_t>(i) * config_.slab_bytes,
+                                pin.recv_hdrs[i].msg_len);
+                    ++counters_.packets_received;
+                    ++appended;
+                }
+                if (static_cast<std::size_t>(got) < batch) break;
+            }
+        } else {
+            // Serial drain: one recv() per packet into the first slab slot.
+            std::uint8_t* slab = pin.slabs.data();
+            for (;;) {
+                const auto received =
+                    ::recv(entry.fd, slab, config_.slab_bytes, MSG_DONTWAIT);
+                ++counters_.recv_syscalls;
+                if (received <= 0) break;
+                emit_packet(pool, out, slab, static_cast<std::size_t>(received));
+                ++counters_.packets_received;
+                ++appended;
+            }
+        }
+    }
+    return appended;
+}
+
+#else  // !__linux__
+
+struct DgramWireBackend::Pinned {};
+struct RawWireBackend::Pinned {};
+
+DgramWireBackend::DgramWireBackend(WireConfig config) : config_(std::move(config)) {
+    status_ = "wire backends unsupported on this platform";
+}
+DgramWireBackend::~DgramWireBackend() = default;
+bool DgramWireBackend::set_peer(net::IPv4Address, std::uint16_t) { return false; }
+void DgramWireBackend::send(std::span<const net::Bytes>) {}
+void DgramWireBackend::send_serial(std::span<const net::Bytes>) {}
+void DgramWireBackend::send_batched(std::span<const net::Bytes>) {}
+std::size_t DgramWireBackend::receive(std::chrono::milliseconds, util::BufferPool&,
+                                      std::vector<net::Bytes>&) {
+    return 0;
+}
+
+RawWireBackend::RawWireBackend(WireConfig config) : config_(std::move(config)) {
+    status_ = "raw sockets unsupported on this platform";
+}
+RawWireBackend::~RawWireBackend() = default;
+bool RawWireBackend::open_sockets() { return false; }
+void RawWireBackend::close_sockets() noexcept {}
+void RawWireBackend::send(std::span<const net::Bytes>) {}
+void RawWireBackend::send_serial(std::span<const net::Bytes>) {}
+void RawWireBackend::send_batched(std::span<const net::Bytes>) {}
+std::size_t RawWireBackend::receive(std::chrono::milliseconds, util::BufferPool&,
+                                    std::vector<net::Bytes>&) {
+    return 0;
+}
+
+#endif  // __linux__
+
+}  // namespace lfp::probe

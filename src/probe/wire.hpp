@@ -1,0 +1,240 @@
+/// \file
+/// The wire engine: pluggable syscall backends beneath RawSocketTransport.
+///
+/// A WireBackend is the thin layer that actually crosses the kernel
+/// boundary — it owns file descriptors, pinned iovec/mmsghdr arrays, and
+/// receive slabs, and nothing else. Everything above it (flow demux,
+/// windowing, retry scheduling) lives in the transport/campaign layers and
+/// is backend-agnostic, so swapping sendto-per-packet for batched
+/// sendmmsg/recvmmsg (or, later, io_uring) never changes what reaches the
+/// wire, only how many syscalls it costs.
+///
+/// Two backends implement the contract:
+///   - RawWireBackend: IPPROTO_RAW send + per-protocol raw receive sockets
+///     (CAP_NET_RAW) — the live-probing backend. Batched mode flushes the
+///     whole in-flight window with one sendmmsg and drains each ready
+///     receive socket with one recvmmsg.
+///   - DgramWireBackend: plain UDP sockets, no privileges — the CI/test
+///     backend. Its batched mode additionally coalesces runs of equal-size
+///     packets into UDP GSO super-datagrams (and splits GRO-coalesced
+///     reads), which is where batching actually wins an order of magnitude:
+///     on modern kernels the syscall entry itself is cheap, so one
+///     packet-per-mmsghdr only saves ~10%, while GSO/GRO amortises the
+///     whole per-datagram network-stack traversal.
+///
+/// \par Threading
+/// The backend inherits the transport's one-sender/one-receiver contract:
+/// send() is called only from the sender thread, receive() only from the
+/// receiver thread, and the two touch disjoint state (disjoint fds for the
+/// raw backend; for the dgram backend the shared fd is safe — send and
+/// recv on one UDP socket are independent kernel paths). Counters are
+/// likewise split: the send-side fields are written only under send(), the
+/// receive-side fields only under receive(); read them when the owning
+/// thread is quiescent (tests, teardown) or accept a stale snapshot.
+///
+/// \par Buffer discipline
+/// receive() never hands out freshly allocated packets in steady state: the
+/// kernel fills the backend's pinned slabs, and each packet is copied into
+/// a buffer drawn from the caller's BufferPool. Callers recycle consumed
+/// buffers back into the pool (RawSocketTransport::recycle routes them
+/// across the thread boundary), so after warm-up the receive path's heap
+/// traffic is zero — the same discipline the probe template cache enforces
+/// on the send path.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "net/ip_address.hpp"
+#include "net/packet_builder.hpp"
+#include "util/arena.hpp"
+
+namespace lfp::probe {
+
+/// How a backend crosses the syscall boundary, selected per construction
+/// (LFP_WIRE_BACKEND for the env-driven paths).
+enum class WireMode : std::uint8_t {
+    serial,   ///< one sendto()/recv() per packet — the baseline path
+    batched,  ///< sendmmsg/recvmmsg (+ GSO/GRO where the socket supports it)
+};
+
+/// Construction-time knobs shared by every backend.
+struct WireConfig {
+    WireMode mode = WireMode::batched;
+    /// Packets per sendmmsg/recvmmsg flush; clamped to [1, kMaxBatch]. The
+    /// campaign's in-flight window rarely exceeds this, so one admission
+    /// usually costs one syscall.
+    std::size_t batch = 64;
+    /// Bytes per pinned receive slab slot. Raw sockets need a full 64 KB
+    /// (an IP datagram can be that big); the dgram backend sizes slabs to
+    /// hold a maximal GRO aggregate.
+    std::size_t slab_bytes = 65536;
+    /// Source address to bind ("" = kernel default). One lane per source:
+    /// this is what maps CensusPlan vantage lanes onto multi-homed hosts.
+    std::string source;
+    /// Interface to bind (SO_BINDTODEVICE, "" = any).
+    std::string interface;
+
+    static constexpr std::size_t kMaxBatch = 1024;
+
+    /// Defaults overlaid with LFP_WIRE_BACKEND ("serial" | "batched") and
+    /// LFP_WIRE_BATCH (flush depth). Unknown backend names and unparseable
+    /// depths fall back to the defaults — a live probe run should degrade,
+    /// not die, on a typo.
+    [[nodiscard]] static WireConfig from_env();
+
+    /// `batch` clamped into its valid range.
+    [[nodiscard]] std::size_t clamped_batch() const noexcept;
+};
+
+/// The syscall-boundary contract. See the file header for threading and
+/// buffer discipline.
+class WireBackend {
+  public:
+    /// Per-backend syscall/outcome tallies. Send-side fields are owned by
+    /// the sender thread, receive-side fields by the receiver thread.
+    struct Counters {
+        // -- send side --
+        std::uint64_t send_syscalls = 0;    ///< sendto/sendmmsg calls issued
+        std::uint64_t packets_sent = 0;     ///< packets accepted by the kernel
+        std::uint64_t gso_segments = 0;     ///< packets that rode a GSO super-datagram
+        std::uint64_t transient_send_errors = 0;  ///< EAGAIN-class retries absorbed
+        std::uint64_t send_failures = 0;    ///< packets dropped after retries
+        // -- receive side --
+        std::uint64_t recv_syscalls = 0;    ///< recv/recvmmsg calls issued
+        std::uint64_t packets_received = 0; ///< whole packets handed to the caller
+        std::uint64_t gro_splits = 0;       ///< packets recovered by splitting GRO aggregates
+        std::uint64_t truncated = 0;        ///< datagrams larger than a slab (dropped tail)
+    };
+
+    virtual ~WireBackend() = default;
+    WireBackend() = default;
+    WireBackend(const WireBackend&) = delete;
+    WireBackend& operator=(const WireBackend&) = delete;
+
+    /// True when every socket opened and configured; false leaves the
+    /// backend inert (sends vanish, receives return nothing) with the
+    /// reason in status().
+    [[nodiscard]] virtual bool ready() const noexcept = 0;
+    [[nodiscard]] virtual const std::string& status() const noexcept = 0;
+
+    /// Puts `packets` on the wire in span order. Returns only when every
+    /// packet was either delivered to the kernel or counted in
+    /// counters().send_failures — transient backpressure is absorbed by a
+    /// capped exponential backoff (counted per retry), hard per-packet
+    /// errors skip exactly the offending packet. Sender thread only.
+    virtual void send(std::span<const net::Bytes> packets) = 0;
+
+    /// Appends whole inbound packets (buffers drawn from `pool`) to `out`
+    /// in arrival order, waiting at most `timeout` when nothing is pending.
+    /// Returns the number of packets appended. Receiver thread only; `pool`
+    /// must be owned by the same thread.
+    virtual std::size_t receive(std::chrono::milliseconds timeout, util::BufferPool& pool,
+                                std::vector<net::Bytes>& out) = 0;
+
+    /// The source address packets leave from (the transport's vantage).
+    [[nodiscard]] virtual net::IPv4Address local_address() const noexcept = 0;
+
+    [[nodiscard]] const Counters& counters() const noexcept { return counters_; }
+
+  protected:
+    Counters counters_;
+};
+
+/// Drives one packet's send attempts through the shared transient-error
+/// policy: `attempt` performs the syscall and returns >= 0 on success or
+/// -1 with errno set. EAGAIN/EWOULDBLOCK/ENOBUFS/EINTR retry under a
+/// capped exponential backoff (each retry counted in `transient_errors`);
+/// any other errno — or retry exhaustion — counts one `failure`. Returns
+/// whether the packet was delivered. Exposed (rather than private to the
+/// backends) so the policy itself is unit-testable without a wedgeable
+/// socket.
+bool send_with_retry(const std::function<long()>& attempt, std::uint64_t& transient_errors,
+                     std::uint64_t& failures);
+
+/// Plain-UDP backend: no privileges needed, loopback-testable, and the
+/// vehicle for the GSO/GRO batched fast path. The socket binds
+/// `config.source` (default 127.0.0.1) on an ephemeral port; point it at
+/// its peer with set_peer() before sending.
+class DgramWireBackend final : public WireBackend {
+  public:
+    explicit DgramWireBackend(WireConfig config);
+    ~DgramWireBackend() override;
+
+    [[nodiscard]] bool ready() const noexcept override { return ready_; }
+    [[nodiscard]] const std::string& status() const noexcept override { return status_; }
+    [[nodiscard]] net::IPv4Address local_address() const noexcept override { return local_; }
+    /// The ephemeral port the socket bound — peers aim set_peer() here.
+    [[nodiscard]] std::uint16_t local_port() const noexcept { return local_port_; }
+
+    /// Fixes the destination (connect()): every subsequent send() goes
+    /// here, and the kernel filters inbound traffic to this peer — which is
+    /// what makes two lanes on one loopback provably isolated.
+    bool set_peer(net::IPv4Address address, std::uint16_t port);
+
+    /// True when the kernel accepted UDP_SEGMENT/UDP_GRO on this socket
+    /// (batched mode falls back to plain sendmmsg/recvmmsg otherwise).
+    [[nodiscard]] bool gso_available() const noexcept { return gso_ok_; }
+    [[nodiscard]] bool gro_available() const noexcept { return gro_ok_; }
+
+    void send(std::span<const net::Bytes> packets) override;
+    std::size_t receive(std::chrono::milliseconds timeout, util::BufferPool& pool,
+                        std::vector<net::Bytes>& out) override;
+
+  private:
+    struct Pinned;  ///< iovec/mmsghdr/slab arrays (platform-specific)
+
+    void send_serial(std::span<const net::Bytes> packets);
+    void send_batched(std::span<const net::Bytes> packets);
+
+    WireConfig config_;
+    bool ready_ = false;
+    bool gso_ok_ = false;
+    bool gro_ok_ = false;
+    std::string status_;
+    net::IPv4Address local_;
+    std::uint16_t local_port_ = 0;
+    int fd_ = -1;
+    std::unique_ptr<Pinned> pinned_;
+};
+
+/// Raw-socket backend (Linux, CAP_NET_RAW): IPPROTO_RAW + IP_HDRINCL for
+/// sends, one raw receive socket per probed protocol. Receive sockets bind
+/// `config.source` when set, so concurrent lanes on a multi-homed host each
+/// see only their own vantage's traffic.
+class RawWireBackend final : public WireBackend {
+  public:
+    explicit RawWireBackend(WireConfig config);
+    ~RawWireBackend() override;
+
+    [[nodiscard]] bool ready() const noexcept override { return ready_; }
+    [[nodiscard]] const std::string& status() const noexcept override { return status_; }
+    [[nodiscard]] net::IPv4Address local_address() const noexcept override { return local_; }
+
+    void send(std::span<const net::Bytes> packets) override;
+    std::size_t receive(std::chrono::milliseconds timeout, util::BufferPool& pool,
+                        std::vector<net::Bytes>& out) override;
+
+  private:
+    struct Pinned;
+
+    void send_serial(std::span<const net::Bytes> packets);
+    void send_batched(std::span<const net::Bytes> packets);
+    bool open_sockets();
+    void close_sockets() noexcept;
+
+    WireConfig config_;
+    bool ready_ = false;
+    std::string status_;
+    net::IPv4Address local_;
+    int send_fd_ = -1;
+    int recv_fds_[3] = {-1, -1, -1};  ///< ICMP, TCP, UDP
+    std::unique_ptr<Pinned> pinned_;
+};
+
+}  // namespace lfp::probe

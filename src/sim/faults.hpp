@@ -82,6 +82,12 @@ class FaultInjectingTransport final : public probe::ProbeTransport {
     void send_batch(std::span<const net::Bytes> packets) override;
     [[nodiscard]] std::vector<net::Bytes> poll_responses(
         std::chrono::milliseconds timeout) override;
+    // poll_responses_into() deliberately keeps the base-class wrapper: the
+    // fault pipeline runs inside poll_responses(), so routing the pooled
+    // variant through it keeps injection applying to every receive path.
+    /// Buffer returns pass straight through — recycling is the inner
+    /// transport's optimisation and faults play no part in it.
+    void recycle(net::Bytes&& buffer) override { inner_->recycle(std::move(buffer)); }
     [[nodiscard]] bool drained() const override;
     [[nodiscard]] net::IPv4Address vantage_address() const override;
     [[nodiscard]] std::optional<std::uint64_t> backend_hint(

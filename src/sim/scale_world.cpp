@@ -7,6 +7,7 @@
 
 #include "snmp/snmpv3.hpp"
 #include "stack/simulated_router.hpp"  // kProbePort / kMgmtPort
+#include "util/alloc_trace.hpp"
 
 namespace lfp::sim {
 namespace {
@@ -152,6 +153,9 @@ std::optional<net::Bytes> ScaleTransport::exchange(std::span<const std::uint8_t>
         return std::nullopt;
     }
 
+    // Everything past the zero-alloc early exits is simulated-responder
+    // work; bucket its allocations apart from the probing engine's own.
+    util::AllocStageScope stage("sim");
     auto parsed = net::parse_packet(packet);
     if (!parsed) return std::nullopt;
     const net::ParsedPacket& probe = parsed.value();

@@ -1,0 +1,40 @@
+// Allocation attribution for the census pipeline.
+//
+// BENCH_scale reports heap allocations per target, but a single number
+// cannot say *which stage* pays them — the probe hot path is asserted
+// zero-alloc, so the allocations live somewhere between the simulated
+// responder, record assembly, and the sinks. Each pipeline thread (and
+// each scoped region worth isolating) tags itself with a stage name;
+// an allocation-counting harness (bench_scale's operator new) reads the
+// thread-local tag at allocation time and buckets the count by stage.
+//
+// Zero-cost by design: the tag is a thread_local pointer to a string
+// literal, written once per region entry/exit. Nothing in the library
+// reads it — only harnesses that replace operator new do — so production
+// builds carry two pointer writes per region and nothing else.
+#pragma once
+
+namespace lfp::util {
+
+/// The current thread's pipeline stage, or nullptr when untagged. Points
+/// at a string literal with static storage duration (AllocStageScope
+/// enforces the lifetime by construction).
+inline thread_local const char* t_alloc_stage = nullptr;
+
+/// RAII stage tag: sets t_alloc_stage for the enclosing scope, restoring
+/// the previous tag on exit so nested regions attribute correctly.
+class AllocStageScope {
+  public:
+    explicit AllocStageScope(const char* stage) noexcept : previous_(t_alloc_stage) {
+        t_alloc_stage = stage;
+    }
+    ~AllocStageScope() { t_alloc_stage = previous_; }
+
+    AllocStageScope(const AllocStageScope&) = delete;
+    AllocStageScope& operator=(const AllocStageScope&) = delete;
+
+  private:
+    const char* previous_;
+};
+
+}  // namespace lfp::util

@@ -1,0 +1,428 @@
+// Wire-engine tests: the RFC 1624 incremental checksum primitive, the
+// shared send-retry policy, the no-privilege DgramWireBackend over real
+// loopback sockets (batched/serial byte-identity, partial batches, lane
+// isolation), RawSocketTransport construction paths, and the campaign's
+// SNMP template patcher (patched discovery packets must be byte-identical
+// to fresh serialization across every msgID encoding-length class).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstdlib>
+#include <random>
+#include <vector>
+
+#include "net/checksum.hpp"
+#include "net/packet_builder.hpp"
+#include "probe/campaign.hpp"
+#include "probe/raw_socket_transport.hpp"
+#include "probe/transport.hpp"
+#include "probe/wire.hpp"
+#include "snmp/snmpv3.hpp"
+#include "stack/simulated_router.hpp"
+#include "util/arena.hpp"
+
+namespace lfp {
+namespace {
+
+using namespace std::chrono_literals;
+
+// ---------------------------------------------------------------------------
+// RFC 1624 incremental checksum
+// ---------------------------------------------------------------------------
+
+net::Bytes random_words_packet(std::mt19937& rng, std::size_t words) {
+    net::Bytes bytes(words * 2);
+    std::uniform_int_distribution<int> byte(0, 255);
+    for (auto& b : bytes) b = static_cast<std::uint8_t>(byte(rng));
+    return bytes;
+}
+
+TEST(ChecksumUpdate, MatchesFullRecomputeOnRandomHeaders) {
+    std::mt19937 rng(1624);
+    std::uniform_int_distribution<int> word_count(4, 32);
+    std::uniform_int_distribution<int> word_value(0, 0xFFFF);
+    for (int trial = 0; trial < 2000; ++trial) {
+        net::Bytes packet = random_words_packet(rng, static_cast<std::size_t>(word_count(rng)));
+        const std::uint16_t before = net::internet_checksum(packet);
+
+        // Rewrite one aligned 16-bit word and compare the incremental
+        // update against a full re-sum of the mutated packet.
+        std::uniform_int_distribution<std::size_t> pick(0, packet.size() / 2 - 1);
+        const std::size_t offset = pick(rng) * 2;
+        const auto old_word =
+            static_cast<std::uint16_t>((packet[offset] << 8) | packet[offset + 1]);
+        const auto new_word = static_cast<std::uint16_t>(word_value(rng));
+        packet[offset] = static_cast<std::uint8_t>(new_word >> 8);
+        packet[offset + 1] = static_cast<std::uint8_t>(new_word & 0xFF);
+
+        ASSERT_EQ(net::checksum_update(before, old_word, new_word),
+                  net::internet_checksum(packet))
+            << "trial " << trial << " offset " << offset;
+    }
+}
+
+TEST(ChecksumUpdate, ChainsAcrossMultipleWordRewrites) {
+    // The patcher chains several updates (IPID, two destination words); the
+    // chain must equal one full recompute, in any order.
+    std::mt19937 rng(42);
+    for (int trial = 0; trial < 500; ++trial) {
+        net::Bytes packet = random_words_packet(rng, 10);
+        std::uint16_t sum = net::internet_checksum(packet);
+        std::uniform_int_distribution<int> word_value(0, 0xFFFF);
+        for (std::size_t offset : {std::size_t{4}, std::size_t{16}, std::size_t{18}}) {
+            const auto old_word =
+                static_cast<std::uint16_t>((packet[offset] << 8) | packet[offset + 1]);
+            const auto new_word = static_cast<std::uint16_t>(word_value(rng));
+            packet[offset] = static_cast<std::uint8_t>(new_word >> 8);
+            packet[offset + 1] = static_cast<std::uint8_t>(new_word & 0xFF);
+            sum = net::checksum_update(sum, old_word, new_word);
+        }
+        ASSERT_EQ(sum, net::internet_checksum(packet)) << "trial " << trial;
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Send-retry policy
+// ---------------------------------------------------------------------------
+
+TEST(SendRetry, TransientErrorsRetryThenSucceed) {
+    std::uint64_t transient = 0;
+    std::uint64_t failures = 0;
+    int calls = 0;
+    const bool sent = probe::send_with_retry(
+        [&]() -> long {
+            if (++calls <= 2) {
+                errno = EAGAIN;
+                return -1;
+            }
+            return 1;
+        },
+        transient, failures);
+    EXPECT_TRUE(sent);
+    EXPECT_EQ(calls, 3);
+    EXPECT_EQ(transient, 2u);
+    EXPECT_EQ(failures, 0u);
+}
+
+TEST(SendRetry, HardErrorFailsImmediately) {
+    std::uint64_t transient = 0;
+    std::uint64_t failures = 0;
+    int calls = 0;
+    const bool sent = probe::send_with_retry(
+        [&]() -> long {
+            ++calls;
+            errno = EACCES;
+            return -1;
+        },
+        transient, failures);
+    EXPECT_FALSE(sent);
+    EXPECT_EQ(calls, 1);
+    EXPECT_EQ(transient, 0u);
+    EXPECT_EQ(failures, 1u);
+}
+
+TEST(SendRetry, ExhaustionCountsOneFailure) {
+    std::uint64_t transient = 0;
+    std::uint64_t failures = 0;
+    const bool sent = probe::send_with_retry(
+        []() -> long {
+            errno = ENOBUFS;
+            return -1;
+        },
+        transient, failures);
+    EXPECT_FALSE(sent);
+    EXPECT_GE(transient, 2u);  // every attempt but the policy's cap retried
+    EXPECT_EQ(failures, 1u);
+}
+
+// ---------------------------------------------------------------------------
+// DgramWireBackend over loopback
+// ---------------------------------------------------------------------------
+
+probe::WireConfig dgram_config(probe::WireMode mode, const std::string& source,
+                               std::size_t batch = 64) {
+    probe::WireConfig config;
+    config.mode = mode;
+    config.batch = batch;
+    config.source = source;
+    return config;
+}
+
+/// Drains `receiver` until `expect` packets arrived or ~2s elapsed.
+std::vector<net::Bytes> drain_packets(probe::DgramWireBackend& receiver, std::size_t expect,
+                                      util::BufferPool& pool) {
+    std::vector<net::Bytes> got;
+    const auto deadline = std::chrono::steady_clock::now() + 2s;
+    while (got.size() < expect && std::chrono::steady_clock::now() < deadline) {
+        receiver.receive(50ms, pool, got);
+    }
+    return got;
+}
+
+std::vector<net::Bytes> loopback_roundtrip(probe::WireMode mode,
+                                           const std::vector<net::Bytes>& packets,
+                                           std::size_t batch = 64) {
+    probe::DgramWireBackend receiver(dgram_config(mode, "127.0.0.1", batch));
+    probe::DgramWireBackend sender(dgram_config(mode, "127.0.0.1", batch));
+    EXPECT_TRUE(receiver.ready()) << receiver.status();
+    EXPECT_TRUE(sender.ready()) << sender.status();
+    EXPECT_TRUE(sender.set_peer(receiver.local_address(), receiver.local_port()));
+    sender.send(std::span<const net::Bytes>(packets.data(), packets.size()));
+    util::BufferPool pool;
+    return drain_packets(receiver, packets.size(), pool);
+}
+
+/// Sorted copy, so arrival-order differences never mask content diffs.
+std::vector<net::Bytes> sorted(std::vector<net::Bytes> packets) {
+    std::sort(packets.begin(), packets.end());
+    return packets;
+}
+
+TEST(DgramWire, BatchedDeliversByteIdenticalToSerial) {
+    // Varied sizes break GSO runs mid-batch; every packet must still arrive
+    // with identical bytes under both modes.
+    std::mt19937 rng(7);
+    std::uniform_int_distribution<int> size(20, 900);
+    std::uniform_int_distribution<int> byte(0, 255);
+    std::vector<net::Bytes> packets;
+    for (int i = 0; i < 40; ++i) {
+        net::Bytes packet(static_cast<std::size_t>(size(rng)));
+        for (auto& b : packet) b = static_cast<std::uint8_t>(byte(rng));
+        packets.push_back(std::move(packet));
+    }
+
+    const auto serial = loopback_roundtrip(probe::WireMode::serial, packets);
+    const auto batched = loopback_roundtrip(probe::WireMode::batched, packets);
+
+    ASSERT_EQ(serial.size(), packets.size());
+    ASSERT_EQ(batched.size(), packets.size());
+    EXPECT_EQ(sorted(serial), sorted(packets));
+    EXPECT_EQ(sorted(batched), sorted(packets));
+}
+
+TEST(DgramWire, PartialBatchesFlushCompletely) {
+    // 11 equal-size packets through a batch depth of 4: the flush loop must
+    // issue several syscalls and deliver every packet exactly once.
+    std::vector<net::Bytes> packets;
+    for (std::uint8_t i = 0; i < 11; ++i) {
+        packets.emplace_back(net::Bytes(84, i));
+    }
+    probe::DgramWireBackend receiver(dgram_config(probe::WireMode::batched, "127.0.0.1", 4));
+    probe::DgramWireBackend sender(dgram_config(probe::WireMode::batched, "127.0.0.1", 4));
+    ASSERT_TRUE(receiver.ready()) << receiver.status();
+    ASSERT_TRUE(sender.ready()) << sender.status();
+    ASSERT_TRUE(sender.set_peer(receiver.local_address(), receiver.local_port()));
+
+    sender.send(std::span<const net::Bytes>(packets.data(), packets.size()));
+    EXPECT_EQ(sender.counters().packets_sent, packets.size());
+    EXPECT_EQ(sender.counters().send_failures, 0u);
+    EXPECT_GE(sender.counters().send_syscalls, 1u);
+
+    util::BufferPool pool;
+    const auto got = drain_packets(receiver, packets.size(), pool);
+    ASSERT_EQ(got.size(), packets.size());
+    EXPECT_EQ(sorted(got), sorted(packets));
+    EXPECT_EQ(receiver.counters().packets_received, packets.size());
+}
+
+TEST(DgramWire, PerSourceLanesAreIsolated) {
+    // Two receive lanes on distinct loopback addresses: each sender aims at
+    // one lane, and neither lane may observe the other's traffic.
+    probe::DgramWireBackend lane_a(dgram_config(probe::WireMode::batched, "127.0.0.2"));
+    probe::DgramWireBackend lane_b(dgram_config(probe::WireMode::batched, "127.0.0.3"));
+    ASSERT_TRUE(lane_a.ready()) << lane_a.status();
+    ASSERT_TRUE(lane_b.ready()) << lane_b.status();
+    EXPECT_EQ(lane_a.local_address().to_string(), "127.0.0.2");
+    EXPECT_EQ(lane_b.local_address().to_string(), "127.0.0.3");
+
+    probe::DgramWireBackend sender_a(dgram_config(probe::WireMode::batched, "127.0.0.2"));
+    probe::DgramWireBackend sender_b(dgram_config(probe::WireMode::batched, "127.0.0.3"));
+    ASSERT_TRUE(sender_a.set_peer(lane_a.local_address(), lane_a.local_port()));
+    ASSERT_TRUE(sender_b.set_peer(lane_b.local_address(), lane_b.local_port()));
+
+    const std::vector<net::Bytes> to_a(3, net::Bytes(64, 0xAA));
+    const std::vector<net::Bytes> to_b(5, net::Bytes(64, 0xBB));
+    sender_a.send(std::span<const net::Bytes>(to_a.data(), to_a.size()));
+    sender_b.send(std::span<const net::Bytes>(to_b.data(), to_b.size()));
+
+    util::BufferPool pool_a;
+    util::BufferPool pool_b;
+    const auto got_a = drain_packets(lane_a, to_a.size(), pool_a);
+    const auto got_b = drain_packets(lane_b, to_b.size(), pool_b);
+    ASSERT_EQ(got_a.size(), to_a.size());
+    ASSERT_EQ(got_b.size(), to_b.size());
+    for (const auto& packet : got_a) EXPECT_EQ(packet, net::Bytes(64, 0xAA));
+    for (const auto& packet : got_b) EXPECT_EQ(packet, net::Bytes(64, 0xBB));
+}
+
+TEST(DgramWire, ReceivePoolRecyclesBuffers) {
+    // Returning consumed buffers to the pool must make subsequent receives
+    // allocation-free (pool hits instead of misses).
+    probe::DgramWireBackend receiver(dgram_config(probe::WireMode::batched, "127.0.0.1"));
+    probe::DgramWireBackend sender(dgram_config(probe::WireMode::batched, "127.0.0.1"));
+    ASSERT_TRUE(sender.set_peer(receiver.local_address(), receiver.local_port()));
+
+    util::BufferPool pool;
+    const std::vector<net::Bytes> wave(8, net::Bytes(100, 0x5A));
+    sender.send(std::span<const net::Bytes>(wave.data(), wave.size()));
+    auto got = drain_packets(receiver, wave.size(), pool);
+    ASSERT_EQ(got.size(), wave.size());
+    for (auto& packet : got) pool.release(std::move(packet));
+
+    const std::uint64_t misses_before = pool.misses();
+    sender.send(std::span<const net::Bytes>(wave.data(), wave.size()));
+    got = drain_packets(receiver, wave.size(), pool);
+    ASSERT_EQ(got.size(), wave.size());
+    EXPECT_EQ(pool.misses(), misses_before) << "second wave should reuse pooled buffers";
+    EXPECT_GT(pool.hits(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// WireConfig / RawSocketTransport surfaces
+// ---------------------------------------------------------------------------
+
+TEST(WireConfig, FromEnvParsesKnobs) {
+    setenv("LFP_WIRE_BACKEND", "serial", 1);
+    setenv("LFP_WIRE_BATCH", "7", 1);
+    auto config = probe::WireConfig::from_env();
+    EXPECT_EQ(config.mode, probe::WireMode::serial);
+    EXPECT_EQ(config.batch, 7u);
+
+    setenv("LFP_WIRE_BACKEND", "definitely-not-a-backend", 1);
+    config = probe::WireConfig::from_env();
+    EXPECT_EQ(config.mode, probe::WireMode::batched) << "unknown names keep the default";
+
+    unsetenv("LFP_WIRE_BACKEND");
+    unsetenv("LFP_WIRE_BATCH");
+
+    probe::WireConfig clamped;
+    clamped.batch = 0;
+    EXPECT_EQ(clamped.clamped_batch(), 1u);
+    clamped.batch = probe::WireConfig::kMaxBatch + 100;
+    EXPECT_EQ(clamped.clamped_batch(), probe::WireConfig::kMaxBatch);
+}
+
+TEST(RawSocketTransport, DryRunNeverOpensSockets) {
+    probe::RawSocketTransport::Options options;
+    options.dry_run = true;
+    probe::RawSocketTransport transport(options);
+    EXPECT_FALSE(transport.ready());
+    EXPECT_TRUE(transport.drained()) << "no sockets -> provably silent";
+    EXPECT_EQ(transport.backend(), nullptr);
+    EXPECT_EQ(transport.send_failures(), 0u);
+
+    // The recycle path must be callable regardless of readiness.
+    transport.recycle(net::Bytes(32, 0));
+    std::vector<net::Bytes> out;
+    transport.poll_responses_into(0ms, out);
+    EXPECT_TRUE(out.empty());
+}
+
+TEST(RawSocketTransport, LanesFromEnvBuildsOneLanePerSource) {
+    setenv("LFP_WIRE_SOURCES", "127.0.0.7,127.0.0.8", 1);
+    auto lanes = probe::RawSocketTransport::lanes_from_env();
+    unsetenv("LFP_WIRE_SOURCES");
+    ASSERT_EQ(lanes.size(), 2u);
+    // Raw sockets need CAP_NET_RAW; when the environment grants it the lane
+    // must be bound to its source, otherwise it reports not-ready cleanly.
+    if (lanes[0]->ready()) {
+        EXPECT_EQ(lanes[0]->vantage_address().to_string(), "127.0.0.7");
+        EXPECT_EQ(lanes[1]->vantage_address().to_string(), "127.0.0.8");
+    } else {
+        EXPECT_FALSE(lanes[0]->status().empty());
+    }
+
+    unsetenv("LFP_WIRE_SOURCES");
+    EXPECT_TRUE(probe::RawSocketTransport::lanes_from_env().empty());
+}
+
+// ---------------------------------------------------------------------------
+// SNMP template patching (campaign send path)
+// ---------------------------------------------------------------------------
+
+/// Records every packet the campaign emits; answers nothing, so the run
+/// terminates on the drained() fast path.
+class CaptureTransport final : public probe::SynchronousTransport {
+  public:
+    [[nodiscard]] net::IPv4Address vantage_address() const override {
+        return net::IPv4Address::from_octets(10, 0, 0, 9);
+    }
+
+    std::vector<net::Bytes> sent;
+
+  protected:
+    std::optional<net::Bytes> exchange(std::span<const std::uint8_t> packet) override {
+        sent.emplace_back(packet.begin(), packet.end());
+        return std::nullopt;
+    }
+};
+
+/// What Campaign::build_snmp_probe serializes — rebuilt here from public
+/// pieces so the test can assert the patched wire bytes are identical to a
+/// fresh serialization.
+net::Bytes fresh_snmp_packet(net::IPv4Address vantage, net::IPv4Address target,
+                             std::uint16_t source_port, std::uint8_t ttl,
+                             std::int32_t message_id, std::uint16_t ipid) {
+    snmp::DiscoveryRequest discovery;
+    discovery.message_id = message_id;
+    net::UdpDatagram datagram;
+    datagram.source_port = static_cast<std::uint16_t>(source_port + 7);
+    datagram.destination_port = snmp::kSnmpPort;
+    datagram.payload = discovery.serialize();
+    net::IpSendOptions ip;
+    ip.source = vantage;
+    ip.destination = target;
+    ip.identification = ipid;
+    ip.ttl = ttl;
+    return net::make_udp_packet(ip, datagram);
+}
+
+TEST(SnmpTemplatePatch, PatchedPacketsAreByteIdenticalToFreshBuilds) {
+    // One base per msgID BER length class, plus one straddling the 1->2
+    // byte boundary mid-run: the per-class template cache must produce
+    // byte-for-byte what fresh serialization would, for every target.
+    const std::uint32_t bases[] = {0x10, 0x7E, 0x1000, 0x100000, 0x1000000, 0x7FFFFFF0};
+    for (const std::uint32_t base : bases) {
+        CaptureTransport transport;
+        probe::Campaign::Config config;
+        config.window = 4;
+        config.snmp_message_id_base = base;
+        config.response_timeout = 50ms;
+        probe::Campaign campaign(transport, config);
+
+        std::vector<net::IPv4Address> targets;
+        for (std::uint8_t i = 1; i <= 5; ++i) {
+            targets.push_back(net::IPv4Address::from_octets(192, 0, 2, i));
+        }
+        campaign.run(targets);
+
+        // Pick the SNMP discovery packets out of the capture (destination
+        // port 161; the other UDP probes aim at the probe port).
+        std::size_t snmp_seen = 0;
+        for (const net::Bytes& raw : transport.sent) {
+            auto parsed = net::parse_packet(raw);
+            ASSERT_TRUE(parsed.has_value()) << "campaign emitted an unparseable packet";
+            const auto* udp = parsed.value().udp();
+            if (udp == nullptr || udp->destination_port != snmp::kSnmpPort) continue;
+
+            const std::size_t index = snmp_seen++;
+            auto request = snmp::DiscoveryRequest::parse(udp->payload);
+            ASSERT_TRUE(request.has_value());
+            const auto expected_id = static_cast<std::int32_t>((base + index) & 0x7FFFFFFF);
+            EXPECT_EQ(request.value().message_id, expected_id);
+
+            const net::Bytes expected = fresh_snmp_packet(
+                transport.vantage_address(), targets[index], config.source_port,
+                config.probe_ttl, expected_id,
+                static_cast<std::uint16_t>(config.ipid_base + index * 10 + 9));
+            EXPECT_EQ(raw, expected)
+                << "base 0x" << std::hex << base << " target " << std::dec << index;
+        }
+        EXPECT_EQ(snmp_seen, targets.size());
+    }
+}
+
+}  // namespace
+}  // namespace lfp
