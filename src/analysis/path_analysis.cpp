@@ -38,6 +38,16 @@ VendorMap VendorMap::from_measurement(const core::Measurement& measurement, Meth
                 break;
             case Method::lfp_majority:
                 vendor = record.lfp.vendor;
+                // A headline-mode classification leaves non-unique matches
+                // vendorless (LfpClassifier only stamps a majority verdict
+                // when majority_mode is on), which used to silently drop
+                // the target here even when SNMP evidence named the vendor.
+                // Mirror combined's fallback for exactly that case: the
+                // majority map must never know *less* about an SNMP-labeled
+                // router than the combined map does.
+                if (!vendor && record.lfp.kind == core::MatchKind::non_unique) {
+                    vendor = record.snmp_vendor;
+                }
                 break;
         }
         if (vendor) map.assign(record.probes.target, *vendor);

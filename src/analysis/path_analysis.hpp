@@ -27,7 +27,12 @@ class VendorMap {
         lfp,          ///< LFP unique (full+partial) matches
         snmpv3,       ///< SNMPv3 labels only
         combined,     ///< SNMPv3 labels, LFP filling the gaps
-        lfp_majority  ///< LFP including non-unique majority verdicts
+        /// LFP including non-unique majority verdicts. When the
+        /// classification ran in headline (non-majority) mode a non-unique
+        /// match carries no vendor; the SNMP label fills in for exactly
+        /// those records, so this map is never a strict subset of
+        /// `combined` on SNMP-labeled routers.
+        lfp_majority
     };
     static VendorMap from_measurement(const core::Measurement& measurement, Method method);
 

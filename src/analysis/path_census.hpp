@@ -1,0 +1,172 @@
+// The path census (ROADMAP: "per-hop vendor censusing along paths"): the
+// layer where probing and path analysis finally meet. A PathCensus runs
+// TracerouteSynthesizer sweeps from a set of vantage ASes toward a
+// destination hitlist, collapses the discovered hop IPs into a
+// core::PathTargets set (deduplicated across paths, private hops filtered,
+// hop→path provenance preserved), probes that set through
+// CensusRunner::stream_paths() — the discovered hops become first-class
+// census targets riding the full multi-pass strict-improvement engine —
+// and turns the classified measurement into the VendorMap the §6 path
+// analyses (Fig 9–17), the informed-routing case study, and the
+// censorship-consistency scenarios consume. The result is those analyses
+// running from live-style *measurement* instead of ground truth, with the
+// ground-truth map still derivable for the same hop set so benches can
+// gate the agreement between the two.
+//
+// Determinism: the traceroute sweep is a pure function of (topology,
+// config) — sources, destinations, and flow IDs all derive from the seed —
+// and the census engine's IDs are pure functions of (pass, global index),
+// so a path census is byte-deterministic at any vantage-lane count. The
+// lane count only changes how fast the hop set is probed, never what is
+// measured (asymmetric per-vantage views of the same routers merge via the
+// existing strict-improvement multi-pass merge).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "analysis/path_analysis.hpp"
+#include "core/census.hpp"
+#include "sim/traceroute.hpp"
+
+namespace lfp::analysis {
+
+struct PathCensusConfig {
+    /// Seed of the whole sweep: vantage/destination selection and every
+    /// traceroute flow ID derive from it.
+    std::uint64_t seed = 0x9A7C5;
+    /// Traceroute vantage points (source ASes). This is a *discovery*
+    /// knob: it decides which paths exist, independently of how many
+    /// census lanes later probe the hop set.
+    std::size_t sources = 4;
+    /// Destination hitlist size (destination ASes, shared by every
+    /// vantage — the diverse-path view of the same core the paper's
+    /// censorship-consistency scenario needs).
+    std::size_t destinations = 48;
+    /// Traceroute flows per (source, destination) pair; flow f of a pair
+    /// uses flow_id = f, so repeated runs redraw nothing.
+    std::size_t flows_per_pair = 1;
+    /// Traceroute noise handed to the synthesizer: fraction of hops that
+    /// are stale (phantom) interface addresses / private addresses.
+    double stale_fraction = 0.05;
+    double private_fraction = 0.02;
+    /// Which verdicts the measured VendorMap counts (§6 headline uses
+    /// combined: SNMPv3 labels with LFP filling the gaps).
+    VendorMap::Method method = VendorMap::Method::combined;
+    /// Signature admission threshold for the *self-calibrated* database
+    /// (ignored when run() is handed one). The SignatureDbConfig default
+    /// (20) is sized for the full experiment world; a path census labels
+    /// only the hops its own traceroutes found, so it keeps any signature
+    /// two labeled routers share.
+    std::size_t db_min_occurrences = 2;
+
+    /// Ceilings in the spirit of CensusPlan's: generous, but a corrupted
+    /// config should fail loudly rather than synthesize 10^6 sweeps.
+    static constexpr std::size_t kMaxSources = 4096;
+    static constexpr std::size_t kMaxDestinations = 1 << 20;
+    static constexpr std::size_t kMaxFlows = 1024;
+
+    /// Honors LFP_PATH_SOURCES / LFP_PATH_DESTS / LFP_PATH_FLOWS /
+    /// LFP_PATH_STALE / LFP_PATH_PRIVATE / LFP_PATH_DB_MIN env overrides
+    /// over `base` (default-constructed when omitted). Throws
+    /// std::invalid_argument naming the variable on unparseable or absurd
+    /// values.
+    [[nodiscard]] static PathCensusConfig from_env();
+    [[nodiscard]] static PathCensusConfig from_env(PathCensusConfig base);
+
+    /// Rejects impossible knob combinations with a clear error.
+    void validate() const;
+};
+
+/// The traceroute sweep: every discovered path plus which vantage (source
+/// index) discovered it — the per-path lane preference stream_paths() maps
+/// onto census lanes.
+struct PathDiscovery {
+    std::vector<std::uint32_t> sources;       ///< vantage ASNs, sweep order
+    std::vector<std::uint32_t> destinations;  ///< destination ASNs
+    std::vector<sim::Traceroute> traces;      ///< source-major, deterministic order
+    std::vector<std::uint32_t> trace_source;  ///< traces[i] came from sources[...]
+    /// (source, destination) pairs with no valley-free route (not an
+    /// error: stub islands exist in sparse topologies).
+    std::uint64_t unreachable_pairs = 0;
+
+    /// The raw hop lists, in trace order — the input to
+    /// core::PathTargets::from_paths / CensusRunner::stream_paths.
+    [[nodiscard]] std::vector<std::vector<net::IPv4Address>> hop_lists() const;
+};
+
+/// One complete path census: discovery, the collapsed hop set, the
+/// classified measurement, and the measured vendor map.
+struct PathCensusResult {
+    PathDiscovery discovery;
+    core::PathTargets targets;          ///< dedup + provenance + noise counters
+    core::Measurement measurement;      ///< classified hop census
+    VendorMap vendors;                  ///< measured map (config.method)
+    std::vector<core::PassStats> pass_stats;
+    /// Routable hops that were probed and never answered anything — the
+    /// response-level staleness signal (phantom interfaces land here).
+    std::uint64_t stale_unresponsive = 0;
+
+    /// Per-path profiles against the measured map, via PathAnalyzer.
+    [[nodiscard]] PathStats stats(const sim::Topology& topology, PathScope scope,
+                                  PathAnalysisConfig config = {}) const;
+};
+
+/// Agreement between a measured vendor map and the ground-truth map on one
+/// hop set — what the bench gates.
+struct PathAgreement {
+    std::size_t hops = 0;            ///< targets compared
+    std::size_t truth_known = 0;     ///< hops the ground truth names
+    std::size_t measured_known = 0;  ///< hops the measured map names
+    std::size_t both_known = 0;      ///< named by both
+    std::size_t matches = 0;         ///< named identically by both
+
+    /// Fraction of commonly identified hops on which the maps agree.
+    [[nodiscard]] double accuracy() const {
+        return both_known == 0 ? 1.0
+                               : static_cast<double>(matches) / static_cast<double>(both_known);
+    }
+    /// Measured coverage relative to ground truth.
+    [[nodiscard]] double coverage() const {
+        return truth_known == 0 ? 1.0
+                                : static_cast<double>(measured_known) /
+                                      static_cast<double>(truth_known);
+    }
+};
+
+class PathCensus {
+  public:
+    PathCensus(const sim::Topology& topology, PathCensusConfig config);
+
+    /// The deterministic traceroute sweep: picks `config.sources` vantage
+    /// ASes and `config.destinations` destination ASes from the seed, then
+    /// traces every (source, destination, flow) triple in sweep order.
+    [[nodiscard]] PathDiscovery discover() const;
+
+    /// Discovery + hop census end to end: stream_paths() through `runner`
+    /// (whose vantages and knobs decide how the hop set is probed), then
+    /// classify. When `database` is given (e.g. an ExperimentWorld's union
+    /// database) records classify against it; when null the census is
+    /// self-calibrating — the database is built from the measurement's own
+    /// SNMP-labeled population, exactly like the batch pipeline.
+    [[nodiscard]] PathCensusResult run(core::CensusRunner& runner,
+                                       const core::SignatureDatabase* database = nullptr) const;
+
+    /// The ground-truth map for a discovered hop set: every target that
+    /// resolves to a simulated router gets that router's actual vendor.
+    /// What the measured map is benched against.
+    [[nodiscard]] VendorMap ground_truth(const core::PathTargets& targets) const;
+
+    /// Compares `measured` against `truth` over `targets`.
+    [[nodiscard]] static PathAgreement agreement(const VendorMap& measured,
+                                                 const VendorMap& truth,
+                                                 const core::PathTargets& targets);
+
+    [[nodiscard]] const PathCensusConfig& config() const noexcept { return config_; }
+
+  private:
+    const sim::Topology* topology_;
+    PathCensusConfig config_;
+};
+
+}  // namespace lfp::analysis

@@ -640,6 +640,80 @@ Measurement CensusRunner::measure_passes(std::string name,
     return sink.take();
 }
 
+PathTargets PathTargets::from_paths(std::span<const std::vector<net::IPv4Address>> paths) {
+    PathTargets out;
+    std::unordered_map<net::IPv4Address, std::uint32_t> index_of;
+    for (std::size_t p = 0; p < paths.size(); ++p) {
+        const auto path_index = static_cast<std::uint32_t>(p);
+        for (const net::IPv4Address hop : paths[p]) {
+            ++out.hops_listed;
+            if (!hop.is_routable()) {
+                ++out.unroutable_dropped;
+                continue;
+            }
+            auto [it, inserted] =
+                index_of.try_emplace(hop, static_cast<std::uint32_t>(out.targets.size()));
+            if (inserted) {
+                out.targets.push_back(hop);
+                out.provenance.emplace_back();
+                out.first_path.push_back(path_index);
+            } else {
+                ++out.duplicates_collapsed;
+            }
+            std::vector<std::uint32_t>& credited = out.provenance[it->second];
+            // One credit per path, however often the hop loops inside it.
+            if (credited.empty() || credited.back() != path_index) {
+                credited.push_back(path_index);
+            }
+        }
+    }
+    return out;
+}
+
+std::vector<std::uint32_t> CensusRunner::assignment_by_discovery(
+    const PathTargets& targets, std::span<const std::uint32_t> path_lane) const {
+    const std::size_t lanes = plan_.vantages.size();
+    std::vector<std::uint32_t> assignment(targets.targets.size(), 0);
+    if (lanes <= 1) return assignment;
+    // Affinity key: the backend hint when the lead vantage knows one (alias
+    // interfaces of one stateful router share it), else the address itself.
+    // The first member of each affinity group decides the group's lane —
+    // the lane whose vantage first discovered it.
+    std::unordered_map<std::uint64_t, std::uint32_t> lane_of_key;
+    lane_of_key.reserve(targets.targets.size());
+    for (std::size_t i = 0; i < targets.targets.size(); ++i) {
+        const net::IPv4Address ip = targets.targets[i];
+        const std::uint64_t key = plan_.vantages.front()->backend_hint(ip).value_or(
+            0x8000000000000000ULL | ip.value());
+        const std::uint32_t path = targets.first_path[i];
+        const std::uint32_t preferred =
+            path < path_lane.size() ? path_lane[path] % static_cast<std::uint32_t>(lanes) : 0;
+        auto [it, inserted] = lane_of_key.try_emplace(key, preferred);
+        assignment[i] = it->second;
+    }
+    return assignment;
+}
+
+void CensusRunner::stream_paths(std::span<const std::vector<net::IPv4Address>> paths,
+                                std::span<const std::uint32_t> path_lane, std::size_t passes,
+                                RecordSink& sink) {
+    path_targets_ = PathTargets::from_paths(paths);
+    std::vector<std::uint32_t> assignment;
+    if (!path_lane.empty()) {
+        assignment = assignment_by_discovery(path_targets_, path_lane);
+    }
+    stream_passes(path_targets_.targets, assignment, passes, sink);
+}
+
+Measurement CensusRunner::measure_paths(std::string name,
+                                        std::span<const std::vector<net::IPv4Address>> paths,
+                                        std::span<const std::uint32_t> path_lane,
+                                        std::size_t passes) {
+    CollectingSink sink(std::move(name));
+    stream_paths(paths, path_lane, passes, sink);
+    return sink.take();
+}
+
 void CensusRunner::stream_passes(std::span<const net::IPv4Address> targets,
                                  std::span<const std::uint32_t> assignment,
                                  std::size_t passes, RecordSink& sink) {

@@ -177,6 +177,40 @@ struct CensusPlan {
         std::span<const std::uint64_t> keys, std::size_t vantage_count);
 };
 
+/// The hop set a path census probes: traceroute-discovered router
+/// interfaces collapsed into a deduplicated target list with hop→path
+/// provenance. Built from raw hop lists (sim::Traceroute::hops or a live
+/// traceroute harvest) by from_paths(), which applies the census-side noise
+/// filter — private/special addresses never become probe targets — while
+/// keeping the counters the path analyses need to reason about what was
+/// dropped. Targets keep first-appearance order across the path list, so
+/// the list (and with it every derived ID lane) is a pure function of the
+/// paths, never of how many census lanes later probe it.
+struct PathTargets {
+    /// Deduplicated routable hop addresses, in first-appearance order.
+    std::vector<net::IPv4Address> targets;
+    /// provenance[i] = ascending indices of every path that listed
+    /// targets[i] (each path counted once, however often the hop repeats
+    /// inside it) — the credit list the per-path profiles are built from.
+    std::vector<std::vector<std::uint32_t>> provenance;
+    /// first_path[i] = provenance[i].front(): the path (and thereby the
+    /// discovering vantage) a target is attributed to for lane mapping.
+    std::vector<std::uint32_t> first_path;
+
+    /// Raw hop entries across all paths, before any filtering.
+    std::uint64_t hops_listed = 0;
+    /// Hop entries dropped by the address-level noise filter (private and
+    /// special addresses — traceroute noise that must never be probed).
+    std::uint64_t unroutable_dropped = 0;
+    /// Routable hop entries beyond each address's first appearance.
+    std::uint64_t duplicates_collapsed = 0;
+
+    /// Collapses `paths` (one hop list per path, in path order) into the
+    /// deduplicated target set described above.
+    [[nodiscard]] static PathTargets from_paths(
+        std::span<const std::vector<net::IPv4Address>> paths);
+};
+
 /// Executes CensusPlans. Holds the worker pool and the running global-index
 /// offset, so consecutive measure() calls continue the same ID lanes exactly
 /// like one long serial campaign over the concatenated target lists.
@@ -258,6 +292,46 @@ class CensusRunner {
         return pass_stats_;
     }
 
+    /// The path census: collapses `paths` (one hop list per path) into a
+    /// PathTargets set — deduplicated across paths, private hops filtered,
+    /// provenance preserved — and probes it through stream_passes(), so the
+    /// discovered hops ride the full multi-pass strict-improvement engine
+    /// as first-class census targets. `path_lane`, when non-empty, names
+    /// the vantage that discovered each path (path_lane[i] for paths[i],
+    /// values taken mod the lane count): each hop is then probed from the
+    /// lane of the first path that discovered it, with backend-hint
+    /// affinity still grouping alias interfaces of one stateful router onto
+    /// a single lane. Empty = the default hint grouping. Either way the
+    /// merged output is byte-identical at any vantage count — IDs are pure
+    /// functions of (pass, global index), and the target list depends only
+    /// on the paths. The collapsed set lands in last_path_targets().
+    void stream_paths(std::span<const std::vector<net::IPv4Address>> paths,
+                      std::span<const std::uint32_t> path_lane, std::size_t passes,
+                      RecordSink& sink);
+
+    /// Batch adapter for stream_paths(): collect into a Measurement.
+    /// `passes` 0 means "the plan's configured pass count".
+    [[nodiscard]] Measurement measure_paths(std::string name,
+                                            std::span<const std::vector<net::IPv4Address>> paths,
+                                            std::span<const std::uint32_t> path_lane = {},
+                                            std::size_t passes = 0);
+
+    /// The hop set the most recent stream_paths()/measure_paths() call
+    /// probed (empty before the first path census).
+    [[nodiscard]] const PathTargets& last_path_targets() const noexcept {
+        return path_targets_;
+    }
+
+    /// The lane assignment for a path census: every target goes to the lane
+    /// of the first path that discovered it (path_lane[first_path[target]]
+    /// mod the vantage count), except that targets sharing a backend hint
+    /// (alias interfaces of one stateful simulated router) are pinned to
+    /// the lane of the hint group's first member — the same aliasing rule
+    /// the default hint grouping enforces, so lanes stay free to run in
+    /// parallel without racing one router's counters.
+    [[nodiscard]] std::vector<std::uint32_t> assignment_by_discovery(
+        const PathTargets& targets, std::span<const std::uint32_t> path_lane) const;
+
     /// Builds the signature database from the labeled subset of the given
     /// measurements (step 3), sharding aggregation per measurement over the
     /// worker pool and merging shard counts in measurement order.
@@ -309,6 +383,7 @@ class CensusRunner {
     std::uint64_t lanes_recovered_ = 0;
     bool resumed_ = false;
     std::vector<PassStats> pass_stats_;
+    PathTargets path_targets_;
 };
 
 /// Sharded stage implementations shared by CensusRunner and the LfpPipeline

@@ -14,6 +14,40 @@ std::optional<stack::Vendor> vendor_or_nullopt(std::uint8_t raw) {
     return static_cast<stack::Vendor>(raw);
 }
 
+/// The shared body of path_profile()/measured_path(): resolve `hops`
+/// against one specific snapshot (null = nothing published; every hop
+/// comes back unknown with version 0).
+PathProfile profile_against(const Snapshot* snapshot, std::span<const net::IPv4Address> hops) {
+    PathProfile profile;
+    profile.hops.reserve(hops.size());
+    std::vector<stack::Vendor> identified;
+    for (const net::IPv4Address hop : hops) {
+        PathProfile::Hop entry;
+        entry.address = hop;
+        if (snapshot != nullptr) {
+            if (const core::CompactRecord* record = snapshot->find(hop)) {
+                entry.known = true;
+                ++profile.known_hops;
+                if (record->snmp_vendor != core::kNoVendor) {
+                    entry.vendor = static_cast<stack::Vendor>(record->snmp_vendor);
+                } else if (record->lfp_vendor != core::kNoVendor) {
+                    entry.vendor = static_cast<stack::Vendor>(record->lfp_vendor);
+                }
+                if (entry.vendor) {
+                    ++profile.identified_hops;
+                    identified.push_back(*entry.vendor);
+                }
+            }
+        }
+        profile.hops.push_back(entry);
+    }
+    if (snapshot != nullptr) profile.version = snapshot->version();
+    if (!identified.empty()) {
+        profile.combination = analysis::combination_key(std::move(identified));
+    }
+    return profile;
+}
+
 }  // namespace
 
 VendorAnswer QueryEngine::vendor_of(net::IPv4Address target) const {
@@ -46,35 +80,20 @@ AsMixAnswer QueryEngine::as_mix(std::uint32_t asn) const {
 }
 
 PathProfile QueryEngine::path_profile(std::span<const net::IPv4Address> hops) const {
-    PathProfile profile;
     const std::shared_ptr<const Snapshot> snapshot = store_->current();
-    profile.hops.reserve(hops.size());
-    std::vector<stack::Vendor> identified;
-    for (const net::IPv4Address hop : hops) {
-        PathProfile::Hop entry;
-        entry.address = hop;
-        if (snapshot != nullptr) {
-            if (const core::CompactRecord* record = snapshot->find(hop)) {
-                entry.known = true;
-                ++profile.known_hops;
-                if (record->snmp_vendor != core::kNoVendor) {
-                    entry.vendor = static_cast<stack::Vendor>(record->snmp_vendor);
-                } else if (record->lfp_vendor != core::kNoVendor) {
-                    entry.vendor = static_cast<stack::Vendor>(record->lfp_vendor);
-                }
-                if (entry.vendor) {
-                    ++profile.identified_hops;
-                    identified.push_back(*entry.vendor);
-                }
-            }
-        }
-        profile.hops.push_back(entry);
+    return profile_against(snapshot.get(), hops);
+}
+
+util::Result<PathProfile> QueryEngine::measured_path(std::size_t index) const {
+    const std::shared_ptr<const Snapshot> snapshot = store_->current();
+    if (snapshot == nullptr) return util::make_error("no snapshot published");
+    const auto& paths = snapshot->paths();
+    if (index >= paths.size()) {
+        return util::make_error("path " + std::to_string(index) + " out of range (version " +
+                                std::to_string(snapshot->version()) + " holds " +
+                                std::to_string(paths.size()) + " measured paths)");
     }
-    if (snapshot != nullptr) profile.version = snapshot->version();
-    if (!identified.empty()) {
-        profile.combination = analysis::combination_key(std::move(identified));
-    }
-    return profile;
+    return profile_against(snapshot.get(), paths[index]);
 }
 
 util::Result<SnapshotDiff> QueryEngine::diff(std::uint64_t from_version,

@@ -88,6 +88,16 @@ class QueryEngine {
     [[nodiscard]] AsMixAnswer as_mix(std::uint32_t asn) const;
     [[nodiscard]] PathProfile path_profile(std::span<const net::IPv4Address> hops) const;
 
+    /// Profile of a *measured* path — one the snapshot's own path census
+    /// discovered (Snapshot::paths()), addressed by discovery index. The
+    /// wire form is PATH @<index>: the client names a path without
+    /// re-supplying its hops, and hops plus verdicts answer from the same
+    /// snapshot, so the profile can never mix a hop list from one census
+    /// with classifications from another. Errors when nothing is published
+    /// or the index is out of range (including every plain census, whose
+    /// snapshots carry no paths).
+    [[nodiscard]] util::Result<PathProfile> measured_path(std::size_t index) const;
+
     /// Diffs two retained snapshot versions (error when either aged out of
     /// the retention ring or was never published).
     [[nodiscard]] util::Result<SnapshotDiff> diff(std::uint64_t from_version,

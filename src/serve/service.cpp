@@ -3,6 +3,7 @@
 #include <charconv>
 #include <cstdlib>
 #include <filesystem>
+#include <stdexcept>
 #include <utility>
 
 #ifndef _WIN32
@@ -148,6 +149,25 @@ std::uint64_t CensusService::run_census_now() {
                              .asn = config_.asn});
     const core::CensusPlan& plan = runner_.plan();
     runner_.stream_passes(plan.targets, plan.assignment, config_.passes, builder);
+    auto snapshot =
+        builder.build(next_version_++, runner_.last_pass_stats(), &runner_.pool());
+    const std::uint64_t version = store_.publish(std::move(snapshot));
+    published_.fetch_add(1, std::memory_order_relaxed);
+    return version;
+}
+
+std::uint64_t CensusService::run_path_census_now() {
+    if (!config_.paths) {
+        throw std::logic_error("CensusService: no path source configured for a path census");
+    }
+    std::lock_guard<std::mutex> guard(census_mutex_);
+    PathSweep sweep = config_.paths();
+    SnapshotBuilder builder({.name = config_.name,
+                             .database = config_.database,
+                             .classify = config_.classify,
+                             .asn = config_.asn});
+    runner_.stream_paths(sweep.paths, sweep.path_lane, config_.passes, builder);
+    builder.set_paths(std::move(sweep.paths));
     auto snapshot =
         builder.build(next_version_++, runner_.last_pass_stats(), &runner_.pool());
     const std::uint64_t version = store_.publish(std::move(snapshot));

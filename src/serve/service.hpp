@@ -82,6 +82,20 @@ class PassScheduler {
     std::uint64_t completed_ = 0;
 };
 
+/// One measured-path sweep for a path census: the hop lists to collapse
+/// and probe (CensusRunner::stream_paths) plus, optionally, the vantage
+/// index that discovered each path — the lane-preference stream the
+/// runner maps onto its census lanes.
+struct PathSweep {
+    std::vector<std::vector<net::IPv4Address>> paths;
+    std::vector<std::uint32_t> path_lane;  ///< empty = backend-hint grouping
+};
+
+/// Produces a fresh sweep per path census (e.g. a traceroute harvest, or
+/// analysis::PathCensus::discover() in the sim deployment). Called under
+/// the census lock — deterministic sources yield deterministic censuses.
+using PathSource = std::function<PathSweep()>;
+
 /// Service-level knobs layered over the CensusPlan (which continues to
 /// describe the measurement itself: targets, vantages, windows, passes).
 struct ServiceConfig {
@@ -104,6 +118,9 @@ struct ServiceConfig {
     core::SignatureDbConfig database;
     core::LfpClassifier::Options classify;
     AsnResolver asn;
+    /// Path discovery for run_path_census_now() / the PATHCENSUS verb.
+    /// Absent = the service runs plain censuses only.
+    PathSource paths;
 
     /// Overlays LFP_SERVE_INTERVAL_MS / LFP_SERVE_RETAIN / LFP_SERVE_STATE
     /// from the environment onto `base` (default-constructed when omitted).
@@ -143,6 +160,19 @@ class CensusService {
     /// the snapshot. Returns the published version. Serializes with
     /// scheduler-driven censuses.
     std::uint64_t run_census_now();
+
+    /// Runs one *path* census: pulls a sweep from config.paths, collapses
+    /// the hop lists into census targets (CensusRunner::stream_paths), and
+    /// publishes the classified snapshot with the measured paths attached
+    /// (Snapshot::paths() — the PATH @<index> answers). Returns the
+    /// published version; throws std::logic_error when no path source is
+    /// configured. Serializes with every other census.
+    std::uint64_t run_path_census_now();
+
+    /// Whether config.paths was provided (the PATHCENSUS verb's gate).
+    [[nodiscard]] bool has_path_source() const noexcept {
+        return static_cast<bool>(config_.paths);
+    }
 
     /// Boot-time durability: reloads the newest persisted snapshot from
     /// config.state_dir and publishes it as current, marked restored() —

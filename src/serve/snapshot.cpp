@@ -168,6 +168,7 @@ std::shared_ptr<const Snapshot> SnapshotBuilder::build(
     snapshot->database_ = std::move(database);
     snapshot->asn_ = options_.asn;
     snapshot->records_ = std::move(records_);
+    snapshot->paths_ = std::move(paths_);
     position_of_.clear();
 
     snapshot->by_target_.resize(snapshot->records_.size());

@@ -105,6 +105,16 @@ class Snapshot {
         return *database_;
     }
 
+    /// The measured paths of a path census (hop lists in discovery order):
+    /// the provenance behind this snapshot's target set, answering
+    /// PATH @<index> queries without the client re-supplying hops. Empty
+    /// for plain censuses — and for restored() snapshots: paths are not
+    /// persisted, so a reload answers point/path queries but forgets which
+    /// sweep discovered the targets until the next fresh path census.
+    [[nodiscard]] const std::vector<std::vector<net::IPv4Address>>& paths() const noexcept {
+        return paths_;
+    }
+
     /// Expands back to the batch representation, in stream order, with
     /// classifications and pass provenance intact — byte-identical CSV
     /// exports to the batch pipeline's Measurement for the same pass.
@@ -136,6 +146,7 @@ class Snapshot {
     core::MeasurementCounts counts_;
     std::shared_ptr<const core::SignatureDatabase> database_;
     std::map<std::uint32_t, analysis::AsCoverage> as_mix_;
+    std::vector<std::vector<net::IPv4Address>> paths_;
     AsnResolver asn_;
 };
 
@@ -170,6 +181,12 @@ class SnapshotBuilder final : public core::RecordSink {
         std::uint64_t version, std::span<const core::PassStats> pass_stats,
         util::ThreadPool* pool = nullptr);
 
+    /// Attaches the measured paths a path census discovered (see
+    /// Snapshot::paths()). Call before build(); plain censuses never do.
+    void set_paths(std::vector<std::vector<net::IPv4Address>> paths) {
+        paths_ = std::move(paths);
+    }
+
     [[nodiscard]] std::size_t size() const noexcept { return records_.size(); }
 
   private:
@@ -192,6 +209,7 @@ class SnapshotBuilder final : public core::RecordSink {
     Appender appender_;
     core::SignatureAbsorbSink absorb_;
     std::vector<core::CompactRecord> records_;
+    std::vector<std::vector<net::IPv4Address>> paths_;
     std::unordered_map<std::uint64_t, std::size_t> position_of_;
 };
 

@@ -108,15 +108,7 @@ std::string handle_asmix(const QueryEngine& engine, std::string_view operand) {
     return out.str();
 }
 
-std::string handle_path(const QueryEngine& engine, std::span<const std::string_view> operands) {
-    std::vector<net::IPv4Address> hops;
-    hops.reserve(operands.size());
-    for (const std::string_view operand : operands) {
-        auto address = net::IPv4Address::parse(operand);
-        if (!address) return err("bad address '" + std::string(operand) + "'");
-        hops.push_back(address.value());
-    }
-    const PathProfile profile = engine.path_profile(hops);
+std::string render_profile(const PathProfile& profile) {
     std::ostringstream out;
     out << "OK version=" << profile.version << " hops=" << profile.hops.size()
         << " known=" << profile.known_hops << " identified=" << profile.identified_hops
@@ -130,6 +122,44 @@ std::string handle_path(const QueryEngine& engine, std::span<const std::string_v
         } else {
             out << '-';
         }
+    }
+    return out.str();
+}
+
+std::string handle_path(const QueryEngine& engine, std::span<const std::string_view> operands) {
+    // PATH @<index>: a measured path from the snapshot's own path census,
+    // addressed by discovery index instead of client-supplied hops.
+    if (operands.size() == 1 && operands[0].starts_with('@')) {
+        const auto index = parse_u64(operands[0].substr(1));
+        if (!index) return err("bad path index '" + std::string(operands[0]) + "'");
+        const auto profile = engine.measured_path(static_cast<std::size_t>(*index));
+        if (!profile) return err(profile.error().message);
+        return render_profile(profile.value());
+    }
+    std::vector<net::IPv4Address> hops;
+    hops.reserve(operands.size());
+    for (const std::string_view operand : operands) {
+        auto address = net::IPv4Address::parse(operand);
+        if (!address) return err("bad address '" + std::string(operand) + "'");
+        hops.push_back(address.value());
+    }
+    return render_profile(engine.path_profile(hops));
+}
+
+std::string handle_path_census(CensusService& service, const QueryEngine& engine) {
+    if (!service.has_path_source()) {
+        return err("no path source configured (path censuses need traceroute discovery)");
+    }
+    const std::uint64_t version = service.run_path_census_now();
+    std::ostringstream out;
+    out << "OK version=" << version;
+    const std::shared_ptr<const Snapshot> snapshot = engine.snapshot();
+    if (snapshot != nullptr && snapshot->version() == version) {
+        const core::PathTargets& targets = service.runner().last_path_targets();
+        out << " paths=" << snapshot->paths().size() << " hops=" << targets.hops_listed
+            << " targets=" << snapshot->records().size()
+            << " duplicates=" << targets.duplicates_collapsed
+            << " unroutable=" << targets.unroutable_dropped;
     }
     return out.str();
 }
@@ -279,8 +309,12 @@ RequestOutcome handle_request(std::string_view request, CensusService& service,
         return {handle_asmix(engine, operands[0]), false};
     }
     if (verb == "PATH") {
-        if (operands.empty()) return {err("usage: PATH <ip> [<ip>...]"), false};
+        if (operands.empty()) return {err("usage: PATH <ip> [<ip>...] | PATH @<index>"), false};
         return {handle_path(engine, operands), false};
+    }
+    if (verb == "PATHCENSUS") {
+        if (!operands.empty()) return {err("PATHCENSUS takes no operands"), false};
+        return {handle_path_census(service, engine), false};
     }
     if (verb == "DIFF") {
         if (operands.size() != 2) return {err("usage: DIFF <from-version> <to-version>"), false};

@@ -15,10 +15,17 @@
 //   VENDOR <ip>              point lookup: vendors, kind, confidence, pass
 //   ASMIX <asn>              per-AS vendor mix
 //   PATH <ip> [<ip>...]      per-hop vendor profile + combination key
+//   PATH @<index>            profile of measured path <index> from the
+//                            snapshot's own path census (hops + verdicts
+//                            answer from one snapshot)
 //   DIFF <from> <to>         signature stability between retained versions
 //   EXPORT                   current snapshot as measurement CSV (raw)
 //   TRIGGER                  run one census now (synchronous; returns the
 //                            newly published version)
+//   PATHCENSUS               run one path census now: traceroute-discovered
+//                            hops collapsed into census targets, measured
+//                            paths stored for PATH @<index> (requires a
+//                            configured path source)
 //   SHUTDOWN                 stop serving after this response
 #pragma once
 

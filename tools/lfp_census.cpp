@@ -24,7 +24,9 @@
 #include <memory>
 #include <optional>
 #include <string>
+#include <vector>
 
+#include "analysis/path_census.hpp"
 #include "core/census.hpp"
 #include "io/csv_export.hpp"
 #include "probe/sim_transport.hpp"
@@ -44,17 +46,93 @@ struct CensusArgs {
     double scale = 0.5;
     std::string checkpoint_dir;
     std::string out;  // empty = stdout
+    /// Path-census mode (--paths N): traceroute N destinations from
+    /// --path-sources vantages, collapse the discovered hops into the
+    /// target list, and census those instead of the router roster.
+    std::size_t path_destinations = 0;  // 0 = classic roster census
+    std::size_t path_sources = 4;
+    std::size_t path_flows = 1;
+    std::size_t vantages = 1;  ///< census lanes (path mode only)
 };
 
 void usage(std::ostream& out) {
     out << "usage: lfp_census [--targets N] [--passes N] [--pps RATE] [--loss RATE]\n"
            "                  [--scale S] [--checkpoint-dir PATH] [--out PATH]\n"
+           "                  [--paths N [--path-sources N] [--flows N] [--vantages N]]\n"
            "Runs one deterministic multi-pass census over the simulated Internet and\n"
            "writes the measurement CSV to --out (default stdout). Identical flags give\n"
            "byte-identical CSV. --checkpoint-dir enables crash-tolerant resume: a run\n"
            "killed mid-pass continues at the last pass boundary when rerun.\n"
+           "--paths N switches to path-census mode: traceroute N destinations from\n"
+           "--path-sources vantage ASes, dedup the discovered hops, and census those\n"
+           "as the target list across --vantages lanes (the CSV is byte-identical at\n"
+           "any lane count; a per-path summary goes to stderr).\n"
            "Environment: LFP_FAULT_* (deterministic fault injection),\n"
-           "             LFP_WATCHDOG_MS, LFP_CHECKPOINT_DIR.\n";
+           "             LFP_WATCHDOG_MS, LFP_CHECKPOINT_DIR; path mode also honors\n"
+           "             LFP_PATH_SEED/SOURCES/DESTS/FLOWS/STALE/PRIVATE overrides.\n";
+}
+
+/// The path-census leg: discovery, hop census, classification, and the
+/// measured-vs-ground-truth summary — the CSV still goes through the same
+/// --out plumbing as the classic census.
+int run_path_census(const CensusArgs& args, sim::Topology& topology, sim::Internet& internet,
+                    const sim::FaultPlan& fault_plan, core::Measurement& measurement) {
+    analysis::PathCensusConfig config;
+    config.sources = args.path_sources;
+    config.destinations = args.path_destinations;
+    config.flows_per_pair = args.path_flows;
+    config = analysis::PathCensusConfig::from_env(config);
+
+    // One transport per census lane; the traceroute *discovery* vantages
+    // are config.sources and do not vary with the lane count, so the lane
+    // count changes probing parallelism only, never the measured bytes.
+    std::vector<std::unique_ptr<probe::SimTransport>> transports;
+    std::vector<std::unique_ptr<sim::FaultInjectingTransport>> faulted;
+    core::CensusPlan plan;
+    plan.name = "path-census";
+    for (std::size_t lane = 0; lane < args.vantages; ++lane) {
+        transports.push_back(std::make_unique<probe::SimTransport>(internet));
+        if (fault_plan.any()) {
+            faulted.push_back(
+                std::make_unique<sim::FaultInjectingTransport>(*transports.back(), fault_plan));
+            plan.vantages.push_back(faulted.back().get());
+        } else {
+            plan.vantages.push_back(transports.back().get());
+        }
+    }
+    plan.campaign.window = 16;
+    plan.campaign.packets_per_second = args.pps;
+    plan.passes = args.passes;
+
+    core::CensusRunner runner(std::move(plan));
+    const analysis::PathCensus census(topology, config);
+    analysis::PathCensusResult result = census.run(runner);
+
+    const analysis::VendorMap truth = census.ground_truth(result.targets);
+    const analysis::PathAgreement agreement =
+        analysis::PathCensus::agreement(result.vendors, truth, result.targets);
+    const analysis::PathStats stats = result.stats(topology, analysis::PathScope::all);
+
+    std::cerr << "lfp_census: path census: " << result.discovery.traces.size() << " paths ("
+              << config.sources << " sources x " << config.destinations << " destinations, "
+              << result.discovery.unreachable_pairs << " unreachable), "
+              << result.targets.hops_listed << " hops -> " << result.targets.targets.size()
+              << " targets (" << result.targets.duplicates_collapsed << " duplicates, "
+              << result.targets.unroutable_dropped << " unroutable dropped)\n";
+    std::cerr << "lfp_census: " << result.measurement.records.size() << " targets, "
+              << result.pass_stats.size() << " passes, " << runner.packets_sent()
+              << " packets sent, " << runner.responses_received() << " responses, "
+              << result.stale_unresponsive << " stale-unresponsive\n";
+    std::cerr << "lfp_census: vs ground truth: accuracy=" << agreement.accuracy()
+              << " coverage=" << agreement.coverage() << " (truth=" << agreement.truth_known
+              << " measured=" << agreement.measured_known << " of " << agreement.hops
+              << " hops); paths considered=" << stats.paths_considered
+              << " median vendors/path="
+              << (stats.vendors_per_path.empty() ? 0.0 : stats.vendors_per_path.quantile(0.5))
+              << '\n';
+
+    measurement = std::move(result.measurement);
+    return 0;
 }
 
 }  // namespace
@@ -86,6 +164,14 @@ int main(int argc, char** argv) {
             args.checkpoint_dir = *value;
         } else if (flag == "--out" && (value = next())) {
             args.out = *value;
+        } else if (flag == "--paths" && (value = next())) {
+            args.path_destinations = std::stoull(*value);
+        } else if (flag == "--path-sources" && (value = next())) {
+            args.path_sources = std::stoull(*value);
+        } else if (flag == "--flows" && (value = next())) {
+            args.path_flows = std::stoull(*value);
+        } else if (flag == "--vantages" && (value = next())) {
+            args.vantages = std::stoull(*value);
         } else {
             std::cerr << "lfp_census: bad argument '" << flag << "'\n";
             usage(std::cerr);
@@ -100,11 +186,38 @@ int main(int argc, char** argv) {
                                                        .transit_fraction = 0.2,
                                                        .scale = args.scale});
         sim::Internet internet(topology, {.seed = 13, .loss_rate = args.loss_rate});
-        probe::SimTransport transport(internet);
 
         // Fault injection rides in via the environment: wrap only when some
         // class can actually fire, so the healthy path stays undecorated.
         const sim::FaultPlan fault_plan = sim::FaultPlan::from_env();
+
+        if (args.path_destinations != 0) {
+            core::Measurement measurement;
+            const int status =
+                run_path_census(args, topology, internet, fault_plan, measurement);
+            if (status != 0) return status;
+            if (args.out.empty()) {
+                io::export_measurement_csv(std::cout, measurement);
+                if (!std::cout) {
+                    std::cerr << "lfp_census: write to stdout failed\n";
+                    return 1;
+                }
+            } else {
+                std::ofstream out(args.out);
+                if (!out) {
+                    std::cerr << "lfp_census: cannot write " << args.out << '\n';
+                    return 1;
+                }
+                io::export_measurement_csv(out, measurement);
+                if (!out) {
+                    std::cerr << "lfp_census: write to " << args.out << " failed\n";
+                    return 1;
+                }
+            }
+            return 0;
+        }
+
+        probe::SimTransport transport(internet);
         std::unique_ptr<sim::FaultInjectingTransport> faulted;
         probe::ProbeTransport* vantage = &transport;
         if (fault_plan.any()) {

@@ -1,9 +1,11 @@
 // lfp_serve: the census-as-a-service daemon over the simulated Internet.
 //
 // Builds a deterministic sim world (fixed seeds), runs an initial census,
-// and serves VENDOR/ASMIX/PATH/DIFF/STATS/EXPORT/TRIGGER queries over a
-// unix-domain socket using the length-prefixed frame protocol in
-// serve/wire.hpp. With --interval-ms the PassScheduler re-censuses on a
+// and serves VENDOR/ASMIX/PATH/DIFF/STATS/EXPORT/TRIGGER/PATHCENSUS
+// queries over a unix-domain socket using the length-prefixed frame
+// protocol in serve/wire.hpp. PATHCENSUS runs a traceroute-discovery path
+// census (LFP_PATH_* knobs) and stores the measured paths for
+// PATH @<index> answers. With --interval-ms the PassScheduler re-censuses on a
 // timer, publishing a fresh snapshot version each time; queries keep
 // answering from the previous version while a pass runs.
 //
@@ -27,6 +29,7 @@
 #include <sys/un.h>
 #include <unistd.h>
 
+#include "analysis/path_census.hpp"
 #include "core/census.hpp"
 #include "io/csv_export.hpp"
 #include "probe/sim_transport.hpp"
@@ -238,6 +241,18 @@ int main(int argc, char** argv) {
         const std::size_t index = topology.find_by_interface(address);
         if (index == sim::Topology::npos) return std::nullopt;
         return topology.asn_of(index);
+    };
+    // Path discovery for the PATHCENSUS verb: a deterministic traceroute
+    // sweep over the serving world (LFP_PATH_* knobs apply). The discovery
+    // is a pure function of topology + config, so every PATHCENSUS probes
+    // the same hop set — versions differ only by router state advancing.
+    config.paths = [&topology]() {
+        const analysis::PathCensus census(topology, analysis::PathCensusConfig::from_env());
+        analysis::PathDiscovery discovery = census.discover();
+        serve::PathSweep sweep;
+        sweep.paths = discovery.hop_lists();
+        sweep.path_lane = std::move(discovery.trace_source);
+        return sweep;
     };
 
     install_stop_handlers();
